@@ -1,0 +1,104 @@
+//! Microbenchmarks of BP's per-iteration kernels (the steps of
+//! Figure 7): othermax sweeps, the transpose gather + clamp behind
+//! `compute-F`, row sums (`compute-d`), and the damping triad.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netalign_core::bp::othermax::{column_positions, othermaxcol_into, othermaxrow_into};
+use netalign_data::standins::StandIn;
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn bench_bp_kernels(c: &mut Criterion) {
+    let inst = StandIn::LcshWiki.generate(0.01, 7);
+    let p = &inst.problem;
+    let m = p.l.num_edges();
+    let nnz = p.s.nnz();
+    let g: Vec<f64> = (0..m).map(|i| ((i * 31) % 101) as f64 * 0.01).collect();
+    let col_pos = column_positions(&p.l);
+    let sk: Vec<f64> = (0..nnz).map(|i| ((i * 17) % 47) as f64 * 0.1 - 2.0).collect();
+
+    let mut group = c.benchmark_group("bp-steps");
+    group.sample_size(20);
+
+    group.bench_function("othermaxrow", |b| {
+        let mut out = vec![0.0; m];
+        b.iter(|| {
+            othermaxrow_into(&p.l, &g, &mut out, 1000);
+            black_box(&out);
+        })
+    });
+
+    group.bench_function("othermaxcol", |b| {
+        let mut out = vec![0.0; m];
+        b.iter(|| {
+            othermaxcol_into(&p.l, &g, &col_pos, &mut out, 1000);
+            black_box(&out);
+        })
+    });
+
+    group.bench_function("compute-f (transpose gather + clamp)", |b| {
+        let mut skt = vec![0.0; nnz];
+        let mut fv = vec![0.0; nnz];
+        b.iter(|| {
+            p.s.transpose_vals_into(&sk, &mut skt);
+            fv.par_iter_mut()
+                .with_min_len(1000)
+                .zip(skt.par_iter().with_min_len(1000))
+                .for_each(|(f, &st)| *f = (2.0 + st).clamp(0.0, 2.0));
+            black_box(&fv);
+        })
+    });
+
+    group.bench_function("compute-d (row sums)", |b| {
+        let rowptr = p.s.rowptr();
+        let w = p.l.weights();
+        let fv: Vec<f64> = (0..nnz).map(|i| (i % 7) as f64).collect();
+        let mut d = vec![0.0; m];
+        b.iter(|| {
+            d.par_iter_mut()
+                .enumerate()
+                .with_min_len(1000)
+                .for_each(|(e, de)| {
+                    let mut acc = 0.0;
+                    for idx in rowptr[e]..rowptr[e + 1] {
+                        acc += fv[idx];
+                    }
+                    *de = w[e] + acc;
+                });
+            black_box(&d);
+        })
+    });
+
+    group.bench_function("damping (3 vectors)", |b| {
+        let mut y = g.clone();
+        let mut y_prev = g.clone();
+        let mut z = g.clone();
+        let mut z_prev = g.clone();
+        let mut s1 = sk.clone();
+        let mut s_prev = sk.clone();
+        b.iter(|| {
+            for (cur, prev) in [(&mut y, &mut y_prev), (&mut z, &mut z_prev)] {
+                cur.par_iter_mut()
+                    .with_min_len(1000)
+                    .zip(prev.par_iter_mut().with_min_len(1000))
+                    .for_each(|(c, p)| {
+                        *c = 0.9 * *c + 0.1 * *p;
+                        *p = *c;
+                    });
+            }
+            s1.par_iter_mut()
+                .with_min_len(1000)
+                .zip(s_prev.par_iter_mut().with_min_len(1000))
+                .for_each(|(c, p)| {
+                    *c = 0.9 * *c + 0.1 * *p;
+                    *p = *c;
+                });
+            black_box((&y, &z, &s1));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp_kernels);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Matcher comparison: exact SSP vs the ½-approximations on a
+//! realistic rounding workload (the dmela-scere stand-in's `w`).
+//!
+//! Supports the Figure 4/6 interpretation: the matching step is the
+//! dominant per-iteration cost, and the locally-dominant approximation
+//! is the `O(|E_L|)` replacement for the `O(|E_L|·N log N)` exact
+//! matcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netalign_data::standins::StandIn;
+use netalign_matching::{max_weight_matching, MatcherKind};
+use std::hint::black_box;
+
+fn bench_matchers(c: &mut Criterion) {
+    let inst = StandIn::DmelaScere.generate(0.25, 7);
+    let l = &inst.problem.l;
+    let w = l.weights();
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for kind in [
+        MatcherKind::Exact,
+        MatcherKind::Greedy,
+        MatcherKind::LocalDominant,
+        MatcherKind::ParallelLocalDominant,
+        MatcherKind::ParallelLocalDominantOneSide,
+        MatcherKind::Suitor,
+        MatcherKind::ParallelSuitor,
+        MatcherKind::PathGrowing,
+        MatcherKind::Distributed { ranks: 4 },
+        MatcherKind::Auction { eps_rel: 1e-3 },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(max_weight_matching(l, w, kind)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_scaling_with_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching-size");
+    group.sample_size(10);
+    for scale in [0.05, 0.1, 0.2] {
+        let inst = StandIn::DmelaScere.generate(scale, 7);
+        let l = inst.problem.l.clone();
+        let edges = l.num_edges();
+        group.bench_with_input(BenchmarkId::new("ld-parallel", edges), &l, |b, l| {
+            b.iter(|| {
+                black_box(max_weight_matching(
+                    l,
+                    l.weights(),
+                    MatcherKind::ParallelLocalDominant,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact", edges), &l, |b, l| {
+            b.iter(|| black_box(max_weight_matching(l, l.weights(), MatcherKind::Exact)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_matching_scaling_with_size);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of MR's per-iteration pieces (the steps of
+//! Figure 6): the per-row exact matchings and the full rounding
+//! matching, which together take ~80% of MR's iteration at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netalign_core::mr::rowmatch::solve_row_matchings;
+use netalign_data::standins::StandIn;
+use netalign_matching::{max_weight_matching, MatcherKind};
+use std::hint::black_box;
+
+fn bench_mr_kernels(c: &mut Criterion) {
+    let inst = StandIn::LcshWiki.generate(0.01, 7);
+    let p = &inst.problem;
+    let nnz = p.s.nnz();
+    // Row weights as MR sees them: β/2 + U − Uᵀ with small multipliers.
+    let row_w: Vec<f64> = (0..nnz).map(|i| 1.0 + ((i % 11) as f64 - 5.0) * 0.05).collect();
+
+    let mut group = c.benchmark_group("mr-steps");
+    group.sample_size(10);
+
+    group.bench_function("row-match (all rows)", |b| {
+        b.iter(|| black_box(solve_row_matchings(p, &row_w)))
+    });
+
+    let (d, _) = solve_row_matchings(p, &row_w);
+    let wbar: Vec<f64> = p
+        .l
+        .weights()
+        .iter()
+        .zip(&d)
+        .map(|(&w, &di)| w + di)
+        .collect();
+
+    group.bench_function("match (exact on w̄)", |b| {
+        b.iter(|| black_box(max_weight_matching(&p.l, &wbar, MatcherKind::Exact)))
+    });
+
+    group.bench_function("match (approx on w̄)", |b| {
+        b.iter(|| {
+            black_box(max_weight_matching(
+                &p.l,
+                &wbar,
+                MatcherKind::ParallelLocalDominant,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mr_kernels);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Extended quality comparison: BP and MR against the literature
+//! baselines (IsoRank, NSD, naive rounding) and across BP damping
+//! variants, on the Figure-2 workload. Not a paper figure — it places
+//! the paper's two methods in the wider landscape its introduction
+//! surveys (refs [5], [11]) and exercises the [13] damping variants
+//! the paper mentions.
+//!
+//! Flags: `--n`, `--iters`, `--seed`, `--dbar`.
+
+use netalign_bench::{table::f, Args, Table};
+use netalign_core::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
+use netalign_core::config::DampingKind;
+use netalign_data::metrics::{fraction_correct, reference_objective};
+use netalign_core::prelude::*;
+use netalign_data::synthetic::{power_law_alignment, PowerLawParams};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.usize("n", 400);
+    let iters = args.usize("iters", 100);
+    let seed = args.u64("seed", 2);
+    let dbar = args.f64("dbar", 8.0);
+
+    let inst = power_law_alignment(&PowerLawParams {
+        n,
+        expected_degree: dbar,
+        seed,
+        ..Default::default()
+    });
+    let p = &inst.problem;
+    let reference = reference_objective(p, &inst.planted, 1.0, 2.0);
+    println!(
+        "Baselines on the Fig.2 workload (n = {n}, d̄ = {dbar}, identity objective {:.1})\n",
+        reference.total
+    );
+
+    let mut t = Table::new(&["method", "objective", "frac-identity", "frac-correct"]);
+    let base = AlignConfig { iterations: iters, ..Default::default() };
+
+    let mut row = |name: &str, r: &netalign_core::AlignmentResult| {
+        t.row(&[
+            name.to_string(),
+            f(r.objective, 1),
+            f(r.objective / reference.total, 4),
+            f(fraction_correct(&r.matching, &inst.planted), 4),
+        ]);
+    };
+
+    row("naive (round w)", &naive_rounding(p, &base));
+    row("isorank", &isorank(p, &IsoRankConfig::default(), &base));
+    row("nsd", &nsd(p, &NsdConfig::default(), &base));
+    row("MR", &matching_relaxation(p, &base));
+    row("BP (power damping)", &belief_propagation(p, &base));
+    row(
+        "BP (constant damping)",
+        &belief_propagation(p, &AlignConfig { damping: DampingKind::Constant, ..base }),
+    );
+    row(
+        "BP (no damping)",
+        &belief_propagation(p, &AlignConfig { damping: DampingKind::None, ..base }),
+    );
+    t.print();
+    println!("\nexpected shape: BP dominates the diffusion baselines (isorank, nsd)");
+    println!("and MR at equal iteration budgets; damping matters (no-damping BP");
+    println!("oscillates and relies on best-iterate tracking).");
+    println!("\ncaveat: this workload's similarity weights are uniform, and this");
+    println!("library's deterministic tie-breaking happens to favour the planted");
+    println!("diagonal — which is why the zero-work 'naive' row looks perfect here.");
+    println!("Real similarity weights (see the stand-ins) remove that artifact.");
+}

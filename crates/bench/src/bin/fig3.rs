@@ -1,0 +1,79 @@
+//! Figure 3: matching weight vs overlap scatter across a parameter
+//! sweep, exact vs approximate rounding.
+//!
+//! The paper varies the objective (α, β), damping and other inputs,
+//! then scatters `(wᵀx, xᵀSx/2)` per method on dmela-scere (top) and
+//! lcsh-wiki (bottom). We print one row per (problem, method, matcher,
+//! α, β, γ) combination: a textual form of the same scatter.
+//!
+//! Flags: `--bio-scale`, `--onto-scale`, `--iters`, `--seed`.
+
+use netalign_bench::{table::f, Args, Table};
+use netalign_core::prelude::*;
+use netalign_data::standins::StandIn;
+use netalign_matching::MatcherKind;
+
+fn main() {
+    let args = Args::parse();
+    let bio_scale = args.f64("bio-scale", 0.25);
+    let onto_scale = args.f64("onto-scale", 0.004);
+    let iters = args.usize("iters", 30);
+    let seed = args.u64("seed", 5);
+
+    let alphas = [0.0, 0.5, 1.0, 2.0];
+    let betas = [1.0, 2.0];
+    let gammas = [0.99, 0.9];
+
+    println!("Figure 3 — weight vs overlap across parameter sweeps ({iters} iters)\n");
+    let mut t = Table::new(&[
+        "problem", "method", "matcher", "alpha", "beta", "gamma", "weight", "overlap", "objective",
+    ]);
+
+    for (si, scale) in [(StandIn::DmelaScere, bio_scale), (StandIn::LcshWiki, onto_scale)] {
+        let inst = si.generate(scale, seed);
+        eprintln!(
+            "{}: scale {scale}, shape {:?}",
+            si.spec().name,
+            inst.problem.shape()
+        );
+        for matcher in [MatcherKind::Exact, MatcherKind::ParallelLocalDominant] {
+            for method in ["MR", "BP"] {
+                for &alpha in &alphas {
+                    for &beta in &betas {
+                        for &gamma in &gammas {
+                            if alpha == 0.0 && beta == 0.0 {
+                                continue;
+                            }
+                            let cfg = AlignConfig {
+                                alpha,
+                                beta,
+                                gamma,
+                                iterations: iters,
+                                matcher,
+                                ..Default::default()
+                            };
+                            let r = match method {
+                                "MR" => matching_relaxation(&inst.problem, &cfg),
+                                _ => belief_propagation(&inst.problem, &cfg),
+                            };
+                            t.row(&[
+                                si.spec().name.to_string(),
+                                method.to_string(),
+                                matcher.name().to_string(),
+                                f(alpha, 2),
+                                f(beta, 2),
+                                f(gamma, 2),
+                                f(r.weight, 1),
+                                f(r.overlap, 1),
+                                f(r.objective, 1),
+                            ]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    t.print();
+    println!("\nexpected shape (paper): BP scatter nearly identical between exact and");
+    println!("approximate; MR with approximate matching shifts to visibly worse points.");
+}

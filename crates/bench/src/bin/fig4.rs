@@ -1,0 +1,79 @@
+//! Figure 4: strong scaling on the lcsh-wiki stand-in for four
+//! methods: Klau's MR and BP with rounding batch sizes 1, 10, 20.
+//!
+//! The paper runs 400 iterations with α=1, β=2, γ=0.99, mstep=10 on an
+//! 8-socket Xeon E7-8870 and sweeps 1..80 OpenMP threads under several
+//! NUMA layouts; we sweep rayon pool sizes on this machine's cores and
+//! report speedup relative to the 1-thread run (the paper's
+//! bound-memory baseline). All methods use the parallel approximate
+//! matcher for rounding.
+//!
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads 1,2,4,...`.
+
+use netalign_bench::{paper_model_speedup, run_with_threads, table::f, thread_sweep, Args, Table};
+use netalign_core::prelude::*;
+use netalign_data::standins::StandIn;
+use netalign_matching::MatcherKind;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.01);
+    let iters = args.usize("iters", 10);
+    let seed = args.u64("seed", 11);
+    let threads = args.usize_list("threads", thread_sweep());
+
+    let inst = StandIn::LcshWiki.generate(scale, seed);
+    eprintln!(
+        "lcsh-wiki stand-in at scale {scale}: shape {:?}",
+        inst.problem.shape()
+    );
+
+    let methods: Vec<(String, bool, usize)> = vec![
+        ("MR".into(), true, 1),
+        ("BP(batch=1)".into(), false, 1),
+        ("BP(batch=10)".into(), false, 10),
+        ("BP(batch=20)".into(), false, 20),
+    ];
+
+    println!(
+        "Figure 4 — strong scaling, lcsh-wiki stand-in ({} candidates, {iters} iters)\n",
+        inst.problem.num_candidates()
+    );
+    let mut t = Table::new(&["method", "threads", "seconds", "speedup", "paper-model", "objective"]);
+    for (name, is_mr, batch) in methods {
+        let mut t1 = None;
+        for &nt in &threads {
+            let cfg = AlignConfig {
+                iterations: iters,
+                batch,
+                matcher: MatcherKind::ParallelLocalDominant,
+                ..Default::default()
+            };
+            let problem = &inst.problem;
+            let (secs, obj) = run_with_threads(nt, || {
+                let start = Instant::now();
+                let r = if is_mr {
+                    matching_relaxation(problem, &cfg)
+                } else {
+                    belief_propagation(problem, &cfg)
+                };
+                (start.elapsed().as_secs_f64(), r.objective)
+            });
+            let base = *t1.get_or_insert(secs);
+            t.row(&[
+                name.clone(),
+                nt.to_string(),
+                f(secs, 3),
+                f(base / secs, 2),
+                f(paper_model_speedup(nt), 2),
+                f(obj, 1),
+            ]);
+            eprintln!("{name} threads={nt}: {secs:.3}s (speedup {:.2})", base / secs);
+        }
+    }
+    t.print();
+    println!("\nexpected shape (paper): near-linear speedup at low thread counts,");
+    println!("flattening around the socket boundary; objective identical across");
+    println!("thread counts (deterministic parallel matcher).");
+}

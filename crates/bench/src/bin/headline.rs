@@ -1,0 +1,68 @@
+//! The paper's headline result (§IX): replacing exact bipartite
+//! matching by the parallel ½-approximation turns a ~10-minute serial
+//! solve into ~36 seconds — a combination of the cheaper `O(|E_L|)`
+//! matcher and multicore scaling — at negligible cost in solution
+//! quality for BP.
+//!
+//! This harness runs BP on the lcsh-wiki stand-in three ways:
+//!   1. 1 thread, exact matching        (the "before" configuration)
+//!   2. 1 thread, approximate matching  (algorithmic gain alone)
+//!   3. N threads, approximate matching (the paper's configuration)
+//! and reports the wall-clock ratio plus the objective gap.
+//!
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads` (max pool size).
+
+use netalign_bench::{available_threads, run_with_threads, table::f, Args, Table};
+use netalign_core::prelude::*;
+use netalign_data::standins::StandIn;
+use netalign_matching::MatcherKind;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.01);
+    let iters = args.usize("iters", 10);
+    let seed = args.u64("seed", 11);
+    let max_threads = args.usize("threads", available_threads());
+
+    let inst = StandIn::LcshWiki.generate(scale, seed);
+    eprintln!(
+        "lcsh-wiki stand-in at scale {scale}: shape {:?}",
+        inst.problem.shape()
+    );
+
+    let runs = [
+        ("BP exact, 1 thread", MatcherKind::Exact, 1usize),
+        ("BP approx, 1 thread", MatcherKind::ParallelLocalDominant, 1),
+        ("BP approx, max threads", MatcherKind::ParallelLocalDominant, max_threads),
+    ];
+
+    println!("Headline — exact/serial vs approximate/parallel BP ({iters} iters)\n");
+    let mut t = Table::new(&["configuration", "threads", "seconds", "objective"]);
+    let mut results = Vec::new();
+    for (name, matcher, nt) in runs {
+        let cfg = AlignConfig { iterations: iters, batch: 20, matcher, ..Default::default() };
+        let problem = &inst.problem;
+        let (secs, obj) = run_with_threads(nt, || {
+            let start = Instant::now();
+            let r = belief_propagation(problem, &cfg);
+            (start.elapsed().as_secs_f64(), r.objective)
+        });
+        eprintln!("{name}: {secs:.2}s, objective {obj:.1}");
+        t.row(&[name.to_string(), nt.to_string(), f(secs, 2), f(obj, 1)]);
+        results.push((name, secs, obj));
+    }
+    t.print();
+
+    let (_, t_exact, o_exact) = results[0];
+    let (_, t_par, o_par) = results[2];
+    println!(
+        "\nend-to-end speedup (exact/1t -> approx/{max_threads}t): {:.1}x",
+        t_exact / t_par
+    );
+    println!(
+        "objective change: {:+.2}% (paper: negligible for BP)",
+        100.0 * (o_par - o_exact) / o_exact.abs().max(1e-12)
+    );
+    println!("paper's numbers on the real lcsh-wiki with 40 threads: 10 min -> 36 s.");
+}

@@ -1,0 +1,115 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (no external CLI crate needed).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    ///
+    /// # Panics
+    /// Panics on a flag without a value or a stray positional argument.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got '{a}'"))
+                .to_string();
+            let val = it
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            flags.insert(key, val);
+        }
+        Self { flags }
+    }
+
+    /// Get a float flag with default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
+            .unwrap_or(default)
+    }
+
+    /// Get an integer flag with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Get a u64 flag with default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Get a comma-separated list of integers with default.
+    pub fn usize_list(&self, key: &str, default: Vec<usize>) -> Vec<usize> {
+        self.flags
+            .get(key)
+            .map(|v| {
+                v.split(',')
+                    .map(|x| x.trim().parse().unwrap_or_else(|_| panic!("--{key}: bad entry '{x}'")))
+                    .collect()
+            })
+            .unwrap_or(default)
+    }
+
+    /// Get a string flag with default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn parses_typed_flags() {
+        let a = args(&["--scale", "0.5", "--iters", "10", "--threads", "1,2,4"]);
+        assert_eq!(a.f64("scale", 1.0), 0.5);
+        assert_eq!(a.usize("iters", 3), 10);
+        assert_eq!(a.usize_list("threads", vec![]), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = args(&[]);
+        assert_eq!(a.f64("scale", 0.25), 0.25);
+        assert_eq!(a.string("matcher", "exact"), "exact");
+        assert_eq!(a.u64("seed", 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        let _ = args(&["--scale"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn positional_rejected() {
+        let _ = args(&["positional"]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness utilities shared by the figure/table binaries
+//! and the criterion benchmarks.
+
+pub mod cli;
+pub mod model;
+pub mod pool;
+pub mod table;
+
+pub use cli::Args;
+pub use model::{amdahl_speedup, paper_model_speedup};
+pub use pool::{available_threads, run_with_threads, thread_sweep};
+pub use table::Table;

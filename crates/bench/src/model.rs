@@ -1,0 +1,67 @@
+//! Analytic strong-scaling model for hardware this container lacks.
+//!
+//! The reproduction environment may expose a single core (as the
+//! container used to produce EXPERIMENTS.md does), so measured thread
+//! sweeps cannot show real speedup. As a documented substitute, the
+//! figure harnesses also print an Amdahl projection
+//!
+//! ```text
+//!     speedup(t) = 1 / (s + (1 − s) / t)
+//! ```
+//!
+//! with the serial fraction `s` calibrated so that `speedup(40) = 15` —
+//! the paper's measured result for both MR and BP on lcsh-wiki
+//! (§VIII.B). This reproduces the *shape* of Figures 4–5 (near-linear
+//! rise, flattening around 40 threads); it deliberately does not model
+//! NUMA placement effects, which need the paper's 8-socket machine.
+
+/// Serial fraction calibrated to the paper's 15-fold speedup at 40
+/// threads: `s = (40/15 − 1) / 39`.
+pub const PAPER_SERIAL_FRACTION: f64 = (40.0 / 15.0 - 1.0) / 39.0;
+
+/// Amdahl speedup at `threads` for serial fraction `s`.
+pub fn amdahl_speedup(s: f64, threads: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "serial fraction must be in [0,1]");
+    assert!(threads >= 1);
+    1.0 / (s + (1.0 - s) / threads as f64)
+}
+
+/// The paper-calibrated projection.
+pub fn paper_model_speedup(threads: usize) -> f64 {
+    amdahl_speedup(PAPER_SERIAL_FRACTION, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_the_paper_point() {
+        assert!((paper_model_speedup(40) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_thread_is_unity() {
+        assert_eq!(paper_model_speedup(1), 1.0);
+        assert_eq!(amdahl_speedup(0.5, 1), 1.0);
+    }
+
+    #[test]
+    fn speedup_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for t in 1..=80 {
+            let s = paper_model_speedup(t);
+            assert!(s > prev);
+            assert!(s < 1.0 / PAPER_SERIAL_FRACTION);
+            prev = s;
+        }
+        // beyond 40 threads the curve flattens: the paper saw no gains
+        // past ~40-80 threads
+        assert!(paper_model_speedup(80) / paper_model_speedup(40) < 1.25);
+    }
+
+    #[test]
+    fn zero_serial_fraction_is_linear() {
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+    }
+}

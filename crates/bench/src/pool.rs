@@ -1,0 +1,73 @@
+//! Thread-pool control for the strong-scaling experiments.
+//!
+//! The paper sweeps OpenMP thread counts on an 80-hardware-thread
+//! machine; we sweep dedicated rayon pools. Each measurement runs
+//! inside `ThreadPool::install`, so every `par_iter` in the aligners
+//! and the parallel matcher uses exactly `t` worker threads.
+
+/// Number of hardware threads rayon would use by default.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` on a dedicated rayon pool with `threads` workers.
+pub fn run_with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// The default strong-scaling sweep: powers of two up to the hardware
+/// thread count, always including 1 and the maximum.
+pub fn thread_sweep() -> Vec<usize> {
+    let max = available_threads();
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        v.push(max);
+    }
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_really_limits_threads() {
+        let seen = run_with_threads(2, || {
+            (0..1000usize)
+                .into_par_iter()
+                .map(|_| rayon::current_num_threads())
+                .max()
+                .unwrap()
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_bounded() {
+        let s = thread_sweep();
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.last().unwrap(), available_threads());
+    }
+
+    #[test]
+    fn results_are_identical_across_pool_sizes() {
+        // determinism guard: a parallel sum ordered reduction
+        let sum1 = run_with_threads(1, || (0..100u64).into_par_iter().sum::<u64>());
+        let sum4 = run_with_threads(4, || (0..100u64).into_par_iter().sum::<u64>());
+        assert_eq!(sum1, sum4);
+    }
+}

@@ -1,0 +1,440 @@
+//! Distributed-memory belief propagation, simulated (paper §IX).
+//!
+//! The paper's second future-work item: "the algorithms could also be
+//! implemented in a distributed setting using primitives from the
+//! Combinatorial BLAS library for the matrix computations and a
+//! distributed half-approximation matching algorithm". This module
+//! realizes that structure as a bulk-synchronous program over simulated
+//! ranks:
+//!
+//! * the edges of `L` (and with them the rows of `S`, the message
+//!   vectors `y`/`z`/`d`, and the value blocks of `S⁽ᵏ⁾`/`F`) are
+//!   **block-partitioned by left vertex**, so `othermaxrow`, the `F`/`d`
+//!   kernels, the `S⁽ᵏ⁾` update and the damping are rank-local;
+//! * reading `S⁽ᵏ⁻¹⁾ᵀ` through the transpose permutation becomes a
+//!   **static halo exchange**: each rank's needed remote value indices
+//!   are computed once, and every iteration ships exactly those values
+//!   (the CombBLAS-style sparse communication plan);
+//! * `othermaxcol` is a two-superstep **partial-stats merge**: ranks
+//!   compute `(max, second-max, argmax-edge)` partials for each right
+//!   vertex they touch, the vertex's owner rank merges deterministically
+//!   (ties keep the lowest edge id, matching the shared-memory kernel),
+//!   and merged stats flow back to the contributors;
+//! * rounding uses the **simulated distributed locally-dominant
+//!   matcher** ([`netalign_matching::distributed`]) over the same rank
+//!   count.
+//!
+//! Supersteps are executed by scoped threads with all message routing
+//! between supersteps done by the driver — message-passing semantics
+//! without long-lived rank daemons. Because every kernel performs the
+//! same floating-point operations in the same order as the
+//! shared-memory implementation, the distributed run produces
+//! **bit-identical iterates and results** to [`super::belief_propagation`]
+//! with the parallel matcher — asserted by the tests.
+
+use crate::config::AlignConfig;
+use crate::objective::evaluate_matching;
+use crate::problem::NetAlignProblem;
+use crate::result::{AlignmentResult, IterationRecord};
+use crate::timing::StepTimers;
+
+use netalign_matching::distributed::distributed_local_dominant;
+
+/// Per-rank state: an aligned block of edges and S rows.
+struct RankState {
+    /// Global edge range `[e_lo, e_hi)`.
+    e_lo: usize,
+    e_hi: usize,
+    /// Global S-value range `[v_lo, v_hi)` (= rowptr[e_lo]..rowptr[e_hi]).
+    v_lo: usize,
+    v_hi: usize,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    y_prev: Vec<f64>,
+    z_prev: Vec<f64>,
+    d: Vec<f64>,
+    sk: Vec<f64>,
+    sk_prev: Vec<f64>,
+    skt: Vec<f64>,
+    fv: Vec<f64>,
+    omr: Vec<f64>,
+    omc: Vec<f64>,
+    /// Halo plan: for each peer rank, the *global* S-value indices of
+    /// `sk_prev` values this rank must receive (in agreed order), and
+    /// the local positions of `skt` they scatter into.
+    recv_plan: Vec<Vec<u32>>,
+    scatter_plan: Vec<Vec<u32>>,
+    /// For each peer rank, the local positions of values to send.
+    send_plan: Vec<Vec<u32>>,
+}
+
+/// Column statistics for the othermaxcol merge.
+#[derive(Clone, Copy, Debug)]
+struct ColStat {
+    max1: f64,
+    max2: f64,
+    arg_eid: u32,
+}
+
+impl ColStat {
+    const EMPTY: ColStat = ColStat { max1: f64::NEG_INFINITY, max2: f64::NEG_INFINITY, arg_eid: u32::MAX };
+
+    /// Fold one value in edge order (strict `>` keeps the earliest
+    /// edge on ties — the shared-memory kernel's behaviour).
+    fn push(&mut self, v: f64, eid: u32) {
+        if v > self.max1 {
+            self.max2 = self.max1;
+            self.max1 = v;
+            self.arg_eid = eid;
+        } else if v > self.max2 {
+            self.max2 = v;
+        }
+    }
+
+    /// Merge another partial computed over *later* edges.
+    fn merge(&mut self, other: &ColStat) {
+        if other.max1 > self.max1 {
+            self.max2 = self.max1.max(other.max2);
+            self.max1 = other.max1;
+            self.arg_eid = other.arg_eid;
+        } else {
+            self.max2 = self.max2.max(other.max1);
+        }
+    }
+}
+
+/// Run belief propagation with the state distributed over `ranks`
+/// simulated workers. Produces the same result as
+/// [`super::belief_propagation`] with
+/// [`MatcherKind::ParallelLocalDominant`] rounding.
+pub fn distributed_belief_propagation(
+    problem: &NetAlignProblem,
+    config: &AlignConfig,
+    ranks: usize,
+) -> AlignmentResult {
+    config.validate();
+    assert!(ranks >= 1, "need at least one rank");
+    let p = problem;
+    let m = p.l.num_edges();
+    let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
+    let rowptr = p.s.rowptr();
+    let perm = p.s.transpose_perm().as_slice();
+    let w = p.l.weights();
+    let nranks = ranks.min(p.l.num_left().max(1));
+
+    // --- Static partition: split left vertices into blocks with
+    // roughly balanced edge counts.
+    let mut boundaries = vec![0usize]; // left-vertex boundaries
+    {
+        let per = m.div_ceil(nranks);
+        let mut acc = 0usize;
+        for a in 0..p.l.num_left() {
+            acc += p.l.left_degree(a as u32);
+            if acc >= per * boundaries.len() && boundaries.len() < nranks {
+                boundaries.push(a + 1);
+            }
+        }
+        while boundaries.len() < nranks {
+            boundaries.push(p.l.num_left());
+        }
+        boundaries.push(p.l.num_left());
+    }
+    let edge_lo = |r: usize| {
+        if boundaries[r] >= p.l.num_left() {
+            m
+        } else {
+            p.l.left_range(boundaries[r] as u32).start
+        }
+    };
+    let owner_of_value = |idx: usize, states: &[RankState]| -> usize {
+        states
+            .partition_point(|st| st.v_hi <= idx)
+    };
+
+    let mut states: Vec<RankState> = (0..nranks)
+        .map(|r| {
+            let e_lo = edge_lo(r);
+            let e_hi = if r + 1 == nranks { m } else { edge_lo(r + 1) };
+            let v_lo = rowptr[e_lo];
+            let v_hi = rowptr[e_hi];
+            let ne = e_hi - e_lo;
+            let nv = v_hi - v_lo;
+            RankState {
+                e_lo,
+                e_hi,
+                v_lo,
+                v_hi,
+                y: vec![0.0; ne],
+                z: vec![0.0; ne],
+                y_prev: vec![0.0; ne],
+                z_prev: vec![0.0; ne],
+                d: vec![0.0; ne],
+                sk: vec![0.0; nv],
+                sk_prev: vec![0.0; nv],
+                skt: vec![0.0; nv],
+                fv: vec![0.0; nv],
+                omr: vec![0.0; ne],
+                omc: vec![0.0; ne],
+                recv_plan: vec![Vec::new(); nranks],
+                scatter_plan: vec![Vec::new(); nranks],
+                send_plan: vec![Vec::new(); nranks],
+            }
+        })
+        .collect();
+
+    // --- Static halo plan for the transpose gather.
+    for r in 0..nranks {
+        let (v_lo, v_hi) = (states[r].v_lo, states[r].v_hi);
+        let mut recv: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+        let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+        for idx in v_lo..v_hi {
+            let src = perm[idx];
+            let owner = owner_of_value(src, &states);
+            recv[owner].push(src as u32);
+            scatter[owner].push((idx - v_lo) as u32);
+        }
+        states[r].recv_plan = recv;
+        states[r].scatter_plan = scatter;
+    }
+    // Mirror into send plans (local positions at the source rank).
+    for r in 0..nranks {
+        for s in 0..nranks {
+            let plan: Vec<u32> = states[s].recv_plan[r]
+                .iter()
+                .map(|&g| (g as usize - states[r].v_lo) as u32)
+                .collect();
+            states[r].send_plan[s] = plan;
+        }
+    }
+
+    // Right-vertex owners for the othermaxcol merge (block partition).
+    let nb = p.l.num_right();
+    let bblock = nb.div_ceil(nranks).max(1);
+    let owner_of_b = |b: u32| ((b as usize) / bblock).min(nranks - 1);
+
+    let timers = StepTimers::new();
+    let mut best: Option<(f64, Vec<f64>, usize)> = None;
+    let mut history: Vec<IterationRecord> = Vec::new();
+    let mut pending: Vec<(usize, Vec<f64>)> = Vec::new();
+
+    for k in 1..=config.iterations {
+        let gk = config.damping.fresh_weight(gamma, k);
+
+        // Superstep A (local prep + halo payload production).
+        let payloads: Vec<Vec<Vec<f64>>> = states
+            .iter()
+            .map(|st| {
+                (0..nranks)
+                    .map(|peer| {
+                        st.send_plan[peer]
+                            .iter()
+                            .map(|&pos| st.sk_prev[pos as usize])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        // Route: skt[scatter] = payload values.
+        for r in 0..nranks {
+            for src in 0..nranks {
+                let vals = &payloads[src][r];
+                let positions = states[r].scatter_plan[src].clone();
+                debug_assert_eq!(vals.len(), positions.len());
+                let st = &mut states[r];
+                for (pos, &v) in positions.iter().zip(vals.iter()) {
+                    st.skt[*pos as usize] = v;
+                }
+            }
+        }
+
+        // Superstep B: local F, d, othermaxrow, col partials.
+        let mut all_partials: Vec<Vec<(u32, ColStat)>> = Vec::with_capacity(nranks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .iter_mut()
+                .map(|st| {
+                    scope.spawn(move || {
+                        // F and d.
+                        for i in 0..st.fv.len() {
+                            st.fv[i] = (beta + st.skt[i]).clamp(0.0, beta);
+                        }
+                        for e in st.e_lo..st.e_hi {
+                            let le = e - st.e_lo;
+                            let mut acc = 0.0;
+                            for idx in rowptr[e]..rowptr[e + 1] {
+                                acc += st.fv[idx - st.v_lo];
+                            }
+                            st.d[le] = alpha * w[e] + acc;
+                        }
+                        // othermaxrow on y_prev: rows are local.
+                        for a in boundaries_range(p, st.e_lo, st.e_hi) {
+                            let r = p.l.left_range(a);
+                            let mut stat = ColStat::EMPTY;
+                            for e in r.clone() {
+                                stat.push(st.y_prev[e - st.e_lo], e as u32);
+                            }
+                            for e in r {
+                                let v = if e as u32 == stat.arg_eid { stat.max2 } else { stat.max1 };
+                                st.omr[e - st.e_lo] = v.max(0.0);
+                            }
+                        }
+                        // col partials over z_prev.
+                        let mut partials: Vec<(u32, ColStat)> = Vec::new();
+                        let mut last: Option<usize> = None;
+                        for e in st.e_lo..st.e_hi {
+                            let b = p.l.endpoints(e).1;
+                            let v = st.z_prev[e - st.e_lo];
+                            match last {
+                                Some(i) if partials[i].0 == b => partials[i].1.push(v, e as u32),
+                                _ => {
+                                    // b values repeat non-contiguously within a
+                                    // rank; search existing entry.
+                                    if let Some(i) = partials.iter().position(|&(pb, _)| pb == b) {
+                                        partials[i].1.push(v, e as u32);
+                                        last = Some(i);
+                                        continue;
+                                    }
+                                    let mut s0 = ColStat::EMPTY;
+                                    s0.push(v, e as u32);
+                                    partials.push((b, s0));
+                                    last = Some(partials.len() - 1);
+                                }
+                            }
+                        }
+                        partials
+                    })
+                })
+                .collect();
+            for h in handles {
+                all_partials.push(h.join().expect("rank panicked"));
+            }
+        });
+
+        // Superstep C: owners merge col stats (rank order = edge order).
+        let mut merged: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
+        {
+            let mut per_owner: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
+            for partials in &all_partials {
+                for &(b, stat) in partials {
+                    per_owner[owner_of_b(b)].push((b, stat));
+                }
+            }
+            for (owner, items) in per_owner.into_iter().enumerate() {
+                let mut map: Vec<(u32, ColStat)> = Vec::new();
+                for (b, stat) in items {
+                    if let Some(i) = map.iter().position(|&(mb, _)| mb == b) {
+                        map[i].1.merge(&stat);
+                    } else {
+                        map.push((b, stat));
+                    }
+                }
+                merged[owner] = map;
+            }
+        }
+        // Broadcast merged stats (flatten; each rank picks what it needs).
+        let global_stats: Vec<(u32, ColStat)> = merged.into_iter().flatten().collect();
+
+        // Superstep D: finish othermax, S update, damping — local.
+        std::thread::scope(|scope| {
+            for st in states.iter_mut() {
+                let global_stats = &global_stats;
+                scope.spawn(move || {
+                    for e in st.e_lo..st.e_hi {
+                        let le = e - st.e_lo;
+                        let b = p.l.endpoints(e).1;
+                        let stat = global_stats
+                            .iter()
+                            .find(|&&(sb, _)| sb == b)
+                            .map(|&(_, s)| s)
+                            .unwrap_or(ColStat::EMPTY);
+                        let v = if e as u32 == stat.arg_eid { stat.max2 } else { stat.max1 };
+                        st.omc[le] = v.max(0.0);
+                    }
+                    for le in 0..st.y.len() {
+                        st.y[le] = st.d[le] - st.omc[le];
+                        st.z[le] = st.d[le] - st.omr[le];
+                    }
+                    // S^(k) = diag(y + z - d) S - F (local rows).
+                    for e in st.e_lo..st.e_hi {
+                        let le = e - st.e_lo;
+                        let scale = st.y[le] + st.z[le] - st.d[le];
+                        for idx in rowptr[e]..rowptr[e + 1] {
+                            st.sk[idx - st.v_lo] = scale - st.fv[idx - st.v_lo];
+                        }
+                    }
+                    // Damping.
+                    for (c, pr) in st.y.iter_mut().zip(st.y_prev.iter_mut()) {
+                        *c = gk * *c + (1.0 - gk) * *pr;
+                        *pr = *c;
+                    }
+                    for (c, pr) in st.z.iter_mut().zip(st.z_prev.iter_mut()) {
+                        *c = gk * *c + (1.0 - gk) * *pr;
+                        *pr = *c;
+                    }
+                    for (c, pr) in st.sk.iter_mut().zip(st.sk_prev.iter_mut()) {
+                        *c = gk * *c + (1.0 - gk) * *pr;
+                        *pr = *c;
+                    }
+                });
+            }
+        });
+
+        // Superstep E: rounding (allgather of y/z blocks + the
+        // distributed matcher over the same ranks).
+        let gather = |sel: fn(&RankState) -> &Vec<f64>| -> Vec<f64> {
+            let mut g = Vec::with_capacity(m);
+            for st in &states {
+                g.extend_from_slice(sel(st));
+            }
+            g
+        };
+        pending.push((k, gather(|st| &st.y)));
+        pending.push((k, gather(|st| &st.z)));
+        if pending.len() >= config.batch.max(1) * 2 || k == config.iterations {
+            for (iter_k, g) in pending.drain(..) {
+                let matching = distributed_local_dominant(&p.l, &g, nranks);
+                let value = evaluate_matching(p, &matching, alpha, beta);
+                if config.record_history {
+                    history.push(IterationRecord {
+                        iteration: iter_k,
+                        objective: value.total,
+                        weight: value.weight,
+                        overlap: value.overlap,
+                        upper_bound: None,
+                    });
+                }
+                if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
+                    best = Some((value.total, g, iter_k));
+                }
+            }
+        }
+    }
+
+    let (_, best_g, best_iter) = best.expect("at least one rounding happened");
+    let matching = distributed_local_dominant(&p.l, &best_g, nranks);
+    let value = evaluate_matching(p, &matching, alpha, beta);
+    AlignmentResult {
+        matching,
+        objective: value.total,
+        weight: value.weight,
+        overlap: value.overlap,
+        best_iteration: best_iter,
+        upper_bound: None,
+        history,
+        timers,
+    }
+}
+
+/// Left vertices whose edge ranges lie inside `[e_lo, e_hi)`.
+fn boundaries_range(
+    p: &NetAlignProblem,
+    e_lo: usize,
+    e_hi: usize,
+) -> impl Iterator<Item = u32> + '_ {
+    (0..p.l.num_left() as u32)
+        .filter(move |&a| {
+            let r = p.l.left_range(a);
+            r.start >= e_lo && r.end <= e_hi && !r.is_empty()
+        })
+}
+

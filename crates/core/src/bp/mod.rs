@@ -1,0 +1,357 @@
+//! Belief propagation for network alignment (paper Listing 2 / §III.B,
+//! parallelization per §IV.C).
+//!
+//! Per iteration `k`:
+//!
+//! 1. `F = bound₀^β (β·S + S⁽ᵏ⁻¹⁾ᵀ)` — elementwise over the fixed
+//!    pattern of `S`, the transpose read through the value permutation;
+//! 2. `d = α·w + F·e` — row sums;
+//! 3. `y⁽ᵏ⁾ = d − othermaxcol(z⁽ᵏ⁻¹⁾)`,
+//!    `z⁽ᵏ⁾ = d − othermaxrow(y⁽ᵏ⁻¹⁾)`;
+//! 4. `S⁽ᵏ⁾ = diag(y⁽ᵏ⁾ + z⁽ᵏ⁾ − d)·S − F` — a row rescale of the
+//!    pattern minus `F`;
+//! 5. damping: iterates interpolate toward the previous ones with
+//!    weight `γᵏ` (which decays to zero, freezing the messages);
+//! 6. rounding: `round_heuristic(y⁽ᵏ⁾)` and `round_heuristic(z⁽ᵏ⁾)` —
+//!    immediately for `batch = 1`, or deferred into batches of `r`
+//!    vectors rounded concurrently for `BP(batch = r)`.
+//!
+//! The rounding step is the only place the matching algorithm appears;
+//! the iterates themselves are independent of it (paper §VII), which is
+//! why approximate matching barely changes BP's solution quality.
+
+pub mod distributed;
+pub mod othermax;
+
+use crate::config::AlignConfig;
+use crate::objective::evaluate_matching;
+use crate::problem::NetAlignProblem;
+use crate::result::{AlignmentResult, IterationRecord};
+use crate::rounding::{round_batch, round_heuristic};
+use crate::timing::{Step, StepTimers};
+use netalign_matching::MatcherKind;
+use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
+use rayon::prelude::*;
+
+/// Work-chunk size for the dynamic-scheduling analog of the paper's
+/// OpenMP `schedule(dynamic, 1000)` (§IV.A).
+pub(crate) const CHUNK: usize = 1000;
+
+/// Run belief propagation on `problem` with `config`.
+///
+/// Returns the best rounded solution over all iterations (after an
+/// optional final exact re-rounding of the best heuristic vector).
+pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> AlignmentResult {
+    config.validate();
+    let p = problem;
+    let m = p.l.num_edges();
+    let nnz = p.s.nnz();
+    let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
+    let mut timers = StepTimers::new();
+
+    // All state is preallocated; iteration only rewrites values
+    // (paper §IV: "no dynamic memory allocations").
+    let mut y = vec![0.0f64; m];
+    let mut z = vec![0.0f64; m];
+    let mut y_prev = vec![0.0f64; m];
+    let mut z_prev = vec![0.0f64; m];
+    let mut d = vec![0.0f64; m];
+    let mut sk = vec![0.0f64; nnz];
+    let mut sk_prev = vec![0.0f64; nnz];
+    let mut skt = vec![0.0f64; nnz];
+    let mut fv = vec![0.0f64; nnz];
+    let mut omr = vec![0.0f64; m];
+    let mut omc = vec![0.0f64; m];
+    let col_pos = column_positions(&p.l);
+    let w = p.l.weights();
+    let rowptr = p.s.rowptr();
+
+    // Rounding bookkeeping.
+    let mut best: Option<(f64, Vec<f64>, usize)> = None; // (objective, heuristic g, iteration)
+    let mut history: Vec<IterationRecord> = Vec::new();
+    let mut pending: Vec<(usize, Vec<f64>)> = Vec::new();
+
+    for k in 1..=config.iterations {
+        let gk = config.damping.fresh_weight(gamma, k);
+
+        // Step 1: F = bound_0^beta(beta*S + S^(k-1)^T).
+        let t0 = std::time::Instant::now();
+        p.s.transpose_vals_into(&sk_prev, &mut skt);
+        fv.par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(skt.par_iter().with_min_len(CHUNK))
+            .for_each(|(f, &st)| *f = (beta + st).clamp(0.0, beta));
+        timers.add(Step::ComputeF, t0.elapsed());
+
+        // Step 2: d = alpha*w + F e (row sums of F).
+        let t0 = std::time::Instant::now();
+        d.par_iter_mut()
+            .enumerate()
+            .with_min_len(CHUNK)
+            .for_each(|(e, de)| {
+                let mut acc = 0.0;
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    acc += fv[idx];
+                }
+                *de = alpha * w[e] + acc;
+            });
+        timers.add(Step::ComputeD, t0.elapsed());
+
+        // Step 3: othermax sweeps (use previous iterates). The two
+        // sweeps are independent, so they run as parallel tasks — the
+        // reorganization the paper's §IX suggests as future work.
+        let t0 = std::time::Instant::now();
+        rayon::join(
+            || othermaxcol_into(&p.l, &z_prev, &col_pos, &mut omc, CHUNK),
+            || othermaxrow_into(&p.l, &y_prev, &mut omr, CHUNK),
+        );
+        y.par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(d.par_iter().with_min_len(CHUNK))
+            .zip(omc.par_iter().with_min_len(CHUNK))
+            .for_each(|((yi, &di), &oi)| *yi = di - oi);
+        z.par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(d.par_iter().with_min_len(CHUNK))
+            .zip(omr.par_iter().with_min_len(CHUNK))
+            .for_each(|((zi, &di), &oi)| *zi = di - oi);
+        timers.add(Step::OtherMax, t0.elapsed());
+
+        // Step 4: S^(k) = diag(y + z - d) S - F, row-parallel over the
+        // fixed pattern (entries of each row are contiguous).
+        let t0 = std::time::Instant::now();
+        sk_rowwise_update(rowptr, &mut sk, &y, &z, &d, &fv);
+        timers.add(Step::UpdateS, t0.elapsed());
+
+        // Step 5: damping toward the previous iterate.
+        let t0 = std::time::Instant::now();
+        damp(&mut y, &mut y_prev, gk);
+        damp(&mut z, &mut z_prev, gk);
+        damp(&mut sk, &mut sk_prev, gk);
+        timers.add(Step::Damping, t0.elapsed());
+
+        // Step 6: rounding (immediate or batched). After damping,
+        // y/z hold the k-th damped iterates (and were also copied into
+        // y_prev/z_prev for the next iteration).
+        pending.push((k, y.clone()));
+        pending.push((k, z.clone()));
+        if pending.len() >= config.batch.max(1) * 2 || k == config.iterations {
+            let t0 = std::time::Instant::now();
+            let batch: Vec<Vec<f64>> = pending.iter().map(|(_, g)| g.clone()).collect();
+            let rounded = round_batch(p, &batch, alpha, beta, config.matcher);
+            for ((iter_k, g), r) in pending.drain(..).zip(rounded) {
+                if config.record_history {
+                    history.push(IterationRecord {
+                        iteration: iter_k,
+                        objective: r.value.total,
+                        weight: r.value.weight,
+                        overlap: r.value.overlap,
+                        upper_bound: None,
+                    });
+                }
+                if best.as_ref().is_none_or(|(b, _, _)| r.value.total > *b) {
+                    best = Some((r.value.total, g, iter_k));
+                }
+            }
+            timers.add(Step::Match, t0.elapsed());
+        }
+    }
+
+    finalize(p, config, best, history, timers)
+}
+
+/// `S^(k)[e, :] = (y[e] + z[e] - d[e]) - F[e, :]` over the fixed pattern.
+fn sk_rowwise_update(rowptr: &[usize], sk: &mut [f64], y: &[f64], z: &[f64], d: &[f64], fv: &[f64]) {
+    // Parallelize over rows by splitting the value array at row bounds.
+    // rayon's par_chunks cannot follow irregular rows, so iterate rows
+    // in parallel with unsafe-free indexing via split decomposition:
+    // each row's slice is disjoint, expressed through par_iter over
+    // row indices writing through a raw pointer wrapper would be
+    // unsafe; instead use the entry->row map-free two-level loop:
+    let nrows = rowptr.len() - 1;
+    // Build disjoint mutable row slices.
+    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(nrows);
+    let mut rest = sk;
+    let mut offset = 0usize;
+    for e in 0..nrows {
+        let len = rowptr[e + 1] - rowptr[e];
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+        offset += len;
+    }
+    debug_assert_eq!(offset, rowptr[nrows]);
+    slices
+        .par_iter_mut()
+        .enumerate()
+        .with_min_len(CHUNK.min(1024))
+        .for_each(|(e, row)| {
+            let scale = y[e] + z[e] - d[e];
+            let base = rowptr[e];
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = scale - fv[base + i];
+            }
+        });
+}
+
+/// `cur ← gk·cur + (1−gk)·prev`, then `prev ← cur`.
+fn damp(cur: &mut [f64], prev: &mut [f64], gk: f64) {
+    cur.par_iter_mut()
+        .with_min_len(CHUNK)
+        .zip(prev.par_iter_mut().with_min_len(CHUNK))
+        .for_each(|(c, p)| {
+            *c = gk * *c + (1.0 - gk) * *p;
+            *p = *c;
+        });
+}
+
+/// Shared tail of both aligners: optional final exact rounding of the
+/// best heuristic, then assemble the result.
+pub(crate) fn finalize(
+    p: &NetAlignProblem,
+    config: &AlignConfig,
+    best: Option<(f64, Vec<f64>, usize)>,
+    history: Vec<IterationRecord>,
+    timers: StepTimers,
+) -> AlignmentResult {
+    let (best_obj, best_g, best_iter) = best.expect("at least one rounding must have happened");
+    let mut matching = netalign_matching::max_weight_matching(&p.l, &best_g, config.matcher);
+    if config.final_exact_round && config.matcher != MatcherKind::Exact {
+        // The paper always converts the best heuristic with one exact
+        // matching at the very end (§VII).
+        let exact = round_heuristic(p, &best_g, config.alpha, config.beta, MatcherKind::Exact);
+        if exact.value.total >= best_obj {
+            matching = exact.matching;
+        }
+    }
+    let value = evaluate_matching(p, &matching, config.alpha, config.beta);
+    AlignmentResult {
+        matching,
+        objective: value.total,
+        weight: value.weight,
+        overlap: value.overlap,
+        best_iteration: best_iter,
+        upper_bound: None,
+        history,
+        timers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+    use netalign_graph::{BipartiteGraph, Graph};
+
+    fn tiny_problem() -> NetAlignProblem {
+        let a = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let l = BipartiteGraph::from_entries(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+            ],
+        );
+        NetAlignProblem::new(a, b, l)
+    }
+
+    #[test]
+    fn recovers_identity_on_cycle() {
+        let p = tiny_problem();
+        let cfg = AlignConfig { iterations: 20, record_history: true, ..Default::default() };
+        let r = belief_propagation(&p, &cfg);
+        assert_eq!(r.matching.cardinality(), 4);
+        assert_eq!(r.overlap, 4.0);
+        for i in 0..4 {
+            assert_eq!(r.matching.mate_of_left(i), Some(i));
+        }
+        assert_eq!(r.history.len(), 40); // 2 roundings per iteration
+    }
+
+    #[test]
+    fn approximate_matching_matches_exact_on_tiny() {
+        let p = tiny_problem();
+        let exact = belief_propagation(
+            &p,
+            &AlignConfig { iterations: 15, ..Default::default() },
+        );
+        let approx = belief_propagation(
+            &p,
+            &AlignConfig {
+                iterations: 15,
+                matcher: MatcherKind::ParallelLocalDominant,
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.objective, approx.objective);
+    }
+
+    #[test]
+    fn batching_does_not_change_the_result() {
+        let p = tiny_problem();
+        let base = AlignConfig { iterations: 12, ..Default::default() };
+        let r1 = belief_propagation(&p, &base);
+        let r10 = belief_propagation(&p, &AlignConfig { batch: 10, ..base });
+        assert_eq!(r1.objective, r10.objective);
+        assert_eq!(r1.matching, r10.matching);
+    }
+
+    #[test]
+    fn power_law_instance_beats_naive_weight_matching() {
+        let g = power_law_graph(60, 2.5, 12, 5);
+        let a = add_random_edges(&g, 0.02, 6);
+        let b = add_random_edges(&g, 0.02, 7);
+        let l = identity_plus_noise_l(60, 60, 4.0 / 60.0, 1.0, 1.0, 8);
+        let p = NetAlignProblem::new(a, b, l);
+        let cfg = AlignConfig { iterations: 50, ..Default::default() };
+        let r = belief_propagation(&p, &cfg);
+        // Naive rounding of w alone:
+        let naive = round_heuristic(&p, p.l.weights(), 1.0, 2.0, MatcherKind::Exact);
+        assert!(
+            r.objective >= naive.value.total,
+            "BP ({}) should beat naive rounding ({})",
+            r.objective,
+            naive.value.total
+        );
+        assert!(r.overlap > 0.0);
+    }
+
+    #[test]
+    fn history_is_recorded_per_rounding() {
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 6,
+            batch: 4,
+            record_history: true,
+            ..Default::default()
+        };
+        let r = belief_propagation(&p, &cfg);
+        assert_eq!(r.history.len(), 12);
+        // iterations appear in non-decreasing order
+        for w in r.history.windows(2) {
+            assert!(w[0].iteration <= w[1].iteration);
+        }
+    }
+
+    #[test]
+    fn final_exact_round_never_hurts() {
+        let p = tiny_problem();
+        let base = AlignConfig {
+            iterations: 10,
+            matcher: MatcherKind::Greedy,
+            ..Default::default()
+        };
+        let without = belief_propagation(&p, &base);
+        let with = belief_propagation(
+            &p,
+            &AlignConfig { final_exact_round: true, ..base },
+        );
+        assert!(with.objective >= without.objective);
+    }
+}

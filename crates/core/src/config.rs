@@ -1,0 +1,149 @@
+//! Run configuration shared by the BP and MR aligners.
+
+use netalign_matching::MatcherKind;
+
+/// How BP's messages are damped toward the previous iterate (the paper
+/// describes only the `γᵏ` variant and points to Bayati et al. [13]
+/// for the others; both extra variants from that paper are provided).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DampingKind {
+    /// `m⁽ᵏ⁾ ← γᵏ·m⁽ᵏ⁾ + (1−γᵏ)·m⁽ᵏ⁻¹⁾` — the weight of the fresh
+    /// message decays geometrically, freezing the iteration (the
+    /// variant in the paper's Listing 2).
+    #[default]
+    Power,
+    /// `m⁽ᵏ⁾ ← γ·m⁽ᵏ⁾ + (1−γ)·m⁽ᵏ⁻¹⁾` — constant interpolation.
+    Constant,
+    /// No damping: raw message updates (may oscillate; the rounding
+    /// step still tracks the best iterate).
+    None,
+}
+
+impl DampingKind {
+    /// Interpolation weight of the *fresh* message at iteration `k`
+    /// (1-based) for damping base `gamma`.
+    pub fn fresh_weight(&self, gamma: f64, k: usize) -> f64 {
+        match self {
+            DampingKind::Power => gamma.powi(k as i32),
+            DampingKind::Constant => gamma,
+            DampingKind::None => 1.0,
+        }
+    }
+}
+
+/// Parameters of an alignment run. Field meanings follow the paper:
+/// `α`/`β` weight the two objective terms, `γ` is BP's damping base and
+/// MR's subgradient step size, `mstep` is MR's stall window before the
+/// step halves, and `batch` is BP's rounding batch size `r`.
+#[derive(Clone, Copy, Debug)]
+pub struct AlignConfig {
+    /// Weight of the matching term `wᵀx`.
+    pub alpha: f64,
+    /// Weight of the overlap term `xᵀSx/2`.
+    pub beta: f64,
+    /// BP: damping base (`γ^k` interpolation). MR: initial step size.
+    pub gamma: f64,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// MR only: halve `γ` when the upper bound has not improved for
+    /// this many iterations.
+    pub mstep: usize,
+    /// BP only: rounding batch size `r` (`BP(batch=r)`); 1 rounds every
+    /// iterate immediately.
+    pub batch: usize,
+    /// Matching algorithm used inside the rounding step.
+    pub matcher: MatcherKind,
+    /// BP only: damping variant (the paper uses [`DampingKind::Power`]).
+    pub damping: DampingKind,
+    /// MR only: enriched rounding (the `rtype = 2` option of the
+    /// authors' released `netalignmr`): after matching `w̄`, re-match
+    /// the overlap-aware weights `αw + β·S·x` and keep the better
+    /// solution. One extra matching per iteration; substantially
+    /// improves MR's primal solutions on noisy instances.
+    pub enriched_rounding: bool,
+    /// Perform one final *exact* matching on the best heuristic vector
+    /// before returning, as the paper does at the end of §VII's setup.
+    pub final_exact_round: bool,
+    /// Record per-iteration history (objective, weight, overlap).
+    pub record_history: bool,
+}
+
+impl Default for AlignConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 2.0,
+            gamma: 0.99,
+            iterations: 100,
+            mstep: 10,
+            batch: 1,
+            matcher: MatcherKind::Exact,
+            damping: DampingKind::Power,
+            enriched_rounding: false,
+            final_exact_round: false,
+            record_history: false,
+        }
+    }
+}
+
+impl AlignConfig {
+    /// Validate parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(self.alpha >= 0.0, "alpha must be non-negative");
+        assert!(self.beta >= 0.0, "beta must be non-negative");
+        assert!(
+            self.alpha > 0.0 || self.beta > 0.0,
+            "at least one of alpha/beta must be positive"
+        );
+        assert!(
+            self.gamma > 0.0 && self.gamma <= 1.0,
+            "gamma must be in (0, 1], got {}",
+            self.gamma
+        );
+        assert!(self.iterations > 0, "need at least one iteration");
+        assert!(self.batch >= 1, "batch must be at least 1");
+        assert!(self.mstep >= 1, "mstep must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn damping_fresh_weights() {
+        assert_eq!(DampingKind::Power.fresh_weight(0.9, 2), 0.81);
+        assert_eq!(DampingKind::Constant.fresh_weight(0.9, 50), 0.9);
+        assert_eq!(DampingKind::None.fresh_weight(0.5, 3), 1.0);
+    }
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = AlignConfig::default();
+        c.validate();
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.beta, 2.0);
+        assert_eq!(c.gamma, 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        AlignConfig { gamma: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn rejects_zero_batch() {
+        AlignConfig { batch: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_negative_alpha() {
+        AlignConfig { alpha: -1.0, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,320 @@
+//! Klau's matching relaxation (MR) for network alignment
+//! (paper Listing 1 / §III.A, parallelization per §IV.B).
+//!
+//! Per iteration `k`:
+//!
+//! 1. **row match** — for every row of `S`, an exact tiny matching of
+//!    the row of `(β/2)·S + U⁽ᵏ⁾ − U⁽ᵏ⁾ᵀ` gives `d` and the selection
+//!    indicator `S_L`;
+//! 2. **daxpy** — `w̄⁽ᵏ⁾ = α·w + d`;
+//! 3. **match** — `x⁽ᵏ⁾ = bipartite_match(w̄⁽ᵏ⁾)` (this is where the
+//!    exact/approximate substitution happens);
+//! 4. **objective** — lower bound `α·x ᵀw + (β/2)xᵀSx` and upper bound
+//!    `w̄⁽ᵏ⁾ᵀx⁽ᵏ⁾`;
+//! 5. **update U** — subgradient step
+//!    `F = U⁽ᵏ⁻¹⁾ − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X`, clamped to
+//!    `[−β/2, β/2]` (the bound used by the authors' released
+//!    `netalignmr` code; the paper writes `bound F` without the
+//!    interval). When the upper bound hasn't improved for `mstep`
+//!    iterations, `γ` halves.
+//!
+//! Unlike BP, the matching *drives* the multiplier update, which is why
+//! MR is sensitive to approximate rounding (paper §VII).
+
+pub mod distributed;
+pub mod rowmatch;
+
+use crate::bp::{finalize, CHUNK};
+use crate::config::AlignConfig;
+use crate::objective::evaluate_matching;
+use crate::problem::NetAlignProblem;
+use crate::result::{AlignmentResult, IterationRecord};
+use crate::timing::{Step, StepTimers};
+use netalign_matching::max_weight_matching;
+use rayon::prelude::*;
+use rowmatch::solve_row_matchings;
+
+/// Run Klau's matching relaxation on `problem` with `config`.
+pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> AlignmentResult {
+    config.validate();
+    let p = problem;
+    let m = p.l.num_edges();
+    let nnz = p.s.nnz();
+    let (alpha, beta) = (config.alpha, config.beta);
+    let mut gamma = config.gamma;
+    let mut timers = StepTimers::new();
+    let perm = p.s.transpose_perm().as_slice();
+
+    // Lagrange multipliers U over the pattern of S (upper triangle
+    // only; the lower triangle enters through −Uᵀ).
+    let mut u_vals = vec![0.0f64; nnz];
+    let mut row_w = vec![0.0f64; nnz];
+    let mut wbar = vec![0.0f64; m];
+    let colidx = p.s.colidx();
+
+    let mut best: Option<(f64, Vec<f64>, usize)> = None;
+    let mut best_upper = f64::INFINITY;
+    let mut stall = 0usize;
+    let mut history: Vec<IterationRecord> = Vec::new();
+
+    for k in 1..=config.iterations {
+        // Step 1: row matchings on (β/2)S + U − Uᵀ.
+        let t0 = std::time::Instant::now();
+        row_w
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(CHUNK)
+            .for_each(|(idx, rw)| {
+                *rw = beta / 2.0 + u_vals[idx] - u_vals[perm[idx]];
+            });
+        let (d, sl_vals) = solve_row_matchings(p, &row_w);
+        timers.add(Step::RowMatch, t0.elapsed());
+
+        // Step 2: w̄ = αw + d.
+        let t0 = std::time::Instant::now();
+        wbar.par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(p.l.weights().par_iter().with_min_len(CHUNK))
+            .zip(d.par_iter().with_min_len(CHUNK))
+            .for_each(|((wb, &wi), &di)| *wb = alpha * wi + di);
+        timers.add(Step::Daxpy, t0.elapsed());
+
+        // Step 3: the full matching — exact or approximate.
+        let t0 = std::time::Instant::now();
+        let matching = max_weight_matching(&p.l, &wbar, config.matcher);
+        timers.add(Step::Match, t0.elapsed());
+
+        // Step 4: bounds.
+        let t0 = std::time::Instant::now();
+        let mut value = evaluate_matching(p, &matching, alpha, beta);
+        let x = matching.indicator(&p.l);
+        // Serial dot product: a rayon float reduction's tree shape (and
+        // hence its roundoff) depends on work stealing; this sum must be
+        // deterministic so that runs are reproducible across pool sizes
+        // and bit-identical to the distributed implementation.
+        let upper: f64 = x.iter().zip(wbar.iter()).map(|(&xi, &wi)| xi * wi).sum();
+        timers.add(Step::ObjectiveEval, t0.elapsed());
+
+        // Optional enriched rounding (netalignmr's rtype=2): re-match
+        // the overlap-aware weights αw + β·S·x and keep the better
+        // primal. Counts toward the Match step.
+        let mut enriched_wbar: Option<Vec<f64>> = None;
+        if config.enriched_rounding {
+            let t0 = std::time::Instant::now();
+            let rowptr = p.s.rowptr();
+            let colidx = p.s.colidx();
+            let mut g2 = vec![0.0f64; m];
+            g2.par_iter_mut()
+                .enumerate()
+                .with_min_len(CHUNK)
+                .for_each(|(e, ge)| {
+                    let mut acc = 0.0;
+                    for idx in rowptr[e]..rowptr[e + 1] {
+                        acc += x[colidx[idx] as usize];
+                    }
+                    *ge = alpha * p.l.weights()[e] + beta * acc;
+                });
+            let m2 = max_weight_matching(&p.l, &g2, config.matcher);
+            let v2 = evaluate_matching(p, &m2, alpha, beta);
+            if v2.total > value.total {
+                value = v2;
+                enriched_wbar = Some(g2);
+            }
+            timers.add(Step::Match, t0.elapsed());
+        }
+
+        if config.record_history {
+            history.push(IterationRecord {
+                iteration: k,
+                objective: value.total,
+                weight: value.weight,
+                overlap: value.overlap,
+                upper_bound: Some(upper),
+            });
+        }
+        if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
+            let g = enriched_wbar.unwrap_or_else(|| wbar.clone());
+            best = Some((value.total, g, k));
+        }
+
+        // Step size control: halve γ when the upper bound stalls.
+        if upper < best_upper - 1e-12 {
+            best_upper = upper;
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= config.mstep {
+                gamma /= 2.0;
+                stall = 0;
+            }
+        }
+
+        // Step 5: F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped.
+        let t0 = std::time::Instant::now();
+        let bound = beta / 2.0;
+        // Row-parallel over the pattern: entry idx sits at (e, f) with
+        // e the row and f = colidx[idx].
+        let rowptr = p.s.rowptr();
+        let u_old = u_vals.clone();
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(m);
+        let mut rest: &mut [f64] = &mut u_vals;
+        for e in 0..m {
+            let (head, tail) = rest.split_at_mut(rowptr[e + 1] - rowptr[e]);
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+            .par_iter_mut()
+            .enumerate()
+            .with_min_len(64)
+            .for_each(|(e, row)| {
+                let base = rowptr[e];
+                for (i, uv) in row.iter_mut().enumerate() {
+                    let idx = base + i;
+                    let f = colidx[idx] as usize;
+                    if f <= e {
+                        *uv = 0.0; // strictly upper triangular multipliers
+                        continue;
+                    }
+                    // triu(S_L)[e,f] is S_L's own entry; tril(S_L)ᵀ[e,f]
+                    // = S_L[f,e], read through the transpose permutation.
+                    let upd = u_old[idx] - gamma * x[e] * sl_vals[idx]
+                        + gamma * sl_vals[perm[idx]] * x[f];
+                    *uv = upd.clamp(-bound, bound);
+                }
+            });
+        timers.add(Step::UpdateU, t0.elapsed());
+    }
+
+    let mut result = finalize(p, config, best, history, timers);
+    result.upper_bound = Some(best_upper.max(result.objective));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+    use netalign_graph::{BipartiteGraph, Graph};
+    use netalign_matching::MatcherKind;
+
+    fn cycle_problem() -> NetAlignProblem {
+        let a = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let l = BipartiteGraph::from_entries(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+            ],
+        );
+        NetAlignProblem::new(a, b, l)
+    }
+
+    #[test]
+    fn recovers_identity_on_cycle() {
+        let p = cycle_problem();
+        let cfg = AlignConfig { iterations: 25, record_history: true, ..Default::default() };
+        let r = matching_relaxation(&p, &cfg);
+        assert_eq!(r.matching.cardinality(), 4);
+        assert_eq!(r.overlap, 4.0);
+        assert_eq!(r.history.len(), 25);
+    }
+
+    #[test]
+    fn upper_bound_dominates_objective() {
+        let p = cycle_problem();
+        let cfg = AlignConfig { iterations: 30, ..Default::default() };
+        let r = matching_relaxation(&p, &cfg);
+        let ub = r.upper_bound.unwrap();
+        assert!(
+            ub + 1e-9 >= r.objective,
+            "upper bound {ub} below objective {}",
+            r.objective
+        );
+        let ratio = r.approximation_ratio().unwrap();
+        assert!(ratio > 0.0 && ratio <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn optimality_gap_closes_on_easy_instance() {
+        let p = cycle_problem();
+        let cfg = AlignConfig { iterations: 60, ..Default::default() };
+        let r = matching_relaxation(&p, &cfg);
+        // identity objective: weight 4 + 2*overlap 4 = 12
+        assert_eq!(r.objective, 12.0);
+        assert!(r.approximation_ratio().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn power_law_instance_beats_naive() {
+        let g = power_law_graph(50, 2.5, 10, 15);
+        let a = add_random_edges(&g, 0.02, 16);
+        let b = add_random_edges(&g, 0.02, 17);
+        let l = identity_plus_noise_l(50, 50, 3.0 / 50.0, 1.0, 1.0, 18);
+        let p = NetAlignProblem::new(a, b, l);
+        let cfg = AlignConfig { iterations: 40, ..Default::default() };
+        let r = matching_relaxation(&p, &cfg);
+        let naive = crate::rounding::round_heuristic(
+            &p,
+            p.l.weights(),
+            1.0,
+            2.0,
+            MatcherKind::Exact,
+        );
+        assert!(r.objective >= naive.value.total);
+    }
+
+    #[test]
+    fn approximate_matching_degrades_gracefully() {
+        // The paper's key negative finding: MR + approximate matching
+        // still runs and produces a valid (if possibly worse) solution.
+        let p = cycle_problem();
+        let cfg = AlignConfig { iterations: 25, ..Default::default() };
+        let exact = matching_relaxation(&p, &cfg);
+        let approx = matching_relaxation(
+            &p,
+            &AlignConfig { matcher: MatcherKind::ParallelLocalDominant, ..cfg },
+        );
+        assert!(approx.matching.is_valid(&p.l));
+        assert!(approx.objective <= exact.objective + 1e-9);
+    }
+
+    #[test]
+    fn enriched_rounding_never_hurts() {
+        let g = power_law_graph(60, 2.2, 12, 55);
+        let a = add_random_edges(&g, 0.02, 56);
+        let b = add_random_edges(&g, 0.02, 57);
+        let l = identity_plus_noise_l(60, 60, 8.0 / 60.0, 1.0, 1.0, 58);
+        let p = NetAlignProblem::new(a, b, l);
+        let base = AlignConfig { iterations: 30, ..Default::default() };
+        let plain = matching_relaxation(&p, &base);
+        let enriched =
+            matching_relaxation(&p, &AlignConfig { enriched_rounding: true, ..base });
+        assert!(enriched.objective >= plain.objective - 1e-9);
+        assert!(enriched.matching.is_valid(&p.l));
+    }
+
+    #[test]
+    fn multipliers_stay_strictly_upper() {
+        // Internal invariant is not directly observable; exercise a run
+        // with history and check bounds behave sanely instead.
+        let p = cycle_problem();
+        let cfg = AlignConfig {
+            iterations: 12,
+            mstep: 3,
+            record_history: true,
+            ..Default::default()
+        };
+        let r = matching_relaxation(&p, &cfg);
+        for rec in &r.history {
+            assert!(rec.upper_bound.unwrap().is_finite());
+            assert!(rec.objective <= rec.upper_bound.unwrap() + 1e-9 + p.l.num_edges() as f64);
+        }
+    }
+}

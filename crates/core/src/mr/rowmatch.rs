@@ -1,0 +1,260 @@
+//! Step 1 of Klau's method: one small exact matching per row of `S`.
+//!
+//! Row `e = (i, i')` of `S` lists the candidate partner edges
+//! `f = (j, j')`. Treating the row values of
+//! `(β/2)·S + U − Uᵀ` as weights, we pick the best subset of partners
+//! that itself forms a matching in `L` (distinct `j`s and distinct
+//! `j'`s). The matching value becomes `d[e]`; the selected entries form
+//! row `e` of the indicator matrix `S_L`.
+//!
+//! The paper always solves these *exactly* — each row problem is tiny —
+//! parallelizes over rows, and preallocates the per-thread matching
+//! workspaces outside the iteration (§IV.B). We mirror that: rows run
+//! under rayon with `for_each_init` thread-local [`RowWorkspace`]s, and
+//! each row solve is a dense Hungarian assignment on compacted local
+//! indices with zero allocations in the steady state.
+
+use crate::problem::NetAlignProblem;
+use netalign_graph::VertexId;
+use netalign_matching::exact::hungarian::{solve_dense_assignment, HungarianBuffers};
+use rayon::prelude::*;
+
+/// Per-thread scratch space for row matchings.
+#[derive(Clone, Debug, Default)]
+pub struct RowWorkspace {
+    js: Vec<VertexId>,
+    jps: Vec<VertexId>,
+    ujs: Vec<VertexId>,
+    ujps: Vec<VertexId>,
+    ljs: Vec<usize>,
+    ljps: Vec<usize>,
+    cost: Vec<f64>,
+    hung: HungarianBuffers,
+}
+
+/// Solve every row matching. `row_weights` holds the values of
+/// `(β/2)·S + U − Uᵀ` over the pattern of `S`.
+///
+/// Returns `d` (per-row matching values, length `|E_L|`) and the
+/// indicator values of `S_L` over the pattern of `S`.
+pub fn solve_row_matchings(p: &NetAlignProblem, row_weights: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(row_weights.len(), p.s.nnz());
+    let m = p.l.num_edges();
+    let rowptr = p.s.rowptr();
+    let colidx = p.s.colidx();
+
+    let mut sl_vals = vec![0.0f64; p.s.nnz()];
+    let mut d = vec![0.0f64; m];
+
+    // Disjoint row slices of sl_vals for safe parallel writes.
+    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(m);
+    let mut rest: &mut [f64] = &mut sl_vals;
+    for e in 0..m {
+        let (head, tail) = rest.split_at_mut(rowptr[e + 1] - rowptr[e]);
+        slices.push(head);
+        rest = tail;
+    }
+
+    d.par_iter_mut()
+        .zip(slices.par_iter_mut())
+        .enumerate()
+        .with_min_len(64)
+        .for_each_init(RowWorkspace::default, |ws, (e, (de, sl_row))| {
+            let range = rowptr[e]..rowptr[e + 1];
+            if range.is_empty() {
+                *de = 0.0;
+                return;
+            }
+            *de = solve_one_row(p, ws, &colidx[range.clone()], &row_weights[range], sl_row);
+        });
+
+    (d, sl_vals)
+}
+
+/// Solve one row's matching with the thread-local workspace; writes the
+/// 0/1 selection into `sl_row` and returns the matching value.
+fn solve_one_row(
+    p: &NetAlignProblem,
+    ws: &mut RowWorkspace,
+    cols: &[VertexId],
+    weights: &[f64],
+    sl_row: &mut [f64],
+) -> f64 {
+    sl_row.fill(0.0);
+    if !weights.iter().any(|&w| w > 0.0) {
+        return 0.0;
+    }
+    // Compact the endpoints of the partner edges into local ids.
+    ws.js.clear();
+    ws.jps.clear();
+    for &f in cols {
+        let (j, jp) = p.l.endpoints(f as usize);
+        ws.js.push(j);
+        ws.jps.push(jp);
+    }
+    ws.ujs.clone_from(&ws.js);
+    ws.ujs.sort_unstable();
+    ws.ujs.dedup();
+    ws.ujps.clone_from(&ws.jps);
+    ws.ujps.sort_unstable();
+    ws.ujps.dedup();
+    let nj = ws.ujs.len();
+    let njp = ws.ujps.len();
+    ws.ljs.clear();
+    ws.ljps.clear();
+    for k in 0..cols.len() {
+        ws.ljs.push(ws.ujs.binary_search(&ws.js[k]).unwrap());
+        ws.ljps.push(ws.ujps.binary_search(&ws.jps[k]).unwrap());
+    }
+
+    // Dense local cost matrix: nj rows, njp real columns plus nj
+    // private "stay free" slack columns of cost 0.
+    const BIG: f64 = 1e18;
+    let ncols = njp + nj;
+    ws.cost.clear();
+    ws.cost.resize(nj * ncols, BIG);
+    for k in 0..cols.len() {
+        let w = weights[k];
+        if w > 0.0 {
+            let slot = &mut ws.cost[ws.ljs[k] * ncols + ws.ljps[k]];
+            // Distinct (j, j') pairs: each slot written at most once.
+            debug_assert_eq!(*slot, BIG, "duplicate local pair in a row of S");
+            *slot = -w;
+        }
+    }
+    for lj in 0..nj {
+        ws.cost[lj * ncols + njp + lj] = 0.0;
+    }
+
+    let assignment = solve_dense_assignment(&ws.cost, nj, ncols, &mut ws.hung);
+
+    // Read off the chosen (lj, ljp) pairs and mark the row entries.
+    let mut value = 0.0;
+    for k in 0..cols.len() {
+        if weights[k] <= 0.0 {
+            continue;
+        }
+        let j_col = ws.ljps[k] + 1; // 1-indexed columns
+        if assignment[j_col] == ws.ljs[k] + 1
+            && ws.cost[ws.ljs[k] * ncols + ws.ljps[k]] == -weights[k]
+        {
+            sl_row[k] = 1.0;
+            value += weights[k];
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalign_graph::{BipartiteGraph, Graph};
+
+    /// 4-cycles with full identity L plus crossings so rows of S have
+    /// several entries.
+    fn problem() -> NetAlignProblem {
+        let a = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut entries = Vec::new();
+        for i in 0..4u32 {
+            for ip in 0..4u32 {
+                entries.push((i, ip, 1.0));
+            }
+        }
+        let l = BipartiteGraph::from_entries(4, 4, entries);
+        NetAlignProblem::new(a, b, l)
+    }
+
+    #[test]
+    fn uniform_weights_pick_row_nnz_capped_matching() {
+        let p = problem();
+        let w = vec![1.0f64; p.s.nnz()];
+        let (d, sl) = solve_row_matchings(&p, &w);
+        // Every row e = (i,i'): partners j ∈ adj(i) (2 of them), j' ∈
+        // adj(i') (2): 4 candidate edges forming a 2x2 biclique with
+        // unit weights → best matching = 2.
+        for e in 0..p.l.num_edges() {
+            assert_eq!(d[e], 2.0, "row {e}");
+        }
+        // selections are 0/1 and sum to 2 per row
+        for e in 0..p.l.num_edges() {
+            let r = p.s.row_range(e);
+            let sum: f64 = sl[r].iter().sum();
+            assert_eq!(sum, 2.0);
+        }
+    }
+
+    #[test]
+    fn negative_weights_are_skipped() {
+        let p = problem();
+        let w = vec![-1.0f64; p.s.nnz()];
+        let (d, sl) = solve_row_matchings(&p, &w);
+        assert!(d.iter().all(|&v| v == 0.0));
+        assert!(sl.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn respects_matching_constraint_within_row() {
+        let p = problem();
+        let (_, sl) = solve_row_matchings(&p, &vec![1.0; p.s.nnz()]);
+        for e in 0..p.l.num_edges() {
+            let r = p.s.row_range(e);
+            let cols = p.s.row_cols(e);
+            let mut seen_j = std::collections::HashSet::new();
+            let mut seen_jp = std::collections::HashSet::new();
+            for (k, &f) in cols.iter().enumerate() {
+                if sl[r.start + k] == 1.0 {
+                    let (j, jp) = p.l.endpoints(f as usize);
+                    assert!(seen_j.insert(j), "duplicate j in row {e}");
+                    assert!(seen_jp.insert(jp), "duplicate j' in row {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_matches_selected_weight_sum() {
+        let p = problem();
+        let w: Vec<f64> = (0..p.s.nnz()).map(|i| ((i * 7) % 5) as f64 * 0.5).collect();
+        let (d, sl) = solve_row_matchings(&p, &w);
+        for e in 0..p.l.num_edges() {
+            let r = p.s.row_range(e);
+            let sum: f64 = (r.clone()).map(|idx| sl[idx] * w[idx]).sum();
+            assert!((sum - d[e]).abs() < 1e-12, "row {e}: {sum} vs {}", d[e]);
+        }
+    }
+
+    #[test]
+    fn row_values_are_optimal_vs_exhaustive() {
+        // Cross-check each row against the brute-force matcher on the
+        // row's local subproblem.
+        use netalign_matching::exact::brute_force_matching;
+        let p = problem();
+        let w: Vec<f64> = (0..p.s.nnz()).map(|i| 0.25 + ((i * 13) % 7) as f64).collect();
+        let (d, _) = solve_row_matchings(&p, &w);
+        for e in 0..p.l.num_edges() {
+            let range = p.s.row_range(e);
+            let cols = p.s.row_cols(e);
+            if cols.is_empty() {
+                continue;
+            }
+            // Build the row's subproblem explicitly.
+            let mut js: Vec<u32> = cols.iter().map(|&f| p.l.endpoints(f as usize).0).collect();
+            let mut jps: Vec<u32> = cols.iter().map(|&f| p.l.endpoints(f as usize).1).collect();
+            let mut ujs = js.clone();
+            ujs.sort_unstable();
+            ujs.dedup();
+            let mut ujps = jps.clone();
+            ujps.sort_unstable();
+            ujps.dedup();
+            js.iter_mut().for_each(|j| *j = ujs.binary_search(j).unwrap() as u32);
+            jps.iter_mut().for_each(|j| *j = ujps.binary_search(j).unwrap() as u32);
+            let entries: Vec<(u32, u32, f64)> = (0..cols.len())
+                .map(|k| (js[k], jps[k], w[range.start + k]))
+                .collect();
+            let local = BipartiteGraph::from_entries(ujs.len(), ujps.len(), entries);
+            let (opt, _) = brute_force_matching(&local, local.weights());
+            assert!((d[e] - opt).abs() < 1e-9, "row {e}: {} vs brute {opt}", d[e]);
+        }
+    }
+}

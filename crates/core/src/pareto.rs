@@ -1,0 +1,111 @@
+//! Pareto-frontier extraction over (weight, overlap) points — the
+//! analytical companion to the paper's Figure 3 scatter: for each
+//! method, the frontier shows which (wᵀx, xᵀSx/2) trade-offs the
+//! parameter sweep can actually reach.
+
+/// A labelled scatter point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScatterPoint {
+    /// Matching weight `wᵀx`.
+    pub weight: f64,
+    /// Overlap count `xᵀSx/2`.
+    pub overlap: f64,
+    /// Free-form label (e.g. "BP α=1 β=2 γ=0.99").
+    pub label: String,
+}
+
+/// The subset of points not dominated by any other point (maximizing
+/// both coordinates), sorted by descending weight. Ties are kept.
+pub fn pareto_frontier(points: &[ScatterPoint]) -> Vec<ScatterPoint> {
+    let mut sorted: Vec<&ScatterPoint> = points.iter().collect();
+    // Sort by weight desc, then overlap desc.
+    sorted.sort_by(|a, b| {
+        b.weight
+            .total_cmp(&a.weight)
+            .then(b.overlap.total_cmp(&a.overlap))
+    });
+    let mut frontier: Vec<ScatterPoint> = Vec::new();
+    let mut best_overlap = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.overlap > best_overlap {
+            frontier.push(p.clone());
+            best_overlap = p.overlap;
+        } else if p.overlap == best_overlap
+            && frontier.last().is_some_and(|l| l.weight == p.weight)
+        {
+            frontier.push(p.clone()); // keep exact ties
+        }
+    }
+    frontier
+}
+
+/// True when `a` dominates `b` (at least as good in both coordinates,
+/// strictly better in one).
+pub fn dominates(a: &ScatterPoint, b: &ScatterPoint) -> bool {
+    a.weight >= b.weight
+        && a.overlap >= b.overlap
+        && (a.weight > b.weight || a.overlap > b.overlap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(w: f64, o: f64) -> ScatterPoint {
+        ScatterPoint { weight: w, overlap: o, label: String::new() }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = vec![pt(3.0, 1.0), pt(2.0, 2.0), pt(1.0, 3.0), pt(1.5, 1.5)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 3);
+        assert!(!f.contains(&pt(1.5, 1.5)));
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_weight_desc() {
+        let pts = vec![pt(1.0, 3.0), pt(3.0, 1.0), pt(2.0, 2.0)];
+        let f = pareto_frontier(&pts);
+        let ws: Vec<f64> = f.iter().map(|p| p.weight).collect();
+        assert_eq!(ws, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn single_dominant_point_wins() {
+        let pts = vec![pt(5.0, 5.0), pt(4.0, 4.0), pt(3.0, 1.0)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f, vec![pt(5.0, 5.0)]);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&pt(2.0, 2.0), &pt(1.0, 2.0)));
+        assert!(!dominates(&pt(2.0, 1.0), &pt(1.0, 2.0)));
+        assert!(!dominates(&pt(2.0, 2.0), &pt(2.0, 2.0)));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_non_dominating() {
+        let pts: Vec<ScatterPoint> = (0..30)
+            .map(|i| pt(((i * 7) % 13) as f64, ((i * 5) % 11) as f64))
+            .collect();
+        let f = pareto_frontier(&pts);
+        for a in &f {
+            for b in &f {
+                assert!(!dominates(a, b) || a == b || !dominates(b, a));
+            }
+        }
+        // And no input point dominates a frontier point.
+        for p in &pts {
+            for fp in &f {
+                assert!(!dominates(p, fp), "{p:?} dominates frontier {fp:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The network alignment problem instance.
+
+use crate::squares::SquaresMatrix;
+use netalign_graph::{BipartiteGraph, Graph};
+
+/// A network alignment instance: graphs `A` and `B` plus the weighted
+/// bipartite candidate graph `L` between their vertex sets. The squares
+/// matrix `S` is built eagerly (it is needed by every heuristic and its
+/// structure never changes).
+#[derive(Clone, Debug)]
+pub struct NetAlignProblem {
+    /// First input graph (`V_A` is the left side of `L`).
+    pub a: Graph,
+    /// Second input graph (`V_B` is the right side of `L`).
+    pub b: Graph,
+    /// Candidate matches with similarity weights `w`.
+    pub l: BipartiteGraph,
+    /// The squares matrix `S` over the edges of `L`.
+    pub s: SquaresMatrix,
+}
+
+impl NetAlignProblem {
+    /// Build a problem instance, constructing `S` in parallel.
+    ///
+    /// # Panics
+    /// Panics if `L`'s sides don't match the vertex counts of `A`/`B`.
+    pub fn new(a: Graph, b: Graph, l: BipartiteGraph) -> Self {
+        assert_eq!(
+            l.num_left(),
+            a.num_vertices(),
+            "L's left side must index V_A"
+        );
+        assert_eq!(
+            l.num_right(),
+            b.num_vertices(),
+            "L's right side must index V_B"
+        );
+        let s = SquaresMatrix::build(&a, &b, &l);
+        Self { a, b, l, s }
+    }
+
+    /// Number of candidate matches `|E_L|`.
+    pub fn num_candidates(&self) -> usize {
+        self.l.num_edges()
+    }
+
+    /// Shape statistics in the format of the paper's Table II:
+    /// `(|V_A|, |V_B|, |E_L|, nnz(S))`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (
+            self.a.num_vertices(),
+            self.b.num_vertices(),
+            self.l.num_edges(),
+            self.s.nnz(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_reports_table2_stats() {
+        let a = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let b = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let l = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+        );
+        let p = NetAlignProblem::new(a, b, l);
+        let (na, nb, el, nnz) = p.shape();
+        assert_eq!((na, nb, el), (3, 3, 3));
+        // overlapping pairs: ((0,0),(1,1)) and ((1,1),(2,2)), stored
+        // symmetrically -> 4 non-zeros.
+        assert_eq!(nnz, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "left side")]
+    fn size_mismatch_panics() {
+        let a = Graph::empty(2);
+        let b = Graph::empty(3);
+        let l = BipartiteGraph::from_entries(3, 3, vec![(0, 0, 1.0)]);
+        let _ = NetAlignProblem::new(a, b, l);
+    }
+}

@@ -1,0 +1,133 @@
+//! Alignment run results.
+
+use crate::timing::StepTimers;
+use netalign_matching::Matching;
+
+/// Per-iteration record (kept when `record_history` is set).
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord {
+    /// Iteration index (1-based, matching the paper's pseudo-code).
+    pub iteration: usize,
+    /// Objective of the rounded solution at this iteration (best of the
+    /// iterates rounded here).
+    pub objective: f64,
+    /// Matching weight `wᵀx` of that solution.
+    pub weight: f64,
+    /// Overlap `xᵀSx/2` of that solution.
+    pub overlap: f64,
+    /// MR only: the Lagrangian upper bound `w̄ᵀx`.
+    pub upper_bound: Option<f64>,
+}
+
+/// The outcome of a BP or MR run.
+#[derive(Clone, Debug)]
+pub struct AlignmentResult {
+    /// The best rounded matching found.
+    pub matching: Matching,
+    /// Its objective `α·weight + β·overlap`.
+    pub objective: f64,
+    /// Its matching weight `wᵀx`.
+    pub weight: f64,
+    /// Its overlap count `xᵀSx/2`.
+    pub overlap: f64,
+    /// Iteration at which the best solution appeared.
+    pub best_iteration: usize,
+    /// MR only: best (smallest) upper bound seen; `objective /
+    /// upper_bound` is an a-posteriori approximation guarantee.
+    pub upper_bound: Option<f64>,
+    /// Per-iteration history (empty unless requested).
+    pub history: Vec<IterationRecord>,
+    /// Per-step wall-clock breakdown.
+    pub timers: StepTimers,
+}
+
+impl AlignmentResult {
+    /// MR's a-posteriori approximation ratio `objective / upper_bound`,
+    /// when an upper bound is available and positive.
+    pub fn approximation_ratio(&self) -> Option<f64> {
+        self.upper_bound
+            .filter(|&u| u > 0.0)
+            .map(|u| self.objective / u)
+    }
+
+    /// Write the per-iteration history as CSV
+    /// (`iteration,objective,weight,overlap,upper_bound`), for external
+    /// plotting of the convergence traces behind Figures 2–3.
+    pub fn write_history_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "iteration,objective,weight,overlap,upper_bound")?;
+        for rec in &self.history {
+            match rec.upper_bound {
+                Some(ub) => writeln!(
+                    w,
+                    "{},{},{},{},{}",
+                    rec.iteration, rec.objective, rec.weight, rec.overlap, ub
+                )?,
+                None => writeln!(
+                    w,
+                    "{},{},{},{},",
+                    rec.iteration, rec.objective, rec.weight, rec.overlap
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_csv_roundtrips_fields() {
+        let r = AlignmentResult {
+            matching: Matching::empty(1, 1),
+            objective: 8.0,
+            weight: 2.0,
+            overlap: 3.0,
+            best_iteration: 2,
+            upper_bound: None,
+            history: vec![
+                IterationRecord {
+                    iteration: 1,
+                    objective: 5.0,
+                    weight: 1.0,
+                    overlap: 2.0,
+                    upper_bound: Some(9.5),
+                },
+                IterationRecord {
+                    iteration: 2,
+                    objective: 8.0,
+                    weight: 2.0,
+                    overlap: 3.0,
+                    upper_bound: None,
+                },
+            ],
+            timers: StepTimers::new(),
+        };
+        let mut buf = Vec::new();
+        r.write_history_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "iteration,objective,weight,overlap,upper_bound");
+        assert_eq!(lines[1], "1,5,1,2,9.5");
+        assert_eq!(lines[2], "2,8,2,3,");
+    }
+
+    #[test]
+    fn approximation_ratio() {
+        let r = AlignmentResult {
+            matching: Matching::empty(1, 1),
+            objective: 8.0,
+            weight: 2.0,
+            overlap: 3.0,
+            best_iteration: 5,
+            upper_bound: Some(10.0),
+            history: Vec::new(),
+            timers: StepTimers::new(),
+        };
+        assert_eq!(r.approximation_ratio(), Some(0.8));
+        let r2 = AlignmentResult { upper_bound: None, ..r };
+        assert_eq!(r2.approximation_ratio(), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The squares matrix `S`.
+//!
+//! Rows and columns of `S` are indexed by the edges of `L` (in the
+//! global edge order). `S[e, f] = 1` for `e = (i,i')`, `f = (j,j')`
+//! exactly when `(i,j) ∈ E_A` and `(i',j') ∈ E_B` — matching both `e`
+//! and `f` then *overlaps* that pair of edges. `S` is structurally and
+//! numerically symmetric and has an empty diagonal (simple graphs have
+//! no self-loops), so the number of overlapped edges for an indicator
+//! `x` is `xᵀSx / 2`.
+//!
+//! `S`'s structure is fixed for the lifetime of a problem. Iteration
+//! matrices over the same pattern (`S^{(k)}`, `U^{(k)}`, `F`, `S_L`)
+//! are plain value arrays of length [`SquaresMatrix::nnz`], and the
+//! transpose is realized by the precomputed value permutation
+//! (the paper's §IV.A trick).
+
+use netalign_graph::csr::CsrMatrix;
+use netalign_graph::permutation::Permutation;
+use netalign_graph::{BipartiteGraph, EdgeId, Graph, VertexId};
+use rayon::prelude::*;
+
+/// The squares matrix: fixed CSR pattern over `E_L × E_L` with the
+/// transpose permutation precomputed.
+#[derive(Clone, Debug)]
+pub struct SquaresMatrix {
+    pattern: CsrMatrix,
+    transpose_perm: Permutation,
+}
+
+impl SquaresMatrix {
+    /// Enumerate all squares between `A`, `B`, `L` in parallel and
+    /// assemble the CSR pattern.
+    ///
+    /// For each edge `e = (i,i')` of `L`, the candidate partners are
+    /// pairs `(j, j')` with `j ∈ adj_A(i)`, `j' ∈ adj_B(i')` and
+    /// `(j,j') ∈ E_L`. We iterate the smaller adjacency against the
+    /// other side's `L` lookup.
+    pub fn build(a: &Graph, b: &Graph, l: &BipartiteGraph) -> Self {
+        assert!(
+            l.num_edges() < u32::MAX as usize - 1,
+            "edge ids must fit in u32"
+        );
+        // Parallel over rows (edges of L); each row's column list is
+        // produced sorted because left_edges / neighbor lists are sorted.
+        let rows: Vec<Vec<VertexId>> = (0..l.num_edges())
+            .into_par_iter()
+            .map(|e| {
+                let (i, ip) = l.endpoints(e);
+                let mut cols: Vec<VertexId> = Vec::new();
+                for &j in a.neighbors(i) {
+                    for &jp in b.neighbors(ip) {
+                        if let Some(f) = l.edge_id(j, jp) {
+                            debug_assert_ne!(f, e, "squares cannot be diagonal");
+                            cols.push(f as VertexId);
+                        }
+                    }
+                }
+                cols.sort_unstable();
+                cols
+            })
+            .collect();
+
+        let m = l.num_edges();
+        let mut rowptr = vec![0usize; m + 1];
+        for (e, r) in rows.iter().enumerate() {
+            rowptr[e + 1] = rowptr[e] + r.len();
+        }
+        let nnz = rowptr[m];
+        let mut colidx = Vec::with_capacity(nnz);
+        for r in &rows {
+            colidx.extend_from_slice(r);
+        }
+        let vals = vec![1.0f64; nnz];
+        let pattern = CsrMatrix::from_raw(m, m, rowptr, colidx, vals);
+        debug_assert!(pattern.is_structurally_symmetric());
+        let transpose_perm = pattern.transpose_permutation();
+        Self { pattern, transpose_perm }
+    }
+
+    /// Number of stored entries (each overlapping pair counts twice —
+    /// the symmetric storage convention of the paper's Table II).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.pattern.nnz()
+    }
+
+    /// Number of rows/columns (`|E_L|`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.pattern.nrows()
+    }
+
+    /// The underlying CSR pattern (values all 1.0).
+    #[inline]
+    pub fn pattern(&self) -> &CsrMatrix {
+        &self.pattern
+    }
+
+    /// Row pointer array.
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        self.pattern.rowptr()
+    }
+
+    /// Column indices (edge ids of `L`).
+    #[inline]
+    pub fn colidx(&self) -> &[VertexId] {
+        self.pattern.colidx()
+    }
+
+    /// Entry-index range of row `e`.
+    #[inline]
+    pub fn row_range(&self, e: EdgeId) -> std::ops::Range<usize> {
+        self.pattern.row_range(e)
+    }
+
+    /// Column ids of row `e`.
+    #[inline]
+    pub fn row_cols(&self, e: EdgeId) -> &[VertexId] {
+        self.pattern.row_cols(e)
+    }
+
+    /// The transpose value permutation: for a value array `v` over this
+    /// pattern, `transpose(v)[k] = v[perm[k]]`.
+    #[inline]
+    pub fn transpose_perm(&self) -> &Permutation {
+        &self.transpose_perm
+    }
+
+    /// Gather a transposed value array: `out[k] = vals[perm[k]]`
+    /// (parallel).
+    pub fn transpose_vals_into(&self, vals: &[f64], out: &mut [f64]) {
+        assert_eq!(vals.len(), self.nnz());
+        assert_eq!(out.len(), self.nnz());
+        let perm = self.transpose_perm.as_slice();
+        out.par_iter_mut()
+            .zip(perm.par_iter())
+            .for_each(|(o, &p)| *o = vals[p]);
+    }
+
+    /// Fresh value array over the pattern, filled with `init`.
+    pub fn new_vals(&self, init: f64) -> Vec<f64> {
+        vec![init; self.nnz()]
+    }
+
+    /// `xᵀ S x` for an indicator (or real) vector `x` over `E_L`,
+    /// computed in parallel. The overlap count is half of this.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim());
+        (0..self.dim())
+            .into_par_iter()
+            .map(|e| {
+                if x[e] == 0.0 {
+                    return 0.0;
+                }
+                let mut acc = 0.0;
+                for &f in self.row_cols(e) {
+                    acc += x[f as usize];
+                }
+                acc * x[e]
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles with identity L plus one extra candidate.
+    fn triangle_problem() -> (Graph, Graph, BipartiteGraph) {
+        let a = Graph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let b = Graph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let l = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 0.5)],
+        );
+        (a, b, l)
+    }
+
+    #[test]
+    fn squares_of_triangles() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        assert_eq!(s.dim(), 4);
+        // Identity pairs: ((0,0),(1,1)), ((0,0),(2,2)), ((1,1),(2,2))
+        // each stored twice = 6. Extra edge (0,1): pairs with (j,j')
+        // where j ∈ {1,2}, j' ∈ {0,2} and (j,j') ∈ L: (2,2) only -> 2 more.
+        // Also (0,1) with (1,0)? (1,0) not in L. Total 8.
+        assert_eq!(s.nnz(), 8);
+        let e01 = l.edge_id(0, 1).unwrap();
+        let e22 = l.edge_id(2, 2).unwrap();
+        assert!(s.row_cols(e01).contains(&(e22 as u32)));
+    }
+
+    #[test]
+    fn pattern_is_symmetric_with_empty_diagonal() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        assert!(s.pattern().is_structurally_symmetric());
+        for e in 0..s.dim() {
+            assert!(!s.row_cols(e).contains(&(e as u32)));
+        }
+    }
+
+    #[test]
+    fn quadratic_form_counts_overlaps_twice() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        // identity matching indicator
+        let mut x = vec![0.0; 4];
+        for i in 0..3 {
+            x[l.edge_id(i, i).unwrap()] = 1.0;
+        }
+        // 3 overlapped edges -> x'Sx = 6
+        assert_eq!(s.quadratic_form(&x), 6.0);
+    }
+
+    #[test]
+    fn transpose_vals_roundtrip() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        let vals: Vec<f64> = (0..s.nnz()).map(|i| i as f64).collect();
+        let mut t = vec![0.0; s.nnz()];
+        s.transpose_vals_into(&vals, &mut t);
+        let mut back = vec![0.0; s.nnz()];
+        s.transpose_vals_into(&t, &mut back);
+        assert_eq!(vals, back); // transpose is an involution
+    }
+
+    #[test]
+    fn empty_graphs_give_empty_s() {
+        let a = Graph::empty(2);
+        let b = Graph::empty(2);
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]);
+        let s = SquaresMatrix::build(&a, &b, &l);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.quadratic_form(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn square_needs_both_graph_edges() {
+        // Edge only in A, not B: no squares.
+        let a = Graph::from_edges(2, vec![(0, 1)]);
+        let b = Graph::empty(2);
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]);
+        let s = SquaresMatrix::build(&a, &b, &l);
+        assert_eq!(s.nnz(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-step wall-clock accounting for the scalability-bottleneck
+//! experiments (paper §VIII.C, Figures 6 and 7).
+
+use std::time::{Duration, Instant};
+
+/// The instrumented steps of both aligners. MR uses the first five
+/// (Listing 1's annotations), BP the last six (Listing 2's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    // -- Klau's MR method --
+    /// Step 1: one small exact matching per row of S.
+    RowMatch,
+    /// Step 2: `w̄ = αw + d`.
+    Daxpy,
+    /// Step 3: the full bipartite matching of `w̄` (or a BP rounding).
+    Match,
+    /// Step 4: objective / bound evaluation.
+    ObjectiveEval,
+    /// Step 5: Lagrange multiplier update.
+    UpdateU,
+    // -- BP --
+    /// Step 1: `F = bound₀^β (βS + S⁽ᵏ⁾ᵀ)`.
+    ComputeF,
+    /// Step 2: `d = αw + Fe`.
+    ComputeD,
+    /// Step 3: the two othermax sweeps.
+    OtherMax,
+    /// Step 4: `S⁽ᵏ⁾ = diag(y+z−d) S − F`.
+    UpdateS,
+    /// Step 5: the `γᵏ` damping interpolation.
+    Damping,
+}
+
+impl Step {
+    /// All steps, for iteration in reports.
+    pub const ALL: [Step; 10] = [
+        Step::RowMatch,
+        Step::Daxpy,
+        Step::Match,
+        Step::ObjectiveEval,
+        Step::UpdateU,
+        Step::ComputeF,
+        Step::ComputeD,
+        Step::OtherMax,
+        Step::UpdateS,
+        Step::Damping,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Step::RowMatch => "row-match",
+            Step::Daxpy => "daxpy",
+            Step::Match => "match",
+            Step::ObjectiveEval => "objective",
+            Step::UpdateU => "update-u",
+            Step::ComputeF => "compute-f",
+            Step::ComputeD => "compute-d",
+            Step::OtherMax => "othermax",
+            Step::UpdateS => "update-s",
+            Step::Damping => "damping",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Self::ALL.iter().position(|s| s == self).unwrap()
+    }
+}
+
+/// Accumulated wall-clock per step.
+#[derive(Clone, Debug, Default)]
+pub struct StepTimers {
+    acc: [Duration; 10],
+}
+
+impl StepTimers {
+    /// Fresh zeroed timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure, attributing its wall-clock to `step`.
+    pub fn time<T>(&mut self, step: Step, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.acc[step.index()] += start.elapsed();
+        out
+    }
+
+    /// Add an externally measured duration to a step.
+    pub fn add(&mut self, step: Step, d: Duration) {
+        self.acc[step.index()] += d;
+    }
+
+    /// Accumulated time of one step.
+    pub fn get(&self, step: Step) -> Duration {
+        self.acc[step.index()]
+    }
+
+    /// Total across all steps.
+    pub fn total(&self) -> Duration {
+        self.acc.iter().sum()
+    }
+
+    /// `(step-name, seconds, share-of-total)` rows for non-zero steps,
+    /// ready for the Figure 6/7 breakdown tables.
+    pub fn report(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total().as_secs_f64();
+        Step::ALL
+            .iter()
+            .filter(|s| !self.get(**s).is_zero())
+            .map(|s| {
+                let secs = self.get(*s).as_secs_f64();
+                (s.name(), secs, if total > 0.0 { secs / total } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Merge another timer set into this one.
+    pub fn merge(&mut self, other: &StepTimers) {
+        for (a, b) in self.acc.iter_mut().zip(other.acc.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates() {
+        let mut t = StepTimers::new();
+        let v = t.time(Step::Daxpy, || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t.get(Step::Daxpy) > Duration::ZERO);
+        assert_eq!(t.get(Step::Match), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_shares_sum_to_one() {
+        let mut t = StepTimers::new();
+        t.add(Step::RowMatch, Duration::from_millis(30));
+        t.add(Step::Match, Duration::from_millis(70));
+        let rep = t.report();
+        assert_eq!(rep.len(), 2);
+        let share_sum: f64 = rep.iter().map(|r| r.2).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut t1 = StepTimers::new();
+        t1.add(Step::OtherMax, Duration::from_millis(5));
+        let mut t2 = StepTimers::new();
+        t2.add(Step::OtherMax, Duration::from_millis(7));
+        t1.merge(&t2);
+        assert_eq!(t1.get(Step::OtherMax), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Step::RowMatch.name(), "row-match");
+        assert_eq!(Step::Damping.name(), "damping");
+        assert_eq!(Step::ALL.len(), 10);
+    }
+}

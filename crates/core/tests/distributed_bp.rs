@@ -1,0 +1,110 @@
+//! The distributed BP implementation must match shared-memory BP
+//! bit-for-bit (same kernels, same fp order, same unique LD matching).
+
+use netalign_core::bp::distributed::distributed_belief_propagation;
+use netalign_core::bp::belief_propagation;
+use netalign_core::config::AlignConfig;
+use netalign_core::problem::NetAlignProblem;
+use netalign_data::synthetic::{power_law_alignment, PowerLawParams};
+use netalign_matching::MatcherKind;
+
+fn instance(seed: u64) -> NetAlignProblem {
+    power_law_alignment(&PowerLawParams {
+        n: 80,
+        expected_degree: 5.0,
+        seed,
+        ..Default::default()
+    })
+    .problem
+}
+
+#[test]
+fn matches_shared_memory_bp_exactly() {
+    let p = instance(3);
+    let cfg = AlignConfig {
+        iterations: 10,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+    let shared = belief_propagation(&p, &cfg);
+    for ranks in [1, 2, 3, 5] {
+        let dist = distributed_belief_propagation(&p, &cfg, ranks);
+        assert_eq!(dist.objective, shared.objective, "ranks {ranks}");
+        assert_eq!(dist.matching, shared.matching, "ranks {ranks}");
+        assert_eq!(dist.best_iteration, shared.best_iteration, "ranks {ranks}");
+    }
+}
+
+#[test]
+fn history_matches_shared_memory() {
+    let p = instance(7);
+    let cfg = AlignConfig {
+        iterations: 6,
+        batch: 3,
+        record_history: true,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+    let shared = belief_propagation(&p, &cfg);
+    let dist = distributed_belief_propagation(&p, &cfg, 4);
+    assert_eq!(shared.history.len(), dist.history.len());
+    for (a, b) in shared.history.iter().zip(dist.history.iter()) {
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.objective, b.objective);
+    }
+}
+
+#[test]
+fn more_ranks_than_left_vertices() {
+    let p = instance(9);
+    let cfg = AlignConfig {
+        iterations: 3,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+    let dist = distributed_belief_propagation(&p, &cfg, 1000);
+    assert!(dist.matching.is_valid(&p.l));
+}
+
+mod distributed_mr {
+    use super::instance;
+    use netalign_core::config::AlignConfig;
+    use netalign_core::mr::distributed::distributed_matching_relaxation;
+    use netalign_core::mr::matching_relaxation;
+    use netalign_matching::MatcherKind;
+
+    #[test]
+    fn matches_shared_memory_mr_exactly() {
+        let p = instance(13);
+        let cfg = AlignConfig {
+            iterations: 8,
+            matcher: MatcherKind::ParallelLocalDominant,
+            ..Default::default()
+        };
+        let shared = matching_relaxation(&p, &cfg);
+        for ranks in [1, 2, 4] {
+            let dist = distributed_matching_relaxation(&p, &cfg, ranks);
+            assert_eq!(dist.objective, shared.objective, "ranks {ranks}");
+            assert_eq!(dist.matching, shared.matching, "ranks {ranks}");
+            assert_eq!(dist.upper_bound, shared.upper_bound, "ranks {ranks}");
+        }
+    }
+
+    #[test]
+    fn history_matches_shared_memory_mr() {
+        let p = instance(17);
+        let cfg = AlignConfig {
+            iterations: 5,
+            record_history: true,
+            matcher: MatcherKind::ParallelLocalDominant,
+            ..Default::default()
+        };
+        let shared = matching_relaxation(&p, &cfg);
+        let dist = distributed_matching_relaxation(&p, &cfg, 3);
+        assert_eq!(shared.history.len(), dist.history.len());
+        for (a, b) in shared.history.iter().zip(dist.history.iter()) {
+            assert_eq!(a.objective, b.objective);
+            assert_eq!(a.upper_bound, b.upper_bound);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the core alignment machinery.
+
+use netalign_core::bp::othermax::{column_positions, othermaxcol_into, othermaxrow_into};
+use netalign_core::objective::{evaluate_indicator, evaluate_matching};
+use netalign_core::problem::NetAlignProblem;
+use netalign_core::squares::SquaresMatrix;
+use netalign_graph::{BipartiteGraph, Graph};
+use netalign_matching::{max_weight_matching, MatcherKind};
+use proptest::prelude::*;
+
+/// Strategy: a small random alignment problem.
+fn arb_problem() -> impl Strategy<Value = NetAlignProblem> {
+    (3usize..9, 3usize..9).prop_flat_map(|(na, nb)| {
+        let a_edges = proptest::collection::vec((0..na as u32, 0..na as u32), 0..2 * na);
+        let b_edges = proptest::collection::vec((0..nb as u32, 0..nb as u32), 0..2 * nb);
+        let l_entries =
+            proptest::collection::vec((0..na as u32, 0..nb as u32, 0.01f64..4.0), 1..na * nb);
+        (a_edges, b_edges, l_entries).prop_map(move |(ae, be, le)| {
+            let a = Graph::from_edges(na, ae.into_iter().filter(|(u, v)| u != v));
+            let b = Graph::from_edges(nb, be.into_iter().filter(|(u, v)| u != v));
+            let l = BipartiteGraph::from_entries(na, nb, le);
+            NetAlignProblem::new(a, b, l)
+        })
+    })
+}
+
+/// Oracle: count squares by exhaustive enumeration.
+fn squares_oracle(p: &NetAlignProblem) -> usize {
+    let mut count = 0;
+    for (i, ip, _) in p.l.edge_iter() {
+        for (j, jp, f) in p.l.edge_iter() {
+            let e = p.l.edge_id(i, ip).unwrap();
+            if e != f && p.a.has_edge(i, j) && p.b.has_edge(ip, jp) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn squares_matrix_matches_exhaustive_enumeration(p in arb_problem()) {
+        prop_assert_eq!(p.s.nnz(), squares_oracle(&p));
+        // symmetry + empty diagonal
+        prop_assert!(p.s.pattern().is_structurally_symmetric());
+        for e in 0..p.l.num_edges() {
+            prop_assert!(!p.s.row_cols(e).contains(&(e as u32)));
+        }
+    }
+
+    #[test]
+    fn objective_paths_agree_for_every_matcher(p in arb_problem()) {
+        for kind in [MatcherKind::Exact, MatcherKind::ParallelLocalDominant] {
+            let m = max_weight_matching(&p.l, p.l.weights(), kind);
+            let via_matching = evaluate_matching(&p, &m, 1.0, 2.0);
+            let via_indicator = evaluate_indicator(&p, &m.indicator(&p.l), 1.0, 2.0);
+            prop_assert!((via_matching.total - via_indicator.total).abs() < 1e-9);
+            prop_assert!(via_matching.overlap.fract() == 0.0 || via_matching.overlap.fract() == 0.5);
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_in_problem_orientation(p in arb_problem()) {
+        // Swapping A<->B and transposing L preserves objective values of
+        // the mirrored matching.
+        let m = max_weight_matching(&p.l, p.l.weights(), MatcherKind::Exact);
+        let v = evaluate_matching(&p, &m, 1.0, 2.0);
+        // mirrored problem
+        let lt = BipartiteGraph::from_entries(
+            p.l.num_right(),
+            p.l.num_left(),
+            p.l.edge_iter().map(|(a, b, e)| (b, a, p.l.weight(e))),
+        );
+        let pm = NetAlignProblem::new(p.b.clone(), p.a.clone(), lt);
+        let mm = netalign_matching::Matching::from_mates(
+            m.right_mates().to_vec(),
+            m.left_mates().to_vec(),
+        );
+        let vm = evaluate_matching(&pm, &mm, 1.0, 2.0);
+        prop_assert!((v.total - vm.total).abs() < 1e-9);
+        prop_assert!((v.overlap - vm.overlap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn othermax_row_oracle(p in arb_problem(), seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = p.l.num_edges();
+        let g: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let mut out = vec![0.0; m];
+        othermaxrow_into(&p.l, &g, &mut out, 1000);
+        for (a, _, e) in p.l.edge_iter() {
+            // brute-force: max over siblings in the same row
+            let best = p
+                .l
+                .left_edges(a)
+                .filter(|&(_, f)| f != e)
+                .map(|(_, f)| g[f])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let expect = best.max(0.0);
+            prop_assert!((out[e] - expect).abs() < 1e-12,
+                "edge {}: got {} want {}", e, out[e], expect);
+        }
+    }
+
+    #[test]
+    fn othermax_col_oracle(p in arb_problem(), seed in 100u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = p.l.num_edges();
+        let g: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let pos = column_positions(&p.l);
+        let mut out = vec![0.0; m];
+        othermaxcol_into(&p.l, &g, &pos, &mut out, 1000);
+        for (_, b, e) in p.l.edge_iter() {
+            let best = p
+                .l
+                .right_edges(b)
+                .filter(|&(_, f)| f != e)
+                .map(|(_, f)| g[f])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let expect = best.max(0.0);
+            prop_assert!((out[e] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_equals_dense(p in arb_problem(), seed in 200u64..260) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = p.l.num_edges();
+        let x: Vec<f64> = (0..m).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect();
+        let fast = p.s.quadratic_form(&x);
+        let mut slow = 0.0;
+        for e in 0..m {
+            for &f in p.s.row_cols(e) {
+                slow += x[e] * x[f as usize];
+            }
+        }
+        prop_assert!((fast - slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_perm_transposes_values(p in arb_problem(), seed in 300u64..360) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s: &SquaresMatrix = &p.s;
+        let vals: Vec<f64> = (0..s.nnz()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut t = vec![0.0; s.nnz()];
+        s.transpose_vals_into(&vals, &mut t);
+        // check entry (e,f) of transpose equals (f,e) of original
+        for e in 0..s.dim() {
+            let range = s.row_range(e);
+            for (off, &f) in s.row_cols(e).iter().enumerate() {
+                let orig_idx = s
+                    .pattern()
+                    .find_entry(f as usize, e as u32)
+                    .expect("symmetric pattern");
+                prop_assert_eq!(t[range.start + off], vals[orig_idx]);
+            }
+        }
+    }
+}

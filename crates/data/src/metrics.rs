@@ -1,0 +1,110 @@
+//! Recovery metrics against a planted correspondence, as used by the
+//! paper's Figure 2 (fraction of the reference objective, fraction of
+//! correct matches).
+
+use netalign_core::objective::{evaluate_matching, ObjectiveValue};
+use netalign_core::NetAlignProblem;
+use netalign_matching::Matching;
+
+/// Fraction of planted pairs that a matching recovers
+/// (`|{a : m(a) = planted(a)}| / |{a : planted(a) exists}|`).
+pub fn fraction_correct(m: &Matching, planted: &[Option<u32>]) -> f64 {
+    let total = planted.iter().filter(|p| p.is_some()).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let correct = planted
+        .iter()
+        .enumerate()
+        .filter(|&(a, &p)| p.is_some() && m.mate_of_left(a as u32) == p)
+        .count();
+    correct as f64 / total as f64
+}
+
+/// Objective value of the planted correspondence itself (the paper's
+/// "identity alignment" reference). Planted pairs missing from `L` are
+/// skipped — they cannot be part of any matching.
+pub fn reference_objective(
+    p: &NetAlignProblem,
+    planted: &[Option<u32>],
+    alpha: f64,
+    beta: f64,
+) -> ObjectiveValue {
+    let mut m = Matching::empty(p.l.num_left(), p.l.num_right());
+    let mut used_right = vec![false; p.l.num_right()];
+    for (a, &pb) in planted.iter().enumerate() {
+        if let Some(b) = pb {
+            if p.l.has_edge(a as u32, b) && !used_right[b as usize] {
+                m.add_pair(a as u32, b);
+                used_right[b as usize] = true;
+            }
+        }
+    }
+    evaluate_matching(p, &m, alpha, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netalign_graph::{BipartiteGraph, Graph};
+
+    fn problem() -> NetAlignProblem {
+        let a = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let b = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let l = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 1.0)],
+        );
+        NetAlignProblem::new(a, b, l)
+    }
+
+    #[test]
+    fn fraction_correct_counts_planted_hits() {
+        let planted = vec![Some(0), Some(1), Some(2)];
+        let mut m = Matching::empty(3, 3);
+        m.add_pair(0, 0);
+        m.add_pair(1, 1);
+        assert_eq!(fraction_correct(&m, &planted), 2.0 / 3.0);
+        m.add_pair(2, 2);
+        assert_eq!(fraction_correct(&m, &planted), 1.0);
+    }
+
+    #[test]
+    fn wrong_matches_do_not_count() {
+        let planted = vec![Some(0), Some(1), Some(2)];
+        let mut m = Matching::empty(3, 3);
+        m.add_pair(0, 1); // wrong
+        assert_eq!(fraction_correct(&m, &planted), 0.0);
+    }
+
+    #[test]
+    fn unplanted_vertices_are_ignored() {
+        let planted = vec![Some(0), None, None];
+        let mut m = Matching::empty(3, 3);
+        m.add_pair(0, 0);
+        m.add_pair(1, 2); // irrelevant
+        assert_eq!(fraction_correct(&m, &planted), 1.0);
+    }
+
+    #[test]
+    fn reference_objective_of_identity() {
+        let p = problem();
+        let planted = vec![Some(0), Some(1), Some(2)];
+        let v = reference_objective(&p, &planted, 1.0, 2.0);
+        assert_eq!(v.weight, 3.0);
+        assert_eq!(v.overlap, 2.0);
+        assert_eq!(v.total, 7.0);
+    }
+
+    #[test]
+    fn reference_objective_skips_missing_l_edges() {
+        let p = problem();
+        // planted pair (1, 0) is not an edge of L
+        let planted = vec![Some(0), Some(0), Some(2)];
+        let v = reference_objective(&p, &planted, 1.0, 1.0);
+        // only (0,0) and (2,2) realized, no overlap between them
+        assert_eq!(v.weight, 2.0);
+        assert_eq!(v.overlap, 0.0);
+    }
+}

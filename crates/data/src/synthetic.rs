@@ -1,0 +1,210 @@
+//! The paper's synthetic power-law quality benchmark (§VI.A).
+//!
+//! Recipe: generate a 400-node power-law base graph `G`; add random
+//! edges with probability 0.02 to two copies, giving `A` and `B`; build
+//! `L` from the identity correspondence plus noise pairs sampled with
+//! probability `p = d̄ / |V_A|`. Because `A` and `B` both descend from
+//! `G`, the identity alignment is a strong (usually near-optimal)
+//! reference point.
+
+use netalign_core::NetAlignProblem;
+use netalign_graph::generators::{
+    add_random_edges, expected_degree_to_probability, identity_plus_noise_l, power_law_graph,
+};
+
+/// Parameters of the synthetic benchmark. Defaults follow §VI.A /
+/// Figure 2: `n = 400`, perturbation 0.02, power-law exponent 2.5.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawParams {
+    /// Vertices in the base graph (and in both `A` and `B`).
+    pub n: usize,
+    /// Power-law exponent of the degree distribution.
+    pub exponent: f64,
+    /// Maximum degree when sampling the distribution.
+    pub max_degree: usize,
+    /// Probability of adding each absent edge to `A` and `B`.
+    pub p_edge: f64,
+    /// Expected number of random candidates per vertex in `L`
+    /// (the figure's x-axis, `d̄ = p·|V_A|`).
+    pub expected_degree: f64,
+    /// Weight of identity candidates in `L`.
+    pub id_weight: f64,
+    /// Weight of noise candidates in `L`.
+    pub noise_weight: f64,
+    /// Master seed; sub-seeds derive deterministically.
+    pub seed: u64,
+}
+
+impl Default for PowerLawParams {
+    fn default() -> Self {
+        Self {
+            n: 400,
+            exponent: 2.5,
+            max_degree: 40,
+            p_edge: 0.02,
+            expected_degree: 5.0,
+            id_weight: 1.0,
+            noise_weight: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated instance together with its planted correspondence
+/// (for the synthetic benchmark: the identity map).
+#[derive(Clone, Debug)]
+pub struct SyntheticInstance {
+    /// The alignment problem.
+    pub problem: NetAlignProblem,
+    /// `planted[a] = Some(b)` when left vertex `a` truly corresponds to
+    /// right vertex `b`.
+    pub planted: Vec<Option<u32>>,
+}
+
+/// Generate an Erdős–Rényi variant of the benchmark: the base graph is
+/// `G(n, p_base)` instead of a power-law graph. The companion paper
+/// [13] evaluates both families; ER bases lack hubs, which makes the
+/// `S` non-zero distribution much more regular and the alignment
+/// slightly easier at equal density.
+pub fn erdos_renyi_alignment(
+    n: usize,
+    p_base: f64,
+    params: &PowerLawParams,
+) -> SyntheticInstance {
+    let g = netalign_graph::generators::erdos_renyi(n, p_base, params.seed);
+    let a = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(1));
+    let b = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(2));
+    let p = expected_degree_to_probability(params.expected_degree, n);
+    let l = identity_plus_noise_l(
+        n,
+        n,
+        p,
+        params.id_weight,
+        params.noise_weight,
+        params.seed.wrapping_add(3),
+    );
+    let problem = NetAlignProblem::new(a, b, l);
+    let planted = (0..n as u32).map(Some).collect();
+    SyntheticInstance { problem, planted }
+}
+
+/// Generate the §VI.A benchmark instance.
+pub fn power_law_alignment(params: &PowerLawParams) -> SyntheticInstance {
+    let max_degree = params.max_degree.min(params.n.saturating_sub(1)).max(1);
+    let g = power_law_graph(params.n, params.exponent, max_degree, params.seed);
+    let a = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(1));
+    let b = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(2));
+    let p = expected_degree_to_probability(params.expected_degree, params.n);
+    let l = identity_plus_noise_l(
+        params.n,
+        params.n,
+        p,
+        params.id_weight,
+        params.noise_weight,
+        params.seed.wrapping_add(3),
+    );
+    let problem = NetAlignProblem::new(a, b, l);
+    let planted = (0..params.n as u32).map(Some).collect();
+    SyntheticInstance { problem, planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_instance_shape() {
+        let inst = power_law_alignment(&PowerLawParams {
+            n: 100,
+            expected_degree: 4.0,
+            ..Default::default()
+        });
+        let (na, nb, el, nnz) = inst.problem.shape();
+        assert_eq!((na, nb), (100, 100));
+        // identity (100) + noise (≈ 400)
+        assert!(el > 300 && el < 700, "el = {el}");
+        assert!(nnz > 0);
+        assert_eq!(inst.planted.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PowerLawParams { n: 60, seed: 9, ..Default::default() };
+        let i1 = power_law_alignment(&p);
+        let i2 = power_law_alignment(&p);
+        assert_eq!(i1.problem.l, i2.problem.l);
+        assert_eq!(i1.problem.a, i2.problem.a);
+        let i3 = power_law_alignment(&PowerLawParams { seed: 10, ..p });
+        assert_ne!(i1.problem.l, i3.problem.l);
+    }
+
+    #[test]
+    fn identity_edges_always_present() {
+        let inst = power_law_alignment(&PowerLawParams {
+            n: 50,
+            expected_degree: 10.0,
+            ..Default::default()
+        });
+        for i in 0..50u32 {
+            assert!(inst.problem.l.has_edge(i, i));
+        }
+    }
+
+    #[test]
+    fn er_family_builds_and_is_planted() {
+        let inst = erdos_renyi_alignment(
+            80,
+            0.05,
+            &PowerLawParams { expected_degree: 3.0, seed: 5, ..Default::default() },
+        );
+        assert_eq!(inst.problem.a.num_vertices(), 80);
+        assert!(inst.problem.a.num_edges() > 50);
+        for i in 0..80u32 {
+            assert!(inst.problem.l.has_edge(i, i));
+        }
+        // deterministic
+        let again = erdos_renyi_alignment(
+            80,
+            0.05,
+            &PowerLawParams { expected_degree: 3.0, seed: 5, ..Default::default() },
+        );
+        assert_eq!(inst.problem.l, again.problem.l);
+    }
+
+    #[test]
+    fn er_base_is_more_regular_than_power_law() {
+        use netalign_graph::stats::degree_summary;
+        let er = erdos_renyi_alignment(
+            300,
+            0.02,
+            &PowerLawParams { expected_degree: 4.0, seed: 9, ..Default::default() },
+        );
+        let pl = power_law_alignment(&PowerLawParams {
+            n: 300,
+            expected_degree: 4.0,
+            seed: 9,
+            exponent: 2.0,
+            max_degree: 80,
+            p_edge: 0.0,
+            ..Default::default()
+        });
+        let cv_er = degree_summary(&er.problem.a).cv;
+        let cv_pl = degree_summary(&pl.problem.a).cv;
+        assert!(cv_pl > cv_er, "power-law cv {cv_pl} should exceed ER cv {cv_er}");
+    }
+
+    #[test]
+    fn higher_dbar_means_denser_l() {
+        let lo = power_law_alignment(&PowerLawParams {
+            n: 100,
+            expected_degree: 2.0,
+            ..Default::default()
+        });
+        let hi = power_law_alignment(&PowerLawParams {
+            n: 100,
+            expected_degree: 20.0,
+            ..Default::default()
+        });
+        assert!(hi.problem.l.num_edges() > lo.problem.l.num_edges() * 3);
+    }
+}

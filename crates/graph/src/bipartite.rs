@@ -1,0 +1,382 @@
+//! The weighted bipartite graph `L` between `V_A` and `V_B`.
+//!
+//! `L` is the heart of the network-alignment formulation: a matching in
+//! `L` *is* an alignment. Every per-edge quantity the aligners
+//! manipulate (`w`, `x`, `y`, `z`, `d`, …) is a dense `Vec<f64>` indexed
+//! by this graph's **global edge ordering** (row-major by the `V_A`
+//! side, then by the `V_B` endpoint). The graph is stored as dual CSR so
+//! both "all edges of a vertex in `V_A`" and "all edges of a vertex in
+//! `V_B`" scans are contiguous; each CSR carries the global edge id so
+//! edge-indexed vectors can be read from either side.
+
+use crate::{EdgeId, VertexId};
+
+/// A weighted bipartite graph with a fixed global edge ordering.
+///
+/// ```
+/// use netalign_graph::BipartiteGraph;
+///
+/// let l = BipartiteGraph::from_entries(2, 2, vec![
+///     (0, 0, 1.0), (0, 1, 0.5), (1, 1, 2.0),
+/// ]);
+/// assert_eq!(l.num_edges(), 3);
+/// // Global edge ids are row-major: (0,0)=0, (0,1)=1, (1,1)=2.
+/// assert_eq!(l.edge_id(1, 1), Some(2));
+/// assert_eq!(l.left_neighbors(0), &[0, 1]);
+/// assert_eq!(l.right_edges(1).collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BipartiteGraph {
+    na: usize,
+    nb: usize,
+    /// Edge list in global order: `edges[e] = (a, b)`.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Edge weights in global order.
+    weights: Vec<f64>,
+    /// CSR over the `V_A` side. `a_ptr[a]..a_ptr[a+1]` indexes both
+    /// `a_adj` (the `V_B` endpoints, sorted) — and because the global
+    /// ordering is row-major, the global edge ids of vertex `a` are
+    /// exactly that same range.
+    a_ptr: Vec<usize>,
+    a_adj: Vec<VertexId>,
+    /// CSR over the `V_B` side with explicit global edge ids.
+    b_ptr: Vec<usize>,
+    b_adj: Vec<VertexId>,
+    b_eid: Vec<EdgeId>,
+}
+
+/// Builder collecting `(a, b, w)` entries; duplicates keep the maximum
+/// weight (alignment candidate lists occasionally repeat pairs).
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteGraphBuilder {
+    na: usize,
+    nb: usize,
+    entries: Vec<(VertexId, VertexId, f64)>,
+}
+
+impl BipartiteGraphBuilder {
+    /// Start a builder for a bipartite graph with `na` left and `nb`
+    /// right vertices.
+    pub fn new(na: usize, nb: usize) -> Self {
+        Self { na, nb, entries: Vec::new() }
+    }
+
+    /// Add a candidate match `(a, b)` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or `w` is not finite.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId, w: f64) -> &mut Self {
+        assert!((a as usize) < self.na, "left vertex {a} out of range ({} left)", self.na);
+        assert!((b as usize) < self.nb, "right vertex {b} out of range ({} right)", self.nb);
+        assert!(w.is_finite(), "edge weight must be finite, got {w}");
+        self.entries.push((a, b, w));
+        self
+    }
+
+    /// Number of entries added so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Finalize into a [`BipartiteGraph`].
+    pub fn build(mut self) -> BipartiteGraph {
+        self.entries
+            .sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)).then(x.2.total_cmp(&y.2)));
+        // keep max weight among duplicates: after the sort above the last
+        // duplicate has the largest weight, so dedup keeping the last.
+        let mut dedup: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.entries.len());
+        for e in self.entries {
+            match dedup.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => *last = e,
+                _ => dedup.push(e),
+            }
+        }
+        let m = dedup.len();
+        let mut edges = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        let mut a_ptr = vec![0usize; self.na + 1];
+        let mut a_adj = Vec::with_capacity(m);
+        for &(a, b, w) in &dedup {
+            edges.push((a, b));
+            weights.push(w);
+            a_adj.push(b);
+            a_ptr[a as usize + 1] = edges.len();
+        }
+        for i in 1..=self.na {
+            if a_ptr[i] < a_ptr[i - 1] {
+                a_ptr[i] = a_ptr[i - 1];
+            }
+        }
+        // Column-side CSR with explicit edge ids via counting sort.
+        let mut b_ptr = vec![0usize; self.nb + 1];
+        for &(_, b) in &edges {
+            b_ptr[b as usize + 1] += 1;
+        }
+        for i in 0..self.nb {
+            b_ptr[i + 1] += b_ptr[i];
+        }
+        let mut b_adj = vec![0 as VertexId; m];
+        let mut b_eid = vec![0 as EdgeId; m];
+        let mut next = b_ptr.clone();
+        for (eid, &(a, b)) in edges.iter().enumerate() {
+            let slot = next[b as usize];
+            next[b as usize] += 1;
+            b_adj[slot] = a;
+            b_eid[slot] = eid;
+        }
+        BipartiteGraph { na: self.na, nb: self.nb, edges, weights, a_ptr, a_adj, b_ptr, b_adj, b_eid }
+    }
+}
+
+impl BipartiteGraph {
+    /// Build from an explicit entry list (convenience wrapper).
+    pub fn from_entries(
+        na: usize,
+        nb: usize,
+        entries: impl IntoIterator<Item = (VertexId, VertexId, f64)>,
+    ) -> Self {
+        let mut b = BipartiteGraphBuilder::new(na, nb);
+        for (x, y, w) in entries {
+            b.add_edge(x, y, w);
+        }
+        b.build()
+    }
+
+    /// Number of left (`V_A`) vertices.
+    #[inline]
+    pub fn num_left(&self) -> usize {
+        self.na
+    }
+
+    /// Number of right (`V_B`) vertices.
+    #[inline]
+    pub fn num_right(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of edges, `|E_L|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(a, b)` endpoints of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e]
+    }
+
+    /// Weight vector `w` in global edge order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Weight of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.weights[e]
+    }
+
+    /// Global edge-id range of left vertex `a`; the `V_B` endpoints are
+    /// [`Self::left_neighbors`] over the same range.
+    #[inline]
+    pub fn left_range(&self, a: VertexId) -> std::ops::Range<EdgeId> {
+        self.a_ptr[a as usize]..self.a_ptr[a as usize + 1]
+    }
+
+    /// Sorted `V_B` endpoints of left vertex `a`.
+    #[inline]
+    pub fn left_neighbors(&self, a: VertexId) -> &[VertexId] {
+        &self.a_adj[self.left_range(a)]
+    }
+
+    /// Degree of left vertex `a`.
+    #[inline]
+    pub fn left_degree(&self, a: VertexId) -> usize {
+        self.left_range(a).len()
+    }
+
+    /// `(b_endpoint, edge_id)` pairs of left vertex `a`; edge ids are
+    /// consecutive because the global order is row-major.
+    pub fn left_edges(&self, a: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let r = self.left_range(a);
+        self.a_adj[r.clone()].iter().copied().zip(r)
+    }
+
+    /// Edge-slot range of right vertex `b` in the column CSR.
+    #[inline]
+    pub fn right_range(&self, b: VertexId) -> std::ops::Range<usize> {
+        self.b_ptr[b as usize]..self.b_ptr[b as usize + 1]
+    }
+
+    /// Sorted `V_A` endpoints of right vertex `b`.
+    #[inline]
+    pub fn right_neighbors(&self, b: VertexId) -> &[VertexId] {
+        &self.b_adj[self.right_range(b)]
+    }
+
+    /// Degree of right vertex `b`.
+    #[inline]
+    pub fn right_degree(&self, b: VertexId) -> usize {
+        self.right_range(b).len()
+    }
+
+    /// `(a_endpoint, edge_id)` pairs of right vertex `b`.
+    pub fn right_edges(&self, b: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let r = self.right_range(b);
+        self.b_adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.b_eid[r].iter().copied())
+    }
+
+    /// Global edge id of `(a, b)` if the edge exists (binary search on
+    /// the sorted left adjacency).
+    pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
+        let r = self.left_range(a);
+        self.a_adj[r.clone()].binary_search(&b).ok().map(|off| r.start + off)
+    }
+
+    /// True when `(a, b)` is a candidate match.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edge_id(a, b).is_some()
+    }
+
+    /// Iterate over `(a, b, edge_id)` in global order.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (VertexId, VertexId, EdgeId)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(a, b))| (a, b, e))
+    }
+
+    /// Replace the weight vector, e.g. after rescaling.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != num_edges()` or any weight is non-finite.
+    pub fn set_weights(&mut self, w: Vec<f64>) {
+        assert_eq!(w.len(), self.num_edges());
+        assert!(w.iter().all(|x| x.is_finite()), "weights must be finite");
+        self.weights = w;
+    }
+
+    /// Total weight of all edges (`eᵀw`).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// New graph keeping only the edges where `keep(a, b, w)` is true —
+    /// the candidate-pruning operation behind the paper's §IX
+    /// computational-steering loop ("removing potential matches from L
+    /// and recompute"). Edge ids are renumbered.
+    pub fn filter_edges(&self, mut keep: impl FnMut(VertexId, VertexId, f64) -> bool) -> Self {
+        let mut b = BipartiteGraphBuilder::new(self.na, self.nb);
+        for (x, y, e) in self.edge_iter() {
+            let w = self.weights[e];
+            if keep(x, y, w) {
+                b.add_edge(x, y, w);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        // a0 - b0 (1.0), a0 - b2 (2.0), a1 - b1 (3.0), a2 - b0 (4.0), a2 - b1 (5.0)
+        BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+        )
+    }
+
+    #[test]
+    fn global_order_is_row_major() {
+        let l = sample();
+        let ids: Vec<_> = l.edge_iter().collect();
+        assert_eq!(
+            ids,
+            vec![(0, 0, 0), (0, 2, 1), (1, 1, 2), (2, 0, 3), (2, 1, 4)]
+        );
+    }
+
+    #[test]
+    fn left_ranges_are_consecutive_edge_ids() {
+        let l = sample();
+        assert_eq!(l.left_range(0), 0..2);
+        assert_eq!(l.left_range(2), 3..5);
+        assert_eq!(l.left_neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn right_edges_carry_global_ids() {
+        let l = sample();
+        let b0: Vec<_> = l.right_edges(0).collect();
+        assert_eq!(b0, vec![(0, 0), (2, 3)]);
+        let b1: Vec<_> = l.right_edges(1).collect();
+        assert_eq!(b1, vec![(1, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn edge_id_lookup() {
+        let l = sample();
+        assert_eq!(l.edge_id(0, 2), Some(1));
+        assert_eq!(l.edge_id(2, 2), None);
+        assert!(l.has_edge(2, 1));
+    }
+
+    #[test]
+    fn duplicates_keep_max_weight() {
+        let l = BipartiteGraph::from_entries(1, 1, vec![(0, 0, 1.0), (0, 0, 7.0), (0, 0, 3.0)]);
+        assert_eq!(l.num_edges(), 1);
+        assert_eq!(l.weight(0), 7.0);
+    }
+
+    #[test]
+    fn degrees_and_weights() {
+        let l = sample();
+        assert_eq!(l.left_degree(0), 2);
+        assert_eq!(l.right_degree(1), 2);
+        assert_eq!(l.right_degree(2), 1);
+        assert_eq!(l.total_weight(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = BipartiteGraph::from_entries(2, 2, vec![(0, 3, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weight() {
+        let _ = BipartiteGraph::from_entries(1, 1, vec![(0, 0, f64::NAN)]);
+    }
+
+    #[test]
+    fn set_weights_replaces() {
+        let mut l = sample();
+        l.set_weights(vec![1.0; 5]);
+        assert_eq!(l.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn filter_edges_prunes_and_renumbers() {
+        let l = sample();
+        let pruned = l.filter_edges(|_, _, w| w >= 3.0);
+        assert_eq!(pruned.num_edges(), 3);
+        assert!(pruned.has_edge(1, 1));
+        assert!(!pruned.has_edge(0, 0));
+        // renumbered ids are contiguous row-major again
+        let ids: Vec<_> = pruned.edge_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_edges_keep_all_is_identity() {
+        let l = sample();
+        assert_eq!(l.filter_edges(|_, _, _| true), l);
+    }
+}

@@ -1,0 +1,429 @@
+//! Compressed-sparse-row matrices with fixed structure.
+//!
+//! The aligners in this workspace follow the paper's memory discipline
+//! (§IV.A): every sparse matrix keeps its non-zero *structure* fixed for
+//! the whole run, and iteration-varying matrices (`S^{(k)}`, `U^{(k)}`,
+//! `F`, `S_L`) merely carry their own value arrays over the shared
+//! structure. Transposes of structurally-symmetric matrices are realized
+//! as a precomputed *value permutation* instead of an explicit transpose
+//! (`transpose_permutation`).
+
+use crate::permutation::Permutation;
+use crate::VertexId;
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// ```
+/// use netalign_graph::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 3, vec![(0, 1, 1.5), (1, 0, 2.0)]);
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.get(0, 1), 1.5);
+/// assert_eq!(m.get(0, 0), 0.0);
+/// let mut y = vec![0.0; 2];
+/// m.spmv(&[1.0, 2.0, 3.0], &mut y);
+/// assert_eq!(y, vec![3.0, 2.0]);
+/// ```
+///
+/// Column indices within each row are kept sorted, which enables
+/// binary-search lookups and makes iteration order deterministic.
+///
+/// The structure arrays (`rowptr`, `colidx`) are immutable after
+/// construction; only `vals` may be rewritten. Algorithms that need
+/// several matrices over the same pattern should share one `CsrMatrix`
+/// for the structure and keep extra `Vec<f64>` value arrays of length
+/// [`CsrMatrix::nnz`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<VertexId>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Triplets may be given in any order; duplicates are summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: impl IntoIterator<Item = (VertexId, VertexId, f64)>,
+    ) -> Self {
+        let mut trips: Vec<(VertexId, VertexId, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &trips {
+            assert!((r as usize) < nrows, "row index {r} out of bounds ({nrows} rows)");
+            assert!((c as usize) < ncols, "col index {c} out of bounds ({ncols} cols)");
+        }
+        trips.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut rowptr = vec![0usize; nrows + 1];
+        let mut colidx = Vec::with_capacity(trips.len());
+        let mut vals = Vec::with_capacity(trips.len());
+        let mut last: Option<(VertexId, VertexId)> = None;
+        for (r, c, v) in trips {
+            if last == Some((r, c)) {
+                // Sorted by (row, col): duplicates are adjacent, sum them.
+                *vals.last_mut().unwrap() += v;
+                continue;
+            }
+            colidx.push(c);
+            vals.push(v);
+            rowptr[r as usize + 1] = colidx.len();
+            last = Some((r, c));
+        }
+        // Forward-fill rows that received no entries.
+        for i in 1..=nrows {
+            if rowptr[i] < rowptr[i - 1] {
+                rowptr[i] = rowptr[i - 1];
+            }
+        }
+        Self { nrows, ncols, rowptr, colidx, vals }
+    }
+
+    /// Build directly from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong lengths, unsorted or
+    /// out-of-range column indices, non-monotone `rowptr`).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<VertexId>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1, "rowptr must have nrows+1 entries");
+        assert_eq!(rowptr[0], 0, "rowptr must start at 0");
+        assert_eq!(*rowptr.last().unwrap(), colidx.len(), "rowptr must end at nnz");
+        assert_eq!(colidx.len(), vals.len(), "colidx and vals must have equal length");
+        for i in 0..nrows {
+            assert!(rowptr[i] <= rowptr[i + 1], "rowptr must be non-decreasing");
+            let row = &colidx[rowptr[i]..rowptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "column indices must be strictly increasing in row {i}");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < ncols, "column index out of range in row {i}");
+            }
+        }
+        Self { nrows, ncols, rowptr, colidx, vals }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array (`nnz` entries, sorted within each row).
+    #[inline]
+    pub fn colidx(&self) -> &[VertexId] {
+        &self.colidx
+    }
+
+    /// Value array (`nnz` entries).
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable value array; the structure stays fixed.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Half-open range of entry indices belonging to `row`.
+    #[inline]
+    pub fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.rowptr[row]..self.rowptr[row + 1]
+    }
+
+    /// Column indices of `row`.
+    #[inline]
+    pub fn row_cols(&self, row: usize) -> &[VertexId] {
+        &self.colidx[self.row_range(row)]
+    }
+
+    /// Values of `row`.
+    #[inline]
+    pub fn row_vals(&self, row: usize) -> &[f64] {
+        &self.vals[self.row_range(row)]
+    }
+
+    /// Iterate over `(col, value)` pairs of a row.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let r = self.row_range(row);
+        self.colidx[r.clone()].iter().copied().zip(self.vals[r].iter().copied())
+    }
+
+    /// Entry index of `(row, col)` if stored, via binary search.
+    pub fn find_entry(&self, row: usize, col: VertexId) -> Option<usize> {
+        let r = self.row_range(row);
+        self.colidx[r.clone()]
+            .binary_search(&col)
+            .ok()
+            .map(|off| r.start + off)
+    }
+
+    /// Value at `(row, col)`, or `0.0` when the entry is not stored.
+    pub fn get(&self, row: usize, col: VertexId) -> f64 {
+        self.find_entry(row, col).map_or(0.0, |e| self.vals[e])
+    }
+
+    /// True if the sparsity pattern is symmetric (requires a square matrix).
+    pub fn is_structurally_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for row in 0..self.nrows {
+            for &col in self.row_cols(row) {
+                if self.find_entry(col as usize, row as VertexId).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Compute the transpose as a new matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut rowptr = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            rowptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colidx = vec![0 as VertexId; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        let mut next = rowptr.clone();
+        for row in 0..self.nrows {
+            for e in self.row_range(row) {
+                let c = self.colidx[e] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                colidx[slot] = row as VertexId;
+                vals[slot] = self.vals[e];
+            }
+        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, rowptr, colidx, vals }
+    }
+
+    /// Permutation `p` such that `transpose().vals[k] == vals[p[k]]`.
+    ///
+    /// For a *structurally symmetric* matrix the transpose shares the
+    /// `rowptr`/`colidx` arrays, so transposing reduces to permuting the
+    /// value array — the paper's "permutation trick" (§IV.A). The
+    /// permutation is computed once; each transpose afterwards is a
+    /// gather with no structural work.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not structurally symmetric.
+    pub fn transpose_permutation(&self) -> Permutation {
+        assert!(
+            self.is_structurally_symmetric(),
+            "transpose_permutation requires a structurally symmetric matrix"
+        );
+        let mut perm = vec![0usize; self.nnz()];
+        // Entry k of the transpose lives in row c = colidx[k-of-transpose].
+        // Because the structure is symmetric, walking the original rows in
+        // order and appending to each target row reproduces sorted order.
+        let mut next = self.rowptr.clone();
+        for row in 0..self.nrows {
+            for e in self.row_range(row) {
+                let c = self.colidx[e] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                perm[slot] = e;
+            }
+        }
+        Permutation::from_vec(perm)
+    }
+
+    /// Gather values through a permutation: `out[k] = vals[perm[k]]`.
+    ///
+    /// Used together with [`CsrMatrix::transpose_permutation`] to read a
+    /// transpose without forming it.
+    pub fn permute_vals_into(vals: &[f64], perm: &Permutation, out: &mut [f64]) {
+        assert_eq!(vals.len(), perm.len());
+        assert_eq!(out.len(), perm.len());
+        for (o, &p) in out.iter_mut().zip(perm.as_slice()) {
+            *o = vals[p];
+        }
+    }
+
+    /// `y = M x` (serial reference implementation).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for row in 0..self.nrows {
+            let mut acc = 0.0;
+            for (c, v) in self.row_iter(row) {
+                acc += v * x[c as usize];
+            }
+            y[row] = acc;
+        }
+    }
+
+    /// Dense representation, for tests and tiny matrices only.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for row in 0..self.nrows {
+            for (c, v) in self.row_iter(row) {
+                d[row][c as usize] = v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn triplets_build_sorted_rows() {
+        let m = CsrMatrix::from_triplets(2, 3, vec![(1, 2, 5.0), (0, 1, 1.0), (1, 0, 3.0)]);
+        assert_eq!(m.rowptr(), &[0, 1, 3]);
+        assert_eq!(m.row_cols(1), &[0, 2]);
+        assert_eq!(m.row_vals(1), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (0, 0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_ranges() {
+        let m = sample();
+        assert_eq!(m.row_range(1), 2..2);
+        assert!(m.row_cols(1).is_empty());
+    }
+
+    #[test]
+    fn get_and_find_entry() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.find_entry(2, 1), Some(3));
+        assert_eq!(m.find_entry(2, 2), None);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        let d = m.to_dense();
+        let dt = t.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(d[i][j], dt[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_symmetry_detection() {
+        let m = sample();
+        assert!(!m.is_structurally_symmetric());
+        let s = CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 1, 1.0), (1, 0, 9.0), (0, 0, 2.0)],
+        );
+        assert!(s.is_structurally_symmetric());
+    }
+
+    #[test]
+    fn transpose_permutation_equals_real_transpose() {
+        let s = CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (1, 2, 3.0),
+                (2, 1, 4.0),
+                (0, 0, 5.0),
+                (2, 2, 6.0),
+            ],
+        );
+        let perm = s.transpose_permutation();
+        let mut permuted = vec![0.0; s.nnz()];
+        CsrMatrix::permute_vals_into(s.vals(), &perm, &mut permuted);
+        let t = s.transpose();
+        // structurally symmetric: same rowptr/colidx, values permuted
+        assert_eq!(s.rowptr(), t.rowptr());
+        assert_eq!(s.colidx(), t.colidx());
+        assert_eq!(permuted, t.vals());
+    }
+
+    #[test]
+    fn spmv_reference() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, [7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_out_of_bounds_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let m = sample();
+        let r = CsrMatrix::from_raw(
+            3,
+            3,
+            m.rowptr().to_vec(),
+            m.colidx().to_vec(),
+            m.vals().to_vec(),
+        );
+        assert_eq!(m, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_rejects_unsorted_columns() {
+        let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Erdős–Rényi G(n, p) random graphs.
+
+use crate::undirected::GraphBuilder;
+use crate::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Sample `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`. Uses geometric gap skipping so the cost is
+/// proportional to the number of edges.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 && p > 0.0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let total = n * (n - 1) / 2;
+        for idx in super::sample_bernoulli_indices(total, p, &mut rng) {
+            let (u, v) = super::unrank_pair(idx, n);
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches_p() {
+        let n = 300;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 4);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!((got - expect).abs() < 0.15 * expect, "got {got}, expected ~{expect}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(erdos_renyi(80, 0.1, 9), erdos_renyi(80, 0.1, 9));
+        assert_ne!(erdos_renyi(80, 0.1, 9), erdos_renyi(80, 0.1, 10));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(erdos_renyi(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 1.0, 1).num_edges(), 0);
+    }
+}

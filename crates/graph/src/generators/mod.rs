@@ -1,0 +1,217 @@
+//! Seeded random graph generators.
+//!
+//! These implement the synthetic-problem recipe of the paper (§VI.A):
+//! sample a power-law degree sequence, realize it as a random graph
+//! (erased configuration model), perturb two copies with extra random
+//! edges, and build `L` from the identity correspondence plus uniformly
+//! sampled noise pairs.
+//!
+//! All generators take an explicit `u64` seed and use `ChaCha8Rng`, so
+//! every experiment in the workspace is reproducible bit-for-bit.
+
+mod erdos_renyi;
+mod power_law;
+
+pub use erdos_renyi::erdos_renyi;
+pub use power_law::{graph_from_degree_sequence, power_law_degree_sequence, power_law_graph};
+
+use crate::bipartite::BipartiteGraphBuilder;
+use crate::undirected::GraphBuilder;
+use crate::{BipartiteGraph, Graph, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Return a copy of `g` with each absent edge added independently with
+/// probability `p` (the paper's perturbation that turns the base graph
+/// `G` into `A` and `B`).
+///
+/// Uses geometric skipping over the implicit pair enumeration, so the
+/// cost is proportional to the number of *added* edges, not `n²`.
+pub fn add_random_edges(g: &Graph, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    if p > 0.0 && n >= 2 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let total = n * (n - 1) / 2;
+        for idx in sample_bernoulli_indices(total, p, &mut rng) {
+            let (u, v) = unrank_pair(idx, n);
+            if u != v && !g.has_edge(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Build the candidate graph `L` for a synthetic alignment instance:
+/// the identity correspondence `i ↔ i` (weight `id_weight`) plus
+/// uniformly random pairs sampled with probability `p` (weight
+/// `noise_weight`).
+///
+/// The paper parameterizes the noise by the expected degree
+/// `d̄ = p · |V_A|`; use [`expected_degree_to_probability`] to convert.
+pub fn identity_plus_noise_l(
+    na: usize,
+    nb: usize,
+    p: f64,
+    id_weight: f64,
+    noise_weight: f64,
+    seed: u64,
+) -> BipartiteGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    let mut b = BipartiteGraphBuilder::new(na, nb);
+    for i in 0..na.min(nb) {
+        b.add_edge(i as VertexId, i as VertexId, id_weight);
+    }
+    if p > 0.0 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for idx in sample_bernoulli_indices(na * nb, p, &mut rng) {
+            let a = (idx / nb) as VertexId;
+            let bb = (idx % nb) as VertexId;
+            if a as usize != bb as usize || a as usize >= na.min(nb) {
+                b.add_edge(a, bb, noise_weight);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Convert the paper's expected-degree parameterization of `L`'s noise
+/// (`d̄ = p · |V_A|`) into the per-pair sampling probability.
+pub fn expected_degree_to_probability(dbar: f64, na: usize) -> f64 {
+    assert!(na > 0);
+    (dbar / na as f64).clamp(0.0, 1.0)
+}
+
+/// Sample the indices of successes among `total` independent
+/// Bernoulli(`p`) trials using geometric gap skipping — O(expected
+/// successes) instead of O(total).
+fn sample_bernoulli_indices(total: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let mut out = Vec::new();
+    if p <= 0.0 || total == 0 {
+        return out;
+    }
+    if p >= 1.0 {
+        return (0..total).collect();
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut i: usize = 0;
+    loop {
+        // Geometric(p) gap: number of failures before the next success.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1mp).floor() as usize;
+        i = match i.checked_add(skip) {
+            Some(v) => v,
+            None => break,
+        };
+        if i >= total {
+            break;
+        }
+        out.push(i);
+        i += 1;
+        if i >= total {
+            break;
+        }
+    }
+    out
+}
+
+/// Map a linear index in `0..n(n-1)/2` to the unordered pair `(u, v)`,
+/// `u < v`, enumerated row by row.
+fn unrank_pair(mut idx: usize, n: usize) -> (VertexId, VertexId) {
+    debug_assert!(idx < n * (n - 1) / 2);
+    let mut u = 0usize;
+    let mut row = n - 1;
+    while idx >= row {
+        idx -= row;
+        u += 1;
+        row -= 1;
+    }
+    ((u) as VertexId, (u + 1 + idx) as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_pair_enumerates_all_pairs() {
+        let n = 6;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_pair(idx, n);
+            assert!(u < v);
+            assert!((v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn bernoulli_indices_edge_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert!(sample_bernoulli_indices(100, 0.0, &mut rng).is_empty());
+        assert_eq!(sample_bernoulli_indices(5, 1.0, &mut rng), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bernoulli_indices_density_close_to_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let total = 200_000;
+        let p = 0.05;
+        let got = sample_bernoulli_indices(total, p, &mut rng).len() as f64;
+        let expect = total as f64 * p;
+        assert!((got - expect).abs() < 0.1 * expect, "got {got}, expected ~{expect}");
+    }
+
+    #[test]
+    fn add_random_edges_superset_and_deterministic() {
+        let g = power_law_graph(60, 2.5, 10, 3);
+        let h1 = add_random_edges(&g, 0.05, 11);
+        let h2 = add_random_edges(&g, 0.05, 11);
+        assert_eq!(h1, h2);
+        for (u, v) in g.edges() {
+            assert!(h1.has_edge(u, v));
+        }
+        assert!(h1.num_edges() >= g.num_edges());
+    }
+
+    #[test]
+    fn add_random_edges_zero_p_is_identity() {
+        let g = power_law_graph(40, 2.2, 8, 5);
+        assert_eq!(add_random_edges(&g, 0.0, 1), g);
+    }
+
+    #[test]
+    fn identity_l_contains_diagonal() {
+        let l = identity_plus_noise_l(10, 8, 0.0, 2.0, 1.0, 0);
+        assert_eq!(l.num_edges(), 8);
+        for i in 0..8 {
+            assert_eq!(l.edge_id(i, i), Some(i as usize));
+            assert_eq!(l.weight(i as usize), 2.0);
+        }
+    }
+
+    #[test]
+    fn identity_l_noise_adds_offdiagonal() {
+        let l = identity_plus_noise_l(50, 50, 0.1, 2.0, 1.0, 9);
+        assert!(l.num_edges() > 50);
+        // expected extra ≈ 0.1 * 2500 = 250
+        let extra = l.num_edges() - 50;
+        assert!(extra > 130 && extra < 400, "extra = {extra}");
+        // diagonal retains identity weight (duplicates keep max)
+        for i in 0..50 {
+            assert_eq!(l.weight(l.edge_id(i, i).unwrap()), 2.0);
+        }
+    }
+
+    #[test]
+    fn expected_degree_conversion() {
+        assert_eq!(expected_degree_to_probability(5.0, 100), 0.05);
+        assert_eq!(expected_degree_to_probability(500.0, 100), 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Power-law random graphs via the erased configuration model.
+
+use crate::undirected::GraphBuilder;
+use crate::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Sample a degree sequence where `P(deg = k) ∝ k^(-exponent)` for
+/// `k ∈ 1..=max_degree`, adjusted to have an even sum (required by the
+/// configuration model).
+///
+/// This mirrors the paper's synthetic setup: "we first sampled a
+/// power-law degree distribution and then generated a random graph with
+/// that prescribed degree distribution" (§VI.A).
+pub fn power_law_degree_sequence(
+    n: usize,
+    exponent: f64,
+    max_degree: usize,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(exponent > 1.0, "power-law exponent must exceed 1, got {exponent}");
+    assert!(max_degree >= 1 && max_degree < n, "need 1 <= max_degree < n");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Precompute the CDF of k^-exponent over 1..=max_degree.
+    let mut cdf = Vec::with_capacity(max_degree);
+    let mut total = 0.0;
+    for k in 1..=max_degree {
+        total += (k as f64).powf(-exponent);
+        cdf.push(total);
+    }
+    let mut degs: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            match cdf.binary_search_by(|c| c.total_cmp(&u)) {
+                Ok(i) | Err(i) => i + 1,
+            }
+        })
+        .collect();
+    if degs.iter().sum::<usize>() % 2 == 1 {
+        // Make the stub count even by bumping one vertex.
+        degs[0] += if degs[0] < max_degree { 1 } else { 0 };
+        if degs.iter().sum::<usize>() % 2 == 1 {
+            degs[0] -= 1;
+        }
+    }
+    degs
+}
+
+/// Generate a simple graph whose degree sequence approximately follows
+/// a power law with the given exponent, using the erased configuration
+/// model (pair random stubs, drop self-loops and parallel edges).
+pub fn power_law_graph(n: usize, exponent: f64, max_degree: usize, seed: u64) -> Graph {
+    let degs = power_law_degree_sequence(n, exponent, max_degree, seed);
+    graph_from_degree_sequence(&degs, seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Realize a degree sequence as a simple graph with the erased
+/// configuration model. Self-loops and duplicate edges produced by the
+/// random pairing are discarded, so realized degrees are a lower bound
+/// on the prescribed ones.
+pub fn graph_from_degree_sequence(degrees: &[usize], seed: u64) -> Graph {
+    let n = degrees.len();
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(degrees.iter().sum());
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(v as VertexId).take(d));
+    }
+    assert!(stubs.len() % 2 == 0, "degree sum must be even");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    stubs.shuffle(&mut rng);
+    let mut b = GraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v {
+            b.add_edge(u, v); // duplicates merged by the builder
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_sequence_in_range_and_even() {
+        let d = power_law_degree_sequence(400, 2.5, 20, 1);
+        assert_eq!(d.len(), 400);
+        assert!(d.iter().all(|&k| (1..=20).contains(&k)));
+        assert_eq!(d.iter().sum::<usize>() % 2, 0);
+    }
+
+    #[test]
+    fn degree_sequence_is_heavy_on_small_degrees() {
+        let d = power_law_degree_sequence(2000, 2.5, 30, 2);
+        let ones = d.iter().filter(|&&k| k == 1).count();
+        let big = d.iter().filter(|&&k| k >= 10).count();
+        assert!(ones > big, "power law should favour degree 1 ({ones} vs {big})");
+    }
+
+    #[test]
+    fn graph_realization_bounds_degrees() {
+        let degs = vec![3, 2, 2, 1, 2];
+        let g = graph_from_degree_sequence(&degs, 3);
+        for v in 0..5u32 {
+            assert!(g.degree(v) <= degs[v as usize]);
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let g1 = power_law_graph(100, 2.3, 15, 77);
+        let g2 = power_law_graph(100, 2.3, 15, 77);
+        assert_eq!(g1, g2);
+        let g3 = power_law_graph(100, 2.3, 15, 78);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn paper_scale_instance_is_connected_enough() {
+        // The paper's base graph: 400-node power-law.
+        let g = power_law_graph(400, 2.5, 40, 5);
+        assert_eq!(g.num_vertices(), 400);
+        assert!(g.num_edges() > 200, "got {}", g.num_edges());
+        assert!(g.max_degree() <= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_bad_exponent() {
+        let _ = power_law_degree_sequence(10, 0.5, 3, 0);
+    }
+}

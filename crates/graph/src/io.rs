@@ -1,0 +1,310 @@
+//! Readers and writers for the SMAT and edge-list formats used by the
+//! original `netalign` codes.
+//!
+//! SMAT is a plain-text triplet format:
+//!
+//! ```text
+//! nrows ncols nnz
+//! row col value      (nnz lines, 0-indexed)
+//! ```
+//!
+//! Bipartite graphs `L` serialize as SMAT with `nrows = |V_A|`,
+//! `ncols = |V_B|`; undirected graphs serialize as an edge list with a
+//! `n m` header, one `u v` line per edge.
+
+use crate::bipartite::BipartiteGraphBuilder;
+use crate::undirected::GraphBuilder;
+use crate::{BipartiteGraph, CsrMatrix, Graph, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file content did not parse as the expected format.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
+    IoError::Parse { line, msg: msg.into() }
+}
+
+/// Write a sparse matrix in SMAT format.
+pub fn write_smat<W: Write>(m: &CsrMatrix, w: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for row in 0..m.nrows() {
+        for (col, val) in m.row_iter(row) {
+            writeln!(w, "{} {} {}", row, col, val)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a sparse matrix in SMAT format.
+pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let mut it = header.split_whitespace();
+    let nrows: usize = next_num(&mut it, 1, "nrows")?;
+    let ncols: usize = next_num(&mut it, 1, "ncols")?;
+    let nnz: usize = next_num(&mut it, 1, "nnz")?;
+    let mut trips = Vec::with_capacity(nnz);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 2;
+        let mut it = line.split_whitespace();
+        let row: usize = next_num(&mut it, lineno, "row")?;
+        let col: usize = next_num(&mut it, lineno, "col")?;
+        let val: f64 = next_num(&mut it, lineno, "value")?;
+        if row >= nrows || col >= ncols {
+            return Err(parse_err(lineno, format!("entry ({row},{col}) out of bounds")));
+        }
+        trips.push((row as VertexId, col as VertexId, val));
+    }
+    if trips.len() != nnz {
+        return Err(parse_err(0, format!("expected {} entries, found {}", nnz, trips.len())));
+    }
+    Ok(CsrMatrix::from_triplets(nrows, ncols, trips))
+}
+
+fn next_num<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<T, IoError> {
+    it.next()
+        .ok_or_else(|| parse_err(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| parse_err(line, format!("invalid {what}")))
+}
+
+/// Write a bipartite graph `L` (with weights) in SMAT format.
+pub fn write_bipartite_smat<W: Write>(l: &BipartiteGraph, w: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} {} {}", l.num_left(), l.num_right(), l.num_edges())?;
+    for (a, b, e) in l.edge_iter() {
+        writeln!(w, "{} {} {}", a, b, l.weight(e))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a bipartite graph `L` from SMAT.
+pub fn read_bipartite_smat<R: Read>(r: R) -> Result<BipartiteGraph, IoError> {
+    let m = read_smat(r)?;
+    let mut b = BipartiteGraphBuilder::new(m.nrows(), m.ncols());
+    for row in 0..m.nrows() {
+        for (col, val) in m.row_iter(row) {
+            b.add_edge(row as VertexId, col, val);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Write an undirected graph as an edge list with an `n m` header.
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read an undirected graph from an edge list with an `n m` header.
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, IoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
+    let mut it = header.split_whitespace();
+    let n: usize = next_num(&mut it, 1, "n")?;
+    let m: usize = next_num(&mut it, 1, "m")?;
+    let mut b = GraphBuilder::new(n);
+    let mut count = 0usize;
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 2;
+        let mut it = line.split_whitespace();
+        let u: VertexId = next_num(&mut it, lineno, "u")?;
+        let v: VertexId = next_num(&mut it, lineno, "v")?;
+        if u as usize >= n || v as usize >= n {
+            return Err(parse_err(lineno, format!("edge ({u},{v}) out of bounds")));
+        }
+        b.add_edge(u, v);
+        count += 1;
+    }
+    if count != m {
+        return Err(parse_err(0, format!("expected {m} edges, found {count}")));
+    }
+    Ok(b.build())
+}
+
+/// Read an undirected graph from an *adjacency-matrix* SMAT (the
+/// format the original netalign distribution uses for `A` and `B`):
+/// entries are interpreted as edges, values ignored, the pattern
+/// symmetrized, self-loops dropped.
+pub fn read_graph_smat<R: Read>(r: R) -> Result<Graph, IoError> {
+    let m = read_smat(r)?;
+    if m.nrows() != m.ncols() {
+        return Err(parse_err(1, format!("adjacency matrix must be square, got {}x{}", m.nrows(), m.ncols())));
+    }
+    let mut b = GraphBuilder::new(m.nrows());
+    for row in 0..m.nrows() {
+        for (col, _) in m.row_iter(row) {
+            if (col as usize) != row {
+                b.add_edge(row as VertexId, col);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Write an undirected graph as a symmetric adjacency-matrix SMAT
+/// (unit values), compatible with [`read_graph_smat`].
+pub fn write_graph_smat<W: Write>(g: &Graph, w: W) -> Result<(), IoError> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "{} {} {}", g.num_vertices(), g.num_vertices(), 2 * g.num_edges())?;
+    for u in 0..g.num_vertices() as VertexId {
+        for &v in g.neighbors(u) {
+            writeln!(out, "{} {} 1", u, v)?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Convenience: write a graph to a file path.
+pub fn write_edge_list_file(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: read a graph from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Convenience: write a bipartite graph to a file path.
+pub fn write_bipartite_smat_file(l: &BipartiteGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_bipartite_smat(l, std::fs::File::create(path)?)
+}
+
+/// Convenience: read a bipartite graph from a file path.
+pub fn read_bipartite_smat_file(path: impl AsRef<Path>) -> Result<BipartiteGraph, IoError> {
+    read_bipartite_smat(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smat_roundtrip() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)],
+        );
+        let mut buf = Vec::new();
+        write_smat(&m, &mut buf).unwrap();
+        let back = read_smat(&buf[..]).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn bipartite_roundtrip() {
+        let l = BipartiteGraph::from_entries(
+            2,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0)],
+        );
+        let mut buf = Vec::new();
+        write_bipartite_smat(&l, &mut buf).unwrap();
+        let back = read_bipartite_smat(&buf[..]).unwrap();
+        assert_eq!(l, back);
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn graph_smat_roundtrip_symmetrizes() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (0, 3)]);
+        let mut buf = Vec::new();
+        write_graph_smat(&g, &mut buf).unwrap();
+        let back = read_graph_smat(&buf[..]).unwrap();
+        assert_eq!(g, back);
+        // one-directional input symmetrizes, self-loops drop
+        let text = "3 3 3\n0 1 1\n1 2 1\n2 2 1\n";
+        let g2 = read_graph_smat(text.as_bytes()).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(1, 0));
+    }
+
+    #[test]
+    fn graph_smat_rejects_rectangular() {
+        let text = "2 3 1\n0 1 1\n";
+        assert!(read_graph_smat(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_nnz() {
+        let text = "2 2 3\n0 0 1.0\n";
+        let err = read_smat(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "2 2 1\n0 5 1.0\n";
+        let err = read_smat(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let text = "hello world\n";
+        assert!(read_smat(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "2 2 1\n\n0 1 3.0\n\n";
+        let m = read_smat(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+}

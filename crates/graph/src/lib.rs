@@ -1,0 +1,50 @@
+//! Graph substrate for multithreaded network alignment.
+//!
+//! This crate provides the data structures and generators that the
+//! SC'12 network-alignment reproduction is built on:
+//!
+//! * [`csr`] — compressed-sparse-row matrices with *fixed structure* and
+//!   swappable value arrays, plus the permutation-transpose trick the paper
+//!   uses for the structurally-symmetric matrices `S` and `U`.
+//! * [`undirected`] — the input graphs `A` and `B`.
+//! * [`bipartite`] — the weighted bipartite graph `L` between `V_A` and
+//!   `V_B`, stored as dual CSR with a global edge ordering; every
+//!   per-edge quantity in the aligners (`w`, `x`, `y`, `z`, …) is a
+//!   `Vec<f64>` indexed by this ordering.
+//! * [`generators`] — seeded random graph generators (power-law /
+//!   Chung–Lu, Erdős–Rényi, perturbation) used by the synthetic
+//!   experiments.
+//! * [`io`] — SMAT and edge-list readers/writers compatible with the
+//!   formats used by the original `netalign` codes.
+//! * [`permutation`] — permutation vectors and validation helpers.
+
+pub mod bipartite;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod permutation;
+pub mod stats;
+pub mod undirected;
+
+pub mod prelude {
+    //! Convenient re-exports of the most used types.
+    pub use crate::bipartite::{BipartiteGraph, BipartiteGraphBuilder};
+    pub use crate::csr::CsrMatrix;
+    pub use crate::permutation::Permutation;
+    pub use crate::undirected::{Graph, GraphBuilder};
+}
+
+pub use bipartite::BipartiteGraph;
+pub use csr::CsrMatrix;
+pub use undirected::Graph;
+
+/// Vertex index type used across the workspace.
+///
+/// `u32` comfortably covers the paper's largest instances
+/// (lcsh-rameau: ~0.5M vertices, 21M edges in `L`) while halving the
+/// memory traffic of `usize` indices — the aligners are memory-bandwidth
+/// bound (paper §VIII.C).
+pub type VertexId = u32;
+
+/// Edge index into the global edge ordering of a [`BipartiteGraph`].
+pub type EdgeId = usize;

@@ -1,0 +1,120 @@
+//! Permutation vectors with validity checking.
+
+/// A permutation of `0..n`, stored as the image vector: `perm[i]` is
+/// where index `i` reads from (gather convention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Self { perm: (0..n).collect() }
+    }
+
+    /// Wrap a vector, checking it really is a permutation of `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a bijection on `0..perm.len()`.
+    pub fn from_vec(perm: Vec<usize>) -> Self {
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(p < perm.len(), "permutation entry {p} out of range");
+            assert!(!seen[p], "permutation entry {p} repeated");
+            seen[p] = true;
+        }
+        Self { perm }
+    }
+
+    /// Length of the permuted domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Raw permutation slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Image of `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        self.perm[i]
+    }
+
+    /// Inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        Permutation { perm: inv }
+    }
+
+    /// Gather: `out[i] = src[perm[i]]`.
+    pub fn gather<T: Copy>(&self, src: &[T], out: &mut [T]) {
+        assert_eq!(src.len(), self.perm.len());
+        assert_eq!(out.len(), self.perm.len());
+        for (o, &p) in out.iter_mut().zip(&self.perm) {
+            *o = src[p];
+        }
+    }
+
+    /// True for an involution (`perm ∘ perm = id`), which holds for
+    /// transpose permutations of structurally symmetric matrices.
+    pub fn is_involution(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| self.perm[p] == i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+        assert!(p.is_involution());
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]);
+        let inv = p.inverse();
+        for i in 0..4 {
+            assert_eq!(inv.get(p.get(i)), i);
+        }
+    }
+
+    #[test]
+    fn gather_reads_through() {
+        let p = Permutation::from_vec(vec![2, 0, 1]);
+        let src = [10.0, 20.0, 30.0];
+        let mut out = [0.0; 3];
+        p.gather(&src, &mut out);
+        assert_eq!(out, [30.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn rejects_non_bijection() {
+        let _ = Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn involution_detection() {
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_involution());
+        assert!(!Permutation::from_vec(vec![1, 2, 0]).is_involution());
+    }
+}

@@ -1,0 +1,151 @@
+//! Structural statistics for graphs and candidate sets — used by the
+//! dataset reports (Table II's "degree distribution in L is fairly
+//! regular, the non-zero distribution in S is highly irregular").
+
+use crate::{BipartiteGraph, Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Summary statistics of an integer distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistSummary {
+    /// Smallest value.
+    pub min: usize,
+    /// Largest value.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); 0 for constant or
+    /// empty distributions.
+    pub cv: f64,
+}
+
+/// Summarize a sequence of counts.
+pub fn summarize(counts: impl IntoIterator<Item = usize>) -> DistSummary {
+    let v: Vec<usize> = counts.into_iter().collect();
+    if v.is_empty() {
+        return DistSummary { min: 0, max: 0, mean: 0.0, cv: 0.0 };
+    }
+    let min = *v.iter().min().unwrap();
+    let max = *v.iter().max().unwrap();
+    let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
+    let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / v.len() as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    DistSummary { min, max, mean, cv }
+}
+
+/// Degree distribution summary of an undirected graph.
+pub fn degree_summary(g: &Graph) -> DistSummary {
+    summarize((0..g.num_vertices() as VertexId).map(|v| g.degree(v)))
+}
+
+/// Left-side degree distribution summary of a bipartite graph.
+pub fn left_degree_summary(l: &BipartiteGraph) -> DistSummary {
+    summarize((0..l.num_left() as VertexId).map(|a| l.left_degree(a)))
+}
+
+/// Number of connected components of an undirected graph (isolated
+/// vertices count as singleton components).
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut components = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n as VertexId {
+        if seen[s as usize] {
+            continue;
+        }
+        components += 1;
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Size of the largest connected component.
+pub fn largest_component(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut best = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n as VertexId {
+        if seen[s as usize] {
+            continue;
+        }
+        let mut size = 1;
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    size += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_distribution() {
+        let s = summarize(vec![3, 3, 3]);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    fn summary_of_skewed_distribution_has_high_cv() {
+        let regular = summarize(vec![4, 5, 4, 5, 4]);
+        let skewed = summarize(vec![1, 1, 1, 1, 100]);
+        assert!(skewed.cv > 5.0 * regular.cv);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = summarize(Vec::new());
+        assert_eq!(s, DistSummary { min: 0, max: 0, mean: 0.0, cv: 0.0 });
+    }
+
+    #[test]
+    fn components_of_path_plus_isolated() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2)]);
+        assert_eq!(connected_components(&g), 3); // {0,1,2}, {3}, {4}
+        assert_eq!(largest_component(&g), 3);
+    }
+
+    #[test]
+    fn single_component_cycle() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(connected_components(&g), 1);
+        assert_eq!(largest_component(&g), 4);
+    }
+
+    #[test]
+    fn bipartite_degree_summary() {
+        let l = BipartiteGraph::from_entries(
+            3,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)],
+        );
+        let s = left_degree_summary(&l);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.mean, 1.0);
+    }
+}

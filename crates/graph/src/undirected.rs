@@ -1,0 +1,243 @@
+//! Simple undirected graphs — the alignment inputs `A` and `B`.
+//!
+//! Stored as sorted CSR adjacency. Self-loops are rejected and parallel
+//! edges are merged at build time; `has_edge` is a binary search.
+
+use crate::VertexId;
+
+/// An undirected graph with `n` vertices and sorted adjacency lists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    xadj: Vec<usize>,
+    adjncy: Vec<VertexId>,
+    num_edges: usize,
+}
+
+/// Incremental builder that collects edges and deduplicates on build.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Add an undirected edge `{u, v}`. Duplicate and reversed copies are
+    /// merged when the graph is built; self-loops are rejected here.
+    ///
+    /// # Panics
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        assert!(u != v, "self-loops are not supported (u = v = {u})");
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Number of (possibly duplicated) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into a [`Graph`].
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+        let mut xadj = vec![0usize; self.n + 1];
+        for &(u, v) in &self.edges {
+            xadj[u as usize + 1] += 1;
+            xadj[v as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            xadj[i + 1] += xadj[i];
+        }
+        let mut adjncy = vec![0 as VertexId; 2 * m];
+        let mut next = xadj.clone();
+        for &(u, v) in &self.edges {
+            adjncy[next[u as usize]] = v;
+            next[u as usize] += 1;
+            adjncy[next[v as usize]] = u;
+            next[v as usize] += 1;
+        }
+        // Each neighbourhood is already sorted: edges were inserted in
+        // global sorted order, and within a vertex the partner ids of
+        // (u, v) pairs with u fixed ascend... but mixed u/v roles break
+        // that, so sort each list explicitly.
+        for i in 0..self.n {
+            adjncy[xadj[i]..xadj[i + 1]].sort_unstable();
+        }
+        Graph { n: self.n, xadj, adjncy, num_edges: m }
+    }
+}
+
+impl Graph {
+    /// Build from an explicit edge list (convenience wrapper).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self { n, xadj: vec![0; n + 1], adjncy: Vec::new(), num_edges: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjncy[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// True when `{u, v}` is an edge (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate over all edges, each once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The subgraph induced by `vertices` (which need not be sorted or
+    /// unique), with vertices relabelled `0..k` in the order of first
+    /// appearance. Returns the subgraph and the old-id list
+    /// (`mapping[new_id] = old_id`).
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut new_id = vec![VertexId::MAX; self.n];
+        let mut mapping = Vec::new();
+        for &v in vertices {
+            if new_id[v as usize] == VertexId::MAX {
+                new_id[v as usize] = mapping.len() as VertexId;
+                mapping.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(mapping.len());
+        for &v in &mapping {
+            for &u in self.neighbors(v) {
+                if new_id[u as usize] != VertexId::MAX && u > v {
+                    b.add_edge(new_id[v as usize], new_id[u as usize]);
+                }
+            }
+        }
+        (b.build(), mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_leaf() -> Graph {
+        Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_leaf();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn duplicates_and_reversals_merge() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_leaf();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, vec![(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = triangle_plus_leaf();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let _ = Graph::from_edges(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle_plus_leaf();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // the triangle
+        assert_eq!(map, vec![0, 1, 2]);
+        let (sub2, map2) = g.induced_subgraph(&[3, 2]);
+        assert_eq!(sub2.num_edges(), 1); // the leaf edge (2,3)
+        assert_eq!(map2, vec![3, 2]);
+        assert!(sub2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_input() {
+        let g = triangle_plus_leaf();
+        let (sub, map) = g.induced_subgraph(&[1, 1, 0]);
+        assert_eq!(map, vec![1, 0]);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(1).is_empty());
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the graph substrate invariants.
+
+use netalign_graph::generators::{graph_from_degree_sequence, power_law_degree_sequence};
+use netalign_graph::{BipartiteGraph, CsrMatrix, Graph};
+use proptest::prelude::*;
+
+fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f64)>)> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r as u32, 0..c as u32, -5.0f64..5.0), 0..40)
+            .prop_map(move |t| (r, c, t))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_matches_dense_semantics((r, c, trips) in arb_triplets()) {
+        let m = CsrMatrix::from_triplets(r, c, trips.clone());
+        // dense accumulation oracle
+        let mut dense = vec![vec![0.0f64; c]; r];
+        for (i, j, v) in &trips {
+            dense[*i as usize][*j as usize] += v;
+        }
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert!((m.get(i, j as u32) - dense[i][j]).abs() < 1e-12);
+            }
+        }
+        // nnz never exceeds input triplets
+        prop_assert!(m.nnz() <= trips.len());
+    }
+
+    #[test]
+    fn transpose_is_involution((r, c, trips) in arb_triplets()) {
+        let m = CsrMatrix::from_triplets(r, c, trips);
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn spmv_matches_dense((r, c, trips) in arb_triplets()) {
+        let m = CsrMatrix::from_triplets(r, c, trips);
+        let x: Vec<f64> = (0..c).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; r];
+        m.spmv(&x, &mut y);
+        let d = m.to_dense();
+        for i in 0..r {
+            let expect: f64 = (0..c).map(|j| d[i][j] * x[j]).sum();
+            prop_assert!((y[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bipartite_dual_csr_consistency((r, c, trips) in arb_triplets()) {
+        let l = BipartiteGraph::from_entries(r, c, trips);
+        // every edge id appears exactly once on each side
+        let mut seen_left = vec![false; l.num_edges()];
+        for a in 0..l.num_left() as u32 {
+            for (_, e) in l.left_edges(a) {
+                prop_assert!(!seen_left[e]);
+                seen_left[e] = true;
+            }
+        }
+        prop_assert!(seen_left.iter().all(|&s| s));
+        let mut seen_right = vec![false; l.num_edges()];
+        for b in 0..l.num_right() as u32 {
+            for (a, e) in l.right_edges(b) {
+                prop_assert!(!seen_right[e]);
+                seen_right[e] = true;
+                prop_assert_eq!(l.endpoints(e), (a, b));
+            }
+        }
+        prop_assert!(seen_right.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn graph_edges_roundtrip(edges in proptest::collection::vec((0u32..15, 0u32..15), 0..50)) {
+        let clean: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
+        let g = Graph::from_edges(15, clean.clone());
+        // rebuild from the edges() iterator
+        let g2 = Graph::from_edges(15, g.edges());
+        prop_assert_eq!(&g, &g2);
+        // degree sum = 2m
+        let degsum: usize = (0..15u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+        // has_edge agrees with the input set
+        for (u, v) in &clean {
+            prop_assert!(g.has_edge(*u, *v));
+            prop_assert!(g.has_edge(*v, *u));
+        }
+    }
+
+    #[test]
+    fn degree_sequence_realization_is_simple(
+        n in 6usize..40,
+        exp in 1.5f64..3.5,
+        seed in 0u64..500,
+    ) {
+        let maxd = (n / 2).max(2).min(n - 1);
+        let degs = power_law_degree_sequence(n, exp, maxd, seed);
+        let g = graph_from_degree_sequence(&degs, seed);
+        // simple graph: no vertex exceeds its prescribed degree
+        for v in 0..n as u32 {
+            prop_assert!(g.degree(v) <= degs[v as usize]);
+        }
+        // neighbours sorted & unique
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(!nb.contains(&v));
+        }
+    }
+
+    #[test]
+    fn smat_roundtrip_preserves_matrix((r, c, trips) in arb_triplets()) {
+        let m = CsrMatrix::from_triplets(r, c, trips);
+        let mut buf = Vec::new();
+        netalign_graph::io::write_smat(&m, &mut buf).unwrap();
+        let back = netalign_graph::io::read_smat(&buf[..]).unwrap();
+        prop_assert_eq!(m, back);
+    }
+}

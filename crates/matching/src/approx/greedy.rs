@@ -1,0 +1,103 @@
+//! Global greedy ½-approximate matching.
+//!
+//! Sort the positive-weight edges by the total edge order and take each
+//! edge whose endpoints are both still free. The result is exactly the
+//! (unique) locally-dominant matching, so this doubles as the reference
+//! implementation for the pointer-based algorithms.
+
+use crate::matching::{Matching, UNMATCHED};
+use crate::order::edge_key;
+use netalign_graph::{BipartiteGraph, EdgeId};
+
+/// Greedy maximum-weight matching: ½-approximate in weight and
+/// cardinality.
+pub fn greedy_matching(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    assert_eq!(weights.len(), l.num_edges());
+    let na = l.num_left();
+    let mut order: Vec<EdgeId> = (0..l.num_edges()).filter(|&e| weights[e] > 0.0).collect();
+    order.sort_unstable_by(|&e1, &e2| {
+        let (a1, b1) = l.endpoints(e1);
+        let (a2, b2) = l.endpoints(e2);
+        let k1 = edge_key(weights[e1], a1, b1, na);
+        let k2 = edge_key(weights[e2], a2, b2, na);
+        // Descending.
+        k2.0.total_cmp(&k1.0).then_with(|| (k2.1, k2.2).cmp(&(k1.1, k1.2)))
+    });
+    let mut m = Matching::empty(na, l.num_right());
+    for e in order {
+        let (a, b) = l.endpoints(e);
+        if m.left_mates()[a as usize] == UNMATCHED && m.right_mates()[b as usize] == UNMATCHED {
+            m.add_pair(a, b);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ssp::max_weight_matching_ssp;
+
+    #[test]
+    fn takes_heaviest_first() {
+        let l = BipartiteGraph::from_entries(
+            2,
+            2,
+            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
+        );
+        let m = greedy_matching(&l, l.weights());
+        // Greedy grabs (0,1)=3 and then (1,?) has only b1, taken → card 1.
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.weight_in(&l), 3.0);
+    }
+
+    #[test]
+    fn is_half_approximation_on_randoms() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..30 {
+            let na = rng.gen_range(2..10);
+            let nb = rng.gen_range(2..10);
+            let mut entries = Vec::new();
+            for a in 0..na {
+                for b in 0..nb {
+                    if rng.gen_bool(0.4) {
+                        entries.push((a as u32, b as u32, rng.gen_range(0.1..5.0)));
+                    }
+                }
+            }
+            let l = BipartiteGraph::from_entries(na, nb, entries);
+            let m = greedy_matching(&l, l.weights());
+            assert!(m.is_valid(&l));
+            assert!(m.is_maximal(&l, l.weights()));
+            let (opt, _) = max_weight_matching_ssp(&l, l.weights());
+            assert!(
+                m.weight_in(&l) * 2.0 >= opt.weight_in(&l) - 1e-9,
+                "greedy below half of optimal"
+            );
+        }
+    }
+
+    #[test]
+    fn skips_non_positive_edges() {
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 0.0), (1, 1, -1.0), (0, 1, 1.0)]);
+        let m = greedy_matching(&l, l.weights());
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_left(0), Some(1));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // All weights equal: the order key decides. Unified ids: right b
+        // becomes na+b = 2+b. Keys (max,min): (0,1)->(3,0), (1,0)->(2,1),
+        // (1,1)->(3,1), (0,0)->(2,0). Descending: (1,1), (0,1), (1,0), (0,0).
+        let l = BipartiteGraph::from_entries(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+        );
+        let m = greedy_matching(&l, l.weights());
+        assert_eq!(m.mate_of_left(1), Some(1));
+        assert_eq!(m.mate_of_left(0), Some(0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Serial pointer-based locally-dominant ½-approximate matching
+//! (Preis [22], in the Manne–Bisseling formulation the paper builds on).
+//!
+//! Each vertex points at its heaviest free neighbor (`candidate`); an
+//! edge whose endpoints point at each other is *locally dominant* and
+//! gets matched. Matching a pair invalidates the candidates of their
+//! other neighbors, which are then recomputed — the queue propagates
+//! exactly those invalidations.
+//!
+//! With the total edge order of [`crate::order`], the result is the
+//! unique locally-dominant matching (identical to
+//! [`crate::approx::greedy_matching`]). This implementation is the
+//! serial twin of the parallel Algorithm 1–3 and serves as its oracle.
+
+use super::{unified_edge_gt, UnifiedView};
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use std::collections::VecDeque;
+
+/// Serial locally-dominant matching on the unified view of `l`.
+pub fn serial_local_dominant(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    let mut mate = vec![UNMATCHED; n];
+    let mut candidate = vec![UNMATCHED; n];
+
+    // Phase 1: initial candidates.
+    for v in 0..n as VertexId {
+        candidate[v as usize] = find_mate(&view, v, &mate);
+    }
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    for v in 0..n as VertexId {
+        try_match(v, &mut mate, &candidate, &mut queue);
+    }
+
+    // Phase 2: propagate invalidations from newly matched vertices.
+    while let Some(u) = queue.pop_front() {
+        let neighbors: Vec<VertexId> = {
+            let mut tmp = Vec::new();
+            view.for_each_neighbor(u, |t, _| tmp.push(t));
+            tmp
+        };
+        for v in neighbors {
+            if mate[v as usize] == UNMATCHED && candidate[v as usize] == u {
+                candidate[v as usize] = find_mate(&view, v, &mate);
+                try_match(v, &mut mate, &candidate, &mut queue);
+            }
+        }
+    }
+
+    view.to_matching(&mate)
+}
+
+/// Heaviest currently-unmatched neighbor of `s` under the total edge
+/// order, or `UNMATCHED` when no positive-weight free neighbor exists.
+fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[VertexId]) -> VertexId {
+    let mut best_id = UNMATCHED;
+    let mut best_w = 0.0f64;
+    view.for_each_neighbor(s, |t, w| {
+        if w <= 0.0 || mate[t as usize] != UNMATCHED {
+            return;
+        }
+        if best_id == UNMATCHED || unified_edge_gt(w, s, t, best_w, s, best_id) {
+            best_id = t;
+            best_w = w;
+        }
+    });
+    best_id
+}
+
+/// Match `(s, candidate[s])` if it is locally dominant.
+fn try_match(
+    s: VertexId,
+    mate: &mut [VertexId],
+    candidate: &[VertexId],
+    queue: &mut VecDeque<VertexId>,
+) {
+    if mate[s as usize] != UNMATCHED {
+        return;
+    }
+    let c = candidate[s as usize];
+    if c != UNMATCHED && mate[c as usize] == UNMATCHED && candidate[c as usize] == s {
+        mate[s as usize] = c;
+        mate[c as usize] = s;
+        queue.push_back(s);
+        queue.push_back(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::greedy::greedy_matching;
+    use crate::exact::ssp::max_weight_matching_ssp;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(seed: u64, na: usize, nb: usize, p: f64, ties: bool) -> BipartiteGraph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for a in 0..na {
+            for b in 0..nb {
+                if rng.gen_bool(p) {
+                    let w = if ties {
+                        rng.gen_range(1..4) as f64
+                    } else {
+                        rng.gen_range(0.1..5.0)
+                    };
+                    entries.push((a as u32, b as u32, w));
+                }
+            }
+        }
+        BipartiteGraph::from_entries(na, nb, entries)
+    }
+
+    #[test]
+    fn equals_greedy_on_randoms() {
+        for seed in 0..25 {
+            let l = random_l(seed, 8, 9, 0.4, false);
+            let ld = serial_local_dominant(&l, l.weights());
+            let gr = greedy_matching(&l, l.weights());
+            assert_eq!(ld, gr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equals_greedy_with_weight_ties() {
+        for seed in 100..125 {
+            let l = random_l(seed, 10, 10, 0.5, true);
+            let ld = serial_local_dominant(&l, l.weights());
+            let gr = greedy_matching(&l, l.weights());
+            assert_eq!(ld, gr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn half_approximation_guarantee() {
+        for seed in 200..215 {
+            let l = random_l(seed, 9, 8, 0.45, false);
+            let ld = serial_local_dominant(&l, l.weights());
+            assert!(ld.is_valid(&l));
+            assert!(ld.is_maximal(&l, l.weights()));
+            let (opt, _) = max_weight_matching_ssp(&l, l.weights());
+            assert!(ld.weight_in(&l) * 2.0 >= opt.weight_in(&l) - 1e-9);
+            // Maximal matching ⇒ ≥ half the maximum cardinality; the
+            // optimum of the weight problem is not necessarily maximum
+            // cardinality, so only check validity here.
+        }
+    }
+
+    #[test]
+    fn empty_and_negative_graphs() {
+        let l = BipartiteGraph::from_entries(3, 3, Vec::<(u32, u32, f64)>::new());
+        assert_eq!(serial_local_dominant(&l, l.weights()).cardinality(), 0);
+        let l = BipartiteGraph::from_entries(1, 1, vec![(0, 0, -2.0)]);
+        assert_eq!(serial_local_dominant(&l, l.weights()).cardinality(), 0);
+    }
+
+    #[test]
+    fn path_graph_picks_dominant_middle() {
+        // a0-b0 (1), a1-b0 (5), a1-b1 (2): dominant edge (a1,b0).
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 1.0), (1, 0, 5.0), (1, 1, 2.0)]);
+        let m = serial_local_dominant(&l, l.weights());
+        assert_eq!(m.mate_of_left(1), Some(0));
+        assert_eq!(m.mate_of_left(0), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's parallel locally-dominant ½-approximate matching
+//! (Algorithms 1–3 of §V), implemented with `std::sync::atomic` and
+//! rayon.
+//!
+//! Structure (mirroring the pseudo-code):
+//!
+//! * **Phase 1** — `FindMate` for every vertex in parallel, then
+//!   `MatchVertex` for every vertex in parallel. Locally-dominant pairs
+//!   (mutual candidates) are claimed and enqueued in `Q_C`.
+//! * **Phase 2** — while `Q_C` is non-empty: for each matched vertex
+//!   `u ∈ Q_C` in parallel, every free neighbor `v` whose candidate was
+//!   invalidated (`candidate[v] = u`) re-runs `FindMate` and
+//!   `MatchVertex`, enqueuing fresh matches in `Q_N`; then the queues
+//!   swap. Each round is separated by a barrier (the end of the rayon
+//!   parallel loop), which is what makes the candidate-invalidation
+//!   protocol race-free: a vertex matched in round *r* is processed in
+//!   round *r + 1*, after every round-*r* candidate write has completed.
+//!
+//! Queue pushes use `fetch_add` on an atomic tail index — the Rust
+//! equivalent of the `__sync_fetch_and_add` hardware intrinsic the
+//! paper highlights. Mate claims use a single compare-exchange on the
+//! smaller endpoint (canonical order), so exactly one thread wins a
+//! pair and duplicates are impossible; the winner alone enqueues both
+//! endpoints, bounding each queue by the vertex count.
+//!
+//! Under the total edge order of [`crate::order`] the locally-dominant
+//! matching is unique, so this routine returns bit-identical results
+//! for every thread count and schedule — a property the tests assert
+//! against the serial implementation.
+
+use super::{unified_edge_gt, UnifiedView};
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// How Phase 1 seeds the candidate pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InitStrategy {
+    /// Spawn from both vertex sets, as in the general-graph algorithm.
+    #[default]
+    BothSides,
+    /// Spawn only from `V_A`, computing the reciprocal candidate of the
+    /// chosen `V_B` vertex on demand — the bipartite-aware
+    /// initialization the paper reports as "noticeably" faster (§V).
+    LeftSide,
+}
+
+/// Options for [`parallel_local_dominant`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelLdOptions {
+    /// Phase-1 initialization strategy.
+    pub init: InitStrategy,
+}
+
+/// Candidate sentinel: not yet computed (used by the one-side init).
+const UNSET: VertexId = VertexId::MAX;
+/// Candidate sentinel: computed, no eligible neighbor.
+const NO_CANDIDATE: VertexId = VertexId::MAX - 1;
+
+/// Parallel locally-dominant matching on the unified view of `l`,
+/// using the current rayon thread pool.
+pub fn parallel_local_dominant(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    opts: ParallelLdOptions,
+) -> Matching {
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    let mate: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let candidate: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+
+    // Queues: each matched vertex is enqueued exactly once (by the
+    // thread that won its pair), so capacity n suffices.
+    let q_cur: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let q_next: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let tail_cur = AtomicUsize::new(0);
+    let tail_next = AtomicUsize::new(0);
+
+    match opts.init {
+        InitStrategy::BothSides => {
+            (0..n as VertexId).into_par_iter().for_each(|v| {
+                candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
+            });
+            (0..n as VertexId).into_par_iter().for_each(|v| {
+                match_vertex(&view, v, &mate, &candidate, &q_cur, &tail_cur);
+            });
+        }
+        InitStrategy::LeftSide => {
+            let na = view.na() as VertexId;
+            (0..na).into_par_iter().for_each(|a| {
+                candidate[a as usize].store(find_mate(&view, a, &mate), Ordering::SeqCst);
+            });
+            (0..na).into_par_iter().for_each(|a| {
+                let b = candidate[a as usize].load(Ordering::SeqCst);
+                if b == NO_CANDIDATE || b == UNSET {
+                    return;
+                }
+                // MatchVertex computes `b`'s candidate on demand (see
+                // below). Attempt the match from both endpoints: `b`'s
+                // freshly computed candidate may reciprocate some
+                // *other* left vertex whose own MatchVertex already ran
+                // and missed it.
+                match_vertex(&view, a, &mate, &candidate, &q_cur, &tail_cur);
+                match_vertex(&view, b, &mate, &candidate, &q_cur, &tail_cur);
+            });
+        }
+    }
+
+    // Phase 2: process rounds until no new matches appear.
+    let (mut qc, mut tc, mut qn, mut tn) = (&q_cur, &tail_cur, &q_next, &tail_next);
+    while tc.load(Ordering::Acquire) > 0 {
+        let len = tc.load(Ordering::Acquire);
+        qc[..len].par_iter().for_each(|slot| {
+            let u = slot.load(Ordering::Acquire);
+            debug_assert_ne!(u, UNMATCHED);
+            let na = view.na() as VertexId;
+            let process = |v: VertexId| {
+                if mate[v as usize].load(Ordering::Acquire) != UNMATCHED {
+                    return;
+                }
+                let c = candidate[v as usize].load(Ordering::SeqCst);
+                // `UNSET` only occurs with the one-side init: the right
+                // vertex never computed a candidate, so compute it now.
+                if c == u || c == UNSET {
+                    // SeqCst store + SeqCst reciprocity loads in
+                    // MatchVertex: when two vertices pick each other in
+                    // the same round, sequential consistency forbids the
+                    // store-buffer outcome where *both* of their
+                    // MatchVertex calls read the other's stale pointer,
+                    // so at least one detects the pair.
+                    candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
+                    match_vertex(&view, v, &mate, &candidate, qn, tn);
+                }
+            };
+            if u < na {
+                for (b, _) in view.l.left_edges(u) {
+                    process(na + b);
+                }
+            } else {
+                for (a, _) in view.l.right_edges(u - na) {
+                    process(a);
+                }
+            }
+        });
+        // Barrier reached (parallel loop joined): swap queues.
+        std::mem::swap(&mut qc, &mut qn);
+        std::mem::swap(&mut tc, &mut tn);
+        tn.store(0, Ordering::Release);
+    }
+
+    let mate_plain: Vec<VertexId> = mate.iter().map(|m| m.load(Ordering::Acquire)).collect();
+    view.to_matching(&mate_plain)
+}
+
+/// `FindMate` (Algorithm 2): the heaviest currently-free neighbor of
+/// `s` under the total edge order, or `NO_CANDIDATE`.
+fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[AtomicU32]) -> VertexId {
+    let mut best_id = NO_CANDIDATE;
+    let mut best_w = 0.0f64;
+    view.for_each_neighbor(s, |t, w| {
+        if w <= 0.0 || mate[t as usize].load(Ordering::Acquire) != UNMATCHED {
+            return;
+        }
+        if best_id == NO_CANDIDATE || unified_edge_gt(w, s, t, best_w, s, best_id) {
+            best_id = t;
+            best_w = w;
+        }
+    });
+    best_id
+}
+
+/// `MatchVertex` (Algorithm 3): match `(s, candidate[s])` when locally
+/// dominant; the claim winner enqueues both endpoints.
+fn match_vertex(
+    view: &UnifiedView<'_>,
+    s: VertexId,
+    mate: &[AtomicU32],
+    candidate: &[AtomicU32],
+    queue: &[AtomicU32],
+    tail: &AtomicUsize,
+) {
+    let c = candidate[s as usize].load(Ordering::SeqCst);
+    if c == NO_CANDIDATE || c == UNSET {
+        return;
+    }
+    // One-side init leaves right-vertex candidates uncomputed until
+    // first touched: compute on demand (once, CAS keeps the first
+    // write) or the reciprocity check below would wrongly fail.
+    if candidate[c as usize].load(Ordering::SeqCst) == UNSET {
+        let fm = find_mate(view, c, mate);
+        let _ = candidate[c as usize].compare_exchange(UNSET, fm, Ordering::SeqCst, Ordering::SeqCst);
+    }
+    if candidate[c as usize].load(Ordering::SeqCst) != s {
+        return;
+    }
+    // Locally dominant: claim in canonical (smaller id first) order so
+    // that exactly one of the two symmetric MatchVertex calls wins.
+    let (lo, hi) = if s < c { (s, c) } else { (c, s) };
+    if mate[lo as usize]
+        .compare_exchange(UNMATCHED, hi, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        // Reciprocity is stable once observed (a vertex only recomputes
+        // its candidate after its current candidate got matched), so the
+        // partner slot is exclusively ours.
+        let prev = mate[hi as usize].swap(lo, Ordering::AcqRel);
+        debug_assert_eq!(prev, UNMATCHED, "partner was claimed twice");
+        let idx = tail.fetch_add(2, Ordering::AcqRel);
+        queue[idx].store(lo, Ordering::Release);
+        queue[idx + 1].store(hi, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::greedy::greedy_matching;
+    use crate::approx::local_dominant::serial_local_dominant;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(seed: u64, na: usize, nb: usize, p: f64, ties: bool) -> BipartiteGraph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for a in 0..na {
+            for b in 0..nb {
+                if rng.gen_bool(p) {
+                    let w = if ties {
+                        rng.gen_range(1..4) as f64
+                    } else {
+                        rng.gen_range(0.1..5.0)
+                    };
+                    entries.push((a as u32, b as u32, w));
+                }
+            }
+        }
+        BipartiteGraph::from_entries(na, nb, entries)
+    }
+
+    #[test]
+    fn equals_serial_on_randoms_both_sides() {
+        for seed in 0..20 {
+            let l = random_l(seed, 30, 28, 0.15, false);
+            let par = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+            let ser = serial_local_dominant(&l, l.weights());
+            assert_eq!(par, ser, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equals_serial_with_one_side_init() {
+        let opts = ParallelLdOptions { init: InitStrategy::LeftSide };
+        for seed in 40..60 {
+            let l = random_l(seed, 25, 31, 0.2, false);
+            let par = parallel_local_dominant(&l, l.weights(), opts);
+            let ser = serial_local_dominant(&l, l.weights());
+            assert_eq!(par, ser, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equals_serial_with_weight_ties() {
+        for seed in 80..95 {
+            let l = random_l(seed, 40, 40, 0.25, true);
+            let par = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+            let ser = serial_local_dominant(&l, l.weights());
+            assert_eq!(par, ser, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let l = random_l(7, 60, 55, 0.1, true);
+        let first = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+        for _ in 0..10 {
+            let again = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn matches_greedy_reference() {
+        for seed in 120..135 {
+            let l = random_l(seed, 20, 20, 0.3, false);
+            let par = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+            let gr = greedy_matching(&l, l.weights());
+            assert_eq!(par, gr, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let l = BipartiteGraph::from_entries(4, 4, Vec::<(u32, u32, f64)>::new());
+        let m = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn maximality_on_larger_instance() {
+        let l = random_l(999, 200, 180, 0.05, false);
+        let m = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
+        assert!(m.is_valid(&l));
+        assert!(m.is_maximal(&l, l.weights()));
+    }
+}

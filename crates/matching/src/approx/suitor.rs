@@ -1,0 +1,227 @@
+//! The Suitor algorithm for ½-approximate maximum-weight matching
+//! (Manne & Halappanavar, IPDPS 2014) — the authors' own follow-up to
+//! the queue-based algorithm reproduced in [`super::parallel_ld`], and
+//! the natural "future work" of the paper's §V.
+//!
+//! Every vertex *proposes* to its heaviest neighbor whose current best
+//! proposal it can beat; a displaced suitor immediately continues
+//! proposing on its own behalf. The fixed point assigns each vertex the
+//! best proposal it received, and mutual proposals form exactly the
+//! locally-dominant matching — so under this crate's total edge order
+//! the Suitor result equals the greedy / pointer-based results, which
+//! the tests assert.
+//!
+//! The parallel variant runs the proposal loops concurrently, with a
+//! per-vertex lock (paper's published version) realized here as a CAS
+//! spinlock over the packed `(suitor, weight-index)` slot.
+
+use super::{unified_edge_gt, UnifiedView};
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Serial Suitor algorithm.
+pub fn serial_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    // suitor[v] = current best proposer to v; ws[v] = its edge weight.
+    let mut suitor = vec![UNMATCHED; n];
+    let mut ws = vec![0.0f64; n];
+
+    for start in 0..n as VertexId {
+        let mut current = start;
+        loop {
+            // Find the heaviest neighbor `t` of `current` that would
+            // accept `current` (beats t's standing proposal).
+            let mut best_t = UNMATCHED;
+            let mut best_w = 0.0f64;
+            view.for_each_neighbor(current, |t, w| {
+                if w <= 0.0 {
+                    return;
+                }
+                let standing = suitor[t as usize];
+                let accepts = standing == UNMATCHED
+                    || unified_edge_gt(w, current, t, ws[t as usize], standing, t);
+                if accepts
+                    && (best_t == UNMATCHED || unified_edge_gt(w, current, t, best_w, current, best_t))
+                {
+                    best_t = t;
+                    best_w = w;
+                }
+            });
+            let Some(t) = (best_t != UNMATCHED).then_some(best_t) else {
+                break; // current retires unmatched
+            };
+            let displaced = suitor[t as usize];
+            suitor[t as usize] = current;
+            ws[t as usize] = best_w;
+            if displaced == UNMATCHED {
+                break;
+            }
+            current = displaced; // displaced suitor proposes again
+        }
+    }
+    mutual_proposals_to_matching(&view, &suitor)
+}
+
+/// Parallel Suitor: vertices propose concurrently; each proposal slot
+/// is guarded by a per-vertex mutex, and displacement chains continue
+/// on the displacing thread.
+pub fn parallel_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    let slots: Vec<Mutex<(VertexId, f64)>> =
+        (0..n).map(|_| Mutex::new((UNMATCHED, 0.0f64))).collect();
+
+    (0..n as VertexId).into_par_iter().for_each(|start| {
+        let mut current = start;
+        loop {
+            // Scan for the best acceptable target under a consistent
+            // snapshot; re-validated under the lock below.
+            let mut best_t = UNMATCHED;
+            let mut best_w = 0.0f64;
+            view.for_each_neighbor(current, |t, w| {
+                if w <= 0.0 {
+                    return;
+                }
+                let (standing, sw) = *slots[t as usize].lock();
+                let accepts =
+                    standing == UNMATCHED || unified_edge_gt(w, current, t, sw, standing, t);
+                if accepts
+                    && (best_t == UNMATCHED || unified_edge_gt(w, current, t, best_w, current, best_t))
+                {
+                    best_t = t;
+                    best_w = w;
+                }
+            });
+            if best_t == UNMATCHED {
+                break;
+            }
+            let t = best_t;
+            let displaced = {
+                let mut slot = slots[t as usize].lock();
+                let (standing, sw) = *slot;
+                // Re-check under the lock: someone may have outbid us.
+                if standing == UNMATCHED || unified_edge_gt(best_w, current, t, sw, standing, t) {
+                    *slot = (current, best_w);
+                    standing
+                } else {
+                    // Outbid between scan and lock: rescan from scratch.
+                    continue;
+                }
+            };
+            if displaced == UNMATCHED {
+                break;
+            }
+            current = displaced;
+        }
+    });
+
+    let suitor: Vec<VertexId> = slots.iter().map(|s| s.lock().0).collect();
+    mutual_proposals_to_matching(&view, &suitor)
+}
+
+/// Mutual proposals are the matched pairs.
+fn mutual_proposals_to_matching(view: &UnifiedView<'_>, suitor: &[VertexId]) -> Matching {
+    let n = suitor.len();
+    let mut mate = vec![UNMATCHED; n];
+    for v in 0..n {
+        let s = suitor[v];
+        if s != UNMATCHED && suitor[s as usize] == v as VertexId {
+            mate[v] = s;
+        }
+    }
+    view.to_matching(&mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::greedy::greedy_matching;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(seed: u64, na: usize, nb: usize, p: f64, ties: bool) -> BipartiteGraph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for a in 0..na {
+            for b in 0..nb {
+                if rng.gen_bool(p) {
+                    let w = if ties {
+                        rng.gen_range(1..4) as f64
+                    } else {
+                        rng.gen_range(0.1..5.0)
+                    };
+                    entries.push((a as u32, b as u32, w));
+                }
+            }
+        }
+        BipartiteGraph::from_entries(na, nb, entries)
+    }
+
+    #[test]
+    fn serial_suitor_equals_greedy() {
+        for seed in 0..25 {
+            let l = random_l(seed, 10, 11, 0.4, false);
+            assert_eq!(
+                serial_suitor(&l, l.weights()),
+                greedy_matching(&l, l.weights()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_suitor_equals_greedy_with_ties() {
+        for seed in 50..70 {
+            let l = random_l(seed, 12, 12, 0.5, true);
+            assert_eq!(
+                serial_suitor(&l, l.weights()),
+                greedy_matching(&l, l.weights()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_suitor_equals_serial() {
+        for seed in 100..120 {
+            let l = random_l(seed, 30, 28, 0.2, false);
+            assert_eq!(
+                parallel_suitor(&l, l.weights()),
+                serial_suitor(&l, l.weights()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_suitor_deterministic_across_runs() {
+        let l = random_l(7, 60, 55, 0.15, true);
+        let first = parallel_suitor(&l, l.weights());
+        for _ in 0..10 {
+            assert_eq!(first, parallel_suitor(&l, l.weights()));
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_graphs() {
+        let empty = BipartiteGraph::from_entries(3, 3, Vec::<(u32, u32, f64)>::new());
+        assert_eq!(serial_suitor(&empty, empty.weights()).cardinality(), 0);
+        assert_eq!(parallel_suitor(&empty, empty.weights()).cardinality(), 0);
+        let neg = BipartiteGraph::from_entries(1, 1, vec![(0, 0, -1.0)]);
+        assert_eq!(serial_suitor(&neg, neg.weights()).cardinality(), 0);
+    }
+
+    #[test]
+    fn star_graph_takes_heaviest_leaf() {
+        let l = BipartiteGraph::from_entries(
+            1,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 3.0), (0, 2, 2.0), (0, 3, 0.5)],
+        );
+        let m = serial_suitor(&l, l.weights());
+        assert_eq!(m.mate_of_left(0), Some(1));
+        assert_eq!(m.cardinality(), 1);
+    }
+}

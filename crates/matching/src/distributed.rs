@@ -1,0 +1,344 @@
+//! Distributed-memory locally-dominant matching, simulated.
+//!
+//! The paper's §IX names a distributed half-approximation matching
+//! (Çatalyürek et al. [29]) as the path to an MPI implementation. This
+//! module reproduces that algorithm's structure on simulated ranks:
+//! vertices are block-partitioned across `num_ranks` workers, every
+//! worker owns the `mate`/`candidate` state of its vertices only, and
+//! all cross-partition coordination happens through explicit messages
+//! (`Propose`, `Matched`) over channels — no shared mutable state. The
+//! graph itself is shared read-only, standing in for the halo/ghost
+//! replication a real MPI code would use.
+//!
+//! The protocol is bulk-synchronous, three phases per round:
+//!
+//! 1. **Propose** — each rank recomputes candidates for its dirty
+//!    vertices and sends a proposal to the candidate's owner.
+//! 2. **Match** — ranks drain proposals; an owned vertex whose own
+//!    candidate has proposed to it forms a locally-dominant pair, which
+//!    is matched and announced to every rank.
+//! 3. **Invalidate** — ranks drain announcements, update their view of
+//!    who is matched, and mark neighbors that pointed at a newly
+//!    matched vertex dirty for the next round.
+//!
+//! A proposal stays valid while its target is unmatched (a vertex only
+//! re-proposes after its previous target matched), so pending proposals
+//! are stored per target until consumed or invalidated.
+//!
+//! Under the crate's total edge order, the result equals the serial
+//! locally-dominant matching for every rank count — asserted in tests.
+
+use crate::approx::{unified_edge_gt, UnifiedView};
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Messages between ranks.
+#[derive(Clone, Copy, Debug)]
+enum Msg {
+    /// `from` has chosen `to` as its candidate.
+    Propose { from: VertexId, to: VertexId },
+    /// `v` got matched to `mate` (broadcast to all ranks).
+    Matched { v: VertexId, mate: VertexId },
+}
+
+/// Block partition: owner of vertex `v` among `p` ranks over `n`
+/// vertices.
+#[inline]
+fn owner(v: VertexId, n: usize, p: usize) -> usize {
+    let block = n.div_ceil(p);
+    ((v as usize) / block).min(p - 1)
+}
+
+/// Run the simulated distributed matcher with `num_ranks` workers.
+///
+/// # Panics
+/// Panics if `num_ranks == 0` or `weights.len() != l.num_edges()`.
+pub fn distributed_local_dominant(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    num_ranks: usize,
+) -> Matching {
+    assert!(num_ranks >= 1, "need at least one rank");
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    if n == 0 {
+        return Matching::empty(l.num_left(), l.num_right());
+    }
+    let p = num_ranks.min(n);
+
+    // One inbox per rank; anyone may send to it.
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = crossbeam::channel::unbounded::<Msg>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Barrier::new(p);
+    let active = [AtomicBool::new(false), AtomicBool::new(false)];
+
+    let block = n.div_ceil(p);
+    let results: Vec<Vec<(VertexId, VertexId)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let barrier = &barrier;
+            let active = &active;
+            let view = &view;
+            handles.push(scope.spawn(move || {
+                rank_main(rank, p, n, block, view, senders, rx, barrier, active)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+
+    let mut mate = vec![UNMATCHED; n];
+    for pairs in results {
+        for (v, m) in pairs {
+            mate[v as usize] = m;
+        }
+    }
+    view.to_matching(&mate)
+}
+
+/// Candidate of `s` among neighbors the rank believes are unmatched.
+fn find_mate_local(view: &UnifiedView<'_>, s: VertexId, known_matched: &[bool]) -> VertexId {
+    let mut best = UNMATCHED;
+    let mut best_w = 0.0f64;
+    view.for_each_neighbor(s, |t, w| {
+        if w <= 0.0 || known_matched[t as usize] {
+            return;
+        }
+        if best == UNMATCHED || unified_edge_gt(w, s, t, best_w, s, best) {
+            best = t;
+            best_w = w;
+        }
+    });
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    rank: usize,
+    p: usize,
+    n: usize,
+    block: usize,
+    view: &UnifiedView<'_>,
+    senders: Vec<crossbeam::channel::Sender<Msg>>,
+    rx: crossbeam::channel::Receiver<Msg>,
+    barrier: &Barrier,
+    active: &[AtomicBool; 2],
+) -> Vec<(VertexId, VertexId)> {
+    let lo = rank * block;
+    let hi = ((rank + 1) * block).min(n);
+    let owns = |v: VertexId| (lo..hi).contains(&(v as usize));
+
+    // Owned state, indexed by (v - lo).
+    let mut mate = vec![UNMATCHED; hi - lo];
+    let mut candidate = vec![UNMATCHED; hi - lo];
+    // Pending proposals per owned vertex.
+    let mut proposals: Vec<Vec<VertexId>> = vec![Vec::new(); hi - lo];
+    // Global view of matched vertices (built from broadcasts).
+    let mut known_matched = vec![false; n];
+    let mut dirty: Vec<VertexId> = (lo as VertexId..hi as VertexId).collect();
+    let mut matched_now: Vec<(VertexId, VertexId)> = Vec::new();
+    // Announcements drained early: a fast rank may broadcast `Matched`
+    // while this rank is still draining phase-2 proposals, so phase 2
+    // defers them here for phase 3 instead of asserting them away.
+    let mut deferred: Vec<Msg> = Vec::new();
+
+    let mut round = 0usize;
+    loop {
+        // Phase 1: propose.
+        for &v in &dirty {
+            let li = v as usize - lo;
+            if mate[li] != UNMATCHED {
+                continue;
+            }
+            let c = find_mate_local(view, v, &known_matched);
+            candidate[li] = c;
+            if c != UNMATCHED {
+                senders[owner(c, n, p)]
+                    .send(Msg::Propose { from: v, to: c })
+                    .expect("inbox closed");
+            }
+        }
+        dirty.clear();
+        barrier.wait();
+
+        // Phase 2: drain proposals, match locally-dominant pairs.
+        // (`Matched` broadcasts from ranks already past their own
+        // matching loop are deferred to phase 3.)
+        while let Ok(msg) = rx.try_recv() {
+            if let Msg::Propose { from, to } = msg {
+                debug_assert!(owns(to));
+                proposals[to as usize - lo].push(from);
+            } else {
+                deferred.push(msg);
+            }
+        }
+        matched_now.clear();
+        for li in 0..(hi - lo) {
+            if mate[li] != UNMATCHED {
+                continue;
+            }
+            let c = candidate[li];
+            if c == UNMATCHED {
+                continue;
+            }
+            // A proposal from exactly our candidate makes the pair
+            // locally dominant. (A stored proposal stays valid while we
+            // are unmatched; see module docs.)
+            if proposals[li].contains(&c) && !known_matched[c as usize] {
+                let v = (lo + li) as VertexId;
+                mate[li] = c;
+                matched_now.push((v, c));
+            }
+        }
+        for &(v, c) in &matched_now {
+            for tx in &senders {
+                tx.send(Msg::Matched { v, mate: c }).expect("inbox closed");
+                tx.send(Msg::Matched { v: c, mate: v }).expect("inbox closed");
+            }
+        }
+        barrier.wait();
+
+        // Phase 3: drain announcements (deferred ones first),
+        // invalidate neighbors.
+        let drained: Vec<Msg> = deferred
+            .drain(..)
+            .chain(std::iter::from_fn(|| rx.try_recv().ok()))
+            .collect();
+        for msg in drained {
+            if let Msg::Matched { v, mate: m } = msg {
+                if known_matched[v as usize] {
+                    continue; // duplicate announcement (both owners matched)
+                }
+                known_matched[v as usize] = true;
+                if owns(v) {
+                    mate[v as usize - lo] = m;
+                    proposals[v as usize - lo].clear();
+                }
+                // Neighbors of v that we own and that pointed at v must
+                // recompute — the mirror of the paper's queue phase.
+                view.for_each_neighbor(v, |u, _| {
+                    if owns(u)
+                        && mate[u as usize - lo] == UNMATCHED
+                        && candidate[u as usize - lo] == v
+                    {
+                        dirty.push(u);
+                    }
+                });
+            } else {
+                unreachable!("Propose messages cannot cross the phase-3 barriers");
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        // Termination: double-buffered global activity flag.
+        let cur = round % 2;
+        if !dirty.is_empty() {
+            active[cur].store(true, Ordering::SeqCst);
+        }
+        barrier.wait();
+        let keep_going = active[cur].load(Ordering::SeqCst);
+        active[(round + 1) % 2].store(false, Ordering::SeqCst);
+        barrier.wait();
+        if !keep_going {
+            break;
+        }
+        round += 1;
+    }
+
+    (lo..hi)
+        .filter(|&v| mate[v - lo] != UNMATCHED)
+        .map(|v| (v as VertexId, mate[v - lo]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::serial_local_dominant;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(seed: u64, na: usize, nb: usize, pr: f64) -> BipartiteGraph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for a in 0..na {
+            for b in 0..nb {
+                if rng.gen_bool(pr) {
+                    entries.push((a as u32, b as u32, rng.gen_range(0.1..5.0)));
+                }
+            }
+        }
+        BipartiteGraph::from_entries(na, nb, entries)
+    }
+
+    #[test]
+    fn single_rank_equals_serial() {
+        for seed in 0..10 {
+            let l = random_l(seed, 15, 13, 0.3);
+            assert_eq!(
+                distributed_local_dominant(&l, l.weights(), 1),
+                serial_local_dominant(&l, l.weights()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_ranks_equal_serial() {
+        for seed in 20..35 {
+            let l = random_l(seed, 25, 22, 0.25);
+            let serial = serial_local_dominant(&l, l.weights());
+            for ranks in [2, 3, 4, 7] {
+                assert_eq!(
+                    distributed_local_dominant(&l, l.weights(), ranks),
+                    serial,
+                    "seed {seed} ranks {ranks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let l = random_l(1, 3, 3, 0.8);
+        let serial = serial_local_dominant(&l, l.weights());
+        assert_eq!(distributed_local_dominant(&l, l.weights(), 64), serial);
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let l = BipartiteGraph::from_entries(4, 4, Vec::<(u32, u32, f64)>::new());
+        let m = distributed_local_dominant(&l, l.weights(), 3);
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn cross_partition_pairs_are_found() {
+        // Force the dominant pair to straddle the partition boundary:
+        // left vertices live in rank 0's block, right in the last.
+        let l = BipartiteGraph::from_entries(
+            2,
+            2,
+            vec![(0, 0, 5.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        );
+        let m = distributed_local_dominant(&l, l.weights(), 4);
+        assert_eq!(m.mate_of_left(0), Some(0));
+        assert_eq!(m.mate_of_left(1), Some(1));
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_rank_counts() {
+        let l = random_l(9, 40, 40, 0.15);
+        let reference = distributed_local_dominant(&l, l.weights(), 2);
+        for _ in 0..5 {
+            assert_eq!(distributed_local_dominant(&l, l.weights(), 5), reference);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Bertsekas' auction algorithm (single phase, "stay free" option).
+//!
+//! A near-exact baseline: left vertices bid for right vertices, raising
+//! prices by at least ε per bid; a bidder retires when its best net
+//! value drops to ≤ 0. Starting from zero prices, the final matching
+//! satisfies ε-complementary-slackness, which bounds the gap to the
+//! optimum by `cardinality · ε`:
+//!
+//! * every assigned bidder is within ε of its best current option,
+//! * every retired bidder's best option is non-positive (prices only
+//!   rise, so retirement is permanent and justified),
+//! * unassigned objects keep price 0 (an object, once bid on, never
+//!   becomes free again), so `(prices, max-net-values)` is a feasible
+//!   LP dual whose value exceeds the optimum by at most
+//!   `cardinality · ε`.
+//!
+//! ε-scaling with kept prices is deliberately *not* used: combined with
+//! the stay-free option it leaves positive prices on objects that end
+//! the final phase unassigned, which silently voids the bound. The
+//! worst-case bid count is `O(nb · max_w / ε)`; this routine is an
+//! ablation baseline, not the production matcher.
+
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+
+/// Auction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AuctionOptions {
+    /// ε as a fraction of the maximum edge weight. The optimality gap
+    /// is at most `cardinality · eps_rel · max_weight`.
+    pub eps_rel: f64,
+}
+
+impl Default for AuctionOptions {
+    fn default() -> Self {
+        Self { eps_rel: 1e-4 }
+    }
+}
+
+/// Run the auction and return a matching within
+/// `cardinality · eps_rel · max_weight` of optimal.
+///
+/// # Panics
+/// Panics if `weights.len() != l.num_edges()` or `eps_rel <= 0`.
+pub fn auction_matching(l: &BipartiteGraph, weights: &[f64], opts: AuctionOptions) -> Matching {
+    assert_eq!(weights.len(), l.num_edges());
+    assert!(opts.eps_rel > 0.0, "eps_rel must be positive");
+    let na = l.num_left();
+    let nb = l.num_right();
+    let max_w = weights.iter().fold(0.0f64, |a, &w| a.max(w));
+    if max_w <= 0.0 {
+        return Matching::empty(na, nb);
+    }
+    let eps = opts.eps_rel * max_w;
+
+    let mut prices = vec![0.0f64; nb];
+    let mut mate_a = vec![UNMATCHED; na];
+    let mut mate_b = vec![UNMATCHED; nb];
+    let mut queue: Vec<VertexId> = (0..na as VertexId).collect();
+
+    while let Some(a) = queue.pop() {
+        // Best and second-best net value among positive edges.
+        let mut best_net = f64::NEG_INFINITY;
+        let mut best_b = UNMATCHED;
+        let mut second = f64::NEG_INFINITY;
+        for (b, e) in l.left_edges(a) {
+            let w = weights[e];
+            if w <= 0.0 {
+                continue;
+            }
+            let net = w - prices[b as usize];
+            if net > best_net {
+                second = best_net;
+                best_net = net;
+                best_b = b;
+            } else if net > second {
+                second = net;
+            }
+        }
+        if best_b == UNMATCHED || best_net <= 0.0 {
+            continue; // retire: staying free is at least as good
+        }
+        let b = best_b;
+        // Bid: raise the price so `a` is indifferent between its best
+        // option and the better of (second best, staying free).
+        prices[b as usize] += (best_net - second.max(0.0)) + eps;
+        let prev = mate_b[b as usize];
+        if prev != UNMATCHED {
+            mate_a[prev as usize] = UNMATCHED;
+            queue.push(prev);
+        }
+        mate_b[b as usize] = a;
+        mate_a[a as usize] = b;
+    }
+    Matching::from_mates(mate_a, mate_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ssp::max_weight_matching_ssp;
+
+    fn near_optimal(l: &BipartiteGraph, eps_rel: f64) {
+        let m = auction_matching(l, l.weights(), AuctionOptions { eps_rel });
+        assert!(m.is_valid(l));
+        let (opt, _) = max_weight_matching_ssp(l, l.weights());
+        let max_w = l.weights().iter().fold(0.0f64, |a, &w| a.max(w));
+        let gap = opt.weight_in(l) - m.weight_in(l);
+        let bound = m.cardinality().max(1) as f64 * eps_rel * max_w;
+        assert!(gap <= bound + 1e-12, "gap {gap} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn simple_instances_reach_optimum() {
+        near_optimal(
+            &BipartiteGraph::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)]),
+            1e-6,
+        );
+        near_optimal(
+            &BipartiteGraph::from_entries(2, 1, vec![(0, 0, 4.0), (1, 0, 5.0)]),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn all_negative_yields_empty() {
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, -1.0), (1, 1, -2.0)]);
+        let m = auction_matching(&l, l.weights(), AuctionOptions::default());
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn random_instances_near_optimal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for trial in 0..20 {
+            let na = 3 + (trial % 6);
+            let nb = 3 + (trial % 5);
+            let mut entries = Vec::new();
+            for a in 0..na {
+                for b in 0..nb {
+                    if rng.gen_bool(0.5) {
+                        entries.push((a as u32, b as u32, rng.gen_range(0.0..10.0)));
+                    }
+                }
+            }
+            near_optimal(&BipartiteGraph::from_entries(na, nb, entries), 1e-5);
+        }
+    }
+
+    #[test]
+    fn tighter_eps_means_smaller_gap() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut entries = Vec::new();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                if rng.gen_bool(0.6) {
+                    entries.push((a, b, rng.gen_range(0.0..1.0)));
+                }
+            }
+        }
+        let l = BipartiteGraph::from_entries(12, 12, entries);
+        let (opt, _) = max_weight_matching_ssp(&l, l.weights());
+        let coarse = auction_matching(&l, l.weights(), AuctionOptions { eps_rel: 0.05 });
+        let fine = auction_matching(&l, l.weights(), AuctionOptions { eps_rel: 1e-6 });
+        assert!(fine.weight_in(&l) + 1e-9 >= coarse.weight_in(&l));
+        assert!((opt.weight_in(&l) - fine.weight_in(&l)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Brute-force maximum-weight matching oracle for tiny instances.
+//!
+//! Bitmask DP over the right side: `O(na · 2^nb)`. Only intended for
+//! testing the real solvers (`nb ≤ 20`).
+
+use crate::matching::Matching;
+use netalign_graph::{BipartiteGraph, VertexId};
+
+/// Optimal matching value and one optimal matching, by exhaustive DP.
+///
+/// # Panics
+/// Panics if `l.num_right() > 20` (the DP table would explode).
+pub fn brute_force_matching(l: &BipartiteGraph, weights: &[f64]) -> (f64, Matching) {
+    let na = l.num_left();
+    let nb = l.num_right();
+    assert!(nb <= 20, "brute force oracle limited to 20 right vertices, got {nb}");
+    assert_eq!(weights.len(), l.num_edges());
+
+    let full = 1usize << nb;
+    // dp[mask] = best value using left vertices 0..i with right-usage mask
+    let neg = f64::NEG_INFINITY;
+    let mut dp = vec![neg; full];
+    let mut choice: Vec<Vec<i8>> = Vec::with_capacity(na); // -1 = skip, else local edge offset
+    dp[0] = 0.0;
+    for a in 0..na as VertexId {
+        let mut ndp = vec![neg; full];
+        let mut nchoice = vec![-1i8; full];
+        let edges: Vec<(VertexId, usize)> = l.left_edges(a).collect();
+        for mask in 0..full {
+            if dp[mask] == neg {
+                continue;
+            }
+            // skip a
+            if dp[mask] > ndp[mask] {
+                ndp[mask] = dp[mask];
+                nchoice[mask] = -1;
+            }
+            for (off, &(b, e)) in edges.iter().enumerate() {
+                let w = weights[e];
+                if w <= 0.0 {
+                    continue;
+                }
+                let bit = 1usize << b;
+                if mask & bit == 0 {
+                    let nm = mask | bit;
+                    let v = dp[mask] + w;
+                    if v > ndp[nm] {
+                        ndp[nm] = v;
+                        nchoice[nm] = off as i8;
+                    }
+                }
+            }
+        }
+        dp = ndp;
+        choice.push(nchoice);
+    }
+
+    // Best final mask and backtrack.
+    let (mut best_mask, mut best_val) = (0usize, 0.0f64);
+    for (mask, &v) in dp.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best_mask = mask;
+        }
+    }
+    let mut m = Matching::empty(na, nb);
+    let mut mask = best_mask;
+    for a in (0..na).rev() {
+        let c = choice[a][mask];
+        if c >= 0 {
+            let (b, _) = l.left_edges(a as VertexId).nth(c as usize).unwrap();
+            m.add_pair(a as VertexId, b);
+            mask &= !(1usize << b);
+        }
+    }
+    (best_val, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_optimum() {
+        let l = BipartiteGraph::from_entries(
+            2,
+            2,
+            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
+        );
+        let (v, m) = brute_force_matching(&l, l.weights());
+        assert_eq!(v, 4.0);
+        assert!(m.is_valid(&l));
+        assert_eq!(m.weight_in(&l), 4.0);
+    }
+
+    #[test]
+    fn negative_edges_ignored() {
+        let l = BipartiteGraph::from_entries(1, 1, vec![(0, 0, -1.0)]);
+        let (v, m) = brute_force_matching(&l, l.weights());
+        assert_eq!(v, 0.0);
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn backtracked_matching_attains_value() {
+        let l = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 4.0),
+                (1, 0, 3.0),
+                (1, 2, 1.5),
+                (2, 1, 2.0),
+                (2, 2, 2.5),
+            ],
+        );
+        let (v, m) = brute_force_matching(&l, l.weights());
+        assert!((m.weight_in(&l) - v).abs() < 1e-12);
+        assert_eq!(v, 4.0 + 3.0 + 2.5);
+    }
+}

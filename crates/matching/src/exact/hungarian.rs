@@ -1,0 +1,232 @@
+//! Dense Hungarian algorithm (Kuhn–Munkres, O(n³)) for maximum-weight
+//! bipartite matching with a free "stay unmatched" option.
+//!
+//! A second, independently-implemented exact solver: the sparse SSP
+//! solver and this dense one cross-validate each other in the tests
+//! (different algorithm family, different failure modes). Only
+//! sensible for small, dense-ish instances — the aligners use SSP.
+//!
+//! Implementation: the classical potential-based row-by-row algorithm
+//! on an `na × (nb + na)` rectangle, where column `nb + a` is row `a`'s
+//! private "stay unmatched" option of weight 0; null assignments are
+//! dropped from the returned matching.
+
+use crate::matching::Matching;
+use netalign_graph::{BipartiteGraph, VertexId};
+
+/// Maximum-weight matching by the dense Hungarian algorithm.
+///
+/// # Panics
+/// Panics if `na * (nb + na)` would exceed ~10⁸ entries (use the SSP
+/// solver for anything large) or on a weight-length mismatch.
+pub fn hungarian_matching(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    assert_eq!(weights.len(), l.num_edges());
+    let na = l.num_left();
+    let nb = l.num_right();
+    let ncols = nb + na; // real columns + one null column per row
+    assert!(
+        na.saturating_mul(ncols) <= 100_000_000,
+        "dense Hungarian limited to ~1e8 entries ({na} x {ncols})"
+    );
+    if na == 0 {
+        return Matching::empty(na, nb);
+    }
+
+    // Cost matrix (minimization): cost = -weight, null options cost 0.
+    // Stored row-major, only negative entries matter; absent edges get
+    // +BIG so they are never taken.
+    const BIG: f64 = 1e18;
+    let mut cost = vec![BIG; na * ncols];
+    for (a, b, e) in l.edge_iter() {
+        let w = weights[e];
+        cost[a as usize * ncols + b as usize] = if w > 0.0 { -w } else { BIG };
+    }
+    for a in 0..na {
+        cost[a * ncols + nb + a] = 0.0; // the row's null option
+    }
+
+    let mut buffers = HungarianBuffers::default();
+    let p = solve_dense_assignment(&cost, na, ncols, &mut buffers);
+
+    let mut m = Matching::empty(na, nb);
+    for j in 1..=nb {
+        let i = p[j];
+        if i != 0 {
+            let a = (i - 1) as VertexId;
+            let b = (j - 1) as VertexId;
+            // Only keep real positive-weight assignments.
+            if let Some(e) = l.edge_id(a, b) {
+                if weights[e] > 0.0 {
+                    m.add_pair(a, b);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Reusable scratch space for [`solve_dense_assignment`]. Callers that
+/// solve many small assignments (MR's per-row matchings) keep one per
+/// worker thread so the hot loop allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct HungarianBuffers {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+/// Classical O(n³) min-cost assignment with potentials on a dense
+/// row-major `na × ncols` cost matrix (`na ≤ ncols` required; give each
+/// row a private 0-cost slack column to model "stay unmatched").
+///
+/// Returns `p` (1-indexed): `p[j]` is the row assigned to column `j`,
+/// or 0 when the column is free.
+pub fn solve_dense_assignment(
+    cost: &[f64],
+    na: usize,
+    ncols: usize,
+    bufs: &mut HungarianBuffers,
+) -> Vec<usize> {
+    assert!(na <= ncols, "need na <= ncols (pad with slack columns)");
+    assert_eq!(cost.len(), na * ncols);
+    bufs.u.clear();
+    bufs.u.resize(na + 1, 0.0);
+    bufs.v.clear();
+    bufs.v.resize(ncols + 1, 0.0);
+    bufs.p.clear();
+    bufs.p.resize(ncols + 1, 0);
+    bufs.way.clear();
+    bufs.way.resize(ncols + 1, 0);
+    bufs.minv.clear();
+    bufs.minv.resize(ncols + 1, f64::INFINITY);
+    bufs.used.clear();
+    bufs.used.resize(ncols + 1, false);
+    let HungarianBuffers { u, v, p, way, minv, used } = bufs;
+    for i in 1..=na {
+        p[0] = i;
+        let mut j0 = 0usize;
+        minv.fill(f64::INFINITY);
+        used.fill(false);
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=ncols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1) * ncols + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=ncols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    p.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute::brute_force_matching;
+    use crate::exact::ssp::max_weight_matching_ssp;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_brute_force_on_smalls() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..40 {
+            let na = rng.gen_range(1..7);
+            let nb = rng.gen_range(1..7);
+            let mut entries = Vec::new();
+            for a in 0..na as u32 {
+                for b in 0..nb as u32 {
+                    if rng.gen_bool(0.6) {
+                        entries.push((a, b, rng.gen_range(-1.0..5.0)));
+                    }
+                }
+            }
+            let l = BipartiteGraph::from_entries(na, nb, entries);
+            let m = hungarian_matching(&l, l.weights());
+            assert!(m.is_valid(&l));
+            let (opt, _) = brute_force_matching(&l, l.weights());
+            assert!(
+                (m.weight_in(&l) - opt).abs() < 1e-9,
+                "hungarian {} vs brute {}",
+                m.weight_in(&l),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn cross_validates_the_ssp_solver() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(33);
+        for trial in 0..15 {
+            let na = 5 + trial % 10;
+            let nb = 5 + (trial * 3) % 10;
+            let mut entries = Vec::new();
+            for a in 0..na as u32 {
+                for b in 0..nb as u32 {
+                    if rng.gen_bool(0.4) {
+                        entries.push((a, b, rng.gen_range(0.01..3.0)));
+                    }
+                }
+            }
+            let l = BipartiteGraph::from_entries(na, nb, entries);
+            let hung = hungarian_matching(&l, l.weights());
+            let (ssp, _) = max_weight_matching_ssp(&l, l.weights());
+            assert!(
+                (hung.weight_in(&l) - ssp.weight_in(&l)).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs ssp {}",
+                hung.weight_in(&l),
+                ssp.weight_in(&l)
+            );
+        }
+    }
+
+    #[test]
+    fn prefers_staying_free_over_negative_edges() {
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, -5.0), (1, 1, 3.0)]);
+        let m = hungarian_matching(&l, l.weights());
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_left(1), Some(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = BipartiteGraph::from_entries(0, 3, Vec::<(u32, u32, f64)>::new());
+        assert_eq!(hungarian_matching(&l, l.weights()).cardinality(), 0);
+        let l2 = BipartiteGraph::from_entries(3, 3, Vec::<(u32, u32, f64)>::new());
+        assert_eq!(hungarian_matching(&l2, l2.weights()).cardinality(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Exact (and near-exact) maximum-weight bipartite matching.
+//!
+//! * [`ssp`] — the production solver: successive shortest augmenting
+//!   paths with dual potentials, in the style of Mehlhorn–Schäfer's LEDA
+//!   implementation that the paper cites as the practical
+//!   `O(|E_L| N log N)` exact routine. Returns a dual certificate so
+//!   optimality can be verified independently.
+//! * [`hungarian`] — a dense O(n³) Kuhn–Munkres solver; an independent
+//!   second exact implementation that cross-validates SSP in tests.
+//! * [`brute`] — exponential/bitmask-DP oracle for tiny instances; used
+//!   by the test-suite to validate everything else.
+//! * [`auction`] — Bertsekas' auction algorithm with ε-scaling; a
+//!   near-exact baseline with a tunable optimality gap.
+
+pub mod auction;
+pub mod brute;
+pub mod hungarian;
+pub mod ssp;
+
+pub use auction::{auction_matching, AuctionOptions};
+pub use brute::brute_force_matching;
+pub use hungarian::hungarian_matching;
+pub use ssp::{max_weight_matching_ssp, verify_optimality, DualCertificate};

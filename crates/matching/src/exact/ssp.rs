@@ -1,0 +1,399 @@
+//! Exact maximum-weight bipartite matching by successive shortest
+//! augmenting paths with dual potentials.
+//!
+//! This is the classical primal–dual algorithm (Mehlhorn–Schäfer /
+//! LEDA `MAX_WEIGHT_BIPARTITE_MATCHING`): process the left vertices one
+//! at a time, growing an alternating-path forest by Dijkstra over
+//! *reduced costs* `rc(a,b) = pot[a] + pot[b] − w(a,b) ≥ 0`. The search
+//! may end either at a free right vertex (augment) or by "retiring" a
+//! left vertex whose potential drops to zero (it prefers to stay
+//! unmatched). The potentials form an LP-dual feasible point whose value
+//! equals the matching weight, which certifies optimality.
+//!
+//! Invariants maintained between phases:
+//! 1. `pot[a] + pot[b] ≥ w(a,b)` for every positive-weight edge,
+//! 2. matched edges are tight (`=`),
+//! 3. all potentials are ≥ 0 and *processed* free vertices have
+//!    potential 0.
+//!
+//! Only strictly positive weights participate: a maximum-weight
+//! matching that may leave vertices free never uses a non-positive
+//! edge.
+
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dual potentials returned by the solver; a feasibility+tightness
+/// certificate of optimality (see [`verify_optimality`]).
+#[derive(Clone, Debug)]
+pub struct DualCertificate {
+    /// Potentials of the left (`V_A`) vertices.
+    pub pot_left: Vec<f64>,
+    /// Potentials of the right (`V_B`) vertices.
+    pub pot_right: Vec<f64>,
+}
+
+/// Min-heap item for the Dijkstra phase.
+#[derive(Copy, Clone, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    right: VertexId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest dist.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.right.cmp(&self.right))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Compute a maximum-weight matching of `l` under `weights` (global
+/// edge order), together with an optimality certificate.
+///
+/// # Panics
+/// Panics if `weights.len() != l.num_edges()`.
+pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching, DualCertificate) {
+    assert_eq!(weights.len(), l.num_edges(), "weight vector length mismatch");
+    let na = l.num_left();
+    let nb = l.num_right();
+
+    let mut mate_a = vec![UNMATCHED; na];
+    let mut mate_b = vec![UNMATCHED; nb];
+    // pot[a] starts at the heaviest positive incident weight so that
+    // invariant (1) holds with pot[b] = 0.
+    let mut pot_a: Vec<f64> = (0..na as VertexId)
+        .map(|a| {
+            l.left_range(a)
+                .map(|e| weights[e])
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    let mut pot_b = vec![0.0f64; nb];
+
+    // Phase-local state with generation stamps so clears are O(touched).
+    let mut gen: u32 = 0;
+    let mut dist_b = vec![f64::INFINITY; nb];
+    let mut stamp_b = vec![0u32; nb];
+    let mut finalized_b = vec![false; nb];
+    let mut prev_b = vec![UNMATCHED; nb]; // left vertex that relaxed b
+    let mut dist_a = vec![f64::INFINITY; na];
+    let mut stamp_a = vec![0u32; na];
+    let mut touched_a: Vec<VertexId> = Vec::new();
+    let mut touched_b: Vec<VertexId> = Vec::new();
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+
+    for s in 0..na as VertexId {
+        if pot_a[s as usize] <= 0.0 {
+            // No positive edge: staying free is optimal.
+            pot_a[s as usize] = 0.0;
+            continue;
+        }
+        gen += 1;
+        heap.clear();
+        touched_a.clear();
+        touched_b.clear();
+
+        // Seed: s at distance 0.
+        dist_a[s as usize] = 0.0;
+        stamp_a[s as usize] = gen;
+        touched_a.push(s);
+        // Option: leave `s` unmatched. Cost of retiring left vertex a'
+        // is dist[a'] + pot[a'].
+        let mut best_retire = pot_a[s as usize];
+        let mut best_retire_at = s;
+
+        relax_edges(l, weights, s, 0.0, &pot_a, &pot_b, gen, &mut dist_b, &mut stamp_b, &mut finalized_b, &mut prev_b, &mut touched_b, &mut heap);
+
+        // Dijkstra over right vertices.
+        let mut end_free_right: Option<(VertexId, f64)> = None;
+        while let Some(HeapItem { dist, right }) = heap.pop() {
+            if stamp_b[right as usize] != gen || finalized_b[right as usize] {
+                continue;
+            }
+            if dist > dist_b[right as usize] {
+                continue; // stale heap entry
+            }
+            if dist >= best_retire {
+                break; // retiring is at least as good as anything left
+            }
+            finalized_b[right as usize] = true;
+            let owner = mate_b[right as usize];
+            if owner == UNMATCHED {
+                end_free_right = Some((right, dist));
+                break;
+            }
+            // Traverse the matched (tight) edge at zero reduced cost.
+            let a2 = owner;
+            dist_a[a2 as usize] = dist;
+            stamp_a[a2 as usize] = gen;
+            touched_a.push(a2);
+            let retire = dist + pot_a[a2 as usize];
+            if retire < best_retire {
+                best_retire = retire;
+                best_retire_at = a2;
+            }
+            relax_edges(l, weights, a2, dist, &pot_a, &pot_b, gen, &mut dist_b, &mut stamp_b, &mut finalized_b, &mut prev_b, &mut touched_b, &mut heap);
+        }
+
+        let delta = match end_free_right {
+            Some((_, d)) => d,
+            None => best_retire,
+        };
+
+        // Dual updates over finalized vertices.
+        for &a in &touched_a {
+            if stamp_a[a as usize] == gen && dist_a[a as usize] <= delta {
+                pot_a[a as usize] += dist_a[a as usize] - delta;
+                if pot_a[a as usize] < 0.0 {
+                    pot_a[a as usize] = 0.0; // guard against roundoff
+                }
+            }
+        }
+        for &b in &touched_b {
+            if stamp_b[b as usize] == gen && finalized_b[b as usize] {
+                pot_b[b as usize] += delta - dist_b[b as usize];
+            }
+        }
+
+        // Augment.
+        match end_free_right {
+            Some((b_end, _)) => {
+                augment(&mut mate_a, &mut mate_b, &prev_b, s, b_end);
+            }
+            None => {
+                let a_star = best_retire_at;
+                if a_star != s {
+                    // a* gives up its mate; flip the alternating path
+                    // from that right vertex back to s.
+                    let b_star = mate_a[a_star as usize];
+                    debug_assert_ne!(b_star, UNMATCHED);
+                    mate_a[a_star as usize] = UNMATCHED;
+                    mate_b[b_star as usize] = UNMATCHED;
+                    augment(&mut mate_a, &mut mate_b, &prev_b, s, b_star);
+                }
+                // else: s simply stays free with potential 0.
+            }
+        }
+
+        // Reset finalized flags for touched right vertices (stamps make
+        // dist arrays self-cleaning, but `finalized_b` is a plain bool).
+        for &b in &touched_b {
+            finalized_b[b as usize] = false;
+        }
+    }
+
+    let matching = Matching::from_mates(mate_a, mate_b);
+    (matching, DualCertificate { pot_left: pot_a, pot_right: pot_b })
+}
+
+/// Relax all positive-weight edges of left vertex `a` at distance `da`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn relax_edges(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    a: VertexId,
+    da: f64,
+    pot_a: &[f64],
+    pot_b: &[f64],
+    gen: u32,
+    dist_b: &mut [f64],
+    stamp_b: &mut [u32],
+    finalized_b: &mut [bool],
+    prev_b: &mut [VertexId],
+    touched_b: &mut Vec<VertexId>,
+    heap: &mut BinaryHeap<HeapItem>,
+) {
+    for (b, e) in l.left_edges(a) {
+        let w = weights[e];
+        if w <= 0.0 {
+            continue;
+        }
+        // Reduced cost; clamp tiny negatives from float roundoff.
+        let rc = (pot_a[a as usize] + pot_b[b as usize] - w).max(0.0);
+        let nd = da + rc;
+        let bi = b as usize;
+        if stamp_b[bi] != gen {
+            stamp_b[bi] = gen;
+            finalized_b[bi] = false;
+            dist_b[bi] = f64::INFINITY;
+            touched_b.push(b);
+        }
+        if !finalized_b[bi] && nd < dist_b[bi] {
+            dist_b[bi] = nd;
+            prev_b[bi] = a;
+            heap.push(HeapItem { dist: nd, right: b });
+        }
+    }
+}
+
+/// Flip the alternating path that ends at free right vertex `b_end`
+/// back to the root `s`, matching every tree edge on it.
+fn augment(
+    mate_a: &mut [VertexId],
+    mate_b: &mut [VertexId],
+    prev_b: &[VertexId],
+    s: VertexId,
+    mut b_end: VertexId,
+) {
+    loop {
+        let a = prev_b[b_end as usize];
+        let next_b = mate_a[a as usize];
+        mate_a[a as usize] = b_end;
+        mate_b[b_end as usize] = a;
+        if a == s {
+            break;
+        }
+        debug_assert_ne!(next_b, UNMATCHED, "interior path vertices must have been matched");
+        b_end = next_b;
+    }
+}
+
+/// Verify the LP-duality optimality certificate: dual feasibility,
+/// non-negativity, tightness of matched edges, and zero potential on
+/// free vertices. Returns the matching weight on success.
+///
+/// Tolerance is absolute, scaled by the largest |weight|.
+pub fn verify_optimality(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    m: &Matching,
+    cert: &DualCertificate,
+) -> Result<f64, String> {
+    let scale = weights.iter().fold(1.0f64, |acc, w| acc.max(w.abs()));
+    let tol = 1e-9 * scale;
+    for (a, b, e) in l.edge_iter() {
+        let w = weights[e];
+        if w <= 0.0 {
+            continue;
+        }
+        let slack = cert.pot_left[a as usize] + cert.pot_right[b as usize] - w;
+        if slack < -tol {
+            return Err(format!("dual infeasible at edge ({a},{b}): slack {slack}"));
+        }
+    }
+    for (i, &p) in cert.pot_left.iter().enumerate() {
+        if p < -tol {
+            return Err(format!("negative left potential at {i}: {p}"));
+        }
+        if m.mate_of_left(i as VertexId).is_none() && p > tol {
+            return Err(format!("free left vertex {i} has positive potential {p}"));
+        }
+    }
+    for (i, &p) in cert.pot_right.iter().enumerate() {
+        if p < -tol {
+            return Err(format!("negative right potential at {i}: {p}"));
+        }
+        if m.mate_of_right(i as VertexId).is_none() && p > tol {
+            return Err(format!("free right vertex {i} has positive potential {p}"));
+        }
+    }
+    let mut total = 0.0;
+    for (a, b) in m.pairs() {
+        let e = l
+            .edge_id(a, b)
+            .ok_or_else(|| format!("matched pair ({a},{b}) is not an edge"))?;
+        let w = weights[e];
+        let gap = cert.pot_left[a as usize] + cert.pot_right[b as usize] - w;
+        if gap.abs() > tol {
+            return Err(format!("matched edge ({a},{b}) not tight: gap {gap}"));
+        }
+        total += w;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(l: &BipartiteGraph) -> (Matching, DualCertificate) {
+        max_weight_matching_ssp(l, l.weights())
+    }
+
+    #[test]
+    fn single_edge() {
+        let l = BipartiteGraph::from_entries(1, 1, vec![(0, 0, 5.0)]);
+        let (m, cert) = solve(&l);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(verify_optimality(&l, l.weights(), &m, &cert).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn prefers_heavier_disjoint_pairing() {
+        // (0,0)=1, (0,1)=2, (1,0)=2: best is (0,1)+(1,0) = 4.
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0)]);
+        let (m, cert) = solve(&l);
+        let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
+        assert_eq!(val, 4.0);
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn skips_negative_edges() {
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, -3.0), (1, 1, 2.0)]);
+        let (m, cert) = solve(&l);
+        let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
+        assert_eq!(val, 2.0);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_left(0), None);
+    }
+
+    #[test]
+    fn heavy_single_beats_two_light() {
+        // (0,0)=10 vs (0,1)=1 + (1,0)=1: take the 10.
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0)]);
+        let (m, cert) = solve(&l);
+        let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
+        // {(0,0)} = 10 beats {(0,1),(1,0)} = 2; vertex 1 stays free.
+        assert_eq!(val, 10.0);
+        assert_eq!(m.mate_of_left(1), None);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy would take (0,1)=3 and strand vertex 1;
+        // optimal is (0,0)=2 + (1,1)=2 = 4 vs 3.
+        let l = BipartiteGraph::from_entries(
+            2,
+            2,
+            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
+        );
+        let (m, cert) = solve(&l);
+        let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
+        assert_eq!(val, 4.0);
+    }
+
+    #[test]
+    fn retire_path_frees_a_vertex() {
+        // Vertex 1 only connects to b0 with weight 5; vertex 0 connects
+        // to b0 with 4 and nothing else: optimal leaves 0 free.
+        let l = BipartiteGraph::from_entries(2, 1, vec![(0, 0, 4.0), (1, 0, 5.0)]);
+        let (m, cert) = solve(&l);
+        let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
+        assert_eq!(val, 5.0);
+        assert_eq!(m.mate_of_left(0), None);
+        assert_eq!(m.mate_of_left(1), Some(0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let l = BipartiteGraph::from_entries(3, 3, Vec::<(u32, u32, f64)>::new());
+        let (m, cert) = solve(&l);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(verify_optimality(&l, l.weights(), &m, &cert).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The deterministic total order on weighted edges shared by every
+//! approximation algorithm in this crate.
+//!
+//! The paper breaks weight ties with "unique vertex ids" (§V). We make
+//! that precise: edges compare by weight first, then by the larger
+//! endpoint id (in the *unified* id space where right vertex `b` gets id
+//! `na + b`), then by the smaller endpoint id. This is a total order on
+//! the edge set of any simple graph, because two distinct edges can only
+//! tie on weight, never on both endpoints.
+//!
+//! Under a total order, the locally-dominant matching is **unique** and
+//! equals the greedy matching taken in decreasing order — the property
+//! the test-suite uses to cross-validate the serial and parallel
+//! implementations.
+
+use netalign_graph::VertexId;
+
+/// Comparison key of an edge: `(weight, max_unified_id, min_unified_id)`.
+///
+/// Larger keys dominate. `a` is a left-vertex id, `b` a right-vertex id;
+/// `na` is the number of left vertices (for unifying the id spaces).
+#[inline]
+pub fn edge_key(w: f64, a: VertexId, b: VertexId, na: usize) -> (f64, VertexId, VertexId) {
+    let ub = b + na as VertexId;
+    if a > ub {
+        (w, a, ub)
+    } else {
+        (w, ub, a)
+    }
+}
+
+/// True when edge 1 strictly dominates edge 2 in the total order.
+#[inline]
+pub fn edge_gt(
+    w1: f64,
+    a1: VertexId,
+    b1: VertexId,
+    w2: f64,
+    a2: VertexId,
+    b2: VertexId,
+    na: usize,
+) -> bool {
+    let k1 = edge_key(w1, a1, b1, na);
+    let k2 = edge_key(w2, a2, b2, na);
+    match k1.0.total_cmp(&k2.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => (k1.1, k1.2) > (k2.1, k2.2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_dominates() {
+        assert!(edge_gt(2.0, 0, 0, 1.0, 5, 5, 10));
+        assert!(!edge_gt(1.0, 5, 5, 2.0, 0, 0, 10));
+    }
+
+    #[test]
+    fn ties_break_by_max_then_min_unified_id() {
+        // edges (a=0,b=3) and (a=1,b=2) with na=4: unified (0,7) vs (1,6)
+        assert!(edge_gt(1.0, 0, 3, 1.0, 1, 2, 4));
+        // equal max id: (a=2,b=1) vs (a=3,b=1) with na=4: (2,5) vs (3,5)
+        assert!(edge_gt(1.0, 3, 1, 1.0, 2, 1, 4));
+    }
+
+    #[test]
+    fn order_is_total_on_distinct_edges() {
+        let edges = [(0u32, 0u32), (0, 1), (1, 0), (1, 1)];
+        for (i, &(a1, b1)) in edges.iter().enumerate() {
+            for (j, &(a2, b2)) in edges.iter().enumerate() {
+                if i != j {
+                    let gt = edge_gt(1.0, a1, b1, 1.0, a2, b2, 2);
+                    let lt = edge_gt(1.0, a2, b2, 1.0, a1, b1, 2);
+                    assert!(gt ^ lt, "exactly one of gt/lt must hold for distinct edges");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irreflexive() {
+        assert!(!edge_gt(1.0, 2, 3, 1.0, 2, 3, 5));
+    }
+}

@@ -1,0 +1,77 @@
+//! Computational steering (paper §IX): at interactive speeds, a user
+//! inspects an alignment, *removes* candidate matches they know to be
+//! wrong, and re-runs — "given the result of a network alignment
+//! problem, users may want to fix certain problematic alignments by
+//! removing potential matches from L and recompute".
+//!
+//! This example simulates three steering rounds on a synthetic problem
+//! with a known planted truth: after each solve, the matched pairs that
+//! contradict the planted correspondence for the *highest-confidence*
+//! vertices are deleted from `L`, and the alignment reruns on the
+//! reduced candidate set. Recovery improves round over round.
+//!
+//! Run with: `cargo run --release --example computational_steering`
+
+use netalignmc::data::metrics::fraction_correct;
+use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
+use netalignmc::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 300,
+        expected_degree: 12.0, // noisy: plenty of wrong candidates
+        seed: 4,
+        ..Default::default()
+    });
+    let planted = &inst.planted;
+    let mut l = inst.problem.l.clone();
+    let a = inst.problem.a.clone();
+    let b_graph = inst.problem.b.clone();
+
+    let cfg = AlignConfig {
+        iterations: 60,
+        matcher: MatcherKind::ParallelLocalDominant,
+        final_exact_round: true,
+        ..Default::default()
+    };
+
+    let mut banned: HashSet<(u32, u32)> = HashSet::new();
+    for round in 1..=4 {
+        let problem = netalignmc::core::NetAlignProblem::new(a.clone(), b_graph.clone(), l.clone());
+        let t0 = Instant::now();
+        let r = belief_propagation(&problem, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let frac = fraction_correct(&r.matching, planted);
+        println!(
+            "round {round}: |E_L| = {:>6}  objective = {:>8.1}  correct = {:>5.1}%  ({secs:.2}s)",
+            problem.l.num_edges(),
+            r.objective,
+            100.0 * frac
+        );
+
+        // Steering: the "user" (here: the oracle) flags wrong matches on
+        // vertices they are most confident about — those with many
+        // overlapped edges — and bans them from L.
+        let mut newly_banned = 0;
+        for (va, vb) in r.matching.pairs() {
+            if planted[va as usize] != Some(vb) && planted[va as usize].is_some() {
+                if banned.insert((va, vb)) {
+                    newly_banned += 1;
+                }
+            }
+            if newly_banned >= 200 {
+                break; // a user only reviews so many pairs per round
+            }
+        }
+        if newly_banned == 0 {
+            println!("nothing left to fix — steering converged");
+            break;
+        }
+        println!("         user removed {newly_banned} wrong candidate pairs");
+        l = l.filter_edges(|a, b, _| !banned.contains(&(a, b)));
+    }
+    println!("\nThe paper's point: at ~36 s/solve (vs 10 min serial), this loop");
+    println!("becomes interactive on real ontology-scale problems.");
+}

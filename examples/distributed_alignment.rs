@@ -1,0 +1,49 @@
+//! Distributed-memory alignment, simulated (paper §IX future work):
+//! run belief propagation with its state block-partitioned over
+//! simulated ranks — halo exchange for the `Sᵀ` gather, a two-superstep
+//! othermax merge, and the message-passing locally-dominant matcher for
+//! rounding — and verify the result agrees with the shared-memory
+//! implementation exactly.
+//!
+//! Run with: `cargo run --release --example distributed_alignment [-- ranks]`
+
+use netalignmc::core::bp::distributed::distributed_belief_propagation;
+use netalignmc::data::standins::StandIn;
+use netalignmc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("ranks must be an integer"))
+        .unwrap_or(4);
+
+    let inst = StandIn::DmelaScere.generate(0.1, 21);
+    let (va, vb, el, nnz) = inst.problem.shape();
+    println!("dmela-scere stand-in: |V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}");
+
+    let cfg = AlignConfig {
+        iterations: 15,
+        batch: 5,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let shared = belief_propagation(&inst.problem, &cfg);
+    let t_shared = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let dist = distributed_belief_propagation(&inst.problem, &cfg, ranks);
+    let t_dist = t0.elapsed().as_secs_f64();
+
+    println!("\nshared-memory BP : objective {:.1} ({t_shared:.2}s)", shared.objective);
+    println!("distributed  BP  : objective {:.1} ({t_dist:.2}s, {ranks} simulated ranks)", dist.objective);
+    assert_eq!(shared.objective, dist.objective, "results must agree bit-for-bit");
+    assert_eq!(shared.matching, dist.matching);
+    println!("\nresults are bit-identical: the BSP decomposition performs the same");
+    println!("floating-point operations in the same order, and the distributed");
+    println!("matcher returns the same (unique) locally-dominant matching.");
+    println!("\n(The simulation pays message-routing overhead on one machine; the");
+    println!("point is the communication structure an MPI port would use.)");
+}

@@ -1,0 +1,50 @@
+//! Protein-protein interaction network alignment, in the style of the
+//! paper's dmela-scere / homo-musm experiments (§VI.B).
+//!
+//! Uses the seeded stand-in generator (the original PPI data is not
+//! redistributable) and compares BP and MR with exact vs approximate
+//! rounding — the paper's §VII quality experiment at bio scale.
+//!
+//! Run with: `cargo run --release --example protein_alignment [-- scale]`
+
+use netalignmc::data::metrics::fraction_correct;
+use netalignmc::data::standins::StandIn;
+use netalignmc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.2);
+
+    let inst = StandIn::DmelaScere.generate(scale, 42);
+    let (va, vb, el, nnz) = inst.problem.shape();
+    println!("dmela-scere stand-in at scale {scale}:");
+    println!("  |V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}\n");
+
+    let base = AlignConfig { iterations: 40, ..Default::default() };
+    for (method_name, is_mr) in [("BP", false), ("MR", true)] {
+        for matcher in [MatcherKind::Exact, MatcherKind::ParallelLocalDominant] {
+            let cfg = AlignConfig { matcher, ..base };
+            let start = Instant::now();
+            let r = if is_mr {
+                matching_relaxation(&inst.problem, &cfg)
+            } else {
+                belief_propagation(&inst.problem, &cfg)
+            };
+            let secs = start.elapsed().as_secs_f64();
+            let correct = fraction_correct(&r.matching, &inst.planted);
+            println!(
+                "{method_name:>2} + {:<18} objective {:>9.1}  weight {:>8.1}  overlap {:>6.0}  correct {:>5.1}%  ({secs:.2}s)",
+                matcher.name(),
+                r.objective,
+                r.weight,
+                r.overlap,
+                100.0 * correct,
+            );
+        }
+    }
+    println!("\nExpected (paper §VII): the two BP rows nearly identical; the MR row");
+    println!("with approximate matching noticeably below its exact counterpart.");
+}

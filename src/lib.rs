@@ -1,0 +1,51 @@
+//! # netalignmc
+//!
+//! A Rust reproduction of *"A multithreaded algorithm for network
+//! alignment via approximate matching"* (Khan, Gleich, Pothen,
+//! Halappanavar — SC '12).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — CSR matrices, undirected graphs, the weighted
+//!   bipartite candidate graph `L`, random generators, and I/O;
+//! * [`matching`] — exact and ½-approximate maximum-weight bipartite
+//!   matching, including the paper's parallel locally-dominant
+//!   algorithm;
+//! * [`core`] — the BP and MR network-alignment heuristics with
+//!   pluggable rounding;
+//! * [`data`] — seeded synthetic instances (the §VI.A power-law
+//!   benchmark and Table II stand-ins).
+//!
+//! ## Example
+//!
+//! ```
+//! use netalignmc::prelude::*;
+//!
+//! let inst = netalignmc::data::synthetic::power_law_alignment(
+//!     &netalignmc::data::synthetic::PowerLawParams {
+//!         n: 60,
+//!         expected_degree: 3.0,
+//!         ..Default::default()
+//!     },
+//! );
+//! let cfg = AlignConfig {
+//!     iterations: 25,
+//!     matcher: MatcherKind::ParallelLocalDominant,
+//!     ..Default::default()
+//! };
+//! let result = belief_propagation(&inst.problem, &cfg);
+//! assert!(result.matching.cardinality() > 0);
+//! ```
+
+pub use netalign_core as core;
+pub use netalign_data as data;
+pub use netalign_graph as graph;
+pub use netalign_matching as matching;
+
+pub mod prelude {
+    //! One-stop imports for applications.
+    pub use netalign_core::prelude::*;
+    pub use netalign_core::rounding::round_heuristic;
+    pub use netalign_graph::prelude::*;
+    pub use netalign_matching::{max_weight_matching, MatcherKind, Matching};
+}

@@ -1,0 +1,230 @@
+//! `netalignmc` — command-line network alignment.
+//!
+//! ```text
+//! netalignmc stats    --a A.el --b B.el --l L.smat
+//! netalignmc align    --a A.el --b B.el --l L.smat --method bp
+//!                     [--matcher ld-parallel] [--alpha 1] [--beta 2]
+//!                     [--gamma 0.99] [--iters 100] [--batch 1]
+//!                     [--out matching.txt] [--json-out result.json]
+//! netalignmc generate --dataset dmela-scere [--scale 0.1] [--seed 42]
+//!                     --out-dir data/
+//! ```
+//!
+//! Graphs are edge lists with an `n m` header; `L` is SMAT (see
+//! `netalign_graph::io`). The matching output has one `a b` line per
+//! aligned pair.
+
+use netalignmc::core::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
+use netalignmc::core::NetAlignProblem;
+use netalignmc::data::standins::StandIn;
+use netalignmc::graph::io;
+use netalignmc::graph::stats::{degree_summary, left_degree_summary};
+use netalignmc::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: netalignmc <stats|align|generate> [--flag value]...");
+    eprintln!("run with a subcommand; see the crate docs for flags");
+    exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let rest: Vec<String> = args.collect();
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("expected --flag, got '{a}'");
+            usage()
+        };
+        let Some(val) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            usage()
+        };
+        flags.insert(key.to_string(), val);
+    }
+
+    match cmd.as_str() {
+        "stats" => cmd_stats(&flags),
+        "align" => cmd_align(&flags),
+        "generate" => cmd_generate(&flags),
+        other => {
+            eprintln!("unknown subcommand '{other}'");
+            usage()
+        }
+    }
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        exit(2)
+    })
+}
+
+fn get_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {what}: '{s}'");
+        exit(2)
+    })
+}
+
+fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
+    let a = io::read_edge_list_file(get(flags, "a")).unwrap_or_else(|e| {
+        eprintln!("failed to read A: {e}");
+        exit(1)
+    });
+    let b = io::read_edge_list_file(get(flags, "b")).unwrap_or_else(|e| {
+        eprintln!("failed to read B: {e}");
+        exit(1)
+    });
+    let l = io::read_bipartite_smat_file(get(flags, "l")).unwrap_or_else(|e| {
+        eprintln!("failed to read L: {e}");
+        exit(1)
+    });
+    NetAlignProblem::new(a, b, l)
+}
+
+fn parse_matcher(name: &str) -> MatcherKind {
+    match name {
+        "exact" => MatcherKind::Exact,
+        "greedy" => MatcherKind::Greedy,
+        "ld-serial" => MatcherKind::LocalDominant,
+        "ld-parallel" => MatcherKind::ParallelLocalDominant,
+        "ld-parallel-1side" => MatcherKind::ParallelLocalDominantOneSide,
+        "suitor" => MatcherKind::Suitor,
+        "suitor-parallel" => MatcherKind::ParallelSuitor,
+        "path-growing" => MatcherKind::PathGrowing,
+        "auction" => MatcherKind::Auction { eps_rel: 1e-4 },
+        other => {
+            eprintln!("unknown matcher '{other}'");
+            exit(2)
+        }
+    }
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) {
+    let p = load_problem(flags);
+    let (va, vb, el, nnz) = p.shape();
+    println!("|V_A| = {va}");
+    println!("|V_B| = {vb}");
+    println!("|E_A| = {}", p.a.num_edges());
+    println!("|E_B| = {}", p.b.num_edges());
+    println!("|E_L| = {el}");
+    println!("nnz(S) = {nnz}");
+    let da = degree_summary(&p.a);
+    let dl = left_degree_summary(&p.l);
+    println!("deg(A): min {} max {} mean {:.2} cv {:.2}", da.min, da.max, da.mean, da.cv);
+    println!("deg(L): min {} max {} mean {:.2} cv {:.2}", dl.min, dl.max, dl.mean, dl.cv);
+    let srows = netalignmc::graph::stats::summarize((0..el).map(|e| p.s.row_range(e).len()));
+    println!(
+        "nnz/row(S): min {} max {} mean {:.2} cv {:.2}",
+        srows.min, srows.max, srows.mean, srows.cv
+    );
+}
+
+fn cmd_align(flags: &HashMap<String, String>) {
+    let p = load_problem(flags);
+    let method = get_or(flags, "method", "bp");
+    let cfg = AlignConfig {
+        alpha: parse_num(get_or(flags, "alpha", "1.0"), "alpha"),
+        beta: parse_num(get_or(flags, "beta", "2.0"), "beta"),
+        gamma: parse_num(get_or(flags, "gamma", "0.99"), "gamma"),
+        iterations: parse_num(get_or(flags, "iters", "100"), "iters"),
+        mstep: parse_num(get_or(flags, "mstep", "10"), "mstep"),
+        batch: parse_num(get_or(flags, "batch", "1"), "batch"),
+        matcher: parse_matcher(get_or(flags, "matcher", "exact")),
+        final_exact_round: get_or(flags, "final-exact", "true") == "true",
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let r = match method {
+        "bp" => belief_propagation(&p, &cfg),
+        "mr" => matching_relaxation(&p, &cfg),
+        "isorank" => isorank(&p, &IsoRankConfig::default(), &cfg),
+        "nsd" => nsd(&p, &NsdConfig::default(), &cfg),
+        "naive" => naive_rounding(&p, &cfg),
+        other => {
+            eprintln!("unknown method '{other}' (bp|mr|isorank|nsd|naive)");
+            exit(2)
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+    println!("method    : {method}");
+    println!("matcher   : {}", cfg.matcher.name());
+    println!("objective : {:.4}", r.objective);
+    println!("weight    : {:.4}", r.weight);
+    println!("overlap   : {:.1}", r.overlap);
+    println!("matched   : {}", r.matching.cardinality());
+    if let Some(ub) = r.upper_bound {
+        println!("upper     : {ub:.4}");
+    }
+    println!("time      : {secs:.3}s");
+
+    if let Some(out) = flags.get("out") {
+        let mut f = std::fs::File::create(out).expect("cannot create --out file");
+        for (a, b) in r.matching.pairs() {
+            writeln!(f, "{a} {b}").unwrap();
+        }
+        println!("matching written to {out}");
+    }
+    if let Some(out) = flags.get("json-out") {
+        let json = format!(
+            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {}\n}}\n",
+            method,
+            cfg.matcher.name(),
+            r.objective,
+            r.weight,
+            r.overlap,
+            r.matching.cardinality(),
+            secs
+        );
+        std::fs::write(out, json).expect("cannot write --json-out file");
+        println!("summary written to {out}");
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) {
+    let name = get(flags, "dataset");
+    let scale: f64 = parse_num(get_or(flags, "scale", "0.05"), "scale");
+    let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed");
+    let out_dir = std::path::PathBuf::from(get(flags, "out-dir"));
+    std::fs::create_dir_all(&out_dir).expect("cannot create --out-dir");
+
+    let inst = match name {
+        "dmela-scere" => StandIn::DmelaScere.generate(scale, seed),
+        "homo-musm" => StandIn::HomoMusm.generate(scale, seed),
+        "lcsh-wiki" => StandIn::LcshWiki.generate(scale, seed),
+        "lcsh-rameau" => StandIn::LcshRameau.generate(scale, seed),
+        "powerlaw" => netalignmc::data::synthetic::power_law_alignment(
+            &netalignmc::data::synthetic::PowerLawParams {
+                seed,
+                ..Default::default()
+            },
+        ),
+        other => {
+            eprintln!("unknown dataset '{other}'");
+            exit(2)
+        }
+    };
+    io::write_edge_list_file(&inst.problem.a, out_dir.join("a.el")).unwrap();
+    io::write_edge_list_file(&inst.problem.b, out_dir.join("b.el")).unwrap();
+    io::write_bipartite_smat_file(&inst.problem.l, out_dir.join("l.smat")).unwrap();
+    let mut f = std::fs::File::create(out_dir.join("planted.txt")).unwrap();
+    for (a, pb) in inst.planted.iter().enumerate() {
+        if let Some(b) = pb {
+            writeln!(f, "{a} {b}").unwrap();
+        }
+    }
+    let (va, vb, el, nnz) = inst.problem.shape();
+    println!("wrote {name} (scale {scale}, seed {seed}) to {}", out_dir.display());
+    println!("|V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}");
+}

@@ -1,0 +1,110 @@
+//! Determinism guarantees: same seed → identical instance; the
+//! parallel matcher and full aligner runs are invariant to the rayon
+//! pool size (the locally-dominant matching is unique under the
+//! library's total edge order).
+
+use netalignmc::data::standins::StandIn;
+use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
+use netalignmc::matching::approx::{parallel_local_dominant, ParallelLdOptions};
+use netalignmc::prelude::*;
+
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+#[test]
+fn parallel_matching_is_pool_size_invariant() {
+    let inst = StandIn::DmelaScere.generate(0.1, 3);
+    let l = &inst.problem.l;
+    let reference = with_pool(1, || {
+        parallel_local_dominant(l, l.weights(), ParallelLdOptions::default())
+    });
+    for threads in [2, 4, 8] {
+        let m = with_pool(threads, || {
+            parallel_local_dominant(l, l.weights(), ParallelLdOptions::default())
+        });
+        assert_eq!(reference, m, "pool size {threads} changed the matching");
+    }
+}
+
+#[test]
+fn bp_run_is_pool_size_invariant() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 80,
+        expected_degree: 5.0,
+        seed: 17,
+        ..Default::default()
+    });
+    let cfg = AlignConfig {
+        iterations: 10,
+        batch: 5,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+    let problem = &inst.problem;
+    let r1 = with_pool(1, || belief_propagation(problem, &cfg));
+    let r4 = with_pool(4, || belief_propagation(problem, &cfg));
+    assert_eq!(r1.objective, r4.objective);
+    assert_eq!(r1.matching, r4.matching);
+    assert_eq!(r1.best_iteration, r4.best_iteration);
+}
+
+#[test]
+fn mr_run_is_pool_size_invariant() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 60,
+        expected_degree: 4.0,
+        seed: 23,
+        ..Default::default()
+    });
+    let cfg = AlignConfig {
+        iterations: 8,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    };
+    let problem = &inst.problem;
+    let r1 = with_pool(1, || matching_relaxation(problem, &cfg));
+    let r4 = with_pool(4, || matching_relaxation(problem, &cfg));
+    assert_eq!(r1.objective, r4.objective);
+    assert_eq!(r1.upper_bound, r4.upper_bound);
+    assert_eq!(r1.matching, r4.matching);
+}
+
+#[test]
+fn generators_are_reproducible_across_runs() {
+    let a = StandIn::HomoMusm.generate(0.04, 9);
+    let b = StandIn::HomoMusm.generate(0.04, 9);
+    assert_eq!(a.problem.l, b.problem.l);
+    assert_eq!(a.problem.a, b.problem.a);
+    assert_eq!(a.problem.b, b.problem.b);
+    assert_eq!(a.planted, b.planted);
+    let c = StandIn::HomoMusm.generate(0.04, 10);
+    assert_ne!(a.problem.l, c.problem.l);
+}
+
+#[test]
+fn repeated_alignment_runs_are_bitwise_identical() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 70,
+        expected_degree: 6.0,
+        seed: 29,
+        ..Default::default()
+    });
+    let cfg = AlignConfig {
+        iterations: 12,
+        matcher: MatcherKind::ParallelLocalDominant,
+        record_history: true,
+        ..Default::default()
+    };
+    let r1 = belief_propagation(&inst.problem, &cfg);
+    let r2 = belief_propagation(&inst.problem, &cfg);
+    assert_eq!(r1.objective, r2.objective);
+    assert_eq!(r1.matching, r2.matching);
+    let h1: Vec<f64> = r1.history.iter().map(|h| h.objective).collect();
+    let h2: Vec<f64> = r2.history.iter().map(|h| h.objective).collect();
+    assert_eq!(h1, h2);
+}

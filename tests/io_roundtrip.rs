@@ -1,0 +1,65 @@
+//! Persistence: write a problem to SMAT/edge-list files, read it back,
+//! and verify alignment results are unchanged.
+
+use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
+use netalignmc::graph::io::{
+    read_bipartite_smat_file, read_edge_list_file, write_bipartite_smat_file,
+    write_edge_list_file,
+};
+use netalignmc::prelude::*;
+
+#[test]
+fn problem_roundtrips_through_files() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 60,
+        expected_degree: 4.0,
+        seed: 12,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("netalignmc-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let pa = dir.join("a.el");
+    let pb = dir.join("b.el");
+    let pl = dir.join("l.smat");
+    write_edge_list_file(&inst.problem.a, &pa).unwrap();
+    write_edge_list_file(&inst.problem.b, &pb).unwrap();
+    write_bipartite_smat_file(&inst.problem.l, &pl).unwrap();
+
+    let a = read_edge_list_file(&pa).unwrap();
+    let b = read_edge_list_file(&pb).unwrap();
+    let l = read_bipartite_smat_file(&pl).unwrap();
+    assert_eq!(a, inst.problem.a);
+    assert_eq!(b, inst.problem.b);
+    assert_eq!(l, inst.problem.l);
+
+    // The reloaded problem aligns identically.
+    let reloaded = netalignmc::core::NetAlignProblem::new(a, b, l);
+    assert_eq!(reloaded.shape(), inst.problem.shape());
+    let cfg = AlignConfig { iterations: 10, ..Default::default() };
+    let r1 = belief_propagation(&inst.problem, &cfg);
+    let r2 = belief_propagation(&reloaded, &cfg);
+    assert_eq!(r1.objective, r2.objective);
+    assert_eq!(r1.matching, r2.matching);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smat_preserves_weights_exactly() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 40,
+        expected_degree: 3.0,
+        id_weight: 1.25,
+        noise_weight: 0.375,
+        seed: 8,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join(format!("netalignmc-io2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pl = dir.join("l.smat");
+    write_bipartite_smat_file(&inst.problem.l, &pl).unwrap();
+    let l = read_bipartite_smat_file(&pl).unwrap();
+    assert_eq!(l.weights(), inst.problem.l.weights());
+    std::fs::remove_dir_all(&dir).ok();
+}

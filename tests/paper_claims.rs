@@ -1,0 +1,146 @@
+//! The paper's qualitative claims, asserted on seeded synthetic
+//! instances (shape-level reproduction, per DESIGN.md):
+//!
+//! 1. §VII / Figure 2: BP's solution quality with approximate matching
+//!    is (nearly) indistinguishable from exact; MR's degrades.
+//! 2. §III.D: the approximate matcher makes the per-iteration matching
+//!    cost `O(|E_L|)`-ish — empirically much cheaper than exact on
+//!    larger instances.
+//! 3. §VII: BP's *iterates* are independent of the matcher — only the
+//!    rounding differs.
+
+use netalignmc::data::metrics::fraction_correct;
+use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
+use netalignmc::prelude::*;
+
+/// Average metrics of a method over several seeds of the Figure-2
+/// workload.
+fn sweep(
+    is_mr: bool,
+    matcher: MatcherKind,
+    dbar: f64,
+    seeds: std::ops::Range<u64>,
+) -> (f64, f64) {
+    let mut obj = 0.0;
+    let mut correct = 0.0;
+    let n_seeds = seeds.end - seeds.start;
+    for seed in seeds {
+        let inst = power_law_alignment(&PowerLawParams {
+            n: 150,
+            expected_degree: dbar,
+            seed,
+            ..Default::default()
+        });
+        let cfg = AlignConfig { iterations: 40, matcher, ..Default::default() };
+        let r = if is_mr {
+            matching_relaxation(&inst.problem, &cfg)
+        } else {
+            belief_propagation(&inst.problem, &cfg)
+        };
+        obj += r.objective;
+        correct += fraction_correct(&r.matching, &inst.planted);
+    }
+    (obj / n_seeds as f64, correct / n_seeds as f64)
+}
+
+#[test]
+fn bp_is_insensitive_to_approximate_matching() {
+    let (obj_exact, corr_exact) = sweep(false, MatcherKind::Exact, 8.0, 0..3);
+    let (obj_approx, corr_approx) =
+        sweep(false, MatcherKind::ParallelLocalDominant, 8.0, 0..3);
+    // "only a marginal change in the solution quality"
+    assert!(
+        (obj_exact - obj_approx).abs() / obj_exact < 0.08,
+        "BP exact {obj_exact} vs approx {obj_approx}"
+    );
+    assert!(
+        (corr_exact - corr_approx).abs() < 0.15,
+        "BP correct fraction moved too much: {corr_exact} vs {corr_approx}"
+    );
+}
+
+#[test]
+fn mr_is_more_sensitive_than_bp_to_approximate_matching() {
+    // Figure 2's core contrast, averaged over seeds at a noisy d̄.
+    let (mr_exact, _) = sweep(true, MatcherKind::Exact, 10.0, 10..14);
+    let (mr_approx, _) = sweep(true, MatcherKind::ParallelLocalDominant, 10.0, 10..14);
+    let (bp_exact, _) = sweep(false, MatcherKind::Exact, 10.0, 10..14);
+    let (bp_approx, _) = sweep(false, MatcherKind::ParallelLocalDominant, 10.0, 10..14);
+
+    let mr_loss = (mr_exact - mr_approx) / mr_exact;
+    let bp_loss = (bp_exact - bp_approx).abs() / bp_exact;
+    assert!(
+        mr_loss > bp_loss - 0.02,
+        "expected MR to lose at least as much as BP: MR loss {mr_loss}, BP loss {bp_loss}"
+    );
+    assert!(mr_loss > 0.0, "MR with approximate matching should lose quality ({mr_loss})");
+}
+
+#[test]
+fn approximate_matching_is_faster_than_exact_on_larger_instances() {
+    use netalignmc::matching::{max_weight_matching, MatcherKind};
+    let inst = netalignmc::data::standins::StandIn::LcshWiki.generate(0.008, 3);
+    let l = &inst.problem.l;
+    let t0 = std::time::Instant::now();
+    let _ = max_weight_matching(l, l.weights(), MatcherKind::Exact);
+    let exact_time = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let _ = max_weight_matching(l, l.weights(), MatcherKind::ParallelLocalDominant);
+    let approx_time = t0.elapsed();
+    assert!(
+        approx_time < exact_time,
+        "approximate ({approx_time:?}) should beat exact ({exact_time:?})"
+    );
+}
+
+#[test]
+fn bp_iterates_are_matcher_independent() {
+    // §VII: "the set of iterates from the BP method is independent of
+    // the choice of matching algorithm". Observable consequence: the
+    // best-iteration histories under different matchers evaluate the
+    // same heuristic vectors, so running exact rounding on the best
+    // vector of an approx run reproduces the exact run's solution.
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 100,
+        expected_degree: 6.0,
+        seed: 77,
+        ..Default::default()
+    });
+    let exact = belief_propagation(
+        &inst.problem,
+        &AlignConfig { iterations: 20, ..Default::default() },
+    );
+    let approx_final_exact = belief_propagation(
+        &inst.problem,
+        &AlignConfig {
+            iterations: 20,
+            matcher: MatcherKind::ParallelLocalDominant,
+            final_exact_round: true,
+            ..Default::default()
+        },
+    );
+    // With the final exact conversion, the approx run should land within
+    // a whisker of the all-exact run.
+    assert!(
+        approx_final_exact.objective >= 0.95 * exact.objective,
+        "approx+final-exact {} vs exact {}",
+        approx_final_exact.objective,
+        exact.objective
+    );
+}
+
+#[test]
+fn mr_upper_bound_certifies_near_optimality_on_clean_instances() {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 100,
+        expected_degree: 2.0,
+        seed: 99,
+        ..Default::default()
+    });
+    let r = matching_relaxation(
+        &inst.problem,
+        &AlignConfig { iterations: 80, ..Default::default() },
+    );
+    let ratio = r.approximation_ratio().unwrap();
+    assert!(ratio > 0.85, "a-posteriori ratio only {ratio}");
+}

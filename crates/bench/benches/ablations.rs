@@ -56,7 +56,10 @@ fn bench_init_strategy(c: &mut Criterion) {
     let l = &inst.problem.l;
     let mut group = c.benchmark_group("ablation-ld-init");
     group.sample_size(20);
-    for (name, init) in [("both-sides", InitStrategy::BothSides), ("one-side", InitStrategy::LeftSide)] {
+    for (name, init) in [
+        ("both-sides", InitStrategy::BothSides),
+        ("one-side", InitStrategy::LeftSide),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &init, |b, &init| {
             b.iter(|| {
                 black_box(parallel_local_dominant(
@@ -70,5 +73,10 @@ fn bench_init_strategy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chunk_size, bench_batch_size, bench_init_strategy);
+criterion_group!(
+    benches,
+    bench_chunk_size,
+    bench_batch_size,
+    bench_init_strategy
+);
 criterion_main!(benches);

@@ -15,7 +15,9 @@ fn bench_bp_kernels(c: &mut Criterion) {
     let nnz = p.s.nnz();
     let g: Vec<f64> = (0..m).map(|i| ((i * 31) % 101) as f64 * 0.01).collect();
     let col_pos = column_positions(&p.l);
-    let sk: Vec<f64> = (0..nnz).map(|i| ((i * 17) % 47) as f64 * 0.1 - 2.0).collect();
+    let sk: Vec<f64> = (0..nnz)
+        .map(|i| ((i * 17) % 47) as f64 * 0.1 - 2.0)
+        .collect();
 
     let mut group = c.benchmark_group("bp-steps");
     group.sample_size(20);

@@ -29,9 +29,11 @@ fn bench_matchers(c: &mut Criterion) {
         MatcherKind::Distributed { ranks: 4 },
         MatcherKind::Auction { eps_rel: 1e-3 },
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| black_box(max_weight_matching(l, w, kind)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| black_box(max_weight_matching(l, w, kind))),
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ fn bench_mr_kernels(c: &mut Criterion) {
     let p = &inst.problem;
     let nnz = p.s.nnz();
     // Row weights as MR sees them: β/2 + U − Uᵀ with small multipliers.
-    let row_w: Vec<f64> = (0..nnz).map(|i| 1.0 + ((i % 11) as f64 - 5.0) * 0.05).collect();
+    let row_w: Vec<f64> = (0..nnz)
+        .map(|i| 1.0 + ((i % 11) as f64 - 5.0) * 0.05)
+        .collect();
 
     let mut group = c.benchmark_group("mr-steps");
     group.sample_size(10);
@@ -23,13 +25,12 @@ fn bench_mr_kernels(c: &mut Criterion) {
     });
 
     let (d, _) = solve_row_matchings(p, &row_w);
-    let wbar: Vec<f64> = p
-        .l
-        .weights()
-        .iter()
-        .zip(&d)
-        .map(|(&w, &di)| w + di)
-        .collect();
+    let wbar: Vec<f64> =
+        p.l.weights()
+            .iter()
+            .zip(&d)
+            .map(|(&w, &di)| w + di)
+            .collect();
 
     group.bench_function("match (exact on w̄)", |b| {
         b.iter(|| black_box(max_weight_matching(&p.l, &wbar, MatcherKind::Exact)))

@@ -10,8 +10,8 @@
 use netalign_bench::{table::f, Args, Table};
 use netalign_core::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
 use netalign_core::config::DampingKind;
-use netalign_data::metrics::{fraction_correct, reference_objective};
 use netalign_core::prelude::*;
+use netalign_data::metrics::{fraction_correct, reference_objective};
 use netalign_data::synthetic::{power_law_alignment, PowerLawParams};
 
 fn main() {
@@ -35,7 +35,10 @@ fn main() {
     );
 
     let mut t = Table::new(&["method", "objective", "frac-identity", "frac-correct"]);
-    let base = AlignConfig { iterations: iters, ..Default::default() };
+    let base = AlignConfig {
+        iterations: iters,
+        ..Default::default()
+    };
 
     let mut row = |name: &str, r: &netalign_core::AlignmentResult| {
         t.row(&[
@@ -53,11 +56,23 @@ fn main() {
     row("BP (power damping)", &belief_propagation(p, &base));
     row(
         "BP (constant damping)",
-        &belief_propagation(p, &AlignConfig { damping: DampingKind::Constant, ..base }),
+        &belief_propagation(
+            p,
+            &AlignConfig {
+                damping: DampingKind::Constant,
+                ..base
+            },
+        ),
     );
     row(
         "BP (no damping)",
-        &belief_propagation(p, &AlignConfig { damping: DampingKind::None, ..base }),
+        &belief_propagation(
+            p,
+            &AlignConfig {
+                damping: DampingKind::None,
+                ..base
+            },
+        ),
     );
     t.print();
     println!("\nexpected shape: BP dominates the diffusion baselines (isorank, nsd)");

@@ -14,7 +14,9 @@
 use netalign_bench::{table::f, Args, Table};
 use netalign_core::prelude::*;
 use netalign_data::metrics::{fraction_correct, reference_objective};
-use netalign_data::synthetic::{erdos_renyi_alignment, power_law_alignment, PowerLawParams, SyntheticInstance};
+use netalign_data::synthetic::{
+    erdos_renyi_alignment, power_law_alignment, PowerLawParams, SyntheticInstance,
+};
 use netalign_matching::MatcherKind;
 
 fn main() {
@@ -30,7 +32,13 @@ fn main() {
         "Figure 2 — quality vs expected degree d̄ (n = {n}, {iters} iters, {trials} trial(s), {family} base)\n"
     );
     let mut t = Table::new(&[
-        "dbar", "method", "matcher", "frac-objective", "frac-correct", "objective", "identity-obj",
+        "dbar",
+        "method",
+        "matcher",
+        "frac-objective",
+        "frac-correct",
+        "objective",
+        "identity-obj",
     ]);
 
     let methods: [(&str, MatcherKind); 4] = [

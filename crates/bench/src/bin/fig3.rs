@@ -26,10 +26,21 @@ fn main() {
 
     println!("Figure 3 — weight vs overlap across parameter sweeps ({iters} iters)\n");
     let mut t = Table::new(&[
-        "problem", "method", "matcher", "alpha", "beta", "gamma", "weight", "overlap", "objective",
+        "problem",
+        "method",
+        "matcher",
+        "alpha",
+        "beta",
+        "gamma",
+        "weight",
+        "overlap",
+        "objective",
     ]);
 
-    for (si, scale) in [(StandIn::DmelaScere, bio_scale), (StandIn::LcshWiki, onto_scale)] {
+    for (si, scale) in [
+        (StandIn::DmelaScere, bio_scale),
+        (StandIn::LcshWiki, onto_scale),
+    ] {
         let inst = si.generate(scale, seed);
         eprintln!(
             "{}: scale {scale}, shape {:?}",

@@ -26,7 +26,14 @@ fn main() {
         "Figure 5 — strong scaling, lcsh-rameau stand-in ({} candidates, {iters} iters)\n",
         inst.problem.num_candidates()
     );
-    let mut t = Table::new(&["method", "threads", "seconds", "speedup", "paper-model", "objective"]);
+    let mut t = Table::new(&[
+        "method",
+        "threads",
+        "seconds",
+        "speedup",
+        "paper-model",
+        "objective",
+    ]);
     for (name, is_mr, batch) in [("MR", true, 1), ("BP(batch=20)", false, 20)] {
         let mut t1 = None;
         for &nt in &threads {
@@ -55,7 +62,10 @@ fn main() {
                 f(paper_model_speedup(nt), 2),
                 f(obj, 1),
             ]);
-            eprintln!("{name} threads={nt}: {secs:.3}s (speedup {:.2})", base / secs);
+            eprintln!(
+                "{name} threads={nt}: {secs:.3}s (speedup {:.2})",
+                base / secs
+            );
         }
     }
     t.print();

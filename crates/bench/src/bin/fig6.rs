@@ -4,11 +4,14 @@
 //! count — the paper reports row-match ≈ 40% and match ≈ 40% at
 //! 40 threads, making the matching the scalability limiter.
 //!
-//! Flags: `--scale`, `--iters`, `--seed`, `--threads`.
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, and `--json
+//! PATH` to also write the machine-readable report (per-thread-count
+//! per-step seconds plus the matcher counters; schema in
+//! EXPERIMENTS.md).
 
 use netalign_bench::{run_with_threads, table::f, thread_sweep, Args, Table};
 use netalign_core::prelude::*;
-use netalign_core::timing::Step;
+use netalign_core::trace::{Json, Step};
 use netalign_data::standins::StandIn;
 use netalign_matching::MatcherKind;
 
@@ -26,6 +29,7 @@ fn main() {
     let iters = args.usize("iters", 10);
     let seed = args.u64("seed", 11);
     let threads = args.usize_list("threads", thread_sweep());
+    let json_path = args.string("json", "");
 
     let inst = StandIn::LcshWiki.generate(scale, seed);
     eprintln!(
@@ -34,19 +38,22 @@ fn main() {
     );
 
     println!("Figure 6 — per-step strong scaling of MR ({iters} iters)\n");
-    let mut t = Table::new(&[
-        "threads", "step", "seconds", "speedup", "share",
-    ]);
+    let mut t = Table::new(&["threads", "step", "seconds", "speedup", "share"]);
     let mut base: Option<Vec<f64>> = None;
+    let mut runs = Vec::new();
     for &nt in &threads {
         let cfg = AlignConfig {
             iterations: iters,
             matcher: MatcherKind::ParallelLocalDominant,
+            trace_matcher: true,
             ..Default::default()
         };
         let problem = &inst.problem;
-        let timers = run_with_threads(nt, || matching_relaxation(problem, &cfg).timers);
-        let secs: Vec<f64> = MR_STEPS.iter().map(|s| timers.get(*s).as_secs_f64()).collect();
+        let trace = run_with_threads(nt, || matching_relaxation(problem, &cfg).trace);
+        let secs: Vec<f64> = MR_STEPS
+            .iter()
+            .map(|s| trace.get(*s).as_secs_f64())
+            .collect();
         let total: f64 = secs.iter().sum();
         let base = base.get_or_insert_with(|| secs.clone());
         for (i, step) in MR_STEPS.iter().enumerate() {
@@ -59,9 +66,37 @@ fn main() {
             ]);
         }
         eprintln!("threads={nt}: total {total:.3}s");
+        runs.push(Json::obj(vec![
+            ("threads", Json::U64(nt as u64)),
+            (
+                "steps",
+                Json::obj(
+                    MR_STEPS
+                        .iter()
+                        .zip(&secs)
+                        .map(|(s, &v)| (s.name(), Json::F64(v)))
+                        .collect(),
+                ),
+            ),
+            ("total_seconds", Json::F64(total)),
+            ("matcher", trace.matcher.to_json()),
+            ("algo", trace.algo.to_json()),
+        ]));
     }
     t.print();
     println!("\nexpected shape (paper): the match step stops scaling first and");
     println!("dominates the runtime share at high thread counts (≈40% alongside");
     println!("row-match ≈40% at 40 threads).");
+
+    if !json_path.is_empty() {
+        let report = Json::obj(vec![
+            ("figure", Json::str("fig6")),
+            ("scale", Json::F64(scale)),
+            ("iterations", Json::U64(iters as u64)),
+            ("seed", Json::U64(seed)),
+            ("runs", Json::Arr(runs)),
+        ]);
+        std::fs::write(&json_path, report.render_line()).expect("write --json report");
+        eprintln!("wrote JSON report to {json_path}");
+    }
 }

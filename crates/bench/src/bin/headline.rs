@@ -8,12 +8,17 @@
 //!   1. 1 thread, exact matching        (the "before" configuration)
 //!   2. 1 thread, approximate matching  (algorithmic gain alone)
 //!   3. N threads, approximate matching (the paper's configuration)
+//!
 //! and reports the wall-clock ratio plus the objective gap.
 //!
-//! Flags: `--scale`, `--iters`, `--seed`, `--threads` (max pool size).
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads` (max pool size),
+//! and `--json PATH` to also write the machine-readable report (one
+//! full [`AlignmentResult::report_json`] per configuration; schema in
+//! EXPERIMENTS.md).
 
 use netalign_bench::{available_threads, run_with_threads, table::f, Args, Table};
 use netalign_core::prelude::*;
+use netalign_core::trace::Json;
 use netalign_data::standins::StandIn;
 use netalign_matching::MatcherKind;
 use std::time::Instant;
@@ -24,6 +29,7 @@ fn main() {
     let iters = args.usize("iters", 10);
     let seed = args.u64("seed", 11);
     let max_threads = args.usize("threads", available_threads());
+    let json_path = args.string("json", "");
 
     let inst = StandIn::LcshWiki.generate(scale, seed);
     eprintln!(
@@ -34,23 +40,46 @@ fn main() {
     let runs = [
         ("BP exact, 1 thread", MatcherKind::Exact, 1usize),
         ("BP approx, 1 thread", MatcherKind::ParallelLocalDominant, 1),
-        ("BP approx, max threads", MatcherKind::ParallelLocalDominant, max_threads),
+        (
+            "BP approx, max threads",
+            MatcherKind::ParallelLocalDominant,
+            max_threads,
+        ),
     ];
 
     println!("Headline — exact/serial vs approximate/parallel BP ({iters} iters)\n");
     let mut t = Table::new(&["configuration", "threads", "seconds", "objective"]);
     let mut results = Vec::new();
+    let mut reports = Vec::new();
     for (name, matcher, nt) in runs {
-        let cfg = AlignConfig { iterations: iters, batch: 20, matcher, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: iters,
+            batch: 20,
+            matcher,
+            trace_matcher: true,
+            ..Default::default()
+        };
         let problem = &inst.problem;
-        let (secs, obj) = run_with_threads(nt, || {
+        let (secs, r) = run_with_threads(nt, || {
             let start = Instant::now();
             let r = belief_propagation(problem, &cfg);
-            (start.elapsed().as_secs_f64(), r.objective)
+            (start.elapsed().as_secs_f64(), r)
         });
-        eprintln!("{name}: {secs:.2}s, objective {obj:.1}");
-        t.row(&[name.to_string(), nt.to_string(), f(secs, 2), f(obj, 1)]);
-        results.push((name, secs, obj));
+        eprintln!("{name}: {secs:.2}s, objective {:.1}", r.objective);
+        t.row(&[
+            name.to_string(),
+            nt.to_string(),
+            f(secs, 2),
+            f(r.objective, 1),
+        ]);
+        reports.push(Json::obj(vec![
+            ("configuration", Json::str(name)),
+            ("matcher", Json::str(matcher.name())),
+            ("threads", Json::U64(nt as u64)),
+            ("wall_seconds", Json::F64(secs)),
+            ("report", r.report_json()),
+        ]));
+        results.push((name, secs, r.objective));
     }
     t.print();
 
@@ -65,4 +94,17 @@ fn main() {
         100.0 * (o_par - o_exact) / o_exact.abs().max(1e-12)
     );
     println!("paper's numbers on the real lcsh-wiki with 40 threads: 10 min -> 36 s.");
+
+    if !json_path.is_empty() {
+        let report = Json::obj(vec![
+            ("figure", Json::str("headline")),
+            ("scale", Json::F64(scale)),
+            ("iterations", Json::U64(iters as u64)),
+            ("seed", Json::U64(seed)),
+            ("speedup", Json::F64(t_exact / t_par)),
+            ("runs", Json::Arr(reports)),
+        ]);
+        std::fs::write(&json_path, report.render_line()).expect("write --json report");
+        eprintln!("wrote JSON report to {json_path}");
+    }
 }

@@ -27,7 +27,10 @@ fn main() {
     };
     let inst = si.generate(scale, seed);
     let l = &inst.problem.l;
-    eprintln!("{dataset} at scale {scale}: shape {:?}", inst.problem.shape());
+    eprintln!(
+        "{dataset} at scale {scale}: shape {:?}",
+        inst.problem.shape()
+    );
 
     // Reference: exact weight and maximum cardinality.
     let t0 = Instant::now();
@@ -42,7 +45,13 @@ fn main() {
         opt_weight,
         max_card
     );
-    let mut t = Table::new(&["matcher", "weight", "% of optimal", "cardinality", "seconds"]);
+    let mut t = Table::new(&[
+        "matcher",
+        "weight",
+        "% of optimal",
+        "cardinality",
+        "seconds",
+    ]);
     t.row(&[
         "exact".into(),
         f(opt_weight, 1),
@@ -67,7 +76,11 @@ fn main() {
         let w = m.weight_in(l);
         assert!(m.is_valid(l), "{} invalid", kind.name());
         if kind.is_approximate() {
-            assert!(w * 2.0 >= opt_weight - 1e-9, "{} broke the ½ bound", kind.name());
+            assert!(
+                w * 2.0 >= opt_weight - 1e-9,
+                "{} broke the ½ bound",
+                kind.name()
+            );
         }
         t.row(&[
             kind.name().to_string(),

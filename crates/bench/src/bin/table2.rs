@@ -18,8 +18,16 @@ fn main() {
     println!("Table II — dataset statistics (stand-ins vs published)");
     println!("bio scale {bio_scale}, ontology scale {onto_scale}\n");
     let mut t = Table::new(&[
-        "problem", "scale", "|V_A|", "|V_B|", "|E_L|", "nnz(S)",
-        "paper |V_A|", "paper |V_B|", "paper |E_L|", "paper nnz(S)",
+        "problem",
+        "scale",
+        "|V_A|",
+        "|V_B|",
+        "|E_L|",
+        "nnz(S)",
+        "paper |V_A|",
+        "paper |V_B|",
+        "paper |E_L|",
+        "paper nnz(S)",
     ]);
     for si in StandIn::ALL {
         let spec = si.spec();

@@ -15,11 +15,11 @@ impl Args {
     /// # Panics
     /// Panics on a flag without a value or a stray positional argument.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut flags = HashMap::new();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -39,7 +39,10 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -47,7 +50,10 @@ impl Args {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -55,7 +61,10 @@ impl Args {
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} must be an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -65,7 +74,11 @@ impl Args {
             .get(key)
             .map(|v| {
                 v.split(',')
-                    .map(|x| x.trim().parse().unwrap_or_else(|_| panic!("--{key}: bad entry '{x}'")))
+                    .map(|x| {
+                        x.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("--{key}: bad entry '{x}'"))
+                    })
                     .collect()
             })
             .unwrap_or(default)
@@ -73,7 +86,10 @@ impl Args {
 
     /// Get a string flag with default.
     pub fn string(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -82,7 +98,7 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|x| x.to_string()))
+        Args::from_args(s.iter().map(|x| x.to_string()))
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::config::AlignConfig;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rounding::round_heuristic;
-use crate::timing::StepTimers;
+use crate::trace::RunTrace;
 use rayon::prelude::*;
 
 /// IsoRank parameters.
@@ -31,16 +31,15 @@ pub struct IsoRankConfig {
 
 impl Default for IsoRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, iterations: 50 }
+        Self {
+            damping: 0.85,
+            iterations: 50,
+        }
     }
 }
 
 /// Run IsoRank and round the final score vector.
-pub fn isorank(
-    p: &NetAlignProblem,
-    iso: &IsoRankConfig,
-    config: &AlignConfig,
-) -> AlignmentResult {
+pub fn isorank(p: &NetAlignProblem, iso: &IsoRankConfig, config: &AlignConfig) -> AlignmentResult {
     config.validate();
     assert!(
         (0.0..1.0).contains(&iso.damping),
@@ -104,7 +103,7 @@ pub fn isorank(
         best_iteration: iso.iterations,
         upper_bound: None,
         history,
-        timers: StepTimers::new(),
+        trace: RunTrace::new(),
     }
 }
 
@@ -142,7 +141,10 @@ mod tests {
     #[test]
     fn zero_damping_is_naive_rounding() {
         let p = cycle_problem();
-        let iso = IsoRankConfig { damping: 0.0, iterations: 5 };
+        let iso = IsoRankConfig {
+            damping: 0.0,
+            iterations: 5,
+        };
         let r = isorank(&p, &iso, &AlignConfig::default());
         let naive = crate::baselines::naive_rounding(&p, &AlignConfig::default());
         assert_eq!(r.weight, naive.weight);
@@ -155,7 +157,10 @@ mod tests {
         let p = cycle_problem();
         let r = isorank(
             &p,
-            &IsoRankConfig { damping: 0.95, iterations: 200 },
+            &IsoRankConfig {
+                damping: 0.95,
+                iterations: 200,
+            },
             &AlignConfig::default(),
         );
         assert!(r.matching.is_valid(&p.l));
@@ -168,7 +173,10 @@ mod tests {
         let p = cycle_problem();
         let _ = isorank(
             &p,
-            &IsoRankConfig { damping: 1.5, iterations: 5 },
+            &IsoRankConfig {
+                damping: 1.5,
+                iterations: 5,
+            },
             &AlignConfig::default(),
         );
     }

@@ -20,7 +20,7 @@ use crate::config::AlignConfig;
 use crate::problem::NetAlignProblem;
 use crate::result::AlignmentResult;
 use crate::rounding::round_heuristic;
-use crate::timing::StepTimers;
+use crate::trace::RunTrace;
 
 /// Round the raw similarity weights `w` once — what a user would get
 /// without any alignment iteration at all.
@@ -35,7 +35,7 @@ pub fn naive_rounding(p: &NetAlignProblem, config: &AlignConfig) -> AlignmentRes
         best_iteration: 0,
         upper_bound: None,
         history: Vec::new(),
-        timers: StepTimers::new(),
+        trace: RunTrace::new(),
     }
 }
 

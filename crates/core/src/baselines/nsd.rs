@@ -19,7 +19,7 @@ use crate::config::AlignConfig;
 use crate::problem::NetAlignProblem;
 use crate::result::AlignmentResult;
 use crate::rounding::round_heuristic;
-use crate::timing::StepTimers;
+use crate::trace::RunTrace;
 use netalign_graph::Graph;
 use rayon::prelude::*;
 
@@ -34,7 +34,10 @@ pub struct NsdConfig {
 
 impl Default for NsdConfig {
     fn default() -> Self {
-        Self { alpha: 0.8, depth: 10 }
+        Self {
+            alpha: 0.8,
+            depth: 10,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ pub fn nsd(p: &NetAlignProblem, cfg: &NsdConfig, config: &AlignConfig) -> Alignm
     let mut v_next = vec![0.0f64; nb];
     let mut coef = 1.0 - cfg.alpha;
     for k in 0..=cfg.depth {
-        let c = if k == cfg.depth { cfg.alpha.powi(k as i32) } else { coef };
+        let c = if k == cfg.depth {
+            cfg.alpha.powi(k as i32)
+        } else {
+            coef
+        };
         scores
             .par_iter_mut()
             .enumerate()
@@ -105,7 +112,7 @@ pub fn nsd(p: &NetAlignProblem, cfg: &NsdConfig, config: &AlignConfig) -> Alignm
         best_iteration: cfg.depth,
         upper_bound: None,
         history: Vec::new(),
-        timers: StepTimers::new(),
+        trace: RunTrace::new(),
     }
 }
 
@@ -157,7 +164,14 @@ mod tests {
     #[test]
     fn depth_zero_scores_are_prior_outer_product() {
         let p = cycle_problem();
-        let r = nsd(&p, &NsdConfig { alpha: 0.5, depth: 0 }, &AlignConfig::default());
+        let r = nsd(
+            &p,
+            &NsdConfig {
+                alpha: 0.5,
+                depth: 0,
+            },
+            &AlignConfig::default(),
+        );
         assert!(r.matching.is_valid(&p.l));
     }
 
@@ -175,6 +189,13 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn rejects_bad_alpha() {
         let p = cycle_problem();
-        let _ = nsd(&p, &NsdConfig { alpha: 2.0, depth: 3 }, &AlignConfig::default());
+        let _ = nsd(
+            &p,
+            &NsdConfig {
+                alpha: 2.0,
+                depth: 3,
+            },
+            &AlignConfig::default(),
+        );
     }
 }

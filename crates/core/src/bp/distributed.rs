@@ -36,7 +36,7 @@ use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
-use crate::timing::StepTimers;
+use crate::trace::RunTrace;
 
 use netalign_matching::distributed::distributed_local_dominant;
 
@@ -77,7 +77,11 @@ struct ColStat {
 }
 
 impl ColStat {
-    const EMPTY: ColStat = ColStat { max1: f64::NEG_INFINITY, max2: f64::NEG_INFINITY, arg_eid: u32::MAX };
+    const EMPTY: ColStat = ColStat {
+        max1: f64::NEG_INFINITY,
+        max2: f64::NEG_INFINITY,
+        arg_eid: u32::MAX,
+    };
 
     /// Fold one value in edge order (strict `>` keeps the earliest
     /// edge on ties — the shared-memory kernel's behaviour).
@@ -146,10 +150,8 @@ pub fn distributed_belief_propagation(
             p.l.left_range(boundaries[r] as u32).start
         }
     };
-    let owner_of_value = |idx: usize, states: &[RankState]| -> usize {
-        states
-            .partition_point(|st| st.v_hi <= idx)
-    };
+    let owner_of_value =
+        |idx: usize, states: &[RankState]| -> usize { states.partition_point(|st| st.v_hi <= idx) };
 
     let mut states: Vec<RankState> = (0..nranks)
         .map(|r| {
@@ -212,7 +214,7 @@ pub fn distributed_belief_propagation(
     let bblock = nb.div_ceil(nranks).max(1);
     let owner_of_b = |b: u32| ((b as usize) / bblock).min(nranks - 1);
 
-    let timers = StepTimers::new();
+    let mut trace = RunTrace::new();
     let mut best: Option<(f64, Vec<f64>, usize)> = None;
     let mut history: Vec<IterationRecord> = Vec::new();
     let mut pending: Vec<(usize, Vec<f64>)> = Vec::new();
@@ -274,7 +276,11 @@ pub fn distributed_belief_propagation(
                                 stat.push(st.y_prev[e - st.e_lo], e as u32);
                             }
                             for e in r {
-                                let v = if e as u32 == stat.arg_eid { stat.max2 } else { stat.max1 };
+                                let v = if e as u32 == stat.arg_eid {
+                                    stat.max2
+                                } else {
+                                    stat.max1
+                                };
                                 st.omr[e - st.e_lo] = v.max(0.0);
                             }
                         }
@@ -347,7 +353,11 @@ pub fn distributed_belief_propagation(
                             .find(|&&(sb, _)| sb == b)
                             .map(|&(_, s)| s)
                             .unwrap_or(ColStat::EMPTY);
-                        let v = if e as u32 == stat.arg_eid { stat.max2 } else { stat.max1 };
+                        let v = if e as u32 == stat.arg_eid {
+                            stat.max2
+                        } else {
+                            stat.max1
+                        };
                         st.omc[le] = v.max(0.0);
                     }
                     for le in 0..st.y.len() {
@@ -391,6 +401,8 @@ pub fn distributed_belief_propagation(
         pending.push((k, gather(|st| &st.y)));
         pending.push((k, gather(|st| &st.z)));
         if pending.len() >= config.batch.max(1) * 2 || k == config.iterations {
+            trace.algo.rounding_invocations += 1;
+            trace.algo.rounding_batch_sizes.push(pending.len() as u64);
             for (iter_k, g) in pending.drain(..) {
                 let matching = distributed_local_dominant(&p.l, &g, nranks);
                 let value = evaluate_matching(p, &matching, alpha, beta);
@@ -405,6 +417,7 @@ pub fn distributed_belief_propagation(
                 }
                 if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
                     best = Some((value.total, g, iter_k));
+                    trace.algo.best_improvements += 1;
                 }
             }
         }
@@ -421,7 +434,7 @@ pub fn distributed_belief_propagation(
         best_iteration: best_iter,
         upper_bound: None,
         history,
-        timers,
+        trace,
     }
 }
 
@@ -431,10 +444,8 @@ fn boundaries_range(
     e_lo: usize,
     e_hi: usize,
 ) -> impl Iterator<Item = u32> + '_ {
-    (0..p.l.num_left() as u32)
-        .filter(move |&a| {
-            let r = p.l.left_range(a);
-            r.start >= e_lo && r.end <= e_hi && !r.is_empty()
-        })
+    (0..p.l.num_left() as u32).filter(move |&a| {
+        let r = p.l.left_range(a);
+        r.start >= e_lo && r.end <= e_hi && !r.is_empty()
+    })
 }
-

@@ -27,8 +27,8 @@ use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
-use crate::rounding::{round_batch, round_heuristic};
-use crate::timing::{Step, StepTimers};
+use crate::rounding::{round_batch_traced, round_heuristic};
+use crate::trace::{MatcherCounters, RunTrace, Step};
 use netalign_matching::MatcherKind;
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
 use rayon::prelude::*;
@@ -47,7 +47,8 @@ pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> Al
     let m = p.l.num_edges();
     let nnz = p.s.nnz();
     let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
-    let mut timers = StepTimers::new();
+    let mut trace = RunTrace::new();
+    let matcher_counters = MatcherCounters::new(config.trace_matcher);
 
     // All state is preallocated; iteration only rewrites values
     // (paper §IV: "no dynamic memory allocations").
@@ -81,7 +82,7 @@ pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> Al
             .with_min_len(CHUNK)
             .zip(skt.par_iter().with_min_len(CHUNK))
             .for_each(|(f, &st)| *f = (beta + st).clamp(0.0, beta));
-        timers.add(Step::ComputeF, t0.elapsed());
+        trace.add(Step::ComputeF, t0.elapsed());
 
         // Step 2: d = alpha*w + F e (row sums of F).
         let t0 = std::time::Instant::now();
@@ -95,7 +96,7 @@ pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> Al
                 }
                 *de = alpha * w[e] + acc;
             });
-        timers.add(Step::ComputeD, t0.elapsed());
+        trace.add(Step::ComputeD, t0.elapsed());
 
         // Step 3: othermax sweeps (use previous iterates). The two
         // sweeps are independent, so they run as parallel tasks — the
@@ -115,30 +116,37 @@ pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> Al
             .zip(d.par_iter().with_min_len(CHUNK))
             .zip(omr.par_iter().with_min_len(CHUNK))
             .for_each(|((zi, &di), &oi)| *zi = di - oi);
-        timers.add(Step::OtherMax, t0.elapsed());
+        trace.add(Step::OtherMax, t0.elapsed());
 
         // Step 4: S^(k) = diag(y + z - d) S - F, row-parallel over the
         // fixed pattern (entries of each row are contiguous).
         let t0 = std::time::Instant::now();
         sk_rowwise_update(rowptr, &mut sk, &y, &z, &d, &fv);
-        timers.add(Step::UpdateS, t0.elapsed());
+        trace.add(Step::UpdateS, t0.elapsed());
 
         // Step 5: damping toward the previous iterate.
         let t0 = std::time::Instant::now();
         damp(&mut y, &mut y_prev, gk);
         damp(&mut z, &mut z_prev, gk);
         damp(&mut sk, &mut sk_prev, gk);
-        timers.add(Step::Damping, t0.elapsed());
+        trace.add(Step::Damping, t0.elapsed());
 
         // Step 6: rounding (immediate or batched). After damping,
         // y/z hold the k-th damped iterates (and were also copied into
         // y_prev/z_prev for the next iteration).
+        // The y/z/sk entries rewritten this iteration are BP's
+        // "messages"; d and F are derived scratch.
+        trace.algo.messages_updated += (2 * m + nnz) as u64;
+
         pending.push((k, y.clone()));
         pending.push((k, z.clone()));
         if pending.len() >= config.batch.max(1) * 2 || k == config.iterations {
             let t0 = std::time::Instant::now();
             let batch: Vec<Vec<f64>> = pending.iter().map(|(_, g)| g.clone()).collect();
-            let rounded = round_batch(p, &batch, alpha, beta, config.matcher);
+            let rounded =
+                round_batch_traced(p, &batch, alpha, beta, config.matcher, &matcher_counters);
+            trace.algo.rounding_invocations += 1;
+            trace.algo.rounding_batch_sizes.push(batch.len() as u64);
             for ((iter_k, g), r) in pending.drain(..).zip(rounded) {
                 if config.record_history {
                     history.push(IterationRecord {
@@ -151,17 +159,26 @@ pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> Al
                 }
                 if best.as_ref().is_none_or(|(b, _, _)| r.value.total > *b) {
                     best = Some((r.value.total, g, iter_k));
+                    trace.algo.best_improvements += 1;
                 }
             }
-            timers.add(Step::Match, t0.elapsed());
+            trace.add(Step::Match, t0.elapsed());
         }
+        trace.end_iteration();
     }
 
-    finalize(p, config, best, history, timers)
+    finalize(p, config, best, history, trace, &matcher_counters)
 }
 
 /// `S^(k)[e, :] = (y[e] + z[e] - d[e]) - F[e, :]` over the fixed pattern.
-fn sk_rowwise_update(rowptr: &[usize], sk: &mut [f64], y: &[f64], z: &[f64], d: &[f64], fv: &[f64]) {
+fn sk_rowwise_update(
+    rowptr: &[usize],
+    sk: &mut [f64],
+    y: &[f64],
+    z: &[f64],
+    d: &[f64],
+    fv: &[f64],
+) {
     // Parallelize over rows by splitting the value array at row bounds.
     // rayon's par_chunks cannot follow irregular rows, so iterate rows
     // in parallel with unsafe-free indexing via split decomposition:
@@ -212,10 +229,17 @@ pub(crate) fn finalize(
     config: &AlignConfig,
     best: Option<(f64, Vec<f64>, usize)>,
     history: Vec<IterationRecord>,
-    timers: StepTimers,
+    mut trace: RunTrace,
+    matcher_counters: &MatcherCounters,
 ) -> AlignmentResult {
     let (best_obj, best_g, best_iter) = best.expect("at least one rounding must have happened");
-    let mut matching = netalign_matching::max_weight_matching(&p.l, &best_g, config.matcher);
+    let t0 = std::time::Instant::now();
+    let mut matching = netalign_matching::max_weight_matching_traced(
+        &p.l,
+        &best_g,
+        config.matcher,
+        matcher_counters,
+    );
     if config.final_exact_round && config.matcher != MatcherKind::Exact {
         // The paper always converts the best heuristic with one exact
         // matching at the very end (§VII).
@@ -224,6 +248,8 @@ pub(crate) fn finalize(
             matching = exact.matching;
         }
     }
+    trace.add(Step::Match, t0.elapsed());
+    trace.matcher = matcher_counters.snapshot();
     let value = evaluate_matching(p, &matching, config.alpha, config.beta);
     AlignmentResult {
         matching,
@@ -233,7 +259,7 @@ pub(crate) fn finalize(
         best_iteration: best_iter,
         upper_bound: None,
         history,
-        timers,
+        trace,
     }
 }
 
@@ -264,7 +290,11 @@ mod tests {
     #[test]
     fn recovers_identity_on_cycle() {
         let p = tiny_problem();
-        let cfg = AlignConfig { iterations: 20, record_history: true, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 20,
+            record_history: true,
+            ..Default::default()
+        };
         let r = belief_propagation(&p, &cfg);
         assert_eq!(r.matching.cardinality(), 4);
         assert_eq!(r.overlap, 4.0);
@@ -279,7 +309,10 @@ mod tests {
         let p = tiny_problem();
         let exact = belief_propagation(
             &p,
-            &AlignConfig { iterations: 15, ..Default::default() },
+            &AlignConfig {
+                iterations: 15,
+                ..Default::default()
+            },
         );
         let approx = belief_propagation(
             &p,
@@ -295,7 +328,10 @@ mod tests {
     #[test]
     fn batching_does_not_change_the_result() {
         let p = tiny_problem();
-        let base = AlignConfig { iterations: 12, ..Default::default() };
+        let base = AlignConfig {
+            iterations: 12,
+            ..Default::default()
+        };
         let r1 = belief_propagation(&p, &base);
         let r10 = belief_propagation(&p, &AlignConfig { batch: 10, ..base });
         assert_eq!(r1.objective, r10.objective);
@@ -309,7 +345,10 @@ mod tests {
         let b = add_random_edges(&g, 0.02, 7);
         let l = identity_plus_noise_l(60, 60, 4.0 / 60.0, 1.0, 1.0, 8);
         let p = NetAlignProblem::new(a, b, l);
-        let cfg = AlignConfig { iterations: 50, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 50,
+            ..Default::default()
+        };
         let r = belief_propagation(&p, &cfg);
         // Naive rounding of w alone:
         let naive = round_heuristic(&p, p.l.weights(), 1.0, 2.0, MatcherKind::Exact);
@@ -350,7 +389,10 @@ mod tests {
         let without = belief_propagation(&p, &base);
         let with = belief_propagation(
             &p,
-            &AlignConfig { final_exact_round: true, ..base },
+            &AlignConfig {
+                final_exact_round: true,
+                ..base
+            },
         );
         assert!(with.objective >= without.objective);
     }

@@ -117,7 +117,13 @@ mod tests {
         BipartiteGraph::from_entries(
             3,
             2,
-            vec![(0, 0, 0.0), (0, 1, 0.0), (1, 0, 0.0), (1, 1, 0.0), (2, 1, 0.0)],
+            vec![
+                (0, 0, 0.0),
+                (0, 1, 0.0),
+                (1, 0, 0.0),
+                (1, 1, 0.0),
+                (2, 1, 0.0),
+            ],
         )
     }
 

@@ -66,6 +66,11 @@ pub struct AlignConfig {
     pub final_exact_round: bool,
     /// Record per-iteration history (objective, weight, overlap).
     pub record_history: bool,
+    /// Record the parallel matcher's event counters into the result's
+    /// [`crate::trace::RunTrace::matcher`] snapshot. Off by default:
+    /// the enabled path adds relaxed atomic traffic inside the matcher;
+    /// disabled it costs one predictable branch per event.
+    pub trace_matcher: bool,
 }
 
 impl Default for AlignConfig {
@@ -82,6 +87,7 @@ impl Default for AlignConfig {
             enriched_rounding: false,
             final_exact_round: false,
             record_history: false,
+            trace_matcher: false,
         }
     }
 }
@@ -132,18 +138,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "gamma")]
     fn rejects_bad_gamma() {
-        AlignConfig { gamma: 1.5, ..Default::default() }.validate();
+        AlignConfig {
+            gamma: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "batch")]
     fn rejects_zero_batch() {
-        AlignConfig { batch: 0, ..Default::default() }.validate();
+        AlignConfig {
+            batch: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "alpha")]
     fn rejects_negative_alpha() {
-        AlignConfig { alpha: -1.0, ..Default::default() }.validate();
+        AlignConfig {
+            alpha: -1.0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

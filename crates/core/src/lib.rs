@@ -22,8 +22,9 @@
 //!
 //! plus the machinery they share: [`squares`] (building `S`),
 //! [`objective`], [`rounding`] (the `round_heuristic` of Table I with a
-//! pluggable exact/approximate matcher), per-step [`timing`], and the
-//! run [`config`] / [`result`] types.
+//! pluggable exact/approximate matcher), run observability ([`trace`]:
+//! per-step spans, matcher counters, JSON reports), and the run
+//! [`config`] / [`result`] types.
 //!
 //! # Quickstart
 //!
@@ -54,7 +55,7 @@ pub mod problem;
 pub mod result;
 pub mod rounding;
 pub mod squares;
-pub mod timing;
+pub mod trace;
 
 pub mod prelude {
     //! Convenient re-exports of the most used items.

@@ -25,7 +25,7 @@ use crate::mr::rowmatch::solve_row_matchings;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
-use crate::timing::StepTimers;
+use crate::trace::RunTrace;
 use netalign_matching::distributed::distributed_local_dominant;
 
 /// Run Klau's MR with state distributed over `ranks` simulated workers.
@@ -96,7 +96,7 @@ pub fn distributed_matching_relaxation(
     let mut best_upper = f64::INFINITY;
     let mut stall = 0usize;
     let mut history: Vec<IterationRecord> = Vec::new();
-    let timers = StepTimers::new();
+    let mut trace = RunTrace::new();
 
     // Scratch shared across iterations (the "allgathered" views; in a
     // real MPI code these stay distributed — the row matchings and the
@@ -129,13 +129,12 @@ pub fn distributed_matching_relaxation(
         let (d, sl_vals) = solve_row_matchings(p, &row_w);
 
         // Superstep 3: w̄ and the distributed matching.
-        let wbar: Vec<f64> = p
-            .l
-            .weights()
-            .iter()
-            .zip(&d)
-            .map(|(&wi, &di)| alpha * wi + di)
-            .collect();
+        let wbar: Vec<f64> =
+            p.l.weights()
+                .iter()
+                .zip(&d)
+                .map(|(&wi, &di)| alpha * wi + di)
+                .collect();
         let matching = distributed_local_dominant(&p.l, &wbar, nranks);
 
         // Superstep 4: bounds (allreduce).
@@ -152,8 +151,11 @@ pub fn distributed_matching_relaxation(
                 upper_bound: Some(upper),
             });
         }
+        trace.algo.rounding_invocations += 1;
+        trace.algo.rounding_batch_sizes.push(1);
         if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
             best = Some((value.total, wbar.clone(), k));
+            trace.algo.best_improvements += 1;
         }
         if upper < best_upper - 1e-12 {
             best_upper = upper;
@@ -185,8 +187,8 @@ pub fn distributed_matching_relaxation(
                         u_blocks[r][local] = 0.0;
                         continue;
                     }
-                    let upd = u_blocks[r][local] - gamma * x[e] * sl_vals[idx]
-                        + gamma * slt[idx] * x[f];
+                    let upd =
+                        u_blocks[r][local] - gamma * x[e] * sl_vals[idx] + gamma * slt[idx] * x[f];
                     u_blocks[r][local] = upd.clamp(-bound, bound);
                 }
             }
@@ -204,6 +206,6 @@ pub fn distributed_matching_relaxation(
         best_iteration: best_iter,
         upper_bound: Some(best_upper.max(value.total)),
         history,
-        timers,
+        trace,
     }
 }

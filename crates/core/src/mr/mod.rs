@@ -29,8 +29,8 @@ use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
-use crate::timing::{Step, StepTimers};
-use netalign_matching::max_weight_matching;
+use crate::trace::{MatcherCounters, RunTrace, Step};
+use netalign_matching::max_weight_matching_traced;
 use rayon::prelude::*;
 use rowmatch::solve_row_matchings;
 
@@ -42,7 +42,8 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
     let nnz = p.s.nnz();
     let (alpha, beta) = (config.alpha, config.beta);
     let mut gamma = config.gamma;
-    let mut timers = StepTimers::new();
+    let mut trace = RunTrace::new();
+    let matcher_counters = MatcherCounters::new(config.trace_matcher);
     let perm = p.s.transpose_perm().as_slice();
 
     // Lagrange multipliers U over the pattern of S (upper triangle
@@ -68,7 +69,7 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
                 *rw = beta / 2.0 + u_vals[idx] - u_vals[perm[idx]];
             });
         let (d, sl_vals) = solve_row_matchings(p, &row_w);
-        timers.add(Step::RowMatch, t0.elapsed());
+        trace.add(Step::RowMatch, t0.elapsed());
 
         // Step 2: w̄ = αw + d.
         let t0 = std::time::Instant::now();
@@ -77,12 +78,14 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
             .zip(p.l.weights().par_iter().with_min_len(CHUNK))
             .zip(d.par_iter().with_min_len(CHUNK))
             .for_each(|((wb, &wi), &di)| *wb = alpha * wi + di);
-        timers.add(Step::Daxpy, t0.elapsed());
+        trace.add(Step::Daxpy, t0.elapsed());
 
         // Step 3: the full matching — exact or approximate.
         let t0 = std::time::Instant::now();
-        let matching = max_weight_matching(&p.l, &wbar, config.matcher);
-        timers.add(Step::Match, t0.elapsed());
+        let matching = max_weight_matching_traced(&p.l, &wbar, config.matcher, &matcher_counters);
+        trace.add(Step::Match, t0.elapsed());
+        trace.algo.rounding_invocations += 1;
+        trace.algo.rounding_batch_sizes.push(1);
 
         // Step 4: bounds.
         let t0 = std::time::Instant::now();
@@ -93,7 +96,7 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
         // deterministic so that runs are reproducible across pool sizes
         // and bit-identical to the distributed implementation.
         let upper: f64 = x.iter().zip(wbar.iter()).map(|(&xi, &wi)| xi * wi).sum();
-        timers.add(Step::ObjectiveEval, t0.elapsed());
+        trace.add(Step::ObjectiveEval, t0.elapsed());
 
         // Optional enriched rounding (netalignmr's rtype=2): re-match
         // the overlap-aware weights αw + β·S·x and keep the better
@@ -114,13 +117,15 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
                     }
                     *ge = alpha * p.l.weights()[e] + beta * acc;
                 });
-            let m2 = max_weight_matching(&p.l, &g2, config.matcher);
+            let m2 = max_weight_matching_traced(&p.l, &g2, config.matcher, &matcher_counters);
             let v2 = evaluate_matching(p, &m2, alpha, beta);
             if v2.total > value.total {
                 value = v2;
                 enriched_wbar = Some(g2);
             }
-            timers.add(Step::Match, t0.elapsed());
+            trace.add(Step::Match, t0.elapsed());
+            trace.algo.rounding_invocations += 1;
+            trace.algo.rounding_batch_sizes.push(1);
         }
 
         if config.record_history {
@@ -135,6 +140,7 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
         if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
             let g = enriched_wbar.unwrap_or_else(|| wbar.clone());
             best = Some((value.total, g, k));
+            trace.algo.best_improvements += 1;
         }
 
         // Step size control: halve γ when the upper bound stalls.
@@ -183,10 +189,15 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
                     *uv = upd.clamp(-bound, bound);
                 }
             });
-        timers.add(Step::UpdateU, t0.elapsed());
+        trace.add(Step::UpdateU, t0.elapsed());
+
+        // The multiplier block and the two weight vectors rewritten
+        // this iteration are MR's "messages".
+        trace.algo.messages_updated += (2 * nnz + m) as u64;
+        trace.end_iteration();
     }
 
-    let mut result = finalize(p, config, best, history, timers);
+    let mut result = finalize(p, config, best, history, trace, &matcher_counters);
     result.upper_bound = Some(best_upper.max(result.objective));
     result
 }
@@ -219,7 +230,11 @@ mod tests {
     #[test]
     fn recovers_identity_on_cycle() {
         let p = cycle_problem();
-        let cfg = AlignConfig { iterations: 25, record_history: true, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 25,
+            record_history: true,
+            ..Default::default()
+        };
         let r = matching_relaxation(&p, &cfg);
         assert_eq!(r.matching.cardinality(), 4);
         assert_eq!(r.overlap, 4.0);
@@ -229,7 +244,10 @@ mod tests {
     #[test]
     fn upper_bound_dominates_objective() {
         let p = cycle_problem();
-        let cfg = AlignConfig { iterations: 30, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 30,
+            ..Default::default()
+        };
         let r = matching_relaxation(&p, &cfg);
         let ub = r.upper_bound.unwrap();
         assert!(
@@ -244,7 +262,10 @@ mod tests {
     #[test]
     fn optimality_gap_closes_on_easy_instance() {
         let p = cycle_problem();
-        let cfg = AlignConfig { iterations: 60, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 60,
+            ..Default::default()
+        };
         let r = matching_relaxation(&p, &cfg);
         // identity objective: weight 4 + 2*overlap 4 = 12
         assert_eq!(r.objective, 12.0);
@@ -258,15 +279,13 @@ mod tests {
         let b = add_random_edges(&g, 0.02, 17);
         let l = identity_plus_noise_l(50, 50, 3.0 / 50.0, 1.0, 1.0, 18);
         let p = NetAlignProblem::new(a, b, l);
-        let cfg = AlignConfig { iterations: 40, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 40,
+            ..Default::default()
+        };
         let r = matching_relaxation(&p, &cfg);
-        let naive = crate::rounding::round_heuristic(
-            &p,
-            p.l.weights(),
-            1.0,
-            2.0,
-            MatcherKind::Exact,
-        );
+        let naive =
+            crate::rounding::round_heuristic(&p, p.l.weights(), 1.0, 2.0, MatcherKind::Exact);
         assert!(r.objective >= naive.value.total);
     }
 
@@ -275,11 +294,17 @@ mod tests {
         // The paper's key negative finding: MR + approximate matching
         // still runs and produces a valid (if possibly worse) solution.
         let p = cycle_problem();
-        let cfg = AlignConfig { iterations: 25, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 25,
+            ..Default::default()
+        };
         let exact = matching_relaxation(&p, &cfg);
         let approx = matching_relaxation(
             &p,
-            &AlignConfig { matcher: MatcherKind::ParallelLocalDominant, ..cfg },
+            &AlignConfig {
+                matcher: MatcherKind::ParallelLocalDominant,
+                ..cfg
+            },
         );
         assert!(approx.matching.is_valid(&p.l));
         assert!(approx.objective <= exact.objective + 1e-9);
@@ -292,10 +317,18 @@ mod tests {
         let b = add_random_edges(&g, 0.02, 57);
         let l = identity_plus_noise_l(60, 60, 8.0 / 60.0, 1.0, 1.0, 58);
         let p = NetAlignProblem::new(a, b, l);
-        let base = AlignConfig { iterations: 30, ..Default::default() };
+        let base = AlignConfig {
+            iterations: 30,
+            ..Default::default()
+        };
         let plain = matching_relaxation(&p, &base);
-        let enriched =
-            matching_relaxation(&p, &AlignConfig { enriched_rounding: true, ..base });
+        let enriched = matching_relaxation(
+            &p,
+            &AlignConfig {
+                enriched_rounding: true,
+                ..base
+            },
+        );
         assert!(enriched.objective >= plain.objective - 1e-9);
         assert!(enriched.matching.is_valid(&p.l));
     }

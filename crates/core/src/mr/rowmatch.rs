@@ -230,7 +230,9 @@ mod tests {
         // row's local subproblem.
         use netalign_matching::exact::brute_force_matching;
         let p = problem();
-        let w: Vec<f64> = (0..p.s.nnz()).map(|i| 0.25 + ((i * 13) % 7) as f64).collect();
+        let w: Vec<f64> = (0..p.s.nnz())
+            .map(|i| 0.25 + ((i * 13) % 7) as f64)
+            .collect();
         let (d, _) = solve_row_matchings(&p, &w);
         for e in 0..p.l.num_edges() {
             let range = p.s.row_range(e);
@@ -247,14 +249,20 @@ mod tests {
             let mut ujps = jps.clone();
             ujps.sort_unstable();
             ujps.dedup();
-            js.iter_mut().for_each(|j| *j = ujs.binary_search(j).unwrap() as u32);
-            jps.iter_mut().for_each(|j| *j = ujps.binary_search(j).unwrap() as u32);
+            js.iter_mut()
+                .for_each(|j| *j = ujs.binary_search(j).unwrap() as u32);
+            jps.iter_mut()
+                .for_each(|j| *j = ujps.binary_search(j).unwrap() as u32);
             let entries: Vec<(u32, u32, f64)> = (0..cols.len())
                 .map(|k| (js[k], jps[k], w[range.start + k]))
                 .collect();
             let local = BipartiteGraph::from_entries(ujs.len(), ujps.len(), entries);
             let (opt, _) = brute_force_matching(&local, local.weights());
-            assert!((d[e] - opt).abs() < 1e-9, "row {e}: {} vs brute {opt}", d[e]);
+            assert!(
+                (d[e] - opt).abs() < 1e-9,
+                "row {e}: {} vs brute {opt}",
+                d[e]
+            );
         }
     }
 }

@@ -17,13 +17,13 @@ pub struct ObjectiveValue {
 /// Evaluate an indicator vector `x` over `E_L`.
 pub fn evaluate_indicator(p: &NetAlignProblem, x: &[f64], alpha: f64, beta: f64) -> ObjectiveValue {
     assert_eq!(x.len(), p.l.num_edges());
-    let weight: f64 = x
-        .iter()
-        .zip(p.l.weights())
-        .map(|(&xi, &wi)| xi * wi)
-        .sum();
+    let weight: f64 = x.iter().zip(p.l.weights()).map(|(&xi, &wi)| xi * wi).sum();
     let overlap = p.s.quadratic_form(x) / 2.0;
-    ObjectiveValue { weight, overlap, total: alpha * weight + beta * overlap }
+    ObjectiveValue {
+        weight,
+        overlap,
+        total: alpha * weight + beta * overlap,
+    }
 }
 
 /// Evaluate a matching without materializing the indicator when
@@ -53,7 +53,11 @@ pub fn evaluate_matching(
         }
     }
     let overlap = twice_overlap as f64 / 2.0;
-    ObjectiveValue { weight, overlap, total: alpha * weight + beta * overlap }
+    ObjectiveValue {
+        weight,
+        overlap,
+        total: alpha * weight + beta * overlap,
+    }
 }
 
 /// The paper's §III.A "terrible" upper bound obtained by ignoring the

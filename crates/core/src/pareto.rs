@@ -30,8 +30,7 @@ pub fn pareto_frontier(points: &[ScatterPoint]) -> Vec<ScatterPoint> {
         if p.overlap > best_overlap {
             frontier.push(p.clone());
             best_overlap = p.overlap;
-        } else if p.overlap == best_overlap
-            && frontier.last().is_some_and(|l| l.weight == p.weight)
+        } else if p.overlap == best_overlap && frontier.last().is_some_and(|l| l.weight == p.weight)
         {
             frontier.push(p.clone()); // keep exact ties
         }
@@ -42,9 +41,7 @@ pub fn pareto_frontier(points: &[ScatterPoint]) -> Vec<ScatterPoint> {
 /// True when `a` dominates `b` (at least as good in both coordinates,
 /// strictly better in one).
 pub fn dominates(a: &ScatterPoint, b: &ScatterPoint) -> bool {
-    a.weight >= b.weight
-        && a.overlap >= b.overlap
-        && (a.weight > b.weight || a.overlap > b.overlap)
+    a.weight >= b.weight && a.overlap >= b.overlap && (a.weight > b.weight || a.overlap > b.overlap)
 }
 
 #[cfg(test)]
@@ -52,7 +49,11 @@ mod tests {
     use super::*;
 
     fn pt(w: f64, o: f64) -> ScatterPoint {
-        ScatterPoint { weight: w, overlap: o, label: String::new() }
+        ScatterPoint {
+            weight: w,
+            overlap: o,
+            label: String::new(),
+        }
     }
 
     #[test]

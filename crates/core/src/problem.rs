@@ -64,11 +64,7 @@ mod tests {
     fn shape_reports_table2_stats() {
         let a = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
         let b = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
-        let l = BipartiteGraph::from_entries(
-            3,
-            3,
-            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
-        );
+        let l = BipartiteGraph::from_entries(3, 3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
         let p = NetAlignProblem::new(a, b, l);
         let (na, nb, el, nnz) = p.shape();
         assert_eq!((na, nb, el), (3, 3, 3));

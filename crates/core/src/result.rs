@@ -1,6 +1,6 @@
 //! Alignment run results.
 
-use crate::timing::StepTimers;
+use crate::trace::{Json, RunTrace};
 use netalign_matching::Matching;
 
 /// Per-iteration record (kept when `record_history` is set).
@@ -37,8 +37,8 @@ pub struct AlignmentResult {
     pub upper_bound: Option<f64>,
     /// Per-iteration history (empty unless requested).
     pub history: Vec<IterationRecord>,
-    /// Per-step wall-clock breakdown.
-    pub timers: StepTimers,
+    /// Per-step timing spans, matcher counters, and aligner counters.
+    pub trace: RunTrace,
 }
 
 impl AlignmentResult {
@@ -48,6 +48,45 @@ impl AlignmentResult {
         self.upper_bound
             .filter(|&u| u > 0.0)
             .map(|u| self.objective / u)
+    }
+
+    /// Machine-readable run report: solution quality plus the full
+    /// observability trace (step spans, matcher counters, aligner
+    /// counters). Render with [`Json::render`] /
+    /// [`Json::render_line`].
+    pub fn report_json(&self) -> Json {
+        Json::obj(vec![
+            ("objective", Json::F64(self.objective)),
+            ("weight", Json::F64(self.weight)),
+            ("overlap", Json::F64(self.overlap)),
+            ("best_iteration", Json::U64(self.best_iteration as u64)),
+            (
+                "upper_bound",
+                self.upper_bound.map_or(Json::Null, Json::F64),
+            ),
+            (
+                "approximation_ratio",
+                self.approximation_ratio().map_or(Json::Null, Json::F64),
+            ),
+            (
+                "matching_cardinality",
+                Json::U64(self.matching.cardinality() as u64),
+            ),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+
+    /// Human-readable run report: quality line plus the trace's table.
+    pub fn report_table(&self) -> String {
+        let mut out = format!(
+            "objective {:.3} (weight {:.3}, overlap {:.0}), best at iteration {}\n",
+            self.objective, self.weight, self.overlap, self.best_iteration
+        );
+        if let Some(ratio) = self.approximation_ratio() {
+            out.push_str(&format!("approximation ratio {ratio:.4}\n"));
+        }
+        out.push_str(&self.trace.report_table());
+        out
     }
 
     /// Write the per-iteration history as CSV
@@ -102,7 +141,7 @@ mod tests {
                     upper_bound: None,
                 },
             ],
-            timers: StepTimers::new(),
+            trace: RunTrace::new(),
         };
         let mut buf = Vec::new();
         r.write_history_csv(&mut buf).unwrap();
@@ -124,10 +163,39 @@ mod tests {
             best_iteration: 5,
             upper_bound: Some(10.0),
             history: Vec::new(),
-            timers: StepTimers::new(),
+            trace: RunTrace::new(),
         };
         assert_eq!(r.approximation_ratio(), Some(0.8));
-        let r2 = AlignmentResult { upper_bound: None, ..r };
+        let r2 = AlignmentResult {
+            upper_bound: None,
+            ..r
+        };
         assert_eq!(r2.approximation_ratio(), None);
+    }
+
+    #[test]
+    fn report_json_has_quality_and_trace() {
+        let r = AlignmentResult {
+            matching: Matching::empty(2, 2),
+            objective: 4.0,
+            weight: 2.0,
+            overlap: 1.0,
+            best_iteration: 3,
+            upper_bound: Some(5.0),
+            history: Vec::new(),
+            trace: RunTrace::new(),
+        };
+        let text = r.report_json().render();
+        assert!(text.contains("\"objective\":4.0"));
+        assert!(text.contains("\"upper_bound\":5.0"));
+        assert!(text.contains("\"approximation_ratio\":0.8"));
+        assert!(text.contains("\"steps\""));
+        assert!(text.contains("\"matcher\""));
+        // No upper bound renders as null, not a missing key.
+        let r2 = AlignmentResult {
+            upper_bound: None,
+            ..r
+        };
+        assert!(r2.report_json().render().contains("\"upper_bound\":null"));
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::objective::{evaluate_matching, ObjectiveValue};
 use crate::problem::NetAlignProblem;
-use netalign_matching::{max_weight_matching, MatcherKind, Matching};
+use netalign_matching::{max_weight_matching_traced, MatcherCounters, MatcherKind, Matching};
 use rayon::prelude::*;
 
 /// A rounded heuristic: the matching plus its evaluated objective.
@@ -46,8 +46,25 @@ pub fn round_heuristic(
     beta: f64,
     matcher: MatcherKind,
 ) -> RoundedSolution {
-    assert_eq!(g.len(), p.l.num_edges(), "heuristic length must equal |E_L|");
-    let matching = max_weight_matching(&p.l, g, matcher);
+    round_heuristic_traced(p, g, alpha, beta, matcher, MatcherCounters::disabled())
+}
+
+/// [`round_heuristic`] with matcher event counting (only the parallel
+/// locally-dominant matchers record anything).
+pub fn round_heuristic_traced(
+    p: &NetAlignProblem,
+    g: &[f64],
+    alpha: f64,
+    beta: f64,
+    matcher: MatcherKind,
+    counters: &MatcherCounters,
+) -> RoundedSolution {
+    assert_eq!(
+        g.len(),
+        p.l.num_edges(),
+        "heuristic length must equal |E_L|"
+    );
+    let matching = max_weight_matching_traced(&p.l, g, matcher, counters);
     let value = evaluate_matching(p, &matching, alpha, beta);
     RoundedSolution { matching, value }
 }
@@ -63,9 +80,24 @@ pub fn round_batch(
     beta: f64,
     matcher: MatcherKind,
 ) -> Vec<RoundedSolution> {
+    round_batch_traced(p, batch, alpha, beta, matcher, MatcherCounters::disabled())
+}
+
+/// [`round_batch`] with matcher event counting. The counters are
+/// shared across the batch's concurrent matchings; the accumulated
+/// totals stay deterministic because every batched matching's own
+/// counts are (see the matcher's round structure).
+pub fn round_batch_traced(
+    p: &NetAlignProblem,
+    batch: &[Vec<f64>],
+    alpha: f64,
+    beta: f64,
+    matcher: MatcherKind,
+    counters: &MatcherCounters,
+) -> Vec<RoundedSolution> {
     batch
         .par_iter()
-        .map(|g| round_heuristic(p, g, alpha, beta, matcher))
+        .map(|g| round_heuristic_traced(p, g, alpha, beta, matcher, counters))
         .collect()
 }
 

@@ -74,7 +74,10 @@ impl SquaresMatrix {
         let pattern = CsrMatrix::from_raw(m, m, rowptr, colidx, vals);
         debug_assert!(pattern.is_structurally_symmetric());
         let transpose_perm = pattern.transpose_permutation();
-        Self { pattern, transpose_perm }
+        Self {
+            pattern,
+            transpose_perm,
+        }
     }
 
     /// Number of stored entries (each overlapping pair counts twice —

@@ -1,8 +1,8 @@
 //! The distributed BP implementation must match shared-memory BP
 //! bit-for-bit (same kernels, same fp order, same unique LD matching).
 
-use netalign_core::bp::distributed::distributed_belief_propagation;
 use netalign_core::bp::belief_propagation;
+use netalign_core::bp::distributed::distributed_belief_propagation;
 use netalign_core::config::AlignConfig;
 use netalign_core::problem::NetAlignProblem;
 use netalign_data::synthetic::{power_law_alignment, PowerLawParams};

@@ -248,7 +248,10 @@ mod tests {
         assert_eq!(nb, scaled(spec.vb, 0.05));
         // builder dedup can reduce L slightly
         let el_target = scaled(spec.el, 0.05);
-        assert!(elc as f64 > 0.8 * el_target as f64, "el {elc} vs {el_target}");
+        assert!(
+            elc as f64 > 0.8 * el_target as f64,
+            "el {elc} vs {el_target}"
+        );
         assert!(nnz > 0, "S must not be empty");
     }
 

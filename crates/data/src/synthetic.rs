@@ -66,11 +66,7 @@ pub struct SyntheticInstance {
 /// [13] evaluates both families; ER bases lack hubs, which makes the
 /// `S` non-zero distribution much more regular and the alignment
 /// slightly easier at equal density.
-pub fn erdos_renyi_alignment(
-    n: usize,
-    p_base: f64,
-    params: &PowerLawParams,
-) -> SyntheticInstance {
+pub fn erdos_renyi_alignment(n: usize, p_base: f64, params: &PowerLawParams) -> SyntheticInstance {
     let g = netalign_graph::generators::erdos_renyi(n, p_base, params.seed);
     let a = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(1));
     let b = add_random_edges(&g, params.p_edge, params.seed.wrapping_add(2));
@@ -129,7 +125,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let p = PowerLawParams { n: 60, seed: 9, ..Default::default() };
+        let p = PowerLawParams {
+            n: 60,
+            seed: 9,
+            ..Default::default()
+        };
         let i1 = power_law_alignment(&p);
         let i2 = power_law_alignment(&p);
         assert_eq!(i1.problem.l, i2.problem.l);
@@ -155,7 +155,11 @@ mod tests {
         let inst = erdos_renyi_alignment(
             80,
             0.05,
-            &PowerLawParams { expected_degree: 3.0, seed: 5, ..Default::default() },
+            &PowerLawParams {
+                expected_degree: 3.0,
+                seed: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(inst.problem.a.num_vertices(), 80);
         assert!(inst.problem.a.num_edges() > 50);
@@ -166,7 +170,11 @@ mod tests {
         let again = erdos_renyi_alignment(
             80,
             0.05,
-            &PowerLawParams { expected_degree: 3.0, seed: 5, ..Default::default() },
+            &PowerLawParams {
+                expected_degree: 3.0,
+                seed: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(inst.problem.l, again.problem.l);
     }
@@ -177,7 +185,11 @@ mod tests {
         let er = erdos_renyi_alignment(
             300,
             0.02,
-            &PowerLawParams { expected_degree: 4.0, seed: 9, ..Default::default() },
+            &PowerLawParams {
+                expected_degree: 4.0,
+                seed: 9,
+                ..Default::default()
+            },
         );
         let pl = power_law_alignment(&PowerLawParams {
             n: 300,
@@ -190,7 +202,10 @@ mod tests {
         });
         let cv_er = degree_summary(&er.problem.a).cv;
         let cv_pl = degree_summary(&pl.problem.a).cv;
-        assert!(cv_pl > cv_er, "power-law cv {cv_pl} should exceed ER cv {cv_er}");
+        assert!(
+            cv_pl > cv_er,
+            "power-law cv {cv_pl} should exceed ER cv {cv_er}"
+        );
     }
 
     #[test]

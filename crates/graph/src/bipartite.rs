@@ -58,7 +58,11 @@ impl BipartiteGraphBuilder {
     /// Start a builder for a bipartite graph with `na` left and `nb`
     /// right vertices.
     pub fn new(na: usize, nb: usize) -> Self {
-        Self { na, nb, entries: Vec::new() }
+        Self {
+            na,
+            nb,
+            entries: Vec::new(),
+        }
     }
 
     /// Add a candidate match `(a, b)` with weight `w`.
@@ -66,8 +70,16 @@ impl BipartiteGraphBuilder {
     /// # Panics
     /// Panics if either endpoint is out of range or `w` is not finite.
     pub fn add_edge(&mut self, a: VertexId, b: VertexId, w: f64) -> &mut Self {
-        assert!((a as usize) < self.na, "left vertex {a} out of range ({} left)", self.na);
-        assert!((b as usize) < self.nb, "right vertex {b} out of range ({} right)", self.nb);
+        assert!(
+            (a as usize) < self.na,
+            "left vertex {a} out of range ({} left)",
+            self.na
+        );
+        assert!(
+            (b as usize) < self.nb,
+            "right vertex {b} out of range ({} right)",
+            self.nb
+        );
         assert!(w.is_finite(), "edge weight must be finite, got {w}");
         self.entries.push((a, b, w));
         self
@@ -124,7 +136,17 @@ impl BipartiteGraphBuilder {
             b_adj[slot] = a;
             b_eid[slot] = eid;
         }
-        BipartiteGraph { na: self.na, nb: self.nb, edges, weights, a_ptr, a_adj, b_ptr, b_adj, b_eid }
+        BipartiteGraph {
+            na: self.na,
+            nb: self.nb,
+            edges,
+            weights,
+            a_ptr,
+            a_adj,
+            b_ptr,
+            b_adj,
+            b_eid,
+        }
     }
 }
 
@@ -235,7 +257,10 @@ impl BipartiteGraph {
     /// the sorted left adjacency).
     pub fn edge_id(&self, a: VertexId, b: VertexId) -> Option<EdgeId> {
         let r = self.left_range(a);
-        self.a_adj[r.clone()].binary_search(&b).ok().map(|off| r.start + off)
+        self.a_adj[r.clone()]
+            .binary_search(&b)
+            .ok()
+            .map(|off| r.start + off)
     }
 
     /// True when `(a, b)` is a candidate match.
@@ -288,7 +313,13 @@ mod tests {
         BipartiteGraph::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
         )
     }
 

@@ -56,8 +56,14 @@ impl CsrMatrix {
     ) -> Self {
         let mut trips: Vec<(VertexId, VertexId, f64)> = triplets.into_iter().collect();
         for &(r, c, _) in &trips {
-            assert!((r as usize) < nrows, "row index {r} out of bounds ({nrows} rows)");
-            assert!((c as usize) < ncols, "col index {c} out of bounds ({ncols} cols)");
+            assert!(
+                (r as usize) < nrows,
+                "row index {r} out of bounds ({nrows} rows)"
+            );
+            assert!(
+                (c as usize) < ncols,
+                "col index {c} out of bounds ({ncols} cols)"
+            );
         }
         trips.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
@@ -82,7 +88,13 @@ impl CsrMatrix {
                 rowptr[i] = rowptr[i - 1];
             }
         }
-        Self { nrows, ncols, rowptr, colidx, vals }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
     }
 
     /// Build directly from raw CSR arrays.
@@ -99,19 +111,39 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(rowptr.len(), nrows + 1, "rowptr must have nrows+1 entries");
         assert_eq!(rowptr[0], 0, "rowptr must start at 0");
-        assert_eq!(*rowptr.last().unwrap(), colidx.len(), "rowptr must end at nnz");
-        assert_eq!(colidx.len(), vals.len(), "colidx and vals must have equal length");
+        assert_eq!(
+            *rowptr.last().unwrap(),
+            colidx.len(),
+            "rowptr must end at nnz"
+        );
+        assert_eq!(
+            colidx.len(),
+            vals.len(),
+            "colidx and vals must have equal length"
+        );
         for i in 0..nrows {
             assert!(rowptr[i] <= rowptr[i + 1], "rowptr must be non-decreasing");
             let row = &colidx[rowptr[i]..rowptr[i + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "column indices must be strictly increasing in row {i}");
+                assert!(
+                    w[0] < w[1],
+                    "column indices must be strictly increasing in row {i}"
+                );
             }
             if let Some(&last) = row.last() {
-                assert!((last as usize) < ncols, "column index out of range in row {i}");
+                assert!(
+                    (last as usize) < ncols,
+                    "column index out of range in row {i}"
+                );
             }
         }
-        Self { nrows, ncols, rowptr, colidx, vals }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -177,7 +209,10 @@ impl CsrMatrix {
     /// Iterate over `(col, value)` pairs of a row.
     pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (VertexId, f64)> + '_ {
         let r = self.row_range(row);
-        self.colidx[r.clone()].iter().copied().zip(self.vals[r].iter().copied())
+        self.colidx[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.vals[r].iter().copied())
     }
 
     /// Entry index of `(row, col)` if stored, via binary search.
@@ -230,7 +265,13 @@ impl CsrMatrix {
                 vals[slot] = self.vals[e];
             }
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, rowptr, colidx, vals }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rowptr,
+            colidx,
+            vals,
+        }
     }
 
     /// Permutation `p` such that `transpose().vals[k] == vals[p[k]]`.
@@ -309,7 +350,11 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
     }
 
     #[test]
@@ -361,11 +406,7 @@ mod tests {
     fn structural_symmetry_detection() {
         let m = sample();
         assert!(!m.is_structurally_symmetric());
-        let s = CsrMatrix::from_triplets(
-            2,
-            2,
-            vec![(0, 1, 1.0), (1, 0, 9.0), (0, 0, 2.0)],
-        );
+        let s = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 9.0), (0, 0, 2.0)]);
         assert!(s.is_structurally_symmetric());
     }
 

@@ -9,7 +9,10 @@ use rand_chacha::ChaCha8Rng;
 /// probability `p`. Uses geometric gap skipping so the cost is
 /// proportional to the number of edges.
 pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0,1], got {p}"
+    );
     let mut b = GraphBuilder::new(n);
     if n >= 2 && p > 0.0 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -33,7 +36,10 @@ mod tests {
         let g = erdos_renyi(n, p, 4);
         let expect = p * (n * (n - 1) / 2) as f64;
         let got = g.num_edges() as f64;
-        assert!((got - expect).abs() < 0.15 * expect, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]

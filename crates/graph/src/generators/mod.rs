@@ -28,7 +28,10 @@ use rand_chacha::ChaCha8Rng;
 /// Uses geometric skipping over the implicit pair enumeration, so the
 /// cost is proportional to the number of *added* edges, not `n²`.
 pub fn add_random_edges(g: &Graph, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0,1], got {p}"
+    );
     let n = g.num_vertices();
     let mut b = GraphBuilder::new(n);
     for (u, v) in g.edges() {
@@ -62,7 +65,10 @@ pub fn identity_plus_noise_l(
     noise_weight: f64,
     seed: u64,
 ) -> BipartiteGraph {
-    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0,1], got {p}"
+    );
     let mut b = BipartiteGraphBuilder::new(na, nb);
     for i in 0..na.min(nb) {
         b.add_edge(i as VertexId, i as VertexId, id_weight);
@@ -155,7 +161,10 @@ mod tests {
     fn bernoulli_indices_edge_probabilities() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         assert!(sample_bernoulli_indices(100, 0.0, &mut rng).is_empty());
-        assert_eq!(sample_bernoulli_indices(5, 1.0, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            sample_bernoulli_indices(5, 1.0, &mut rng),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -165,7 +174,10 @@ mod tests {
         let p = 0.05;
         let got = sample_bernoulli_indices(total, p, &mut rng).len() as f64;
         let expect = total as f64 * p;
-        assert!((got - expect).abs() < 0.1 * expect, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() < 0.1 * expect,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]

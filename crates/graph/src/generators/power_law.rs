@@ -19,8 +19,14 @@ pub fn power_law_degree_sequence(
     max_degree: usize,
     seed: u64,
 ) -> Vec<usize> {
-    assert!(exponent > 1.0, "power-law exponent must exceed 1, got {exponent}");
-    assert!(max_degree >= 1 && max_degree < n, "need 1 <= max_degree < n");
+    assert!(
+        exponent > 1.0,
+        "power-law exponent must exceed 1, got {exponent}"
+    );
+    assert!(
+        max_degree >= 1 && max_degree < n,
+        "need 1 <= max_degree < n"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Precompute the CDF of k^-exponent over 1..=max_degree.
     let mut cdf = Vec::with_capacity(max_degree);
@@ -63,9 +69,9 @@ pub fn graph_from_degree_sequence(degrees: &[usize], seed: u64) -> Graph {
     let n = degrees.len();
     let mut stubs: Vec<VertexId> = Vec::with_capacity(degrees.iter().sum());
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v as VertexId).take(d));
+        stubs.extend(std::iter::repeat_n(v as VertexId, d));
     }
-    assert!(stubs.len() % 2 == 0, "degree sum must be even");
+    assert!(stubs.len().is_multiple_of(2), "degree sum must be even");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     stubs.shuffle(&mut rng);
     let mut b = GraphBuilder::new(n);
@@ -95,7 +101,10 @@ mod tests {
         let d = power_law_degree_sequence(2000, 2.5, 30, 2);
         let ones = d.iter().filter(|&&k| k == 1).count();
         let big = d.iter().filter(|&&k| k >= 10).count();
-        assert!(ones > big, "power law should favour degree 1 ({ones} vs {big})");
+        assert!(
+            ones > big,
+            "power law should favour degree 1 ({ones} vs {big})"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
-    IoError::Parse { line, msg: msg.into() }
+    IoError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Write a sparse matrix in SMAT format.
@@ -64,9 +67,7 @@ pub fn write_smat<W: Write>(m: &CsrMatrix, w: W) -> Result<(), IoError> {
 /// Read a sparse matrix in SMAT format.
 pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
     let mut it = header.split_whitespace();
     let nrows: usize = next_num(&mut it, 1, "nrows")?;
     let ncols: usize = next_num(&mut it, 1, "ncols")?;
@@ -83,12 +84,18 @@ pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
         let col: usize = next_num(&mut it, lineno, "col")?;
         let val: f64 = next_num(&mut it, lineno, "value")?;
         if row >= nrows || col >= ncols {
-            return Err(parse_err(lineno, format!("entry ({row},{col}) out of bounds")));
+            return Err(parse_err(
+                lineno,
+                format!("entry ({row},{col}) out of bounds"),
+            ));
         }
         trips.push((row as VertexId, col as VertexId, val));
     }
     if trips.len() != nnz {
-        return Err(parse_err(0, format!("expected {} entries, found {}", nnz, trips.len())));
+        return Err(parse_err(
+            0,
+            format!("expected {} entries, found {}", nnz, trips.len()),
+        ));
     }
     Ok(CsrMatrix::from_triplets(nrows, ncols, trips))
 }
@@ -175,7 +182,14 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, IoError> {
 pub fn read_graph_smat<R: Read>(r: R) -> Result<Graph, IoError> {
     let m = read_smat(r)?;
     if m.nrows() != m.ncols() {
-        return Err(parse_err(1, format!("adjacency matrix must be square, got {}x{}", m.nrows(), m.ncols())));
+        return Err(parse_err(
+            1,
+            format!(
+                "adjacency matrix must be square, got {}x{}",
+                m.nrows(),
+                m.ncols()
+            ),
+        ));
     }
     let mut b = GraphBuilder::new(m.nrows());
     for row in 0..m.nrows() {
@@ -192,7 +206,13 @@ pub fn read_graph_smat<R: Read>(r: R) -> Result<Graph, IoError> {
 /// (unit values), compatible with [`read_graph_smat`].
 pub fn write_graph_smat<W: Write>(g: &Graph, w: W) -> Result<(), IoError> {
     let mut out = BufWriter::new(w);
-    writeln!(out, "{} {} {}", g.num_vertices(), g.num_vertices(), 2 * g.num_edges())?;
+    writeln!(
+        out,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        2 * g.num_edges()
+    )?;
     for u in 0..g.num_vertices() as VertexId {
         for &v in g.neighbors(u) {
             writeln!(out, "{} {} 1", u, v)?;
@@ -213,7 +233,10 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, IoError> {
 }
 
 /// Convenience: write a bipartite graph to a file path.
-pub fn write_bipartite_smat_file(l: &BipartiteGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+pub fn write_bipartite_smat_file(
+    l: &BipartiteGraph,
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
     write_bipartite_smat(l, std::fs::File::create(path)?)
 }
 
@@ -228,11 +251,7 @@ mod tests {
 
     #[test]
     fn smat_roundtrip() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)],
-        );
+        let m = CsrMatrix::from_triplets(3, 4, vec![(0, 1, 1.5), (2, 0, -2.0), (2, 3, 0.25)]);
         let mut buf = Vec::new();
         write_smat(&m, &mut buf).unwrap();
         let back = read_smat(&buf[..]).unwrap();
@@ -241,11 +260,7 @@ mod tests {
 
     #[test]
     fn bipartite_roundtrip() {
-        let l = BipartiteGraph::from_entries(
-            2,
-            3,
-            vec![(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0)],
-        );
+        let l = BipartiteGraph::from_entries(2, 3, vec![(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0)]);
         let mut buf = Vec::new();
         write_bipartite_smat(&l, &mut buf).unwrap();
         let back = read_bipartite_smat(&buf[..]).unwrap();

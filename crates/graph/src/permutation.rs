@@ -10,7 +10,9 @@ pub struct Permutation {
 impl Permutation {
     /// Identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
-        Self { perm: (0..n).collect() }
+        Self {
+            perm: (0..n).collect(),
+        }
     }
 
     /// Wrap a vector, checking it really is a permutation of `0..n`.
@@ -72,7 +74,10 @@ impl Permutation {
     /// True for an involution (`perm ∘ perm = id`), which holds for
     /// transpose permutations of structurally symmetric matrices.
     pub fn is_involution(&self) -> bool {
-        self.perm.iter().enumerate().all(|(i, &p)| self.perm[p] == i)
+        self.perm
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| self.perm[p] == i)
     }
 }
 

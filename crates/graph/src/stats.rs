@@ -23,7 +23,12 @@ pub struct DistSummary {
 pub fn summarize(counts: impl IntoIterator<Item = usize>) -> DistSummary {
     let v: Vec<usize> = counts.into_iter().collect();
     if v.is_empty() {
-        return DistSummary { min: 0, max: 0, mean: 0.0, cv: 0.0 };
+        return DistSummary {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            cv: 0.0,
+        };
     }
     let min = *v.iter().min().unwrap();
     let max = *v.iter().max().unwrap();
@@ -119,7 +124,15 @@ mod tests {
     #[test]
     fn empty_summary() {
         let s = summarize(Vec::new());
-        assert_eq!(s, DistSummary { min: 0, max: 0, mean: 0.0, cv: 0.0 });
+        assert_eq!(
+            s,
+            DistSummary {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                cv: 0.0
+            }
+        );
     }
 
     #[test]
@@ -138,11 +151,7 @@ mod tests {
 
     #[test]
     fn bipartite_degree_summary() {
-        let l = BipartiteGraph::from_entries(
-            3,
-            2,
-            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)],
-        );
+        let l = BipartiteGraph::from_entries(3, 2, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]);
         let s = left_degree_summary(&l);
         assert_eq!(s.max, 2);
         assert_eq!(s.min, 0);

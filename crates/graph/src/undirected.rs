@@ -24,7 +24,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Add an undirected edge `{u, v}`. Duplicate and reversed copies are
@@ -34,7 +37,10 @@ impl GraphBuilder {
     /// Panics if `u == v` or either endpoint is out of range.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
         assert!(u != v, "self-loops are not supported (u = v = {u})");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         self.edges.push(if u < v { (u, v) } else { (v, u) });
         self
     }
@@ -72,7 +78,12 @@ impl GraphBuilder {
         for i in 0..self.n {
             adjncy[xadj[i]..xadj[i + 1]].sort_unstable();
         }
-        Graph { n: self.n, xadj, adjncy, num_edges: m }
+        Graph {
+            n: self.n,
+            xadj,
+            adjncy,
+            num_edges: m,
+        }
     }
 }
 
@@ -88,7 +99,12 @@ impl Graph {
 
     /// Graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Self { n, xadj: vec![0; n + 1], adjncy: Vec::new(), num_edges: 0 }
+        Self {
+            n,
+            xadj: vec![0; n + 1],
+            adjncy: Vec::new(),
+            num_edges: 0,
+        }
     }
 
     /// Number of vertices.
@@ -133,7 +149,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The subgraph induced by `vertices` (which need not be sorted or

@@ -2,11 +2,15 @@
 //! aligners to swap exact and approximate rounding (the paper's central
 //! experiment).
 
-use crate::approx::{greedy_matching, parallel_local_dominant, parallel_suitor, path_growing_matching, serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions};
+use crate::approx::{
+    greedy_matching, parallel_local_dominant_traced, parallel_suitor, path_growing_matching,
+    serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions,
+};
 use crate::distributed::distributed_local_dominant;
 use crate::exact::{auction_matching, max_weight_matching_ssp, AuctionOptions};
 use crate::Matching;
 use netalign_graph::BipartiteGraph;
+use netalign_trace::MatcherCounters;
 
 /// Which maximum-weight matching algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -99,25 +103,45 @@ impl MatcherKind {
 /// # Panics
 /// Panics if `weights.len() != l.num_edges()`.
 pub fn max_weight_matching(l: &BipartiteGraph, weights: &[f64], kind: MatcherKind) -> Matching {
+    max_weight_matching_traced(l, weights, kind, MatcherCounters::disabled())
+}
+
+/// [`max_weight_matching`] with event counting for the parallel
+/// locally-dominant family. Other matchers run unchanged and leave
+/// `counters` untouched (their snapshots stay zero).
+pub fn max_weight_matching_traced(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    kind: MatcherKind,
+    counters: &MatcherCounters,
+) -> Matching {
     match kind {
         MatcherKind::Exact => max_weight_matching_ssp(l, weights).0,
         MatcherKind::Greedy => greedy_matching(l, weights),
         MatcherKind::LocalDominant => serial_local_dominant(l, weights),
-        MatcherKind::ParallelLocalDominant => parallel_local_dominant(
+        MatcherKind::ParallelLocalDominant => parallel_local_dominant_traced(
             l,
             weights,
-            ParallelLdOptions { init: InitStrategy::BothSides },
+            ParallelLdOptions {
+                init: InitStrategy::BothSides,
+            },
+            counters,
         ),
-        MatcherKind::ParallelLocalDominantOneSide => parallel_local_dominant(
+        MatcherKind::ParallelLocalDominantOneSide => parallel_local_dominant_traced(
             l,
             weights,
-            ParallelLdOptions { init: InitStrategy::LeftSide },
+            ParallelLdOptions {
+                init: InitStrategy::LeftSide,
+            },
+            counters,
         ),
         MatcherKind::Suitor => serial_suitor(l, weights),
         MatcherKind::ParallelSuitor => parallel_suitor(l, weights),
         MatcherKind::PathGrowing => path_growing_matching(l, weights),
         MatcherKind::Distributed { ranks } => distributed_local_dominant(l, weights, ranks),
-        MatcherKind::Auction { eps_rel } => auction_matching(l, weights, AuctionOptions { eps_rel }),
+        MatcherKind::Auction { eps_rel } => {
+            auction_matching(l, weights, AuctionOptions { eps_rel })
+        }
     }
 }
 
@@ -155,7 +179,11 @@ mod tests {
             MatcherKind::Auction { eps_rel: 1e-6 },
         ] {
             let m = max_weight_matching(&l, l.weights(), kind);
-            assert!(m.is_valid(&l), "{} produced an invalid matching", kind.name());
+            assert!(
+                m.is_valid(&l),
+                "{} produced an invalid matching",
+                kind.name()
+            );
             assert!(m.weight_in(&l) > 0.0);
         }
     }

@@ -21,7 +21,8 @@ pub fn greedy_matching(l: &BipartiteGraph, weights: &[f64]) -> Matching {
         let k1 = edge_key(weights[e1], a1, b1, na);
         let k2 = edge_key(weights[e2], a2, b2, na);
         // Descending.
-        k2.0.total_cmp(&k1.0).then_with(|| (k2.1, k2.2).cmp(&(k1.1, k1.2)))
+        k2.0.total_cmp(&k1.0)
+            .then_with(|| (k2.1, k2.2).cmp(&(k1.1, k1.2)))
     });
     let mut m = Matching::empty(na, l.num_right());
     for e in order {
@@ -40,11 +41,7 @@ mod tests {
 
     #[test]
     fn takes_heaviest_first() {
-        let l = BipartiteGraph::from_entries(
-            2,
-            2,
-            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
-        );
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)]);
         let m = greedy_matching(&l, l.weights());
         // Greedy grabs (0,1)=3 and then (1,?) has only b1, taken → card 1.
         assert_eq!(m.cardinality(), 1);

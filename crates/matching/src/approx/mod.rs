@@ -21,7 +21,9 @@ pub mod suitor;
 
 pub use greedy::greedy_matching;
 pub use local_dominant::serial_local_dominant;
-pub use parallel_ld::{parallel_local_dominant, InitStrategy, ParallelLdOptions};
+pub use parallel_ld::{
+    parallel_local_dominant, parallel_local_dominant_traced, InitStrategy, ParallelLdOptions,
+};
 pub use path_growing::path_growing_matching;
 pub use suitor::{parallel_suitor, serial_suitor};
 

@@ -7,14 +7,25 @@
 //! * **Phase 1** — `FindMate` for every vertex in parallel, then
 //!   `MatchVertex` for every vertex in parallel. Locally-dominant pairs
 //!   (mutual candidates) are claimed and enqueued in `Q_C`.
-//! * **Phase 2** — while `Q_C` is non-empty: for each matched vertex
-//!   `u ∈ Q_C` in parallel, every free neighbor `v` whose candidate was
-//!   invalidated (`candidate[v] = u`) re-runs `FindMate` and
-//!   `MatchVertex`, enqueuing fresh matches in `Q_N`; then the queues
-//!   swap. Each round is separated by a barrier (the end of the rayon
-//!   parallel loop), which is what makes the candidate-invalidation
-//!   protocol race-free: a vertex matched in round *r* is processed in
-//!   round *r + 1*, after every round-*r* candidate write has completed.
+//! * **Phase 2** — while `Q_C` is non-empty, one *round* per queue
+//!   generation, each round split into three barrier-separated
+//!   sub-phases:
+//!   1. **collect** — for each matched vertex `u ∈ Q_C` in parallel,
+//!      every free neighbor `v` whose candidate was invalidated
+//!      (`candidate[v] = u`, or never computed) is claimed into a
+//!      deduplicated reprocess list;
+//!   2. **re-find** — `FindMate` re-runs for every listed vertex
+//!      against the frozen mate array;
+//!   3. **match** — `MatchVertex` runs for every listed vertex; fresh
+//!      matches enqueue into `Q_N`, and the queues swap.
+//!
+//!   The barriers between sub-phases (the ends of the rayon parallel
+//!   loops) freeze `mate` during collect/re-find and `candidate` during
+//!   match, so *which* vertices re-run `FindMate`, *what* they compute,
+//!   and *which* pairs match in a round are all schedule-independent.
+//!   Only the order of the reprocess list and the identity of the
+//!   thread that wins a claim remain racy — neither affects the result
+//!   nor any counter value.
 //!
 //! Queue pushes use `fetch_add` on an atomic tail index — the Rust
 //! equivalent of the `__sync_fetch_and_add` hardware intrinsic the
@@ -27,10 +38,23 @@
 //! matching is unique, so this routine returns bit-identical results
 //! for every thread count and schedule — a property the tests assert
 //! against the serial implementation.
+//!
+//! # Observability
+//!
+//! [`parallel_local_dominant_traced`] records event counts into a
+//! [`MatcherCounters`]: phase-2 rounds, initial and re-run `FindMate`
+//! executions, `MatchVertex` attempts (reciprocity hits), matched
+//! pairs, lost claim compare-exchanges, and the queue high-water mark.
+//! With [`InitStrategy::BothSides`] every counter is deterministic for
+//! a fixed input at any thread count (the sub-phase structure above);
+//! with [`InitStrategy::LeftSide`] the on-demand candidate computation
+//! makes `find_mate_initial` (and through it `match_attempts` /
+//! `cas_failures`) schedule-dependent.
 
 use super::{unified_edge_gt, UnifiedView};
 use crate::matching::{Matching, UNMATCHED};
 use netalign_graph::{BipartiteGraph, VertexId};
+use netalign_trace::MatcherCounters;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
@@ -57,6 +81,8 @@ pub struct ParallelLdOptions {
 const UNSET: VertexId = VertexId::MAX;
 /// Candidate sentinel: computed, no eligible neighbor.
 const NO_CANDIDATE: VertexId = VertexId::MAX - 1;
+/// Reprocess-claim sentinel: never claimed in any round.
+const NEVER: u32 = u32::MAX;
 
 /// Parallel locally-dominant matching on the unified view of `l`,
 /// using the current rayon thread pool.
@@ -64,6 +90,17 @@ pub fn parallel_local_dominant(
     l: &BipartiteGraph,
     weights: &[f64],
     opts: ParallelLdOptions,
+) -> Matching {
+    parallel_local_dominant_traced(l, weights, opts, MatcherCounters::disabled())
+}
+
+/// [`parallel_local_dominant`] with event counting (see the module
+/// docs for the determinism guarantees per init strategy).
+pub fn parallel_local_dominant_traced(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    opts: ParallelLdOptions,
+    counters: &MatcherCounters,
 ) -> Matching {
     let view = UnifiedView::new(l, weights);
     let n = view.num_vertices();
@@ -77,17 +114,25 @@ pub fn parallel_local_dominant(
     let tail_cur = AtomicUsize::new(0);
     let tail_next = AtomicUsize::new(0);
 
+    // Phase-2 reprocess list: `claimed[v]` holds the last round that
+    // listed `v` (swap-as-claim dedups without a per-round reset).
+    let reprocess: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let reprocess_tail = AtomicUsize::new(0);
+    let claimed: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NEVER)).collect();
+
     match opts.init {
         InitStrategy::BothSides => {
+            counters.add_find_mate_initial(n as u64);
             (0..n as VertexId).into_par_iter().for_each(|v| {
                 candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
             });
             (0..n as VertexId).into_par_iter().for_each(|v| {
-                match_vertex(&view, v, &mate, &candidate, &q_cur, &tail_cur);
+                match_vertex(&view, v, &mate, &candidate, &q_cur, &tail_cur, counters);
             });
         }
         InitStrategy::LeftSide => {
             let na = view.na() as VertexId;
+            counters.add_find_mate_initial(na as u64);
             (0..na).into_par_iter().for_each(|a| {
                 candidate[a as usize].store(find_mate(&view, a, &mate), Ordering::SeqCst);
             });
@@ -101,52 +146,77 @@ pub fn parallel_local_dominant(
                 // freshly computed candidate may reciprocate some
                 // *other* left vertex whose own MatchVertex already ran
                 // and missed it.
-                match_vertex(&view, a, &mate, &candidate, &q_cur, &tail_cur);
-                match_vertex(&view, b, &mate, &candidate, &q_cur, &tail_cur);
+                match_vertex(&view, a, &mate, &candidate, &q_cur, &tail_cur, counters);
+                match_vertex(&view, b, &mate, &candidate, &q_cur, &tail_cur, counters);
             });
         }
     }
+    counters.record_queue_len(tail_cur.load(Ordering::Acquire) as u64);
 
     // Phase 2: process rounds until no new matches appear.
     let (mut qc, mut tc, mut qn, mut tn) = (&q_cur, &tail_cur, &q_next, &tail_next);
+    let mut round: u32 = 0;
     while tc.load(Ordering::Acquire) > 0 {
         let len = tc.load(Ordering::Acquire);
+        counters.incr_rounds();
+
+        // Sub-phase 2a (collect): claim every free neighbor whose
+        // candidate the previous round's matches invalidated. `mate`
+        // and `candidate` are frozen here, so the claimed *set* is
+        // deterministic; only its order in the list is not.
         qc[..len].par_iter().for_each(|slot| {
             let u = slot.load(Ordering::Acquire);
             debug_assert_ne!(u, UNMATCHED);
             let na = view.na() as VertexId;
-            let process = |v: VertexId| {
+            let consider = |v: VertexId| {
                 if mate[v as usize].load(Ordering::Acquire) != UNMATCHED {
                     return;
                 }
                 let c = candidate[v as usize].load(Ordering::SeqCst);
                 // `UNSET` only occurs with the one-side init: the right
-                // vertex never computed a candidate, so compute it now.
-                if c == u || c == UNSET {
-                    // SeqCst store + SeqCst reciprocity loads in
-                    // MatchVertex: when two vertices pick each other in
-                    // the same round, sequential consistency forbids the
-                    // store-buffer outcome where *both* of their
-                    // MatchVertex calls read the other's stale pointer,
-                    // so at least one detects the pair.
-                    candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
-                    match_vertex(&view, v, &mate, &candidate, qn, tn);
+                // vertex never computed a candidate, so list it too.
+                if (c == u || c == UNSET)
+                    && claimed[v as usize].swap(round, Ordering::AcqRel) != round
+                {
+                    let idx = reprocess_tail.fetch_add(1, Ordering::AcqRel);
+                    reprocess[idx].store(v, Ordering::Release);
                 }
             };
             if u < na {
                 for (b, _) in view.l.left_edges(u) {
-                    process(na + b);
+                    consider(na + b);
                 }
             } else {
                 for (a, _) in view.l.right_edges(u - na) {
-                    process(a);
+                    consider(a);
                 }
             }
         });
-        // Barrier reached (parallel loop joined): swap queues.
+        let listed = reprocess_tail.load(Ordering::Acquire);
+        counters.add_find_mate_reruns(listed as u64);
+
+        // Sub-phase 2b (re-find): recompute candidates against the
+        // frozen mate array. Distinct listed vertices write distinct
+        // slots, so the computed values are deterministic.
+        reprocess[..listed].par_iter().for_each(|slot| {
+            let v = slot.load(Ordering::Acquire);
+            candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
+        });
+
+        // Sub-phase 2c (match): candidates are now frozen; the
+        // reciprocal pairs — and with them every counter increment —
+        // are fixed before the first claim races.
+        reprocess[..listed].par_iter().for_each(|slot| {
+            let v = slot.load(Ordering::Acquire);
+            match_vertex(&view, v, &mate, &candidate, qn, tn, counters);
+        });
+
+        reprocess_tail.store(0, Ordering::Release);
         std::mem::swap(&mut qc, &mut qn);
         std::mem::swap(&mut tc, &mut tn);
         tn.store(0, Ordering::Release);
+        counters.record_queue_len(tc.load(Ordering::Acquire) as u64);
+        round += 1;
     }
 
     let mate_plain: Vec<VertexId> = mate.iter().map(|m| m.load(Ordering::Acquire)).collect();
@@ -172,6 +242,7 @@ fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[AtomicU32]) -> VertexI
 
 /// `MatchVertex` (Algorithm 3): match `(s, candidate[s])` when locally
 /// dominant; the claim winner enqueues both endpoints.
+#[allow(clippy::too_many_arguments)]
 fn match_vertex(
     view: &UnifiedView<'_>,
     s: VertexId,
@@ -179,6 +250,7 @@ fn match_vertex(
     candidate: &[AtomicU32],
     queue: &[AtomicU32],
     tail: &AtomicUsize,
+    counters: &MatcherCounters,
 ) {
     let c = candidate[s as usize].load(Ordering::SeqCst);
     if c == NO_CANDIDATE || c == UNSET {
@@ -188,19 +260,23 @@ fn match_vertex(
     // first touched: compute on demand (once, CAS keeps the first
     // write) or the reciprocity check below would wrongly fail.
     if candidate[c as usize].load(Ordering::SeqCst) == UNSET {
+        counters.add_find_mate_initial(1);
         let fm = find_mate(view, c, mate);
-        let _ = candidate[c as usize].compare_exchange(UNSET, fm, Ordering::SeqCst, Ordering::SeqCst);
+        let _ =
+            candidate[c as usize].compare_exchange(UNSET, fm, Ordering::SeqCst, Ordering::SeqCst);
     }
     if candidate[c as usize].load(Ordering::SeqCst) != s {
         return;
     }
     // Locally dominant: claim in canonical (smaller id first) order so
     // that exactly one of the two symmetric MatchVertex calls wins.
+    counters.add_match_attempts(1);
     let (lo, hi) = if s < c { (s, c) } else { (c, s) };
     if mate[lo as usize]
         .compare_exchange(UNMATCHED, hi, Ordering::AcqRel, Ordering::Acquire)
         .is_ok()
     {
+        counters.add_matched_pairs(1);
         // Reciprocity is stable once observed (a vertex only recomputes
         // its candidate after its current candidate got matched), so the
         // partner slot is exclusively ours.
@@ -209,6 +285,8 @@ fn match_vertex(
         let idx = tail.fetch_add(2, Ordering::AcqRel);
         queue[idx].store(lo, Ordering::Release);
         queue[idx + 1].store(hi, Ordering::Release);
+    } else {
+        counters.add_cas_failures(1);
     }
 }
 
@@ -249,7 +327,9 @@ mod tests {
 
     #[test]
     fn equals_serial_with_one_side_init() {
-        let opts = ParallelLdOptions { init: InitStrategy::LeftSide };
+        let opts = ParallelLdOptions {
+            init: InitStrategy::LeftSide,
+        };
         for seed in 40..60 {
             let l = random_l(seed, 25, 31, 0.2, false);
             let par = parallel_local_dominant(&l, l.weights(), opts);
@@ -301,5 +381,110 @@ mod tests {
         let m = parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default());
         assert!(m.is_valid(&l));
         assert!(m.is_maximal(&l, l.weights()));
+    }
+
+    /// Hand-built conflict instance with exactly known counter values.
+    ///
+    /// Path weights `a0 -2- b0`, `a0 -3- b1`, `a1 -1- b1`:
+    /// phase 1 matches `(a0, b1)` (mutual best, weight 3) in one pair;
+    /// round 1 reprocesses `b0` (candidate was `a0`) and `a1`
+    /// (candidate was `b1`), both re-run FindMate and find nothing
+    /// (their only positive-weight neighbors are taken); round 2 never
+    /// happens because no pair matched.
+    #[test]
+    fn counters_exact_on_conflict_path() {
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 1.0)]);
+        let counters = MatcherCounters::new(true);
+        let m = parallel_local_dominant_traced(
+            &l,
+            l.weights(),
+            ParallelLdOptions::default(),
+            &counters,
+        );
+        assert_eq!(m.cardinality(), 1);
+        let s = counters.snapshot();
+        assert_eq!(s.find_mate_initial, 4, "one FindMate per vertex in phase 1");
+        assert_eq!(s.rounds, 1, "one phase-2 round drains the queue");
+        assert_eq!(s.find_mate_reruns, 2, "b0 and a1 re-run FindMate");
+        assert_eq!(s.match_attempts, 2, "both endpoints of (a0,b1) attempt");
+        assert_eq!(s.matched_pairs, 1);
+        assert_eq!(s.cas_failures, 1, "the losing endpoint of the pair");
+        assert_eq!(s.queue_peak, 2, "the queue held both endpoints once");
+    }
+
+    /// A 3×3 chain of conflicts that needs a productive second round:
+    /// `a0 -5- b0` and `a1`'s best (`b0`) gets taken, so `a1` falls
+    /// back to `b1`, displacing `a2`'s hope in round 2.
+    #[test]
+    fn counters_exact_on_cascading_rounds() {
+        let l = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 5.0),
+                (1, 0, 4.0),
+                (1, 1, 3.0),
+                (2, 1, 2.0),
+                (2, 2, 1.0),
+            ],
+        );
+        let counters = MatcherCounters::new(true);
+        let m = parallel_local_dominant_traced(
+            &l,
+            l.weights(),
+            ParallelLdOptions::default(),
+            &counters,
+        );
+        // Locally-dominant (= greedy by weight): (a0,b0), (a1,b1), (a2,b2).
+        assert_eq!(m.cardinality(), 3);
+        let s = counters.snapshot();
+        assert_eq!(s.find_mate_initial, 6);
+        // Phase 1 matches (a0,b0) (both endpoints attempt, one loses the
+        // claim). Round 1 lists only a1 (its candidate b0 got taken);
+        // its re-found candidate b1 still points at a1, so (a1,b1)
+        // matches from a1's attempt alone. Round 2 likewise lists only
+        // a2 and matches (a2,b2). Round 3 lists nothing and the queue
+        // drains.
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.find_mate_reruns, 2, "a1 in round 1, a2 in round 2");
+        assert_eq!(s.match_attempts, 4);
+        assert_eq!(s.matched_pairs, 3);
+        assert_eq!(s.cas_failures, 1);
+        assert_eq!(s.queue_peak, 2);
+    }
+
+    /// Counter determinism: two traced runs on the same input produce
+    /// identical snapshots (BothSides init; see module docs).
+    #[test]
+    fn counters_are_deterministic_across_runs() {
+        let l = random_l(4242, 80, 75, 0.12, true);
+        let mut snaps = Vec::new();
+        for _ in 0..5 {
+            let c = MatcherCounters::new(true);
+            let _ =
+                parallel_local_dominant_traced(&l, l.weights(), ParallelLdOptions::default(), &c);
+            snaps.push(c.snapshot());
+        }
+        for s in &snaps[1..] {
+            assert_eq!(*s, snaps[0]);
+        }
+    }
+
+    /// The disabled sink records nothing and does not perturb results.
+    #[test]
+    fn disabled_counters_stay_zero() {
+        let l = random_l(11, 30, 30, 0.2, false);
+        let traced = MatcherCounters::new(true);
+        let a =
+            parallel_local_dominant_traced(&l, l.weights(), ParallelLdOptions::default(), &traced);
+        let b = parallel_local_dominant_traced(
+            &l,
+            l.weights(),
+            ParallelLdOptions::default(),
+            MatcherCounters::disabled(),
+        );
+        assert_eq!(a, b);
+        assert!(!traced.snapshot().is_zero());
+        assert!(MatcherCounters::disabled().snapshot().is_zero());
     }
 }

@@ -18,8 +18,8 @@
 use super::{unified_edge_gt, UnifiedView};
 use crate::matching::{Matching, UNMATCHED};
 use netalign_graph::{BipartiteGraph, VertexId};
-use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// Serial Suitor algorithm.
 pub fn serial_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
@@ -44,7 +44,8 @@ pub fn serial_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
                 let accepts = standing == UNMATCHED
                     || unified_edge_gt(w, current, t, ws[t as usize], standing, t);
                 if accepts
-                    && (best_t == UNMATCHED || unified_edge_gt(w, current, t, best_w, current, best_t))
+                    && (best_t == UNMATCHED
+                        || unified_edge_gt(w, current, t, best_w, current, best_t))
                 {
                     best_t = t;
                     best_w = w;
@@ -85,11 +86,12 @@ pub fn parallel_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
                 if w <= 0.0 {
                     return;
                 }
-                let (standing, sw) = *slots[t as usize].lock();
+                let (standing, sw) = *slots[t as usize].lock().unwrap();
                 let accepts =
                     standing == UNMATCHED || unified_edge_gt(w, current, t, sw, standing, t);
                 if accepts
-                    && (best_t == UNMATCHED || unified_edge_gt(w, current, t, best_w, current, best_t))
+                    && (best_t == UNMATCHED
+                        || unified_edge_gt(w, current, t, best_w, current, best_t))
                 {
                     best_t = t;
                     best_w = w;
@@ -100,7 +102,7 @@ pub fn parallel_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
             }
             let t = best_t;
             let displaced = {
-                let mut slot = slots[t as usize].lock();
+                let mut slot = slots[t as usize].lock().unwrap();
                 let (standing, sw) = *slot;
                 // Re-check under the lock: someone may have outbid us.
                 if standing == UNMATCHED || unified_edge_gt(best_w, current, t, sw, standing, t) {
@@ -118,7 +120,7 @@ pub fn parallel_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
         }
     });
 
-    let suitor: Vec<VertexId> = slots.iter().map(|s| s.lock().0).collect();
+    let suitor: Vec<VertexId> = slots.iter().map(|s| s.lock().unwrap().0).collect();
     mutual_proposals_to_matching(&view, &suitor)
 }
 

@@ -72,7 +72,7 @@ pub fn distributed_local_dominant(
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = crossbeam::channel::unbounded::<Msg>();
+        let (tx, rx) = std::sync::mpsc::channel::<Msg>();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -80,19 +80,23 @@ pub fn distributed_local_dominant(
     let active = [AtomicBool::new(false), AtomicBool::new(false)];
 
     let block = n.div_ceil(p);
-    let results: Vec<Vec<(VertexId, VertexId)>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for (rank, rx) in receivers.into_iter().enumerate() {
-            let senders = senders.clone();
-            let barrier = &barrier;
-            let active = &active;
-            let view = &view;
-            handles.push(scope.spawn(move || {
-                rank_main(rank, p, n, block, view, senders, rx, barrier, active)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-    });
+    let results: Vec<Vec<(VertexId, VertexId)>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let barrier = &barrier;
+                let active = &active;
+                let view = &view;
+                handles.push(scope.spawn(move || {
+                    rank_main(rank, p, n, block, view, senders, rx, barrier, active)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        });
 
     let mut mate = vec![UNMATCHED; n];
     for pairs in results {
@@ -126,8 +130,8 @@ fn rank_main(
     n: usize,
     block: usize,
     view: &UnifiedView<'_>,
-    senders: Vec<crossbeam::channel::Sender<Msg>>,
-    rx: crossbeam::channel::Receiver<Msg>,
+    senders: Vec<std::sync::mpsc::Sender<Msg>>,
+    rx: std::sync::mpsc::Receiver<Msg>,
     barrier: &Barrier,
     active: &[AtomicBool; 2],
 ) -> Vec<(VertexId, VertexId)> {
@@ -200,7 +204,8 @@ fn rank_main(
         for &(v, c) in &matched_now {
             for tx in &senders {
                 tx.send(Msg::Matched { v, mate: c }).expect("inbox closed");
-                tx.send(Msg::Matched { v: c, mate: v }).expect("inbox closed");
+                tx.send(Msg::Matched { v: c, mate: v })
+                    .expect("inbox closed");
             }
         }
         barrier.wait();

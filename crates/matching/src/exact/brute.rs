@@ -13,7 +13,10 @@ use netalign_graph::{BipartiteGraph, VertexId};
 pub fn brute_force_matching(l: &BipartiteGraph, weights: &[f64]) -> (f64, Matching) {
     let na = l.num_left();
     let nb = l.num_right();
-    assert!(nb <= 20, "brute force oracle limited to 20 right vertices, got {nb}");
+    assert!(
+        nb <= 20,
+        "brute force oracle limited to 20 right vertices, got {nb}"
+    );
     assert_eq!(weights.len(), l.num_edges());
 
     let full = 1usize << nb;
@@ -82,11 +85,7 @@ mod tests {
 
     #[test]
     fn matches_hand_computed_optimum() {
-        let l = BipartiteGraph::from_entries(
-            2,
-            2,
-            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
-        );
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)]);
         let (v, m) = brute_force_matching(&l, l.weights());
         assert_eq!(v, 4.0);
         assert!(m.is_valid(&l));

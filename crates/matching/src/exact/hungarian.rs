@@ -104,7 +104,14 @@ pub fn solve_dense_assignment(
     bufs.minv.resize(ncols + 1, f64::INFINITY);
     bufs.used.clear();
     bufs.used.resize(ncols + 1, false);
-    let HungarianBuffers { u, v, p, way, minv, used } = bufs;
+    let HungarianBuffers {
+        u,
+        v,
+        p,
+        way,
+        minv,
+        used,
+    } = bufs;
     for i in 1..=na {
         p[0] = i;
         let mut j0 = 0usize;

@@ -66,7 +66,11 @@ impl PartialOrd for HeapItem {
 /// # Panics
 /// Panics if `weights.len() != l.num_edges()`.
 pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching, DualCertificate) {
-    assert_eq!(weights.len(), l.num_edges(), "weight vector length mismatch");
+    assert_eq!(
+        weights.len(),
+        l.num_edges(),
+        "weight vector length mismatch"
+    );
     let na = l.num_left();
     let nb = l.num_right();
 
@@ -75,11 +79,7 @@ pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching
     // pot[a] starts at the heaviest positive incident weight so that
     // invariant (1) holds with pot[b] = 0.
     let mut pot_a: Vec<f64> = (0..na as VertexId)
-        .map(|a| {
-            l.left_range(a)
-                .map(|e| weights[e])
-                .fold(0.0f64, f64::max)
-        })
+        .map(|a| l.left_range(a).map(|e| weights[e]).fold(0.0f64, f64::max))
         .collect();
     let mut pot_b = vec![0.0f64; nb];
 
@@ -115,7 +115,21 @@ pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching
         let mut best_retire = pot_a[s as usize];
         let mut best_retire_at = s;
 
-        relax_edges(l, weights, s, 0.0, &pot_a, &pot_b, gen, &mut dist_b, &mut stamp_b, &mut finalized_b, &mut prev_b, &mut touched_b, &mut heap);
+        relax_edges(
+            l,
+            weights,
+            s,
+            0.0,
+            &pot_a,
+            &pot_b,
+            gen,
+            &mut dist_b,
+            &mut stamp_b,
+            &mut finalized_b,
+            &mut prev_b,
+            &mut touched_b,
+            &mut heap,
+        );
 
         // Dijkstra over right vertices.
         let mut end_free_right: Option<(VertexId, f64)> = None;
@@ -145,7 +159,21 @@ pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching
                 best_retire = retire;
                 best_retire_at = a2;
             }
-            relax_edges(l, weights, a2, dist, &pot_a, &pot_b, gen, &mut dist_b, &mut stamp_b, &mut finalized_b, &mut prev_b, &mut touched_b, &mut heap);
+            relax_edges(
+                l,
+                weights,
+                a2,
+                dist,
+                &pot_a,
+                &pot_b,
+                gen,
+                &mut dist_b,
+                &mut stamp_b,
+                &mut finalized_b,
+                &mut prev_b,
+                &mut touched_b,
+                &mut heap,
+            );
         }
 
         let delta = match end_free_right {
@@ -196,7 +224,13 @@ pub fn max_weight_matching_ssp(l: &BipartiteGraph, weights: &[f64]) -> (Matching
     }
 
     let matching = Matching::from_mates(mate_a, mate_b);
-    (matching, DualCertificate { pot_left: pot_a, pot_right: pot_b })
+    (
+        matching,
+        DualCertificate {
+            pot_left: pot_a,
+            pot_right: pot_b,
+        },
+    )
 }
 
 /// Relax all positive-weight edges of left vertex `a` at distance `da`.
@@ -257,7 +291,10 @@ fn augment(
         if a == s {
             break;
         }
-        debug_assert_ne!(next_b, UNMATCHED, "interior path vertices must have been matched");
+        debug_assert_ne!(
+            next_b, UNMATCHED,
+            "interior path vertices must have been matched"
+        );
         b_end = next_b;
     }
 }
@@ -367,11 +404,7 @@ mod tests {
     fn augmenting_path_is_found() {
         // Greedy would take (0,1)=3 and strand vertex 1;
         // optimal is (0,0)=2 + (1,1)=2 = 4 vs 3.
-        let l = BipartiteGraph::from_entries(
-            2,
-            2,
-            vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)],
-        );
+        let l = BipartiteGraph::from_entries(2, 2, vec![(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)]);
         let (m, cert) = solve(&l);
         let val = verify_optimality(&l, l.weights(), &m, &cert).unwrap();
         assert_eq!(val, 4.0);

@@ -33,5 +33,6 @@ pub mod exact;
 pub mod matching;
 pub mod order;
 
-pub use api::{max_weight_matching, MatcherKind};
+pub use api::{max_weight_matching, max_weight_matching_traced, MatcherKind};
 pub use matching::Matching;
+pub use netalign_trace::{MatcherCounterSnapshot, MatcherCounters};

@@ -40,7 +40,10 @@ impl Matching {
     /// Panics if the arrays are inconsistent (a claims b but b does not
     /// claim a back).
     pub fn from_mates(mate_of_left: Vec<VertexId>, mate_of_right: Vec<VertexId>) -> Self {
-        let m = Self { mate_of_left, mate_of_right };
+        let m = Self {
+            mate_of_left,
+            mate_of_right,
+        };
         m.assert_consistent();
         m
     }
@@ -71,8 +74,14 @@ impl Matching {
     /// # Panics
     /// Panics if either endpoint is already matched.
     pub fn add_pair(&mut self, a: VertexId, b: VertexId) {
-        assert_eq!(self.mate_of_left[a as usize], UNMATCHED, "left {a} already matched");
-        assert_eq!(self.mate_of_right[b as usize], UNMATCHED, "right {b} already matched");
+        assert_eq!(
+            self.mate_of_left[a as usize], UNMATCHED,
+            "left {a} already matched"
+        );
+        assert_eq!(
+            self.mate_of_right[b as usize], UNMATCHED,
+            "right {b} already matched"
+        );
         self.mate_of_left[a as usize] = b;
         self.mate_of_right[b as usize] = a;
     }
@@ -105,7 +114,10 @@ impl Matching {
 
     /// Number of matched pairs.
     pub fn cardinality(&self) -> usize {
-        self.mate_of_left.iter().filter(|&&m| m != UNMATCHED).count()
+        self.mate_of_left
+            .iter()
+            .filter(|&&m| m != UNMATCHED)
+            .count()
     }
 
     /// Iterate over matched `(a, b)` pairs in order of `a`.
@@ -161,14 +173,13 @@ impl Matching {
             return false;
         }
         for (a, &b) in self.mate_of_left.iter().enumerate() {
-            if b != UNMATCHED {
-                if (b as usize) >= l.num_right()
+            if b != UNMATCHED
+                && ((b as usize) >= l.num_right()
                     || self.mate_of_right[b as usize] != a as VertexId
-                    || !l.has_edge(a as VertexId, b)
+                    || !l.has_edge(a as VertexId, b))
                 {
                     return false;
                 }
-            }
         }
         for (b, &a) in self.mate_of_right.iter().enumerate() {
             if a != UNMATCHED && self.mate_of_left[a as usize] != b as VertexId {
@@ -202,7 +213,13 @@ mod tests {
         BipartiteGraph::from_entries(
             3,
             3,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
         )
     }
 

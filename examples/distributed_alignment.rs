@@ -37,9 +37,18 @@ fn main() {
     let dist = distributed_belief_propagation(&inst.problem, &cfg, ranks);
     let t_dist = t0.elapsed().as_secs_f64();
 
-    println!("\nshared-memory BP : objective {:.1} ({t_shared:.2}s)", shared.objective);
-    println!("distributed  BP  : objective {:.1} ({t_dist:.2}s, {ranks} simulated ranks)", dist.objective);
-    assert_eq!(shared.objective, dist.objective, "results must agree bit-for-bit");
+    println!(
+        "\nshared-memory BP : objective {:.1} ({t_shared:.2}s)",
+        shared.objective
+    );
+    println!(
+        "distributed  BP  : objective {:.1} ({t_dist:.2}s, {ranks} simulated ranks)",
+        dist.objective
+    );
+    assert_eq!(
+        shared.objective, dist.objective,
+        "results must agree bit-for-bit"
+    );
     assert_eq!(shared.matching, dist.matching);
     println!("\nresults are bit-identical: the BSP decomposition performs the same");
     println!("floating-point operations in the same order, and the distributed");

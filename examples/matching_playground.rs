@@ -28,8 +28,8 @@ fn main() {
     // Exact solve with certificate.
     let t0 = Instant::now();
     let (opt, cert) = max_weight_matching_ssp(&l, l.weights());
-    let opt_weight = verify_optimality(&l, l.weights(), &opt, &cert)
-        .expect("duality certificate must verify");
+    let opt_weight =
+        verify_optimality(&l, l.weights(), &opt, &cert).expect("duality certificate must verify");
     println!(
         "exact SSP: weight {:.3}, cardinality {}, certificate OK ({:.3}s)",
         opt_weight,

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example ontology_alignment [-- scale]`
 
-use netalignmc::core::timing::Step;
+use netalignmc::core::trace::Step;
 use netalignmc::data::standins::StandIn;
 use netalignmc::prelude::*;
 use std::time::Instant;
@@ -31,6 +31,7 @@ fn main() {
         matcher: MatcherKind::ParallelLocalDominant,
         final_exact_round: true,
         record_history: true,
+        trace_matcher: true,
         ..Default::default()
     };
     let t0 = Instant::now();
@@ -38,18 +39,34 @@ fn main() {
     let total = t0.elapsed().as_secs_f64();
 
     println!("BP(batch=20) with parallel approximate rounding:");
-    println!("  objective {:.1}  weight {:.1}  overlap {:.0}", r.objective, r.weight, r.overlap);
-    println!("  matched {} of {} left vertices", r.matching.cardinality(), va);
+    println!(
+        "  objective {:.1}  weight {:.1}  overlap {:.0}",
+        r.objective, r.weight, r.overlap
+    );
+    println!(
+        "  matched {} of {} left vertices",
+        r.matching.cardinality(),
+        va
+    );
     println!("  best iterate found at iteration {}", r.best_iteration);
     println!("  wall clock: {total:.2}s\n");
 
     println!("per-step breakdown (paper Figure 7's view):");
-    for (name, secs, share) in r.timers.report() {
+    for (name, secs, share) in r.trace.report() {
         println!("  {name:<12} {secs:>8.3}s  {:>5.1}%", share * 100.0);
     }
 
     // The matching step should dominate, as in the paper (50-75%).
     let match_share =
-        r.timers.get(Step::Match).as_secs_f64() / r.timers.total().as_secs_f64().max(1e-12);
-    println!("\nmatching (rounding) share of iteration time: {:.0}%", match_share * 100.0);
+        r.trace.get(Step::Match).as_secs_f64() / r.trace.total().as_secs_f64().max(1e-12);
+    println!(
+        "\nmatching (rounding) share of iteration time: {:.0}%",
+        match_share * 100.0
+    );
+
+    let m = &r.trace.matcher;
+    println!(
+        "parallel matcher: {} rounds, {} find-mate calls (+{} re-runs), {} pairs matched",
+        m.rounds, m.find_mate_initial, m.find_mate_reruns, m.matched_pairs
+    );
 }

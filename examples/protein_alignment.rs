@@ -23,7 +23,10 @@ fn main() {
     println!("dmela-scere stand-in at scale {scale}:");
     println!("  |V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}\n");
 
-    let base = AlignConfig { iterations: 40, ..Default::default() };
+    let base = AlignConfig {
+        iterations: 40,
+        ..Default::default()
+    };
     for (method_name, is_mr) in [("BP", false), ("MR", true)] {
         for matcher in [MatcherKind::Exact, MatcherKind::ParallelLocalDominant] {
             let cfg = AlignConfig { matcher, ..base };

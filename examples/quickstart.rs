@@ -2,14 +2,20 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use netalignmc::prelude::*;
 use netalignmc::graph::{BipartiteGraph, Graph};
+use netalignmc::prelude::*;
 
 fn main() {
     // Two graphs that share structure: a 6-cycle with one chord, and the
     // same graph with the chord moved.
-    let a = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
-    let b = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+    let a = Graph::from_edges(
+        6,
+        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+    );
+    let b = Graph::from_edges(
+        6,
+        vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
+    );
 
     // Candidate matches: every pair is allowed, identity pairs get a
     // small similarity bonus (as a sequence/text matcher would give).
@@ -27,12 +33,22 @@ fn main() {
     println!("problem: |V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}");
 
     // Run both heuristics with exact rounding.
-    let cfg = AlignConfig { iterations: 50, record_history: true, ..Default::default() };
+    let cfg = AlignConfig {
+        iterations: 50,
+        record_history: true,
+        ..Default::default()
+    };
     let bp = belief_propagation(&problem, &cfg);
     let mr = matching_relaxation(&problem, &cfg);
 
-    println!("\nBP : objective {:.1} (weight {:.1}, overlap {})", bp.objective, bp.weight, bp.overlap);
-    println!("MR : objective {:.1} (weight {:.1}, overlap {})", mr.objective, mr.weight, mr.overlap);
+    println!(
+        "\nBP : objective {:.1} (weight {:.1}, overlap {})",
+        bp.objective, bp.weight, bp.overlap
+    );
+    println!(
+        "MR : objective {:.1} (weight {:.1}, overlap {})",
+        mr.objective, mr.weight, mr.overlap
+    );
     if let Some(ratio) = mr.approximation_ratio() {
         println!("MR a-posteriori approximation ratio: {:.3}", ratio);
     }

@@ -122,8 +122,14 @@ fn cmd_stats(flags: &HashMap<String, String>) {
     println!("nnz(S) = {nnz}");
     let da = degree_summary(&p.a);
     let dl = left_degree_summary(&p.l);
-    println!("deg(A): min {} max {} mean {:.2} cv {:.2}", da.min, da.max, da.mean, da.cv);
-    println!("deg(L): min {} max {} mean {:.2} cv {:.2}", dl.min, dl.max, dl.mean, dl.cv);
+    println!(
+        "deg(A): min {} max {} mean {:.2} cv {:.2}",
+        da.min, da.max, da.mean, da.cv
+    );
+    println!(
+        "deg(L): min {} max {} mean {:.2} cv {:.2}",
+        dl.min, dl.max, dl.mean, dl.cv
+    );
     let srows = netalignmc::graph::stats::summarize((0..el).map(|e| p.s.row_range(e).len()));
     println!(
         "nnz/row(S): min {} max {} mean {:.2} cv {:.2}",
@@ -225,6 +231,9 @@ fn cmd_generate(flags: &HashMap<String, String>) {
         }
     }
     let (va, vb, el, nnz) = inst.problem.shape();
-    println!("wrote {name} (scale {scale}, seed {seed}) to {}", out_dir.display());
+    println!(
+        "wrote {name} (scale {scale}, seed {seed}) to {}",
+        out_dir.display()
+    );
     println!("|V_A|={va} |V_B|={vb} |E_L|={el} nnz(S)={nnz}");
 }

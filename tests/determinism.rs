@@ -108,3 +108,61 @@ fn repeated_alignment_runs_are_bitwise_identical() {
     let h2: Vec<f64> = r2.history.iter().map(|h| h.objective).collect();
     assert_eq!(h1, h2);
 }
+
+#[test]
+fn matcher_counters_are_deterministic_across_runs() {
+    // ISSUE acceptance: two runs at the same thread count must report
+    // identical matcher event counts — the counters count algorithmic
+    // events fixed by the round-structured phase 2, not scheduling
+    // accidents.
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 80,
+        expected_degree: 5.0,
+        seed: 41,
+        ..Default::default()
+    });
+    let cfg = AlignConfig {
+        iterations: 8,
+        batch: 4,
+        matcher: MatcherKind::ParallelLocalDominant,
+        trace_matcher: true,
+        ..Default::default()
+    };
+    let problem = &inst.problem;
+    for threads in [1, 4] {
+        let r1 = with_pool(threads, || belief_propagation(problem, &cfg));
+        let r2 = with_pool(threads, || belief_propagation(problem, &cfg));
+        assert!(!r1.trace.matcher.is_zero(), "tracing produced no events");
+        assert_eq!(
+            r1.trace.matcher, r2.trace.matcher,
+            "matcher counters diverged between runs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn matcher_counters_are_pool_size_invariant() {
+    // Stronger than run-to-run determinism: the counted events are a
+    // property of the instance, so the pool size must not change them
+    // either (BothSides init; see the matcher's module docs).
+    let inst = StandIn::DmelaScere.generate(0.1, 3);
+    let l = &inst.problem.l;
+    let count = |threads: usize| {
+        with_pool(threads, || {
+            let counters = netalignmc::matching::MatcherCounters::new(true);
+            let m = netalignmc::matching::approx::parallel_local_dominant_traced(
+                l,
+                l.weights(),
+                ParallelLdOptions::default(),
+                &counters,
+            );
+            (m, counters.snapshot())
+        })
+    };
+    let (m1, s1) = count(1);
+    for threads in [2, 4, 8] {
+        let (m, s) = count(threads);
+        assert_eq!(m1, m, "matching changed at {threads} threads");
+        assert_eq!(s1, s, "counters changed at {threads} threads");
+    }
+}

@@ -30,7 +30,11 @@ fn bp_and_mr_run_with_every_matcher() {
         ..Default::default()
     });
     for matcher in all_matchers() {
-        let cfg = AlignConfig { iterations: 10, matcher, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 10,
+            matcher,
+            ..Default::default()
+        };
         let bp = belief_propagation(&inst.problem, &cfg);
         assert!(bp.matching.is_valid(&inst.problem.l), "{}", matcher.name());
         assert!(bp.objective > 0.0);
@@ -49,7 +53,10 @@ fn easy_instances_recover_most_of_the_planted_alignment() {
         seed: 11,
         ..Default::default()
     });
-    let cfg = AlignConfig { iterations: 60, ..Default::default() };
+    let cfg = AlignConfig {
+        iterations: 60,
+        ..Default::default()
+    };
     let bp = belief_propagation(&inst.problem, &cfg);
     let frac = fraction_correct(&bp.matching, &inst.planted);
     assert!(frac > 0.8, "BP recovered only {frac}");
@@ -70,7 +77,12 @@ fn standin_pipeline_works_at_small_scale() {
         };
         let r = belief_propagation(&inst.problem, &cfg);
         assert!(r.matching.is_valid(&inst.problem.l));
-        assert!(r.objective > 0.0, "{}: objective {}", si.spec().name, r.objective);
+        assert!(
+            r.objective > 0.0,
+            "{}: objective {}",
+            si.spec().name,
+            r.objective
+        );
     }
 }
 
@@ -82,7 +94,12 @@ fn objective_components_are_consistent() {
         seed: 21,
         ..Default::default()
     });
-    let cfg = AlignConfig { alpha: 0.5, beta: 3.0, iterations: 12, ..Default::default() };
+    let cfg = AlignConfig {
+        alpha: 0.5,
+        beta: 3.0,
+        iterations: 12,
+        ..Default::default()
+    };
     let r = belief_propagation(&inst.problem, &cfg);
     assert!((r.objective - (0.5 * r.weight + 3.0 * r.overlap)).abs() < 1e-9);
 }
@@ -95,7 +112,11 @@ fn history_tracks_the_best_solution() {
         seed: 31,
         ..Default::default()
     });
-    let cfg = AlignConfig { iterations: 15, record_history: true, ..Default::default() };
+    let cfg = AlignConfig {
+        iterations: 15,
+        record_history: true,
+        ..Default::default()
+    };
     let r = belief_propagation(&inst.problem, &cfg);
     let best_in_history = r
         .history
@@ -115,8 +136,18 @@ fn alpha_zero_maximizes_overlap_beta_zero_maximizes_weight() {
         seed: 41,
         ..Default::default()
     });
-    let overlap_cfg = AlignConfig { alpha: 0.0, beta: 1.0, iterations: 30, ..Default::default() };
-    let weight_cfg = AlignConfig { alpha: 1.0, beta: 0.0, iterations: 30, ..Default::default() };
+    let overlap_cfg = AlignConfig {
+        alpha: 0.0,
+        beta: 1.0,
+        iterations: 30,
+        ..Default::default()
+    };
+    let weight_cfg = AlignConfig {
+        alpha: 1.0,
+        beta: 0.0,
+        iterations: 30,
+        ..Default::default()
+    };
     let r_overlap = belief_propagation(&inst.problem, &overlap_cfg);
     let r_weight = belief_propagation(&inst.problem, &weight_cfg);
     // The weight-only objective is just max-weight matching; BP's first

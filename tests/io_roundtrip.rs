@@ -3,8 +3,7 @@
 
 use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
 use netalignmc::graph::io::{
-    read_bipartite_smat_file, read_edge_list_file, write_bipartite_smat_file,
-    write_edge_list_file,
+    read_bipartite_smat_file, read_edge_list_file, write_bipartite_smat_file, write_edge_list_file,
 };
 use netalignmc::prelude::*;
 
@@ -36,7 +35,10 @@ fn problem_roundtrips_through_files() {
     // The reloaded problem aligns identically.
     let reloaded = netalignmc::core::NetAlignProblem::new(a, b, l);
     assert_eq!(reloaded.shape(), inst.problem.shape());
-    let cfg = AlignConfig { iterations: 10, ..Default::default() };
+    let cfg = AlignConfig {
+        iterations: 10,
+        ..Default::default()
+    };
     let r1 = belief_propagation(&inst.problem, &cfg);
     let r2 = belief_propagation(&reloaded, &cfg);
     assert_eq!(r1.objective, r2.objective);

@@ -4,36 +4,37 @@
 //! ½-approximation bound.
 
 use netalignmc::graph::BipartiteGraph;
-use netalignmc::matching::approx::{greedy_matching, parallel_local_dominant, parallel_suitor, path_growing_matching, serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions};
+use netalignmc::matching::approx::{
+    greedy_matching, parallel_local_dominant, parallel_suitor, path_growing_matching,
+    serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions,
+};
 use netalignmc::matching::distributed::distributed_local_dominant;
-use netalignmc::matching::exact::{auction_matching, brute_force_matching, hungarian_matching, max_weight_matching_ssp, verify_optimality, AuctionOptions};
+use netalignmc::matching::exact::{
+    auction_matching, brute_force_matching, hungarian_matching, max_weight_matching_ssp,
+    verify_optimality, AuctionOptions,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random small weighted bipartite graph.
 fn small_bipartite() -> impl Strategy<Value = BipartiteGraph> {
     (2usize..8, 2usize..8).prop_flat_map(|(na, nb)| {
-        proptest::collection::vec(
-            (0..na as u32, 0..nb as u32, 0.0f64..10.0),
-            0..na * nb,
-        )
-        .prop_map(move |entries| BipartiteGraph::from_entries(na, nb, entries))
+        proptest::collection::vec((0..na as u32, 0..nb as u32, 0.0f64..10.0), 0..na * nb)
+            .prop_map(move |entries| BipartiteGraph::from_entries(na, nb, entries))
     })
 }
 
 /// Strategy: weights that may be negative or tied.
 fn rough_bipartite() -> impl Strategy<Value = BipartiteGraph> {
     (2usize..10, 2usize..10).prop_flat_map(|(na, nb)| {
-        proptest::collection::vec(
-            (0..na as u32, 0..nb as u32, -2i32..8),
-            1..na * nb,
+        proptest::collection::vec((0..na as u32, 0..nb as u32, -2i32..8), 1..na * nb).prop_map(
+            move |entries| {
+                BipartiteGraph::from_entries(
+                    na,
+                    nb,
+                    entries.into_iter().map(|(a, b, w)| (a, b, w as f64)),
+                )
+            },
         )
-        .prop_map(move |entries| {
-            BipartiteGraph::from_entries(
-                na,
-                nb,
-                entries.into_iter().map(|(a, b, w)| (a, b, w as f64)),
-            )
-        })
     })
 }
 

@@ -15,12 +15,7 @@ use netalignmc::prelude::*;
 
 /// Average metrics of a method over several seeds of the Figure-2
 /// workload.
-fn sweep(
-    is_mr: bool,
-    matcher: MatcherKind,
-    dbar: f64,
-    seeds: std::ops::Range<u64>,
-) -> (f64, f64) {
+fn sweep(is_mr: bool, matcher: MatcherKind, dbar: f64, seeds: std::ops::Range<u64>) -> (f64, f64) {
     let mut obj = 0.0;
     let mut correct = 0.0;
     let n_seeds = seeds.end - seeds.start;
@@ -31,7 +26,11 @@ fn sweep(
             seed,
             ..Default::default()
         });
-        let cfg = AlignConfig { iterations: 40, matcher, ..Default::default() };
+        let cfg = AlignConfig {
+            iterations: 40,
+            matcher,
+            ..Default::default()
+        };
         let r = if is_mr {
             matching_relaxation(&inst.problem, &cfg)
         } else {
@@ -46,8 +45,7 @@ fn sweep(
 #[test]
 fn bp_is_insensitive_to_approximate_matching() {
     let (obj_exact, corr_exact) = sweep(false, MatcherKind::Exact, 8.0, 0..3);
-    let (obj_approx, corr_approx) =
-        sweep(false, MatcherKind::ParallelLocalDominant, 8.0, 0..3);
+    let (obj_approx, corr_approx) = sweep(false, MatcherKind::ParallelLocalDominant, 8.0, 0..3);
     // "only a marginal change in the solution quality"
     assert!(
         (obj_exact - obj_approx).abs() / obj_exact < 0.08,
@@ -73,7 +71,10 @@ fn mr_is_more_sensitive_than_bp_to_approximate_matching() {
         mr_loss > bp_loss - 0.02,
         "expected MR to lose at least as much as BP: MR loss {mr_loss}, BP loss {bp_loss}"
     );
-    assert!(mr_loss > 0.0, "MR with approximate matching should lose quality ({mr_loss})");
+    assert!(
+        mr_loss > 0.0,
+        "MR with approximate matching should lose quality ({mr_loss})"
+    );
 }
 
 #[test]
@@ -108,7 +109,10 @@ fn bp_iterates_are_matcher_independent() {
     });
     let exact = belief_propagation(
         &inst.problem,
-        &AlignConfig { iterations: 20, ..Default::default() },
+        &AlignConfig {
+            iterations: 20,
+            ..Default::default()
+        },
     );
     let approx_final_exact = belief_propagation(
         &inst.problem,
@@ -139,7 +143,10 @@ fn mr_upper_bound_certifies_near_optimality_on_clean_instances() {
     });
     let r = matching_relaxation(
         &inst.problem,
-        &AlignConfig { iterations: 80, ..Default::default() },
+        &AlignConfig {
+            iterations: 80,
+            ..Default::default()
+        },
     );
     let ratio = r.approximation_ratio().unwrap();
     assert!(ratio > 0.85, "a-posteriori ratio only {ratio}");

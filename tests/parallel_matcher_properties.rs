@@ -1,0 +1,79 @@
+//! Property-based guarantees for the paper's parallel matcher
+//! (§V): on any random weighted bipartite graph, the parallel
+//! queue-based locally-dominant matching is *bit-identical* to the
+//! serial pointer-based construction — at every pool size and under
+//! both initialization strategies — and its weight respects the
+//! ½-approximation bound against the exact (Hungarian) optimum.
+
+use netalignmc::graph::BipartiteGraph;
+use netalignmc::matching::approx::{
+    parallel_local_dominant, serial_local_dominant, InitStrategy, ParallelLdOptions,
+};
+use netalignmc::matching::exact::hungarian_matching;
+use proptest::prelude::*;
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn with_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+/// Strategy: a random weighted bipartite graph, including parallel
+/// weight collisions and isolated vertices.
+fn random_bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    (2usize..10, 2usize..10).prop_flat_map(|(na, nb)| {
+        proptest::collection::vec((0..na as u32, 0..nb as u32, 0..12i32), 1..na * nb).prop_map(
+            move |entries| {
+                BipartiteGraph::from_entries(
+                    na,
+                    nb,
+                    entries.into_iter().map(|(a, b, w)| (a, b, 0.5 + w as f64)),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The central determinism claim behind reusing the serial matcher
+    /// as an oracle: for every pool size and both §V initialization
+    /// strategies, the parallel matcher lands on the one locally-
+    /// dominant matching the serial algorithm constructs.
+    #[test]
+    fn parallel_matches_serial_at_every_pool_size(l in random_bipartite()) {
+        let serial = serial_local_dominant(&l, l.weights());
+        for init in [InitStrategy::BothSides, InitStrategy::LeftSide] {
+            for threads in POOL_SIZES {
+                let par = with_pool(threads, || {
+                    parallel_local_dominant(&l, l.weights(), ParallelLdOptions { init })
+                });
+                prop_assert_eq!(
+                    &serial, &par,
+                    "init {:?} at {} threads diverged from serial", init, threads
+                );
+            }
+        }
+    }
+
+    /// The ½-approximation guarantee (§IV) against the exact optimum.
+    #[test]
+    fn parallel_weight_is_at_least_half_of_optimum(l in random_bipartite()) {
+        let opt = hungarian_matching(&l, l.weights()).weight_in(&l);
+        for init in [InitStrategy::BothSides, InitStrategy::LeftSide] {
+            let par = parallel_local_dominant(&l, l.weights(), ParallelLdOptions { init });
+            prop_assert!(par.is_valid(&l));
+            let w = par.weight_in(&l);
+            prop_assert!(
+                w * 2.0 >= opt - 1e-9,
+                "init {:?}: weight {} below half of optimum {}", init, w, opt
+            );
+            prop_assert!(w <= opt + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Each benchmark runs `sample_size` timed samples after one warmup
+//! iteration and reports min / median / max wall time. Besides the
+//! console table, every group writes a machine-readable JSON report to
+//! `$CRITERION_OUT_DIR` (default `target/criterion-json/<group>.json`),
+//! which is what EXPERIMENTS.md's per-step figures regenerate from.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per sample, filled by [`Bencher::iter`].
+    sample_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `f`: one untimed warmup call, then `sample_size` timed
+    /// calls.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        self.sample_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.sample_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+struct BenchResult {
+    id: String,
+    min_ns: u128,
+    median_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into_benchmark_id(), f)
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into_benchmark_id(), |b| f(b, input))
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            sample_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.sample_ns;
+        if ns.is_empty() {
+            ns.push(0); // closure never called b.iter
+        }
+        ns.sort_unstable();
+        let result = BenchResult {
+            id: id.id,
+            min_ns: ns[0],
+            median_ns: ns[ns.len() / 2],
+            max_ns: ns[ns.len() - 1],
+            samples: ns.len(),
+        };
+        eprintln!(
+            "{}/{}: median {} (min {}, max {}, {} samples)",
+            self.name,
+            result.id,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.samples,
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Emit the group's console summary and JSON report.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let path = out_path(&self.name);
+        if let Err(e) = self.write_json(&path) {
+            eprintln!("{}: could not write {}: {}", self.name, path.display(), e);
+        } else {
+            eprintln!("{}: wrote {}", self.name, path.display());
+        }
+    }
+
+    fn write_json(&self, path: &PathBuf) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": {},\n", json_string(&self.name)));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{}\n",
+                json_string(&r.id),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(out.as_bytes())
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+fn out_path(group: &str) -> PathBuf {
+    let dir = std::env::var_os("CRITERION_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("criterion-json"));
+    let slug: String = group
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    dir.join(format!("{slug}.json"))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: u128) -> String {
+    let d = Duration::from_nanos(ns as u64);
+    if d.as_secs() > 0 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Convert to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("exact").id, "exact");
+    }
+
+    #[test]
+    fn group_measures_and_reports() {
+        let dir = std::env::temp_dir().join("criterion-shim-test");
+        std::env::set_var("CRITERION_OUT_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let written = std::fs::read_to_string(dir.join("shim-smoke.json")).unwrap();
+        assert!(written.contains("\"group\": \"shim-smoke\""));
+        assert!(written.contains("\"id\": \"sum/10\""));
+        std::env::remove_var("CRITERION_OUT_DIR");
+    }
+}

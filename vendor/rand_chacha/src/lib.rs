@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha8 keystream
+//! generator behind the vendored `rand` traits.
+//!
+//! This is the reference ChaCha construction (Bernstein) with 8 rounds:
+//! a 512-bit state of 4 constant words, 8 key words (the seed), a
+//! 64-bit block counter, and a zero nonce. The word stream is a
+//! deterministic function of the seed — which is all the workspace
+//! requires of it (seeded reproducibility, good statistical quality).
+//! It is not bit-compatible with upstream `rand_chacha`'s stream.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds, seeded by a 256-bit key.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..4096 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

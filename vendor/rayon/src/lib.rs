@@ -1,0 +1,684 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal data-parallel runtime with the same API shape:
+//! indexed parallel iterators over slices and ranges with `map`, `zip`,
+//! `enumerate`, `with_min_len`, `for_each`, `for_each_init`, `collect`,
+//! `sum`, `max`; plus `join`, `current_num_threads`, and
+//! `ThreadPoolBuilder::install` for pool-size scoping.
+//!
+//! Semantics intentionally preserved from rayon for this workspace's
+//! purposes:
+//!
+//! - splitting is contiguous, so chunk-local state (`for_each_init`)
+//!   sees runs of adjacent indices;
+//! - `with_min_len` bounds how finely work is split;
+//! - reductions (`collect`, `sum`, `max`) combine chunk results in
+//!   chunk order, keeping them deterministic for a fixed thread count;
+//! - `current_num_threads()` inside `ThreadPool::install` reports the
+//!   pool's size, including from worker threads.
+//!
+//! Work is executed on `std::thread::scope` threads, at most
+//! `current_num_threads()` chunks per call. With one chunk (or one
+//! thread) everything runs inline on the caller's thread.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// Pool-size scoping.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads the current scope parallelizes over.
+pub fn current_num_threads() -> usize {
+    let v = POOL_SIZE.with(|c| c.get());
+    if v == 0 {
+        default_threads()
+    } else {
+        v
+    }
+}
+
+fn with_pool_size<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard(usize);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            POOL_SIZE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = POOL_SIZE.with(|c| {
+        let p = c.get();
+        c.set(n);
+        p
+    });
+    let _restore = Guard(prev);
+    f()
+}
+
+/// A scoped thread-count configuration (rayon's pool, minus the
+/// persistent workers: threads are spawned per parallel call).
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count in scope.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_pool_size(self.threads, f)
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`'s fluent API.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (machine) thread count.
+    pub fn new() -> Self {
+        Self { threads: 0 }
+    }
+
+    /// Set the pool's thread count; 0 means the machine default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here, `Result` for API parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_num_threads();
+    if pool <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(move || with_pool_size(pool, b));
+            let ra = a();
+            (ra, hb.join().expect("rayon::join closure panicked"))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The iterator trait.
+// ---------------------------------------------------------------------
+
+/// An exactly-sized, splittable parallel iterator.
+///
+/// The `pi_*` methods are the internal producer interface (length,
+/// contiguous split, sequential fallback); everything user-facing is a
+/// provided method on top of them.
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// Sequential iterator driving one contiguous chunk.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn pi_len(&self) -> usize;
+    /// Minimum items per chunk when splitting.
+    fn pi_min_len(&self) -> usize {
+        1
+    }
+    /// Split into `[0, index)` and `[index, len)`.
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+    /// Sequential traversal of this chunk.
+    fn pi_seq(self) -> Self::Seq;
+
+    // -- adaptors ------------------------------------------------------
+
+    /// Never split below `min` items per chunk.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterate two equal-length iterators in lockstep.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Apply `f` to every item.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    // -- terminals -----------------------------------------------------
+
+    /// Consume every item with `f`.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        drive(self, &|chunk: Self| {
+            for item in chunk.pi_seq() {
+                f(item);
+            }
+        });
+    }
+
+    /// Consume every item with `f`, sharing one `init()` value per
+    /// chunk (rayon: per split; here chunks are the splits).
+    fn for_each_init<T, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, Self::Item) + Send + Sync,
+    {
+        drive(self, &|chunk: Self| {
+            let mut state = init();
+            for item in chunk.pi_seq() {
+                f(&mut state, item);
+            }
+        });
+    }
+
+    /// Collect items in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_chunked(drive(self, &|chunk: Self| {
+            chunk.pi_seq().collect::<Vec<_>>()
+        }))
+    }
+
+    /// Sum the items; chunk partials combine in chunk order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self, &|chunk: Self| chunk.pi_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Largest item, or `None` when empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|chunk: Self| chunk.pi_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Smallest item, or `None` when empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|chunk: Self| chunk.pi_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// Marker for API parity with rayon; all our iterators are indexed.
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<P: ParallelIterator> IndexedParallelIterator for P {}
+
+/// Collection types buildable from ordered per-chunk vectors.
+pub trait FromParallelIterator<T: Send> {
+    /// Assemble from per-chunk item vectors, in chunk order.
+    fn from_chunked(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_chunked(parts: Vec<Vec<T>>) -> Self {
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Split `p` into at most `current_num_threads()` contiguous chunks
+/// (respecting `pi_min_len`) and run `work` on each, returning the
+/// per-chunk results in chunk order. One chunk runs inline.
+fn drive<P, R, W>(p: P, work: &W) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(P) -> R + Sync,
+{
+    let len = p.pi_len();
+    let min = p.pi_min_len().max(1);
+    let threads = current_num_threads().max(1);
+    let chunks = len.div_ceil(min).clamp(1, threads);
+    if chunks == 1 {
+        return vec![work(p)];
+    }
+    let mut parts = Vec::with_capacity(chunks);
+    let mut rest = p;
+    let mut remaining = len;
+    for i in 0..chunks - 1 {
+        let take = remaining.div_ceil(chunks - i);
+        let (head, tail) = rest.pi_split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    parts.push(rest);
+    let pool = threads;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || with_pool_size(pool, || work(part))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Entry points: slices, mutable slices, ranges.
+// ---------------------------------------------------------------------
+
+/// Types convertible into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item produced.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` over `&[T]` / `&Vec<T>`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item produced.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` over `&mut [T]` / `&mut Vec<T>`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item produced.
+    type Item: Send + 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn pi_len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn pi_split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+            fn pi_seq(self) -> Range<$t> {
+                self.range
+            }
+        }
+    )*};
+}
+
+range_impl!(u32, u64, usize, i32, i64);
+
+// ---------------------------------------------------------------------
+// Adaptors.
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_min_len(&self) -> usize {
+        self.min.max(self.base.pi_min_len())
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            MinLen {
+                base: a,
+                min: self.min,
+            },
+            MinLen {
+                base: b,
+                min: self.min,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.base.pi_seq()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<Range<usize>, P::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_min_len(&self) -> usize {
+        self.base.pi_min_len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        let len = self.base.pi_len();
+        (self.offset..self.offset + len).zip(self.base.pi_seq())
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    fn pi_min_len(&self) -> usize {
+        self.a.pi_min_len().max(self.b.pi_min_len())
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(index);
+        let (b1, b2) = self.b.pi_split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.a.pi_seq().zip(self.b.pi_seq())
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_min_len(&self) -> usize {
+        self.base.pi_min_len()
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.pi_split_at(index);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        self.base.pi_seq().map(self.f)
+    }
+}
+
+/// The traits, by the usual name.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// `rayon::iter` paths, for code that imports them directly.
+pub mod iter {
+    pub use crate::{
+        Enumerate, FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, Map, MinLen, ParallelIterator, Zip,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate_for_each() {
+        let a = vec![1u64; 100];
+        let mut b = vec![0u64; 100];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .enumerate()
+            .for_each(|(i, (bi, &ai))| {
+                *bi = ai + i as u64;
+            });
+        assert_eq!(b[0], 1);
+        assert_eq!(b[99], 100);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let seen = pool.install(|| {
+            (0..100usize)
+                .into_par_iter()
+                .map(|_| crate::current_num_threads())
+                .max()
+        });
+        assert_eq!(seen, Some(3));
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let par: f64 = xs.par_iter().with_min_len(64).map(|&x| x).sum();
+        let ser: f64 = xs.iter().sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

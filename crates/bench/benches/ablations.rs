@@ -24,8 +24,9 @@ fn bench_chunk_size(c: &mut Criterion) {
     for chunk in [1usize, 10, 100, 1000, 10000] {
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
             let mut out = vec![0.0; m];
+            let mut stats = vec![(0.0, 0.0, 0usize); l.num_left()];
             b.iter(|| {
-                othermaxrow_into(l, &g, &mut out, chunk);
+                othermaxrow_into(l, &g, &mut out, &mut stats, chunk);
                 black_box(&out);
             })
         });

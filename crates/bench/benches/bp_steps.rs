@@ -1,15 +1,27 @@
 //! Microbenchmarks of BP's per-iteration kernels (the steps of
-//! Figure 7): othermax sweeps, the transpose gather + clamp behind
-//! `compute-F`, row sums (`compute-d`), and the damping triad.
+//! Figure 7) swept over rayon pool sizes: othermax sweeps, the fused
+//! transpose-read + clamp + row-sum pass behind `compute-F`/`compute-d`,
+//! the damping triad, and full `belief_propagation` iterations with
+//! deferred rounding (the end-to-end per-iteration wall-clock that
+//! BENCH_2.json tracks across runtime changes).
+//!
+//! Environment knobs (for CI's bench-smoke job):
+//! * `NETALIGN_BENCH_SCALE` — stand-in scale (default 0.01);
+//! * `NETALIGN_BENCH_POOLS` — comma-separated pool sizes (default 1,4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netalign_bench::{bench_pools, bench_scale};
 use netalign_core::bp::othermax::{column_positions, othermaxcol_into, othermaxrow_into};
+use netalign_core::prelude::*;
+use netalign_core::rowspans::RowSpans;
 use netalign_data::standins::StandIn;
+use netalign_matching::MatcherKind;
 use rayon::prelude::*;
 use std::hint::black_box;
 
 fn bench_bp_kernels(c: &mut Criterion) {
-    let inst = StandIn::LcshWiki.generate(0.01, 7);
+    let scale = bench_scale();
+    let inst = StandIn::LcshWiki.generate(scale, 7);
     let p = &inst.problem;
     let m = p.l.num_edges();
     let nnz = p.s.nnz();
@@ -22,82 +34,118 @@ fn bench_bp_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("bp-steps");
     group.sample_size(20);
 
-    group.bench_function("othermaxrow", |b| {
-        let mut out = vec![0.0; m];
-        b.iter(|| {
-            othermaxrow_into(&p.l, &g, &mut out, 1000);
-            black_box(&out);
-        })
-    });
+    for &threads in &bench_pools() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
 
-    group.bench_function("othermaxcol", |b| {
-        let mut out = vec![0.0; m];
-        b.iter(|| {
-            othermaxcol_into(&p.l, &g, &col_pos, &mut out, 1000);
-            black_box(&out);
-        })
-    });
+        group.bench_function(BenchmarkId::new("othermaxrow", threads), |b| {
+            let mut out = vec![0.0; m];
+            let mut stats = vec![(0.0, 0.0, 0usize); p.l.num_left()];
+            pool.install(|| {
+                b.iter(|| {
+                    othermaxrow_into(&p.l, &g, &mut out, &mut stats, 1000);
+                    black_box(&out);
+                })
+            })
+        });
 
-    group.bench_function("compute-f (transpose gather + clamp)", |b| {
-        let mut skt = vec![0.0; nnz];
-        let mut fv = vec![0.0; nnz];
-        b.iter(|| {
-            p.s.transpose_vals_into(&sk, &mut skt);
-            fv.par_iter_mut()
-                .with_min_len(1000)
-                .zip(skt.par_iter().with_min_len(1000))
-                .for_each(|(f, &st)| *f = (2.0 + st).clamp(0.0, 2.0));
-            black_box(&fv);
-        })
-    });
+        group.bench_function(BenchmarkId::new("othermaxcol", threads), |b| {
+            let mut out = vec![0.0; m];
+            let mut stats = vec![(0.0, 0.0, 0usize); p.l.num_right()];
+            pool.install(|| {
+                b.iter(|| {
+                    othermaxcol_into(&p.l, &g, &col_pos, &mut out, &mut stats, 1000);
+                    black_box(&out);
+                })
+            })
+        });
 
-    group.bench_function("compute-d (row sums)", |b| {
-        let rowptr = p.s.rowptr();
-        let w = p.l.weights();
-        let fv: Vec<f64> = (0..nnz).map(|i| (i % 7) as f64).collect();
-        let mut d = vec![0.0; m];
-        b.iter(|| {
-            d.par_iter_mut()
-                .enumerate()
-                .with_min_len(1000)
-                .for_each(|(e, de)| {
-                    let mut acc = 0.0;
-                    for idx in rowptr[e]..rowptr[e + 1] {
-                        acc += fv[idx];
+        // The fused steps 1+2: F (transpose read through the value
+        // permutation + clamp) and its row sums d in one sweep over
+        // the precomputed span decomposition.
+        group.bench_function(
+            BenchmarkId::new("compute-f+d (fused row sweep)", threads),
+            |b| {
+                let rowptr = p.s.rowptr();
+                let perm = p.s.transpose_perm().as_slice();
+                let w = p.l.weights();
+                let spans = RowSpans::from_rowptr(rowptr);
+                let row_bounds = spans.row_bounds();
+                let entry_bounds = spans.entry_bounds();
+                let mut fv = vec![0.0; nnz];
+                let mut d = vec![0.0; m];
+                pool.install(|| {
+                    b.iter(|| {
+                        rayon::par_uneven_chunks_mut(&mut fv, entry_bounds)
+                            .zip(rayon::par_uneven_chunks_mut(&mut d, row_bounds))
+                            .enumerate()
+                            .for_each(|(gi, (fv_chunk, d_chunk))| {
+                                let rows = row_bounds[gi]..row_bounds[gi + 1];
+                                let base = entry_bounds[gi];
+                                for (de, e) in d_chunk.iter_mut().zip(rows) {
+                                    let mut acc = 0.0;
+                                    for idx in rowptr[e]..rowptr[e + 1] {
+                                        let f = (2.0 + sk[perm[idx]]).clamp(0.0, 2.0);
+                                        fv_chunk[idx - base] = f;
+                                        acc += f;
+                                    }
+                                    *de = w[e] + acc;
+                                }
+                            });
+                        black_box((&fv, &d));
+                    })
+                })
+            },
+        );
+
+        group.bench_function(BenchmarkId::new("damping (3 vectors)", threads), |b| {
+            let mut y = g.clone();
+            let mut y_prev = g.clone();
+            let mut z = g.clone();
+            let mut z_prev = g.clone();
+            let mut s1 = sk.clone();
+            let mut s_prev = sk.clone();
+            pool.install(|| {
+                b.iter(|| {
+                    for (cur, prev) in [(&mut y, &mut y_prev), (&mut z, &mut z_prev)] {
+                        cur.par_iter_mut()
+                            .with_min_len(1000)
+                            .zip(prev.par_iter_mut().with_min_len(1000))
+                            .for_each(|(c, p)| {
+                                *c = 0.9 * *c + 0.1 * *p;
+                                *p = *c;
+                            });
                     }
-                    *de = w[e] + acc;
-                });
-            black_box(&d);
-        })
-    });
+                    s1.par_iter_mut()
+                        .with_min_len(1000)
+                        .zip(s_prev.par_iter_mut().with_min_len(1000))
+                        .for_each(|(c, p)| {
+                            *c = 0.9 * *c + 0.1 * *p;
+                            *p = *c;
+                        });
+                    black_box((&y, &z, &s1));
+                })
+            })
+        });
 
-    group.bench_function("damping (3 vectors)", |b| {
-        let mut y = g.clone();
-        let mut y_prev = g.clone();
-        let mut z = g.clone();
-        let mut z_prev = g.clone();
-        let mut s1 = sk.clone();
-        let mut s_prev = sk.clone();
-        b.iter(|| {
-            for (cur, prev) in [(&mut y, &mut y_prev), (&mut z, &mut z_prev)] {
-                cur.par_iter_mut()
-                    .with_min_len(1000)
-                    .zip(prev.par_iter_mut().with_min_len(1000))
-                    .for_each(|(c, p)| {
-                        *c = 0.9 * *c + 0.1 * *p;
-                        *p = *c;
-                    });
-            }
-            s1.par_iter_mut()
-                .with_min_len(1000)
-                .zip(s_prev.par_iter_mut().with_min_len(1000))
-                .for_each(|(c, p)| {
-                    *c = 0.9 * *c + 0.1 * *p;
-                    *p = *c;
-                });
-            black_box((&y, &z, &s1));
-        })
-    });
+        // End-to-end: 20 BP iterations with rounding deferred to the
+        // final flush — per-iteration runtime overhead is what the
+        // persistent-pool work targets.
+        group.bench_function(
+            BenchmarkId::new("bp-20-iters (deferred rounding)", threads),
+            |b| {
+                let cfg = AlignConfig {
+                    iterations: 20,
+                    batch: 20,
+                    matcher: MatcherKind::ParallelLocalDominant,
+                    ..Default::default()
+                };
+                pool.install(|| b.iter(|| black_box(belief_propagation(p, &cfg))))
+            },
+        );
+    }
 
     group.finish();
 }

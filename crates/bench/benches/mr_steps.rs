@@ -1,15 +1,24 @@
 //! Microbenchmarks of MR's per-iteration pieces (the steps of
-//! Figure 6): the per-row exact matchings and the full rounding
-//! matching, which together take ~80% of MR's iteration at scale.
+//! Figure 6) swept over rayon pool sizes: the per-row exact matchings,
+//! the full rounding matching, and full `matching_relaxation`
+//! iterations (the end-to-end per-iteration wall-clock that
+//! BENCH_2.json tracks across runtime changes).
+//!
+//! Environment knobs (for CI's bench-smoke job):
+//! * `NETALIGN_BENCH_SCALE` — stand-in scale (default 0.01);
+//! * `NETALIGN_BENCH_POOLS` — comma-separated pool sizes (default 1,4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netalign_bench::{bench_pools, bench_scale};
 use netalign_core::mr::rowmatch::solve_row_matchings;
+use netalign_core::prelude::*;
 use netalign_data::standins::StandIn;
 use netalign_matching::{max_weight_matching, MatcherKind};
 use std::hint::black_box;
 
 fn bench_mr_kernels(c: &mut Criterion) {
-    let inst = StandIn::LcshWiki.generate(0.01, 7);
+    let scale = bench_scale();
+    let inst = StandIn::LcshWiki.generate(scale, 7);
     let p = &inst.problem;
     let nnz = p.s.nnz();
     // Row weights as MR sees them: β/2 + U − Uᵀ with small multipliers.
@@ -20,10 +29,6 @@ fn bench_mr_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("mr-steps");
     group.sample_size(10);
 
-    group.bench_function("row-match (all rows)", |b| {
-        b.iter(|| black_box(solve_row_matchings(p, &row_w)))
-    });
-
     let (d, _) = solve_row_matchings(p, &row_w);
     let wbar: Vec<f64> =
         p.l.weights()
@@ -32,19 +37,44 @@ fn bench_mr_kernels(c: &mut Criterion) {
             .map(|(&w, &di)| w + di)
             .collect();
 
-    group.bench_function("match (exact on w̄)", |b| {
-        b.iter(|| black_box(max_weight_matching(&p.l, &wbar, MatcherKind::Exact)))
-    });
+    for &threads in &bench_pools() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build rayon pool");
 
-    group.bench_function("match (approx on w̄)", |b| {
-        b.iter(|| {
-            black_box(max_weight_matching(
-                &p.l,
-                &wbar,
-                MatcherKind::ParallelLocalDominant,
-            ))
-        })
-    });
+        group.bench_function(BenchmarkId::new("row-match (all rows)", threads), |b| {
+            pool.install(|| b.iter(|| black_box(solve_row_matchings(p, &row_w))))
+        });
+
+        group.bench_function(BenchmarkId::new("match (exact on w̄)", threads), |b| {
+            pool.install(|| {
+                b.iter(|| black_box(max_weight_matching(&p.l, &wbar, MatcherKind::Exact)))
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("match (approx on w̄)", threads), |b| {
+            pool.install(|| {
+                b.iter(|| {
+                    black_box(max_weight_matching(
+                        &p.l,
+                        &wbar,
+                        MatcherKind::ParallelLocalDominant,
+                    ))
+                })
+            })
+        });
+
+        // End-to-end: 10 MR iterations with the approximate matcher.
+        group.bench_function(BenchmarkId::new("mr-10-iters (approx)", threads), |b| {
+            let cfg = AlignConfig {
+                iterations: 10,
+                matcher: MatcherKind::ParallelLocalDominant,
+                ..Default::default()
+            };
+            pool.install(|| b.iter(|| black_box(matching_relaxation(p, &cfg))))
+        });
+    }
 
     group.finish();
 }

@@ -8,5 +8,5 @@ pub mod table;
 
 pub use cli::Args;
 pub use model::{amdahl_speedup, paper_model_speedup};
-pub use pool::{available_threads, run_with_threads, thread_sweep};
+pub use pool::{available_threads, bench_pools, bench_scale, run_with_threads, thread_sweep};
 pub use table::Table;

@@ -21,6 +21,30 @@ pub fn run_with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -
     pool.install(f)
 }
 
+/// Stand-in scale for the criterion benches: `NETALIGN_BENCH_SCALE`,
+/// default 0.01 (CI's bench-smoke job shrinks it further).
+pub fn bench_scale() -> f64 {
+    std::env::var("NETALIGN_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// Pool sizes the criterion benches sweep: `NETALIGN_BENCH_POOLS` as a
+/// comma-separated list, default `1,4`.
+pub fn bench_pools() -> Vec<usize> {
+    std::env::var("NETALIGN_BENCH_POOLS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4])
+}
+
 /// The default strong-scaling sweep: powers of two up to the hardware
 /// thread count, always including 1 and the maximum.
 pub fn thread_sweep() -> Vec<usize> {

@@ -16,9 +16,21 @@
 //!    immediately for `batch = 1`, or deferred into batches of `r`
 //!    vectors rounded concurrently for `BP(batch = r)`.
 //!
+//! Steps 1 and 2 are **fused** into one row-parallel sweep over the
+//! pattern of `S`: each row of `F` is written and summed in the same
+//! pass, with the transpose read through the value permutation — no
+//! materialized `S⁽ᵏ⁻¹⁾ᵀ` buffer, one fewer traversal of `nnz` data.
+//!
 //! The rounding step is the only place the matching algorithm appears;
 //! the iterates themselves are independent of it (paper §VII), which is
 //! why approximate matching barely changes BP's solution quality.
+//!
+//! All state lives in a [`BpEngine`]: buffers are allocated once in
+//! [`BpEngine::new`] and the steady-state loop
+//! ([`BpEngine::step`] / [`BpEngine::round_pending`]) is
+//! allocation-free (paper §IV: "no dynamic memory allocations") —
+//! pending rounding vectors are staged in pooled buffers that are
+//! recycled after every flush.
 
 pub mod distributed;
 pub mod othermax;
@@ -28,10 +40,14 @@ use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rounding::{round_batch_traced, round_heuristic};
+use crate::rowspans::RowSpans;
+use crate::squares::SquaresMatrix;
 use crate::trace::{MatcherCounters, RunTrace, Step};
 use netalign_matching::MatcherKind;
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
+use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Work-chunk size for the dynamic-scheduling analog of the paper's
 /// OpenMP `schedule(dynamic, 1000)` (§IV.A).
@@ -42,171 +58,348 @@ pub(crate) const CHUNK: usize = 1000;
 /// Returns the best rounded solution over all iterations (after an
 /// optional final exact re-rounding of the best heuristic vector).
 pub fn belief_propagation(problem: &NetAlignProblem, config: &AlignConfig) -> AlignmentResult {
-    config.validate();
-    let p = problem;
-    let m = p.l.num_edges();
-    let nnz = p.s.nnz();
-    let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
-    let mut trace = RunTrace::new();
-    let matcher_counters = MatcherCounters::new(config.trace_matcher);
+    let mut engine = BpEngine::new(problem, config);
+    for _ in 0..config.iterations {
+        engine.step();
+        if engine.rounding_due() {
+            engine.round_pending();
+        }
+        engine.end_iteration();
+    }
+    engine.finish()
+}
 
-    // All state is preallocated; iteration only rewrites values
-    // (paper §IV: "no dynamic memory allocations").
-    let mut y = vec![0.0f64; m];
-    let mut z = vec![0.0f64; m];
-    let mut y_prev = vec![0.0f64; m];
-    let mut z_prev = vec![0.0f64; m];
-    let mut d = vec![0.0f64; m];
-    let mut sk = vec![0.0f64; nnz];
-    let mut sk_prev = vec![0.0f64; nnz];
-    let mut skt = vec![0.0f64; nnz];
-    let mut fv = vec![0.0f64; nnz];
-    let mut omr = vec![0.0f64; m];
-    let mut omc = vec![0.0f64; m];
-    let col_pos = column_positions(&p.l);
-    let w = p.l.weights();
-    let rowptr = p.s.rowptr();
+/// The resident state of one BP run: every buffer the iteration
+/// touches, allocated once up front. Driving the engine manually
+/// (instead of through [`belief_propagation`]) exposes the
+/// steady-state loop to tests — e.g. the allocation-counting test
+/// that asserts [`BpEngine::step`] performs no heap traffic.
+pub struct BpEngine<'a> {
+    p: &'a NetAlignProblem,
+    config: &'a AlignConfig,
+    /// Iterations completed so far (`step` increments first).
+    k: usize,
+    // Iterate state: y/z messages over E_L, S^(k) values over the
+    // pattern, plus the derived d, F and othermax scratch.
+    y: Vec<f64>,
+    z: Vec<f64>,
+    y_prev: Vec<f64>,
+    z_prev: Vec<f64>,
+    d: Vec<f64>,
+    sk: Vec<f64>,
+    sk_prev: Vec<f64>,
+    fv: Vec<f64>,
+    omr: Vec<f64>,
+    omc: Vec<f64>,
+    // Loop-invariant structure, computed once per run.
+    col_pos: Vec<u32>,
+    spans: RowSpans,
+    row_stats: Vec<(f64, f64, usize)>,
+    col_stats: Vec<(f64, f64, usize)>,
+    // Rounding bookkeeping: staged vectors (and their iterations)
+    // awaiting a batched rounding, plus the pool their buffers return
+    // to afterward.
+    pending_iter: Vec<usize>,
+    pending_bufs: Vec<Vec<f64>>,
+    buf_pool: Vec<Vec<f64>>,
+    best: Option<(f64, usize)>,
+    best_g: Vec<f64>,
+    // Observability.
+    trace: RunTrace,
+    counters: MatcherCounters,
+    history: Vec<IterationRecord>,
+}
 
-    // Rounding bookkeeping.
-    let mut best: Option<(f64, Vec<f64>, usize)> = None; // (objective, heuristic g, iteration)
-    let mut history: Vec<IterationRecord> = Vec::new();
-    let mut pending: Vec<(usize, Vec<f64>)> = Vec::new();
+impl<'a> BpEngine<'a> {
+    /// Allocate all run state for `problem` under `config`.
+    pub fn new(p: &'a NetAlignProblem, config: &'a AlignConfig) -> Self {
+        config.validate();
+        let m = p.l.num_edges();
+        let nnz = p.s.nnz();
+        let mut trace = RunTrace::new();
+        trace.reserve_iterations(config.iterations);
+        let batch_cap = config.batch.max(1) * 2 + 2;
+        BpEngine {
+            p,
+            config,
+            k: 0,
+            y: vec![0.0; m],
+            z: vec![0.0; m],
+            y_prev: vec![0.0; m],
+            z_prev: vec![0.0; m],
+            d: vec![0.0; m],
+            sk: vec![0.0; nnz],
+            sk_prev: vec![0.0; nnz],
+            fv: vec![0.0; nnz],
+            omr: vec![0.0; m],
+            omc: vec![0.0; m],
+            col_pos: column_positions(&p.l),
+            spans: RowSpans::from_rowptr(p.s.rowptr()),
+            row_stats: vec![(0.0, 0.0, 0); p.l.num_left()],
+            col_stats: vec![(0.0, 0.0, 0); p.l.num_right()],
+            pending_iter: Vec::with_capacity(batch_cap),
+            pending_bufs: Vec::with_capacity(batch_cap),
+            buf_pool: Vec::with_capacity(batch_cap),
+            best: None,
+            best_g: vec![0.0; m],
+            trace,
+            counters: MatcherCounters::new(config.trace_matcher),
+            history: Vec::with_capacity(if config.record_history {
+                2 * config.iterations
+            } else {
+                0
+            }),
+        }
+    }
 
-    for k in 1..=config.iterations {
-        let gk = config.damping.fresh_weight(gamma, k);
+    /// Iterations completed so far.
+    pub fn iteration(&self) -> usize {
+        self.k
+    }
 
-        // Step 1: F = bound_0^beta(beta*S + S^(k-1)^T).
-        let t0 = std::time::Instant::now();
-        p.s.transpose_vals_into(&sk_prev, &mut skt);
-        fv.par_iter_mut()
-            .with_min_len(CHUNK)
-            .zip(skt.par_iter().with_min_len(CHUNK))
-            .for_each(|(f, &st)| *f = (beta + st).clamp(0.0, beta));
-        trace.add(Step::ComputeF, t0.elapsed());
+    /// Run one BP iteration (Listing 2 steps 1–5) and stage the new
+    /// `y`/`z` iterates for rounding. Allocation-free after the first
+    /// `2·batch` iterations warmed up the staging pool.
+    pub fn step(&mut self) {
+        self.k += 1;
+        let k = self.k;
+        let p = self.p;
+        let (alpha, beta, gamma) = (self.config.alpha, self.config.beta, self.config.gamma);
+        let gk = self.config.damping.fresh_weight(gamma, k);
+        let w = p.l.weights();
+        let rowptr = p.s.rowptr();
+        let m = p.l.num_edges();
+        let nnz = p.s.nnz();
 
-        // Step 2: d = alpha*w + F e (row sums of F).
-        let t0 = std::time::Instant::now();
-        d.par_iter_mut()
-            .enumerate()
-            .with_min_len(CHUNK)
-            .for_each(|(e, de)| {
-                let mut acc = 0.0;
-                for idx in rowptr[e]..rowptr[e + 1] {
-                    acc += fv[idx];
-                }
-                *de = alpha * w[e] + acc;
-            });
-        trace.add(Step::ComputeD, t0.elapsed());
+        // Steps 1+2 fused: F = bound_0^beta(beta*S + S^(k-1)^T) and
+        // d = alpha*w + F e in one row-parallel sweep.
+        let t0 = Instant::now();
+        fused_f_d(
+            &p.s,
+            &self.spans,
+            &self.sk_prev,
+            w,
+            alpha,
+            beta,
+            &mut self.fv,
+            &mut self.d,
+        );
+        self.trace.add(Step::ComputeF, t0.elapsed());
 
         // Step 3: othermax sweeps (use previous iterates). The two
         // sweeps are independent, so they run as parallel tasks — the
         // reorganization the paper's §IX suggests as future work.
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         rayon::join(
-            || othermaxcol_into(&p.l, &z_prev, &col_pos, &mut omc, CHUNK),
-            || othermaxrow_into(&p.l, &y_prev, &mut omr, CHUNK),
+            || {
+                othermaxcol_into(
+                    &p.l,
+                    &self.z_prev,
+                    &self.col_pos,
+                    &mut self.omc,
+                    &mut self.col_stats,
+                    CHUNK,
+                )
+            },
+            || {
+                othermaxrow_into(
+                    &p.l,
+                    &self.y_prev,
+                    &mut self.omr,
+                    &mut self.row_stats,
+                    CHUNK,
+                )
+            },
         );
-        y.par_iter_mut()
+        self.y
+            .par_iter_mut()
             .with_min_len(CHUNK)
-            .zip(d.par_iter().with_min_len(CHUNK))
-            .zip(omc.par_iter().with_min_len(CHUNK))
+            .zip(self.d.par_iter().with_min_len(CHUNK))
+            .zip(self.omc.par_iter().with_min_len(CHUNK))
             .for_each(|((yi, &di), &oi)| *yi = di - oi);
-        z.par_iter_mut()
+        self.z
+            .par_iter_mut()
             .with_min_len(CHUNK)
-            .zip(d.par_iter().with_min_len(CHUNK))
-            .zip(omr.par_iter().with_min_len(CHUNK))
+            .zip(self.d.par_iter().with_min_len(CHUNK))
+            .zip(self.omr.par_iter().with_min_len(CHUNK))
             .for_each(|((zi, &di), &oi)| *zi = di - oi);
-        trace.add(Step::OtherMax, t0.elapsed());
+        self.trace.add(Step::OtherMax, t0.elapsed());
 
         // Step 4: S^(k) = diag(y + z - d) S - F, row-parallel over the
-        // fixed pattern (entries of each row are contiguous).
-        let t0 = std::time::Instant::now();
-        sk_rowwise_update(rowptr, &mut sk, &y, &z, &d, &fv);
-        trace.add(Step::UpdateS, t0.elapsed());
+        // precomputed span decomposition of the fixed pattern.
+        let t0 = Instant::now();
+        sk_rowwise_update(
+            rowptr,
+            &self.spans,
+            &mut self.sk,
+            &self.y,
+            &self.z,
+            &self.d,
+            &self.fv,
+        );
+        self.trace.add(Step::UpdateS, t0.elapsed());
 
         // Step 5: damping toward the previous iterate.
-        let t0 = std::time::Instant::now();
-        damp(&mut y, &mut y_prev, gk);
-        damp(&mut z, &mut z_prev, gk);
-        damp(&mut sk, &mut sk_prev, gk);
-        trace.add(Step::Damping, t0.elapsed());
+        let t0 = Instant::now();
+        damp(&mut self.y, &mut self.y_prev, gk);
+        damp(&mut self.z, &mut self.z_prev, gk);
+        damp(&mut self.sk, &mut self.sk_prev, gk);
+        self.trace.add(Step::Damping, t0.elapsed());
 
-        // Step 6: rounding (immediate or batched). After damping,
-        // y/z hold the k-th damped iterates (and were also copied into
-        // y_prev/z_prev for the next iteration).
         // The y/z/sk entries rewritten this iteration are BP's
         // "messages"; d and F are derived scratch.
-        trace.algo.messages_updated += (2 * m + nnz) as u64;
+        self.trace.algo.messages_updated += (2 * m + nnz) as u64;
 
-        pending.push((k, y.clone()));
-        pending.push((k, z.clone()));
-        if pending.len() >= config.batch.max(1) * 2 || k == config.iterations {
-            let t0 = std::time::Instant::now();
-            let batch: Vec<Vec<f64>> = pending.iter().map(|(_, g)| g.clone()).collect();
-            let rounded =
-                round_batch_traced(p, &batch, alpha, beta, config.matcher, &matcher_counters);
-            trace.algo.rounding_invocations += 1;
-            trace.algo.rounding_batch_sizes.push(batch.len() as u64);
-            for ((iter_k, g), r) in pending.drain(..).zip(rounded) {
-                if config.record_history {
-                    history.push(IterationRecord {
-                        iteration: iter_k,
-                        objective: r.value.total,
-                        weight: r.value.weight,
-                        overlap: r.value.overlap,
-                        upper_bound: None,
-                    });
-                }
-                if best.as_ref().is_none_or(|(b, _, _)| r.value.total > *b) {
-                    best = Some((r.value.total, g, iter_k));
-                    trace.algo.best_improvements += 1;
-                }
-            }
-            trace.add(Step::Match, t0.elapsed());
-        }
-        trace.end_iteration();
+        // Step 6 staging: copy the damped iterates into pooled buffers
+        // for the next batched rounding.
+        let mut buf = self.buf_pool.pop().unwrap_or_else(|| vec![0.0; m]);
+        buf.copy_from_slice(&self.y);
+        self.pending_bufs.push(buf);
+        self.pending_iter.push(k);
+        let mut buf = self.buf_pool.pop().unwrap_or_else(|| vec![0.0; m]);
+        buf.copy_from_slice(&self.z);
+        self.pending_bufs.push(buf);
+        self.pending_iter.push(k);
     }
 
-    finalize(p, config, best, history, trace, &matcher_counters)
+    /// Whether the staged iterates should be rounded now: the batch is
+    /// full, or the configured iteration budget is exhausted.
+    pub fn rounding_due(&self) -> bool {
+        !self.pending_iter.is_empty()
+            && (self.pending_iter.len() >= self.config.batch.max(1) * 2
+                || self.k >= self.config.iterations)
+    }
+
+    /// Round every staged iterate concurrently (`BP(batch = r)`),
+    /// update the incumbent, and recycle the staging buffers.
+    pub fn round_pending(&mut self) {
+        if self.pending_iter.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let rounded = round_batch_traced(
+            self.p,
+            &self.pending_bufs,
+            self.config.alpha,
+            self.config.beta,
+            self.config.matcher,
+            &self.counters,
+        );
+        self.trace.algo.rounding_invocations += 1;
+        self.trace
+            .algo
+            .rounding_batch_sizes
+            .push(self.pending_bufs.len() as u64);
+        for ((&iter_k, g), r) in self
+            .pending_iter
+            .iter()
+            .zip(&self.pending_bufs)
+            .zip(&rounded)
+        {
+            if self.config.record_history {
+                self.history.push(IterationRecord {
+                    iteration: iter_k,
+                    objective: r.value.total,
+                    weight: r.value.weight,
+                    overlap: r.value.overlap,
+                    upper_bound: None,
+                });
+            }
+            if self.best.is_none_or(|(b, _)| r.value.total > b) {
+                self.best = Some((r.value.total, iter_k));
+                self.best_g.copy_from_slice(g);
+                self.trace.algo.best_improvements += 1;
+            }
+        }
+        self.pending_iter.clear();
+        self.buf_pool.append(&mut self.pending_bufs);
+        self.trace.add(Step::Match, t0.elapsed());
+    }
+
+    /// Close the current iteration's trace row.
+    pub fn end_iteration(&mut self) {
+        self.trace.end_iteration();
+    }
+
+    /// Flush any remaining staged iterates and assemble the result.
+    pub fn finish(mut self) -> AlignmentResult {
+        self.round_pending();
+        let BpEngine {
+            p,
+            config,
+            best,
+            best_g,
+            history,
+            trace,
+            counters,
+            ..
+        } = self;
+        let best = best.map(|(obj, iter)| (obj, best_g, iter));
+        finalize(p, config, best, history, trace, &counters)
+    }
 }
 
-/// `S^(k)[e, :] = (y[e] + z[e] - d[e]) - F[e, :]` over the fixed pattern.
+/// Fused Listing 2 steps 1+2: one row-parallel sweep over the fixed
+/// pattern of `S` computes `F[e, :] = bound₀^β(β + S⁽ᵏ⁻¹⁾ᵀ[e, :])`
+/// (the transpose read in place through the value permutation — no
+/// materialized `S⁽ᵏ⁻¹⁾ᵀ`) and its row sum `d[e] = α·w[e] + Σ F[e, :]`
+/// in the same pass.
+#[allow(clippy::too_many_arguments)]
+fn fused_f_d(
+    s: &SquaresMatrix,
+    spans: &RowSpans,
+    sk_prev: &[f64],
+    w: &[f64],
+    alpha: f64,
+    beta: f64,
+    fv: &mut [f64],
+    d: &mut [f64],
+) {
+    let rowptr = s.rowptr();
+    let perm = s.transpose_perm().as_slice();
+    let row_bounds = spans.row_bounds();
+    let entry_bounds = spans.entry_bounds();
+    par_uneven_chunks_mut(fv, entry_bounds)
+        .zip(par_uneven_chunks_mut(d, row_bounds))
+        .enumerate()
+        .for_each(|(g, (fv_chunk, d_chunk))| {
+            let rows = row_bounds[g]..row_bounds[g + 1];
+            let base = entry_bounds[g];
+            for (de, e) in d_chunk.iter_mut().zip(rows) {
+                let mut acc = 0.0;
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    let f = (beta + sk_prev[perm[idx]]).clamp(0.0, beta);
+                    fv_chunk[idx - base] = f;
+                    acc += f;
+                }
+                *de = alpha * w[e] + acc;
+            }
+        });
+}
+
+/// `S^(k)[e, :] = (y[e] + z[e] - d[e]) - F[e, :]` over the fixed
+/// pattern, row-parallel through the precomputed span decomposition
+/// (no per-call slice vector).
 fn sk_rowwise_update(
     rowptr: &[usize],
+    spans: &RowSpans,
     sk: &mut [f64],
     y: &[f64],
     z: &[f64],
     d: &[f64],
     fv: &[f64],
 ) {
-    // Parallelize over rows by splitting the value array at row bounds.
-    // rayon's par_chunks cannot follow irregular rows, so iterate rows
-    // in parallel with unsafe-free indexing via split decomposition:
-    // each row's slice is disjoint, expressed through par_iter over
-    // row indices writing through a raw pointer wrapper would be
-    // unsafe; instead use the entry->row map-free two-level loop:
-    let nrows = rowptr.len() - 1;
-    // Build disjoint mutable row slices.
-    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(nrows);
-    let mut rest = sk;
-    let mut offset = 0usize;
-    for e in 0..nrows {
-        let len = rowptr[e + 1] - rowptr[e];
-        let (head, tail) = rest.split_at_mut(len);
-        slices.push(head);
-        rest = tail;
-        offset += len;
-    }
-    debug_assert_eq!(offset, rowptr[nrows]);
-    slices
-        .par_iter_mut()
+    let row_bounds = spans.row_bounds();
+    let entry_bounds = spans.entry_bounds();
+    par_uneven_chunks_mut(sk, entry_bounds)
         .enumerate()
-        .with_min_len(CHUNK.min(1024))
-        .for_each(|(e, row)| {
-            let scale = y[e] + z[e] - d[e];
-            let base = rowptr[e];
-            for (i, v) in row.iter_mut().enumerate() {
-                *v = scale - fv[base + i];
+        .for_each(|(g, sk_chunk)| {
+            let base = entry_bounds[g];
+            for e in row_bounds[g]..row_bounds[g + 1] {
+                let scale = y[e] + z[e] - d[e];
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    sk_chunk[idx - base] = scale - fv[idx];
+                }
             }
         });
 }
@@ -233,7 +426,7 @@ pub(crate) fn finalize(
     matcher_counters: &MatcherCounters,
 ) -> AlignmentResult {
     let (best_obj, best_g, best_iter) = best.expect("at least one rounding must have happened");
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let mut matching = netalign_matching::max_weight_matching_traced(
         &p.l,
         &best_g,
@@ -395,5 +588,28 @@ mod tests {
             },
         );
         assert!(with.objective >= without.objective);
+    }
+
+    #[test]
+    fn engine_loop_matches_wrapper() {
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 14,
+            batch: 3,
+            ..Default::default()
+        };
+        let via_wrapper = belief_propagation(&p, &cfg);
+        let mut e = BpEngine::new(&p, &cfg);
+        for _ in 0..cfg.iterations {
+            e.step();
+            if e.rounding_due() {
+                e.round_pending();
+            }
+            e.end_iteration();
+        }
+        let manual = e.finish();
+        assert_eq!(via_wrapper.objective, manual.objective);
+        assert_eq!(via_wrapper.matching, manual.matching);
+        assert_eq!(via_wrapper.best_iteration, manual.best_iteration);
     }
 }

@@ -33,36 +33,38 @@ fn max2(vals: impl Iterator<Item = f64>) -> (f64, f64, usize) {
     (max1, max2, arg)
 }
 
-/// `out = othermaxrow(g)`, parallel over left vertices.
-pub fn othermaxrow_into(l: &BipartiteGraph, g: &[f64], out: &mut [f64], chunk: usize) {
+/// `out = othermaxrow(g)`, parallel over left vertices. `stats` is
+/// caller-owned scratch of length `l.num_left()` (its contents are
+/// overwritten) — passing it in keeps the sweep allocation-free.
+pub fn othermaxrow_into(
+    l: &BipartiteGraph,
+    g: &[f64],
+    out: &mut [f64],
+    stats: &mut [(f64, f64, usize)],
+    chunk: usize,
+) {
     assert_eq!(g.len(), l.num_edges());
     assert_eq!(out.len(), l.num_edges());
-    // Left ranges are contiguous: split the output by vertex ranges.
-    // We process vertices in parallel and write each vertex's slice.
-    let ranges: Vec<(usize, usize)> = (0..l.num_left() as VertexId)
-        .map(|a| {
-            let r = l.left_range(a);
-            (r.start, r.end)
-        })
-        .collect();
-    // Safety-free approach: par chunks over vertices with disjoint
-    // output slices via split_at_mut choreography is complex; instead
-    // compute per-edge outputs directly (each edge's row stats are
-    // recomputed once per vertex via a two-pass trick): first compute
-    // per-vertex (max1, max2, argpos), then fill.
-    let stats: Vec<(f64, f64, usize)> = ranges
-        .par_iter()
+    assert_eq!(stats.len(), l.num_left());
+    // Two passes: per-vertex (max1, max2, argpos) stats, then a
+    // per-edge fill — both embarrassingly parallel, no disjoint-slice
+    // choreography needed.
+    stats
+        .par_iter_mut()
+        .enumerate()
         .with_min_len(chunk)
-        .map(|&(s, e)| max2(g[s..e].iter().copied()))
-        .collect();
+        .for_each(|(a, s)| {
+            let r = l.left_range(a as VertexId);
+            *s = max2(g[r].iter().copied());
+        });
     out.par_iter_mut()
         .enumerate()
         .with_min_len(chunk)
         .for_each(|(eid, o)| {
-            let a = l.endpoints(eid).0 as usize;
-            let (m1, m2, arg) = stats[a];
-            let (s, _) = ranges[a];
-            let v = if eid - s == arg { m2 } else { m1 };
+            let a = l.endpoints(eid).0;
+            let (m1, m2, arg) = stats[a as usize];
+            let start = l.left_range(a).start;
+            let v = if eid - start == arg { m2 } else { m1 };
             *o = v.max(0.0);
         });
 }
@@ -81,22 +83,27 @@ pub fn column_positions(l: &BipartiteGraph) -> Vec<u32> {
 }
 
 /// `out = othermaxcol(g)`, parallel over right vertices. `col_pos` is
-/// the precomputed [`column_positions`] array.
+/// the precomputed [`column_positions`] array; `stats` is caller-owned
+/// scratch of length `l.num_right()` (overwritten).
 pub fn othermaxcol_into(
     l: &BipartiteGraph,
     g: &[f64],
     col_pos: &[u32],
     out: &mut [f64],
+    stats: &mut [(f64, f64, usize)],
     chunk: usize,
 ) {
     assert_eq!(g.len(), l.num_edges());
     assert_eq!(out.len(), l.num_edges());
     assert_eq!(col_pos.len(), l.num_edges());
-    let stats: Vec<(f64, f64, usize)> = (0..l.num_right() as VertexId)
-        .into_par_iter()
+    assert_eq!(stats.len(), l.num_right());
+    stats
+        .par_iter_mut()
+        .enumerate()
         .with_min_len(chunk)
-        .map(|b| max2(l.right_edges(b).map(|(_, e)| g[e])))
-        .collect();
+        .for_each(|(b, s)| {
+            *s = max2(l.right_edges(b as VertexId).map(|(_, e)| g[e]));
+        });
     out.par_iter_mut()
         .enumerate()
         .with_min_len(chunk)
@@ -127,13 +134,21 @@ mod tests {
         )
     }
 
+    fn row_stats(l: &BipartiteGraph) -> Vec<(f64, f64, usize)> {
+        vec![(0.0, 0.0, 0); l.num_left()]
+    }
+
+    fn col_stats(l: &BipartiteGraph) -> Vec<(f64, f64, usize)> {
+        vec![(0.0, 0.0, 0); l.num_right()]
+    }
+
     #[test]
     fn row_othermax_basic() {
         let l = l();
         // edges in global order: (0,0)=e0,(0,1)=e1,(1,0)=e2,(1,1)=e3,(2,1)=e4
         let g = vec![3.0, 1.0, 2.0, 5.0, 4.0];
         let mut out = vec![0.0; 5];
-        othermaxrow_into(&l, &g, &mut out, 1);
+        othermaxrow_into(&l, &g, &mut out, &mut row_stats(&l), 1);
         // row a0: values [3,1]: e0 is max -> second=1; e1 -> 3
         // row a1: [2,5]: e2 -> 5; e3 -> 2
         // row a2: [4]: single edge -> second = -inf -> clamp 0
@@ -146,7 +161,7 @@ mod tests {
         let g = vec![3.0, 1.0, 2.0, 5.0, 4.0];
         let pos = column_positions(&l);
         let mut out = vec![0.0; 5];
-        othermaxcol_into(&l, &g, &pos, &mut out, 1);
+        othermaxcol_into(&l, &g, &pos, &mut out, &mut col_stats(&l), 1);
         // col b0: edges e0=3, e2=2: e0 -> 2; e2 -> 3
         // col b1: edges e1=1, e3=5, e4=4: e1 -> 5; e3 -> 4; e4 -> 5
         assert_eq!(out, vec![2.0, 5.0, 3.0, 4.0, 5.0]);
@@ -157,7 +172,7 @@ mod tests {
         let l = l();
         let g = vec![-1.0, -2.0, -3.0, -4.0, -5.0];
         let mut out = vec![9.0; 5];
-        othermaxrow_into(&l, &g, &mut out, 1);
+        othermaxrow_into(&l, &g, &mut out, &mut row_stats(&l), 1);
         assert!(out.iter().all(|&v| v == 0.0));
     }
 
@@ -168,7 +183,7 @@ mod tests {
         let l = BipartiteGraph::from_entries(1, 2, vec![(0, 0, 0.0), (0, 1, 0.0)]);
         let g = vec![7.0, 7.0];
         let mut out = vec![0.0; 2];
-        othermaxrow_into(&l, &g, &mut out, 1);
+        othermaxrow_into(&l, &g, &mut out, &mut row_stats(&l), 1);
         assert_eq!(out, vec![7.0, 7.0]);
     }
 
@@ -178,12 +193,12 @@ mod tests {
         let g = vec![0.5, 2.5, -1.0, 3.5, 0.25];
         let mut o1 = vec![0.0; 5];
         let mut o2 = vec![0.0; 5];
-        othermaxrow_into(&l, &g, &mut o1, 1);
-        othermaxrow_into(&l, &g, &mut o2, 1000);
+        othermaxrow_into(&l, &g, &mut o1, &mut row_stats(&l), 1);
+        othermaxrow_into(&l, &g, &mut o2, &mut row_stats(&l), 1000);
         assert_eq!(o1, o2);
         let pos = column_positions(&l);
-        othermaxcol_into(&l, &g, &pos, &mut o1, 1);
-        othermaxcol_into(&l, &g, &pos, &mut o2, 1000);
+        othermaxcol_into(&l, &g, &pos, &mut o1, &mut col_stats(&l), 1);
+        othermaxcol_into(&l, &g, &pos, &mut o2, &mut col_stats(&l), 1000);
         assert_eq!(o1, o2);
     }
 }

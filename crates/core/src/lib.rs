@@ -54,6 +54,7 @@ pub mod pareto;
 pub mod problem;
 pub mod result;
 pub mod rounding;
+pub mod rowspans;
 pub mod squares;
 pub mod trace;
 

@@ -20,6 +20,12 @@
 //!
 //! Unlike BP, the matching *drives* the multiplier update, which is why
 //! MR is sensitive to approximate rounding (paper §VII).
+//!
+//! All state lives in an [`MrEngine`], allocated once in
+//! [`MrEngine::new`]. The numeric kernels of each iteration (row
+//! matchings, daxpy, multiplier update) are allocation-free in the
+//! steady state; only the full bipartite matching and the objective
+//! evaluation of step 3/4 — the pluggable matcher — allocate.
 
 pub mod distributed;
 pub mod rowmatch;
@@ -29,85 +35,180 @@ use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
+use crate::rowspans::RowSpans;
 use crate::trace::{MatcherCounters, RunTrace, Step};
 use netalign_matching::max_weight_matching_traced;
+use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
-use rowmatch::solve_row_matchings;
+use rowmatch::{solve_row_matchings_into, RowWorkspace};
+use std::time::Instant;
 
 /// Run Klau's matching relaxation on `problem` with `config`.
 pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> AlignmentResult {
-    config.validate();
-    let p = problem;
-    let m = p.l.num_edges();
-    let nnz = p.s.nnz();
-    let (alpha, beta) = (config.alpha, config.beta);
-    let mut gamma = config.gamma;
-    let mut trace = RunTrace::new();
-    let matcher_counters = MatcherCounters::new(config.trace_matcher);
-    let perm = p.s.transpose_perm().as_slice();
+    let mut engine = MrEngine::new(problem, config);
+    for _ in 0..config.iterations {
+        engine.step();
+        engine.end_iteration();
+    }
+    engine.finish()
+}
 
+/// The resident state of one MR run: multipliers, iteration scratch
+/// and the loop-invariant row decomposition, allocated once up front.
+pub struct MrEngine<'a> {
+    p: &'a NetAlignProblem,
+    config: &'a AlignConfig,
+    /// Iterations completed so far (`step` increments first).
+    k: usize,
+    gamma: f64,
     // Lagrange multipliers U over the pattern of S (upper triangle
-    // only; the lower triangle enters through −Uᵀ).
-    let mut u_vals = vec![0.0f64; nnz];
-    let mut row_w = vec![0.0f64; nnz];
-    let mut wbar = vec![0.0f64; m];
-    let colidx = p.s.colidx();
+    // only; the lower triangle enters through −Uᵀ), plus the previous
+    // iterate the subgradient step reads.
+    u_vals: Vec<f64>,
+    u_old: Vec<f64>,
+    // Per-iteration scratch.
+    row_w: Vec<f64>,
+    sl_vals: Vec<f64>,
+    d: Vec<f64>,
+    wbar: Vec<f64>,
+    x: Vec<f64>,
+    g2: Vec<f64>,
+    // Loop-invariant structure.
+    spans: RowSpans,
+    workspaces: Vec<RowWorkspace>,
+    // Incumbent and step-size control.
+    best: Option<(f64, usize)>,
+    best_g: Vec<f64>,
+    best_upper: f64,
+    stall: usize,
+    // Observability.
+    trace: RunTrace,
+    counters: MatcherCounters,
+    history: Vec<IterationRecord>,
+}
 
-    let mut best: Option<(f64, Vec<f64>, usize)> = None;
-    let mut best_upper = f64::INFINITY;
-    let mut stall = 0usize;
-    let mut history: Vec<IterationRecord> = Vec::new();
+impl<'a> MrEngine<'a> {
+    /// Allocate all run state for `problem` under `config`.
+    pub fn new(p: &'a NetAlignProblem, config: &'a AlignConfig) -> Self {
+        config.validate();
+        let m = p.l.num_edges();
+        let nnz = p.s.nnz();
+        let mut trace = RunTrace::new();
+        trace.reserve_iterations(config.iterations);
+        let spans = RowSpans::from_rowptr(p.s.rowptr());
+        let workspaces = vec![RowWorkspace::default(); spans.num_groups()];
+        MrEngine {
+            p,
+            config,
+            k: 0,
+            gamma: config.gamma,
+            u_vals: vec![0.0; nnz],
+            u_old: vec![0.0; nnz],
+            row_w: vec![0.0; nnz],
+            sl_vals: vec![0.0; nnz],
+            d: vec![0.0; m],
+            wbar: vec![0.0; m],
+            x: vec![0.0; m],
+            g2: vec![0.0; if config.enriched_rounding { m } else { 0 }],
+            spans,
+            workspaces,
+            best: None,
+            best_g: vec![0.0; m],
+            best_upper: f64::INFINITY,
+            stall: 0,
+            trace,
+            counters: MatcherCounters::new(config.trace_matcher),
+            history: Vec::with_capacity(if config.record_history {
+                config.iterations
+            } else {
+                0
+            }),
+        }
+    }
 
-    for k in 1..=config.iterations {
+    /// Iterations completed so far.
+    pub fn iteration(&self) -> usize {
+        self.k
+    }
+
+    /// Run one MR iteration (Listing 1 steps 1–5).
+    pub fn step(&mut self) {
+        self.k += 1;
+        let k = self.k;
+        let p = self.p;
+        let (alpha, beta) = (self.config.alpha, self.config.beta);
+        let gamma = self.gamma;
+        let m = p.l.num_edges();
+        let nnz = p.s.nnz();
+        let perm = p.s.transpose_perm().as_slice();
+
         // Step 1: row matchings on (β/2)S + U − Uᵀ.
-        let t0 = std::time::Instant::now();
-        row_w
-            .par_iter_mut()
-            .enumerate()
-            .with_min_len(CHUNK)
-            .for_each(|(idx, rw)| {
-                *rw = beta / 2.0 + u_vals[idx] - u_vals[perm[idx]];
-            });
-        let (d, sl_vals) = solve_row_matchings(p, &row_w);
-        trace.add(Step::RowMatch, t0.elapsed());
+        let t0 = Instant::now();
+        {
+            let u_vals = &self.u_vals;
+            self.row_w
+                .par_iter_mut()
+                .enumerate()
+                .with_min_len(CHUNK)
+                .for_each(|(idx, rw)| {
+                    *rw = beta / 2.0 + u_vals[idx] - u_vals[perm[idx]];
+                });
+        }
+        solve_row_matchings_into(
+            p,
+            &self.row_w,
+            &self.spans,
+            &mut self.d,
+            &mut self.sl_vals,
+            &mut self.workspaces,
+        );
+        self.trace.add(Step::RowMatch, t0.elapsed());
 
         // Step 2: w̄ = αw + d.
-        let t0 = std::time::Instant::now();
-        wbar.par_iter_mut()
+        let t0 = Instant::now();
+        self.wbar
+            .par_iter_mut()
             .with_min_len(CHUNK)
             .zip(p.l.weights().par_iter().with_min_len(CHUNK))
-            .zip(d.par_iter().with_min_len(CHUNK))
+            .zip(self.d.par_iter().with_min_len(CHUNK))
             .for_each(|((wb, &wi), &di)| *wb = alpha * wi + di);
-        trace.add(Step::Daxpy, t0.elapsed());
+        self.trace.add(Step::Daxpy, t0.elapsed());
 
         // Step 3: the full matching — exact or approximate.
-        let t0 = std::time::Instant::now();
-        let matching = max_weight_matching_traced(&p.l, &wbar, config.matcher, &matcher_counters);
-        trace.add(Step::Match, t0.elapsed());
-        trace.algo.rounding_invocations += 1;
-        trace.algo.rounding_batch_sizes.push(1);
+        let t0 = Instant::now();
+        let matching =
+            max_weight_matching_traced(&p.l, &self.wbar, self.config.matcher, &self.counters);
+        self.trace.add(Step::Match, t0.elapsed());
+        self.trace.algo.rounding_invocations += 1;
+        self.trace.algo.rounding_batch_sizes.push(1);
 
         // Step 4: bounds.
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         let mut value = evaluate_matching(p, &matching, alpha, beta);
-        let x = matching.indicator(&p.l);
+        matching.indicator_into(&p.l, &mut self.x);
         // Serial dot product: a rayon float reduction's tree shape (and
         // hence its roundoff) depends on work stealing; this sum must be
         // deterministic so that runs are reproducible across pool sizes
         // and bit-identical to the distributed implementation.
-        let upper: f64 = x.iter().zip(wbar.iter()).map(|(&xi, &wi)| xi * wi).sum();
-        trace.add(Step::ObjectiveEval, t0.elapsed());
+        let upper: f64 = self
+            .x
+            .iter()
+            .zip(self.wbar.iter())
+            .map(|(&xi, &wi)| xi * wi)
+            .sum();
+        self.trace.add(Step::ObjectiveEval, t0.elapsed());
 
         // Optional enriched rounding (netalignmr's rtype=2): re-match
         // the overlap-aware weights αw + β·S·x and keep the better
         // primal. Counts toward the Match step.
-        let mut enriched_wbar: Option<Vec<f64>> = None;
-        if config.enriched_rounding {
-            let t0 = std::time::Instant::now();
+        let mut use_enriched = false;
+        if self.config.enriched_rounding {
+            let t0 = Instant::now();
             let rowptr = p.s.rowptr();
             let colidx = p.s.colidx();
-            let mut g2 = vec![0.0f64; m];
-            g2.par_iter_mut()
+            let x = &self.x;
+            self.g2
+                .par_iter_mut()
                 .enumerate()
                 .with_min_len(CHUNK)
                 .for_each(|(e, ge)| {
@@ -117,19 +218,20 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
                     }
                     *ge = alpha * p.l.weights()[e] + beta * acc;
                 });
-            let m2 = max_weight_matching_traced(&p.l, &g2, config.matcher, &matcher_counters);
+            let m2 =
+                max_weight_matching_traced(&p.l, &self.g2, self.config.matcher, &self.counters);
             let v2 = evaluate_matching(p, &m2, alpha, beta);
             if v2.total > value.total {
                 value = v2;
-                enriched_wbar = Some(g2);
+                use_enriched = true;
             }
-            trace.add(Step::Match, t0.elapsed());
-            trace.algo.rounding_invocations += 1;
-            trace.algo.rounding_batch_sizes.push(1);
+            self.trace.add(Step::Match, t0.elapsed());
+            self.trace.algo.rounding_invocations += 1;
+            self.trace.algo.rounding_batch_sizes.push(1);
         }
 
-        if config.record_history {
-            history.push(IterationRecord {
+        if self.config.record_history {
+            self.history.push(IterationRecord {
                 iteration: k,
                 objective: value.total,
                 weight: value.weight,
@@ -137,69 +239,111 @@ pub fn matching_relaxation(problem: &NetAlignProblem, config: &AlignConfig) -> A
                 upper_bound: Some(upper),
             });
         }
-        if best.as_ref().is_none_or(|(b, _, _)| value.total > *b) {
-            let g = enriched_wbar.unwrap_or_else(|| wbar.clone());
-            best = Some((value.total, g, k));
-            trace.algo.best_improvements += 1;
+        if self.best.is_none_or(|(b, _)| value.total > b) {
+            self.best = Some((value.total, k));
+            self.best_g
+                .copy_from_slice(if use_enriched { &self.g2 } else { &self.wbar });
+            self.trace.algo.best_improvements += 1;
         }
 
         // Step size control: halve γ when the upper bound stalls.
-        if upper < best_upper - 1e-12 {
-            best_upper = upper;
-            stall = 0;
+        if upper < self.best_upper - 1e-12 {
+            self.best_upper = upper;
+            self.stall = 0;
         } else {
-            stall += 1;
-            if stall >= config.mstep {
-                gamma /= 2.0;
-                stall = 0;
+            self.stall += 1;
+            if self.stall >= self.config.mstep {
+                self.gamma /= 2.0;
+                self.stall = 0;
             }
         }
 
         // Step 5: F = U − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X, clamped.
-        let t0 = std::time::Instant::now();
-        let bound = beta / 2.0;
-        // Row-parallel over the pattern: entry idx sits at (e, f) with
-        // e the row and f = colidx[idx].
-        let rowptr = p.s.rowptr();
-        let u_old = u_vals.clone();
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(m);
-        let mut rest: &mut [f64] = &mut u_vals;
-        for e in 0..m {
-            let (head, tail) = rest.split_at_mut(rowptr[e + 1] - rowptr[e]);
-            slices.push(head);
-            rest = tail;
-        }
-        slices
-            .par_iter_mut()
-            .enumerate()
-            .with_min_len(64)
-            .for_each(|(e, row)| {
-                let base = rowptr[e];
-                for (i, uv) in row.iter_mut().enumerate() {
-                    let idx = base + i;
+        let t0 = Instant::now();
+        self.u_old.copy_from_slice(&self.u_vals);
+        update_multipliers(
+            p,
+            &self.spans,
+            &mut self.u_vals,
+            &self.u_old,
+            &self.sl_vals,
+            &self.x,
+            gamma,
+            beta / 2.0,
+        );
+        self.trace.add(Step::UpdateU, t0.elapsed());
+
+        // The multiplier block and the two weight vectors rewritten
+        // this iteration are MR's "messages".
+        self.trace.algo.messages_updated += (2 * nnz + m) as u64;
+    }
+
+    /// Close the current iteration's trace row.
+    pub fn end_iteration(&mut self) {
+        self.trace.end_iteration();
+    }
+
+    /// Assemble the result from the incumbent.
+    pub fn finish(self) -> AlignmentResult {
+        let MrEngine {
+            p,
+            config,
+            best,
+            best_g,
+            best_upper,
+            history,
+            trace,
+            counters,
+            ..
+        } = self;
+        let best = best.map(|(obj, iter)| (obj, best_g, iter));
+        let mut result = finalize(p, config, best, history, trace, &counters);
+        result.upper_bound = Some(best_upper.max(result.objective));
+        result
+    }
+}
+
+/// Listing 1 step 5: `U ← bound(U_old − γ·X·triu(S_L) + γ·tril(S_L)ᵀ·X)`
+/// row-parallel over the precomputed span decomposition of `S`'s
+/// pattern. Entry `idx` sits at `(e, f)` with `e` the row and
+/// `f = colidx[idx]`; `triu(S_L)[e,f]` is `S_L`'s own entry and
+/// `tril(S_L)ᵀ[e,f] = S_L[f,e]` is read through the transpose
+/// permutation. Allocation-free; public so the allocation-counting
+/// tests can drive the kernel directly.
+#[allow(clippy::too_many_arguments)]
+pub fn update_multipliers(
+    p: &NetAlignProblem,
+    spans: &RowSpans,
+    u_vals: &mut [f64],
+    u_old: &[f64],
+    sl_vals: &[f64],
+    x: &[f64],
+    gamma: f64,
+    bound: f64,
+) {
+    let rowptr = p.s.rowptr();
+    let colidx = p.s.colidx();
+    let perm = p.s.transpose_perm().as_slice();
+    let row_bounds = spans.row_bounds();
+    let entry_bounds = spans.entry_bounds();
+    par_uneven_chunks_mut(u_vals, entry_bounds)
+        .enumerate()
+        .for_each(|(g, u_chunk)| {
+            let base = entry_bounds[g];
+            for e in row_bounds[g]..row_bounds[g + 1] {
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    let uv = &mut u_chunk[idx - base];
                     let f = colidx[idx] as usize;
                     if f <= e {
                         *uv = 0.0; // strictly upper triangular multipliers
                         continue;
                     }
-                    // triu(S_L)[e,f] is S_L's own entry; tril(S_L)ᵀ[e,f]
-                    // = S_L[f,e], read through the transpose permutation.
                     let upd = u_old[idx] - gamma * x[e] * sl_vals[idx]
                         + gamma * sl_vals[perm[idx]] * x[f];
                     *uv = upd.clamp(-bound, bound);
                 }
-            });
-        trace.add(Step::UpdateU, t0.elapsed());
-
-        // The multiplier block and the two weight vectors rewritten
-        // this iteration are MR's "messages".
-        trace.algo.messages_updated += (2 * nnz + m) as u64;
-        trace.end_iteration();
-    }
-
-    let mut result = finalize(p, config, best, history, trace, &matcher_counters);
-    result.upper_bound = Some(best_upper.max(result.objective));
-    result
+            }
+        });
 }
 
 #[cfg(test)]
@@ -349,5 +493,24 @@ mod tests {
             assert!(rec.upper_bound.unwrap().is_finite());
             assert!(rec.objective <= rec.upper_bound.unwrap() + 1e-9 + p.l.num_edges() as f64);
         }
+    }
+
+    #[test]
+    fn engine_loop_matches_wrapper() {
+        let p = cycle_problem();
+        let cfg = AlignConfig {
+            iterations: 18,
+            ..Default::default()
+        };
+        let via_wrapper = matching_relaxation(&p, &cfg);
+        let mut e = MrEngine::new(&p, &cfg);
+        for _ in 0..cfg.iterations {
+            e.step();
+            e.end_iteration();
+        }
+        let manual = e.finish();
+        assert_eq!(via_wrapper.objective, manual.objective);
+        assert_eq!(via_wrapper.matching, manual.matching);
+        assert_eq!(via_wrapper.upper_bound, manual.upper_bound);
     }
 }

@@ -10,11 +10,13 @@
 //! The paper always solves these *exactly* — each row problem is tiny —
 //! parallelizes over rows, and preallocates the per-thread matching
 //! workspaces outside the iteration (§IV.B). We mirror that: rows run
-//! under rayon with `for_each_init` thread-local [`RowWorkspace`]s, and
-//! each row solve is a dense Hungarian assignment on compacted local
-//! indices with zero allocations in the steady state.
+//! in parallel over the precomputed [`RowSpans`] groups, each group
+//! reusing a caller-owned [`RowWorkspace`], and each row solve is a
+//! dense Hungarian assignment on compacted local indices with zero
+//! allocations in the steady state.
 
 use crate::problem::NetAlignProblem;
+use crate::rowspans::RowSpans;
 use netalign_graph::VertexId;
 use netalign_matching::exact::hungarian::{solve_dense_assignment, HungarianBuffers};
 use rayon::prelude::*;
@@ -38,37 +40,60 @@ pub struct RowWorkspace {
 /// Returns `d` (per-row matching values, length `|E_L|`) and the
 /// indicator values of `S_L` over the pattern of `S`.
 pub fn solve_row_matchings(p: &NetAlignProblem, row_weights: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let spans = RowSpans::from_rowptr(p.s.rowptr());
+    let mut d = vec![0.0f64; p.l.num_edges()];
+    let mut sl_vals = vec![0.0f64; p.s.nnz()];
+    let mut workspaces = vec![RowWorkspace::default(); spans.num_groups()];
+    solve_row_matchings_into(
+        p,
+        row_weights,
+        &spans,
+        &mut d,
+        &mut sl_vals,
+        &mut workspaces,
+    );
+    (d, sl_vals)
+}
+
+/// Allocation-free form of [`solve_row_matchings`]: `d`, `sl_vals` and
+/// one [`RowWorkspace`] per span group are caller-owned and reused
+/// across iterations. Each group's workspace warms up to the largest
+/// row subproblem it sees, after which the whole sweep runs without
+/// heap traffic.
+pub fn solve_row_matchings_into(
+    p: &NetAlignProblem,
+    row_weights: &[f64],
+    spans: &RowSpans,
+    d: &mut [f64],
+    sl_vals: &mut [f64],
+    workspaces: &mut [RowWorkspace],
+) {
     assert_eq!(row_weights.len(), p.s.nnz());
-    let m = p.l.num_edges();
+    assert_eq!(d.len(), p.l.num_edges());
+    assert_eq!(sl_vals.len(), p.s.nnz());
+    assert_eq!(workspaces.len(), spans.num_groups());
     let rowptr = p.s.rowptr();
     let colidx = p.s.colidx();
+    let row_bounds = spans.row_bounds();
+    let entry_bounds = spans.entry_bounds();
 
-    let mut sl_vals = vec![0.0f64; p.s.nnz()];
-    let mut d = vec![0.0f64; m];
-
-    // Disjoint row slices of sl_vals for safe parallel writes.
-    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(m);
-    let mut rest: &mut [f64] = &mut sl_vals;
-    for e in 0..m {
-        let (head, tail) = rest.split_at_mut(rowptr[e + 1] - rowptr[e]);
-        slices.push(head);
-        rest = tail;
-    }
-
-    d.par_iter_mut()
-        .zip(slices.par_iter_mut())
+    rayon::par_uneven_chunks_mut(d, row_bounds)
+        .zip(rayon::par_uneven_chunks_mut(sl_vals, entry_bounds))
+        .zip(workspaces.par_iter_mut())
         .enumerate()
-        .with_min_len(64)
-        .for_each_init(RowWorkspace::default, |ws, (e, (de, sl_row))| {
-            let range = rowptr[e]..rowptr[e + 1];
-            if range.is_empty() {
-                *de = 0.0;
-                return;
+        .for_each(|(g, ((d_chunk, sl_chunk), ws))| {
+            let base = entry_bounds[g];
+            let rows = row_bounds[g]..row_bounds[g + 1];
+            for (de, e) in d_chunk.iter_mut().zip(rows) {
+                let range = rowptr[e]..rowptr[e + 1];
+                if range.is_empty() {
+                    *de = 0.0;
+                    continue;
+                }
+                let sl_row = &mut sl_chunk[range.start - base..range.end - base];
+                *de = solve_one_row(p, ws, &colidx[range.clone()], &row_weights[range], sl_row);
             }
-            *de = solve_one_row(p, ws, &colidx[range.clone()], &row_weights[range], sl_row);
         });
-
-    (d, sl_vals)
 }
 
 /// Solve one row's matching with the thread-local workspace; writes the

@@ -73,13 +73,16 @@ pub fn round_heuristic_traced(
 /// `BP(batch=r)`: matchings run as independent tasks; with a parallel
 /// matcher, rayon's work-stealing provides the nested parallelism the
 /// paper gets from nested OpenMP).
-pub fn round_batch(
+pub fn round_batch<B>(
     p: &NetAlignProblem,
-    batch: &[Vec<f64>],
+    batch: &[B],
     alpha: f64,
     beta: f64,
     matcher: MatcherKind,
-) -> Vec<RoundedSolution> {
+) -> Vec<RoundedSolution>
+where
+    B: AsRef<[f64]> + Sync,
+{
     round_batch_traced(p, batch, alpha, beta, matcher, MatcherCounters::disabled())
 }
 
@@ -87,17 +90,24 @@ pub fn round_batch(
 /// shared across the batch's concurrent matchings; the accumulated
 /// totals stay deterministic because every batched matching's own
 /// counts are (see the matcher's round structure).
-pub fn round_batch_traced(
+///
+/// Generic over anything slice-like so callers can pass pooled/reused
+/// buffers (e.g. BP's pending-rounding pool) without copying the batch
+/// into a `Vec<Vec<f64>>` first.
+pub fn round_batch_traced<B>(
     p: &NetAlignProblem,
-    batch: &[Vec<f64>],
+    batch: &[B],
     alpha: f64,
     beta: f64,
     matcher: MatcherKind,
     counters: &MatcherCounters,
-) -> Vec<RoundedSolution> {
+) -> Vec<RoundedSolution>
+where
+    B: AsRef<[f64]> + Sync,
+{
     batch
         .par_iter()
-        .map(|g| round_heuristic_traced(p, g, alpha, beta, matcher, counters))
+        .map(|g| round_heuristic_traced(p, g.as_ref(), alpha, beta, matcher, counters))
         .collect()
 }
 

@@ -1,0 +1,147 @@
+//! Loop-invariant row-group decomposition of a CSR pattern.
+//!
+//! Both aligners sweep the fixed pattern of `S` row-by-row every
+//! iteration (BP's fused `F`/`d` pass and `S⁽ᵏ⁾` update, MR's row
+//! matchings and `U` update). The pattern never changes, so the
+//! partition of rows into parallel work units is computed **once per
+//! run** and reused: [`RowSpans`] groups consecutive rows so each
+//! group carries roughly the same number of stored entries (the
+//! paper's `schedule(dynamic, 1000)` balances the same way, but
+//! re-derives it every `#pragma omp for`).
+//!
+//! A group's rows and entries are both contiguous, so value arrays
+//! over the pattern (length `nnz`) and per-row arrays (length `nrows`)
+//! can be handed to [`rayon::par_uneven_chunks_mut`] as disjoint
+//! mutable chunks — row-parallel writes without per-iteration slice
+//! vectors or any other allocation.
+
+use crate::bp::CHUNK;
+
+/// A partition of CSR rows into contiguous groups balanced by entry
+/// count. Group `g` covers rows `row_bounds[g]..row_bounds[g + 1]` and
+/// entries `entry_bounds[g]..entry_bounds[g + 1]`, with
+/// `entry_bounds[g] == rowptr[row_bounds[g]]`.
+#[derive(Clone, Debug)]
+pub struct RowSpans {
+    row_bounds: Vec<usize>,
+    entry_bounds: Vec<usize>,
+}
+
+impl RowSpans {
+    /// Partition the rows of `rowptr` greedily so every group (except
+    /// possibly the last) holds at least `target_entries` entries.
+    /// Rows are never split across groups.
+    pub fn build(rowptr: &[usize], target_entries: usize) -> Self {
+        let nrows = rowptr.len() - 1;
+        let nnz = rowptr[nrows];
+        let target = target_entries.max(1);
+        let mut row_bounds = Vec::with_capacity(nnz / target + 2);
+        let mut entry_bounds = Vec::with_capacity(nnz / target + 2);
+        row_bounds.push(0);
+        entry_bounds.push(0);
+        let mut group_start_entry = 0usize;
+        for r in 0..nrows {
+            if rowptr[r + 1] - group_start_entry >= target && r + 1 < nrows {
+                row_bounds.push(r + 1);
+                entry_bounds.push(rowptr[r + 1]);
+                group_start_entry = rowptr[r + 1];
+            }
+        }
+        if *row_bounds.last().unwrap() != nrows {
+            row_bounds.push(nrows);
+            entry_bounds.push(nnz);
+        }
+        RowSpans {
+            row_bounds,
+            entry_bounds,
+        }
+    }
+
+    /// Partition with the default target: `max(CHUNK, nnz / MAX_CHUNKS)`
+    /// entries per group — at least the paper's dynamic-schedule chunk
+    /// of 1000, and never more groups than the runtime will schedule.
+    pub fn from_rowptr(rowptr: &[usize]) -> Self {
+        let nnz = rowptr[rowptr.len() - 1];
+        Self::build(rowptr, CHUNK.max(nnz.div_ceil(rayon::MAX_CHUNKS)))
+    }
+
+    /// Number of row groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.row_bounds.len() - 1
+    }
+
+    /// Row boundaries (`num_groups() + 1` entries), for chunking
+    /// per-row arrays.
+    #[inline]
+    pub fn row_bounds(&self) -> &[usize] {
+        &self.row_bounds
+    }
+
+    /// Entry boundaries (`num_groups() + 1` entries), for chunking
+    /// value arrays over the pattern.
+    #[inline]
+    pub fn entry_bounds(&self) -> &[usize] {
+        &self.entry_bounds
+    }
+
+    /// Rows of group `g`.
+    #[inline]
+    pub fn group_rows(&self, g: usize) -> std::ops::Range<usize> {
+        self.row_bounds[g]..self.row_bounds[g + 1]
+    }
+
+    /// First entry index of group `g`.
+    #[inline]
+    pub fn group_entry_base(&self, g: usize) -> usize {
+        self.entry_bounds[g]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_and_entries() {
+        // Rows with 3, 0, 5, 2, 7, 1 entries.
+        let rowptr = [0usize, 3, 3, 8, 10, 17, 18];
+        for target in [1, 2, 4, 100] {
+            let s = RowSpans::build(&rowptr, target);
+            assert_eq!(s.row_bounds()[0], 0);
+            assert_eq!(*s.row_bounds().last().unwrap(), 6);
+            assert_eq!(s.entry_bounds()[0], 0);
+            assert_eq!(*s.entry_bounds().last().unwrap(), 18);
+            for g in 0..s.num_groups() {
+                assert_eq!(s.group_entry_base(g), rowptr[s.group_rows(g).start]);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_meet_target_except_last() {
+        let rowptr: Vec<usize> = (0..=100).map(|r| 3 * r).collect();
+        let s = RowSpans::build(&rowptr, 10);
+        for g in 0..s.num_groups() - 1 {
+            let entries = s.entry_bounds()[g + 1] - s.entry_bounds()[g];
+            assert!(entries >= 10, "group {g} has {entries} entries");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_gets_one_group() {
+        let rowptr = [0usize, 0, 0, 0];
+        let s = RowSpans::build(&rowptr, 5);
+        assert_eq!(s.num_groups(), 1);
+        assert_eq!(s.group_rows(0), 0..3);
+        assert_eq!(s.entry_bounds(), &[0, 0]);
+    }
+
+    #[test]
+    fn default_target_bounds_group_count() {
+        let rowptr: Vec<usize> = (0..=10_000).map(|r| 40 * r).collect();
+        let s = RowSpans::from_rowptr(&rowptr);
+        assert!(s.num_groups() <= rayon::MAX_CHUNKS + 1);
+        assert!(s.num_groups() > 1);
+    }
+}

@@ -158,6 +158,14 @@ impl RunTrace {
         self.steps.end_iteration();
     }
 
+    /// Pre-size storage for `iterations` rows and as many rounding
+    /// batches, so the aligners' steady-state loops record without
+    /// allocating.
+    pub fn reserve_iterations(&mut self, iterations: usize) {
+        self.steps.reserve_iterations(iterations);
+        self.algo.rounding_batch_sizes.reserve(iterations);
+    }
+
     /// Accumulated time of one step.
     pub fn get(&self, step: Step) -> Duration {
         self.steps.get(step.index())

@@ -1,0 +1,154 @@
+//! Counting-allocator proof of the paper's §IV memory discipline ("no
+//! dynamic memory allocations" in the iteration): after warm-up, BP's
+//! steady-state `step()` (including staging iterates for batched
+//! rounding through the pooled buffers) and MR's numeric kernels (row
+//! matchings, multiplier update) perform **zero** heap allocations —
+//! even with the persistent worker pool running the kernels at pool
+//! size 4.
+//!
+//! The matcher and objective evaluation are exempt: they build a fresh
+//! `Matching` per rounding by design, and both aligners treat them as
+//! pluggable black boxes.
+//!
+//! A `#[global_allocator]` is binary-wide state, so this file holds a
+//! single `#[test]` and lives in its own integration-test binary.
+
+use netalign_core::bp::BpEngine;
+use netalign_core::mr::rowmatch::{solve_row_matchings_into, RowWorkspace};
+use netalign_core::mr::update_multipliers;
+use netalign_core::rowspans::RowSpans;
+use netalign_core::{AlignConfig, NetAlignProblem};
+use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Wraps the system allocator; counts allocation events while armed.
+struct CountingAllocator;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn arm() {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+}
+
+fn disarm() -> u64 {
+    TRACKING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn problem() -> NetAlignProblem {
+    let g = power_law_graph(80, 2.3, 14, 5);
+    let a = add_random_edges(&g, 0.02, 6);
+    let b = add_random_edges(&g, 0.02, 7);
+    let l = identity_plus_noise_l(80, 80, 6.0 / 80.0, 1.0, 1.0, 8);
+    NetAlignProblem::new(a, b, l)
+}
+
+#[test]
+fn steady_state_iterations_do_not_allocate() {
+    let p = problem();
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool");
+
+    pool.install(|| {
+        // ---- BP: step() + staging must be allocation-free after the
+        // staging pool warmed up (one full batch window flushed).
+        let cfg = AlignConfig {
+            iterations: 40,
+            batch: 4,
+            ..Default::default()
+        };
+        let mut engine = BpEngine::new(&p, &cfg);
+        for _ in 0..8 {
+            engine.step();
+            if engine.rounding_due() {
+                engine.round_pending();
+            }
+            engine.end_iteration();
+        }
+
+        // One full batch window in the steady state: four iterations of
+        // message updates, staging into recycled buffers, and trace
+        // rows appended into reserved storage.
+        arm();
+        for _ in 0..4 {
+            engine.step();
+            engine.end_iteration();
+        }
+        let n = disarm();
+        assert_eq!(
+            n, 0,
+            "BP steady-state step() performed {n} heap allocations"
+        );
+
+        // The deferred flush (matcher — exempt) still works afterwards.
+        engine.round_pending();
+        let result = engine.finish();
+        assert!(result.matching.cardinality() > 0);
+
+        // ---- MR: the numeric kernels between the (exempt) matcher
+        // calls — row matchings over the span decomposition and the
+        // multiplier subgradient update.
+        let nnz = p.s.nnz();
+        let m = p.l.num_edges();
+        let spans = RowSpans::from_rowptr(p.s.rowptr());
+        let mut workspaces = vec![RowWorkspace::default(); spans.num_groups()];
+        let row_w: Vec<f64> = (0..nnz)
+            .map(|i| ((i * 13) % 9) as f64 * 0.25 - 0.5)
+            .collect();
+        let mut d = vec![0.0; m];
+        let mut sl_vals = vec![0.0; nnz];
+        let mut u_vals = vec![0.0; nnz];
+        let u_old: Vec<f64> = (0..nnz).map(|i| ((i * 7) % 5) as f64 * 0.1).collect();
+        let x: Vec<f64> = (0..m).map(|e| (e % 2) as f64).collect();
+
+        // Warm-up: every workspace sees its largest row subproblem.
+        for _ in 0..2 {
+            solve_row_matchings_into(&p, &row_w, &spans, &mut d, &mut sl_vals, &mut workspaces);
+            update_multipliers(&p, &spans, &mut u_vals, &u_old, &sl_vals, &x, 0.4, 1.0);
+        }
+
+        arm();
+        solve_row_matchings_into(&p, &row_w, &spans, &mut d, &mut sl_vals, &mut workspaces);
+        update_multipliers(&p, &spans, &mut u_vals, &u_old, &sl_vals, &x, 0.4, 1.0);
+        let n = disarm();
+        assert_eq!(
+            n, 0,
+            "MR steady-state kernels performed {n} heap allocations"
+        );
+    });
+}

@@ -91,7 +91,8 @@ proptest! {
         let m = p.l.num_edges();
         let g: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
         let mut out = vec![0.0; m];
-        othermaxrow_into(&p.l, &g, &mut out, 1000);
+        let mut stats = vec![(0.0, 0.0, 0usize); p.l.num_left()];
+        othermaxrow_into(&p.l, &g, &mut out, &mut stats, 1000);
         for (a, _, e) in p.l.edge_iter() {
             // brute-force: max over siblings in the same row
             let best = p
@@ -114,7 +115,8 @@ proptest! {
         let g: Vec<f64> = (0..m).map(|_| rng.gen_range(-3.0..3.0)).collect();
         let pos = column_positions(&p.l);
         let mut out = vec![0.0; m];
-        othermaxcol_into(&p.l, &g, &pos, &mut out, 1000);
+        let mut stats = vec![(0.0, 0.0, 0usize); p.l.num_right()];
+        othermaxcol_into(&p.l, &g, &pos, &mut out, &mut stats, 1000);
         for (_, b, e) in p.l.edge_iter() {
             let best = p
                 .l

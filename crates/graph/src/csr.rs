@@ -10,6 +10,12 @@
 
 use crate::permutation::Permutation;
 use crate::VertexId;
+use rayon::prelude::*;
+
+/// Minimum elements per parallel work chunk — the same dynamic-schedule
+/// granularity as the aligner kernels (paper §IV.A,
+/// `schedule(dynamic, 1000)`).
+const PAR_CHUNK: usize = 1000;
 
 /// A sparse matrix in compressed-sparse-row format.
 ///
@@ -308,26 +314,34 @@ impl CsrMatrix {
     /// Gather values through a permutation: `out[k] = vals[perm[k]]`.
     ///
     /// Used together with [`CsrMatrix::transpose_permutation`] to read a
-    /// transpose without forming it.
+    /// transpose without forming it. Parallel over the output with the
+    /// same dynamic-schedule chunking as the aligner kernels.
     pub fn permute_vals_into(vals: &[f64], perm: &Permutation, out: &mut [f64]) {
         assert_eq!(vals.len(), perm.len());
         assert_eq!(out.len(), perm.len());
-        for (o, &p) in out.iter_mut().zip(perm.as_slice()) {
-            *o = vals[p];
-        }
+        let perm = perm.as_slice();
+        out.par_iter_mut()
+            .enumerate()
+            .with_min_len(PAR_CHUNK)
+            .for_each(|(k, o)| *o = vals[perm[k]]);
     }
 
-    /// `y = M x` (serial reference implementation).
+    /// `y = M x`, row-parallel. Each output entry is its own serial
+    /// row sum, so the result is bit-identical to the serial loop at
+    /// every pool size.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for row in 0..self.nrows {
-            let mut acc = 0.0;
-            for (c, v) in self.row_iter(row) {
-                acc += v * x[c as usize];
-            }
-            y[row] = acc;
-        }
+        y.par_iter_mut()
+            .enumerate()
+            .with_min_len(PAR_CHUNK)
+            .for_each(|(row, yr)| {
+                let mut acc = 0.0;
+                for (c, v) in self.row_iter(row) {
+                    acc += v * x[c as usize];
+                }
+                *yr = acc;
+            });
     }
 
     /// Dense representation, for tests and tiny matrices only.

@@ -83,13 +83,14 @@ pub struct HungarianBuffers {
 /// row a private 0-cost slack column to model "stay unmatched").
 ///
 /// Returns `p` (1-indexed): `p[j]` is the row assigned to column `j`,
-/// or 0 when the column is free.
-pub fn solve_dense_assignment(
+/// or 0 when the column is free. The slice borrows the scratch in
+/// `bufs` — no allocation per solve.
+pub fn solve_dense_assignment<'a>(
     cost: &[f64],
     na: usize,
     ncols: usize,
-    bufs: &mut HungarianBuffers,
-) -> Vec<usize> {
+    bufs: &'a mut HungarianBuffers,
+) -> &'a [usize] {
     assert!(na <= ncols, "need na <= ncols (pad with slack columns)");
     assert_eq!(cost.len(), na * ncols);
     bufs.u.clear();
@@ -158,7 +159,7 @@ pub fn solve_dense_assignment(
             }
         }
     }
-    p.clone()
+    p
 }
 
 #[cfg(test)]

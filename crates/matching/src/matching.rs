@@ -160,10 +160,20 @@ impl Matching {
     /// 0/1 indicator vector `x` over the global edge order of `l`.
     pub fn indicator(&self, l: &BipartiteGraph) -> Vec<f64> {
         let mut x = vec![0.0; l.num_edges()];
-        for e in self.edge_ids(l) {
+        self.indicator_into(l, &mut x);
+        x
+    }
+
+    /// Fill a caller-owned 0/1 indicator vector over the global edge
+    /// order of `l` — the allocation-free form of
+    /// [`Matching::indicator`] for preallocated iteration scratch.
+    pub fn indicator_into(&self, l: &BipartiteGraph, x: &mut [f64]) {
+        assert_eq!(x.len(), l.num_edges());
+        x.fill(0.0);
+        for (a, b) in self.pairs() {
+            let e = l.edge_id(a, b).expect("matched pair must be an edge of L");
             x[e] = 1.0;
         }
-        x
     }
 
     /// Check that every matched pair is an edge of `l` and the mate
@@ -177,9 +187,9 @@ impl Matching {
                 && ((b as usize) >= l.num_right()
                     || self.mate_of_right[b as usize] != a as VertexId
                     || !l.has_edge(a as VertexId, b))
-                {
-                    return false;
-                }
+            {
+                return false;
+            }
         }
         for (b, &a) in self.mate_of_right.iter().enumerate() {
             if a != UNMATCHED && self.mate_of_left[a as usize] != b as VertexId {

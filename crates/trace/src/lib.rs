@@ -161,7 +161,10 @@ pub struct StepTrace {
     totals: Vec<Duration>,
     current: Vec<Duration>,
     current_dirty: bool,
-    iterations: Vec<Vec<Duration>>,
+    /// Closed iteration rows, flattened with stride `names.len()`; a
+    /// flat array keeps `end_iteration` allocation-free once
+    /// [`StepTrace::reserve_iterations`] has sized it.
+    iterations: Vec<Duration>,
     record_iterations: bool,
 }
 
@@ -199,13 +202,20 @@ impl StepTrace {
         }
     }
 
+    /// Pre-size the iteration-row storage for `n` iterations, making
+    /// the next `n` [`StepTrace::end_iteration`] calls allocation-free
+    /// (the aligners' steady-state loops rely on this).
+    pub fn reserve_iterations(&mut self, n: usize) {
+        if self.record_iterations {
+            self.iterations.reserve(n * self.names.len());
+        }
+    }
+
     /// Close the current iteration row.
     pub fn end_iteration(&mut self) {
         if self.record_iterations {
-            self.iterations.push(std::mem::replace(
-                &mut self.current,
-                vec![Duration::ZERO; self.names.len()],
-            ));
+            self.iterations.extend_from_slice(&self.current);
+            self.current.fill(Duration::ZERO);
             self.current_dirty = false;
         }
     }
@@ -222,12 +232,13 @@ impl StepTrace {
 
     /// Number of closed iteration rows.
     pub fn num_iterations(&self) -> usize {
-        self.iterations.len()
+        self.iterations.len() / self.names.len()
     }
 
     /// Per-step durations of closed iteration `k`.
     pub fn iteration(&self, k: usize) -> &[Duration] {
-        &self.iterations[k]
+        let stride = self.names.len();
+        &self.iterations[k * stride..(k + 1) * stride]
     }
 
     /// Fold another trace over the same step set into this one:
@@ -244,7 +255,7 @@ impl StepTrace {
             *t += *o;
         }
         if self.record_iterations {
-            self.iterations.extend(other.iterations.iter().cloned());
+            self.iterations.extend_from_slice(&other.iterations);
         }
     }
 
@@ -280,9 +291,10 @@ impl StepTrace {
 
     /// JSON form: step names, totals (seconds), per-iteration rows.
     pub fn to_json(&self) -> Json {
-        let mut pending = self.iterations.clone();
+        let stride = self.names.len();
+        let mut pending: Vec<&[Duration]> = self.iterations.chunks(stride).collect();
         if self.current_dirty {
-            pending.push(self.current.clone());
+            pending.push(&self.current);
         }
         Json::obj(vec![
             (

@@ -56,10 +56,12 @@ fn main() {
         // overlapped edges — and bans them from L.
         let mut newly_banned = 0;
         for (va, vb) in r.matching.pairs() {
-            if planted[va as usize] != Some(vb) && planted[va as usize].is_some()
-                && banned.insert((va, vb)) {
-                    newly_banned += 1;
-                }
+            if planted[va as usize] != Some(vb)
+                && planted[va as usize].is_some()
+                && banned.insert((va, vb))
+            {
+                newly_banned += 1;
+            }
             if newly_banned >= 200 {
                 break; // a user only reviews so many pairs per round
             }

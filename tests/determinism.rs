@@ -47,10 +47,16 @@ fn bp_run_is_pool_size_invariant() {
     };
     let problem = &inst.problem;
     let r1 = with_pool(1, || belief_propagation(problem, &cfg));
-    let r4 = with_pool(4, || belief_propagation(problem, &cfg));
-    assert_eq!(r1.objective, r4.objective);
-    assert_eq!(r1.matching, r4.matching);
-    assert_eq!(r1.best_iteration, r4.best_iteration);
+    for threads in [2, 4, 8] {
+        let r = with_pool(threads, || belief_propagation(problem, &cfg));
+        assert_eq!(
+            r1.objective.to_bits(),
+            r.objective.to_bits(),
+            "pool {threads}"
+        );
+        assert_eq!(r1.matching, r.matching, "pool {threads}");
+        assert_eq!(r1.best_iteration, r.best_iteration, "pool {threads}");
+    }
 }
 
 #[test]
@@ -68,10 +74,20 @@ fn mr_run_is_pool_size_invariant() {
     };
     let problem = &inst.problem;
     let r1 = with_pool(1, || matching_relaxation(problem, &cfg));
-    let r4 = with_pool(4, || matching_relaxation(problem, &cfg));
-    assert_eq!(r1.objective, r4.objective);
-    assert_eq!(r1.upper_bound, r4.upper_bound);
-    assert_eq!(r1.matching, r4.matching);
+    for threads in [2, 4, 8] {
+        let r = with_pool(threads, || matching_relaxation(problem, &cfg));
+        assert_eq!(
+            r1.objective.to_bits(),
+            r.objective.to_bits(),
+            "pool {threads}"
+        );
+        assert_eq!(
+            r1.upper_bound.map(f64::to_bits),
+            r.upper_bound.map(f64::to_bits),
+            "pool {threads}"
+        );
+        assert_eq!(r1.matching, r.matching, "pool {threads}");
+    }
 }
 
 #[test]

@@ -1,4 +1,5 @@
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses,
+//! backed by a **persistent worker pool with dynamic chunk scheduling**.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a minimal data-parallel runtime with the same API shape:
@@ -7,24 +8,59 @@
 //! `sum`, `max`; plus `join`, `current_num_threads`, and
 //! `ThreadPoolBuilder::install` for pool-size scoping.
 //!
-//! Semantics intentionally preserved from rayon for this workspace's
-//! purposes:
+//! # Execution model
 //!
-//! - splitting is contiguous, so chunk-local state (`for_each_init`)
-//!   sees runs of adjacent indices;
-//! - `with_min_len` bounds how finely work is split;
-//! - reductions (`collect`, `sum`, `max`) combine chunk results in
-//!   chunk order, keeping them deterministic for a fixed thread count;
-//! - `current_num_threads()` inside `ThreadPool::install` reports the
-//!   pool's size, including from worker threads.
+//! Worker threads are spawned lazily, once, and then parked on a
+//! condvar between parallel regions — no per-region thread spawning.
+//! A parallel region is *published* as a job: a stack-allocated
+//! descriptor holding pre-split chunks and an atomic **chunk cursor**.
+//! The caller and any attached workers repeatedly `fetch_add` the
+//! cursor to claim the next unclaimed chunk — the direct analog of
+//! OpenMP `schedule(dynamic, CHUNK)` from the paper's §IV.A. The
+//! caller always participates, so a region completes even if every
+//! worker is busy elsewhere (this also makes nested regions
+//! deadlock-free).
 //!
-//! Work is executed on `std::thread::scope` threads, at most
-//! `current_num_threads()` chunks per call. With one chunk (or one
-//! thread) everything runs inline on the caller's thread.
+//! # Determinism contract
+//!
+//! The chunk decomposition depends only on the iterator's length and
+//! `with_min_len` — never on the pool size: a region is split into at
+//! most [`MAX_CHUNKS`] contiguous chunks of at least
+//! `max(min_len, len / MAX_CHUNKS)` items. Reductions (`collect`,
+//! `sum`, `max`, `min`) combine per-chunk results **in chunk order**.
+//! Together these make every reduction bit-identical across pool sizes
+//! (a pool of 1 executes the same chunks, inline, in order), which the
+//! aligners' determinism tests rely on.
+//!
+//! # Extensions beyond rayon's API
+//!
+//! [`par_uneven_chunks_mut`] parallelizes over *irregular* contiguous
+//! partitions of a mutable slice (e.g. CSR row groups balanced by
+//! entry count) without allocating per call — the building block for
+//! the aligners' allocation-free row-parallel updates.
+//!
+//! `NETALIGN_THREADS` (read once) overrides the default thread count
+//! the way `RAYON_NUM_THREADS` / `OMP_NUM_THREADS` would.
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
+use std::mem::MaybeUninit;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound on chunks per parallel region. Also the unit of
+/// pre-sized storage in a published job, so it must stay modest.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Most jobs that can be published (pending worker pickup) at once;
+/// regions beyond this run inline on their caller.
+const QUEUE_CAP: usize = 64;
+
+/// Hard cap on lazily-spawned persistent workers.
+const MAX_WORKERS: usize = 64;
 
 // ---------------------------------------------------------------------
 // Pool-size scoping.
@@ -35,9 +71,18 @@ thread_local! {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("NETALIGN_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Number of threads the current scope parallelizes over.
@@ -66,8 +111,9 @@ fn with_pool_size<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// A scoped thread-count configuration (rayon's pool, minus the
-/// persistent workers: threads are spawned per parallel call).
+/// A scoped thread-count configuration. Worker threads are global and
+/// persistent; the pool object only scopes how many of them a region
+/// may recruit.
 pub struct ThreadPool {
     threads: usize,
 }
@@ -103,12 +149,13 @@ impl fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// New builder with the default (machine) thread count.
+    /// New builder with the default (machine / `NETALIGN_THREADS`)
+    /// thread count.
     pub fn new() -> Self {
         Self { threads: 0 }
     }
 
-    /// Set the pool's thread count; 0 means the machine default.
+    /// Set the pool's thread count; 0 means the default.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
@@ -125,25 +172,177 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// Run two closures, potentially in parallel, returning both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    let pool = current_num_threads();
-    if pool <= 1 {
-        let ra = a();
-        let rb = b();
-        (ra, rb)
-    } else {
-        std::thread::scope(|s| {
-            let hb = s.spawn(move || with_pool_size(pool, b));
-            let ra = a();
-            (ra, hb.join().expect("rayon::join closure panicked"))
-        })
+// ---------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------
+
+const CHUNK_DONE: u8 = 1;
+const CHUNK_SKIPPED: u8 = 2;
+
+/// Type-erased scheduling state of a published region, embedded (as
+/// the first, `#[repr(C)]` field) in the concrete job struct so the
+/// executor can be recovered from a `*const JobCore`.
+struct JobCore {
+    /// Next unclaimed chunk; claimed by `fetch_add(1)`.
+    cursor: AtomicUsize,
+    /// Total chunks in this region.
+    n_chunks: usize,
+    /// Workers currently attached (excluding the publishing caller).
+    helpers: AtomicUsize,
+    /// Most workers allowed to attach (`pool - 1`).
+    max_helpers: usize,
+    /// Pool size workers adopt (for `current_num_threads` and nesting).
+    pool: usize,
+    /// Executes one claimed chunk of the concrete job.
+    exec: unsafe fn(*const JobCore, usize),
+    /// Guards the caller's wait for `helpers == 0` after unpublish.
+    done_lock: Mutex<()>,
+    done_cond: Condvar,
+}
+
+impl JobCore {
+    fn new(n_chunks: usize, pool: usize, exec: unsafe fn(*const JobCore, usize)) -> Self {
+        JobCore {
+            cursor: AtomicUsize::new(0),
+            n_chunks,
+            helpers: AtomicUsize::new(0),
+            max_helpers: (pool.saturating_sub(1)).min(n_chunks),
+            pool,
+            exec,
+            done_lock: Mutex::new(()),
+            done_cond: Condvar::new(),
+        }
+    }
+
+    /// Caller-side: after unpublishing, block until every attached
+    /// worker has detached. The worker detaches (and notifies) while
+    /// holding `done_lock`, so the job cannot be torn down while a
+    /// worker still touches it.
+    fn wait_for_helpers(&self) {
+        let mut g = self.done_lock.lock().unwrap();
+        while self.helpers.load(Ordering::Acquire) > 0 {
+            g = self.done_cond.wait(g).unwrap();
+        }
+    }
+}
+
+/// A published job pointer living in the registry queue. Only valid
+/// while the owning caller keeps it published; the publish/unpublish
+/// protocol guarantees workers never observe a dangling one.
+#[derive(Clone, Copy)]
+struct JobPtr(*const JobCore);
+unsafe impl Send for JobPtr {}
+
+struct RegistryState {
+    queue: Vec<JobPtr>,
+    spawned: usize,
+    idle: usize,
+}
+
+struct Registry {
+    state: Mutex<RegistryState>,
+    work_cond: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        state: Mutex::new(RegistryState {
+            // Reserved once; publish refuses to exceed it, so the
+            // queue never reallocates after startup.
+            queue: Vec::with_capacity(QUEUE_CAP),
+            spawned: 0,
+            idle: 0,
+        }),
+        work_cond: Condvar::new(),
+    })
+}
+
+impl Registry {
+    /// Make `core` visible to workers, waking (and lazily spawning)
+    /// enough of them to satisfy `max_helpers`. Returns false — run
+    /// inline — when the queue is full.
+    fn publish(&self, core: *const JobCore) -> bool {
+        let max_helpers = unsafe { (*core).max_helpers };
+        let to_spawn;
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.queue.len() >= QUEUE_CAP {
+                return false;
+            }
+            st.queue.push(JobPtr(core));
+            let deficit = max_helpers.saturating_sub(st.idle);
+            to_spawn = deficit.min(MAX_WORKERS.saturating_sub(st.spawned));
+            st.spawned += to_spawn;
+        }
+        for _ in 0..to_spawn {
+            let spawned = std::thread::Builder::new()
+                .name("netalign-rayon-worker".into())
+                .spawn(|| worker_loop(registry()));
+            if spawned.is_err() {
+                self.state.lock().unwrap().spawned -= 1;
+            }
+        }
+        self.work_cond.notify_all();
+        true
+    }
+
+    /// Remove `core` from the queue so no further worker can attach.
+    /// Attach (scan + helper increment) happens entirely under the
+    /// registry lock, so after this returns the set of attached
+    /// workers is fixed and [`JobCore::wait_for_helpers`] drains it.
+    fn unpublish(&self, core: *const JobCore) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(pos) = st.queue.iter().position(|jp| std::ptr::eq(jp.0, core)) {
+            st.queue.swap_remove(pos);
+        }
+    }
+}
+
+/// Body of a persistent worker: park on the registry condvar, attach
+/// to a published job with spare chunks and helper headroom, drain
+/// chunks via the cursor, detach, repeat.
+fn worker_loop(reg: &'static Registry) {
+    let mut st = reg.state.lock().unwrap();
+    loop {
+        let mut found = None;
+        for &jp in st.queue.iter() {
+            let core = unsafe { &*jp.0 };
+            if core.cursor.load(Ordering::Relaxed) < core.n_chunks
+                && core.helpers.load(Ordering::Relaxed) < core.max_helpers
+            {
+                found = Some(jp);
+                break;
+            }
+        }
+        let Some(jp) = found else {
+            st.idle += 1;
+            st = reg.work_cond.wait(st).unwrap();
+            st.idle -= 1;
+            continue;
+        };
+        let core = unsafe { &*jp.0 };
+        core.helpers.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+
+        with_pool_size(core.pool, || loop {
+            let idx = core.cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= core.n_chunks {
+                break;
+            }
+            unsafe { (core.exec)(jp.0, idx) };
+        });
+
+        {
+            // Detach while holding done_lock: the publisher can only
+            // wake (and tear the job down) after we release it, so we
+            // never touch freed job memory.
+            let _g = core.done_lock.lock().unwrap();
+            core.helpers.fetch_sub(1, Ordering::Release);
+            core.done_cond.notify_all();
+        }
+
+        st = reg.state.lock().unwrap();
     }
 }
 
@@ -212,11 +411,15 @@ pub trait ParallelIterator: Sized + Send {
     where
         F: Fn(Self::Item) + Send + Sync,
     {
-        drive(self, &|chunk: Self| {
-            for item in chunk.pi_seq() {
-                f(item);
-            }
-        });
+        drive(
+            self,
+            &|chunk: Self| {
+                for item in chunk.pi_seq() {
+                    f(item);
+                }
+            },
+            |_results| (),
+        );
     }
 
     /// Consume every item with `f`, sharing one `init()` value per
@@ -226,12 +429,16 @@ pub trait ParallelIterator: Sized + Send {
         I: Fn() -> T + Send + Sync,
         F: Fn(&mut T, Self::Item) + Send + Sync,
     {
-        drive(self, &|chunk: Self| {
-            let mut state = init();
-            for item in chunk.pi_seq() {
-                f(&mut state, item);
-            }
-        });
+        drive(
+            self,
+            &|chunk: Self| {
+                let mut state = init();
+                for item in chunk.pi_seq() {
+                    f(&mut state, item);
+                }
+            },
+            |_results| (),
+        );
     }
 
     /// Collect items in order.
@@ -239,9 +446,11 @@ pub trait ParallelIterator: Sized + Send {
     where
         C: FromParallelIterator<Self::Item>,
     {
-        C::from_chunked(drive(self, &|chunk: Self| {
-            chunk.pi_seq().collect::<Vec<_>>()
-        }))
+        C::from_chunked(drive(
+            self,
+            &|chunk: Self| chunk.pi_seq().collect::<Vec<_>>(),
+            |results| results.collect(),
+        ))
     }
 
     /// Sum the items; chunk partials combine in chunk order.
@@ -249,9 +458,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
     {
-        drive(self, &|chunk: Self| chunk.pi_seq().sum::<S>())
-            .into_iter()
-            .sum()
+        drive(self, &|chunk: Self| chunk.pi_seq().sum::<S>(), |results| {
+            results.sum()
+        })
     }
 
     /// Largest item, or `None` when empty.
@@ -259,10 +468,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         Self::Item: Ord,
     {
-        drive(self, &|chunk: Self| chunk.pi_seq().max())
-            .into_iter()
-            .flatten()
-            .max()
+        drive(self, &|chunk: Self| chunk.pi_seq().max(), |results| {
+            results.flatten().max()
+        })
     }
 
     /// Smallest item, or `None` when empty.
@@ -270,10 +478,9 @@ pub trait ParallelIterator: Sized + Send {
     where
         Self::Item: Ord,
     {
-        drive(self, &|chunk: Self| chunk.pi_seq().min())
-            .into_iter()
-            .flatten()
-            .min()
+        drive(self, &|chunk: Self| chunk.pi_seq().min(), |results| {
+            results.flatten().min()
+        })
     }
 
     /// Number of items.
@@ -302,44 +509,254 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
-/// Split `p` into at most `current_num_threads()` contiguous chunks
-/// (respecting `pi_min_len`) and run `work` on each, returning the
-/// per-chunk results in chunk order. One chunk runs inline.
-fn drive<P, R, W>(p: P, work: &W) -> Vec<R>
+// ---------------------------------------------------------------------
+// The region driver.
+// ---------------------------------------------------------------------
+
+/// Per-chunk results of a region, yielded in chunk order. Dropping it
+/// releases any results the consumer didn't take (panic unwinding).
+enum ChunkResults<'a, R> {
+    Single(Option<R>),
+    Many {
+        slots: &'a [UnsafeCell<MaybeUninit<R>>],
+        status: &'a [AtomicU8],
+        next: usize,
+    },
+}
+
+impl<R> Iterator for ChunkResults<'_, R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        match self {
+            ChunkResults::Single(r) => r.take(),
+            ChunkResults::Many {
+                slots,
+                status,
+                next,
+            } => {
+                while *next < slots.len() {
+                    let i = *next;
+                    *next += 1;
+                    if status[i].load(Ordering::Acquire) == CHUNK_DONE {
+                        // Completed chunks initialized their slot; the
+                        // cursor ensures each is read exactly once.
+                        return Some(unsafe { (*slots[i].get()).assume_init_read() });
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl<R> Drop for ChunkResults<'_, R> {
+    fn drop(&mut self) {
+        for _ in &mut *self {}
+    }
+}
+
+/// A published region: scheduling core plus pre-split chunk inputs,
+/// per-chunk result slots, and panic state. Lives on the publishing
+/// caller's stack; `#[repr(C)]` with `core` first so the type-erased
+/// executor can recover it from a `*const JobCore`.
+#[repr(C)]
+struct Job<P, R, W> {
+    core: JobCore,
+    work: *const W,
+    parts: [UnsafeCell<MaybeUninit<P>>; MAX_CHUNKS],
+    results: [UnsafeCell<MaybeUninit<R>>; MAX_CHUNKS],
+    status: [AtomicU8; MAX_CHUNKS],
+    panicked: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Run chunk `idx` of the job behind `core`. The cursor guarantees
+/// each index is passed here exactly once, so taking the part out of
+/// its slot and writing the result are unsynchronized single-owner
+/// moves. Panics are caught and recorded; later chunks short-circuit.
+unsafe fn exec_chunk<P, R, W>(core: *const JobCore, idx: usize)
 where
     P: ParallelIterator,
     R: Send,
     W: Fn(P) -> R + Sync,
 {
+    let job = &*(core as *const Job<P, R, W>);
+    let part = (*job.parts[idx].get()).assume_init_read();
+    if job.panicked.load(Ordering::Relaxed) {
+        drop(part);
+        job.status[idx].store(CHUNK_SKIPPED, Ordering::Release);
+        return;
+    }
+    let work = &*job.work;
+    match catch_unwind(AssertUnwindSafe(|| work(part))) {
+        Ok(r) => {
+            (*job.results[idx].get()).write(r);
+            job.status[idx].store(CHUNK_DONE, Ordering::Release);
+        }
+        Err(p) => {
+            job.panicked.store(true, Ordering::Relaxed);
+            let mut slot = job.payload.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+            drop(slot);
+            job.status[idx].store(CHUNK_SKIPPED, Ordering::Release);
+        }
+    }
+}
+
+/// Split `p` into a pool-size-independent chunk decomposition, execute
+/// the chunks on the caller plus any recruited workers, and hand the
+/// per-chunk results (in chunk order) to `finish`.
+fn drive<P, R, T, W, F>(p: P, work: &W, finish: F) -> T
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(P) -> R + Sync,
+    F: FnOnce(&mut ChunkResults<'_, R>) -> T,
+{
     let len = p.pi_len();
     let min = p.pi_min_len().max(1);
-    let threads = current_num_threads().max(1);
-    let chunks = len.div_ceil(min).clamp(1, threads);
-    if chunks == 1 {
-        return vec![work(p)];
+    // Deterministic decomposition: depends on (len, min) only.
+    let target = min.max(len.div_ceil(MAX_CHUNKS));
+    let n_chunks = len.div_ceil(target).max(1);
+    if n_chunks == 1 {
+        return finish(&mut ChunkResults::Single(Some(work(p))));
     }
-    let mut parts = Vec::with_capacity(chunks);
+
+    let pool = current_num_threads().max(1);
+    let job: Job<P, R, W> = Job {
+        core: JobCore::new(n_chunks, pool, exec_chunk::<P, R, W>),
+        work,
+        parts: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+        results: std::array::from_fn(|_| UnsafeCell::new(MaybeUninit::uninit())),
+        status: std::array::from_fn(|_| AtomicU8::new(0)),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+    };
+
+    // Balanced split with the same boundaries at every pool size.
     let mut rest = p;
     let mut remaining = len;
-    for i in 0..chunks - 1 {
-        let take = remaining.div_ceil(chunks - i);
+    for i in 0..n_chunks - 1 {
+        let take = remaining.div_ceil(n_chunks - i);
         let (head, tail) = rest.pi_split_at(take);
-        parts.push(head);
+        unsafe { (*job.parts[i].get()).write(head) };
         rest = tail;
         remaining -= take;
     }
-    parts.push(rest);
-    let pool = threads;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| s.spawn(move || with_pool_size(pool, || work(part))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon worker panicked"))
-            .collect()
-    })
+    unsafe { (*job.parts[n_chunks - 1].get()).write(rest) };
+
+    let core_ptr: *const JobCore = &job.core;
+    let published = job.core.max_helpers > 0 && registry().publish(core_ptr);
+
+    // The caller always participates until the cursor is exhausted —
+    // progress never depends on a worker being free.
+    loop {
+        let idx = job.core.cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= n_chunks {
+            break;
+        }
+        unsafe { exec_chunk::<P, R, W>(core_ptr, idx) };
+    }
+
+    if published {
+        registry().unpublish(core_ptr);
+        job.core.wait_for_helpers();
+    }
+
+    if job.panicked.load(Ordering::Relaxed) {
+        // Free surviving chunk results, then propagate the first panic.
+        drop(ChunkResults::Many {
+            slots: &job.results[..n_chunks],
+            status: &job.status[..n_chunks],
+            next: 0,
+        });
+        let payload = job.payload.lock().unwrap().take();
+        resume_unwind(payload.unwrap_or_else(|| Box::new("netalign rayon worker panicked")));
+    }
+
+    let mut results = ChunkResults::Many {
+        slots: &job.results[..n_chunks],
+        status: &job.status[..n_chunks],
+        next: 0,
+    };
+    finish(&mut results)
+}
+
+// ---------------------------------------------------------------------
+// join.
+// ---------------------------------------------------------------------
+
+/// A one-chunk job running `join`'s second closure, published so a
+/// parked worker can steal it while the caller runs the first.
+#[repr(C)]
+struct JoinJob<B, RB> {
+    core: JobCore,
+    b: UnsafeCell<Option<B>>,
+    rb: UnsafeCell<Option<RB>>,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+unsafe fn exec_join<B, RB>(core: *const JobCore, _idx: usize)
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let job = &*(core as *const JoinJob<B, RB>);
+    let f = (*job.b.get()).take().expect("join chunk claimed twice");
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => *job.rb.get() = Some(r),
+        Err(p) => *job.payload.lock().unwrap() = Some(p),
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = current_num_threads();
+    if pool <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+
+    let job: JoinJob<B, RB> = JoinJob {
+        core: JobCore::new(1, pool, exec_join::<B, RB>),
+        b: UnsafeCell::new(Some(b)),
+        rb: UnsafeCell::new(None),
+        payload: Mutex::new(None),
+    };
+    let core_ptr: *const JobCore = &job.core;
+    let published = registry().publish(core_ptr);
+
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    // Claim `b` ourselves if no worker got to it first.
+    if job.core.cursor.fetch_add(1, Ordering::Relaxed) == 0 {
+        unsafe { exec_join::<B, RB>(core_ptr, 0) };
+    }
+    if published {
+        registry().unpublish(core_ptr);
+        job.core.wait_for_helpers();
+    }
+
+    match ra {
+        Err(p) => resume_unwind(p),
+        Ok(ra) => {
+            if let Some(p) = job.payload.lock().unwrap().take() {
+                resume_unwind(p);
+            }
+            let rb = unsafe { (*job.rb.get()).take() }.expect("join closure lost its result");
+            (ra, rb)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -475,6 +892,90 @@ macro_rules! range_impl {
 }
 
 range_impl!(u32, u64, usize, i32, i64);
+
+// ---------------------------------------------------------------------
+// Uneven chunk parallelism (extension).
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over an **irregular** contiguous partition of a
+/// mutable slice: item `i` is `&mut slice[bounds[i] - bounds[0] ..
+/// bounds[i + 1] - bounds[0]]`. `bounds` must be non-decreasing and
+/// span exactly `slice.len()`; build it once (e.g. CSR row groups
+/// balanced by entry count) and reuse it every iteration — iterating
+/// allocates nothing.
+pub fn par_uneven_chunks_mut<'a, T: Send>(
+    slice: &'a mut [T],
+    bounds: &'a [usize],
+) -> UnevenChunksMut<'a, T> {
+    assert!(!bounds.is_empty(), "bounds needs at least one boundary");
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "bounds must be non-decreasing"
+    );
+    assert_eq!(
+        bounds[bounds.len() - 1] - bounds[0],
+        slice.len(),
+        "bounds must span the slice exactly"
+    );
+    UnevenChunksMut { slice, bounds }
+}
+
+/// See [`par_uneven_chunks_mut`].
+pub struct UnevenChunksMut<'a, T> {
+    slice: &'a mut [T],
+    bounds: &'a [usize],
+}
+
+impl<'a, T: Send> ParallelIterator for UnevenChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = UnevenSeqMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.bounds[index] - self.bounds[0];
+        let (left, right) = self.slice.split_at_mut(mid);
+        (
+            UnevenChunksMut {
+                slice: left,
+                bounds: &self.bounds[..=index],
+            },
+            UnevenChunksMut {
+                slice: right,
+                bounds: &self.bounds[index..],
+            },
+        )
+    }
+    fn pi_seq(self) -> Self::Seq {
+        UnevenSeqMut {
+            slice: self.slice,
+            bounds: self.bounds,
+        }
+    }
+}
+
+/// Sequential side of [`UnevenChunksMut`].
+pub struct UnevenSeqMut<'a, T> {
+    slice: &'a mut [T],
+    bounds: &'a [usize],
+}
+
+impl<'a, T> Iterator for UnevenSeqMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn next(&mut self) -> Option<&'a mut [T]> {
+        if self.bounds.len() < 2 {
+            return None;
+        }
+        let width = self.bounds[1] - self.bounds[0];
+        let taken = std::mem::take(&mut self.slice);
+        let (head, tail) = taken.split_at_mut(width);
+        self.slice = tail;
+        self.bounds = &self.bounds[1..];
+        Some(head)
+    }
+}
 
 // ---------------------------------------------------------------------
 // Adaptors.
@@ -631,6 +1132,13 @@ pub mod iter {
 mod tests {
     use crate::prelude::*;
 
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn map_collect_preserves_order() {
         let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
@@ -653,11 +1161,7 @@ mod tests {
 
     #[test]
     fn install_scopes_thread_count() {
-        let pool = crate::ThreadPoolBuilder::new()
-            .num_threads(3)
-            .build()
-            .unwrap();
-        let seen = pool.install(|| {
+        let seen = pool(3).install(|| {
             (0..100usize)
                 .into_par_iter()
                 .map(|_| crate::current_num_threads())
@@ -680,5 +1184,135 @@ mod tests {
         let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn sum_bit_identical_across_pool_sizes() {
+        // f64 addition is not associative; the decomposition (and so
+        // the reduction tree) must not depend on the pool size.
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 37) % 1001) as f64 * 1.0e-3 + 1.0e-9)
+            .collect();
+        let reference: f64 = pool(1).install(|| xs.par_iter().map(|&x| x * 1.25).sum());
+        for t in [2, 4, 8] {
+            let s: f64 = pool(t).install(|| xs.par_iter().map(|&x| x * 1.25).sum());
+            assert_eq!(s.to_bits(), reference.to_bits(), "pool size {t}");
+        }
+    }
+
+    #[test]
+    fn nested_join_inside_parallel_region() {
+        let out: Vec<u64> = pool(4).install(|| {
+            (0u64..256)
+                .into_par_iter()
+                .map(|i| {
+                    let (a, b) = crate::join(|| i * 2, || i * 3);
+                    a + b
+                })
+                .collect()
+        });
+        assert_eq!(out, (0u64..256).map(|i| i * 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_region_inside_parallel_region() {
+        let total: u64 = pool(4).install(|| {
+            (0u64..64)
+                .into_par_iter()
+                .map(|i| (0u64..100).into_par_iter().map(|j| i + j).sum::<u64>())
+                .sum()
+        });
+        let expect: u64 = (0u64..64)
+            .map(|i| (0u64..100).map(|j| i + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn worker_pool_reports_install_size() {
+        // current_num_threads must hold on worker threads too.
+        for t in [2, 5] {
+            let seen: Vec<usize> = pool(t).install(|| {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .map(|_| crate::current_num_threads())
+                    .collect()
+            });
+            assert!(seen.iter().all(|&s| s == t), "pool size {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 77 exploded")]
+    fn worker_panic_propagates() {
+        pool(4).install(|| {
+            (0..100_000usize).into_par_iter().for_each(|i| {
+                if i == 77_777 {
+                    panic!("chunk 77 exploded");
+                }
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "b went bad")]
+    fn join_panic_propagates() {
+        pool(4).install(|| {
+            crate::join(|| 1, || -> usize { panic!("b went bad") });
+        });
+    }
+
+    #[test]
+    fn uneven_chunks_visit_each_group_once() {
+        let mut data = vec![0u64; 1000];
+        // Irregular group widths: 1, 3, 5, ... (cut off to span 1000).
+        let mut bounds = vec![0usize];
+        let mut w = 1;
+        while *bounds.last().unwrap() < 1000 {
+            let next = (bounds.last().unwrap() + w).min(1000);
+            bounds.push(next);
+            w += 2;
+        }
+        pool(4).install(|| {
+            crate::par_uneven_chunks_mut(&mut data, &bounds)
+                .enumerate()
+                .for_each(|(g, chunk)| {
+                    for x in chunk.iter_mut() {
+                        *x += 1 + g as u64 * 1000;
+                    }
+                });
+        });
+        // Every element written exactly once, with its group's tag.
+        for (g, w) in bounds.windows(2).enumerate() {
+            for (i, x) in data.iter().enumerate().take(w[1]).skip(w[0]) {
+                assert_eq!(*x, 1 + g as u64 * 1000, "element {i} group {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_chunks_allow_empty_groups() {
+        let mut data = vec![1u64; 10];
+        let bounds = [0, 0, 4, 4, 10, 10];
+        let sums: Vec<u64> = pool(2).install(|| {
+            crate::par_uneven_chunks_mut(&mut data, &bounds)
+                .map(|chunk| chunk.iter().sum::<u64>())
+                .collect()
+        });
+        assert_eq!(sums, vec![0, 4, 0, 6, 0]);
+    }
+
+    #[test]
+    fn results_identical_with_queue_pressure() {
+        // Many concurrent regions from nested parallelism must not
+        // corrupt results even when the publish queue fills up.
+        let expect: u64 = (0u64..5000).sum();
+        let outer: Vec<u64> = pool(8).install(|| {
+            (0u64..32)
+                .into_par_iter()
+                .map(|_| (0u64..5000).into_par_iter().sum::<u64>())
+                .collect()
+        });
+        assert!(outer.iter().all(|&s| s == expect));
     }
 }

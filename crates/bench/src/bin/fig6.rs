@@ -4,12 +4,17 @@
 //! count — the paper reports row-match ≈ 40% and match ≈ 40% at
 //! 40 threads, making the matching the scalability limiter.
 //!
-//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, and `--json
-//! PATH` to also write the machine-readable report (per-thread-count
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, `--json PATH`
+//! to also write the machine-readable report (per-thread-count
 //! per-step seconds plus the matcher counters; schema in
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md), `--checkpoint DIR` to snapshot each run into
+//! `DIR/t{n}` (a rerun of the same command auto-resumes), and
+//! `--resume PATH` to resume from an explicit snapshot tree.
 
-use netalign_bench::{run_with_threads, table::f, thread_sweep, Args, Table};
+use netalign_bench::{
+    harness_for_run, run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args,
+    Table,
+};
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
 use netalign_data::standins::StandIn;
@@ -30,6 +35,8 @@ fn main() {
     let seed = args.u64("seed", 11);
     let threads = args.usize_list("threads", thread_sweep());
     let json_path = args.string("json", "");
+    let checkpoint = args.string("checkpoint", "");
+    let resume = args.string("resume", "");
 
     let inst = StandIn::LcshWiki.generate(scale, seed);
     eprintln!(
@@ -49,7 +56,16 @@ fn main() {
             ..Default::default()
         };
         let problem = &inst.problem;
-        let trace = run_with_threads(nt, || matching_relaxation(problem, &cfg).trace);
+        let harness = harness_for_run(&checkpoint, &resume, &format!("t{nt}"));
+        let trace = run_with_threads(nt, || match &harness {
+            None => Ok(matching_relaxation(problem, &cfg)),
+            Some(h) => h.run_mr(problem, &cfg),
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: checkpoint/resume failed at threads={nt}: {e}");
+            std::process::exit(1);
+        })
+        .trace;
         let secs: Vec<f64> = MR_STEPS
             .iter()
             .map(|s| trace.get(*s).as_secs_f64())
@@ -96,7 +112,6 @@ fn main() {
             ("seed", Json::U64(seed)),
             ("runs", Json::Arr(runs)),
         ]);
-        std::fs::write(&json_path, report.render_line()).expect("write --json report");
-        eprintln!("wrote JSON report to {json_path}");
+        write_json_report_or_exit(&json_path, &report);
     }
 }

@@ -3,12 +3,17 @@
 //! matching). The paper reports othermax ≈ 15%, matching ≈ 58% and
 //! damping ≈ 12% at 40 threads, with damping the limiting step.
 //!
-//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, `--batch`, and
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, `--batch`,
 //! `--json PATH` to also write the machine-readable report
 //! (per-thread-count per-step seconds plus the matcher counters;
-//! schema in EXPERIMENTS.md).
+//! schema in EXPERIMENTS.md), `--checkpoint DIR` to snapshot each run
+//! into `DIR/t{n}` (a rerun of the same command auto-resumes), and
+//! `--resume PATH` to resume from an explicit snapshot tree.
 
-use netalign_bench::{run_with_threads, table::f, thread_sweep, Args, Table};
+use netalign_bench::{
+    harness_for_run, run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args,
+    Table,
+};
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
 use netalign_data::standins::StandIn;
@@ -31,6 +36,8 @@ fn main() {
     let batch = args.usize("batch", 20);
     let threads = args.usize_list("threads", thread_sweep());
     let json_path = args.string("json", "");
+    let checkpoint = args.string("checkpoint", "");
+    let resume = args.string("resume", "");
 
     let inst = StandIn::LcshWiki.generate(scale, seed);
     eprintln!(
@@ -51,7 +58,16 @@ fn main() {
             ..Default::default()
         };
         let problem = &inst.problem;
-        let trace = run_with_threads(nt, || belief_propagation(problem, &cfg).trace);
+        let harness = harness_for_run(&checkpoint, &resume, &format!("t{nt}"));
+        let trace = run_with_threads(nt, || match &harness {
+            None => Ok(belief_propagation(problem, &cfg)),
+            Some(h) => h.run_bp(problem, &cfg),
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: checkpoint/resume failed at threads={nt}: {e}");
+            std::process::exit(1);
+        })
+        .trace;
         let secs: Vec<f64> = BP_STEPS
             .iter()
             .map(|s| trace.get(*s).as_secs_f64())
@@ -98,7 +114,6 @@ fn main() {
             ("batch", Json::U64(batch as u64)),
             ("runs", Json::Arr(runs)),
         ]);
-        std::fs::write(&json_path, report.render_line()).expect("write --json report");
-        eprintln!("wrote JSON report to {json_path}");
+        write_json_report_or_exit(&json_path, &report);
     }
 }

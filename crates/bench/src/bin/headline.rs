@@ -12,11 +12,17 @@
 //! and reports the wall-clock ratio plus the objective gap.
 //!
 //! Flags: `--scale`, `--iters`, `--seed`, `--threads` (max pool size),
-//! and `--json PATH` to also write the machine-readable report (one
-//! full [`AlignmentResult::report_json`] per configuration; schema in
-//! EXPERIMENTS.md).
+//! `--json PATH` to also write the machine-readable report (one full
+//! [`AlignmentResult::report_json`] per configuration; schema in
+//! EXPERIMENTS.md), `--checkpoint DIR` to snapshot each configuration
+//! into its own `DIR/<slug>` subdirectory (a rerun of the same command
+//! auto-resumes), and `--resume PATH` to resume from an explicit
+//! snapshot tree.
 
-use netalign_bench::{available_threads, run_with_threads, table::f, Args, Table};
+use netalign_bench::{
+    available_threads, harness_for_run, run_with_threads, table::f, write_json_report_or_exit,
+    Args, Table,
+};
 use netalign_core::prelude::*;
 use netalign_core::trace::Json;
 use netalign_data::standins::StandIn;
@@ -30,6 +36,8 @@ fn main() {
     let seed = args.u64("seed", 11);
     let max_threads = args.usize("threads", available_threads());
     let json_path = args.string("json", "");
+    let checkpoint = args.string("checkpoint", "");
+    let resume = args.string("resume", "");
 
     let inst = StandIn::LcshWiki.generate(scale, seed);
     eprintln!(
@@ -38,10 +46,16 @@ fn main() {
     );
 
     let runs = [
-        ("BP exact, 1 thread", MatcherKind::Exact, 1usize),
-        ("BP approx, 1 thread", MatcherKind::ParallelLocalDominant, 1),
+        ("BP exact, 1 thread", "exact-t1", MatcherKind::Exact, 1usize),
+        (
+            "BP approx, 1 thread",
+            "approx-t1",
+            MatcherKind::ParallelLocalDominant,
+            1,
+        ),
         (
             "BP approx, max threads",
+            "approx-tmax",
             MatcherKind::ParallelLocalDominant,
             max_threads,
         ),
@@ -51,7 +65,7 @@ fn main() {
     let mut t = Table::new(&["configuration", "threads", "seconds", "objective"]);
     let mut results = Vec::new();
     let mut reports = Vec::new();
-    for (name, matcher, nt) in runs {
+    for (name, slug, matcher, nt) in runs {
         let cfg = AlignConfig {
             iterations: iters,
             batch: 20,
@@ -60,10 +74,18 @@ fn main() {
             ..Default::default()
         };
         let problem = &inst.problem;
+        let harness = harness_for_run(&checkpoint, &resume, slug);
         let (secs, r) = run_with_threads(nt, || {
             let start = Instant::now();
-            let r = belief_propagation(problem, &cfg);
+            let r = match &harness {
+                None => Ok(belief_propagation(problem, &cfg)),
+                Some(h) => h.run_bp(problem, &cfg),
+            };
             (start.elapsed().as_secs_f64(), r)
+        });
+        let r = r.unwrap_or_else(|e| {
+            eprintln!("error: checkpoint/resume failed for '{name}': {e}");
+            std::process::exit(1);
         });
         eprintln!("{name}: {secs:.2}s, objective {:.1}", r.objective);
         t.row(&[
@@ -104,7 +126,6 @@ fn main() {
             ("speedup", Json::F64(t_exact / t_par)),
             ("runs", Json::Arr(reports)),
         ]);
-        std::fs::write(&json_path, report.render_line()).expect("write --json report");
-        eprintln!("wrote JSON report to {json_path}");
+        write_json_report_or_exit(&json_path, &report);
     }
 }

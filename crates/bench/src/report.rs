@@ -1,0 +1,154 @@
+//! Report output and fault-tolerance plumbing shared by the experiment
+//! binaries: graceful JSON-report writing (parent directories created,
+//! typed errors instead of panics) and `--checkpoint` / `--resume`
+//! flag resolution into a [`RunHarness`].
+
+use netalign_core::harness::RunHarness;
+use netalign_core::trace::Json;
+use std::path::{Path, PathBuf};
+
+/// Why a report could not be written.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Creating a parent directory of the report path failed.
+    CreateDir {
+        /// The directory we tried to create.
+        dir: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// Writing the report file itself failed.
+    Write {
+        /// The report path.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::CreateDir { dir, source } => {
+                write!(
+                    fm,
+                    "cannot create report directory {}: {source}",
+                    dir.display()
+                )
+            }
+            ReportError::Write { path, source } => {
+                write!(fm, "cannot write report {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReportError::CreateDir { source, .. } | ReportError::Write { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+/// Write a JSON report to `path`, creating missing parent directories.
+pub fn write_json_report(path: impl AsRef<Path>, report: &Json) -> Result<(), ReportError> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|source| ReportError::CreateDir {
+                dir: dir.to_path_buf(),
+                source,
+            })?;
+        }
+    }
+    std::fs::write(path, report.render_line()).map_err(|source| ReportError::Write {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Binary-friendly wrapper: report the error on stderr and exit(1)
+/// instead of panicking with a backtrace.
+pub fn write_json_report_or_exit(path: impl AsRef<Path>, report: &Json) {
+    let path = path.as_ref();
+    if let Err(e) = write_json_report(path, report) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote JSON report to {}", path.display());
+}
+
+/// Resolve `--checkpoint DIR` / `--resume PATH` flag values (empty
+/// string = absent) into a [`RunHarness`] for one named run of a sweep
+/// binary. Each run snapshots into its own subdirectory `DIR/<sub>` so
+/// that e.g. different thread counts of a sweep never collide.
+///
+/// With only `--checkpoint`, a rerun auto-resumes from its own
+/// directory (newest valid snapshot; fresh start when none exists
+/// yet), so killing and relaunching the same command continues the
+/// run. An explicit `--resume` overrides the source (also
+/// `<sub>`-suffixed) and must then hold a loadable snapshot directory
+/// or file.
+pub fn harness_for_run(checkpoint: &str, resume: &str, sub: &str) -> Option<RunHarness> {
+    if checkpoint.is_empty() && resume.is_empty() {
+        return None;
+    }
+    let mut h = RunHarness::new();
+    if !checkpoint.is_empty() {
+        let dir = Path::new(checkpoint).join(sub);
+        if resume.is_empty() && dir.is_dir() {
+            h = h.with_resume_from(&dir);
+        }
+        h = h.with_checkpoint_dir(dir);
+    }
+    if !resume.is_empty() {
+        h = h.with_resume_from(Path::new(resume).join(sub));
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("netalign-report-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = scratch("nested");
+        let path = dir.join("deep/out.json");
+        write_json_report(&path, &Json::obj(vec![("ok", Json::Bool(true))])).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"ok\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_target_is_a_typed_error() {
+        let dir = scratch("blocked");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        // A directory at the report path makes the final write fail.
+        let path = dir.join("report.json");
+        std::fs::create_dir_all(&path).expect("blocking dir");
+        let err = write_json_report(&path, &Json::Null).expect_err("must fail");
+        assert!(matches!(err, ReportError::Write { .. }));
+        assert!(err.to_string().contains("cannot write report"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn harness_flags_resolve_to_subdirectories() {
+        assert!(harness_for_run("", "", "t4").is_none());
+        assert!(harness_for_run("ckpts", "", "t4").is_some());
+        assert!(harness_for_run("", "ckpts", "t4").is_some());
+        assert!(harness_for_run("ckpts", "elsewhere", "t4").is_some());
+    }
+}

@@ -423,6 +423,8 @@ pub fn distributed_belief_propagation(
         }
     }
 
+    // Invariant: iterations >= 1 is enforced by AlignConfig::validate
+    // and every final iteration rounds, so `best` is always populated.
     let (_, best_g, best_iter) = best.expect("at least one rounding happened");
     let matching = distributed_local_dominant(&p.l, &best_g, nranks);
     let value = evaluate_matching(p, &matching, alpha, beta);

@@ -35,6 +35,7 @@
 pub mod distributed;
 pub mod othermax;
 
+use crate::checkpoint::BpState;
 use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
@@ -42,7 +43,7 @@ use crate::result::{AlignmentResult, IterationRecord};
 use crate::rounding::{round_batch_traced, round_heuristic};
 use crate::rowspans::RowSpans;
 use crate::squares::SquaresMatrix;
-use crate::trace::{MatcherCounters, RunTrace, Step};
+use crate::trace::{faults, MatcherCounters, RunTrace, Step};
 use netalign_matching::MatcherKind;
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
 use rayon::par_uneven_chunks_mut;
@@ -52,6 +53,27 @@ use std::time::Instant;
 /// Work-chunk size for the dynamic-scheduling analog of the paper's
 /// OpenMP `schedule(dynamic, 1000)` (§IV.A).
 pub(crate) const CHUNK: usize = 1000;
+
+/// Register the fault-injection chunk hook with the runtime exactly
+/// once per process. The hook is a no-op unless a fault plan arms it,
+/// so unconditional installation costs one function-pointer load per
+/// chunk claim.
+pub(crate) fn install_fault_hook() {
+    static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        rayon::set_chunk_fault_hook(Some(faults::chunk_claim_tick));
+    });
+}
+
+/// True iff every element of `v` is finite — the guard-rail read pass,
+/// parallel over the same chunk decomposition as the kernels.
+pub(crate) fn all_finite(v: &[f64]) -> bool {
+    v.par_iter()
+        .with_min_len(CHUNK)
+        .map(|&x| if x.is_finite() { 0u64 } else { 1 })
+        .sum::<u64>()
+        == 0
+}
 
 /// Run belief propagation on `problem` with `config`.
 ///
@@ -79,6 +101,10 @@ pub struct BpEngine<'a> {
     config: &'a AlignConfig,
     /// Iterations completed so far (`step` increments first).
     k: usize,
+    /// Engine-local damping base: starts at `config.gamma`, halved by
+    /// each numeric recovery (so a rolled-back run re-approaches the
+    /// fixed point more conservatively).
+    gamma: f64,
     // Iterate state: y/z messages over E_L, S^(k) values over the
     // pattern, plus the derived d, F and othermax scratch.
     y: Vec<f64>,
@@ -88,6 +114,13 @@ pub struct BpEngine<'a> {
     d: Vec<f64>,
     sk: Vec<f64>,
     sk_prev: Vec<f64>,
+    // Last verified-finite damped iterate (the rollback target of the
+    // numeric guard); empty when guards are off. Zeros initially — the
+    // zero iterate is BP's own starting point, so a first-iteration
+    // rollback is well defined.
+    safe_y: Vec<f64>,
+    safe_z: Vec<f64>,
+    safe_sk: Vec<f64>,
     fv: Vec<f64>,
     omr: Vec<f64>,
     omc: Vec<f64>,
@@ -114,8 +147,10 @@ impl<'a> BpEngine<'a> {
     /// Allocate all run state for `problem` under `config`.
     pub fn new(p: &'a NetAlignProblem, config: &'a AlignConfig) -> Self {
         config.validate();
+        install_fault_hook();
         let m = p.l.num_edges();
         let nnz = p.s.nnz();
+        let guards = config.numeric_guards;
         let mut trace = RunTrace::new();
         trace.reserve_iterations(config.iterations);
         let batch_cap = config.batch.max(1) * 2 + 2;
@@ -123,6 +158,7 @@ impl<'a> BpEngine<'a> {
             p,
             config,
             k: 0,
+            gamma: config.gamma,
             y: vec![0.0; m],
             z: vec![0.0; m],
             y_prev: vec![0.0; m],
@@ -130,6 +166,9 @@ impl<'a> BpEngine<'a> {
             d: vec![0.0; m],
             sk: vec![0.0; nnz],
             sk_prev: vec![0.0; nnz],
+            safe_y: vec![0.0; if guards { m } else { 0 }],
+            safe_z: vec![0.0; if guards { m } else { 0 }],
+            safe_sk: vec![0.0; if guards { nnz } else { 0 }],
             fv: vec![0.0; nnz],
             omr: vec![0.0; m],
             omc: vec![0.0; m],
@@ -163,9 +202,12 @@ impl<'a> BpEngine<'a> {
     pub fn step(&mut self) {
         self.k += 1;
         let k = self.k;
+        if faults::active() {
+            faults::panic_point("bp.step", k as u64);
+        }
         let p = self.p;
-        let (alpha, beta, gamma) = (self.config.alpha, self.config.beta, self.config.gamma);
-        let gk = self.config.damping.fresh_weight(gamma, k);
+        let (alpha, beta) = (self.config.alpha, self.config.beta);
+        let gk = self.config.damping.fresh_weight(self.gamma, k);
         let w = p.l.weights();
         let rowptr = p.s.rowptr();
         let m = p.l.num_edges();
@@ -246,6 +288,38 @@ impl<'a> BpEngine<'a> {
         damp(&mut self.sk, &mut self.sk_prev, gk);
         self.trace.add(Step::Damping, t0.elapsed());
 
+        if faults::active() && faults::nan_due("bp.damping", k as u64) {
+            self.y[0] = f64::NAN;
+        }
+
+        // Guard rail: verify the damped iterate is finite before it can
+        // poison the `γᵏ` interpolation of every later iteration. On
+        // failure, roll back to the last finite iterate and halve the
+        // damping base.
+        if self.config.numeric_guards {
+            let t0 = Instant::now();
+            let finite = all_finite(&self.y) && all_finite(&self.z) && all_finite(&self.sk);
+            if finite {
+                self.safe_y.copy_from_slice(&self.y);
+                self.safe_z.copy_from_slice(&self.z);
+                self.safe_sk.copy_from_slice(&self.sk);
+                self.trace.add(Step::Guard, t0.elapsed());
+            } else {
+                self.y.copy_from_slice(&self.safe_y);
+                self.y_prev.copy_from_slice(&self.safe_y);
+                self.z.copy_from_slice(&self.safe_z);
+                self.z_prev.copy_from_slice(&self.safe_z);
+                self.sk.copy_from_slice(&self.safe_sk);
+                self.sk_prev.copy_from_slice(&self.safe_sk);
+                self.gamma *= 0.5;
+                self.trace.algo.numeric_recoveries += 1;
+                self.trace.add(Step::Guard, t0.elapsed());
+                // Nothing of this iteration survives: no messages were
+                // produced and no iterate is staged for rounding.
+                return;
+            }
+        }
+
         // The y/z/sk entries rewritten this iteration are BP's
         // "messages"; d and F are derived scratch.
         self.trace.algo.messages_updated += (2 * m + nnz) as u64;
@@ -321,6 +395,54 @@ impl<'a> BpEngine<'a> {
         self.trace.end_iteration();
     }
 
+    /// Snapshot the engine for [`crate::checkpoint`]. Taken at an
+    /// iteration boundary, the damped previous iterates equal the
+    /// current ones, so only the current iterate is captured.
+    pub fn checkpoint_state(&self) -> BpState {
+        BpState {
+            k: self.k,
+            gamma: self.gamma,
+            y: self.y.clone(),
+            z: self.z.clone(),
+            sk: self.sk.clone(),
+            pending_iter: self.pending_iter.clone(),
+            pending_bufs: self.pending_bufs.clone(),
+            best: self.best,
+            best_g: self.best_g.clone(),
+            history: self.history.clone(),
+            algo: self.trace.algo.clone(),
+            matcher: self.counters.snapshot(),
+        }
+    }
+
+    /// Restore a freshly constructed engine from a checkpoint taken on
+    /// the same problem and config (the loader already validated both).
+    /// Wall-clock step timings restart from zero; everything that feeds
+    /// the bit-identity contract — iterates, incumbent, history,
+    /// counters — continues exactly where the snapshot left off.
+    pub fn restore_state(&mut self, state: BpState) {
+        self.k = state.k;
+        self.gamma = state.gamma;
+        self.y.copy_from_slice(&state.y);
+        self.y_prev.copy_from_slice(&state.y);
+        self.z.copy_from_slice(&state.z);
+        self.z_prev.copy_from_slice(&state.z);
+        self.sk.copy_from_slice(&state.sk);
+        self.sk_prev.copy_from_slice(&state.sk);
+        if self.config.numeric_guards {
+            self.safe_y.copy_from_slice(&state.y);
+            self.safe_z.copy_from_slice(&state.z);
+            self.safe_sk.copy_from_slice(&state.sk);
+        }
+        self.pending_iter = state.pending_iter;
+        self.pending_bufs = state.pending_bufs;
+        self.best = state.best;
+        self.best_g.copy_from_slice(&state.best_g);
+        self.history = state.history;
+        self.trace.algo = state.algo;
+        self.counters.preload(&state.matcher);
+    }
+
     /// Flush any remaining staged iterates and assemble the result.
     pub fn finish(mut self) -> AlignmentResult {
         self.round_pending();
@@ -328,13 +450,25 @@ impl<'a> BpEngine<'a> {
             p,
             config,
             best,
-            best_g,
+            mut best_g,
             history,
             trace,
             counters,
+            y,
+            k,
             ..
         } = self;
-        let best = best.map(|(obj, iter)| (obj, best_g, iter));
+        let best = match best {
+            Some((obj, iter)) => Some((obj, best_g, iter)),
+            None => {
+                // Pathological runs where every iteration was rolled
+                // back never round anything. Fall back to the current
+                // (guard-finite) iterate so the caller still gets a
+                // valid matching instead of a panic.
+                best_g.copy_from_slice(&y);
+                Some((f64::NEG_INFINITY, best_g, k))
+            }
+        };
         finalize(p, config, best, history, trace, &counters)
     }
 }
@@ -425,7 +559,10 @@ pub(crate) fn finalize(
     mut trace: RunTrace,
     matcher_counters: &MatcherCounters,
 ) -> AlignmentResult {
-    let (best_obj, best_g, best_iter) = best.expect("at least one rounding must have happened");
+    // Invariant, not a user-reachable panic: both engines' `finish`
+    // methods substitute a fallback incumbent when no rounding ever
+    // succeeded, so `best` is always `Some` by the time it gets here.
+    let (best_obj, best_g, best_iter) = best.expect("finish() always supplies an incumbent");
     let t0 = Instant::now();
     let mut matching = netalign_matching::max_weight_matching_traced(
         &p.l,

@@ -31,6 +31,49 @@ impl DampingKind {
     }
 }
 
+/// When to write engine-state snapshots during a run (see
+/// [`crate::checkpoint`]). Both triggers are independent; either firing
+/// causes a checkpoint at the end of the current iteration. The zero
+/// value disables a trigger, and [`CheckpointPolicy::disabled`] (the
+/// default) disables checkpointing entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every `k` completed iterations (0 = off).
+    pub every_k_iters: usize,
+    /// Checkpoint when this many seconds elapsed since the last one
+    /// (0 = off). Wall-clock cadence only affects *when* snapshots are
+    /// taken, never their contents, so resumed runs stay bit-identical.
+    pub every_secs: f64,
+}
+
+impl CheckpointPolicy {
+    /// No checkpointing.
+    pub const fn disabled() -> Self {
+        CheckpointPolicy {
+            every_k_iters: 0,
+            every_secs: 0.0,
+        }
+    }
+
+    /// True when at least one trigger is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.every_k_iters > 0 || self.every_secs > 0.0
+    }
+
+    /// Should a checkpoint be written, given the iterations and seconds
+    /// elapsed since the previous one?
+    pub fn due(&self, iters_since: usize, secs_since: f64) -> bool {
+        (self.every_k_iters > 0 && iters_since >= self.every_k_iters)
+            || (self.every_secs > 0.0 && secs_since >= self.every_secs)
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Parameters of an alignment run. Field meanings follow the paper:
 /// `α`/`β` weight the two objective terms, `γ` is BP's damping base and
 /// MR's subgradient step size, `mstep` is MR's stall window before the
@@ -71,6 +114,19 @@ pub struct AlignConfig {
     /// the enabled path adds relaxed atomic traffic inside the matcher;
     /// disabled it costs one predictable branch per event.
     pub trace_matcher: bool,
+    /// Numerical guard rails: finite-check the iterate at the end of
+    /// every iteration and, on a non-finite value, roll back to the
+    /// last finite iterate and tighten the damping/step size (BP:
+    /// `γ ← γ/2` on the damping base; MR: the same halving the paper's
+    /// `mstep` machinery uses) instead of silently diverging. Costs one
+    /// extra read pass plus one copy of the iterate per iteration; on
+    /// by default because the `γᵏ` interpolation propagates any NaN to
+    /// every later iterate. Recoveries are counted in
+    /// [`netalign_trace::AlgoCounters::numeric_recoveries`].
+    pub numeric_guards: bool,
+    /// Checkpoint cadence; snapshots are only written when a run is
+    /// driven through [`crate::harness`] with a checkpoint directory.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for AlignConfig {
@@ -88,6 +144,8 @@ impl Default for AlignConfig {
             final_exact_round: false,
             record_history: false,
             trace_matcher: false,
+            numeric_guards: true,
+            checkpoint: CheckpointPolicy::disabled(),
         }
     }
 }
@@ -112,6 +170,11 @@ impl AlignConfig {
         assert!(self.iterations > 0, "need at least one iteration");
         assert!(self.batch >= 1, "batch must be at least 1");
         assert!(self.mstep >= 1, "mstep must be at least 1");
+        assert!(
+            self.checkpoint.every_secs >= 0.0,
+            "checkpoint.every_secs must be non-negative, got {}",
+            self.checkpoint.every_secs
+        );
     }
 }
 

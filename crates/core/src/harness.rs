@@ -1,0 +1,385 @@
+//! Fault-tolerant run driver: the engine loops of
+//! [`crate::bp::belief_propagation`] / [`crate::mr::matching_relaxation`]
+//! wrapped with policy-driven checkpointing and resume.
+//!
+//! ```text
+//! let harness = RunHarness::new().with_checkpoint_dir("ckpts");
+//! let result = harness.run_bp(&problem, &config)?;   // writes snapshots
+//! // ... process dies mid-run ...
+//! let result = RunHarness::new()
+//!     .with_resume_from("ckpts")                     // newest valid file
+//!     .with_checkpoint_dir("ckpts")
+//!     .run_bp(&problem, &config)?;                   // bit-identical tail
+//! ```
+//!
+//! Because every kernel reduction is deterministic at every pool size,
+//! a resumed run reproduces the uninterrupted run *exactly*: same
+//! objective history, same matching, same bounds, same counters — only
+//! wall-clock timings differ. The resilience test suite asserts this
+//! bit-for-bit at pools {1, 2, 4, 8}.
+//!
+//! Resume semantics:
+//!
+//! * a **file** path must load cleanly — any validation failure is a
+//!   hard [`CheckpointError`];
+//! * a **directory** path is scanned newest-first and damaged or
+//!   mismatched files are skipped, so a checkpoint corrupted in flight
+//!   falls back to the previous valid snapshot; the error list becomes
+//!   hard only when *no* file validates. An empty directory starts a
+//!   fresh run (the kill may have predated the first snapshot).
+
+use crate::bp::BpEngine;
+use crate::checkpoint::{
+    checkpoint_file_name, load_checkpoint, load_latest_checkpoint, prune_checkpoints,
+    write_checkpoint, CheckpointError, CheckpointState, EngineKind,
+};
+use crate::config::{AlignConfig, CheckpointPolicy};
+use crate::mr::MrEngine;
+use crate::problem::NetAlignProblem;
+use crate::result::AlignmentResult;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Checkpoint/resume wrapper around the BP and MR engine loops.
+#[derive(Clone, Debug, Default)]
+pub struct RunHarness {
+    checkpoint_dir: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
+    keep: usize,
+}
+
+impl RunHarness {
+    /// Plain harness: no checkpoints, no resume (identical to calling
+    /// the wrapper functions directly).
+    pub fn new() -> Self {
+        RunHarness {
+            checkpoint_dir: None,
+            resume_from: None,
+            keep: 3,
+        }
+    }
+
+    /// Write snapshots into `dir` (created on demand). The cadence
+    /// comes from [`AlignConfig::checkpoint`]; when that policy is
+    /// disabled, a directory implies checkpointing every iteration.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from `path`: either a specific checkpoint file (must
+    /// validate — hard error otherwise) or a directory (newest valid
+    /// snapshot wins; empty directory starts fresh).
+    pub fn with_resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// How many snapshots to retain per engine (older ones are pruned
+    /// after each write; default 3, so one corrupted write still leaves
+    /// validated fallbacks).
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The effective cadence: an explicit policy wins; a checkpoint
+    /// directory with the policy disabled means every iteration.
+    fn effective_policy(&self, config: &AlignConfig) -> CheckpointPolicy {
+        if config.checkpoint.is_enabled() {
+            config.checkpoint
+        } else if self.checkpoint_dir.is_some() {
+            CheckpointPolicy {
+                every_k_iters: 1,
+                every_secs: 0.0,
+            }
+        } else {
+            CheckpointPolicy::disabled()
+        }
+    }
+
+    /// Resolve the configured resume source into a validated state.
+    fn resolve_resume(
+        &self,
+        engine: EngineKind,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+    ) -> Result<Option<CheckpointState>, CheckpointError> {
+        let Some(src) = &self.resume_from else {
+            return Ok(None);
+        };
+        if src.is_dir() {
+            match load_latest_checkpoint(src, engine, p, config) {
+                Ok(Some((_, state))) => Ok(Some(state)),
+                Ok(None) => Ok(None),
+                // Every candidate failed: surface the newest file's
+                // error (the one a user most likely cares about).
+                Err(mut attempts) => Err(attempts.swap_remove(0).1),
+            }
+        } else {
+            load_checkpoint(src, engine, p, config).map(Some)
+        }
+    }
+
+    fn write_snapshot(
+        dir: &Path,
+        engine: EngineKind,
+        k: usize,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+        state: &CheckpointState,
+        keep: usize,
+    ) -> Result<(), CheckpointError> {
+        let path = dir.join(checkpoint_file_name(engine, k));
+        write_checkpoint(&path, p, config, state)?;
+        prune_checkpoints(dir, engine, keep);
+        Ok(())
+    }
+
+    /// Run belief propagation under this harness.
+    pub fn run_bp(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+    ) -> Result<AlignmentResult, CheckpointError> {
+        let mut engine = BpEngine::new(p, config);
+        if let Some(CheckpointState::Bp(state)) = self.resolve_resume(EngineKind::Bp, p, config)? {
+            engine.restore_state(state);
+        }
+        let policy = self.effective_policy(config);
+        let mut iters_since = 0usize;
+        let mut last_write = Instant::now();
+        while engine.iteration() < config.iterations {
+            engine.step();
+            if engine.rounding_due() {
+                engine.round_pending();
+            }
+            engine.end_iteration();
+            iters_since += 1;
+            if let Some(dir) = &self.checkpoint_dir {
+                if policy.due(iters_since, last_write.elapsed().as_secs_f64()) {
+                    let state = CheckpointState::Bp(engine.checkpoint_state());
+                    Self::write_snapshot(
+                        dir,
+                        EngineKind::Bp,
+                        engine.iteration(),
+                        p,
+                        config,
+                        &state,
+                        self.keep,
+                    )?;
+                    iters_since = 0;
+                    last_write = Instant::now();
+                }
+            }
+        }
+        Ok(engine.finish())
+    }
+
+    /// Run the matching relaxation under this harness.
+    pub fn run_mr(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+    ) -> Result<AlignmentResult, CheckpointError> {
+        let mut engine = MrEngine::new(p, config);
+        if let Some(CheckpointState::Mr(state)) = self.resolve_resume(EngineKind::Mr, p, config)? {
+            engine.restore_state(state);
+        }
+        let policy = self.effective_policy(config);
+        let mut iters_since = 0usize;
+        let mut last_write = Instant::now();
+        while engine.iteration() < config.iterations {
+            engine.step();
+            engine.end_iteration();
+            iters_since += 1;
+            if let Some(dir) = &self.checkpoint_dir {
+                if policy.due(iters_since, last_write.elapsed().as_secs_f64()) {
+                    let state = CheckpointState::Mr(engine.checkpoint_state());
+                    Self::write_snapshot(
+                        dir,
+                        EngineKind::Mr,
+                        engine.iteration(),
+                        p,
+                        config,
+                        &state,
+                        self.keep,
+                    )?;
+                    iters_since = 0;
+                    last_write = Instant::now();
+                }
+            }
+        }
+        Ok(engine.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::list_checkpoints;
+    use crate::trace::faults;
+    use netalign_graph::{BipartiteGraph, Graph};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tiny_problem() -> NetAlignProblem {
+        let a = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let b = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let l = BipartiteGraph::from_entries(
+            4,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+            ],
+        );
+        NetAlignProblem::new(a, b, l)
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "netalign-harness-test-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn plain_harness_matches_wrapper() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 12,
+            record_history: true,
+            ..Default::default()
+        };
+        let direct = crate::bp::belief_propagation(&p, &cfg);
+        let harnessed = RunHarness::new().run_bp(&p, &cfg).expect("no checkpoints");
+        assert_eq!(direct.objective, harnessed.objective);
+        assert_eq!(direct.matching, harnessed.matching);
+    }
+
+    #[test]
+    fn checkpoints_are_written_and_pruned() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 9,
+            ..Default::default()
+        };
+        let dir = scratch_dir("prune");
+        RunHarness::new()
+            .with_checkpoint_dir(&dir)
+            .with_keep(2)
+            .run_mr(&p, &cfg)
+            .expect("run");
+        let files = list_checkpoints(&dir, EngineKind::Mr);
+        assert_eq!(files.len(), 2, "keep=2 must retain exactly 2 snapshots");
+        assert!(files[0].ends_with(checkpoint_file_name(EngineKind::Mr, 9)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_directory_reproduces_run() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 14,
+            batch: 3,
+            record_history: true,
+            ..Default::default()
+        };
+        let full = RunHarness::new().run_bp(&p, &cfg).expect("full run");
+
+        // First leg: stop after 6 iterations, leaving a checkpoint.
+        let dir = scratch_dir("resume");
+        let short = AlignConfig {
+            iterations: 6,
+            ..cfg
+        };
+        RunHarness::new()
+            .with_checkpoint_dir(&dir)
+            .run_bp(&p, &short)
+            .expect("first leg");
+
+        // Second leg: a fingerprint-compatible resume needs the same
+        // iteration budget, so the first leg's checkpoints are written
+        // under the full config too.
+        let resumed = RunHarness::new()
+            .with_resume_from(&dir)
+            .run_bp(&p, &cfg)
+            .err();
+        // iterations differs (6 vs 14) -> ConfigMismatch is correct.
+        assert!(
+            matches!(resumed, Some(CheckpointError::ConfigMismatch { .. })),
+            "config fingerprint must protect against budget drift, got {resumed:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Proper kill-and-resume: same config throughout, kill via a
+        // fault at iteration 7.
+        let dir = scratch_dir("resume2");
+        faults::install(faults::FaultPlan {
+            panic: Some(faults::StepTrigger::new("bp.step", 7)),
+            ..Default::default()
+        });
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            RunHarness::new()
+                .with_checkpoint_dir(&dir)
+                .run_bp(&p, &cfg)
+                .expect("write leg")
+        }));
+        faults::clear();
+        assert!(killed.is_err(), "the injected panic must surface");
+
+        let resumed = RunHarness::new()
+            .with_resume_from(&dir)
+            .run_bp(&p, &cfg)
+            .expect("resume leg");
+        assert_eq!(full.objective, resumed.objective);
+        assert_eq!(full.matching, resumed.matching);
+        assert_eq!(full.best_iteration, resumed.best_iteration);
+        assert_eq!(full.history.len(), resumed.history.len());
+        for (a, b) in full.history.iter().zip(&resumed.history) {
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_missing_file_is_hard_error() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig::default();
+        let err = RunHarness::new()
+            .with_resume_from("/definitely/not/a/checkpoint.bin")
+            .run_bp(&p, &cfg)
+            .err();
+        assert!(matches!(err, Some(CheckpointError::Io { .. })));
+    }
+
+    #[test]
+    fn resume_from_empty_directory_starts_fresh() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 8,
+            ..Default::default()
+        };
+        let dir = scratch_dir("empty");
+        let direct = crate::bp::belief_propagation(&p, &cfg);
+        let fresh = RunHarness::new()
+            .with_resume_from(&dir)
+            .run_bp(&p, &cfg)
+            .expect("fresh start");
+        assert_eq!(direct.objective, fresh.objective);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,8 +23,10 @@
 //! plus the machinery they share: [`squares`] (building `S`),
 //! [`objective`], [`rounding`] (the `round_heuristic` of Table I with a
 //! pluggable exact/approximate matcher), run observability ([`trace`]:
-//! per-step spans, matcher counters, JSON reports), and the run
-//! [`config`] / [`result`] types.
+//! per-step spans, matcher counters, JSON reports), fault tolerance
+//! ([`checkpoint`]: versioned engine snapshots; [`harness`]:
+//! checkpointed + resumable runs), and the run [`config`] /
+//! [`result`] types.
 //!
 //! # Quickstart
 //!
@@ -47,7 +49,9 @@
 
 pub mod baselines;
 pub mod bp;
+pub mod checkpoint;
 pub mod config;
+pub mod harness;
 pub mod mr;
 pub mod objective;
 pub mod pareto;
@@ -62,7 +66,9 @@ pub mod prelude {
     //! Convenient re-exports of the most used items.
     pub use crate::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
     pub use crate::bp::belief_propagation;
-    pub use crate::config::AlignConfig;
+    pub use crate::checkpoint::{CheckpointError, EngineKind};
+    pub use crate::config::{AlignConfig, CheckpointPolicy};
+    pub use crate::harness::RunHarness;
     pub use crate::mr::matching_relaxation;
     pub use crate::problem::NetAlignProblem;
     pub use crate::result::AlignmentResult;

@@ -195,6 +195,8 @@ pub fn distributed_matching_relaxation(
         }
     }
 
+    // Invariant: iterations >= 1 is enforced by AlignConfig::validate,
+    // and every iteration offers an incumbent, so `best` is populated.
     let (_, best_g, best_iter) = best.expect("at least one iteration ran");
     let matching = distributed_local_dominant(&p.l, &best_g, nranks);
     let value = evaluate_matching(p, &matching, alpha, beta);

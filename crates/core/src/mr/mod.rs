@@ -30,13 +30,14 @@
 pub mod distributed;
 pub mod rowmatch;
 
-use crate::bp::{finalize, CHUNK};
+use crate::bp::{all_finite, finalize, install_fault_hook, CHUNK};
+use crate::checkpoint::MrState;
 use crate::config::AlignConfig;
 use crate::objective::evaluate_matching;
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rowspans::RowSpans;
-use crate::trace::{MatcherCounters, RunTrace, Step};
+use crate::trace::{faults, MatcherCounters, RunTrace, Step};
 use netalign_matching::max_weight_matching_traced;
 use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
@@ -66,6 +67,10 @@ pub struct MrEngine<'a> {
     // iterate the subgradient step reads.
     u_vals: Vec<f64>,
     u_old: Vec<f64>,
+    // Last verified-finite multipliers (the rollback target of the
+    // numeric guard); empty when guards are off. Zeros initially — the
+    // zero multipliers are MR's own starting point.
+    safe_u: Vec<f64>,
     // Per-iteration scratch.
     row_w: Vec<f64>,
     sl_vals: Vec<f64>,
@@ -91,6 +96,7 @@ impl<'a> MrEngine<'a> {
     /// Allocate all run state for `problem` under `config`.
     pub fn new(p: &'a NetAlignProblem, config: &'a AlignConfig) -> Self {
         config.validate();
+        install_fault_hook();
         let m = p.l.num_edges();
         let nnz = p.s.nnz();
         let mut trace = RunTrace::new();
@@ -104,6 +110,7 @@ impl<'a> MrEngine<'a> {
             gamma: config.gamma,
             u_vals: vec![0.0; nnz],
             u_old: vec![0.0; nnz],
+            safe_u: vec![0.0; if config.numeric_guards { nnz } else { 0 }],
             row_w: vec![0.0; nnz],
             sl_vals: vec![0.0; nnz],
             d: vec![0.0; m],
@@ -135,6 +142,9 @@ impl<'a> MrEngine<'a> {
     pub fn step(&mut self) {
         self.k += 1;
         let k = self.k;
+        if faults::active() {
+            faults::panic_point("mr.step", k as u64);
+        }
         let p = self.p;
         let (alpha, beta) = (self.config.alpha, self.config.beta);
         let gamma = self.gamma;
@@ -173,6 +183,25 @@ impl<'a> MrEngine<'a> {
             .zip(self.d.par_iter().with_min_len(CHUNK))
             .for_each(|((wb, &wi), &di)| *wb = alpha * wi + di);
         self.trace.add(Step::Daxpy, t0.elapsed());
+
+        if faults::active() && faults::nan_due("mr.daxpy", k as u64) {
+            self.wbar[0] = f64::NAN;
+        }
+
+        // Guard rail: a non-finite w̄ means the multipliers (or the row
+        // matchings they drive) went non-finite — nothing downstream of
+        // here is usable. Roll the multipliers back to the last finite
+        // iterate and halve the step, the same recovery the paper's
+        // `mstep` machinery applies on a stalled bound.
+        if self.config.numeric_guards {
+            let t0 = Instant::now();
+            let finite = all_finite(&self.wbar);
+            self.trace.add(Step::Guard, t0.elapsed());
+            if !finite {
+                self.recover_from_nonfinite();
+                return;
+            }
+        }
 
         // Step 3: the full matching — exact or approximate.
         let t0 = Instant::now();
@@ -273,14 +302,80 @@ impl<'a> MrEngine<'a> {
         );
         self.trace.add(Step::UpdateU, t0.elapsed());
 
+        if faults::active() && faults::nan_due("mr.update-u", k as u64) {
+            self.u_vals[0] = f64::NAN;
+        }
+
+        // Guard rail: verify the new multipliers before they seed the
+        // next iteration; on success they become the rollback target.
+        if self.config.numeric_guards {
+            let t0 = Instant::now();
+            let finite = all_finite(&self.u_vals);
+            if finite {
+                self.safe_u.copy_from_slice(&self.u_vals);
+                self.trace.add(Step::Guard, t0.elapsed());
+            } else {
+                self.trace.add(Step::Guard, t0.elapsed());
+                self.recover_from_nonfinite();
+                return;
+            }
+        }
+
         // The multiplier block and the two weight vectors rewritten
         // this iteration are MR's "messages".
         self.trace.algo.messages_updated += (2 * nnz + m) as u64;
     }
 
+    /// Roll the multipliers back to the last finite iterate, halve the
+    /// subgradient step (the paper's `mstep` recovery), and count it.
+    fn recover_from_nonfinite(&mut self) {
+        self.u_vals.copy_from_slice(&self.safe_u);
+        self.gamma /= 2.0;
+        self.stall = 0;
+        self.trace.algo.numeric_recoveries += 1;
+    }
+
     /// Close the current iteration's trace row.
     pub fn end_iteration(&mut self) {
         self.trace.end_iteration();
+    }
+
+    /// Snapshot the engine for [`crate::checkpoint`]. Only the
+    /// multipliers are independent state — every per-iteration buffer
+    /// (`d`, `w̄`, `x`, …) is fully rewritten by the next `step`.
+    pub fn checkpoint_state(&self) -> MrState {
+        MrState {
+            k: self.k,
+            gamma: self.gamma,
+            u_vals: self.u_vals.clone(),
+            best: self.best,
+            best_g: self.best_g.clone(),
+            best_upper: self.best_upper,
+            stall: self.stall,
+            history: self.history.clone(),
+            algo: self.trace.algo.clone(),
+            matcher: self.counters.snapshot(),
+        }
+    }
+
+    /// Restore a freshly constructed engine from a checkpoint taken on
+    /// the same problem and config (the loader already validated both).
+    /// Wall-clock step timings restart from zero; everything that feeds
+    /// the bit-identity contract continues where the snapshot left off.
+    pub fn restore_state(&mut self, state: MrState) {
+        self.k = state.k;
+        self.gamma = state.gamma;
+        self.u_vals.copy_from_slice(&state.u_vals);
+        if self.config.numeric_guards {
+            self.safe_u.copy_from_slice(&state.u_vals);
+        }
+        self.best = state.best;
+        self.best_g.copy_from_slice(&state.best_g);
+        self.best_upper = state.best_upper;
+        self.stall = state.stall;
+        self.history = state.history;
+        self.trace.algo = state.algo;
+        self.counters.preload(&state.matcher);
     }
 
     /// Assemble the result from the incumbent.
@@ -289,14 +384,25 @@ impl<'a> MrEngine<'a> {
             p,
             config,
             best,
-            best_g,
+            mut best_g,
             best_upper,
             history,
             trace,
             counters,
+            k,
             ..
         } = self;
-        let best = best.map(|(obj, iter)| (obj, best_g, iter));
+        let best = match best {
+            Some((obj, iter)) => Some((obj, best_g, iter)),
+            None => {
+                // Pathological runs where every iteration was rolled
+                // back never reach the matching step. Fall back to the
+                // raw similarity weights so the caller still gets a
+                // valid matching instead of a panic.
+                best_g.copy_from_slice(p.l.weights());
+                Some((f64::NEG_INFINITY, best_g, k))
+            }
+        };
         let mut result = finalize(p, config, best, history, trace, &counters);
         result.upper_bound = Some(best_upper.max(result.objective));
         result

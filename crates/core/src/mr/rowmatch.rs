@@ -128,6 +128,9 @@ fn solve_one_row(
     ws.ljs.clear();
     ws.ljps.clear();
     for k in 0..cols.len() {
+        // Invariant: ujs/ujps are the sorted-deduped copies of js/jps
+        // built just above, so every lookup key is present by
+        // construction and binary_search cannot fail.
         ws.ljs.push(ws.ujs.binary_search(&ws.js[k]).unwrap());
         ws.ljps.push(ws.ujps.binary_search(&ws.jps[k]).unwrap());
     }

@@ -4,7 +4,7 @@ use crate::trace::{Json, RunTrace};
 use netalign_matching::Matching;
 
 /// Per-iteration record (kept when `record_history` is set).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IterationRecord {
     /// Iteration index (1-based, matching the paper's pseudo-code).
     pub iteration: usize,

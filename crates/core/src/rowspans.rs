@@ -47,6 +47,7 @@ impl RowSpans {
                 group_start_entry = rowptr[r + 1];
             }
         }
+        // Invariant: row_bounds starts as vec![0], so last() is Some.
         if *row_bounds.last().unwrap() != nrows {
             row_bounds.push(nrows);
             entry_bounds.push(nnz);

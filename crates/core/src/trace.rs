@@ -14,7 +14,9 @@
 //! * [`AlgoCounters`] — messages updated, rounding invocations and
 //!   batch sizes, best-iterate improvements.
 
-pub use netalign_trace::{AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters, StepTrace};
+pub use netalign_trace::{
+    faults, AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters, StepTrace,
+};
 
 use std::time::{Duration, Instant};
 
@@ -44,11 +46,16 @@ pub enum Step {
     UpdateS,
     /// Step 5: the `γᵏ` damping interpolation.
     Damping,
+    // -- shared --
+    /// Numerical guard rails: end-of-iteration finite check, the
+    /// safe-iterate copy, and any rollback (both aligners, when
+    /// [`crate::config::AlignConfig::numeric_guards`] is on).
+    Guard,
 }
 
 impl Step {
     /// All steps, for iteration in reports.
-    pub const ALL: [Step; 10] = [
+    pub const ALL: [Step; 11] = [
         Step::RowMatch,
         Step::Daxpy,
         Step::Match,
@@ -59,11 +66,12 @@ impl Step {
         Step::OtherMax,
         Step::UpdateS,
         Step::Damping,
+        Step::Guard,
     ];
 
     /// Stable display names, parallel to [`Step::ALL`] — the step axis
     /// of every trace and JSON report.
-    pub const NAMES: [&'static str; 10] = [
+    pub const NAMES: [&'static str; 11] = [
         "row-match",
         "daxpy",
         "match",
@@ -74,6 +82,7 @@ impl Step {
         "othermax",
         "update-s",
         "damping",
+        "guard",
     ];
 
     /// Stable display name.
@@ -95,6 +104,7 @@ impl Step {
             Step::OtherMax => 7,
             Step::UpdateS => 8,
             Step::Damping => 9,
+            Step::Guard => 10,
         }
     }
 }
@@ -188,6 +198,7 @@ impl RunTrace {
             .rounding_batch_sizes
             .extend_from_slice(&other.algo.rounding_batch_sizes);
         self.algo.best_improvements += other.algo.best_improvements;
+        self.algo.numeric_recoveries += other.algo.numeric_recoveries;
     }
 
     /// `(step-name, seconds, share-of-total)` rows for non-zero steps,
@@ -226,6 +237,12 @@ impl RunTrace {
                 self.algo.rounding_invocations,
                 self.algo.vectors_rounded(),
                 self.algo.best_improvements,
+            ));
+        }
+        if self.algo.numeric_recoveries > 0 {
+            out.push_str(&format!(
+                "guard: {} numeric recoveries (rolled back to the last finite iterate)\n",
+                self.algo.numeric_recoveries,
             ));
         }
         out
@@ -285,7 +302,8 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Step::RowMatch.name(), "row-match");
         assert_eq!(Step::Damping.name(), "damping");
-        assert_eq!(Step::ALL.len(), 10);
+        assert_eq!(Step::Guard.name(), "guard");
+        assert_eq!(Step::ALL.len(), 11);
         for (i, s) in Step::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);
             assert_eq!(s.name(), Step::NAMES[i]);

@@ -11,6 +11,68 @@
 
 use crate::{EdgeId, VertexId};
 
+/// Validation failures when building or mutating a [`BipartiteGraph`].
+///
+/// Every variant carries the offending entry so callers (e.g. file
+/// loaders) can point at the exact bad input instead of aborting with
+/// a panic backtrace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An endpoint index is not smaller than its side's vertex count.
+    VertexOutOfRange {
+        /// `"left"` (`V_A`) or `"right"` (`V_B`).
+        side: &'static str,
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The size of that side.
+        size: usize,
+    },
+    /// An edge weight is NaN or infinite.
+    NonFiniteWeight {
+        /// Left endpoint of the offending entry.
+        a: VertexId,
+        /// Right endpoint of the offending entry.
+        b: VertexId,
+        /// The non-finite weight.
+        w: f64,
+    },
+    /// A replacement weight vector has the wrong length.
+    WeightLengthMismatch {
+        /// `num_edges()` of the graph.
+        expected: usize,
+        /// Length of the supplied vector.
+        found: usize,
+    },
+    /// A replacement weight vector contains a non-finite value.
+    NonFiniteWeightAt {
+        /// Global edge id of the offending value.
+        edge: EdgeId,
+        /// The non-finite weight.
+        w: f64,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { side, vertex, size } => {
+                write!(f, "{side} vertex {vertex} out of range ({size} {side})")
+            }
+            GraphError::NonFiniteWeight { a, b, w } => {
+                write!(f, "edge ({a},{b}) weight must be finite, got {w}")
+            }
+            GraphError::WeightLengthMismatch { expected, found } => {
+                write!(f, "weight vector length {found} != {expected} edges")
+            }
+            GraphError::NonFiniteWeightAt { edge, w } => {
+                write!(f, "weight of edge {edge} must be finite, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A weighted bipartite graph with a fixed global edge ordering.
 ///
 /// ```
@@ -65,24 +127,46 @@ impl BipartiteGraphBuilder {
         }
     }
 
+    /// Add a candidate match `(a, b)` with weight `w`, reporting bad
+    /// entries as a typed [`GraphError`] instead of panicking — the
+    /// entry point for untrusted input (file loaders).
+    pub fn try_add_edge(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        w: f64,
+    ) -> Result<&mut Self, GraphError> {
+        if (a as usize) >= self.na {
+            return Err(GraphError::VertexOutOfRange {
+                side: "left",
+                vertex: a,
+                size: self.na,
+            });
+        }
+        if (b as usize) >= self.nb {
+            return Err(GraphError::VertexOutOfRange {
+                side: "right",
+                vertex: b,
+                size: self.nb,
+            });
+        }
+        if !w.is_finite() {
+            return Err(GraphError::NonFiniteWeight { a, b, w });
+        }
+        self.entries.push((a, b, w));
+        Ok(self)
+    }
+
     /// Add a candidate match `(a, b)` with weight `w`.
     ///
     /// # Panics
-    /// Panics if either endpoint is out of range or `w` is not finite.
+    /// Panics if either endpoint is out of range or `w` is not finite;
+    /// use [`Self::try_add_edge`] for untrusted input.
     pub fn add_edge(&mut self, a: VertexId, b: VertexId, w: f64) -> &mut Self {
-        assert!(
-            (a as usize) < self.na,
-            "left vertex {a} out of range ({} left)",
-            self.na
-        );
-        assert!(
-            (b as usize) < self.nb,
-            "right vertex {b} out of range ({} right)",
-            self.nb
-        );
-        assert!(w.is_finite(), "edge weight must be finite, got {w}");
-        self.entries.push((a, b, w));
-        self
+        match self.try_add_edge(a, b, w) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of entries added so far (before dedup).
@@ -151,17 +235,34 @@ impl BipartiteGraphBuilder {
 }
 
 impl BipartiteGraph {
+    /// Build from an explicit entry list, reporting the first invalid
+    /// entry as a typed [`GraphError`].
+    pub fn try_from_entries(
+        na: usize,
+        nb: usize,
+        entries: impl IntoIterator<Item = (VertexId, VertexId, f64)>,
+    ) -> Result<Self, GraphError> {
+        let mut b = BipartiteGraphBuilder::new(na, nb);
+        for (x, y, w) in entries {
+            b.try_add_edge(x, y, w)?;
+        }
+        Ok(b.build())
+    }
+
     /// Build from an explicit entry list (convenience wrapper).
+    ///
+    /// # Panics
+    /// Panics on an invalid entry; use [`Self::try_from_entries`] for
+    /// untrusted input.
     pub fn from_entries(
         na: usize,
         nb: usize,
         entries: impl IntoIterator<Item = (VertexId, VertexId, f64)>,
     ) -> Self {
-        let mut b = BipartiteGraphBuilder::new(na, nb);
-        for (x, y, w) in entries {
-            b.add_edge(x, y, w);
+        match Self::try_from_entries(na, nb, entries) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
         }
-        b.build()
     }
 
     /// Number of left (`V_A`) vertices.
@@ -273,14 +374,31 @@ impl BipartiteGraph {
         self.edges.iter().enumerate().map(|(e, &(a, b))| (a, b, e))
     }
 
+    /// Replace the weight vector, e.g. after rescaling, reporting the
+    /// first invalid value as a typed [`GraphError`].
+    pub fn try_set_weights(&mut self, w: Vec<f64>) -> Result<(), GraphError> {
+        if w.len() != self.num_edges() {
+            return Err(GraphError::WeightLengthMismatch {
+                expected: self.num_edges(),
+                found: w.len(),
+            });
+        }
+        if let Some(edge) = w.iter().position(|x| !x.is_finite()) {
+            return Err(GraphError::NonFiniteWeightAt { edge, w: w[edge] });
+        }
+        self.weights = w;
+        Ok(())
+    }
+
     /// Replace the weight vector, e.g. after rescaling.
     ///
     /// # Panics
-    /// Panics if `w.len() != num_edges()` or any weight is non-finite.
+    /// Panics if `w.len() != num_edges()` or any weight is non-finite;
+    /// use [`Self::try_set_weights`] for untrusted input.
     pub fn set_weights(&mut self, w: Vec<f64>) {
-        assert_eq!(w.len(), self.num_edges());
-        assert!(w.iter().all(|x| x.is_finite()), "weights must be finite");
-        self.weights = w;
+        if let Err(e) = self.try_set_weights(w) {
+            panic!("{e}");
+        }
     }
 
     /// Total weight of all edges (`eᵀw`).
@@ -384,6 +502,48 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan_weight() {
         let _ = BipartiteGraph::from_entries(1, 1, vec![(0, 0, f64::NAN)]);
+    }
+
+    #[test]
+    fn try_from_entries_reports_offending_entry() {
+        let err = BipartiteGraph::try_from_entries(2, 2, vec![(0, 0, 1.0), (0, 3, 1.0)])
+            .expect_err("right endpoint out of range");
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                side: "right",
+                vertex: 3,
+                size: 2
+            }
+        );
+        let err = BipartiteGraph::try_from_entries(2, 2, vec![(1, 1, f64::INFINITY)])
+            .expect_err("non-finite weight");
+        assert!(matches!(
+            err,
+            GraphError::NonFiniteWeight { a: 1, b: 1, .. }
+        ));
+        assert!(err.to_string().contains("(1,1)"));
+    }
+
+    #[test]
+    fn try_set_weights_reports_offending_value() {
+        let mut l = sample();
+        let err = l.try_set_weights(vec![1.0; 4]).expect_err("short vector");
+        assert_eq!(
+            err,
+            GraphError::WeightLengthMismatch {
+                expected: 5,
+                found: 4
+            }
+        );
+        let err = l
+            .try_set_weights(vec![1.0, 2.0, f64::NAN, 4.0, 5.0])
+            .expect_err("NaN weight");
+        assert!(matches!(err, GraphError::NonFiniteWeightAt { edge: 2, .. }));
+        // the graph is untouched after a rejected replacement
+        assert_eq!(l.total_weight(), 15.0);
+        l.try_set_weights(vec![2.0; 5]).expect("valid replacement");
+        assert_eq!(l.total_weight(), 10.0);
     }
 
     #[test]

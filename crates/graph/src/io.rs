@@ -89,6 +89,14 @@ pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
                 format!("entry ({row},{col}) out of bounds"),
             ));
         }
+        // "nan"/"inf" parse as f64 but poison every downstream kernel;
+        // reject them here where the line number is still known.
+        if !val.is_finite() {
+            return Err(parse_err(
+                lineno,
+                format!("entry ({row},{col}) has non-finite value {val}"),
+            ));
+        }
         trips.push((row as VertexId, col as VertexId, val));
     }
     if trips.len() != nnz {
@@ -128,7 +136,11 @@ pub fn read_bipartite_smat<R: Read>(r: R) -> Result<BipartiteGraph, IoError> {
     let mut b = BipartiteGraphBuilder::new(m.nrows(), m.ncols());
     for row in 0..m.nrows() {
         for (col, val) in m.row_iter(row) {
-            b.add_edge(row as VertexId, col, val);
+            // read_smat already bounds- and finiteness-checks every
+            // entry, but route through the fallible builder anyway so a
+            // bad file can never panic this loader.
+            b.try_add_edge(row as VertexId, col, val)
+                .map_err(|e| parse_err(0, e.to_string()))?;
         }
     }
     Ok(b.build())
@@ -308,6 +320,19 @@ mod tests {
         let text = "2 2 1\n0 5 1.0\n";
         let err = read_smat(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_non_finite_value_with_line_number() {
+        for bad in ["nan", "inf", "-inf"] {
+            let text = format!("2 2 2\n0 0 1.0\n1 1 {bad}\n");
+            let err = read_smat(text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 3"), "missing line number: {msg}");
+            assert!(msg.contains("non-finite"), "missing cause: {msg}");
+        }
+        let text = "2 2 1\n0 1 nan\n";
+        assert!(read_bipartite_smat(text.as_bytes()).is_err());
     }
 
     #[test]

@@ -28,13 +28,13 @@ pub mod undirected;
 
 pub mod prelude {
     //! Convenient re-exports of the most used types.
-    pub use crate::bipartite::{BipartiteGraph, BipartiteGraphBuilder};
+    pub use crate::bipartite::{BipartiteGraph, BipartiteGraphBuilder, GraphError};
     pub use crate::csr::CsrMatrix;
     pub use crate::permutation::Permutation;
     pub use crate::undirected::{Graph, GraphBuilder};
 }
 
-pub use bipartite::BipartiteGraph;
+pub use bipartite::{BipartiteGraph, GraphError};
 pub use csr::CsrMatrix;
 pub use undirected::Graph;
 

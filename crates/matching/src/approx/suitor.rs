@@ -86,6 +86,8 @@ pub fn parallel_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
                 if w <= 0.0 {
                     return;
                 }
+                // Invariant: no code path panics while holding a slot
+                // lock, so the mutex can never be poisoned.
                 let (standing, sw) = *slots[t as usize].lock().unwrap();
                 let accepts =
                     standing == UNMATCHED || unified_edge_gt(w, current, t, sw, standing, t);

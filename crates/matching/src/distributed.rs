@@ -27,6 +27,18 @@
 //!
 //! Under the crate's total edge order, the result equals the serial
 //! locally-dominant matching for every rank count — asserted in tests.
+//!
+//! ## Fault injection
+//!
+//! [`ChannelFaults`] deterministically drops and/or duplicates
+//! messages (counted per sending rank), standing in for the lossy
+//! transports a real deployment would face. When faults are active the
+//! protocol engages three hardening rules — unmatched vertices re-send
+//! their proposal every round (heartbeat), owners answer proposals to
+//! already-matched vertices with a retransmitted `Matched` reply, and
+//! termination waits for a quiet grace window under a hard round cap —
+//! so the half-approximation and termination guarantees survive lost
+//! and repeated messages (asserted in tests).
 
 use crate::approx::{unified_edge_gt, UnifiedView};
 use crate::matching::{Matching, UNMATCHED};
@@ -41,6 +53,57 @@ enum Msg {
     Propose { from: VertexId, to: VertexId },
     /// `v` got matched to `mate` (broadcast to all ranks).
     Matched { v: VertexId, mate: VertexId },
+}
+
+/// Deterministic message-fault injection for the simulated distributed
+/// matcher: every `drop_every`-th send from a rank is dropped, every
+/// `dup_every`-th send is delivered twice (0 disables either fault).
+/// Counting is per sending rank, so a given graph + rank count + fault
+/// plan always exercises the same loss pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelFaults {
+    /// Drop every n-th message a rank sends (0 = never drop).
+    pub drop_every: usize,
+    /// Duplicate every n-th message a rank sends (0 = never duplicate).
+    pub dup_every: usize,
+}
+
+impl ChannelFaults {
+    /// No injected faults.
+    pub const NONE: ChannelFaults = ChannelFaults {
+        drop_every: 0,
+        dup_every: 0,
+    };
+
+    /// True when any fault is configured (enables protocol hardening).
+    pub fn active(&self) -> bool {
+        self.drop_every > 0 || self.dup_every > 0
+    }
+}
+
+/// Per-rank faulty channel endpoint: applies [`ChannelFaults`] to each
+/// send with a deterministic per-rank message counter.
+struct FaultyLink {
+    senders: Vec<std::sync::mpsc::Sender<Msg>>,
+    faults: ChannelFaults,
+    sent: usize,
+}
+
+impl FaultyLink {
+    fn send(&mut self, rank: usize, msg: Msg) {
+        self.sent += 1;
+        let nth = |every: usize| every > 0 && self.sent.is_multiple_of(every);
+        if nth(self.faults.drop_every) {
+            return; // lost in transit
+        }
+        // Invariant: every receiver outlives the send, because all
+        // ranks leave the round loop at the same barrier-synchronized
+        // round, so the inbox cannot be closed mid-protocol.
+        self.senders[rank].send(msg).expect("inbox closed");
+        if nth(self.faults.dup_every) {
+            self.senders[rank].send(msg).expect("inbox closed");
+        }
+    }
 }
 
 /// Block partition: owner of vertex `v` among `p` ranks over `n`
@@ -59,6 +122,19 @@ pub fn distributed_local_dominant(
     l: &BipartiteGraph,
     weights: &[f64],
     num_ranks: usize,
+) -> Matching {
+    distributed_local_dominant_faulty(l, weights, num_ranks, ChannelFaults::NONE)
+}
+
+/// [`distributed_local_dominant`] with injected channel faults.
+///
+/// # Panics
+/// Panics if `num_ranks == 0` or `weights.len() != l.num_edges()`.
+pub fn distributed_local_dominant_faulty(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    num_ranks: usize,
+    faults: ChannelFaults,
 ) -> Matching {
     assert!(num_ranks >= 1, "need at least one rank");
     let view = UnifiedView::new(l, weights);
@@ -80,23 +156,24 @@ pub fn distributed_local_dominant(
     let active = [AtomicBool::new(false), AtomicBool::new(false)];
 
     let block = n.div_ceil(p);
-    let results: Vec<Vec<(VertexId, VertexId)>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let senders = senders.clone();
-                let barrier = &barrier;
-                let active = &active;
-                let view = &view;
-                handles.push(scope.spawn(move || {
-                    rank_main(rank, p, n, block, view, senders, rx, barrier, active)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
-        });
+    let results: Vec<Vec<(VertexId, VertexId)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            let barrier = &barrier;
+            let active = &active;
+            let view = &view;
+            handles.push(scope.spawn(move || {
+                rank_main(
+                    rank, p, n, block, view, senders, rx, barrier, active, faults,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    });
 
     let mut mate = vec![UNMATCHED; n];
     for pairs in results {
@@ -134,10 +211,23 @@ fn rank_main(
     rx: std::sync::mpsc::Receiver<Msg>,
     barrier: &Barrier,
     active: &[AtomicBool; 2],
+    faults: ChannelFaults,
 ) -> Vec<(VertexId, VertexId)> {
     let lo = rank * block;
     let hi = ((rank + 1) * block).min(n);
     let owns = |v: VertexId| (lo..hi).contains(&(v as usize));
+    let faulty = faults.active();
+    let mut link = FaultyLink {
+        senders,
+        faults,
+        sent: 0,
+    };
+    // Hard safety net for faulty runs: the grace-window quiescence test
+    // below terminates every practical run long before this.
+    let round_cap = 8 * n + 64;
+    // Faulty runs only quit after this many consecutive quiet rounds,
+    // giving dropped retransmissions time to get through.
+    const GRACE: usize = 3;
 
     // Owned state, indexed by (v - lo).
     let mut mate = vec![UNMATCHED; hi - lo];
@@ -154,8 +244,14 @@ fn rank_main(
     let mut deferred: Vec<Msg> = Vec::new();
 
     let mut round = 0usize;
+    let mut quiet = 0usize;
     loop {
-        // Phase 1: propose.
+        // Phase 1: propose. Under faults every unmatched owned vertex
+        // re-proposes (heartbeat) so a dropped proposal is re-sent next
+        // round; fault-free runs propose only for dirty vertices.
+        if faulty {
+            dirty = (lo as VertexId..hi as VertexId).collect();
+        }
         for &v in &dirty {
             let li = v as usize - lo;
             if mate[li] != UNMATCHED {
@@ -164,9 +260,7 @@ fn rank_main(
             let c = find_mate_local(view, v, &known_matched);
             candidate[li] = c;
             if c != UNMATCHED {
-                senders[owner(c, n, p)]
-                    .send(Msg::Propose { from: v, to: c })
-                    .expect("inbox closed");
+                link.send(owner(c, n, p), Msg::Propose { from: v, to: c });
             }
         }
         dirty.clear();
@@ -178,7 +272,23 @@ fn rank_main(
         while let Ok(msg) = rx.try_recv() {
             if let Msg::Propose { from, to } = msg {
                 debug_assert!(owns(to));
-                proposals[to as usize - lo].push(from);
+                let li = to as usize - lo;
+                if mate[li] != UNMATCHED {
+                    // `to` already matched. Under faults the proposer
+                    // may have missed the announcement — retransmit the
+                    // pair to its owner so it stops proposing here.
+                    if faulty {
+                        link.send(
+                            owner(from, n, p),
+                            Msg::Matched {
+                                v: to,
+                                mate: mate[li],
+                            },
+                        );
+                    }
+                } else if !proposals[li].contains(&from) {
+                    proposals[li].push(from);
+                }
             } else {
                 deferred.push(msg);
             }
@@ -201,41 +311,48 @@ fn rank_main(
                 matched_now.push((v, c));
             }
         }
-        for &(v, c) in &matched_now {
-            for tx in &senders {
-                tx.send(Msg::Matched { v, mate: c }).expect("inbox closed");
-                tx.send(Msg::Matched { v: c, mate: v })
-                    .expect("inbox closed");
+        for i in 0..matched_now.len() {
+            let (v, c) = matched_now[i];
+            for r in 0..p {
+                link.send(r, Msg::Matched { v, mate: c });
+                link.send(r, Msg::Matched { v: c, mate: v });
             }
         }
         barrier.wait();
 
         // Phase 3: drain announcements (deferred ones first),
-        // invalidate neighbors.
+        // invalidate neighbors. Every announcement names the full pair,
+        // so it teaches us about BOTH endpoints — that way losing one
+        // of the two twin broadcasts loses no information.
+        let mut learned = false;
         let drained: Vec<Msg> = deferred
             .drain(..)
             .chain(std::iter::from_fn(|| rx.try_recv().ok()))
             .collect();
         for msg in drained {
             if let Msg::Matched { v, mate: m } = msg {
-                if known_matched[v as usize] {
-                    continue; // duplicate announcement (both owners matched)
-                }
-                known_matched[v as usize] = true;
-                if owns(v) {
-                    mate[v as usize - lo] = m;
-                    proposals[v as usize - lo].clear();
-                }
-                // Neighbors of v that we own and that pointed at v must
-                // recompute — the mirror of the paper's queue phase.
-                view.for_each_neighbor(v, |u, _| {
-                    if owns(u)
-                        && mate[u as usize - lo] == UNMATCHED
-                        && candidate[u as usize - lo] == v
-                    {
-                        dirty.push(u);
+                for (x, y) in [(v, m), (m, v)] {
+                    if known_matched[x as usize] {
+                        continue; // duplicate announcement
                     }
-                });
+                    learned = true;
+                    known_matched[x as usize] = true;
+                    if owns(x) {
+                        mate[x as usize - lo] = y;
+                        proposals[x as usize - lo].clear();
+                    }
+                    // Neighbors of x that we own and that pointed at x
+                    // must recompute — the mirror of the paper's queue
+                    // phase.
+                    view.for_each_neighbor(x, |u, _| {
+                        if owns(u)
+                            && mate[u as usize - lo] == UNMATCHED
+                            && candidate[u as usize - lo] == x
+                        {
+                            dirty.push(u);
+                        }
+                    });
+                }
             } else {
                 unreachable!("Propose messages cannot cross the phase-3 barriers");
             }
@@ -243,16 +360,26 @@ fn rank_main(
         dirty.sort_unstable();
         dirty.dedup();
 
-        // Termination: double-buffered global activity flag.
+        // Termination: double-buffered global activity flag. Fault-free
+        // runs stop at the first globally quiet round; faulty runs
+        // treat new matches/knowledge as activity and wait out a grace
+        // window so in-flight retransmissions can land.
+        let progress = if faulty {
+            !matched_now.is_empty() || learned || !dirty.is_empty()
+        } else {
+            !dirty.is_empty()
+        };
         let cur = round % 2;
-        if !dirty.is_empty() {
+        if progress {
             active[cur].store(true, Ordering::SeqCst);
         }
         barrier.wait();
         let keep_going = active[cur].load(Ordering::SeqCst);
         active[(round + 1) % 2].store(false, Ordering::SeqCst);
         barrier.wait();
-        if !keep_going {
+        quiet = if keep_going { 0 } else { quiet + 1 };
+        let done = if faulty { quiet >= GRACE } else { quiet >= 1 };
+        if done || (faulty && round + 1 >= round_cap) {
             break;
         }
         round += 1;
@@ -344,6 +471,80 @@ mod tests {
         let reference = distributed_local_dominant(&l, l.weights(), 2);
         for _ in 0..5 {
             assert_eq!(distributed_local_dominant(&l, l.weights(), 5), reference);
+        }
+    }
+
+    /// Exact optimum for the half-approximation bound.
+    fn exact_weight(l: &BipartiteGraph) -> f64 {
+        crate::max_weight_matching(l, l.weights(), crate::MatcherKind::Exact).weight(l, l.weights())
+    }
+
+    #[test]
+    fn dropped_messages_keep_half_approximation_and_terminate() {
+        for seed in [2, 7, 11] {
+            let l = random_l(seed, 24, 20, 0.3);
+            let half = exact_weight(&l) / 2.0;
+            for ranks in [2, 3, 5] {
+                for drop_every in [2, 3, 7] {
+                    let faults = ChannelFaults {
+                        drop_every,
+                        dup_every: 0,
+                    };
+                    // Completing at all proves termination despite the
+                    // losses (a wedged protocol would hang the test).
+                    let m = distributed_local_dominant_faulty(&l, l.weights(), ranks, faults);
+                    assert!(
+                        m.is_valid(&l),
+                        "seed {seed} ranks {ranks} drop {drop_every}"
+                    );
+                    let w = m.weight(&l, l.weights());
+                    assert!(
+                        w + 1e-9 >= half,
+                        "half-approximation violated: {w} < {half} \
+                         (seed {seed} ranks {ranks} drop {drop_every})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_messages_do_not_change_the_matching() {
+        for seed in [3, 13] {
+            let l = random_l(seed, 22, 25, 0.25);
+            let serial = serial_local_dominant(&l, l.weights());
+            for ranks in [2, 4] {
+                for dup_every in [1, 2, 5] {
+                    let faults = ChannelFaults {
+                        drop_every: 0,
+                        dup_every,
+                    };
+                    assert_eq!(
+                        distributed_local_dominant_faulty(&l, l.weights(), ranks, faults),
+                        serial,
+                        "seed {seed} ranks {ranks} dup {dup_every}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combined_drop_and_dup_faults_keep_the_guarantees() {
+        let l = random_l(5, 30, 30, 0.2);
+        let half = exact_weight(&l) / 2.0;
+        let faults = ChannelFaults {
+            drop_every: 3,
+            dup_every: 4,
+        };
+        for ranks in [2, 6] {
+            let m = distributed_local_dominant_faulty(&l, l.weights(), ranks, faults);
+            assert!(m.is_valid(&l), "ranks {ranks}");
+            let w = m.weight(&l, l.weights());
+            assert!(w + 1e-9 >= half, "ranks {ranks}: {w} < {half}");
+            // The matching is also maximal: no edge with two free
+            // endpoints is left behind once the faulty run settles.
+            assert!(m.is_maximal(&l, l.weights()), "ranks {ranks}");
         }
     }
 }

@@ -71,6 +71,8 @@ pub fn brute_force_matching(l: &BipartiteGraph, weights: &[f64]) -> (f64, Matchi
     for a in (0..na).rev() {
         let c = choice[a][mask];
         if c >= 0 {
+            // Invariant: choice[a] stores an index into a's own edge
+            // list (set while enumerating those edges), so nth() hits.
             let (b, _) = l.left_edges(a as VertexId).nth(c as usize).unwrap();
             m.add_pair(a as VertexId, b);
             mask &= !(1usize << b);

@@ -34,5 +34,6 @@ pub mod matching;
 pub mod order;
 
 pub use api::{max_weight_matching, max_weight_matching_traced, MatcherKind};
+pub use distributed::{distributed_local_dominant_faulty, ChannelFaults};
 pub use matching::Matching;
 pub use netalign_trace::{MatcherCounterSnapshot, MatcherCounters};

@@ -1,6 +1,6 @@
 //! Observability substrate for the netalign workspace.
 //!
-//! Three pieces, all dependency-free:
+//! Four pieces, all dependency-free:
 //!
 //! * [`StepTrace`] — hierarchical per-iteration, per-step wall-clock
 //!   spans. Replaces the old flat `StepTimers`: every `add` feeds both
@@ -14,8 +14,13 @@
 //!   costs one predictable branch; [`MatcherCounters::disabled`] is a
 //!   shared zero-cost sink for untraced call sites.
 //! * [`AlgoCounters`] + [`Json`] — aligner-level counters (messages
-//!   updated, rounding batch sizes, best-iterate improvements) and a
-//!   minimal JSON document tree for machine-readable run reports.
+//!   updated, rounding batch sizes, best-iterate improvements, numeric
+//!   recoveries) and a minimal JSON document tree for machine-readable
+//!   run reports.
+//! * [`faults`] — deterministic fault injection (NaN poisoning, worker
+//!   panics, checkpoint damage) driven by test plans or the
+//!   `NETALIGN_FAULT_*` environment variables; used by the tier-2
+//!   resilience suite to prove every recovery path end-to-end.
 //!
 //! Counter updates are only issued at schedule-independent points (see
 //! the matcher's round structure), so for a fixed input, configuration,
@@ -24,6 +29,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+pub mod faults;
 
 // ---------------------------------------------------------------------
 // JSON
@@ -438,6 +445,27 @@ impl MatcherCounters {
         }
     }
 
+    /// Seed the counters from a snapshot (no-op when disabled). Used
+    /// by checkpoint resume so that the counters reported at the end of
+    /// a resumed run equal the uninterrupted run's totals.
+    pub fn preload(&self, snap: &MatcherCounterSnapshot) {
+        if self.enabled {
+            self.rounds.fetch_add(snap.rounds, Ordering::Relaxed);
+            self.find_mate_initial
+                .fetch_add(snap.find_mate_initial, Ordering::Relaxed);
+            self.find_mate_reruns
+                .fetch_add(snap.find_mate_reruns, Ordering::Relaxed);
+            self.match_attempts
+                .fetch_add(snap.match_attempts, Ordering::Relaxed);
+            self.matched_pairs
+                .fetch_add(snap.matched_pairs, Ordering::Relaxed);
+            self.cas_failures
+                .fetch_add(snap.cas_failures, Ordering::Relaxed);
+            self.queue_peak
+                .fetch_max(snap.queue_peak, Ordering::Relaxed);
+        }
+    }
+
     /// Zero every counter (the enabled flag is unchanged).
     pub fn reset(&self) {
         self.rounds.store(0, Ordering::Relaxed);
@@ -517,6 +545,9 @@ pub struct AlgoCounters {
     pub rounding_batch_sizes: Vec<u64>,
     /// Times the best iterate improved.
     pub best_improvements: u64,
+    /// Times the numerical guard rolled the iterate back to the last
+    /// finite state and tightened the damping/step size.
+    pub numeric_recoveries: u64,
 }
 
 impl AlgoCounters {
@@ -541,6 +572,7 @@ impl AlgoCounters {
             ),
             ("vectors_rounded", Json::U64(self.vectors_rounded())),
             ("best_improvements", Json::U64(self.best_improvements)),
+            ("numeric_recoveries", Json::U64(self.numeric_recoveries)),
         ])
     }
 }

@@ -6,6 +6,7 @@
 //!                     [--matcher ld-parallel] [--alpha 1] [--beta 2]
 //!                     [--gamma 0.99] [--iters 100] [--batch 1]
 //!                     [--out matching.txt] [--json-out result.json]
+//!                     [--checkpoint DIR] [--resume PATH]
 //! netalignmc generate --dataset dmela-scere [--scale 0.1] [--seed 42]
 //!                     --out-dir data/
 //! ```
@@ -21,7 +22,6 @@ use netalignmc::graph::io;
 use netalignmc::graph::stats::{degree_summary, left_degree_summary};
 use netalignmc::prelude::*;
 use std::collections::HashMap;
-use std::io::Write;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -151,14 +151,47 @@ fn cmd_align(flags: &HashMap<String, String>) {
         final_exact_round: get_or(flags, "final-exact", "true") == "true",
         ..Default::default()
     };
+    // --checkpoint DIR snapshots the run into DIR (a rerun of the same
+    // command auto-resumes from the newest valid snapshot); --resume
+    // PATH resumes from an explicit snapshot file or directory. Only
+    // the iterative bp/mr engines have checkpointable state.
+    let checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
+    let resume = flags.get("resume").map(std::path::PathBuf::from);
+    let harness = if checkpoint.is_some() || resume.is_some() {
+        if method != "bp" && method != "mr" {
+            eprintln!("--checkpoint/--resume only apply to --method bp or mr");
+            exit(2)
+        }
+        let mut h = RunHarness::new();
+        if let Some(dir) = &checkpoint {
+            if resume.is_none() && dir.is_dir() {
+                h = h.with_resume_from(dir);
+            }
+            h = h.with_checkpoint_dir(dir);
+        }
+        if let Some(src) = &resume {
+            h = h.with_resume_from(src);
+        }
+        Some(h)
+    } else {
+        None
+    };
+    let run_checkpointed = |r: Result<AlignmentResult, CheckpointError>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("checkpoint/resume failed: {e}");
+            exit(1)
+        })
+    };
     let start = std::time::Instant::now();
-    let r = match method {
-        "bp" => belief_propagation(&p, &cfg),
-        "mr" => matching_relaxation(&p, &cfg),
-        "isorank" => isorank(&p, &IsoRankConfig::default(), &cfg),
-        "nsd" => nsd(&p, &NsdConfig::default(), &cfg),
-        "naive" => naive_rounding(&p, &cfg),
-        other => {
+    let r = match (method, &harness) {
+        ("bp", None) => belief_propagation(&p, &cfg),
+        ("bp", Some(h)) => run_checkpointed(h.run_bp(&p, &cfg)),
+        ("mr", None) => matching_relaxation(&p, &cfg),
+        ("mr", Some(h)) => run_checkpointed(h.run_mr(&p, &cfg)),
+        ("isorank", _) => isorank(&p, &IsoRankConfig::default(), &cfg),
+        ("nsd", _) => nsd(&p, &NsdConfig::default(), &cfg),
+        ("naive", _) => naive_rounding(&p, &cfg),
+        (other, _) => {
             eprintln!("unknown method '{other}' (bp|mr|isorank|nsd|naive)");
             exit(2)
         }
@@ -176,10 +209,11 @@ fn cmd_align(flags: &HashMap<String, String>) {
     println!("time      : {secs:.3}s");
 
     if let Some(out) = flags.get("out") {
-        let mut f = std::fs::File::create(out).expect("cannot create --out file");
+        let mut body = String::new();
         for (a, b) in r.matching.pairs() {
-            writeln!(f, "{a} {b}").unwrap();
+            body.push_str(&format!("{a} {b}\n"));
         }
+        write_output_file(out, &body, "--out");
         println!("matching written to {out}");
     }
     if let Some(out) = flags.get("json-out") {
@@ -193,8 +227,27 @@ fn cmd_align(flags: &HashMap<String, String>) {
             r.matching.cardinality(),
             secs
         );
-        std::fs::write(out, json).expect("cannot write --json-out file");
+        write_output_file(out, &json, "--json-out");
         println!("summary written to {out}");
+    }
+}
+
+/// Write a user-requested output file, creating missing parent
+/// directories; report failures on stderr and exit(1) instead of
+/// panicking with a backtrace.
+fn write_output_file(path: &str, body: &str, flag: &str) {
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {flag} directory {}: {e}", dir.display());
+                exit(1)
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("cannot write {flag} file {}: {e}", path.display());
+        exit(1)
     }
 }
 
@@ -203,7 +256,10 @@ fn cmd_generate(flags: &HashMap<String, String>) {
     let scale: f64 = parse_num(get_or(flags, "scale", "0.05"), "scale");
     let seed: u64 = parse_num(get_or(flags, "seed", "42"), "seed");
     let out_dir = std::path::PathBuf::from(get(flags, "out-dir"));
-    std::fs::create_dir_all(&out_dir).expect("cannot create --out-dir");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create --out-dir {}: {e}", out_dir.display());
+        exit(1)
+    }
 
     let inst = match name {
         "dmela-scere" => StandIn::DmelaScere.generate(scale, seed),
@@ -221,15 +277,24 @@ fn cmd_generate(flags: &HashMap<String, String>) {
             exit(2)
         }
     };
-    io::write_edge_list_file(&inst.problem.a, out_dir.join("a.el")).unwrap();
-    io::write_edge_list_file(&inst.problem.b, out_dir.join("b.el")).unwrap();
-    io::write_bipartite_smat_file(&inst.problem.l, out_dir.join("l.smat")).unwrap();
-    let mut f = std::fs::File::create(out_dir.join("planted.txt")).unwrap();
+    fn fail(out_dir: &std::path::Path, what: &str, e: impl std::fmt::Display) -> ! {
+        eprintln!("cannot write {what} under {}: {e}", out_dir.display());
+        exit(1)
+    }
+    io::write_edge_list_file(&inst.problem.a, out_dir.join("a.el"))
+        .unwrap_or_else(|e| fail(&out_dir, "a.el", e));
+    io::write_edge_list_file(&inst.problem.b, out_dir.join("b.el"))
+        .unwrap_or_else(|e| fail(&out_dir, "b.el", e));
+    io::write_bipartite_smat_file(&inst.problem.l, out_dir.join("l.smat"))
+        .unwrap_or_else(|e| fail(&out_dir, "l.smat", e));
+    let mut planted = String::new();
     for (a, pb) in inst.planted.iter().enumerate() {
         if let Some(b) = pb {
-            writeln!(f, "{a} {b}").unwrap();
+            planted.push_str(&format!("{a} {b}\n"));
         }
     }
+    std::fs::write(out_dir.join("planted.txt"), planted)
+        .unwrap_or_else(|e| fail(&out_dir, "planted.txt", e));
     let (va, vb, el, nnz) = inst.problem.shape();
     println!(
         "wrote {name} (scale {scale}, seed {seed}) to {}",

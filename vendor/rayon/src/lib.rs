@@ -48,7 +48,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Upper bound on chunks per parallel region. Also the unit of
@@ -61,6 +61,37 @@ const QUEUE_CAP: usize = 64;
 
 /// Hard cap on lazily-spawned persistent workers.
 const MAX_WORKERS: usize = 64;
+
+// ---------------------------------------------------------------------
+// Chunk fault hook (testing).
+// ---------------------------------------------------------------------
+
+/// Optional hook invoked on every chunk claim, *inside* the chunk's
+/// `catch_unwind` scope — a panicking hook is therefore recorded and
+/// propagated exactly like a panic in the work closure itself. The
+/// embedding application installs its fault-injection probe here
+/// (netalign wires `netalign_trace::faults::chunk_claim_tick` in) so
+/// the resilience suite can kill a worker on a chosen chunk claim.
+/// Stored as a raw pointer: a `fn()` is thin, and a null pointer is the
+/// disarmed state checked with one relaxed load per chunk.
+static CHUNK_FAULT_HOOK: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Install (or with `None` remove) the global chunk fault hook.
+pub fn set_chunk_fault_hook(hook: Option<fn()>) {
+    let raw = hook.map_or(std::ptr::null_mut(), |f| f as *mut ());
+    CHUNK_FAULT_HOOK.store(raw, Ordering::Release);
+}
+
+#[inline]
+fn chunk_fault_probe() {
+    let raw = CHUNK_FAULT_HOOK.load(Ordering::Acquire);
+    if !raw.is_null() {
+        // SAFETY: the only non-null values ever stored are `fn()`
+        // pointers from `set_chunk_fault_hook`.
+        let f: fn() = unsafe { std::mem::transmute::<*mut (), fn()>(raw) };
+        f();
+    }
+}
 
 // ---------------------------------------------------------------------
 // Pool-size scoping.
@@ -589,7 +620,10 @@ where
         return;
     }
     let work = &*job.work;
-    match catch_unwind(AssertUnwindSafe(|| work(part))) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        chunk_fault_probe();
+        work(part)
+    })) {
         Ok(r) => {
             (*job.results[idx].get()).write(r);
             job.status[idx].store(CHUNK_DONE, Ordering::Release);
@@ -706,7 +740,10 @@ where
 {
     let job = &*(core as *const JoinJob<B, RB>);
     let f = (*job.b.get()).take().expect("join chunk claimed twice");
-    match catch_unwind(AssertUnwindSafe(f)) {
+    match catch_unwind(AssertUnwindSafe(|| {
+        chunk_fault_probe();
+        f()
+    })) {
         Ok(r) => *job.rb.get() = Some(r),
         Err(p) => *job.payload.lock().unwrap() = Some(p),
     }
@@ -1131,6 +1168,8 @@ pub mod iter {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn pool(n: usize) -> crate::ThreadPool {
         crate::ThreadPoolBuilder::new()
@@ -1260,6 +1299,74 @@ mod tests {
         pool(4).install(|| {
             crate::join(|| 1, || -> usize { panic!("b went bad") });
         });
+    }
+
+    #[test]
+    fn pool_executes_next_region_normally_after_panic() {
+        // A panicking region must leave the persistent pool reusable:
+        // the job slot unpublished, the chunk cursor drained, workers
+        // parked again. Alternate panic → clean region several times
+        // and check the clean regions still reduce correctly.
+        let expect: usize = (0..100_000usize).sum();
+        for threads in [1, 2, 4, 8] {
+            pool(threads).install(|| {
+                for round in 0..3 {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        (0..100_000usize).into_par_iter().for_each(|i| {
+                            if i == 50_000 {
+                                panic!("round {round} exploded");
+                            }
+                        });
+                    }));
+                    assert!(r.is_err(), "round {round} must panic (pool {threads})");
+                    let total: usize = (0..100_000usize).into_par_iter().sum();
+                    assert_eq!(total, expect, "post-panic region (pool {threads})");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn join_usable_after_panic() {
+        pool(4).install(|| {
+            for _ in 0..3 {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    crate::join(|| 1, || -> usize { panic!("again") })
+                }));
+                assert!(r.is_err());
+                let (a, b) = crate::join(|| 2 + 2, || 3 * 3);
+                assert_eq!((a, b), (4, 9));
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_fault_hook_runs_inside_regions() {
+        // The hook is called once per claimed chunk, inside the chunk's
+        // catch_unwind scope. A counting hook observes the claims; the
+        // panicking-hook path is exercised end-to-end by the aligners'
+        // resilience suite (separate process), which serializes its
+        // fault plans.
+        static CLAIMS: AtomicUsize = AtomicUsize::new(0);
+        fn count() {
+            CLAIMS.fetch_add(1, Ordering::Relaxed);
+        }
+        crate::set_chunk_fault_hook(Some(count));
+        let before = CLAIMS.load(Ordering::Relaxed);
+        let total: usize = pool(4).install(|| (0..100_000usize).into_par_iter().sum());
+        crate::set_chunk_fault_hook(None);
+        assert_eq!(total, (0..100_000usize).sum::<usize>());
+        assert!(
+            CLAIMS.load(Ordering::Relaxed) > before,
+            "hook saw no chunk claims"
+        );
+        let after = CLAIMS.load(Ordering::Relaxed);
+        pool(4).install(|| (0..100_000usize).into_par_iter().sum::<usize>());
+        assert_eq!(
+            CLAIMS.load(Ordering::Relaxed),
+            after,
+            "hook still firing after uninstall"
+        );
     }
 
     #[test]

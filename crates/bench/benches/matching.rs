@@ -8,7 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netalign_data::standins::StandIn;
-use netalign_matching::{max_weight_matching, MatcherKind};
+use netalign_data::synthetic::{power_law_alignment, PowerLawParams};
+use netalign_matching::{
+    max_weight_matching, MatcherCounters, MatcherEngine, MatcherKind, RoundingMatcher,
+};
 use std::hint::black_box;
 
 fn bench_matchers(c: &mut Criterion) {
@@ -38,6 +41,70 @@ fn bench_matchers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The preallocated matcher engine on a power-law instance: lock-free
+/// Suitor vs queue-based parallel LD, cold vs warm-started, over a
+/// weight sequence with the sparse late-iteration changes a converging
+/// aligner produces. The legacy one-shot `ParallelLocalDominant`
+/// (fresh allocations every call) is the baseline.
+fn bench_engine_warm_vs_cold(c: &mut Criterion) {
+    let inst = power_law_alignment(&PowerLawParams {
+        n: 4000,
+        expected_degree: 8.0,
+        seed: 7,
+        ..Default::default()
+    });
+    let l = inst.problem.l.clone();
+    let m = l.num_edges();
+    // A converged aligner's rounding inputs: mostly-frozen weights with
+    // a few entries still drifting each iteration.
+    let steps = 10usize;
+    let mut seq: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut w = l.weights().to_vec();
+    for s in 0..steps {
+        for j in 0..8 {
+            let e = (s * 7919 + j * 104729) % m;
+            w[e] += 0.001 * (1.0 + (s + j) as f64 * 0.1);
+        }
+        seq.push(w.clone());
+    }
+
+    let mut group = c.benchmark_group("matcher-engine");
+    group.sample_size(10);
+    group.bench_function("legacy-ld-parallel", |b| {
+        b.iter(|| {
+            for w in &seq {
+                black_box(max_weight_matching(
+                    &l,
+                    w,
+                    MatcherKind::ParallelLocalDominant,
+                ));
+            }
+        })
+    });
+    for kind in [RoundingMatcher::Ld, RoundingMatcher::Suitor] {
+        for warm in [false, true] {
+            let name = format!(
+                "{}-{}",
+                match kind {
+                    RoundingMatcher::Ld => "engine-ld",
+                    RoundingMatcher::Suitor => "engine-suitor",
+                },
+                if warm { "warm" } else { "cold" }
+            );
+            group.bench_function(name, |b| {
+                let mut eng = MatcherEngine::new(&l, kind, warm);
+                let counters = MatcherCounters::disabled();
+                b.iter(|| {
+                    for w in &seq {
+                        black_box(eng.run(&l, w, counters));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_matching_scaling_with_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching-size");
     group.sample_size(10);
@@ -61,5 +128,10 @@ fn bench_matching_scaling_with_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matchers, bench_matching_scaling_with_size);
+criterion_group!(
+    benches,
+    bench_matchers,
+    bench_engine_warm_vs_cold,
+    bench_matching_scaling_with_size
+);
 criterion_main!(benches);

@@ -4,21 +4,24 @@
 //! count — the paper reports row-match ≈ 40% and match ≈ 40% at
 //! 40 threads, making the matching the scalability limiter.
 //!
-//! Flags: `--scale`, `--iters`, `--seed`, `--threads`, `--json PATH`
-//! to also write the machine-readable report (per-thread-count
-//! per-step seconds plus the matcher counters; schema in
-//! EXPERIMENTS.md), `--checkpoint DIR` to snapshot each run into
-//! `DIR/t{n}` (a rerun of the same command auto-resumes), and
-//! `--resume PATH` to resume from an explicit snapshot tree.
+//! Flags: `--scale`, `--iters`, `--seed`, `--threads`,
+//! `--matcher {ld,suitor}` to route the per-iteration rounding through
+//! the preallocated matcher engine, `--warm-start true` to seed each
+//! rounding from the previous iteration's mate state (bit-identical
+//! results either way), `--json PATH` to also write the
+//! machine-readable report (per-thread-count per-step seconds plus the
+//! matcher counters; schema in EXPERIMENTS.md), `--checkpoint DIR` to
+//! snapshot each run into `DIR/t{n}` (a rerun of the same command
+//! auto-resumes), and `--resume PATH` to resume from an explicit
+//! snapshot tree.
 
 use netalign_bench::{
-    harness_for_run, run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args,
-    Table,
+    harness_for_run, rounding_flags, run_with_threads, table::f, thread_sweep,
+    write_json_report_or_exit, Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
 use netalign_data::standins::StandIn;
-use netalign_matching::MatcherKind;
 
 const MR_STEPS: [Step; 5] = [
     Step::RowMatch,
@@ -34,6 +37,7 @@ fn main() {
     let iters = args.usize("iters", 10);
     let seed = args.u64("seed", 11);
     let threads = args.usize_list("threads", thread_sweep());
+    let rf = rounding_flags(&args);
     let json_path = args.string("json", "");
     let checkpoint = args.string("checkpoint", "");
     let resume = args.string("resume", "");
@@ -51,7 +55,9 @@ fn main() {
     for &nt in &threads {
         let cfg = AlignConfig {
             iterations: iters,
-            matcher: MatcherKind::ParallelLocalDominant,
+            matcher: rf.matcher,
+            rounding: rf.rounding,
+            warm_start: rf.warm_start,
             trace_matcher: true,
             ..Default::default()
         };

@@ -4,20 +4,23 @@
 //! damping ≈ 12% at 40 threads, with damping the limiting step.
 //!
 //! Flags: `--scale`, `--iters`, `--seed`, `--threads`, `--batch`,
-//! `--json PATH` to also write the machine-readable report
-//! (per-thread-count per-step seconds plus the matcher counters;
-//! schema in EXPERIMENTS.md), `--checkpoint DIR` to snapshot each run
-//! into `DIR/t{n}` (a rerun of the same command auto-resumes), and
-//! `--resume PATH` to resume from an explicit snapshot tree.
+//! `--matcher {ld,suitor}` to route the batched rounding through the
+//! preallocated matcher engine, `--warm-start true` to seed each
+//! rounding from the previous mate state of its stream (bit-identical
+//! results either way), `--json PATH` to also write the
+//! machine-readable report (per-thread-count per-step seconds plus the
+//! matcher counters; schema in EXPERIMENTS.md), `--checkpoint DIR` to
+//! snapshot each run into `DIR/t{n}` (a rerun of the same command
+//! auto-resumes), and `--resume PATH` to resume from an explicit
+//! snapshot tree.
 
 use netalign_bench::{
-    harness_for_run, run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args,
-    Table,
+    harness_for_run, rounding_flags, run_with_threads, table::f, thread_sweep,
+    write_json_report_or_exit, Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
 use netalign_data::standins::StandIn;
-use netalign_matching::MatcherKind;
 
 const BP_STEPS: [Step; 6] = [
     Step::ComputeF,
@@ -35,6 +38,7 @@ fn main() {
     let seed = args.u64("seed", 11);
     let batch = args.usize("batch", 20);
     let threads = args.usize_list("threads", thread_sweep());
+    let rf = rounding_flags(&args);
     let json_path = args.string("json", "");
     let checkpoint = args.string("checkpoint", "");
     let resume = args.string("resume", "");
@@ -53,7 +57,9 @@ fn main() {
         let cfg = AlignConfig {
             iterations: iters,
             batch,
-            matcher: MatcherKind::ParallelLocalDominant,
+            matcher: rf.matcher,
+            rounding: rf.rounding,
+            warm_start: rf.warm_start,
             trace_matcher: true,
             ..Default::default()
         };

@@ -12,7 +12,10 @@
 //! and reports the wall-clock ratio plus the objective gap.
 //!
 //! Flags: `--scale`, `--iters`, `--seed`, `--threads` (max pool size),
-//! `--json PATH` to also write the machine-readable report (one full
+//! `--matcher {ld,suitor}` to route the approximate configurations'
+//! rounding through the preallocated matcher engine, `--warm-start
+//! true` to warm-start it (the exact baseline is unaffected), `--json
+//! PATH` to also write the machine-readable report (one full
 //! [`AlignmentResult::report_json`] per configuration; schema in
 //! EXPERIMENTS.md), `--checkpoint DIR` to snapshot each configuration
 //! into its own `DIR/<slug>` subdirectory (a rerun of the same command
@@ -20,8 +23,8 @@
 //! snapshot tree.
 
 use netalign_bench::{
-    available_threads, harness_for_run, run_with_threads, table::f, write_json_report_or_exit,
-    Args, Table,
+    available_threads, harness_for_run, rounding_flags, run_with_threads, table::f,
+    write_json_report_or_exit, Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::Json;
@@ -35,6 +38,7 @@ fn main() {
     let iters = args.usize("iters", 10);
     let seed = args.u64("seed", 11);
     let max_threads = args.usize("threads", available_threads());
+    let rf = rounding_flags(&args);
     let json_path = args.string("json", "");
     let checkpoint = args.string("checkpoint", "");
     let resume = args.string("resume", "");
@@ -46,17 +50,28 @@ fn main() {
     );
 
     let runs = [
-        ("BP exact, 1 thread", "exact-t1", MatcherKind::Exact, 1usize),
+        (
+            "BP exact, 1 thread",
+            "exact-t1",
+            MatcherKind::Exact,
+            None,
+            false,
+            1usize,
+        ),
         (
             "BP approx, 1 thread",
             "approx-t1",
-            MatcherKind::ParallelLocalDominant,
+            rf.matcher,
+            rf.rounding,
+            rf.warm_start,
             1,
         ),
         (
             "BP approx, max threads",
             "approx-tmax",
-            MatcherKind::ParallelLocalDominant,
+            rf.matcher,
+            rf.rounding,
+            rf.warm_start,
             max_threads,
         ),
     ];
@@ -65,11 +80,13 @@ fn main() {
     let mut t = Table::new(&["configuration", "threads", "seconds", "objective"]);
     let mut results = Vec::new();
     let mut reports = Vec::new();
-    for (name, slug, matcher, nt) in runs {
+    for (name, slug, matcher, rounding, warm_start, nt) in runs {
         let cfg = AlignConfig {
             iterations: iters,
             batch: 20,
             matcher,
+            rounding,
+            warm_start,
             trace_matcher: true,
             ..Default::default()
         };

@@ -1,6 +1,7 @@
 //! Minimal `--key value` argument parsing for the experiment binaries
 //! (no external CLI crate needed).
 
+use netalign_matching::{MatcherKind, RoundingMatcher};
 use std::collections::HashMap;
 
 /// Parsed `--key value` flags.
@@ -91,6 +92,58 @@ impl Args {
             .cloned()
             .unwrap_or_else(|| default.to_string())
     }
+
+    /// Get a boolean flag with default (`--flag true|false`).
+    pub fn bool(&self, key: &str, default: bool) -> bool {
+        self.flags
+            .get(key)
+            .map(|v| match v.as_str() {
+                "true" | "1" | "yes" => true,
+                "false" | "0" | "no" => false,
+                other => panic!("--{key} must be true or false, got '{other}'"),
+            })
+            .unwrap_or(default)
+    }
+}
+
+/// The matcher configuration the figure binaries share: which matcher
+/// rounds the iterates, whether the preallocated engine backs it, and
+/// whether successive calls warm-start from the previous mate state.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundingFlags {
+    /// Legacy one-shot matcher kind (also used by the final rounding).
+    pub matcher: MatcherKind,
+    /// Engine selection for [`netalign_core::AlignConfig::rounding`].
+    pub rounding: Option<RoundingMatcher>,
+    /// Warm-start the engine between rounding calls.
+    pub warm_start: bool,
+}
+
+/// Parse the `--matcher {ld,suitor}` / `--warm-start true` flags shared
+/// by `fig6`, `fig7` and `headline`. Without `--matcher` the legacy
+/// cold queue-based parallel LD path is kept — unless `--warm-start
+/// true` alone is given, which defaults the engine to `ld` (warm starts
+/// need the engine's persistent state).
+pub fn rounding_flags(args: &Args) -> RoundingFlags {
+    let warm_start = args.bool("warm-start", false);
+    let name = args.string("matcher", "");
+    let (matcher, rounding) = match name.as_str() {
+        "" => (
+            MatcherKind::ParallelLocalDominant,
+            warm_start.then_some(RoundingMatcher::Ld),
+        ),
+        "ld" => (
+            MatcherKind::ParallelLocalDominant,
+            Some(RoundingMatcher::Ld),
+        ),
+        "suitor" => (MatcherKind::ParallelSuitor, Some(RoundingMatcher::Suitor)),
+        other => panic!("--matcher must be 'ld' or 'suitor', got '{other}'"),
+    };
+    RoundingFlags {
+        matcher,
+        rounding,
+        warm_start,
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +180,42 @@ mod tests {
     #[should_panic(expected = "expected --flag")]
     fn positional_rejected() {
         let _ = args(&["positional"]);
+    }
+
+    #[test]
+    fn bool_flags_parse() {
+        let a = args(&["--warm-start", "true", "--other", "no"]);
+        assert!(a.bool("warm-start", false));
+        assert!(!a.bool("other", true));
+        assert!(a.bool("missing", true));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be true or false")]
+    fn bad_bool_panics() {
+        let a = args(&["--warm-start", "maybe"]);
+        let _ = a.bool("warm-start", false);
+    }
+
+    #[test]
+    fn rounding_flags_default_is_legacy_cold() {
+        let rf = rounding_flags(&args(&[]));
+        assert_eq!(rf.matcher, MatcherKind::ParallelLocalDominant);
+        assert_eq!(rf.rounding, None);
+        assert!(!rf.warm_start);
+    }
+
+    #[test]
+    fn rounding_flags_select_engines() {
+        let rf = rounding_flags(&args(&["--matcher", "suitor", "--warm-start", "true"]));
+        assert_eq!(rf.matcher, MatcherKind::ParallelSuitor);
+        assert_eq!(rf.rounding, Some(RoundingMatcher::Suitor));
+        assert!(rf.warm_start);
+
+        // --warm-start alone defaults the engine to ld.
+        let rf = rounding_flags(&args(&["--warm-start", "true"]));
+        assert_eq!(rf.matcher, MatcherKind::ParallelLocalDominant);
+        assert_eq!(rf.rounding, Some(RoundingMatcher::Ld));
+        assert!(rf.warm_start);
     }
 }

@@ -7,7 +7,7 @@ pub mod pool;
 pub mod report;
 pub mod table;
 
-pub use cli::Args;
+pub use cli::{rounding_flags, Args, RoundingFlags};
 pub use model::{amdahl_speedup, paper_model_speedup};
 pub use pool::{available_threads, bench_pools, bench_scale, run_with_threads, thread_sweep};
 pub use report::{harness_for_run, write_json_report_or_exit, ReportError};

@@ -37,14 +37,14 @@ pub mod othermax;
 
 use crate::checkpoint::BpState;
 use crate::config::AlignConfig;
-use crate::objective::evaluate_matching;
+use crate::objective::{evaluate_matching, evaluate_matching_with_scratch};
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rounding::{round_batch_traced, round_heuristic};
 use crate::rowspans::RowSpans;
 use crate::squares::SquaresMatrix;
 use crate::trace::{faults, MatcherCounters, RunTrace, Step};
-use netalign_matching::MatcherKind;
+use netalign_matching::{MatcherEngine, MatcherKind};
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
 use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
@@ -135,6 +135,14 @@ pub struct BpEngine<'a> {
     pending_iter: Vec<usize>,
     pending_bufs: Vec<Vec<f64>>,
     buf_pool: Vec<Vec<f64>>,
+    // Engine-mode rounding (config.rounding set): two preallocated
+    // matcher engines, because `step` stages y then z — index parity
+    // routes each stream to its own engine, so warm starts always diff
+    // y(k) against y(k-1) and z(k) against z(k-1), never y against z.
+    // Empty in legacy mode. `eval_marks` is the all-false scratch for
+    // the allocation-free objective evaluation of each rounded iterate.
+    rounding: Vec<MatcherEngine>,
+    eval_marks: Vec<bool>,
     best: Option<(f64, usize)>,
     best_g: Vec<f64>,
     // Observability.
@@ -179,6 +187,13 @@ impl<'a> BpEngine<'a> {
             pending_iter: Vec::with_capacity(batch_cap),
             pending_bufs: Vec::with_capacity(batch_cap),
             buf_pool: Vec::with_capacity(batch_cap),
+            rounding: match config.rounding {
+                Some(kind) => (0..2)
+                    .map(|_| MatcherEngine::new(&p.l, kind, config.warm_start))
+                    .collect(),
+                None => Vec::new(),
+            },
+            eval_marks: vec![false; if config.rounding.is_some() { m } else { 0 }],
             best: None,
             best_g: vec![0.0; m],
             trace,
@@ -351,6 +366,10 @@ impl<'a> BpEngine<'a> {
             return;
         }
         let t0 = Instant::now();
+        if !self.rounding.is_empty() {
+            self.round_pending_with_engines(t0);
+            return;
+        }
         let rounded = round_batch_traced(
             self.p,
             &self.pending_bufs,
@@ -388,6 +407,57 @@ impl<'a> BpEngine<'a> {
         self.pending_iter.clear();
         self.buf_pool.append(&mut self.pending_bufs);
         self.trace.add(Step::Match, t0.elapsed());
+    }
+
+    /// Engine-mode tail of [`BpEngine::round_pending`]: route each
+    /// staged vector through its stream's preallocated matcher engine
+    /// (in order, so warm starts see consecutive iterates) and evaluate
+    /// through the mark scratch. Same bookkeeping as the legacy path,
+    /// zero steady-state allocation.
+    fn round_pending_with_engines(&mut self, t0: Instant) {
+        let (alpha, beta) = (self.config.alpha, self.config.beta);
+        let record_history = self.config.record_history;
+        let Self {
+            p,
+            pending_iter,
+            pending_bufs,
+            buf_pool,
+            rounding,
+            eval_marks,
+            counters,
+            history,
+            best,
+            best_g,
+            trace,
+            ..
+        } = self;
+        trace.algo.rounding_invocations += 1;
+        trace
+            .algo
+            .rounding_batch_sizes
+            .push(pending_bufs.len() as u64);
+        for (idx, (&iter_k, g)) in pending_iter.iter().zip(pending_bufs.iter()).enumerate() {
+            let engine = &mut rounding[idx % 2];
+            let matching = engine.run(&p.l, g, counters);
+            let value = evaluate_matching_with_scratch(p, matching, alpha, beta, eval_marks);
+            if record_history {
+                history.push(IterationRecord {
+                    iteration: iter_k,
+                    objective: value.total,
+                    weight: value.weight,
+                    overlap: value.overlap,
+                    upper_bound: None,
+                });
+            }
+            if best.is_none_or(|(b, _)| value.total > b) {
+                *best = Some((value.total, iter_k));
+                best_g.copy_from_slice(g);
+                trace.algo.best_improvements += 1;
+            }
+        }
+        pending_iter.clear();
+        buf_pool.append(pending_bufs);
+        trace.add(Step::Match, t0.elapsed());
     }
 
     /// Close the current iteration's trace row.
@@ -441,6 +511,13 @@ impl<'a> BpEngine<'a> {
         self.history = state.history;
         self.trace.algo = state.algo;
         self.counters.preload(&state.matcher);
+        // The engines' warm memory refers to whatever they matched
+        // before the restore, not to the restored iterates — force the
+        // next run of each back to a cold pass (warm ≡ cold, so the
+        // resumed run stays bit-identical).
+        for e in &mut self.rounding {
+            e.invalidate();
+        }
     }
 
     /// Flush any remaining staged iterates and assemble the result.
@@ -748,5 +825,74 @@ mod tests {
         assert_eq!(via_wrapper.objective, manual.objective);
         assert_eq!(via_wrapper.matching, manual.matching);
         assert_eq!(via_wrapper.best_iteration, manual.best_iteration);
+    }
+
+    /// The preallocated rounding engine — cold or warm, LD or Suitor —
+    /// reproduces the legacy `ParallelLocalDominant` run bit-for-bit:
+    /// same incumbent, same matching, same per-rounding history.
+    #[test]
+    fn engine_rounding_matches_legacy_parallel_ld() {
+        use netalign_matching::RoundingMatcher;
+        let g = power_law_graph(40, 2.5, 10, 25);
+        let a = add_random_edges(&g, 0.02, 26);
+        let b = add_random_edges(&g, 0.02, 27);
+        let l = identity_plus_noise_l(40, 40, 4.0 / 40.0, 1.0, 1.0, 28);
+        let p = NetAlignProblem::new(a, b, l);
+        for batch in [1, 4] {
+            let legacy_cfg = AlignConfig {
+                iterations: 15,
+                batch,
+                matcher: MatcherKind::ParallelLocalDominant,
+                record_history: true,
+                ..Default::default()
+            };
+            let legacy = belief_propagation(&p, &legacy_cfg);
+            for kind in [RoundingMatcher::Ld, RoundingMatcher::Suitor] {
+                for warm in [false, true] {
+                    let cfg = AlignConfig {
+                        rounding: Some(kind),
+                        warm_start: warm,
+                        ..legacy_cfg
+                    };
+                    let r = belief_propagation(&p, &cfg);
+                    assert_eq!(
+                        r.objective.to_bits(),
+                        legacy.objective.to_bits(),
+                        "batch {batch}, {kind:?}, warm {warm}"
+                    );
+                    assert_eq!(r.matching, legacy.matching);
+                    assert_eq!(r.best_iteration, legacy.best_iteration);
+                    assert_eq!(r.history.len(), legacy.history.len());
+                    for (h, lh) in r.history.iter().zip(&legacy.history) {
+                        assert_eq!(h.iteration, lh.iteration);
+                        assert_eq!(h.objective.to_bits(), lh.objective.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Warm-started engine rounding actually reuses state: once the
+    /// `γᵏ` damping decays below one ulp (γ = 0.5, k > 53) the iterates
+    /// freeze bit-exactly and every later rounding is a full warm hit.
+    #[test]
+    fn warm_engine_reports_reuse_over_a_run() {
+        use netalign_matching::RoundingMatcher;
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 60,
+            gamma: 0.5,
+            matcher: MatcherKind::ParallelLocalDominant,
+            rounding: Some(RoundingMatcher::Ld),
+            warm_start: true,
+            trace_matcher: true,
+            ..Default::default()
+        };
+        let r = belief_propagation(&p, &cfg);
+        assert!(
+            r.trace.matcher.warm_hits > 0,
+            "expected warm hits, got {:?}",
+            r.trace.matcher
+        );
     }
 }

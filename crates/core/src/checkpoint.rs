@@ -11,13 +11,16 @@
 //! Neither engine holds RNG state — every kernel is deterministic — so
 //! nothing stochastic needs to be captured.
 //!
-//! # File format (version 1)
+//! # File format (version 2)
 //!
-//! Little-endian throughout:
+//! Version 2 extends the matcher-counter block with the Suitor and
+//! warm-start counters (`proposals`, `displacements`, `warm_hits`,
+//! `reseeded_vertices`); version-1 files are rejected with
+//! [`CheckpointError::VersionMismatch`]. Little-endian throughout:
 //!
 //! ```text
 //! magic      4 bytes   b"NACP"
-//! version    u32       1
+//! version    u32       2
 //! engine     u8        0 = BP, 1 = MR
 //! shape      4 × u64   (|V_A|, |V_B|, |E_L|, nnz(S))
 //! config     u64       FNV-1a 64 of the canonical config string
@@ -47,7 +50,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Format version written by this build.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"NACP";
 const HEADER_LEN: usize = 4 + 4 + 1 + 4 * 8 + 8 + 8 + 8;
@@ -315,7 +318,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// different checkpoint interval than the original run.
 pub fn config_fingerprint(config: &AlignConfig) -> u64 {
     let canonical = format!(
-        "alpha={};beta={};gamma={};iterations={};mstep={};batch={};matcher={:?};damping={:?};enriched={};final_exact={};guards={}",
+        "alpha={};beta={};gamma={};iterations={};mstep={};batch={};matcher={:?};damping={:?};enriched={};final_exact={};guards={};rounding={:?};warm={}",
         config.alpha.to_bits(),
         config.beta.to_bits(),
         config.gamma.to_bits(),
@@ -327,6 +330,8 @@ pub fn config_fingerprint(config: &AlignConfig) -> u64 {
         config.enriched_rounding,
         config.final_exact_round,
         config.numeric_guards,
+        config.rounding,
+        config.warm_start,
     );
     fnv1a(canonical.as_bytes())
 }
@@ -426,6 +431,10 @@ impl Writer {
         self.put_u64(m.matched_pairs);
         self.put_u64(m.cas_failures);
         self.put_u64(m.queue_peak);
+        self.put_u64(m.proposals);
+        self.put_u64(m.displacements);
+        self.put_u64(m.warm_hits);
+        self.put_u64(m.reseeded_vertices);
     }
 }
 
@@ -570,6 +579,10 @@ impl<'a> Reader<'a> {
             matched_pairs: self.get_u64("matcher.matched_pairs")?,
             cas_failures: self.get_u64("matcher.cas_failures")?,
             queue_peak: self.get_u64("matcher.queue_peak")?,
+            proposals: self.get_u64("matcher.proposals")?,
+            displacements: self.get_u64("matcher.displacements")?,
+            warm_hits: self.get_u64("matcher.warm_hits")?,
+            reseeded_vertices: self.get_u64("matcher.reseeded_vertices")?,
         })
     }
 

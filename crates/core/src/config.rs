@@ -1,6 +1,6 @@
 //! Run configuration shared by the BP and MR aligners.
 
-use netalign_matching::MatcherKind;
+use netalign_matching::{MatcherKind, RoundingMatcher};
 
 /// How BP's messages are damped toward the previous iterate (the paper
 /// describes only the `γᵏ` variant and points to Bayati et al. [13]
@@ -114,6 +114,20 @@ pub struct AlignConfig {
     /// the enabled path adds relaxed atomic traffic inside the matcher;
     /// disabled it costs one predictable branch per event.
     pub trace_matcher: bool,
+    /// Route the per-iteration rounding matchings through a
+    /// preallocated [`netalign_matching::MatcherEngine`] of the given
+    /// kind instead of the one-shot [`MatcherKind`] dispatch. `None`
+    /// (the default) keeps the legacy path; `Some(RoundingMatcher::Ld)`
+    /// computes the *same* matching as
+    /// [`MatcherKind::ParallelLocalDominant`] bit-for-bit, without the
+    /// per-call allocations. The final rounding in `finalize` still
+    /// uses [`AlignConfig::matcher`].
+    pub rounding: Option<RoundingMatcher>,
+    /// Warm-start the rounding engine: seed each matcher call from the
+    /// previous call's mate state and reprocess only vertices a weight
+    /// change can affect. Requires [`AlignConfig::rounding`]; results
+    /// stay bit-identical to cold runs at every pool size.
+    pub warm_start: bool,
     /// Numerical guard rails: finite-check the iterate at the end of
     /// every iteration and, on a non-finite value, roll back to the
     /// last finite iterate and tighten the damping/step size (BP:
@@ -144,6 +158,8 @@ impl Default for AlignConfig {
             final_exact_round: false,
             record_history: false,
             trace_matcher: false,
+            rounding: None,
+            warm_start: false,
             numeric_guards: true,
             checkpoint: CheckpointPolicy::disabled(),
         }
@@ -170,6 +186,10 @@ impl AlignConfig {
         assert!(self.iterations > 0, "need at least one iteration");
         assert!(self.batch >= 1, "batch must be at least 1");
         assert!(self.mstep >= 1, "mstep must be at least 1");
+        assert!(
+            !self.warm_start || self.rounding.is_some(),
+            "warm_start requires a rounding engine (set rounding)"
+        );
         assert!(
             self.checkpoint.every_secs >= 0.0,
             "checkpoint.every_secs must be non-negative, got {}",
@@ -213,6 +233,27 @@ mod tests {
     fn rejects_zero_batch() {
         AlignConfig {
             batch: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "warm_start")]
+    fn rejects_warm_start_without_engine() {
+        AlignConfig {
+            warm_start: true,
+            rounding: None,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn engine_config_is_valid() {
+        AlignConfig {
+            rounding: Some(RoundingMatcher::Suitor),
+            warm_start: true,
             ..Default::default()
         }
         .validate();

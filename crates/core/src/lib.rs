@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::mr::matching_relaxation;
     pub use crate::problem::NetAlignProblem;
     pub use crate::result::AlignmentResult;
-    pub use netalign_matching::MatcherKind;
+    pub use netalign_matching::{MatcherKind, RoundingMatcher};
 }
 
 pub use bp::belief_propagation;

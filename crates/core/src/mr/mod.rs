@@ -33,12 +33,12 @@ pub mod rowmatch;
 use crate::bp::{all_finite, finalize, install_fault_hook, CHUNK};
 use crate::checkpoint::MrState;
 use crate::config::AlignConfig;
-use crate::objective::evaluate_matching;
+use crate::objective::{evaluate_matching, evaluate_matching_with_scratch};
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rowspans::RowSpans;
 use crate::trace::{faults, MatcherCounters, RunTrace, Step};
-use netalign_matching::max_weight_matching_traced;
+use netalign_matching::{max_weight_matching_traced, MatcherEngine, Matching};
 use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
 use rowmatch::{solve_row_matchings_into, RowWorkspace};
@@ -81,6 +81,15 @@ pub struct MrEngine<'a> {
     // Loop-invariant structure.
     spans: RowSpans,
     workspaces: Vec<RowWorkspace>,
+    // Engine-mode rounding (config.rounding set): one preallocated
+    // matcher engine per weight stream — w̄ every iteration, plus the
+    // enriched-rounding weights when that option is on — so each warm
+    // start diffs against its own previous vector. `None` in legacy
+    // mode. `eval_marks` is the all-false scratch for the
+    // allocation-free objective evaluation.
+    rounding_w: Option<MatcherEngine>,
+    rounding_g2: Option<MatcherEngine>,
+    eval_marks: Vec<bool>,
     // Incumbent and step-size control.
     best: Option<(f64, usize)>,
     best_g: Vec<f64>,
@@ -119,6 +128,14 @@ impl<'a> MrEngine<'a> {
             g2: vec![0.0; if config.enriched_rounding { m } else { 0 }],
             spans,
             workspaces,
+            rounding_w: config
+                .rounding
+                .map(|kind| MatcherEngine::new(&p.l, kind, config.warm_start)),
+            rounding_g2: config
+                .rounding
+                .filter(|_| config.enriched_rounding)
+                .map(|kind| MatcherEngine::new(&p.l, kind, config.warm_start)),
+            eval_marks: vec![false; if config.rounding.is_some() { m } else { 0 }],
             best: None,
             best_g: vec![0.0; m],
             best_upper: f64::INFINITY,
@@ -203,17 +220,30 @@ impl<'a> MrEngine<'a> {
             }
         }
 
-        // Step 3: the full matching — exact or approximate.
+        // Step 3: the full matching — exact, approximate, or the
+        // preallocated (optionally warm-started) rounding engine.
         let t0 = Instant::now();
-        let matching =
-            max_weight_matching_traced(&p.l, &self.wbar, self.config.matcher, &self.counters);
+        let owned;
+        let matching: &Matching = if let Some(eng) = self.rounding_w.as_mut() {
+            eng.run(&p.l, &self.wbar, &self.counters)
+        } else {
+            owned =
+                max_weight_matching_traced(&p.l, &self.wbar, self.config.matcher, &self.counters);
+            &owned
+        };
         self.trace.add(Step::Match, t0.elapsed());
         self.trace.algo.rounding_invocations += 1;
         self.trace.algo.rounding_batch_sizes.push(1);
 
-        // Step 4: bounds.
+        // Step 4: bounds. The scratch evaluation is bit-identical to
+        // the allocating one; engine mode uses it to keep the loop
+        // allocation-free.
         let t0 = Instant::now();
-        let mut value = evaluate_matching(p, &matching, alpha, beta);
+        let mut value = if self.eval_marks.is_empty() {
+            evaluate_matching(p, matching, alpha, beta)
+        } else {
+            evaluate_matching_with_scratch(p, matching, alpha, beta, &mut self.eval_marks)
+        };
         matching.indicator_into(&p.l, &mut self.x);
         // Serial dot product: a rayon float reduction's tree shape (and
         // hence its roundoff) depends on work stealing; this sum must be
@@ -247,9 +277,19 @@ impl<'a> MrEngine<'a> {
                     }
                     *ge = alpha * p.l.weights()[e] + beta * acc;
                 });
-            let m2 =
-                max_weight_matching_traced(&p.l, &self.g2, self.config.matcher, &self.counters);
-            let v2 = evaluate_matching(p, &m2, alpha, beta);
+            let m2_owned;
+            let m2: &Matching = if let Some(eng) = self.rounding_g2.as_mut() {
+                eng.run(&p.l, &self.g2, &self.counters)
+            } else {
+                m2_owned =
+                    max_weight_matching_traced(&p.l, &self.g2, self.config.matcher, &self.counters);
+                &m2_owned
+            };
+            let v2 = if self.eval_marks.is_empty() {
+                evaluate_matching(p, m2, alpha, beta)
+            } else {
+                evaluate_matching_with_scratch(p, m2, alpha, beta, &mut self.eval_marks)
+            };
             if v2.total > value.total {
                 value = v2;
                 use_enriched = true;
@@ -376,6 +416,15 @@ impl<'a> MrEngine<'a> {
         self.history = state.history;
         self.trace.algo = state.algo;
         self.counters.preload(&state.matcher);
+        // The engines' warm memory refers to whatever they matched
+        // before the restore; force their next run cold (warm ≡ cold,
+        // so the resumed run stays bit-identical).
+        if let Some(e) = self.rounding_w.as_mut() {
+            e.invalidate();
+        }
+        if let Some(e) = self.rounding_g2.as_mut() {
+            e.invalidate();
+        }
     }
 
     /// Assemble the result from the incumbent.
@@ -618,5 +667,55 @@ mod tests {
         assert_eq!(via_wrapper.objective, manual.objective);
         assert_eq!(via_wrapper.matching, manual.matching);
         assert_eq!(via_wrapper.upper_bound, manual.upper_bound);
+    }
+
+    /// The preallocated rounding engine — cold or warm, LD or Suitor,
+    /// with and without enriched rounding — reproduces the legacy
+    /// `ParallelLocalDominant` run bit-for-bit. MR is the stronger test
+    /// of the engines: the matching drives the multiplier update, so
+    /// any divergence compounds across iterations.
+    #[test]
+    fn engine_rounding_matches_legacy_parallel_ld() {
+        use netalign_matching::RoundingMatcher;
+        let g = power_law_graph(40, 2.5, 10, 35);
+        let a = add_random_edges(&g, 0.02, 36);
+        let b = add_random_edges(&g, 0.02, 37);
+        let l = identity_plus_noise_l(40, 40, 4.0 / 40.0, 1.0, 1.0, 38);
+        let p = NetAlignProblem::new(a, b, l);
+        for enriched in [false, true] {
+            let legacy_cfg = AlignConfig {
+                iterations: 15,
+                matcher: MatcherKind::ParallelLocalDominant,
+                enriched_rounding: enriched,
+                record_history: true,
+                ..Default::default()
+            };
+            let legacy = matching_relaxation(&p, &legacy_cfg);
+            for kind in [RoundingMatcher::Ld, RoundingMatcher::Suitor] {
+                for warm in [false, true] {
+                    let cfg = AlignConfig {
+                        rounding: Some(kind),
+                        warm_start: warm,
+                        ..legacy_cfg
+                    };
+                    let r = matching_relaxation(&p, &cfg);
+                    assert_eq!(
+                        r.objective.to_bits(),
+                        legacy.objective.to_bits(),
+                        "enriched {enriched}, {kind:?}, warm {warm}"
+                    );
+                    assert_eq!(r.matching, legacy.matching);
+                    assert_eq!(r.upper_bound, legacy.upper_bound);
+                    assert_eq!(r.history.len(), legacy.history.len());
+                    for (h, lh) in r.history.iter().zip(&legacy.history) {
+                        assert_eq!(h.objective.to_bits(), lh.objective.to_bits());
+                        assert_eq!(
+                            h.upper_bound.unwrap().to_bits(),
+                            lh.upper_bound.unwrap().to_bits()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,19 +6,24 @@
 //! even with the persistent worker pool running the kernels at pool
 //! size 4.
 //!
-//! The matcher and objective evaluation are exempt: they build a fresh
-//! `Matching` per rounding by design, and both aligners treat them as
-//! pluggable black boxes.
+//! The matcher and objective evaluation are exempt **on the legacy
+//! path only**: there they build a fresh `Matching` per rounding by
+//! design. With the preallocated rounding engine
+//! (`AlignConfig::rounding`), the armed windows below include the
+//! rounding itself — matching and objective evaluation run entirely in
+//! recycled storage, so the whole steady-state loop is proven
+//! allocation-free for both aligners.
 //!
 //! A `#[global_allocator]` is binary-wide state, so this file holds a
 //! single `#[test]` and lives in its own integration-test binary.
 
 use netalign_core::bp::BpEngine;
 use netalign_core::mr::rowmatch::{solve_row_matchings_into, RowWorkspace};
-use netalign_core::mr::update_multipliers;
+use netalign_core::mr::{update_multipliers, MrEngine};
 use netalign_core::rowspans::RowSpans;
 use netalign_core::{AlignConfig, NetAlignProblem};
 use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use netalign_matching::{MatcherKind, RoundingMatcher};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -150,5 +155,69 @@ fn steady_state_iterations_do_not_allocate() {
             n, 0,
             "MR steady-state kernels performed {n} heap allocations"
         );
+
+        // ---- BP with the preallocated rounding engine (lock-free
+        // Suitor, warm-started): the armed window now INCLUDES the
+        // batched rounding flushes — zero allocations through matching
+        // and objective evaluation as well.
+        let cfg = AlignConfig {
+            iterations: 40,
+            batch: 4,
+            matcher: MatcherKind::ParallelLocalDominant,
+            rounding: Some(RoundingMatcher::Suitor),
+            warm_start: true,
+            ..Default::default()
+        };
+        let mut engine = BpEngine::new(&p, &cfg);
+        for _ in 0..8 {
+            engine.step();
+            if engine.rounding_due() {
+                engine.round_pending();
+            }
+            engine.end_iteration();
+        }
+        arm();
+        for _ in 0..8 {
+            engine.step();
+            if engine.rounding_due() {
+                engine.round_pending();
+            }
+            engine.end_iteration();
+        }
+        let n = disarm();
+        assert_eq!(
+            n, 0,
+            "BP engine-mode steady state (incl. rounding) performed {n} heap allocations"
+        );
+        let result = engine.finish();
+        assert!(result.matching.cardinality() > 0);
+
+        // ---- MR with the engine (warm LD): the full step — row
+        // matchings, the driving bipartite matching, bounds, multiplier
+        // update — is armed.
+        let cfg = AlignConfig {
+            iterations: 40,
+            matcher: MatcherKind::ParallelLocalDominant,
+            rounding: Some(RoundingMatcher::Ld),
+            warm_start: true,
+            ..Default::default()
+        };
+        let mut engine = MrEngine::new(&p, &cfg);
+        for _ in 0..8 {
+            engine.step();
+            engine.end_iteration();
+        }
+        arm();
+        for _ in 0..8 {
+            engine.step();
+            engine.end_iteration();
+        }
+        let n = disarm();
+        assert_eq!(
+            n, 0,
+            "MR engine-mode steady state (incl. matching) performed {n} heap allocations"
+        );
+        let result = engine.finish();
+        assert!(result.matching.cardinality() > 0);
     });
 }

@@ -72,6 +72,54 @@ fn bp_is_bit_identical_across_pool_sizes() {
     }
 }
 
+/// Engine-mode rounding (preallocated matcher, lock-free Suitor, warm
+/// starts) holds the same contract: the packed-CAS slots converge to a
+/// schedule-independent fixed point and the warm-start reseeding rule
+/// is a function of the weight diff only, so every pool size produces
+/// the same bits.
+#[test]
+fn bp_engine_rounding_is_bit_identical_across_pool_sizes() {
+    let p = problem();
+    let cfg = AlignConfig {
+        iterations: 20,
+        batch: 4,
+        matcher: MatcherKind::ParallelLocalDominant,
+        rounding: Some(RoundingMatcher::Suitor),
+        warm_start: true,
+        record_history: true,
+        ..Default::default()
+    };
+    let base = pool(1).install(|| belief_propagation(&p, &cfg));
+    for threads in [2, 4, 8] {
+        let r = pool(threads).install(|| belief_propagation(&p, &cfg));
+        assert_same(&base, &r, threads);
+    }
+}
+
+#[test]
+fn mr_engine_rounding_is_bit_identical_across_pool_sizes() {
+    let p = problem();
+    let cfg = AlignConfig {
+        iterations: 20,
+        matcher: MatcherKind::ParallelLocalDominant,
+        rounding: Some(RoundingMatcher::Ld),
+        warm_start: true,
+        enriched_rounding: true,
+        record_history: true,
+        ..Default::default()
+    };
+    let base = pool(1).install(|| matching_relaxation(&p, &cfg));
+    for threads in [2, 4, 8] {
+        let r = pool(threads).install(|| matching_relaxation(&p, &cfg));
+        assert_same(&base, &r, threads);
+        assert_eq!(
+            base.upper_bound.map(f64::to_bits),
+            r.upper_bound.map(f64::to_bits),
+            "MR upper bound differs at pool size {threads}"
+        );
+    }
+}
+
 #[test]
 fn mr_is_bit_identical_across_pool_sizes() {
     let p = problem();

@@ -3,7 +3,7 @@
 //! experiment).
 
 use crate::approx::{
-    greedy_matching, parallel_local_dominant_traced, parallel_suitor, path_growing_matching,
+    greedy_matching, parallel_local_dominant_traced, parallel_suitor_traced, path_growing_matching,
     serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions,
 };
 use crate::distributed::distributed_local_dominant;
@@ -136,7 +136,7 @@ pub fn max_weight_matching_traced(
             counters,
         ),
         MatcherKind::Suitor => serial_suitor(l, weights),
-        MatcherKind::ParallelSuitor => parallel_suitor(l, weights),
+        MatcherKind::ParallelSuitor => parallel_suitor_traced(l, weights, counters),
         MatcherKind::PathGrowing => path_growing_matching(l, weights),
         MatcherKind::Distributed { ranks } => distributed_local_dominant(l, weights, ranks),
         MatcherKind::Auction { eps_rel } => {

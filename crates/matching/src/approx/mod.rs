@@ -25,9 +25,54 @@ pub use parallel_ld::{
     parallel_local_dominant, parallel_local_dominant_traced, InitStrategy, ParallelLdOptions,
 };
 pub use path_growing::path_growing_matching;
-pub use suitor::{parallel_suitor, serial_suitor};
+pub use suitor::{parallel_suitor, parallel_suitor_traced, serial_suitor};
 
 use netalign_graph::{BipartiteGraph, VertexId};
+
+/// Adjacency entries per parallel grain for the vertex sweeps. Chosen
+/// so a grain amortizes rayon's task overhead while hub vertices of a
+/// power-law `L` still spread across grains.
+const GRAIN_ENTRIES: usize = 2048;
+
+/// Degree-aware grain bounds over the unified vertex set: consecutive
+/// vertex ranges holding roughly [`GRAIN_ENTRIES`] adjacency entries
+/// each, so power-law hubs don't pile into one rayon task the way
+/// fixed-width vertex chunks would.
+///
+/// Returns `(vertex_bounds, entry_bounds)`, both of length `g + 1`:
+/// grain `i` spans unified vertices `vertex_bounds[i]..vertex_bounds[i+1]`
+/// whose adjacency segments occupy `entry_bounds[i]..entry_bounds[i+1]`
+/// of the concatenated (left then right) adjacency array. The split
+/// depends only on the graph — never on the pool size — so every sweep
+/// over these grains partitions work identically at any thread count.
+pub(crate) fn degree_grains(l: &BipartiteGraph) -> (Vec<u32>, Vec<usize>) {
+    let na = l.num_left();
+    let n = na + l.num_right();
+    let mut vertex_bounds = vec![0u32];
+    let mut entry_bounds = vec![0usize];
+    let mut acc = 0usize;
+    let mut cum = 0usize;
+    for v in 0..n {
+        let d = if v < na {
+            l.left_degree(v as VertexId)
+        } else {
+            l.right_degree((v - na) as VertexId)
+        };
+        acc += d;
+        cum += d;
+        if acc >= GRAIN_ENTRIES {
+            vertex_bounds.push((v + 1) as u32);
+            entry_bounds.push(cum);
+            acc = 0;
+        }
+    }
+    if *vertex_bounds.last().unwrap() != n as u32 {
+        vertex_bounds.push(n as u32);
+        entry_bounds.push(cum);
+    }
+    debug_assert_eq!(cum, 2 * l.num_edges());
+    (vertex_bounds, entry_bounds)
+}
 
 /// A view of the bipartite graph `L` as a *general* graph on the
 /// unified vertex set `0..na+nb` (left ids unchanged, right vertex `b`

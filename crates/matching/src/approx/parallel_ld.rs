@@ -78,11 +78,11 @@ pub struct ParallelLdOptions {
 }
 
 /// Candidate sentinel: not yet computed (used by the one-side init).
-const UNSET: VertexId = VertexId::MAX;
+pub(crate) const UNSET: VertexId = VertexId::MAX;
 /// Candidate sentinel: computed, no eligible neighbor.
-const NO_CANDIDATE: VertexId = VertexId::MAX - 1;
+pub(crate) const NO_CANDIDATE: VertexId = VertexId::MAX - 1;
 /// Reprocess-claim sentinel: never claimed in any round.
-const NEVER: u32 = u32::MAX;
+pub(crate) const NEVER: u32 = u32::MAX;
 
 /// Parallel locally-dominant matching on the unified view of `l`,
 /// using the current rayon thread pool.
@@ -151,10 +151,47 @@ pub fn parallel_local_dominant_traced(
             });
         }
     }
-    counters.record_queue_len(tail_cur.load(Ordering::Acquire) as u64);
+    let st = LdState {
+        mate: &mate,
+        candidate: &candidate,
+        q_cur: &q_cur,
+        q_next: &q_next,
+        tail_cur: &tail_cur,
+        tail_next: &tail_next,
+        reprocess: &reprocess,
+        reprocess_tail: &reprocess_tail,
+        claimed: &claimed,
+    };
+    ld_phase2(&view, &st, counters);
 
-    // Phase 2: process rounds until no new matches appear.
-    let (mut qc, mut tc, mut qn, mut tn) = (&q_cur, &tail_cur, &q_next, &tail_next);
+    let mate_plain: Vec<VertexId> = mate.iter().map(|m| m.load(Ordering::Acquire)).collect();
+    view.to_matching(&mate_plain)
+}
+
+/// Borrowed working state of the queue-based algorithm, shared between
+/// the one-shot entry point above and the preallocated
+/// [`crate::engine::MatcherEngine`].
+pub(crate) struct LdState<'s> {
+    pub mate: &'s [AtomicU32],
+    pub candidate: &'s [AtomicU32],
+    pub q_cur: &'s [AtomicU32],
+    pub q_next: &'s [AtomicU32],
+    pub tail_cur: &'s AtomicUsize,
+    pub tail_next: &'s AtomicUsize,
+    pub reprocess: &'s [AtomicU32],
+    pub reprocess_tail: &'s AtomicUsize,
+    pub claimed: &'s [AtomicU32],
+}
+
+/// Phase 2: process queue rounds until no new matches appear. Expects
+/// `q_cur`/`tail_cur` seeded by a phase-1 sweep, `reprocess_tail` zero
+/// and `claimed` at [`NEVER`] for every vertex that might be listed
+/// (the round counter restarts at 0 on every call).
+pub(crate) fn ld_phase2(view: &UnifiedView<'_>, st: &LdState<'_>, counters: &MatcherCounters) {
+    counters.record_queue_len(st.tail_cur.load(Ordering::Acquire) as u64);
+    let (mate, candidate) = (st.mate, st.candidate);
+    let (reprocess, reprocess_tail, claimed) = (st.reprocess, st.reprocess_tail, st.claimed);
+    let (mut qc, mut tc, mut qn, mut tn) = (st.q_cur, st.tail_cur, st.q_next, st.tail_next);
     let mut round: u32 = 0;
     while tc.load(Ordering::Acquire) > 0 {
         let len = tc.load(Ordering::Acquire);
@@ -200,7 +237,7 @@ pub fn parallel_local_dominant_traced(
         // slots, so the computed values are deterministic.
         reprocess[..listed].par_iter().for_each(|slot| {
             let v = slot.load(Ordering::Acquire);
-            candidate[v as usize].store(find_mate(&view, v, &mate), Ordering::SeqCst);
+            candidate[v as usize].store(find_mate(view, v, mate), Ordering::SeqCst);
         });
 
         // Sub-phase 2c (match): candidates are now frozen; the
@@ -208,7 +245,7 @@ pub fn parallel_local_dominant_traced(
         // are fixed before the first claim races.
         reprocess[..listed].par_iter().for_each(|slot| {
             let v = slot.load(Ordering::Acquire);
-            match_vertex(&view, v, &mate, &candidate, qn, tn, counters);
+            match_vertex(view, v, mate, candidate, qn, tn, counters);
         });
 
         reprocess_tail.store(0, Ordering::Release);
@@ -218,14 +255,11 @@ pub fn parallel_local_dominant_traced(
         counters.record_queue_len(tc.load(Ordering::Acquire) as u64);
         round += 1;
     }
-
-    let mate_plain: Vec<VertexId> = mate.iter().map(|m| m.load(Ordering::Acquire)).collect();
-    view.to_matching(&mate_plain)
 }
 
 /// `FindMate` (Algorithm 2): the heaviest currently-free neighbor of
 /// `s` under the total edge order, or `NO_CANDIDATE`.
-fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[AtomicU32]) -> VertexId {
+pub(crate) fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[AtomicU32]) -> VertexId {
     let mut best_id = NO_CANDIDATE;
     let mut best_w = 0.0f64;
     view.for_each_neighbor(s, |t, w| {
@@ -243,7 +277,7 @@ fn find_mate(view: &UnifiedView<'_>, s: VertexId, mate: &[AtomicU32]) -> VertexI
 /// `MatchVertex` (Algorithm 3): match `(s, candidate[s])` when locally
 /// dominant; the claim winner enqueues both endpoints.
 #[allow(clippy::too_many_arguments)]
-fn match_vertex(
+pub(crate) fn match_vertex(
     view: &UnifiedView<'_>,
     s: VertexId,
     mate: &[AtomicU32],

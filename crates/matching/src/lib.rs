@@ -29,11 +29,13 @@ pub mod api;
 pub mod approx;
 pub mod cardinality;
 pub mod distributed;
+pub mod engine;
 pub mod exact;
 pub mod matching;
 pub mod order;
 
 pub use api::{max_weight_matching, max_weight_matching_traced, MatcherKind};
 pub use distributed::{distributed_local_dominant_faulty, ChannelFaults};
+pub use engine::{MatcherEngine, RoundingMatcher};
 pub use matching::Matching;
 pub use netalign_trace::{MatcherCounterSnapshot, MatcherCounters};

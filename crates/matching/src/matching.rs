@@ -69,6 +69,35 @@ impl Matching {
         }
     }
 
+    /// Overwrite this matching in place from a unified mate array
+    /// (left ids unchanged, right vertex `b` stored as `na + b` — the
+    /// [`crate::approx`] convention), reusing the existing buffers so
+    /// the preallocated engine can return `&Matching` without
+    /// allocating.
+    pub(crate) fn refill_from_unified(&mut self, na: usize, mate: &[VertexId]) {
+        debug_assert_eq!(
+            mate.len(),
+            self.mate_of_left.len() + self.mate_of_right.len()
+        );
+        debug_assert_eq!(na, self.mate_of_left.len());
+        for (a, slot) in self.mate_of_left.iter_mut().enumerate() {
+            let m = mate[a];
+            *slot = if m == UNMATCHED {
+                UNMATCHED
+            } else {
+                debug_assert!(m >= na as VertexId, "left vertex matched to left vertex");
+                m - na as VertexId
+            };
+        }
+        for (b, slot) in self.mate_of_right.iter_mut().enumerate() {
+            *slot = mate[na + b];
+        }
+        debug_assert!({
+            self.assert_consistent();
+            true
+        });
+    }
+
     /// Add the pair `(a, b)` to the matching.
     ///
     /// # Panics

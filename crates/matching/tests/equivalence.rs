@@ -1,0 +1,176 @@
+//! Cross-implementation equivalence under pool sweeps.
+//!
+//! The locally-dominant matching is unique under the crate's total edge
+//! order, so four independent implementations — serial LD, the paper's
+//! queue-based parallel LD, serial Suitor, and the lock-free parallel
+//! Suitor — must return bit-identical results at every thread count.
+//! Property tests drive random graphs (zero and negative weights
+//! included) through all four, plus the preallocated engine in cold and
+//! warm mode, at pools {1, 2, 4, 8}.
+
+use netalign_graph::BipartiteGraph;
+use netalign_matching::approx::{
+    parallel_local_dominant, parallel_suitor, serial_local_dominant, serial_suitor,
+    ParallelLdOptions,
+};
+use netalign_matching::{MatcherCounters, MatcherEngine, Matching, RoundingMatcher};
+use proptest::prelude::*;
+
+const POOLS: [usize; 4] = [1, 2, 4, 8];
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+}
+
+/// Random bipartite instance with weights spanning negative, zero and
+/// tied positive values — the edge cases of the "only positive edges
+/// match" rule.
+fn arb_instance() -> impl Strategy<Value = BipartiteGraph> {
+    (2usize..14, 2usize..14).prop_flat_map(|(na, nb)| {
+        let max_edges = na * nb;
+        proptest::collection::vec(
+            // (endpoint, endpoint, weight-class selector, raw weight):
+            // the selector mixes positives with zeros, negatives and
+            // small-integer ties.
+            (0..na as u32, 0..nb as u32, 0u32..6, 0.1f64..5.0),
+            0..max_edges.min(60),
+        )
+        .prop_map(move |raw| {
+            let mut entries: Vec<(u32, u32, f64)> = raw
+                .into_iter()
+                .map(|(a, b, class, w)| {
+                    let w = match class {
+                        0 => 0.0,
+                        1 => -w,
+                        2 => w.ceil(), // ties on 1.0..=5.0
+                        _ => w,
+                    };
+                    (a, b, w)
+                })
+                .collect();
+            entries.sort_by_key(|&(a, b, _)| (a, b));
+            entries.dedup_by_key(|&mut (a, b, _)| (a, b));
+            BipartiteGraph::from_entries(na, nb, entries)
+        })
+    })
+}
+
+/// A short sequence of weight vectors derived from the graph's own by
+/// sparse perturbations — what a converging aligner feeds the matcher.
+fn arb_instance_and_sequence() -> impl Strategy<Value = (BipartiteGraph, Vec<Vec<f64>>)> {
+    arb_instance().prop_flat_map(|l| {
+        let m = l.num_edges();
+        let base: Vec<f64> = l.weights().to_vec();
+        proptest::collection::vec(
+            proptest::collection::vec((0..m.max(1), -2.0f64..2.0), 0..(m / 2 + 1)),
+            1..5,
+        )
+        .prop_map(move |steps| {
+            let mut w = base.clone();
+            let mut seq = vec![w.clone()];
+            for step in steps {
+                for (e, delta) in step {
+                    if e < w.len() {
+                        w[e] += delta;
+                    }
+                }
+                seq.push(w.clone());
+            }
+            (l.clone(), seq)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serial Suitor ≡ lock-free parallel Suitor ≡ serial LD ≡
+    /// parallel LD, at every pool size.
+    #[test]
+    fn four_way_equivalence_across_pools(l in arb_instance()) {
+        let reference = serial_local_dominant(&l, l.weights());
+        prop_assert_eq!(&serial_suitor(&l, l.weights()), &reference);
+        for threads in POOLS {
+            let (pld, psu) = pool(threads).install(|| {
+                (
+                    parallel_local_dominant(&l, l.weights(), ParallelLdOptions::default()),
+                    parallel_suitor(&l, l.weights()),
+                )
+            });
+            prop_assert_eq!(&pld, &reference, "parallel LD at {} threads", threads);
+            prop_assert_eq!(&psu, &reference, "parallel Suitor at {} threads", threads);
+        }
+    }
+
+    /// Warm-started engines are bit-identical to cold ones — and to the
+    /// serial oracle — at every pool size, for both matcher kinds, over
+    /// weight sequences with sparse changes.
+    #[test]
+    fn warm_engine_equals_cold_across_pools((l, seq) in arb_instance_and_sequence()) {
+        // Serial oracle per step, computed once.
+        let oracle: Vec<Matching> =
+            seq.iter().map(|w| serial_local_dominant(&l, w)).collect();
+        for kind in [RoundingMatcher::Ld, RoundingMatcher::Suitor] {
+            for threads in POOLS {
+                pool(threads).install(|| {
+                    let mut warm = MatcherEngine::new(&l, kind, true);
+                    let mut cold = MatcherEngine::new(&l, kind, false);
+                    let c = MatcherCounters::disabled();
+                    for (step, w) in seq.iter().enumerate() {
+                        let got = warm.run(&l, w, c).clone();
+                        prop_assert_eq!(
+                            &got, &oracle[step],
+                            "warm {:?} at {} threads, step {}", kind, threads, step
+                        );
+                        let cold_got = cold.run(&l, w, c).clone();
+                        prop_assert_eq!(
+                            &cold_got, &oracle[step],
+                            "cold {:?} at {} threads, step {}", kind, threads, step
+                        );
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Deterministic counters (`warm_hits` / `reseeded_vertices` and the
+/// queue-based LD events) are identical at every pool size; only the
+/// Suitor race counters may vary with the schedule.
+#[test]
+fn warm_counters_are_pool_independent() {
+    let l = BipartiteGraph::from_entries(
+        4,
+        4,
+        vec![
+            (0, 0, 5.0),
+            (0, 1, 1.0),
+            (1, 1, 4.0),
+            (1, 2, 2.0),
+            (2, 2, 3.0),
+            (2, 3, 1.5),
+            (3, 3, 2.5),
+        ],
+    );
+    let mut w2 = l.weights().to_vec();
+    w2[5] = 1.75; // perturb (2,3): light edge, deep in the order
+    let mut base: Option<(u64, u64)> = None;
+    for threads in POOLS {
+        pool(threads).install(|| {
+            let mut eng = MatcherEngine::new(&l, RoundingMatcher::Ld, true);
+            let c0 = MatcherCounters::new(true);
+            let _ = eng.run(&l, l.weights(), &c0);
+            let c1 = MatcherCounters::new(true);
+            let _ = eng.run(&l, &w2, &c1);
+            let s = c1.snapshot();
+            assert!(s.warm_hits > 0);
+            match base {
+                None => base = Some((s.warm_hits, s.reseeded_vertices)),
+                Some(b) => assert_eq!((s.warm_hits, s.reseeded_vertices), b),
+            }
+        });
+    }
+}

@@ -346,6 +346,10 @@ pub struct MatcherCounters {
     matched_pairs: AtomicU64,
     cas_failures: AtomicU64,
     queue_peak: AtomicU64,
+    proposals: AtomicU64,
+    displacements: AtomicU64,
+    warm_hits: AtomicU64,
+    reseeded_vertices: AtomicU64,
 }
 
 static DISABLED_COUNTERS: MatcherCounters = MatcherCounters::new(false);
@@ -362,6 +366,10 @@ impl MatcherCounters {
             matched_pairs: AtomicU64::new(0),
             cas_failures: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
+            proposals: AtomicU64::new(0),
+            displacements: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            reseeded_vertices: AtomicU64::new(0),
         }
     }
 
@@ -432,6 +440,39 @@ impl MatcherCounters {
         }
     }
 
+    /// `n` Suitor proposals issued (slot updates attempted).
+    #[inline]
+    pub fn add_proposals(&self, n: u64) {
+        if self.enabled {
+            self.proposals.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// `n` suitors displaced by a better proposal.
+    #[inline]
+    pub fn add_displacements(&self, n: u64) {
+        if self.enabled {
+            self.displacements.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// `n` vertices whose previous matcher state was reused verbatim by
+    /// a warm start.
+    #[inline]
+    pub fn add_warm_hits(&self, n: u64) {
+        if self.enabled {
+            self.warm_hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// `n` vertices invalidated by a warm start and re-processed.
+    #[inline]
+    pub fn add_reseeded_vertices(&self, n: u64) {
+        if self.enabled {
+            self.reseeded_vertices.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Current values as a plain struct.
     pub fn snapshot(&self) -> MatcherCounterSnapshot {
         MatcherCounterSnapshot {
@@ -442,6 +483,10 @@ impl MatcherCounters {
             matched_pairs: self.matched_pairs.load(Ordering::Relaxed),
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            proposals: self.proposals.load(Ordering::Relaxed),
+            displacements: self.displacements.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            reseeded_vertices: self.reseeded_vertices.load(Ordering::Relaxed),
         }
     }
 
@@ -463,6 +508,12 @@ impl MatcherCounters {
                 .fetch_add(snap.cas_failures, Ordering::Relaxed);
             self.queue_peak
                 .fetch_max(snap.queue_peak, Ordering::Relaxed);
+            self.proposals.fetch_add(snap.proposals, Ordering::Relaxed);
+            self.displacements
+                .fetch_add(snap.displacements, Ordering::Relaxed);
+            self.warm_hits.fetch_add(snap.warm_hits, Ordering::Relaxed);
+            self.reseeded_vertices
+                .fetch_add(snap.reseeded_vertices, Ordering::Relaxed);
         }
     }
 
@@ -475,6 +526,10 @@ impl MatcherCounters {
         self.matched_pairs.store(0, Ordering::Relaxed);
         self.cas_failures.store(0, Ordering::Relaxed);
         self.queue_peak.store(0, Ordering::Relaxed);
+        self.proposals.store(0, Ordering::Relaxed);
+        self.displacements.store(0, Ordering::Relaxed);
+        self.warm_hits.store(0, Ordering::Relaxed);
+        self.reseeded_vertices.store(0, Ordering::Relaxed);
     }
 }
 
@@ -496,6 +551,14 @@ pub struct MatcherCounterSnapshot {
     pub cas_failures: u64,
     /// Queue occupancy high-water mark.
     pub queue_peak: u64,
+    /// Suitor proposals issued (slot updates attempted).
+    pub proposals: u64,
+    /// Suitors displaced by a better proposal.
+    pub displacements: u64,
+    /// Vertices whose previous matcher state a warm start reused.
+    pub warm_hits: u64,
+    /// Vertices invalidated and re-processed by a warm start.
+    pub reseeded_vertices: u64,
 }
 
 impl MatcherCounterSnapshot {
@@ -513,6 +576,10 @@ impl MatcherCounterSnapshot {
         self.matched_pairs += other.matched_pairs;
         self.cas_failures += other.cas_failures;
         self.queue_peak = self.queue_peak.max(other.queue_peak);
+        self.proposals += other.proposals;
+        self.displacements += other.displacements;
+        self.warm_hits += other.warm_hits;
+        self.reseeded_vertices += other.reseeded_vertices;
     }
 
     /// JSON object form.
@@ -525,6 +592,10 @@ impl MatcherCounterSnapshot {
             ("matched_pairs", Json::U64(self.matched_pairs)),
             ("cas_failures", Json::U64(self.cas_failures)),
             ("queue_peak", Json::U64(self.queue_peak)),
+            ("proposals", Json::U64(self.proposals)),
+            ("displacements", Json::U64(self.displacements)),
+            ("warm_hits", Json::U64(self.warm_hits)),
+            ("reseeded_vertices", Json::U64(self.reseeded_vertices)),
         ])
     }
 }

@@ -3,10 +3,18 @@
 //! ```text
 //! netalignmc stats    --a A.el --b B.el --l L.smat
 //! netalignmc align    --a A.el --b B.el --l L.smat --method bp
-//!                     [--matcher ld-parallel] [--alpha 1] [--beta 2]
+//!                     [--matcher ld-parallel] [--warm-start true]
+//!                     [--alpha 1] [--beta 2]
 //!                     [--gamma 0.99] [--iters 100] [--batch 1]
 //!                     [--out matching.txt] [--json-out result.json]
 //!                     [--checkpoint DIR] [--resume PATH]
+//!
+//! The `--matcher` shorthands `ld` and `suitor` route the
+//! per-iteration rounding through the preallocated matcher engine
+//! (queue-based parallel LD or lock-free parallel Suitor); adding
+//! `--warm-start true` seeds each rounding from the previous
+//! iteration's mate state. Results are bit-identical to the legacy
+//! one-shot matchers of the same family.
 //! netalignmc generate --dataset dmela-scere [--scale 0.1] [--seed 42]
 //!                     --out-dir data/
 //! ```
@@ -93,17 +101,25 @@ fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
     NetAlignProblem::new(a, b, l)
 }
 
-fn parse_matcher(name: &str) -> MatcherKind {
+/// Map a `--matcher` value to the one-shot matcher kind plus, for the
+/// `ld`/`suitor` shorthands, the preallocated rounding engine backing
+/// the per-iteration matchings.
+fn parse_matcher(name: &str) -> (MatcherKind, Option<RoundingMatcher>) {
     match name {
-        "exact" => MatcherKind::Exact,
-        "greedy" => MatcherKind::Greedy,
-        "ld-serial" => MatcherKind::LocalDominant,
-        "ld-parallel" => MatcherKind::ParallelLocalDominant,
-        "ld-parallel-1side" => MatcherKind::ParallelLocalDominantOneSide,
-        "suitor" => MatcherKind::Suitor,
-        "suitor-parallel" => MatcherKind::ParallelSuitor,
-        "path-growing" => MatcherKind::PathGrowing,
-        "auction" => MatcherKind::Auction { eps_rel: 1e-4 },
+        "exact" => (MatcherKind::Exact, None),
+        "greedy" => (MatcherKind::Greedy, None),
+        "ld-serial" => (MatcherKind::LocalDominant, None),
+        "ld-parallel" => (MatcherKind::ParallelLocalDominant, None),
+        "ld-parallel-1side" => (MatcherKind::ParallelLocalDominantOneSide, None),
+        "suitor-serial" => (MatcherKind::Suitor, None),
+        "suitor-parallel" => (MatcherKind::ParallelSuitor, None),
+        "path-growing" => (MatcherKind::PathGrowing, None),
+        "auction" => (MatcherKind::Auction { eps_rel: 1e-4 }, None),
+        "ld" => (
+            MatcherKind::ParallelLocalDominant,
+            Some(RoundingMatcher::Ld),
+        ),
+        "suitor" => (MatcherKind::ParallelSuitor, Some(RoundingMatcher::Suitor)),
         other => {
             eprintln!("unknown matcher '{other}'");
             exit(2)
@@ -140,6 +156,12 @@ fn cmd_stats(flags: &HashMap<String, String>) {
 fn cmd_align(flags: &HashMap<String, String>) {
     let p = load_problem(flags);
     let method = get_or(flags, "method", "bp");
+    let (matcher, rounding) = parse_matcher(get_or(flags, "matcher", "exact"));
+    let warm_start = get_or(flags, "warm-start", "false") == "true";
+    if warm_start && rounding.is_none() {
+        eprintln!("--warm-start true requires --matcher ld or suitor (the engine shorthands)");
+        exit(2)
+    }
     let cfg = AlignConfig {
         alpha: parse_num(get_or(flags, "alpha", "1.0"), "alpha"),
         beta: parse_num(get_or(flags, "beta", "2.0"), "beta"),
@@ -147,7 +169,9 @@ fn cmd_align(flags: &HashMap<String, String>) {
         iterations: parse_num(get_or(flags, "iters", "100"), "iters"),
         mstep: parse_num(get_or(flags, "mstep", "10"), "mstep"),
         batch: parse_num(get_or(flags, "batch", "1"), "batch"),
-        matcher: parse_matcher(get_or(flags, "matcher", "exact")),
+        matcher,
+        rounding,
+        warm_start,
         final_exact_round: get_or(flags, "final-exact", "true") == "true",
         ..Default::default()
     };
@@ -199,6 +223,17 @@ fn cmd_align(flags: &HashMap<String, String>) {
     let secs = start.elapsed().as_secs_f64();
     println!("method    : {method}");
     println!("matcher   : {}", cfg.matcher.name());
+    if let Some(kind) = cfg.rounding {
+        println!(
+            "rounding  : {:?} engine{}",
+            kind,
+            if cfg.warm_start {
+                " (warm-started)"
+            } else {
+                ""
+            }
+        );
+    }
     println!("objective : {:.4}", r.objective);
     println!("weight    : {:.4}", r.weight);
     println!("overlap   : {:.1}", r.overlap);

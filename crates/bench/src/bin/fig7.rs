@@ -15,8 +15,8 @@
 //! snapshot tree.
 
 use netalign_bench::{
-    harness_for_run, rounding_flags, run_with_threads, table::f, thread_sweep,
-    write_json_report_or_exit, Args, Table,
+    completion_json, deadline_harness, harness_for_run, outcome_or_exit, rounding_flags,
+    run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
@@ -64,16 +64,21 @@ fn main() {
             ..Default::default()
         };
         let problem = &inst.problem;
-        let harness = harness_for_run(&checkpoint, &resume, &format!("t{nt}"));
-        let trace = run_with_threads(nt, || match &harness {
-            None => Ok(belief_propagation(problem, &cfg)),
-            Some(h) => h.run_bp(problem, &cfg),
-        })
-        .unwrap_or_else(|e| {
-            eprintln!("error: checkpoint/resume failed at threads={nt}: {e}");
-            std::process::exit(1);
-        })
-        .trace;
+        let harness = deadline_harness(
+            &args,
+            harness_for_run(&checkpoint, &resume, &format!("t{nt}")),
+        );
+        let outcome = outcome_or_exit(
+            &format!("threads={nt}"),
+            run_with_threads(nt, || match &harness {
+                None => Ok(AlignOutcome::completed(
+                    belief_propagation(problem, &cfg),
+                    cfg.iterations,
+                )),
+                Some(h) => h.run_bp(problem, &cfg),
+            }),
+        );
+        let trace = outcome.result.trace.clone();
         let secs: Vec<f64> = BP_STEPS
             .iter()
             .map(|s| trace.get(*s).as_secs_f64())
@@ -89,8 +94,11 @@ fn main() {
                 f(secs[i] / total.max(1e-12), 3),
             ]);
         }
-        eprintln!("threads={nt}: total {total:.3}s");
-        runs.push(Json::obj(vec![
+        eprintln!(
+            "threads={nt}: total {total:.3}s ({})",
+            outcome.completion.label()
+        );
+        let mut fields = vec![
             ("threads", Json::U64(nt as u64)),
             (
                 "steps",
@@ -105,7 +113,9 @@ fn main() {
             ("total_seconds", Json::F64(total)),
             ("matcher", trace.matcher.to_json()),
             ("algo", trace.algo.to_json()),
-        ]));
+        ];
+        fields.extend(completion_json(&outcome));
+        runs.push(Json::obj(fields));
     }
     t.print();
     println!("\nexpected shape (paper): matching takes the majority of the iteration");

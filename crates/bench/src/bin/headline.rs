@@ -23,8 +23,8 @@
 //! snapshot tree.
 
 use netalign_bench::{
-    available_threads, harness_for_run, rounding_flags, run_with_threads, table::f,
-    write_json_report_or_exit, Args, Table,
+    available_threads, completion_json, deadline_harness, harness_for_run, outcome_or_exit,
+    rounding_flags, run_with_threads, table::f, write_json_report_or_exit, Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::Json;
@@ -91,33 +91,40 @@ fn main() {
             ..Default::default()
         };
         let problem = &inst.problem;
-        let harness = harness_for_run(&checkpoint, &resume, slug);
+        let harness = deadline_harness(&args, harness_for_run(&checkpoint, &resume, slug));
         let (secs, r) = run_with_threads(nt, || {
             let start = Instant::now();
             let r = match &harness {
-                None => Ok(belief_propagation(problem, &cfg)),
+                None => Ok(AlignOutcome::completed(
+                    belief_propagation(problem, &cfg),
+                    cfg.iterations,
+                )),
                 Some(h) => h.run_bp(problem, &cfg),
             };
             (start.elapsed().as_secs_f64(), r)
         });
-        let r = r.unwrap_or_else(|e| {
-            eprintln!("error: checkpoint/resume failed for '{name}': {e}");
-            std::process::exit(1);
-        });
-        eprintln!("{name}: {secs:.2}s, objective {:.1}", r.objective);
+        let outcome = outcome_or_exit(name, r);
+        let r = &outcome.result;
+        eprintln!(
+            "{name}: {secs:.2}s, objective {:.1} ({})",
+            r.objective,
+            outcome.completion.label()
+        );
         t.row(&[
             name.to_string(),
             nt.to_string(),
             f(secs, 2),
             f(r.objective, 1),
         ]);
-        reports.push(Json::obj(vec![
+        let mut fields = vec![
             ("configuration", Json::str(name)),
             ("matcher", Json::str(matcher.name())),
             ("threads", Json::U64(nt as u64)),
             ("wall_seconds", Json::F64(secs)),
             ("report", r.report_json()),
-        ]));
+        ];
+        fields.extend(completion_json(&outcome));
+        reports.push(Json::obj(fields));
         results.push((name, secs, r.objective));
     }
     t.print();

@@ -58,6 +58,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Get an optional u64 flag (`None` when absent).
+    pub fn opt_u64(&self, key: &str) -> Option<u64> {
+        self.flags.get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} must be an integer"))
+        })
+    }
+
     /// Get a u64 flag with default.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.flags

@@ -10,5 +10,8 @@ pub mod table;
 pub use cli::{rounding_flags, Args, RoundingFlags};
 pub use model::{amdahl_speedup, paper_model_speedup};
 pub use pool::{available_threads, bench_pools, bench_scale, run_with_threads, thread_sweep};
-pub use report::{harness_for_run, write_json_report_or_exit, ReportError};
+pub use report::{
+    completion_json, deadline_harness, harness_for_run, outcome_or_exit, write_json_report_or_exit,
+    ReportError,
+};
 pub use table::Table;

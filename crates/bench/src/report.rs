@@ -1,11 +1,18 @@
 //! Report output and fault-tolerance plumbing shared by the experiment
 //! binaries: graceful JSON-report writing (parent directories created,
-//! typed errors instead of panics) and `--checkpoint` / `--resume`
-//! flag resolution into a [`RunHarness`].
+//! typed errors instead of panics), `--checkpoint` / `--resume` flag
+//! resolution into a [`RunHarness`], and the shared deadline flags
+//! (`--deadline-ms`, `--soft-iter-ms`, `--watchdog-ms`,
+//! `--on-deadline`) for anytime runs.
 
-use netalign_core::harness::RunHarness;
+use crate::cli::Args;
+use netalign_core::checkpoint::CheckpointError;
+use netalign_core::config::TimeBudget;
+use netalign_core::exitcode;
+use netalign_core::harness::{AlignOutcome, DeadlinePolicy, HarnessError, RunHarness};
 use netalign_core::trace::Json;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Why a report could not be written.
 #[derive(Debug)]
@@ -70,13 +77,14 @@ pub fn write_json_report(path: impl AsRef<Path>, report: &Json) -> Result<(), Re
     })
 }
 
-/// Binary-friendly wrapper: report the error on stderr and exit(1)
-/// instead of panicking with a backtrace.
+/// Binary-friendly wrapper: report the error on stderr and exit with
+/// the I/O code of the workspace taxonomy instead of panicking with a
+/// backtrace.
 pub fn write_json_report_or_exit(path: impl AsRef<Path>, report: &Json) {
     let path = path.as_ref();
     if let Err(e) = write_json_report(path, report) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(exitcode::IO);
     }
     eprintln!("wrote JSON report to {}", path.display());
 }
@@ -108,6 +116,81 @@ pub fn harness_for_run(checkpoint: &str, resume: &str, sub: &str) -> Option<RunH
         h = h.with_resume_from(Path::new(resume).join(sub));
     }
     Some(h)
+}
+
+/// Fold the shared deadline flags into `base` (the harness from
+/// [`harness_for_run`], if any). `--deadline-ms N` bounds the run's
+/// wall-clock, `--soft-iter-ms N` sets the per-iteration soft budget,
+/// `--watchdog-ms N` arms the stall watchdog, and `--on-deadline
+/// {best-so-far,checkpoint,error}` picks the expiry policy. Returns
+/// `None` only when neither `base` nor any deadline flag is present, so
+/// budget-less invocations keep the direct (harness-free) path.
+pub fn deadline_harness(args: &Args, base: Option<RunHarness>) -> Option<RunHarness> {
+    let deadline_ms = args.opt_u64("deadline-ms");
+    let soft_iter_ms = args.opt_u64("soft-iter-ms");
+    let watchdog_ms = args.opt_u64("watchdog-ms");
+    let policy = match args.string("on-deadline", "best-so-far").as_str() {
+        "best-so-far" => DeadlinePolicy::BestSoFar,
+        "checkpoint" => DeadlinePolicy::Checkpoint,
+        "error" => DeadlinePolicy::Error,
+        other => {
+            eprintln!("error: unknown --on-deadline '{other}' (best-so-far|checkpoint|error)");
+            std::process::exit(exitcode::USAGE);
+        }
+    };
+    if base.is_none() && deadline_ms.is_none() && soft_iter_ms.is_none() && watchdog_ms.is_none() {
+        return None;
+    }
+    let mut h = base.unwrap_or_default().with_on_deadline(policy);
+    if deadline_ms.is_some() || soft_iter_ms.is_some() {
+        h = h.with_time_budget(TimeBudget {
+            deadline: deadline_ms.map(Duration::from_millis),
+            soft_iteration: soft_iter_ms.map(Duration::from_millis),
+        });
+    }
+    if let Some(ms) = watchdog_ms {
+        h = h.with_watchdog(Duration::from_millis(ms));
+    }
+    Some(h)
+}
+
+/// Unwrap a harnessed run with the workspace exit-code taxonomy:
+/// deadline-without-result → 4, checkpoint I/O → 3, checkpoint
+/// validation or other internal failures → 5.
+pub fn outcome_or_exit(name: &str, r: Result<AlignOutcome, HarnessError>) -> AlignOutcome {
+    match r {
+        Ok(o) => o,
+        Err(HarnessError::DeadlineExceeded { iterations_run }) => {
+            eprintln!(
+                "error: '{name}' hit its deadline after {iterations_run} iterations \
+                 (--on-deadline error)"
+            );
+            std::process::exit(exitcode::DEADLINE);
+        }
+        Err(HarnessError::Checkpoint(e)) => {
+            eprintln!("error: checkpoint/resume failed for '{name}': {e}");
+            std::process::exit(match e {
+                CheckpointError::Io { .. } => exitcode::IO,
+                _ => exitcode::INTERNAL,
+            });
+        }
+    }
+}
+
+/// The completion fields every per-run JSON report object carries.
+pub fn completion_json(o: &AlignOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("completion", Json::str(o.completion.label())),
+        ("iterations_run", Json::U64(o.iterations_run as u64)),
+        ("ladder_rung", Json::U64(o.ladder_rung as u64)),
+        (
+            "cancel_reason",
+            match o.cancel_reason {
+                Some(r) => Json::str(r.label()),
+                None => Json::Null,
+            },
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -150,5 +233,41 @@ mod tests {
         assert!(harness_for_run("ckpts", "", "t4").is_some());
         assert!(harness_for_run("", "ckpts", "t4").is_some());
         assert!(harness_for_run("ckpts", "elsewhere", "t4").is_some());
+    }
+
+    #[test]
+    fn deadline_flags_promote_to_a_harness() {
+        let none = Args::from_args(std::iter::empty::<String>());
+        assert!(deadline_harness(&none, None).is_none());
+        let with = Args::from_args(
+            ["--deadline-ms", "500", "--watchdog-ms", "2000"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(deadline_harness(&with, None).is_some());
+        // An existing checkpoint harness passes through untouched.
+        assert!(deadline_harness(&none, harness_for_run("ckpts", "", "t1")).is_some());
+    }
+
+    #[test]
+    fn completion_json_has_all_fields() {
+        use netalign_core::result::AlignmentResult;
+        let result = AlignmentResult {
+            matching: netalign_matching::Matching::empty(0, 0),
+            objective: 0.0,
+            weight: 0.0,
+            overlap: 0.0,
+            best_iteration: 0,
+            upper_bound: None,
+            history: Vec::new(),
+            trace: Default::default(),
+        };
+        let o = AlignOutcome::completed(result, 7);
+        let fields = completion_json(&o);
+        let json = Json::obj(fields).render();
+        assert!(json.contains("\"completion\":\"completed\""));
+        assert!(json.contains("\"iterations_run\":7"));
+        assert!(json.contains("\"ladder_rung\":0"));
+        assert!(json.contains("\"cancel_reason\":null"));
     }
 }

@@ -44,7 +44,7 @@ use crate::rounding::{round_batch_traced, round_heuristic};
 use crate::rowspans::RowSpans;
 use crate::squares::SquaresMatrix;
 use crate::trace::{faults, MatcherCounters, RunTrace, Step};
-use netalign_matching::{MatcherEngine, MatcherKind};
+use netalign_matching::{MatcherEngine, MatcherKind, RoundingMatcher};
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
 use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
@@ -54,14 +54,16 @@ use std::time::Instant;
 /// OpenMP `schedule(dynamic, 1000)` (§IV.A).
 pub(crate) const CHUNK: usize = 1000;
 
-/// Register the fault-injection chunk hook with the runtime exactly
-/// once per process. The hook is a no-op unless a fault plan arms it,
-/// so unconditional installation costs one function-pointer load per
+/// Register the fault-injection and cancellation chunk hooks with the
+/// runtime exactly once per process. Both hooks are no-ops unless
+/// armed (a fault plan installed / a cancel token current), so
+/// unconditional installation costs one function-pointer load each per
 /// chunk claim.
 pub(crate) fn install_fault_hook() {
     static ONCE: std::sync::OnceLock<()> = std::sync::OnceLock::new();
     ONCE.get_or_init(|| {
         rayon::set_chunk_fault_hook(Some(faults::chunk_claim_tick));
+        rayon::set_chunk_cancel_hook(Some(crate::trace::cancel::chunk_probe));
     });
 }
 
@@ -143,6 +145,11 @@ pub struct BpEngine<'a> {
     // the allocation-free objective evaluation of each rounded iterate.
     rounding: Vec<MatcherEngine>,
     eval_marks: Vec<bool>,
+    // Degradation-ladder override of `config.batch` (rung 1): the
+    // harness escalates the rounding batch under deadline pressure,
+    // trading rounding frequency for time exactly like the paper's
+    // `BP(batch = r)` variant. `None` = the configured batch.
+    batch_override: Option<usize>,
     best: Option<(f64, usize)>,
     best_g: Vec<f64>,
     // Observability.
@@ -194,6 +201,7 @@ impl<'a> BpEngine<'a> {
                 None => Vec::new(),
             },
             eval_marks: vec![false; if config.rounding.is_some() { m } else { 0 }],
+            batch_override: None,
             best: None,
             best_g: vec![0.0; m],
             trace,
@@ -355,8 +363,57 @@ impl<'a> BpEngine<'a> {
     /// full, or the configured iteration budget is exhausted.
     pub fn rounding_due(&self) -> bool {
         !self.pending_iter.is_empty()
-            && (self.pending_iter.len() >= self.config.batch.max(1) * 2
+            && (self.pending_iter.len() >= self.effective_batch() * 2
                 || self.k >= self.config.iterations)
+    }
+
+    /// The rounding batch size currently in force: the configured value
+    /// unless the degradation ladder escalated it.
+    pub fn effective_batch(&self) -> usize {
+        self.batch_override.unwrap_or(self.config.batch).max(1)
+    }
+
+    /// Degradation-ladder rung 1: double the rounding batch size (the
+    /// paper's `BP(batch = r)` trade — fewer, larger batched roundings
+    /// per wall-clock second). Capped so a long slide under pressure
+    /// cannot defer rounding indefinitely. Changing the batch changes
+    /// *when* iterates are rounded, never how, so a run escalated at a
+    /// fixed iteration stays deterministic at every pool size.
+    pub fn escalate_batch(&mut self) {
+        self.batch_override = Some((self.effective_batch() * 2).min(64));
+    }
+
+    /// Degradation-ladder rung 2: route every further rounding through
+    /// warm-started lock-free Suitor engines — the cheapest matcher in
+    /// the workspace. A no-op when the engine already rounds that way;
+    /// otherwise the replacement engines allocate once (accepted: the
+    /// ladder fires rarely, and shedding matcher cost dominates the
+    /// one-time allocation).
+    pub fn force_cheap_rounding(&mut self) {
+        let already = self.rounding.len() == 2
+            && self
+                .rounding
+                .iter()
+                .all(|e| e.kind() == RoundingMatcher::Suitor && e.warm());
+        if already {
+            return;
+        }
+        self.rounding = (0..2)
+            .map(|_| MatcherEngine::new(&self.p.l, RoundingMatcher::Suitor, true))
+            .collect();
+        let m = self.p.l.num_edges();
+        if self.eval_marks.len() != m {
+            self.eval_marks = vec![false; m];
+        }
+    }
+
+    /// Drop every staged-but-unrounded iterate, recycling the buffers.
+    /// Used by the harness at a deadline stop: the incumbent must be
+    /// assembled *now*, and rounding the backlog would spend time the
+    /// budget no longer has.
+    pub fn discard_pending(&mut self) {
+        self.pending_iter.clear();
+        self.buf_pool.append(&mut self.pending_bufs);
     }
 
     /// Round every staged iterate concurrently (`BP(batch = r)`),

@@ -1,6 +1,7 @@
 //! Run configuration shared by the BP and MR aligners.
 
 use netalign_matching::{MatcherKind, RoundingMatcher};
+use std::time::Duration;
 
 /// How BP's messages are damped toward the previous iterate (the paper
 /// describes only the `γᵏ` variant and points to Bayati et al. [13]
@@ -71,6 +72,55 @@ impl CheckpointPolicy {
 impl Default for CheckpointPolicy {
     fn default() -> Self {
         Self::disabled()
+    }
+}
+
+/// Wall-clock budget of a harness-driven run (see [`crate::harness`]).
+///
+/// Both aligners are *anytime* algorithms — every rounded iterate is a
+/// feasible solution and the engines track the best one seen — so a
+/// budgeted run never fails outright: at expiry the harness returns the
+/// incumbent with a `DeadlineBestSoFar` completion. The budget also
+/// feeds the graceful-degradation ladder: an EWMA of per-iteration cost
+/// is compared against the remaining time, and the harness sheds
+/// rounding work (larger BP batches, forced warm Suitor rounding)
+/// *before* the deadline instead of dying at it.
+///
+/// Wall-clock pressure only ever decides *when* the run stops or
+/// degrades, never what any completed iteration computes, so two runs
+/// stopped at the same iteration with the same ladder state are
+/// bit-identical at every pool size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimeBudget {
+    /// Total wall-clock budget for the run (`None` = unbounded).
+    pub deadline: Option<Duration>,
+    /// Soft per-iteration budget: an iteration exceeding it escalates
+    /// the degradation ladder one rung even while the total budget
+    /// still looks comfortable (`None` = off). Never terminates a run
+    /// by itself.
+    pub soft_iteration: Option<Duration>,
+}
+
+impl TimeBudget {
+    /// No time limits (the default).
+    pub const fn unbounded() -> Self {
+        TimeBudget {
+            deadline: None,
+            soft_iteration: None,
+        }
+    }
+
+    /// Budget with a total deadline of `ms` milliseconds.
+    pub fn from_deadline_ms(ms: u64) -> Self {
+        TimeBudget {
+            deadline: Some(Duration::from_millis(ms)),
+            soft_iteration: None,
+        }
+    }
+
+    /// True when any limit is configured.
+    pub fn is_bounded(&self) -> bool {
+        self.deadline.is_some() || self.soft_iteration.is_some()
     }
 }
 

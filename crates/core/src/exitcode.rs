@@ -1,0 +1,59 @@
+//! Process exit-code taxonomy shared by every binary in the workspace.
+//!
+//! A caller scripting `netalignmc` or the bench binaries (CI jobs, the
+//! deadline matrix, batch experiment drivers) needs to distinguish
+//! failure *classes* without parsing stderr. Each binary documents this
+//! table in its `--help` text:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success (including `deadline-best-so-far` under the default policy — a valid result was produced) |
+//! | 2    | usage / configuration error (bad flag, invalid parameter combination) |
+//! | 3    | I/O error (unreadable or malformed input graph, unwritable output or checkpoint) |
+//! | 4    | deadline expired without a usable result (`--on-deadline error`) |
+//! | 5    | internal error (engine panic, checkpoint validation failure, invariant breach) |
+//!
+//! Code 1 is deliberately unused: it is what an uncaught panic or a
+//! generic `std::process::exit(1)` yields, so keeping it out of the
+//! taxonomy means a `1` from one of our binaries always signals an
+//! *unclassified* crash worth investigating.
+
+/// Success; a usable result was produced (possibly best-so-far under a
+/// deadline).
+pub const OK: i32 = 0;
+
+/// Usage or configuration error: unknown flag, malformed value, invalid
+/// parameter combination.
+pub const USAGE: i32 = 2;
+
+/// I/O failure: input graph unreadable or malformed, output or
+/// checkpoint path unwritable.
+pub const IO: i32 = 3;
+
+/// The time budget expired and the run was configured to treat that as
+/// failure (`--on-deadline error`) rather than return best-so-far.
+pub const DEADLINE: i32 = 4;
+
+/// Internal failure: engine panic, checkpoint validation error, or a
+/// broken invariant.
+pub const INTERNAL: i32 = 5;
+
+/// One-line table for embedding in `--help` text.
+pub const HELP_TABLE: &str = "exit codes: 0 ok (incl. deadline best-so-far), 2 usage/config, \
+     3 I/O, 4 deadline without result, 5 internal";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_skip_one() {
+        let codes = [OK, USAGE, IO, DEADLINE, INTERNAL];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(!codes.contains(&1), "1 is reserved for uncaught panics");
+    }
+}

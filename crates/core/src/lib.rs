@@ -51,6 +51,7 @@ pub mod baselines;
 pub mod bp;
 pub mod checkpoint;
 pub mod config;
+pub mod exitcode;
 pub mod harness;
 pub mod mr;
 pub mod objective;
@@ -67,11 +68,12 @@ pub mod prelude {
     pub use crate::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
     pub use crate::bp::belief_propagation;
     pub use crate::checkpoint::{CheckpointError, EngineKind};
-    pub use crate::config::{AlignConfig, CheckpointPolicy};
-    pub use crate::harness::RunHarness;
+    pub use crate::config::{AlignConfig, CheckpointPolicy, TimeBudget};
+    pub use crate::harness::{AlignOutcome, Completion, DeadlinePolicy, HarnessError, RunHarness};
     pub use crate::mr::matching_relaxation;
     pub use crate::problem::NetAlignProblem;
     pub use crate::result::AlignmentResult;
+    pub use crate::trace::cancel::{CancelReason, CancelToken};
     pub use netalign_matching::{MatcherKind, RoundingMatcher};
 }
 

@@ -38,7 +38,7 @@ use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rowspans::RowSpans;
 use crate::trace::{faults, MatcherCounters, RunTrace, Step};
-use netalign_matching::{max_weight_matching_traced, MatcherEngine, Matching};
+use netalign_matching::{max_weight_matching_traced, MatcherEngine, Matching, RoundingMatcher};
 use rayon::par_uneven_chunks_mut;
 use rayon::prelude::*;
 use rowmatch::{solve_row_matchings_into, RowWorkspace};
@@ -378,6 +378,30 @@ impl<'a> MrEngine<'a> {
     /// Close the current iteration's trace row.
     pub fn end_iteration(&mut self) {
         self.trace.end_iteration();
+    }
+
+    /// Degradation-ladder rung 2: route every further matching through
+    /// warm-started lock-free Suitor engines — the cheapest matcher in
+    /// the workspace. A no-op when the engine already matches that way;
+    /// otherwise the replacement engines allocate once (accepted: the
+    /// ladder fires rarely, and shedding matcher cost dominates the
+    /// one-time allocation).
+    pub fn force_cheap_rounding(&mut self) {
+        fn is_cheap(e: &Option<MatcherEngine>) -> bool {
+            e.as_ref()
+                .is_some_and(|e| e.kind() == RoundingMatcher::Suitor && e.warm())
+        }
+        let l = &self.p.l;
+        if !is_cheap(&self.rounding_w) {
+            self.rounding_w = Some(MatcherEngine::new(l, RoundingMatcher::Suitor, true));
+        }
+        if self.config.enriched_rounding && !is_cheap(&self.rounding_g2) {
+            self.rounding_g2 = Some(MatcherEngine::new(l, RoundingMatcher::Suitor, true));
+        }
+        let m = l.num_edges();
+        if self.eval_marks.len() != m {
+            self.eval_marks = vec![false; m];
+        }
     }
 
     /// Snapshot the engine for [`crate::checkpoint`]. Only the

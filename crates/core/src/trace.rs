@@ -15,7 +15,7 @@
 //!   batch sizes, best-iterate improvements.
 
 pub use netalign_trace::{
-    faults, AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters, StepTrace,
+    cancel, faults, AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters, StepTrace,
 };
 
 use std::time::{Duration, Instant};

@@ -140,7 +140,8 @@ fn kill_and_resume(
             EngineKind::Bp => resume.run_bp(p, cfg),
             EngineKind::Mr => resume.run_mr(p, cfg),
         })
-        .expect("resume leg");
+        .expect("resume leg")
+        .result;
     std::fs::remove_dir_all(&dir).ok();
     result
 }
@@ -358,7 +359,8 @@ fn corrupted_checkpoint_write_falls_back_to_previous_snapshot() {
     let resumed = RunHarness::new()
         .with_resume_from(&dir)
         .run_mr(&p, &cfg)
-        .expect("resume must fall back to a valid snapshot");
+        .expect("resume must fall back to a valid snapshot")
+        .result;
     assert_bit_identical(&base, &resumed, "resume past a corrupted write");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -401,8 +403,62 @@ fn truncated_checkpoint_write_is_rejected_with_typed_error() {
     let resumed = RunHarness::new()
         .with_resume_from(&dir)
         .run_bp(&p, &cfg)
-        .expect("directory resume skips the truncated file");
+        .expect("directory resume skips the truncated file")
+        .result;
     assert_eq!(base.objective.to_bits(), resumed.objective.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_from_deadline_cut_checkpoint_is_bit_identical() {
+    let _guard = faults::test_lock();
+    let p = problem();
+    // Warm-started rounding: the resume leg must invalidate the matcher
+    // engine's warm memory exactly like a mid-run restore does.
+    let cfg = AlignConfig {
+        iterations: 16,
+        batch: 3,
+        record_history: true,
+        matcher: MatcherKind::ParallelLocalDominant,
+        rounding: Some(RoundingMatcher::Ld),
+        warm_start: true,
+        ..Default::default()
+    };
+    let base = pool(4).install(|| belief_propagation(&p, &cfg));
+
+    // Deterministic deadline at iteration 7: the harness cuts a final
+    // checkpoint through the same atomic tmp+rename path as mid-run
+    // snapshots and returns the incumbent.
+    let dir = scratch_dir("deadline-cut");
+    faults::install(faults::FaultPlan {
+        deadline: Some(7),
+        ..Default::default()
+    });
+    let outcome = pool(4)
+        .install(|| {
+            RunHarness::new()
+                .with_checkpoint_dir(&dir)
+                .with_on_deadline(DeadlinePolicy::Checkpoint)
+                .run_bp(&p, &cfg)
+        })
+        .expect("deadline leg");
+    faults::clear();
+    assert_eq!(outcome.completion, Completion::DeadlineBestSoFar);
+    assert_eq!(outcome.iterations_run, 7);
+    let cut = outcome
+        .deadline_checkpoint
+        .expect("the deadline stop must cut a checkpoint");
+    assert!(cut.ends_with(checkpoint::checkpoint_file_name(EngineKind::Bp, 7)));
+
+    // Resuming from the cut (with a larger budget) must replay
+    // iterations 8..16 exactly as the uninterrupted run — including the
+    // matcher warm memory, which the restore invalidates like any
+    // mid-run checkpoint restore.
+    let resumed = pool(4)
+        .install(|| RunHarness::new().with_resume_from(&cut).run_bp(&p, &cfg))
+        .expect("resume from deadline cut")
+        .result;
+    assert_bit_identical(&base, &resumed, "resume from a deadline-cut checkpoint");
     std::fs::remove_dir_all(&dir).ok();
 }
 

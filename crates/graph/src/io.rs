@@ -12,19 +12,48 @@
 //! `ncols = |V_B|`; undirected graphs serialize as an edge list with a
 //! `n m` header, one `u v` line per edge.
 
-use crate::bipartite::BipartiteGraphBuilder;
+use crate::bipartite::{BipartiteGraphBuilder, GraphError};
 use crate::undirected::GraphBuilder;
 use crate::{BipartiteGraph, CsrMatrix, Graph, VertexId};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Errors produced by the readers.
+/// Largest vertex-dimension a loader accepts. Vertex ids are stored as
+/// [`VertexId`] (`u32`), so a header dimension beyond this either
+/// overflows the index type (silently truncating indices on a cast) or
+/// is a decompression bomb — both are rejected with
+/// [`IoError::HeaderOverflow`] before anything is allocated.
+pub const MAX_DIM: usize = VertexId::MAX as usize;
+
+/// Cap on header-driven preallocation. Header counts are untrusted: a
+/// one-line file claiming `nnz = 10^18` must not reserve terabytes up
+/// front, so reservations take `min(claimed, this)` and grow with the
+/// actual body from there.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// Errors produced by the readers. Every adversarial input class maps
+/// to a typed variant — the loaders never panic and never allocate
+/// proportionally to an unvalidated header claim.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The file content did not parse as the expected format.
     Parse { line: usize, msg: String },
+    /// An entry names a vertex outside the header's dimensions.
+    OutOfRange { line: usize, msg: String },
+    /// The header declares dimensions or counts that overflow the
+    /// index space or contradict each other (e.g. `nnz > nrows*ncols`).
+    HeaderOverflow { line: usize, msg: String },
+    /// The body holds a different number of entries than the header
+    /// promised — a truncated file or a header/body mismatch.
+    CountMismatch {
+        what: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// The parsed data was rejected by the graph builder.
+    Graph(GraphError),
 }
 
 impl std::fmt::Display for IoError {
@@ -32,6 +61,22 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::OutOfRange { line, msg } => {
+                write!(f, "out of bounds at line {line}: {msg}")
+            }
+            IoError::HeaderOverflow { line, msg } => {
+                write!(f, "implausible header at line {line}: {msg}")
+            }
+            IoError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "header/body mismatch: expected {expected} {what}, found {found} \
+                 (truncated or corrupt file?)"
+            ),
+            IoError::Graph(e) => write!(f, "invalid graph data: {e}"),
         }
     }
 }
@@ -41,6 +86,12 @@ impl std::error::Error for IoError {}
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
         IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
     }
 }
 
@@ -64,7 +115,38 @@ pub fn write_smat<W: Write>(m: &CsrMatrix, w: W) -> Result<(), IoError> {
     Ok(())
 }
 
+/// Validate an SMAT header before anything is allocated from it: both
+/// dimensions must fit the `u32` index space and the declared entry
+/// count cannot exceed the number of cells.
+fn validate_smat_header(nrows: usize, ncols: usize, nnz: usize) -> Result<(), IoError> {
+    for (what, d) in [("nrows", nrows), ("ncols", ncols)] {
+        if d > MAX_DIM {
+            return Err(IoError::HeaderOverflow {
+                line: 1,
+                msg: format!("{what} = {d} exceeds the u32 index space"),
+            });
+        }
+    }
+    // If nrows*ncols overflows usize the cell count certainly exceeds
+    // any representable nnz, so only the non-overflowing case can fail.
+    if let Some(cells) = nrows.checked_mul(ncols) {
+        if nnz > cells {
+            return Err(IoError::HeaderOverflow {
+                line: 1,
+                msg: format!("nnz = {nnz} exceeds nrows*ncols = {cells}"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Read a sparse matrix in SMAT format.
+///
+/// Hardened against adversarial input: garbage, truncated bodies,
+/// out-of-range indices, non-finite values and overflowing header
+/// claims all return a typed [`IoError`] — the reader never panics,
+/// and memory use is bounded by the actual file content, not by what
+/// the header promises.
 pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
     let mut lines = BufReader::new(r).lines();
     let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
@@ -72,22 +154,32 @@ pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
     let nrows: usize = next_num(&mut it, 1, "nrows")?;
     let ncols: usize = next_num(&mut it, 1, "ncols")?;
     let nnz: usize = next_num(&mut it, 1, "nnz")?;
-    let mut trips = Vec::with_capacity(nnz);
+    validate_smat_header(nrows, ncols, nnz)?;
+    let mut trips = Vec::with_capacity(nnz.min(PREALLOC_CAP));
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let lineno = i + 2;
+        // Bail as soon as the body exceeds the header's promise — do
+        // not buffer an unbounded surplus first.
+        if trips.len() == nnz {
+            return Err(IoError::CountMismatch {
+                what: "entries",
+                expected: nnz,
+                found: nnz + 1,
+            });
+        }
         let mut it = line.split_whitespace();
         let row: usize = next_num(&mut it, lineno, "row")?;
         let col: usize = next_num(&mut it, lineno, "col")?;
         let val: f64 = next_num(&mut it, lineno, "value")?;
         if row >= nrows || col >= ncols {
-            return Err(parse_err(
-                lineno,
-                format!("entry ({row},{col}) out of bounds"),
-            ));
+            return Err(IoError::OutOfRange {
+                line: lineno,
+                msg: format!("entry ({row},{col}) outside {nrows}x{ncols}"),
+            });
         }
         // "nan"/"inf" parse as f64 but poison every downstream kernel;
         // reject them here where the line number is still known.
@@ -100,10 +192,11 @@ pub fn read_smat<R: Read>(r: R) -> Result<CsrMatrix, IoError> {
         trips.push((row as VertexId, col as VertexId, val));
     }
     if trips.len() != nnz {
-        return Err(parse_err(
-            0,
-            format!("expected {} entries, found {}", nnz, trips.len()),
-        ));
+        return Err(IoError::CountMismatch {
+            what: "entries",
+            expected: nnz,
+            found: trips.len(),
+        });
     }
     Ok(CsrMatrix::from_triplets(nrows, ncols, trips))
 }
@@ -139,8 +232,7 @@ pub fn read_bipartite_smat<R: Read>(r: R) -> Result<BipartiteGraph, IoError> {
             // read_smat already bounds- and finiteness-checks every
             // entry, but route through the fallible builder anyway so a
             // bad file can never panic this loader.
-            b.try_add_edge(row as VertexId, col, val)
-                .map_err(|e| parse_err(0, e.to_string()))?;
+            b.try_add_edge(row as VertexId, col, val)?;
         }
     }
     Ok(b.build())
@@ -158,12 +250,33 @@ pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<(), IoError> {
 }
 
 /// Read an undirected graph from an edge list with an `n m` header.
+///
+/// Hardened against adversarial input the same way as [`read_smat`]:
+/// overflowing headers, out-of-range endpoints, self-loops, and
+/// truncated or padded bodies return typed [`IoError`]s instead of
+/// panicking or allocating from unvalidated claims.
 pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, IoError> {
     let mut lines = BufReader::new(r).lines();
     let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
     let mut it = header.split_whitespace();
     let n: usize = next_num(&mut it, 1, "n")?;
     let m: usize = next_num(&mut it, 1, "m")?;
+    if n > MAX_DIM {
+        return Err(IoError::HeaderOverflow {
+            line: 1,
+            msg: format!("n = {n} exceeds the u32 index space"),
+        });
+    }
+    // A simple graph holds at most n*(n-1)/2 edges; an overflowing
+    // product cannot constrain any representable m.
+    if let Some(pairs) = n.checked_mul(n.saturating_sub(1)).map(|p| p / 2) {
+        if m > pairs {
+            return Err(IoError::HeaderOverflow {
+                line: 1,
+                msg: format!("m = {m} exceeds n*(n-1)/2 = {pairs}"),
+            });
+        }
+    }
     let mut b = GraphBuilder::new(n);
     let mut count = 0usize;
     for (i, line) in lines.enumerate() {
@@ -172,17 +285,36 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, IoError> {
             continue;
         }
         let lineno = i + 2;
+        if count == m {
+            return Err(IoError::CountMismatch {
+                what: "edges",
+                expected: m,
+                found: m + 1,
+            });
+        }
         let mut it = line.split_whitespace();
         let u: VertexId = next_num(&mut it, lineno, "u")?;
         let v: VertexId = next_num(&mut it, lineno, "v")?;
         if u as usize >= n || v as usize >= n {
-            return Err(parse_err(lineno, format!("edge ({u},{v}) out of bounds")));
+            return Err(IoError::OutOfRange {
+                line: lineno,
+                msg: format!("edge ({u},{v}) outside n = {n}"),
+            });
+        }
+        // The builder's add_edge asserts on self-loops; untrusted input
+        // must hit a typed error instead.
+        if u == v {
+            return Err(parse_err(lineno, format!("self-loop ({u},{v})")));
         }
         b.add_edge(u, v);
         count += 1;
     }
     if count != m {
-        return Err(parse_err(0, format!("expected {m} edges, found {count}")));
+        return Err(IoError::CountMismatch {
+            what: "edges",
+            expected: m,
+            found: count,
+        });
     }
     Ok(b.build())
 }
@@ -312,7 +444,14 @@ mod tests {
     fn rejects_wrong_nnz() {
         let text = "2 2 3\n0 0 1.0\n";
         let err = read_smat(text.as_bytes()).unwrap_err();
-        assert!(matches!(err, IoError::Parse { .. }));
+        assert!(matches!(
+            err,
+            IoError::CountMismatch {
+                expected: 3,
+                found: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -339,6 +478,81 @@ mod tests {
     fn rejects_garbage_header() {
         let text = "hello world\n";
         assert!(read_smat(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn huge_nnz_claim_is_rejected_without_allocating() {
+        // nnz contradicts nrows*ncols: refused at the header.
+        let text = "3 3 99999999999999\n0 0 1.0\n";
+        let err = read_smat(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::HeaderOverflow { .. }), "{err}");
+        // nnz plausible for the dims but absurd for the body: the
+        // preallocation is capped, so this returns a typed mismatch
+        // instead of reserving gigabytes up front.
+        let text = "100000 100000 5000000000\n0 0 1.0\n";
+        let err = read_smat(text.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::CountMismatch {
+                    expected: 5_000_000_000,
+                    found: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn overflowing_dims_are_rejected() {
+        for text in [
+            "5000000000 4 1\n0 0 1.0\n",
+            "4 5000000000 1\n0 0 1.0\n",
+            "18446744073709551615 18446744073709551615 1\n0 0 1.0\n",
+        ] {
+            let err = read_smat(text.as_bytes()).unwrap_err();
+            assert!(matches!(err, IoError::HeaderOverflow { .. }), "{err}");
+        }
+        let err = read_edge_list("5000000000 1\n0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::HeaderOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn surplus_entries_fail_fast() {
+        let err = read_smat("2 2 1\n0 0 1.0\n1 1 2.0\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::CountMismatch {
+                    expected: 1,
+                    found: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = read_edge_list("3 1\n0 1\n1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::CountMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn edge_list_self_loop_is_a_typed_error_not_a_panic() {
+        let err = read_edge_list("3 2\n0 1\n2 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn edge_list_rejects_impossible_edge_count() {
+        let err = read_edge_list("3 100\n0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::HeaderOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn edge_list_out_of_range_endpoint_is_typed() {
+        let err = read_edge_list("3 1\n0 9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::OutOfRange { .. }), "{err}");
+        assert!(err.to_string().contains("out of bounds"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Adversarial-input suite for the SMAT / edge-list loaders.
+//!
+//! Two layers:
+//!
+//! 1. a curated corpus of corrupt files under `tests/data/corrupt/`
+//!    (repo root), one per failure class — truncated bodies, surplus
+//!    bodies, out-of-range indices, overflowing header dims, header
+//!    counts that contradict the dims, non-finite values, self-loops,
+//!    binary noise — each of which must come back as a typed
+//!    [`IoError`], never a panic and never an allocation scaled to the
+//!    header's claims;
+//! 2. a fuzz-style sweep that truncates a valid file at every byte
+//!    offset and substitutes every byte position with a palette of
+//!    hostile bytes, asserting the loaders never panic on any mutant
+//!    (they may accept or reject — mutation can produce valid files).
+
+use netalign_graph::io::{
+    read_bipartite_smat, read_edge_list, read_graph_smat, read_smat, IoError,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/corrupt")
+}
+
+fn read_corpus(name: &str) -> Vec<u8> {
+    let path = corpus_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("corpus file {} missing: {e}", path.display()))
+}
+
+/// Run every loader that accepts this extension over the bytes,
+/// catching panics; returns the per-loader results.
+fn run_loaders(name: &str, bytes: &[u8]) -> Vec<(&'static str, Result<bool, IoError>)> {
+    let mut out = Vec::new();
+    let mut run = |loader: &'static str, f: &dyn Fn(&[u8]) -> Result<(), IoError>| {
+        let r = catch_unwind(AssertUnwindSafe(|| f(bytes)));
+        match r {
+            Ok(Ok(())) => out.push((loader, Ok(true))),
+            Ok(Err(e)) => out.push((loader, Err(e))),
+            Err(_) => panic!("loader {loader} PANICKED on {name}"),
+        }
+    };
+    if name.ends_with(".smat") {
+        run("read_smat", &|b| read_smat(b).map(|_| ()));
+        run("read_bipartite_smat", &|b| {
+            read_bipartite_smat(b).map(|_| ())
+        });
+        run("read_graph_smat", &|b| read_graph_smat(b).map(|_| ()));
+    } else {
+        run("read_edge_list", &|b| read_edge_list(b).map(|_| ()));
+    }
+    out
+}
+
+#[test]
+fn every_corpus_file_is_rejected_with_a_typed_error() {
+    let dir = corpus_dir();
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("corrupt corpus directory") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !(name.ends_with(".smat") || name.ends_with(".edges")) {
+            continue;
+        }
+        seen += 1;
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        // Some files are corrupt only for a specific loader (e.g. a
+        // rectangular adjacency matrix is valid generic SMAT), so the
+        // sweep requires that no loader panics and that at least one
+        // loader for the format rejects the file.
+        let results = run_loaders(&name, &bytes);
+        assert!(
+            results.iter().any(|(_, r)| r.is_err()),
+            "every loader accepted corrupt corpus file {name}"
+        );
+    }
+    assert!(seen >= 12, "corpus unexpectedly small: {seen} files");
+}
+
+#[test]
+fn corpus_failure_classes_map_to_the_right_variants() {
+    let class = |name: &str| {
+        let bytes = read_corpus(name);
+        if name.ends_with(".smat") {
+            read_smat(&bytes[..]).unwrap_err()
+        } else {
+            read_edge_list(&bytes[..]).unwrap_err()
+        }
+    };
+    assert!(matches!(
+        class("truncated_body.smat"),
+        IoError::CountMismatch { .. }
+    ));
+    assert!(matches!(
+        class("surplus_body.smat"),
+        IoError::CountMismatch { .. }
+    ));
+    assert!(matches!(
+        class("out_of_range.smat"),
+        IoError::OutOfRange { .. }
+    ));
+    assert!(matches!(
+        class("huge_nnz.smat"),
+        IoError::HeaderOverflow { .. }
+    ));
+    assert!(matches!(
+        class("overflow_dims.smat"),
+        IoError::HeaderOverflow { .. }
+    ));
+    assert!(matches!(
+        class("nnz_exceeds_cells.smat"),
+        IoError::HeaderOverflow { .. }
+    ));
+    assert!(matches!(class("empty.smat"), IoError::Parse { .. }));
+    assert!(matches!(
+        class("garbage_header.smat"),
+        IoError::Parse { .. }
+    ));
+    assert!(matches!(
+        class("huge_n.edges"),
+        IoError::HeaderOverflow { .. }
+    ));
+    assert!(matches!(
+        class("endpoint_out_of_range.edges"),
+        IoError::OutOfRange { .. }
+    ));
+    assert!(matches!(
+        class("truncated.edges"),
+        IoError::CountMismatch { .. }
+    ));
+    assert!(matches!(
+        class("impossible_count.edges"),
+        IoError::HeaderOverflow { .. }
+    ));
+    assert!(class("self_loop.edges").to_string().contains("self-loop"));
+}
+
+/// Byte palette used for substitution mutations: digits that shift
+/// counts, separators that split tokens, a sign, a letter, and raw
+/// non-UTF8 noise.
+const PALETTE: [u8; 8] = [b'0', b'9', b' ', b'\n', b'-', b'x', 0x00, 0xFF];
+
+fn assert_never_panics(name: &str, base: &[u8]) {
+    // Every truncation prefix.
+    for cut in 0..=base.len() {
+        run_loaders(name, &base[..cut]);
+    }
+    // Every single-byte substitution from the palette.
+    for pos in 0..base.len() {
+        for &b in &PALETTE {
+            let mut mutant = base.to_vec();
+            mutant[pos] = b;
+            run_loaders(name, &mutant);
+        }
+    }
+}
+
+#[test]
+fn fuzzed_smat_mutants_never_panic() {
+    let base = b"3 4 5\n0 0 1.5\n0 3 2.0\n1 1 -0.5\n2 0 4.25\n2 2 0.125\n";
+    assert_never_panics("fuzz.smat", base);
+}
+
+#[test]
+fn fuzzed_edge_list_mutants_never_panic() {
+    let base = b"5 4\n0 1\n1 2\n3 4\n0 4\n";
+    assert_never_panics("fuzz.edges", base);
+}

@@ -33,14 +33,26 @@
 //! [`ChannelFaults`] deterministically drops and/or duplicates
 //! messages (counted per sending rank), standing in for the lossy
 //! transports a real deployment would face. When faults are active the
-//! protocol engages three hardening rules — unmatched vertices re-send
-//! their proposal every round (heartbeat), owners answer proposals to
-//! already-matched vertices with a retransmitted `Matched` reply, and
-//! termination waits for a quiet grace window under a hard round cap —
-//! so the half-approximation and termination guarantees survive lost
-//! and repeated messages (asserted in tests).
+//! protocol engages three hardening rules — a proposal that goes
+//! unanswered for its timeout window is retransmitted on a bounded
+//! exponential backoff (1, 2, 4, … rounds up to
+//! [`RESEND_BACKOFF_CAP`], reset whenever the proposer learns
+//! something new), owners answer proposals to already-matched vertices
+//! with a retransmitted `Matched` reply, and termination waits for a
+//! quiet grace window under a hard round cap — so the
+//! half-approximation and termination guarantees survive lost and
+//! repeated messages, and a silent peer cannot stall termination
+//! (asserted in tests). A rank still owing a scheduled retransmission
+//! counts as active, so quiescence detection never fires while a
+//! timed-out proposal is waiting out its backoff window.
 
 use crate::approx::{unified_edge_gt, UnifiedView};
+
+/// Longest per-round answer timeout (in rounds) a faulty-mode proposal
+/// backs off to before being retransmitted. The schedule is 1, 2, 4, …
+/// capped here, so a lost message is always re-sent within a bounded
+/// window while settled vertices stop flooding the links.
+pub const RESEND_BACKOFF_CAP: usize = 16;
 use crate::matching::{Matching, UNMATCHED};
 use netalign_graph::{BipartiteGraph, VertexId};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -242,15 +254,35 @@ fn rank_main(
     // while this rank is still draining phase-2 proposals, so phase 2
     // defers them here for phase 3 instead of asserting them away.
     let mut deferred: Vec<Msg> = Vec::new();
+    // Faulty-mode retransmission schedule, indexed by (v - lo): a
+    // proposal whose sender is still unmatched at round `resend_at` has
+    // timed out and is re-sent, after which the window doubles up to
+    // [`RESEND_BACKOFF_CAP`]. Fresh information (a dirty vertex) resets
+    // the schedule so reactions stay immediate.
+    let sched = if faulty { hi - lo } else { 0 };
+    let mut resend_at: Vec<usize> = vec![0; sched];
+    let mut backoff: Vec<usize> = vec![1; sched];
 
     let mut round = 0usize;
     let mut quiet = 0usize;
     loop {
-        // Phase 1: propose. Under faults every unmatched owned vertex
-        // re-proposes (heartbeat) so a dropped proposal is re-sent next
-        // round; fault-free runs propose only for dirty vertices.
+        // Phase 1: propose. Fault-free runs propose only for dirty
+        // vertices. Under faults a dropped proposal must eventually be
+        // retransmitted, but re-sending every proposal every round
+        // floods the links — instead each unanswered proposal times out
+        // on its vertex's bounded exponential-backoff schedule.
         if faulty {
-            dirty = (lo as VertexId..hi as VertexId).collect();
+            for &v in &dirty {
+                let li = v as usize - lo;
+                backoff[li] = 1;
+                resend_at[li] = round;
+            }
+            dirty.clear();
+            for li in 0..(hi - lo) {
+                if mate[li] == UNMATCHED && round >= resend_at[li] {
+                    dirty.push((lo + li) as VertexId);
+                }
+            }
         }
         for &v in &dirty {
             let li = v as usize - lo;
@@ -261,6 +293,10 @@ fn rank_main(
             candidate[li] = c;
             if c != UNMATCHED {
                 link.send(owner(c, n, p), Msg::Propose { from: v, to: c });
+                if faulty {
+                    resend_at[li] = round + backoff[li];
+                    backoff[li] = (backoff[li] * 2).min(RESEND_BACKOFF_CAP);
+                }
             }
         }
         dirty.clear();
@@ -362,10 +398,17 @@ fn rank_main(
 
         // Termination: double-buffered global activity flag. Fault-free
         // runs stop at the first globally quiet round; faulty runs
-        // treat new matches/knowledge as activity and wait out a grace
-        // window so in-flight retransmissions can land.
+        // treat new matches/knowledge as activity, count a proposal
+        // still waiting out its backoff window as activity too (so
+        // quiescence cannot fire while a retransmission is owed), and
+        // wait out a grace window so in-flight messages can land.
         let progress = if faulty {
-            !matched_now.is_empty() || learned || !dirty.is_empty()
+            let pending_resend = (0..(hi - lo)).any(|li| {
+                mate[li] == UNMATCHED
+                    && candidate[li] != UNMATCHED
+                    && !known_matched[candidate[li] as usize]
+            });
+            !matched_now.is_empty() || learned || !dirty.is_empty() || pending_resend
         } else {
             !dirty.is_empty()
         };
@@ -525,6 +568,58 @@ mod tests {
                         "seed {seed} ranks {ranks} dup {dup_every}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_retransmission_survives_heavy_loss() {
+        // Half of all traffic dropped: correctness now rests entirely on
+        // the timed-out proposals being retransmitted on the backoff
+        // schedule. Completing at all proves a silent (lossy) peer
+        // cannot stall termination; maximality proves no vertex gave up
+        // while a viable partner was still free.
+        for seed in [4, 17] {
+            let l = random_l(seed, 26, 24, 0.3);
+            let half = exact_weight(&l) / 2.0;
+            for ranks in [2, 4, 6] {
+                let faults = ChannelFaults {
+                    drop_every: 2,
+                    dup_every: 0,
+                };
+                let m = distributed_local_dominant_faulty(&l, l.weights(), ranks, faults);
+                assert!(m.is_valid(&l), "seed {seed} ranks {ranks}");
+                let w = m.weight(&l, l.weights());
+                assert!(
+                    w + 1e-9 >= half,
+                    "half-approximation violated under heavy loss: {w} < {half} \
+                     (seed {seed} ranks {ranks})"
+                );
+                assert!(m.is_maximal(&l, l.weights()), "seed {seed} ranks {ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_backoff_path_equals_serial() {
+        // Duplication alone activates faulty mode — and with it the
+        // backoff re-propose schedule — without losing any message, so
+        // the retransmission machinery must be a pure no-op on the
+        // final matching: candidates evolve exactly as in the
+        // fault-free protocol.
+        for seed in [6, 19] {
+            let l = random_l(seed, 28, 26, 0.25);
+            let serial = serial_local_dominant(&l, l.weights());
+            for ranks in [3, 5] {
+                let faults = ChannelFaults {
+                    drop_every: 0,
+                    dup_every: 1,
+                };
+                assert_eq!(
+                    distributed_local_dominant_faulty(&l, l.weights(), ranks, faults),
+                    serial,
+                    "seed {seed} ranks {ranks}"
+                );
             }
         }
     }

@@ -1,0 +1,405 @@
+//! Cooperative cancellation for deadline-aware runs.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle to shared run state:
+//! a cancellation flag, an optional wall-clock deadline, and a
+//! *heartbeat* counter bumped at every unit of forward progress (one
+//! chunk claim inside a parallel region, one aligner iteration). The
+//! token never preempts anything — cancellation is observed at
+//! cooperative checkpoints:
+//!
+//! * the vendored runtime probes the **current** token once per chunk
+//!   claim (via [`chunk_probe`], installed as a plain `fn` pointer by
+//!   `netalign-core`), so a parallel region stops within one chunk of
+//!   work and unwinds with the runtime's distinguished cancellation
+//!   payload, leaving the persistent pool reusable;
+//! * the run harness probes at iteration boundaries, where stopping is
+//!   deterministic and the engine state is consistent.
+//!
+//! The [`Watchdog`] watches the heartbeat from a helper thread and
+//! cancels the token when no progress is observed for a stall window —
+//! converting a livelocked or wedged region into a clean `Cancelled`
+//! outcome instead of a hang. Being heartbeat-based it is cooperative
+//! too: a loop that never reaches a probe point cannot be recovered,
+//! only reported.
+//!
+//! Like the fault plan in [`crate::faults`], the *current* token is
+//! process-global (the runtime hook is a bare `fn` pointer and cannot
+//! carry state); concurrent harness runs in one process would observe
+//! each other's deadlines, so tests serialize through
+//! [`crate::faults::test_lock`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Why a token was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Explicit request (API caller, signal handler, test).
+    Manual,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The watchdog saw no heartbeat for a full stall window.
+    Watchdog,
+}
+
+impl CancelReason {
+    fn as_u8(self) -> u8 {
+        match self {
+            CancelReason::Manual => 1,
+            CancelReason::Deadline => 2,
+            CancelReason::Watchdog => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(CancelReason::Manual),
+            2 => Some(CancelReason::Deadline),
+            3 => Some(CancelReason::Watchdog),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case label for reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Manual => "manual",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Watchdog => "watchdog",
+        }
+    }
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    /// 0 = not cancelled; otherwise `CancelReason::as_u8`. First
+    /// cancellation wins so the recorded reason is the one that
+    /// actually stopped the run.
+    reason: AtomicU8,
+    deadline: Option<Instant>,
+    heartbeat: AtomicU64,
+}
+
+/// Shared cancellation state for one run. Clones observe (and cancel)
+/// the same run.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("reason", &self.reason())
+            .field("deadline", &self.inner.deadline)
+            .field("heartbeat", &self.heartbeat())
+            .finish()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// Token with no deadline; stops only on explicit [`cancel`].
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Token that expires `budget` from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self::build(Some(Instant::now() + budget))
+    }
+
+    /// Token that expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self::build(Some(deadline))
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(0),
+                deadline,
+                heartbeat: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` = unbounded, zero =
+    /// expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Cancel the run. The first reason to arrive is the one reported.
+    pub fn cancel(&self, reason: CancelReason) {
+        let _ = self.inner.reason.compare_exchange(
+            0,
+            reason.as_u8(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`] been called? Does **not** check the clock — use
+    /// [`should_stop`] at cooperative checkpoints.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    /// [`should_stop`]: CancelToken::should_stop
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Why the token was cancelled, once it is.
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_u8(self.inner.reason.load(Ordering::Acquire))
+    }
+
+    /// Cooperative checkpoint: true when the run must stop. Checks the
+    /// flag first (one atomic load), then the deadline; an expired
+    /// deadline latches the flag so every later observer agrees.
+    pub fn should_stop(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel(CancelReason::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Record one unit of forward progress (chunk claim, iteration).
+    pub fn tick(&self) {
+        self.inner.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current heartbeat count.
+    pub fn heartbeat(&self) -> u64 {
+        self.inner.heartbeat.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The process-global current token (runtime hook target).
+// ---------------------------------------------------------------------
+
+/// Fast gate mirroring `CURRENT.is_some()`; the disarmed probe cost is
+/// one relaxed load, same discipline as `faults::ARMED`.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CURRENT: RwLock<Option<CancelToken>> = RwLock::new(None);
+
+/// Install (or with `None` remove) the process-global current token the
+/// runtime's chunk-claim probe observes. The harness installs its run
+/// token for the duration of a run and removes it before assembling the
+/// final best-so-far result (final assembly must not be cancelled
+/// mid-flight by the very deadline it is answering).
+pub fn set_current(token: Option<CancelToken>) {
+    let active = token.is_some();
+    *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = token;
+    ACTIVE.store(active, Ordering::Release);
+}
+
+/// The currently installed token, if any.
+pub fn current() -> Option<CancelToken> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    CURRENT.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Chunk-claim probe for the vendored runtime, installed by
+/// `netalign-core` as a plain `fn` pointer (the trace crate stays
+/// dependency-free). Bumps the current token's heartbeat — every chunk
+/// claim is forward progress the watchdog should see — and returns
+/// whether the region must cancel.
+pub fn chunk_probe() -> bool {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return false;
+    }
+    let guard = CURRENT.read().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(token) => {
+            token.tick();
+            token.should_stop()
+        }
+        None => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog.
+// ---------------------------------------------------------------------
+
+struct WatchdogShared {
+    stop: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// Helper thread that cancels a token when its heartbeat stalls.
+///
+/// The thread samples the heartbeat at a fraction of the stall window;
+/// if a full window passes with no change it calls
+/// `token.cancel(CancelReason::Watchdog)` and exits. Dropping the
+/// watchdog stops the thread promptly (condvar, not sleep).
+pub struct Watchdog {
+    shared: Arc<WatchdogShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Watch `token`, cancelling it after `stall` with no heartbeat.
+    pub fn spawn(token: CancelToken, stall: Duration) -> Self {
+        let shared = Arc::new(WatchdogShared {
+            stop: Mutex::new(false),
+            cond: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let poll = (stall / 4).max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("netalign-watchdog".into())
+            .spawn(move || {
+                let mut last_beat = token.heartbeat();
+                let mut last_change = Instant::now();
+                let mut stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if *stopped || token.is_cancelled() {
+                        return;
+                    }
+                    let (guard, _timeout) = thread_shared
+                        .cond
+                        .wait_timeout(stopped, poll)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if *stopped || token.is_cancelled() {
+                        return;
+                    }
+                    let beat = token.heartbeat();
+                    if beat != last_beat {
+                        last_beat = beat;
+                        last_change = Instant::now();
+                    } else if last_change.elapsed() >= stall {
+                        token.cancel(CancelReason::Watchdog);
+                        return;
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.cond.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_latches_flag_and_reason() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.should_stop());
+        assert_eq!(t.reason(), None);
+        t.cancel(CancelReason::Manual);
+        assert!(t.is_cancelled());
+        assert!(t.should_stop());
+        assert_eq!(t.reason(), Some(CancelReason::Manual));
+        // First reason wins.
+        t.cancel(CancelReason::Deadline);
+        assert_eq!(t.reason(), Some(CancelReason::Manual));
+    }
+
+    #[test]
+    fn expired_budget_latches_deadline_reason() {
+        let t = CancelToken::with_budget(Duration::ZERO);
+        assert!(t.should_stop());
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.tick();
+        c.tick();
+        assert_eq!(t.heartbeat(), 2);
+        t.cancel(CancelReason::Manual);
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn current_token_probe_ticks_and_reports() {
+        let _guard = crate::faults::test_lock();
+        assert!(!chunk_probe(), "no token installed");
+        let t = CancelToken::new();
+        set_current(Some(t.clone()));
+        assert!(!chunk_probe());
+        assert_eq!(t.heartbeat(), 1, "probe must tick the heartbeat");
+        t.cancel(CancelReason::Manual);
+        assert!(chunk_probe());
+        set_current(None);
+        assert!(!chunk_probe());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn watchdog_cancels_a_stalled_token() {
+        let t = CancelToken::new();
+        let _dog = Watchdog::spawn(t.clone(), Duration::from_millis(20));
+        // No heartbeat: the watchdog must fire.
+        let start = Instant::now();
+        while !t.is_cancelled() && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(t.is_cancelled(), "watchdog never fired");
+        assert_eq!(t.reason(), Some(CancelReason::Watchdog));
+    }
+
+    #[test]
+    fn watchdog_spares_a_beating_token() {
+        let t = CancelToken::new();
+        {
+            let _dog = Watchdog::spawn(t.clone(), Duration::from_millis(40));
+            for _ in 0..20 {
+                t.tick();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(!t.is_cancelled(), "watchdog fired despite heartbeats");
+        }
+        // Dropping the watchdog stops it; the token stays clean.
+        assert!(!t.is_cancelled());
+    }
+}

@@ -18,7 +18,11 @@
 //!   - `NETALIGN_FAULT_CHUNK_PANIC=<n>` — panic inside the worker that
 //!     makes the `n`-th chunk claim after arming,
 //!   - `NETALIGN_FAULT_CKPT=truncate@<n>` or `corrupt@<n>` — damage the
-//!     `n`-th checkpoint write.
+//!     `n`-th checkpoint write,
+//!   - `NETALIGN_FAULT_DEADLINE=<iter>` — treat the end of aligner
+//!     iteration `iter` as an expired time budget (a deterministic
+//!     deadline: the harness stops there exactly as it would on a
+//!     wall-clock expiry, without any real clock in the loop).
 //!
 //! The module only *decides*; the subsystems under test do the
 //! injecting: the aligner engines query [`nan_due`] / [`panic_point`],
@@ -82,6 +86,9 @@ pub struct FaultPlan {
     pub chunk_panic: Option<u64>,
     /// Damage the Nth checkpoint write.
     pub checkpoint: Option<CheckpointFault>,
+    /// Treat the end of this 1-based aligner iteration as an expired
+    /// time budget (deterministic deadline, no wall clock involved).
+    pub deadline: Option<u64>,
 }
 
 impl FaultPlan {
@@ -91,6 +98,7 @@ impl FaultPlan {
             && self.panic.is_none()
             && self.chunk_panic.is_none()
             && self.checkpoint.is_none()
+            && self.deadline.is_none()
     }
 }
 
@@ -170,6 +178,7 @@ fn plan_from_lookup(get: &dyn Fn(&str) -> Option<String>) -> FaultPlan {
         panic: get("NETALIGN_FAULT_PANIC").and_then(|v| parse_step_trigger(&v)),
         chunk_panic: get("NETALIGN_FAULT_CHUNK_PANIC").and_then(|v| v.trim().parse().ok()),
         checkpoint: get("NETALIGN_FAULT_CKPT").and_then(|v| parse_checkpoint_fault(&v)),
+        deadline: get("NETALIGN_FAULT_DEADLINE").and_then(|v| v.trim().parse().ok()),
     }
 }
 
@@ -269,6 +278,17 @@ pub fn checkpoint_damage() -> Option<CheckpointDamage> {
     (write == fault.nth_write).then_some(fault.damage)
 }
 
+/// The injected deadline iteration, if the plan carries one. The
+/// harness compares it against the just-finished 1-based iteration and
+/// stops exactly as if the wall-clock budget had expired there.
+#[inline]
+pub fn deadline_iteration() -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    with_plan(|p| p.deadline).flatten()
+}
+
 /// Apply [`CheckpointDamage`] to a serialized checkpoint buffer.
 pub fn damage_bytes(bytes: &mut Vec<u8>, damage: CheckpointDamage) {
     match damage {
@@ -313,6 +333,29 @@ mod tests {
             })
         );
         assert_eq!(parse_checkpoint_fault("shred@1"), None);
+    }
+
+    #[test]
+    fn parses_deadline_from_env_pairs() {
+        let plan = plan_from_env_pairs(&[("NETALIGN_FAULT_DEADLINE", "5")]);
+        assert_eq!(plan.deadline, Some(5));
+        assert!(!plan.is_empty());
+        let bad = plan_from_env_pairs(&[("NETALIGN_FAULT_DEADLINE", "soon")]);
+        assert_eq!(bad.deadline, None);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn deadline_probe_reports_installed_iteration() {
+        let _guard = test_lock();
+        assert_eq!(deadline_iteration(), None);
+        install(FaultPlan {
+            deadline: Some(7),
+            ..Default::default()
+        });
+        assert_eq!(deadline_iteration(), Some(7));
+        clear();
+        assert_eq!(deadline_iteration(), None);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+pub mod cancel;
 pub mod faults;
 
 // ---------------------------------------------------------------------

@@ -19,11 +19,17 @@
 //!                     --out-dir data/
 //! ```
 //!
+//! A `--deadline-ms` turns an `align` run into a deadline-aware anytime
+//! run: at expiry the best-so-far matching is returned (completion
+//! `deadline-best-so-far`), with `--on-deadline` selecting best-so-far
+//! (default), checkpoint-and-return, or treat-as-error.
+//!
 //! Graphs are edge lists with an `n m` header; `L` is SMAT (see
 //! `netalign_graph::io`). The matching output has one `a b` line per
 //! aligned pair.
 
 use netalignmc::core::baselines::{isorank, naive_rounding, nsd, IsoRankConfig, NsdConfig};
+use netalignmc::core::exitcode;
 use netalignmc::core::NetAlignProblem;
 use netalignmc::data::standins::StandIn;
 use netalignmc::graph::io;
@@ -32,19 +38,45 @@ use netalignmc::prelude::*;
 use std::collections::HashMap;
 use std::process::exit;
 
+fn help_text() -> String {
+    format!(
+        "usage: netalignmc <stats|align|generate> [--flag value]...\n\
+         \n\
+         align flags (see the crate docs for the full list):\n\
+         \x20 --a A.el --b B.el --l L.smat   input graphs\n\
+         \x20 --method bp|mr|isorank|nsd|naive\n\
+         \x20 --matcher exact|ld|suitor|...  [--warm-start true]\n\
+         \x20 --checkpoint DIR [--resume PATH]\n\
+         \x20 --deadline-ms N                total wall-clock budget (anytime run)\n\
+         \x20 --soft-iter-ms N               per-iteration soft budget (degradation only)\n\
+         \x20 --watchdog-ms N                cancel cleanly when no progress for N ms\n\
+         \x20 --on-deadline best-so-far|checkpoint|error   (default best-so-far)\n\
+         \n\
+         {}",
+        exitcode::HELP_TABLE
+    )
+}
+
 fn usage() -> ! {
-    eprintln!("usage: netalignmc <stats|align|generate> [--flag value]...");
-    eprintln!("run with a subcommand; see the crate docs for flags");
-    exit(2)
+    eprintln!("{}", help_text());
+    exit(exitcode::USAGE)
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!("{}", help_text());
+        exit(exitcode::OK)
+    }
     let mut flags: HashMap<String, String> = HashMap::new();
     let rest: Vec<String> = args.collect();
     let mut it = rest.into_iter();
     while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            println!("{}", help_text());
+            exit(exitcode::OK)
+        }
         let Some(key) = a.strip_prefix("--") else {
             eprintln!("expected --flag, got '{a}'");
             usage()
@@ -56,7 +88,10 @@ fn main() {
         flags.insert(key.to_string(), val);
     }
 
-    match cmd.as_str() {
+    // Exit-code discipline: anything that unwinds out of a subcommand
+    // is an internal error (code 5), distinct from the generic 1 of an
+    // uncaught panic so scripted callers can classify it.
+    let ran = std::panic::catch_unwind(|| match cmd.as_str() {
         "stats" => cmd_stats(&flags),
         "align" => cmd_align(&flags),
         "generate" => cmd_generate(&flags),
@@ -64,13 +99,17 @@ fn main() {
             eprintln!("unknown subcommand '{other}'");
             usage()
         }
+    });
+    if ran.is_err() {
+        eprintln!("internal error: the run panicked (details above)");
+        exit(exitcode::INTERNAL)
     }
 }
 
 fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
     flags.get(key).map(String::as_str).unwrap_or_else(|| {
         eprintln!("missing required flag --{key}");
-        exit(2)
+        exit(exitcode::USAGE)
     })
 }
 
@@ -81,22 +120,22 @@ fn get_or<'a>(flags: &'a HashMap<String, String>, key: &str, default: &'a str) -
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
     s.parse().unwrap_or_else(|_| {
         eprintln!("invalid {what}: '{s}'");
-        exit(2)
+        exit(exitcode::USAGE)
     })
 }
 
 fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
     let a = io::read_edge_list_file(get(flags, "a")).unwrap_or_else(|e| {
         eprintln!("failed to read A: {e}");
-        exit(1)
+        exit(exitcode::IO)
     });
     let b = io::read_edge_list_file(get(flags, "b")).unwrap_or_else(|e| {
         eprintln!("failed to read B: {e}");
-        exit(1)
+        exit(exitcode::IO)
     });
     let l = io::read_bipartite_smat_file(get(flags, "l")).unwrap_or_else(|e| {
         eprintln!("failed to read L: {e}");
-        exit(1)
+        exit(exitcode::IO)
     });
     NetAlignProblem::new(a, b, l)
 }
@@ -122,7 +161,7 @@ fn parse_matcher(name: &str) -> (MatcherKind, Option<RoundingMatcher>) {
         "suitor" => (MatcherKind::ParallelSuitor, Some(RoundingMatcher::Suitor)),
         other => {
             eprintln!("unknown matcher '{other}'");
-            exit(2)
+            exit(exitcode::USAGE)
         }
     }
 }
@@ -160,7 +199,7 @@ fn cmd_align(flags: &HashMap<String, String>) {
     let warm_start = get_or(flags, "warm-start", "false") == "true";
     if warm_start && rounding.is_none() {
         eprintln!("--warm-start true requires --matcher ld or suitor (the engine shorthands)");
-        exit(2)
+        exit(exitcode::USAGE)
     }
     let cfg = AlignConfig {
         alpha: parse_num(get_or(flags, "alpha", "1.0"), "alpha"),
@@ -177,16 +216,47 @@ fn cmd_align(flags: &HashMap<String, String>) {
     };
     // --checkpoint DIR snapshots the run into DIR (a rerun of the same
     // command auto-resumes from the newest valid snapshot); --resume
-    // PATH resumes from an explicit snapshot file or directory. Only
-    // the iterative bp/mr engines have checkpointable state.
+    // PATH resumes from an explicit snapshot file or directory.
+    // --deadline-ms / --soft-iter-ms / --watchdog-ms bound the run in
+    // wall-clock time (anytime execution). Only the iterative bp/mr
+    // engines support these.
     let checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
     let resume = flags.get("resume").map(std::path::PathBuf::from);
-    let harness = if checkpoint.is_some() || resume.is_some() {
-        if method != "bp" && method != "mr" {
-            eprintln!("--checkpoint/--resume only apply to --method bp or mr");
-            exit(2)
+    let deadline_ms: Option<u64> = flags
+        .get("deadline-ms")
+        .map(|s| parse_num(s, "deadline-ms"));
+    let soft_iter_ms: Option<u64> = flags
+        .get("soft-iter-ms")
+        .map(|s| parse_num(s, "soft-iter-ms"));
+    let watchdog_ms: Option<u64> = flags
+        .get("watchdog-ms")
+        .map(|s| parse_num(s, "watchdog-ms"));
+    let on_deadline = match get_or(flags, "on-deadline", "best-so-far") {
+        "best-so-far" => DeadlinePolicy::BestSoFar,
+        "checkpoint" => DeadlinePolicy::Checkpoint,
+        "error" => DeadlinePolicy::Error,
+        other => {
+            eprintln!("unknown --on-deadline '{other}' (best-so-far|checkpoint|error)");
+            exit(exitcode::USAGE)
         }
-        let mut h = RunHarness::new();
+    };
+    if on_deadline == DeadlinePolicy::Checkpoint && checkpoint.is_none() {
+        eprintln!("--on-deadline checkpoint requires --checkpoint DIR");
+        exit(exitcode::USAGE)
+    }
+    let needs_harness = checkpoint.is_some()
+        || resume.is_some()
+        || deadline_ms.is_some()
+        || soft_iter_ms.is_some()
+        || watchdog_ms.is_some();
+    let harness = if needs_harness {
+        if method != "bp" && method != "mr" {
+            eprintln!(
+                "--checkpoint/--resume/--deadline-ms/--watchdog-ms only apply to --method bp or mr"
+            );
+            exit(exitcode::USAGE)
+        }
+        let mut h = RunHarness::new().with_on_deadline(on_deadline);
         if let Some(dir) = &checkpoint {
             if resume.is_none() && dir.is_dir() {
                 h = h.with_resume_from(dir);
@@ -196,28 +266,69 @@ fn cmd_align(flags: &HashMap<String, String>) {
         if let Some(src) = &resume {
             h = h.with_resume_from(src);
         }
+        if deadline_ms.is_some() || soft_iter_ms.is_some() {
+            h = h.with_time_budget(TimeBudget {
+                deadline: deadline_ms.map(std::time::Duration::from_millis),
+                soft_iteration: soft_iter_ms.map(std::time::Duration::from_millis),
+            });
+        }
+        if let Some(ms) = watchdog_ms {
+            h = h.with_watchdog(std::time::Duration::from_millis(ms));
+        }
         Some(h)
     } else {
         None
     };
-    let run_checkpointed = |r: Result<AlignmentResult, CheckpointError>| {
-        r.unwrap_or_else(|e| {
-            eprintln!("checkpoint/resume failed: {e}");
-            exit(1)
-        })
+    let run_harnessed = |r: Result<AlignOutcome, HarnessError>| -> AlignOutcome {
+        match r {
+            Ok(o) => o,
+            Err(HarnessError::DeadlineExceeded { iterations_run }) => {
+                eprintln!(
+                    "deadline expired after {iterations_run} iterations (--on-deadline error)"
+                );
+                exit(exitcode::DEADLINE)
+            }
+            Err(HarnessError::Checkpoint(e)) => {
+                eprintln!("checkpoint/resume failed: {e}");
+                exit(match e {
+                    CheckpointError::Io { .. } => exitcode::IO,
+                    _ => exitcode::INTERNAL,
+                })
+            }
+        }
+    };
+    let unpack = |o: AlignOutcome| {
+        let AlignOutcome {
+            result,
+            completion,
+            iterations_run,
+            cancel_reason,
+            ladder_rung,
+            deadline_checkpoint,
+        } = o;
+        (
+            result,
+            Some((
+                completion,
+                iterations_run,
+                ladder_rung,
+                cancel_reason,
+                deadline_checkpoint,
+            )),
+        )
     };
     let start = std::time::Instant::now();
-    let r = match (method, &harness) {
-        ("bp", None) => belief_propagation(&p, &cfg),
-        ("bp", Some(h)) => run_checkpointed(h.run_bp(&p, &cfg)),
-        ("mr", None) => matching_relaxation(&p, &cfg),
-        ("mr", Some(h)) => run_checkpointed(h.run_mr(&p, &cfg)),
-        ("isorank", _) => isorank(&p, &IsoRankConfig::default(), &cfg),
-        ("nsd", _) => nsd(&p, &NsdConfig::default(), &cfg),
-        ("naive", _) => naive_rounding(&p, &cfg),
+    let (r, meta) = match (method, &harness) {
+        ("bp", None) => (belief_propagation(&p, &cfg), None),
+        ("bp", Some(h)) => unpack(run_harnessed(h.run_bp(&p, &cfg))),
+        ("mr", None) => (matching_relaxation(&p, &cfg), None),
+        ("mr", Some(h)) => unpack(run_harnessed(h.run_mr(&p, &cfg))),
+        ("isorank", _) => (isorank(&p, &IsoRankConfig::default(), &cfg), None),
+        ("nsd", _) => (nsd(&p, &NsdConfig::default(), &cfg), None),
+        ("naive", _) => (naive_rounding(&p, &cfg), None),
         (other, _) => {
             eprintln!("unknown method '{other}' (bp|mr|isorank|nsd|naive)");
-            exit(2)
+            exit(exitcode::USAGE)
         }
     };
     let secs = start.elapsed().as_secs_f64();
@@ -242,6 +353,18 @@ fn cmd_align(flags: &HashMap<String, String>) {
         println!("upper     : {ub:.4}");
     }
     println!("time      : {secs:.3}s");
+    if let Some((completion, iters, rung, reason, ckpt)) = &meta {
+        println!("completion: {}", completion.label());
+        if *completion != Completion::Completed {
+            println!("stopped   : after {iters} iterations (ladder rung {rung})");
+            if let Some(reason) = reason {
+                println!("cause     : {}", reason.label());
+            }
+            if let Some(ckpt) = ckpt {
+                println!("cut ckpt  : {}", ckpt.display());
+            }
+        }
+    }
 
     if let Some(out) = flags.get("out") {
         let mut body = String::new();
@@ -252,15 +375,30 @@ fn cmd_align(flags: &HashMap<String, String>) {
         println!("matching written to {out}");
     }
     if let Some(out) = flags.get("json-out") {
+        let (completion_label, iters_run, rung, reason_json) = match &meta {
+            Some((c, i, rung, reason, _)) => (
+                c.label(),
+                *i,
+                *rung,
+                reason
+                    .map(|x| format!("\"{}\"", x.label()))
+                    .unwrap_or_else(|| "null".to_string()),
+            ),
+            None => ("completed", cfg.iterations, 0, "null".to_string()),
+        };
         let json = format!(
-            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {}\n}}\n",
+            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {},\n  \"completion\": \"{}\",\n  \"iterations_run\": {},\n  \"ladder_rung\": {},\n  \"cancel_reason\": {}\n}}\n",
             method,
             cfg.matcher.name(),
             r.objective,
             r.weight,
             r.overlap,
             r.matching.cardinality(),
-            secs
+            secs,
+            completion_label,
+            iters_run,
+            rung,
+            reason_json
         );
         write_output_file(out, &json, "--json-out");
         println!("summary written to {out}");
@@ -276,13 +414,13 @@ fn write_output_file(path: &str, body: &str, flag: &str) {
         if !dir.as_os_str().is_empty() {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("cannot create {flag} directory {}: {e}", dir.display());
-                exit(1)
+                exit(exitcode::IO)
             }
         }
     }
     if let Err(e) = std::fs::write(path, body) {
         eprintln!("cannot write {flag} file {}: {e}", path.display());
-        exit(1)
+        exit(exitcode::IO)
     }
 }
 
@@ -293,7 +431,7 @@ fn cmd_generate(flags: &HashMap<String, String>) {
     let out_dir = std::path::PathBuf::from(get(flags, "out-dir"));
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create --out-dir {}: {e}", out_dir.display());
-        exit(1)
+        exit(exitcode::IO)
     }
 
     let inst = match name {
@@ -309,12 +447,12 @@ fn cmd_generate(flags: &HashMap<String, String>) {
         ),
         other => {
             eprintln!("unknown dataset '{other}'");
-            exit(2)
+            exit(exitcode::USAGE)
         }
     };
     fn fail(out_dir: &std::path::Path, what: &str, e: impl std::fmt::Display) -> ! {
         eprintln!("cannot write {what} under {}: {e}", out_dir.display());
-        exit(1)
+        exit(exitcode::IO)
     }
     io::write_edge_list_file(&inst.problem.a, out_dir.join("a.el"))
         .unwrap_or_else(|e| fail(&out_dir, "a.el", e));

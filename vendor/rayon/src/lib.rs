@@ -39,6 +39,12 @@
 //! entry count) without allocating per call — the building block for
 //! the aligners' allocation-free row-parallel updates.
 //!
+//! A global [cancel hook](set_chunk_cancel_hook) probed at every chunk
+//! claim gives the embedding application cooperative cancellation: an
+//! armed hook stops a region within one chunk of work per participant
+//! and unwinds it with the distinguished [`RegionCancelled`] payload,
+//! reusing the panic machinery so the pool survives untouched.
+//!
 //! `NETALIGN_THREADS` (read once) overrides the default thread count
 //! the way `RAYON_NUM_THREADS` / `OMP_NUM_THREADS` would.
 
@@ -91,6 +97,58 @@ fn chunk_fault_probe() {
         let f: fn() = unsafe { std::mem::transmute::<*mut (), fn()>(raw) };
         f();
     }
+}
+
+// ---------------------------------------------------------------------
+// Cooperative cancellation.
+// ---------------------------------------------------------------------
+
+/// Distinguished unwind payload of a cooperatively cancelled region.
+///
+/// When the [cancel hook](set_chunk_cancel_hook) reports a pending
+/// cancellation, the region stops claiming work within one chunk and
+/// unwinds out of its entry point via `resume_unwind` with a boxed
+/// `RegionCancelled` — no panic hook fires, no backtrace is printed.
+/// Callers that `catch_unwind` a parallel region can
+/// `downcast_ref::<RegionCancelled>()` the payload to tell a clean
+/// cancellation from a genuine worker panic. The pool-side machinery is
+/// identical to panic handling (remaining chunks are skipped, helpers
+/// drain, the job is unpublished), so the persistent pool stays fully
+/// reusable after a cancelled region.
+#[derive(Debug)]
+pub struct RegionCancelled;
+
+impl fmt::Display for RegionCancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("parallel region cancelled cooperatively")
+    }
+}
+
+/// Optional hook probed on every chunk claim, returning `true` when
+/// the region must cancel. The embedding application installs its
+/// cancellation probe here (netalign wires
+/// `netalign_trace::cancel::chunk_probe` in, which also bumps the
+/// watchdog heartbeat per claim). Same representation discipline as
+/// the fault hook: a thin `fn` pointer, null = disarmed, one relaxed
+/// load per chunk when off.
+static CHUNK_CANCEL_HOOK: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Install (or with `None` remove) the global chunk cancellation hook.
+pub fn set_chunk_cancel_hook(hook: Option<fn() -> bool>) {
+    let raw = hook.map_or(std::ptr::null_mut(), |f| f as *mut ());
+    CHUNK_CANCEL_HOOK.store(raw, Ordering::Release);
+}
+
+#[inline]
+fn chunk_cancel_probe() -> bool {
+    let raw = CHUNK_CANCEL_HOOK.load(Ordering::Acquire);
+    if raw.is_null() {
+        return false;
+    }
+    // SAFETY: the only non-null values ever stored are `fn() -> bool`
+    // pointers from `set_chunk_cancel_hook`.
+    let f: fn() -> bool = unsafe { std::mem::transmute::<*mut (), fn() -> bool>(raw) };
+    f()
 }
 
 // ---------------------------------------------------------------------
@@ -619,6 +677,21 @@ where
         job.status[idx].store(CHUNK_SKIPPED, Ordering::Release);
         return;
     }
+    if chunk_cancel_probe() {
+        // Cooperative cancellation: record the distinguished payload
+        // (first writer wins, same as a panic) and skip this chunk;
+        // the panicked flag short-circuits every later claim, so the
+        // region stops within one chunk of work per participant.
+        job.panicked.store(true, Ordering::Relaxed);
+        let mut slot = job.payload.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(Box::new(RegionCancelled));
+        }
+        drop(slot);
+        drop(part);
+        job.status[idx].store(CHUNK_SKIPPED, Ordering::Release);
+        return;
+    }
     let work = &*job.work;
     match catch_unwind(AssertUnwindSafe(|| {
         chunk_fault_probe();
@@ -656,6 +729,11 @@ where
     let target = min.max(len.div_ceil(MAX_CHUNKS));
     let n_chunks = len.div_ceil(target).max(1);
     if n_chunks == 1 {
+        // Single-chunk regions bypass the job machinery; probe once so
+        // an armed cancellation still stops them at region granularity.
+        if chunk_cancel_probe() {
+            resume_unwind(Box::new(RegionCancelled));
+        }
         return finish(&mut ChunkResults::Single(Some(work(p))));
     }
 
@@ -740,6 +818,13 @@ where
 {
     let job = &*(core as *const JoinJob<B, RB>);
     let f = (*job.b.get()).take().expect("join chunk claimed twice");
+    if chunk_cancel_probe() {
+        let mut slot = job.payload.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(Box::new(RegionCancelled));
+        }
+        return;
+    }
     match catch_unwind(AssertUnwindSafe(|| {
         chunk_fault_probe();
         f()
@@ -759,6 +844,9 @@ where
 {
     let pool = current_num_threads();
     if pool <= 1 {
+        if chunk_cancel_probe() {
+            resume_unwind(Box::new(RegionCancelled));
+        }
         let ra = a();
         let rb = b();
         return (ra, rb);
@@ -1366,6 +1454,37 @@ mod tests {
             CLAIMS.load(Ordering::Relaxed),
             after,
             "hook still firing after uninstall"
+        );
+    }
+
+    #[test]
+    fn cancel_hook_probed_once_per_claim_and_harmless_when_false() {
+        // A hook that never cancels must not perturb results; it is
+        // probed on every chunk claim. (The cancelling path — unwind
+        // with RegionCancelled, pool reuse, bit-identical reruns — is
+        // exercised end-to-end by the aligners' deadline suite, which
+        // serializes access to the process-global hook; cancelling here
+        // would race the other tests in this binary.)
+        static PROBES: AtomicUsize = AtomicUsize::new(0);
+        fn never() -> bool {
+            PROBES.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        crate::set_chunk_cancel_hook(Some(never));
+        let before = PROBES.load(Ordering::Relaxed);
+        let total: usize = pool(4).install(|| (0..100_000usize).into_par_iter().sum());
+        crate::set_chunk_cancel_hook(None);
+        assert_eq!(total, (0..100_000usize).sum::<usize>());
+        assert!(
+            PROBES.load(Ordering::Relaxed) > before,
+            "cancel hook saw no chunk claims"
+        );
+        let after = PROBES.load(Ordering::Relaxed);
+        pool(4).install(|| (0..100_000usize).into_par_iter().sum::<usize>());
+        assert_eq!(
+            PROBES.load(Ordering::Relaxed),
+            after,
+            "cancel hook still firing after uninstall"
         );
     }
 

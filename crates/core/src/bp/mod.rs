@@ -577,33 +577,57 @@ impl<'a> BpEngine<'a> {
         }
     }
 
-    /// Flush any remaining staged iterates and assemble the result.
-    pub fn finish(mut self) -> AlignmentResult {
+    /// Hand the engine previously [released](Self::release_rounding)
+    /// rounding engines so their warm memory carries across runs; the
+    /// serving engine cache uses this to warm-start repeat requests on
+    /// the same candidate graph. Returns `false` (keeping the freshly
+    /// allocated engines) unless exactly two engines are offered and
+    /// every one still binds this problem's `L`.
+    pub fn adopt_rounding(&mut self, engines: Vec<MatcherEngine>) -> bool {
+        if self.config.rounding.is_none()
+            || engines.len() != 2
+            || engines.iter().any(|e| !e.binds(&self.p.l))
+        {
+            return false;
+        }
+        self.rounding = engines;
+        true
+    }
+
+    /// Take the rounding engines — warm memory included — out of the
+    /// engine for reuse by a later run on the same graph. Only valid
+    /// after [`finish_in_place`](Self::finish_in_place); the engine
+    /// must not be stepped afterwards.
+    pub fn release_rounding(&mut self) -> Vec<MatcherEngine> {
+        std::mem::take(&mut self.rounding)
+    }
+
+    /// Flush any remaining staged iterates and assemble the result,
+    /// leaving the engine hollow but alive so owned components (the
+    /// rounding engines) can still be recovered afterwards.
+    pub fn finish_in_place(&mut self) -> AlignmentResult {
         self.round_pending();
-        let BpEngine {
-            p,
-            config,
-            best,
-            mut best_g,
-            history,
-            trace,
-            counters,
-            y,
-            k,
-            ..
-        } = self;
-        let best = match best {
+        let history = std::mem::take(&mut self.history);
+        let trace = std::mem::take(&mut self.trace);
+        let mut best_g = std::mem::take(&mut self.best_g);
+        let best = match self.best.take() {
             Some((obj, iter)) => Some((obj, best_g, iter)),
             None => {
                 // Pathological runs where every iteration was rolled
                 // back never round anything. Fall back to the current
                 // (guard-finite) iterate so the caller still gets a
                 // valid matching instead of a panic.
-                best_g.copy_from_slice(&y);
-                Some((f64::NEG_INFINITY, best_g, k))
+                best_g.clear();
+                best_g.extend_from_slice(&self.y);
+                Some((f64::NEG_INFINITY, best_g, self.k))
             }
         };
-        finalize(p, config, best, history, trace, &counters)
+        finalize(self.p, self.config, best, history, trace, &self.counters)
+    }
+
+    /// Flush any remaining staged iterates and assemble the result.
+    pub fn finish(mut self) -> AlignmentResult {
+        self.finish_in_place()
     }
 }
 

@@ -73,6 +73,7 @@ use crate::problem::NetAlignProblem;
 use crate::result::AlignmentResult;
 use crate::trace::cancel::{self, CancelReason, CancelToken, Watchdog};
 use crate::trace::faults;
+use netalign_matching::MatcherEngine;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -331,7 +332,27 @@ impl RunHarness {
         p: &NetAlignProblem,
         config: &AlignConfig,
     ) -> Result<AlignOutcome, HarnessError> {
+        self.run_bp_warm(p, config, Vec::new()).map(|(o, _)| o)
+    }
+
+    /// [`run_bp`](Self::run_bp) with rounding-engine recycling: `warm`
+    /// engines previously released by a run on the same candidate graph
+    /// are adopted — carrying their warm matcher memory into this run —
+    /// and the (possibly fresh) rounding engines are handed back with
+    /// the outcome for the next run. Engines that don't bind `p.l` are
+    /// dropped in favour of fresh cold ones; a checkpoint resume
+    /// invalidates adopted warm memory exactly as it does fresh (warm ≡
+    /// cold, so results are bit-identical either way).
+    pub fn run_bp_warm(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+        warm: Vec<MatcherEngine>,
+    ) -> Result<(AlignOutcome, Vec<MatcherEngine>), HarnessError> {
         let mut engine = BpEngine::new(p, config);
+        if !warm.is_empty() {
+            let _ = engine.adopt_rounding(warm);
+        }
         if let Some(CheckpointState::Bp(state)) = self.resolve_resume(EngineKind::Bp, p, config)? {
             engine.restore_state(state);
         }
@@ -418,15 +439,15 @@ impl RunHarness {
         // answers: release the global token before touching the engine.
         let ladder_rung = driver.finish(&stop);
         let cancel_reason = driver.reason();
-        match stop {
-            None => Ok(AlignOutcome {
-                result: engine.finish(),
+        let outcome = match stop {
+            None => AlignOutcome {
+                result: engine.finish_in_place(),
                 completion: Completion::Completed,
                 iterations_run: completed,
                 cancel_reason,
                 ladder_rung,
                 deadline_checkpoint: None,
-            }),
+            },
             Some(stop) => {
                 if stop.completion == Completion::DeadlineBestSoFar
                     && self.on_deadline == DeadlinePolicy::Error
@@ -438,16 +459,17 @@ impl RunHarness {
                 // No time to round the staged backlog — the incumbent
                 // is the answer.
                 engine.discard_pending();
-                Ok(AlignOutcome {
-                    result: engine.finish(),
+                AlignOutcome {
+                    result: engine.finish_in_place(),
                     completion: stop.completion,
                     iterations_run: completed,
                     cancel_reason,
                     ladder_rung,
                     deadline_checkpoint: stop.checkpoint,
-                })
+                }
             }
-        }
+        };
+        Ok((outcome, engine.release_rounding()))
     }
 
     /// Run the matching relaxation under this harness.
@@ -456,7 +478,21 @@ impl RunHarness {
         p: &NetAlignProblem,
         config: &AlignConfig,
     ) -> Result<AlignOutcome, HarnessError> {
+        self.run_mr_warm(p, config, Vec::new()).map(|(o, _)| o)
+    }
+
+    /// [`run_mr`](Self::run_mr) with rounding-engine recycling; see
+    /// [`run_bp_warm`](Self::run_bp_warm) for the contract.
+    pub fn run_mr_warm(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+        warm: Vec<MatcherEngine>,
+    ) -> Result<(AlignOutcome, Vec<MatcherEngine>), HarnessError> {
         let mut engine = MrEngine::new(p, config);
+        if !warm.is_empty() {
+            let _ = engine.adopt_rounding(warm);
+        }
         if let Some(CheckpointState::Mr(state)) = self.resolve_resume(EngineKind::Mr, p, config)? {
             engine.restore_state(state);
         }
@@ -534,15 +570,15 @@ impl RunHarness {
         }
         let ladder_rung = driver.finish(&stop);
         let cancel_reason = driver.reason();
-        match stop {
-            None => Ok(AlignOutcome {
-                result: engine.finish(),
+        let outcome = match stop {
+            None => AlignOutcome {
+                result: engine.finish_in_place(),
                 completion: Completion::Completed,
                 iterations_run: completed,
                 cancel_reason,
                 ladder_rung,
                 deadline_checkpoint: None,
-            }),
+            },
             Some(stop) => {
                 if stop.completion == Completion::DeadlineBestSoFar
                     && self.on_deadline == DeadlinePolicy::Error
@@ -551,16 +587,17 @@ impl RunHarness {
                         iterations_run: completed,
                     });
                 }
-                Ok(AlignOutcome {
-                    result: engine.finish(),
+                AlignOutcome {
+                    result: engine.finish_in_place(),
                     completion: stop.completion,
                     iterations_run: completed,
                     cancel_reason,
                     ladder_rung,
                     deadline_checkpoint: stop.checkpoint,
-                })
+                }
             }
-        }
+        };
+        Ok((outcome, engine.release_rounding()))
     }
 }
 

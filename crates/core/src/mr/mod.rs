@@ -451,34 +451,70 @@ impl<'a> MrEngine<'a> {
         }
     }
 
-    /// Assemble the result from the incumbent.
-    pub fn finish(self) -> AlignmentResult {
-        let MrEngine {
-            p,
-            config,
-            best,
-            mut best_g,
-            best_upper,
-            history,
-            trace,
-            counters,
-            k,
-            ..
-        } = self;
-        let best = match best {
+    /// Hand the engine previously [released](Self::release_rounding)
+    /// rounding engines so their warm memory carries across runs; the
+    /// serving engine cache uses this to warm-start repeat requests on
+    /// the same candidate graph. Order is `[w-rounding, g2-rounding]`
+    /// (the second present only under `enriched_rounding`). Returns
+    /// `false` (keeping the freshly allocated engines) unless the count
+    /// matches the config and every engine still binds this `L`.
+    pub fn adopt_rounding(&mut self, mut engines: Vec<MatcherEngine>) -> bool {
+        let want = match (
+            self.config.rounding.is_some(),
+            self.config.enriched_rounding,
+        ) {
+            (false, _) => 0,
+            (true, false) => 1,
+            (true, true) => 2,
+        };
+        if want == 0 || engines.len() != want || engines.iter().any(|e| !e.binds(&self.p.l)) {
+            return false;
+        }
+        self.rounding_g2 = if want == 2 { engines.pop() } else { None };
+        self.rounding_w = engines.pop();
+        true
+    }
+
+    /// Take the rounding engines — warm memory included — out of the
+    /// engine for reuse by a later run on the same graph, in the order
+    /// [`adopt_rounding`](Self::adopt_rounding) expects. Only valid
+    /// after [`finish_in_place`](Self::finish_in_place); the engine
+    /// must not be stepped afterwards.
+    pub fn release_rounding(&mut self) -> Vec<MatcherEngine> {
+        self.rounding_w
+            .take()
+            .into_iter()
+            .chain(self.rounding_g2.take())
+            .collect()
+    }
+
+    /// Assemble the result from the incumbent, leaving the engine
+    /// hollow but alive so owned components (the rounding engines) can
+    /// still be recovered afterwards.
+    pub fn finish_in_place(&mut self) -> AlignmentResult {
+        let history = std::mem::take(&mut self.history);
+        let trace = std::mem::take(&mut self.trace);
+        let mut best_g = std::mem::take(&mut self.best_g);
+        let best = match self.best.take() {
             Some((obj, iter)) => Some((obj, best_g, iter)),
             None => {
                 // Pathological runs where every iteration was rolled
                 // back never reach the matching step. Fall back to the
                 // raw similarity weights so the caller still gets a
                 // valid matching instead of a panic.
-                best_g.copy_from_slice(p.l.weights());
-                Some((f64::NEG_INFINITY, best_g, k))
+                best_g.clear();
+                best_g.extend_from_slice(self.p.l.weights());
+                Some((f64::NEG_INFINITY, best_g, self.k))
             }
         };
-        let mut result = finalize(p, config, best, history, trace, &counters);
-        result.upper_bound = Some(best_upper.max(result.objective));
+        let mut result = finalize(self.p, self.config, best, history, trace, &self.counters);
+        result.upper_bound = Some(self.best_upper.max(result.objective));
         result
+    }
+
+    /// Assemble the result from the incumbent.
+    pub fn finish(mut self) -> AlignmentResult {
+        self.finish_in_place()
     }
 }
 

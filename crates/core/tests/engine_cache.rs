@@ -1,0 +1,230 @@
+//! Warm rounding-engine recycling: the contract the serving engine
+//! cache (`netalignd`) is built on.
+//!
+//! * a `MatcherEngine` whose warm memory has been dropped — `reset()`
+//!   or `invalidate()` — produces a *first* solve bit-identical to a
+//!   brand-new cold engine (this is the same invariant that makes
+//!   checkpoint-restore sound: restore invalidates warm memory
+//!   wholesale, so the resumed run replays the cold path exactly);
+//! * rounding engines released by one harness run and adopted by the
+//!   next run on the same problem leave the result bit-identical to a
+//!   fresh cold run, while actually reusing warm matcher state
+//!   (`warm_hits > 0`);
+//! * engines bound to a *different* graph are rejected at adoption, so
+//!   a cache keyed on a colliding fingerprint can never smuggle foreign
+//!   warm state into a run.
+
+use netalign_core::prelude::*;
+use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use netalign_matching::{graph_fingerprint, MatcherCounters, MatcherEngine, RoundingMatcher};
+
+fn problem(seed: u64) -> NetAlignProblem {
+    let g = power_law_graph(60, 2.4, 10, 31 + seed);
+    let a = add_random_edges(&g, 0.03, 32 + seed);
+    let b = add_random_edges(&g, 0.03, 33 + seed);
+    let l = identity_plus_noise_l(60, 60, 5.0 / 60.0, 1.0, 1.0, 34 + seed);
+    NetAlignProblem::new(a, b, l)
+}
+
+fn config() -> AlignConfig {
+    AlignConfig {
+        iterations: 8,
+        rounding: Some(RoundingMatcher::Ld),
+        warm_start: true,
+        trace_matcher: true,
+        record_history: true,
+        ..AlignConfig::default()
+    }
+}
+
+fn assert_bit_identical(base: &AlignmentResult, r: &AlignmentResult, label: &str) {
+    assert_eq!(
+        base.objective.to_bits(),
+        r.objective.to_bits(),
+        "objective differs: {label}"
+    );
+    assert_eq!(base.matching, r.matching, "matching differs: {label}");
+    assert_eq!(
+        base.best_iteration, r.best_iteration,
+        "best iteration differs: {label}"
+    );
+    assert_eq!(
+        base.upper_bound.map(f64::to_bits),
+        r.upper_bound.map(f64::to_bits),
+        "upper bound differs: {label}"
+    );
+    assert_eq!(
+        base.history.len(),
+        r.history.len(),
+        "history length differs: {label}"
+    );
+    for (a, b) in base.history.iter().zip(&r.history) {
+        assert_eq!(
+            a.objective.to_bits(),
+            b.objective.to_bits(),
+            "history objective differs: {label}, iteration {}",
+            a.iteration
+        );
+    }
+    assert_eq!(
+        base.trace.algo, r.trace.algo,
+        "algo counters differ: {label}"
+    );
+}
+
+/// Weight sequences that make the warm memory non-trivial: each step
+/// perturbs a different edge so `decided_at` prefixes actually vary.
+fn weight_sequence(p: &NetAlignProblem, steps: usize) -> Vec<Vec<f64>> {
+    let base = p.l.weights().to_vec();
+    (0..steps)
+        .map(|s| {
+            let mut w = base.clone();
+            let e = (s * 7 + 3) % w.len();
+            w[e] += 0.25 + s as f64 * 0.01;
+            w
+        })
+        .collect()
+}
+
+/// Satellite: a restored/reset engine's FIRST solve is bit-identical to
+/// cold. This single invariant gates both the checkpoint-restore path
+/// (which calls `invalidate()`) and the serving cache's reset path
+/// (which calls `reset()` before handing an evicted slot to a new
+/// fingerprint).
+#[test]
+fn reset_or_invalidated_engine_first_solve_is_bit_identical_to_cold() {
+    let p = problem(1);
+    let seq = weight_sequence(&p, 6);
+    for kind in [RoundingMatcher::Ld, RoundingMatcher::Suitor] {
+        let mut warmed = MatcherEngine::new(&p.l, kind, true);
+        let mut invalidated = MatcherEngine::new(&p.l, kind, true);
+        let c = MatcherCounters::disabled();
+        for w in &seq {
+            let _ = warmed.run(&p.l, w, c);
+            let _ = invalidated.run(&p.l, w, c);
+        }
+        warmed.reset();
+        invalidated.invalidate();
+
+        let probe = &seq[2];
+        let mut cold = MatcherEngine::new(&p.l, kind, true);
+        let cold_counters = MatcherCounters::new(true);
+        let want = cold.run(&p.l, probe, &cold_counters).clone();
+
+        let reset_counters = MatcherCounters::new(true);
+        let got_reset = warmed.run(&p.l, probe, &reset_counters).clone();
+        assert_eq!(got_reset, want, "reset() first solve, {kind:?}");
+        assert_eq!(
+            reset_counters.snapshot(),
+            cold_counters.snapshot(),
+            "reset() first solve must replay the cold event stream, {kind:?}"
+        );
+
+        let inv_counters = MatcherCounters::new(true);
+        let got_inv = invalidated.run(&p.l, probe, &inv_counters).clone();
+        assert_eq!(got_inv, want, "invalidate() first solve, {kind:?}");
+        assert_eq!(
+            inv_counters.snapshot(),
+            cold_counters.snapshot(),
+            "invalidate() first solve must replay the cold event stream, {kind:?}"
+        );
+    }
+}
+
+/// Released rounding engines are live warm engines: a repeat solve on
+/// the weights they last matched is a full warm hit.
+fn assert_live_warm_memory(mut engines: Vec<MatcherEngine>, p: &NetAlignProblem) {
+    let mut eng = engines.pop().expect("at least one engine");
+    let first = MatcherCounters::new(true);
+    let _ = eng.run(&p.l, p.l.weights(), &first);
+    let repeat = MatcherCounters::new(true);
+    let _ = eng.run(&p.l, p.l.weights(), &repeat);
+    let n = (p.l.num_left() + p.l.num_right()) as u64;
+    assert_eq!(
+        repeat.snapshot().warm_hits,
+        n,
+        "released engine must carry live warm memory"
+    );
+}
+
+/// Warm engines recycled through the harness leave BP results
+/// bit-identical to a cold run, while the released engines demonstrably
+/// carry live warm matcher memory (warm ≡ cold keeps the results
+/// exact; matcher-level `warm_hits` within a short run may be zero
+/// because the iterates never freeze — the serving layer counts cache
+/// hits instead).
+#[test]
+fn bp_adopted_engines_are_bit_identical_and_warm() {
+    let p = problem(2);
+    let config = config();
+    let harness = RunHarness::new();
+
+    let (cold1, engines) = harness.run_bp_warm(&p, &config, Vec::new()).expect("cold");
+    assert_eq!(engines.len(), 2, "BP releases its two rounding engines");
+    assert!(cold1.result.matching.cardinality() > 0);
+
+    // The released engines are exactly what a fresh engine accepts.
+    {
+        let mut probe = netalign_core::bp::BpEngine::new(&p, &config);
+        let (e0, e1) = (
+            engines[0].bound_fingerprint(),
+            engines[1].bound_fingerprint(),
+        );
+        assert_eq!(e0, e1);
+        let released = probe.release_rounding();
+        assert!(probe.adopt_rounding(released));
+    }
+
+    // Reference: an independent cold run of the same problem/config.
+    let reference = harness.run_bp(&p, &config).expect("reference");
+
+    let (warm2, engines2) = harness.run_bp_warm(&p, &config, engines).expect("warm");
+    assert_bit_identical(&reference.result, &warm2.result, "warm vs cold BP");
+    assert_eq!(engines2.len(), 2, "engines flow out again for the next run");
+    assert_live_warm_memory(engines2, &p);
+}
+
+/// Same contract for MR (single rounding engine unless enriched).
+#[test]
+fn mr_adopted_engines_are_bit_identical_and_warm() {
+    let p = problem(3);
+    let config = config();
+    let harness = RunHarness::new();
+
+    let (_, engines) = harness.run_mr_warm(&p, &config, Vec::new()).expect("cold");
+    assert!(!engines.is_empty(), "MR releases its rounding engine(s)");
+
+    let reference = harness.run_mr(&p, &config).expect("reference");
+
+    let (warm2, engines2) = harness.run_mr_warm(&p, &config, engines).expect("warm");
+    assert_bit_identical(&reference.result, &warm2.result, "warm vs cold MR");
+    assert_live_warm_memory(engines2, &p);
+}
+
+/// Engines bound to a different graph are refused at adoption — the
+/// run silently falls back to fresh cold engines and stays correct.
+#[test]
+fn foreign_engines_are_rejected_at_adoption() {
+    let p = problem(4);
+    let other = problem(5);
+    assert_ne!(
+        graph_fingerprint(&p.l),
+        graph_fingerprint(&other.l),
+        "test needs distinct graphs"
+    );
+
+    let config = config();
+    let harness = RunHarness::new();
+    let (_, foreign) = harness
+        .run_bp_warm(&other, &config, Vec::new())
+        .expect("foreign run");
+    assert!(foreign.iter().all(|e| !e.binds(&p.l)));
+
+    let reference = harness.run_bp(&p, &config).expect("reference");
+    let (got, _) = harness.run_bp_warm(&p, &config, foreign).expect("fallback");
+    assert_bit_identical(&reference.result, &got.result, "foreign-adoption fallback");
+    assert_eq!(
+        got.result.trace.matcher.warm_hits, 0,
+        "rejected adoption must run cold"
+    );
+}

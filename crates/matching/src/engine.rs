@@ -88,6 +88,30 @@ pub enum RoundingMatcher {
     Suitor,
 }
 
+/// FNV-1a fingerprint of a bipartite graph's *structure*: shape plus
+/// the endpoint list in the global edge order. Weights are deliberately
+/// excluded — a [`MatcherEngine`] matches arbitrary weight vectors over
+/// one fixed structure, so two `L`s with equal structure but different
+/// weights are interchangeable bindings.
+pub fn graph_fingerprint(l: &BipartiteGraph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(l.num_left() as u64);
+    eat(l.num_right() as u64);
+    eat(l.num_edges() as u64);
+    for e in 0..l.num_edges() {
+        let (a, b) = l.endpoints(e);
+        eat(a as u64);
+        eat(b as u64);
+    }
+    h
+}
+
 /// Preallocated, optionally warm-started rounding matcher for one fixed
 /// graph `L`. See the module docs for the determinism and invalidation
 /// arguments.
@@ -98,6 +122,10 @@ pub struct MatcherEngine {
     nb: usize,
     m: usize,
     n: usize,
+    /// Structure fingerprint of the graph the engine is bound to (see
+    /// [`graph_fingerprint`]); lets owners that move engines between
+    /// runs (the serving engine cache) verify the binding in O(1).
+    graph_fp: u64,
 
     // Degree-aware grains over the unified vertex set (data-dependent
     // only — never pool-dependent), balancing adjacency entries so
@@ -151,6 +179,7 @@ impl MatcherEngine {
             "vertex count must fit the u32 mate/slot encoding"
         );
         let (vertex_bounds, entry_bounds) = degree_grains(l);
+        let graph_fp = graph_fingerprint(l);
         let ld = kind == RoundingMatcher::Ld;
         let atoms = |len: usize, v: u32| {
             (0..len)
@@ -164,6 +193,7 @@ impl MatcherEngine {
             nb,
             m,
             n,
+            graph_fp,
             vertex_bounds,
             entry_bounds,
             mate: if ld { atoms(n, UNMATCHED) } else { Vec::new() },
@@ -208,6 +238,45 @@ impl MatcherEngine {
     /// the stale warm memory rather than pay a useless full diff.
     pub fn invalidate(&mut self) {
         self.warm_valid = false;
+    }
+
+    /// Structure fingerprint of the graph this engine was built for.
+    /// Owners that carry engines across runs (the serving engine cache,
+    /// adoption into a fresh aligner engine) compare this against
+    /// [`graph_fingerprint`] of their graph to prove the binding in
+    /// O(1) instead of re-hashing per call.
+    pub fn bound_fingerprint(&self) -> u64 {
+        self.graph_fp
+    }
+
+    /// True when this engine can round weight vectors over `l`:
+    /// identical shape *and* identical edge structure (fingerprint).
+    pub fn binds(&self, l: &BipartiteGraph) -> bool {
+        self.na == l.num_left()
+            && self.nb == l.num_right()
+            && self.m == l.num_edges()
+            && self.graph_fp == graph_fingerprint(l)
+    }
+
+    /// Return the engine to its post-construction state: warm memory
+    /// invalidated and the recycled output cleared, with every buffer
+    /// kept allocated. A reset engine's next [`MatcherEngine::run`] is
+    /// a cold pass and therefore bit-identical to a freshly built
+    /// engine's first run — the contract the engine-cache reset path in
+    /// `netalignd` is gated on (pinned by the `engine_cache` tests).
+    pub fn reset(&mut self) {
+        self.warm_valid = false;
+        for slot in &mut self.mate_plain {
+            *slot = UNMATCHED;
+        }
+        self.out = Matching::empty(self.na, self.nb);
+        if self.warm {
+            for d in &mut self.decided_at {
+                *d = u32::MAX;
+            }
+            self.changed.clear();
+            self.reseed.clear();
+        }
     }
 
     /// Compute the ½-approximate matching of `weights` on `l` — the

@@ -36,6 +36,6 @@ pub mod order;
 
 pub use api::{max_weight_matching, max_weight_matching_traced, MatcherKind};
 pub use distributed::{distributed_local_dominant_faulty, ChannelFaults};
-pub use engine::{MatcherEngine, RoundingMatcher};
+pub use engine::{graph_fingerprint, MatcherEngine, RoundingMatcher};
 pub use matching::Matching;
 pub use netalign_trace::{MatcherCounterSnapshot, MatcherCounters};

@@ -1,0 +1,391 @@
+//! `loadgen` — closed-loop load generator for `netalignd`.
+//!
+//! Spawns N client threads, each with its own connection, issuing
+//! align requests back-to-back for a fixed duration. Each request is
+//! either a *repeat* (drawn from a fixed pool of problems, so the
+//! engine cache serves it warm after first touch) or *fresh* (a
+//! never-seen fingerprint, forcing a cold build), mixed by
+//! `--repeat-ratio`. Deadlines are sampled from a small distribution
+//! around `--deadline-ms` to exercise the SLO path.
+//!
+//! Emits a single JSON report (default `results/BENCH_6.json`) with
+//! throughput, p50/p95/p99 wall latency split warm vs cold, completion
+//! counts, and the server's own metrics snapshot. Exits non-zero if
+//! any request failed.
+
+use netalign_core::exitcode;
+use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use netalign_graph::{BipartiteGraph, Graph};
+use netalign_serve::client::{response_code, Client};
+use netalign_trace::Json;
+use std::io::Write;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+loadgen — closed-loop load generator for netalignd
+
+USAGE:
+    loadgen --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     netalignd address (required)
+    --clients N          concurrent closed-loop clients (default 4)
+    --duration-secs F    wall-clock run length (default 10)
+    --repeat-ratio F     fraction of requests drawn from the warm pool (default 0.75)
+    --problems N         size of the repeatable problem pool (default 4)
+    --vertices N         vertices per generated graph (default 150)
+    --iterations N       aligner iterations per request (default 2)
+    --method M           bp | mr (default bp)
+    --deadline-ms N      SLO base; sampled from {N, 2N, 4N}; 0 = none (default 0)
+    --seed N             base RNG seed (default 42)
+    --out PATH           report path (default results/BENCH_6.json)
+    --help               print this help
+";
+
+#[derive(Clone)]
+struct Opts {
+    addr: String,
+    clients: usize,
+    duration: Duration,
+    repeat_ratio: f64,
+    problems: usize,
+    vertices: usize,
+    iterations: usize,
+    method: String,
+    deadline_ms: u64,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: String::new(),
+            clients: 4,
+            duration: Duration::from_secs(10),
+            repeat_ratio: 0.75,
+            problems: 4,
+            vertices: 150,
+            iterations: 2,
+            method: "bp".to_string(),
+            deadline_ms: 0,
+            seed: 42,
+            out: "results/BENCH_6.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{HELP}");
+            std::process::exit(exitcode::OK);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag}: {e}");
+        match flag.as_str() {
+            "--addr" => o.addr = value,
+            "--clients" => o.clients = value.parse().map_err(|e| bad(&e))?,
+            "--duration-secs" => {
+                o.duration = Duration::from_secs_f64(value.parse().map_err(|e| bad(&e))?)
+            }
+            "--repeat-ratio" => o.repeat_ratio = value.parse().map_err(|e| bad(&e))?,
+            "--problems" => o.problems = value.parse().map_err(|e| bad(&e))?,
+            "--vertices" => o.vertices = value.parse().map_err(|e| bad(&e))?,
+            "--iterations" => o.iterations = value.parse().map_err(|e| bad(&e))?,
+            "--method" => o.method = value,
+            "--deadline-ms" => o.deadline_ms = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => o.seed = value.parse().map_err(|e| bad(&e))?,
+            "--out" => o.out = value,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if o.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if !(0.0..=1.0).contains(&o.repeat_ratio) {
+        return Err("--repeat-ratio must be in [0, 1]".to_string());
+    }
+    if o.method != "bp" && o.method != "mr" {
+        return Err("--method must be bp or mr".to_string());
+    }
+    if o.clients == 0 || o.problems == 0 {
+        return Err("--clients and --problems must be at least 1".to_string());
+    }
+    Ok(o)
+}
+
+/// SplitMix64: tiny deterministic per-thread RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn graph_json(g: &Graph) -> Json {
+    let edges = g
+        .edges()
+        .map(|(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+        .collect();
+    Json::obj(vec![
+        ("n", Json::U64(g.num_vertices() as u64)),
+        ("edges", Json::Arr(edges)),
+    ])
+}
+
+fn candidate_json(l: &BipartiteGraph) -> Json {
+    let entries = (0..l.num_edges())
+        .map(|e| {
+            let (a, b) = l.endpoints(e);
+            Json::Arr(vec![
+                Json::U64(a as u64),
+                Json::U64(b as u64),
+                Json::F64(l.weight(e)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("entries", Json::Arr(entries))])
+}
+
+/// Build one synthetic align request (the paper's §VI.A recipe). The
+/// candidate set is dense on purpose: the squares-matrix build is the
+/// cost a warm serve skips, so it must be a visible share of a cold
+/// serve for the warm/cold split to mean anything.
+fn align_doc(o: &Opts, problem_seed: u64, deadline_ms: Option<u64>) -> Json {
+    let n = o.vertices;
+    let base = power_law_graph(n, 2.2, 40, 0x5eed + problem_seed);
+    let a = add_random_edges(&base, 2.0 / n as f64, 2 * problem_seed + 1);
+    let b = add_random_edges(&base, 2.0 / n as f64, 2 * problem_seed + 2);
+    let l = identity_plus_noise_l(n, n, 24.0 / n as f64, 1.0, 0.5, 3 * problem_seed + 5);
+    let mut pairs = vec![
+        ("op", Json::str("align")),
+        ("method", Json::str(o.method.clone())),
+        (
+            "config",
+            Json::obj(vec![("iterations", Json::U64(o.iterations as u64))]),
+        ),
+        ("a", graph_json(&a)),
+        ("b", graph_json(&b)),
+        ("l", candidate_json(&l)),
+    ];
+    if let Some(d) = deadline_ms {
+        pairs.push(("deadline_ms", Json::U64(d)));
+    }
+    Json::obj(pairs)
+}
+
+#[derive(Default)]
+struct Samples {
+    /// (wall_ms, solve_ms) per 200 reply, split by the reply's `warm`.
+    warm: Vec<(f64, f64)>,
+    cold: Vec<(f64, f64)>,
+    completed: u64,
+    best_so_far: u64,
+    overload: u64,
+    failed: u64,
+}
+
+fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Result<Samples> {
+    let addr: SocketAddr = o
+        .addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let mut client = Client::connect(addr)?;
+    let mut rng = Rng(o.seed ^ (0xc11e0 + idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut samples = Samples::default();
+    let end = Instant::now() + o.duration;
+    while Instant::now() < end {
+        let repeat = rng.f64() < o.repeat_ratio;
+        let problem_seed = if repeat {
+            rng.next() % o.problems as u64
+        } else {
+            // Fresh fingerprints start above the pool and never repeat.
+            o.problems as u64 + fresh_seed.fetch_add(1, Ordering::Relaxed)
+        };
+        let deadline = match o.deadline_ms {
+            0 => None,
+            d => Some(d << (rng.next() % 3)),
+        };
+        let doc = align_doc(o, problem_seed, deadline);
+        let sent = Instant::now();
+        let reply = client.request(&doc)?;
+        let wall_ms = sent.elapsed().as_secs_f64() * 1e3;
+        match response_code(&reply) {
+            200 => {
+                let warm = reply.get("warm").and_then(Json::as_bool).unwrap_or(false);
+                let solve_ms = reply.get("solve_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                match reply.get("completion").and_then(Json::as_str) {
+                    Some("completed") => samples.completed += 1,
+                    _ => samples.best_so_far += 1,
+                }
+                if warm {
+                    samples.warm.push((wall_ms, solve_ms));
+                } else {
+                    samples.cold.push((wall_ms, solve_ms));
+                }
+            }
+            429 => samples.overload += 1,
+            _ => samples.failed += 1,
+        }
+    }
+    Ok(samples)
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn bucket_json(samples: &[(f64, f64)]) -> Json {
+    let mut wall: Vec<f64> = samples.iter().map(|s| s.0).collect();
+    let mut solve: Vec<f64> = samples.iter().map(|s| s.1).collect();
+    wall.sort_by(f64::total_cmp);
+    solve.sort_by(f64::total_cmp);
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    Json::obj(vec![
+        ("count", Json::U64(samples.len() as u64)),
+        ("wall_mean_ms", Json::F64(mean(&wall))),
+        ("wall_p50_ms", Json::F64(quantile(&wall, 0.50))),
+        ("wall_p95_ms", Json::F64(quantile(&wall, 0.95))),
+        ("wall_p99_ms", Json::F64(quantile(&wall, 0.99))),
+        ("solve_mean_ms", Json::F64(mean(&solve))),
+        ("solve_p50_ms", Json::F64(quantile(&solve, 0.50))),
+        ("solve_p95_ms", Json::F64(quantile(&solve, 0.95))),
+        ("solve_p99_ms", Json::F64(quantile(&solve, 0.99))),
+    ])
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}\n\n{HELP}");
+            std::process::exit(exitcode::USAGE);
+        }
+    };
+    let fresh_seed = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for idx in 0..o.clients {
+        let o = o.clone();
+        let fresh_seed = fresh_seed.clone();
+        threads.push(std::thread::spawn(move || {
+            client_loop(&o, idx, &fresh_seed)
+        }));
+    }
+    let mut total = Samples::default();
+    let mut client_errors = 0u64;
+    for t in threads {
+        match t.join().expect("client thread panicked") {
+            Ok(s) => {
+                total.warm.extend(s.warm);
+                total.cold.extend(s.cold);
+                total.completed += s.completed;
+                total.best_so_far += s.best_so_far;
+                total.overload += s.overload;
+                total.failed += s.failed;
+            }
+            Err(e) => {
+                eprintln!("loadgen: client error: {e}");
+                client_errors += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let ok = (total.warm.len() + total.cold.len()) as u64;
+
+    // Pull the server's own metrics snapshot into the report.
+    let metrics = o
+        .addr
+        .parse()
+        .ok()
+        .and_then(|addr| Client::connect(addr).ok())
+        .and_then(|mut c| {
+            c.request(&Json::obj(vec![("op", Json::str("metrics"))]))
+                .ok()
+        })
+        .and_then(|mut reply| {
+            if let Json::Obj(pairs) = &mut reply {
+                pairs
+                    .iter_mut()
+                    .find(|(k, _)| k == "metrics")
+                    .map(|(_, v)| std::mem::replace(v, Json::Null))
+            } else {
+                None
+            }
+        })
+        .unwrap_or(Json::Null);
+
+    let report = Json::obj(vec![
+        ("bench", Json::str("BENCH_6")),
+        (
+            "config",
+            Json::obj(vec![
+                ("clients", Json::U64(o.clients as u64)),
+                ("duration_secs", Json::F64(o.duration.as_secs_f64())),
+                ("repeat_ratio", Json::F64(o.repeat_ratio)),
+                ("problems", Json::U64(o.problems as u64)),
+                ("vertices", Json::U64(o.vertices as u64)),
+                ("iterations", Json::U64(o.iterations as u64)),
+                ("method", Json::str(o.method.clone())),
+                ("deadline_ms", Json::U64(o.deadline_ms)),
+                ("seed", Json::U64(o.seed)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj(vec![
+                ("ok", Json::U64(ok)),
+                ("failed", Json::U64(total.failed + client_errors)),
+                ("overload", Json::U64(total.overload)),
+                ("completed", Json::U64(total.completed)),
+                ("deadline_best_so_far", Json::U64(total.best_so_far)),
+                ("elapsed_secs", Json::F64(elapsed)),
+                ("throughput_rps", Json::F64(ok as f64 / elapsed.max(1e-9))),
+            ]),
+        ),
+        ("warm", bucket_json(&total.warm)),
+        ("cold", bucket_json(&total.cold)),
+        ("server_metrics", metrics),
+    ]);
+
+    let rendered = report.render();
+    if let Some(dir) = std::path::Path::new(&o.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create report directory");
+        }
+    }
+    std::fs::write(&o.out, &rendered).expect("write report");
+    println!("{rendered}");
+    std::io::stdout().flush().ok();
+    if total.failed + client_errors > 0 {
+        std::process::exit(1);
+    }
+    std::process::exit(exitcode::OK);
+}

@@ -1,0 +1,106 @@
+//! `netalignd` — the alignment-as-a-service daemon.
+//!
+//! Binds a TCP listener, prints one parseable `listening on <addr>`
+//! line to stdout, and serves the length-prefixed JSON protocol until
+//! a `shutdown` op (or SIGKILL) stops it. Exit codes follow the
+//! workspace taxonomy: 0 OK, 2 usage, 3 I/O (bind failure), 5
+//! internal.
+
+use netalign_core::exitcode;
+use netalign_serve::{ServerHandle, ServerOptions};
+use std::io::Write;
+
+const HELP: &str = "\
+netalignd — network alignment as a service
+
+USAGE:
+    netalignd [OPTIONS]
+
+OPTIONS:
+    --addr ADDR             bind address (default 127.0.0.1:7464; use :0 for ephemeral)
+    --cache-capacity N      problems kept warm in the engine cache (default 8)
+    --queue-capacity N      admission queue bound; overflow answers 429 (default 64)
+    --max-frame-bytes N     largest accepted request frame (default 16777216)
+    --watchdog-ms N         per-solve stall watchdog; 0 disables (default 30000)
+    --threads N             solver worker threads (default: rayon's choice)
+    --help                  print this help
+
+EXIT CODES:
+    0  clean shutdown (drained)
+    2  usage error (unknown flag, malformed value)
+    3  I/O error (could not bind ADDR)
+    5  internal error
+";
+
+fn parse_args() -> Result<ServerOptions, String> {
+    let mut opts = ServerOptions {
+        addr: "127.0.0.1:7464".to_string(),
+        ..ServerOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                std::process::exit(exitcode::OK);
+            }
+            "--addr" => opts.addr = value("--addr")?,
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?
+            }
+            "--max-frame-bytes" => {
+                opts.max_frame_bytes = value("--max-frame-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-frame-bytes: {e}"))?
+            }
+            "--watchdog-ms" => {
+                let ms: u64 = value("--watchdog-ms")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog-ms: {e}"))?;
+                opts.watchdog_ms = (ms > 0).then_some(ms);
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("netalignd: {msg}\n\n{HELP}");
+            std::process::exit(exitcode::USAGE);
+        }
+    };
+    let handle = match ServerHandle::start(opts) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("netalignd: bind failed: {e}");
+            std::process::exit(exitcode::IO);
+        }
+    };
+    // One parseable line, flushed, so spawners can scrape the port.
+    println!("netalignd listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.wait();
+    std::process::exit(exitcode::OK);
+}

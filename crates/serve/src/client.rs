@@ -1,0 +1,58 @@
+//! Minimal blocking client for the `netalignd` protocol — one frame
+//! out, one frame back. Used by the black-box tests and `loadgen`.
+
+use crate::json;
+use crate::protocol::{read_frame, write_json, FrameRead};
+use netalign_trace::Json;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection to a running `netalignd`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect, with a bounded connect timeout.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Send one request document and block for its reply.
+    pub fn request(&mut self, doc: &Json) -> io::Result<Json> {
+        write_json(&mut self.stream, doc)?;
+        self.read_reply()
+    }
+
+    /// Send a raw payload (possibly not valid JSON) and block for the
+    /// reply — lets tests exercise the malformed-frame path.
+    pub fn request_raw(&mut self, payload: &[u8]) -> io::Result<Json> {
+        crate::protocol::write_frame(&mut self.stream, payload)?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<Json> {
+        match read_frame(&mut self.stream, u32::MAX)? {
+            FrameRead::Frame(payload) => {
+                let text = std::str::from_utf8(&payload).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "reply is not UTF-8")
+                })?;
+                json::parse(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            FrameRead::Closed => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            FrameRead::Oversized(_) => unreachable!("client has no frame limit"),
+        }
+    }
+}
+
+/// The response `code` field, or 0 if absent/ill-typed.
+pub fn response_code(reply: &Json) -> u64 {
+    reply.get("code").and_then(Json::as_u64).unwrap_or(0)
+}

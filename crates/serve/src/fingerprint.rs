@@ -1,0 +1,129 @@
+//! Problem fingerprints: the engine-cache key.
+//!
+//! A fingerprint commits to everything that decides whether two align
+//! requests may share cached state — both input graphs (structure),
+//! the candidate graph `L` (structure *and* weights), the aligner
+//! method, and every config field that influences the iteration
+//! trajectory (via [`netalign_core::checkpoint::config_fingerprint`],
+//! which already excludes observability toggles).
+//!
+//! Edge *sets* are hashed in canonical (sorted) order, so two requests
+//! that list the same edges in different orders collide — exactly what
+//! a cache wants — while any added/removed edge, changed weight bit,
+//! or changed config knob produces a different key. 64-bit FNV-1a is
+//! not collision-proof against adversaries; the solver therefore never
+//! trusts the key alone — adopted engines re-verify their graph
+//! binding (`MatcherEngine::binds`) and the cache stores the full
+//! problem, so a collision costs a rebuild, never a wrong answer.
+
+use netalign_core::checkpoint::config_fingerprint;
+use netalign_core::config::AlignConfig;
+use netalign_graph::bipartite::BipartiteGraph;
+use netalign_graph::undirected::Graph;
+
+/// Aligner selector carried by each request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Belief propagation (the paper's Listing 2).
+    Bp,
+    /// Klau's matching relaxation.
+    Mr,
+}
+
+impl Method {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Bp => "bp",
+            Method::Mr => "mr",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "bp" => Some(Method::Bp),
+            "mr" => Some(Method::Mr),
+            _ => None,
+        }
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Canonical structure hash of an undirected graph: vertex count plus
+/// the sorted edge set (each edge normalized to `(min, max)`).
+pub fn graph_structure_fingerprint(g: &Graph) -> u64 {
+    let mut edges: Vec<(u32, u32)> = g.edges().map(|(u, v)| (u.min(v), u.max(v))).collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let mut h = Fnv::new();
+    h.eat(g.num_vertices() as u64);
+    h.eat(edges.len() as u64);
+    for (u, v) in edges {
+        h.eat(u as u64);
+        h.eat(v as u64);
+    }
+    h.0
+}
+
+/// Canonical hash of the weighted candidate graph `L`: shape plus the
+/// sorted `(a, b, weight-bits)` entry set.
+pub fn candidate_fingerprint(l: &BipartiteGraph) -> u64 {
+    let mut entries: Vec<(u32, u32, u64)> = (0..l.num_edges())
+        .map(|e| {
+            let (a, b) = l.endpoints(e);
+            (a, b, l.weight(e).to_bits())
+        })
+        .collect();
+    entries.sort_unstable();
+    let mut h = Fnv::new();
+    h.eat(l.num_left() as u64);
+    h.eat(l.num_right() as u64);
+    h.eat(entries.len() as u64);
+    for (a, b, w) in entries {
+        h.eat(a as u64);
+        h.eat(b as u64);
+        h.eat(w);
+    }
+    h.0
+}
+
+/// The full cache key: both graphs, `L`, the method, and the
+/// trajectory-relevant config.
+pub fn problem_fingerprint(
+    a: &Graph,
+    b: &Graph,
+    l: &BipartiteGraph,
+    method: Method,
+    config: &AlignConfig,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(match method {
+        Method::Bp => 0xb9,
+        Method::Mr => 0x34,
+    });
+    h.eat(graph_structure_fingerprint(a));
+    h.eat(graph_structure_fingerprint(b));
+    h.eat(candidate_fingerprint(l));
+    h.eat(config_fingerprint(config));
+    h.0
+}
+
+/// Render a fingerprint the way the protocol carries it.
+pub fn render_fingerprint(fp: u64) -> String {
+    format!("{fp:016x}")
+}

@@ -1,0 +1,608 @@
+//! Wire protocol of `netalignd`.
+//!
+//! # Framing
+//!
+//! Every message — both directions — is one *frame*: a 4-byte
+//! big-endian `u32` byte length followed by that many bytes of UTF-8
+//! JSON. A frame longer than the server's `max_frame_bytes` is
+//! answered with code 413 and *drained* (the connection stays usable).
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! {"op":"align", "id":"r-1", "method":"bp"|"mr",
+//!  "deadline_ms":500,              // optional SLO, includes queue wait
+//!  "cold":true,                    // optional: bypass warm engine reuse
+//!  "config":{"alpha":1.0,"beta":2.0,"gamma":0.99,"iterations":100,
+//!            "batch":1,"mstep":10,"rounding":"ld"|"suitor",
+//!            "warm_start":true,"enriched_rounding":false,
+//!            "final_exact_round":false},   // all optional
+//!  "a":{"n":5,"edges":[[0,1],[1,2]]},
+//!  "b":{"n":5,"edges":[[0,1]]},
+//!  "l":{"entries":[[0,0,1.0],[1,1,0.9]]}}
+//! ```
+//!
+//! # Responses
+//!
+//! Every response carries `code` (HTTP-flavored):
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 200  | OK (aligned, completed or deadline-best-so-far)     |
+//! | 400  | malformed frame (bad JSON, wrong shape)             |
+//! | 413  | frame exceeds `max_frame_bytes`                     |
+//! | 422  | well-formed but invalid (graph/config out of range) |
+//! | 429  | admission queue full — retry later                  |
+//! | 500  | internal error (solver panicked; server survives)   |
+//! | 503  | shutting down — no new work accepted                |
+//! | 504  | deadline elapsed with no result assembled           |
+//!
+//! An `align` 200 reply carries the outcome: `completion`
+//! (`"completed"`, `"deadline-best-so-far"`, `"cancelled"`), `warm`
+//! (whether the engine cache supplied the problem), `fingerprint`,
+//! objective/weight/overlap, the matching as `[[a,b],...]`, matcher
+//! counters, and queue/solve timings in milliseconds.
+
+use crate::fingerprint::{problem_fingerprint, Method};
+use crate::json;
+use netalign_core::config::AlignConfig;
+use netalign_core::harness::AlignOutcome;
+use netalign_graph::bipartite::BipartiteGraph;
+use netalign_graph::undirected::Graph;
+use netalign_matching::RoundingMatcher;
+use netalign_trace::Json;
+use std::io::{Read, Write};
+
+/// OK.
+pub const CODE_OK: u16 = 200;
+/// Malformed frame or JSON.
+pub const CODE_MALFORMED: u16 = 400;
+/// Frame exceeds the server's `max_frame_bytes`.
+pub const CODE_OVERSIZED: u16 = 413;
+/// Well-formed but semantically invalid request.
+pub const CODE_INVALID: u16 = 422;
+/// Admission queue full.
+pub const CODE_OVERLOAD: u16 = 429;
+/// The solver panicked on this request.
+pub const CODE_INTERNAL: u16 = 500;
+/// Server is draining; no new work accepted.
+pub const CODE_SHUTTING_DOWN: u16 = 503;
+/// Deadline elapsed without any result to return.
+pub const CODE_DEADLINE: u16 = 504;
+
+/// Ceiling on declared vertex counts (per side) — bounds allocation
+/// from a hostile header before any edge is read.
+pub const MAX_VERTICES: usize = 50_000_000;
+/// Ceiling on `iterations` accepted over the wire.
+pub const MAX_ITERATIONS: usize = 1_000_000;
+
+/// One parsed request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Metrics snapshot.
+    Metrics,
+    /// Drain and stop the server.
+    Shutdown,
+    /// Run an alignment.
+    Align(Box<AlignRequest>),
+}
+
+/// A validated `align` request, ready for admission.
+#[derive(Debug)]
+pub struct AlignRequest {
+    /// Client-chosen echo tag.
+    pub id: Option<String>,
+    /// Aligner to run.
+    pub method: Method,
+    /// Full run config (server defaults applied).
+    pub config: AlignConfig,
+    /// SLO in milliseconds, measured from admission (includes queue
+    /// wait). `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Bypass warm engine reuse even on a cache hit (the cached
+    /// engines are `reset()` so the solve replays the cold path).
+    pub cold: bool,
+    /// First input graph.
+    pub a: Graph,
+    /// Second input graph.
+    pub b: Graph,
+    /// Weighted candidate graph.
+    pub l: BipartiteGraph,
+    /// Cache key (see [`crate::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// Why a frame could not become a [`Request`].
+#[derive(Debug)]
+pub struct RequestError {
+    /// Response code (400 or 422).
+    pub code: u16,
+    /// Human-readable description, echoed to the client.
+    pub message: String,
+}
+
+impl RequestError {
+    fn malformed(message: impl Into<String>) -> Self {
+        RequestError {
+            code: CODE_MALFORMED,
+            message: message.into(),
+        }
+    }
+
+    fn invalid(message: impl Into<String>) -> Self {
+        RequestError {
+            code: CODE_INVALID,
+            message: message.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Outcome of reading one frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer declared `len` bytes, over the limit; the payload was
+    /// drained so the stream stays frame-aligned.
+    Oversized(u32),
+    /// The peer closed the connection cleanly (EOF at a frame
+    /// boundary).
+    Closed,
+}
+
+/// Read one length-prefixed frame, enforcing `max_len`.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> std::io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(FrameRead::Closed)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "truncated frame header",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > max_len {
+        // Drain the declared payload so the next frame parses.
+        std::io::copy(&mut r.take(len as u64), &mut std::io::sink())?;
+        return Ok(FrameRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Render and send a [`Json`] document as one frame.
+pub fn write_json(w: &mut impl Write, doc: &Json) -> std::io::Result<()> {
+    write_frame(w, doc.render().as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Option<&'a str> {
+    obj.get(key).and_then(Json::as_str)
+}
+
+/// Parse and validate one request payload.
+pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| RequestError::malformed("payload is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| RequestError::malformed(e.to_string()))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(RequestError::malformed("request must be a JSON object"));
+    }
+    match get_str(&doc, "op") {
+        Some("ping") => Ok(Request::Ping),
+        Some("metrics") => Ok(Request::Metrics),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("align") => parse_align(&doc).map(|r| Request::Align(Box::new(r))),
+        Some(other) => Err(RequestError::malformed(format!("unknown op '{other}'"))),
+        None => Err(RequestError::malformed("missing string field 'op'")),
+    }
+}
+
+fn parse_align(doc: &Json) -> Result<AlignRequest, RequestError> {
+    let id = get_str(doc, "id").map(str::to_string);
+    let method = match get_str(doc, "method") {
+        None => Method::Bp,
+        Some(name) => Method::parse(name)
+            .ok_or_else(|| RequestError::invalid(format!("unknown method '{name}'")))?,
+    };
+    let deadline_ms =
+        match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                RequestError::invalid("deadline_ms must be a non-negative integer")
+            })?),
+        };
+    let cold = match doc.get("cold") {
+        None | Some(Json::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::invalid("cold must be a boolean"))?,
+    };
+    let config = parse_config(doc.get("config"))?;
+    let a = parse_graph(doc.get("a"), "a")?;
+    let b = parse_graph(doc.get("b"), "b")?;
+    let l = parse_candidate(doc.get("l"), a.num_vertices(), b.num_vertices())?;
+    let fingerprint = problem_fingerprint(&a, &b, &l, method, &config);
+    Ok(AlignRequest {
+        id,
+        method,
+        config,
+        deadline_ms,
+        cold,
+        a,
+        b,
+        l,
+        fingerprint,
+    })
+}
+
+/// Server-side config defaults: engine-mode warm rounding with matcher
+/// tracing on (cheap, and the service reports the counters), history
+/// off.
+pub fn default_config() -> AlignConfig {
+    AlignConfig {
+        iterations: 50,
+        rounding: Some(RoundingMatcher::Ld),
+        warm_start: true,
+        trace_matcher: true,
+        record_history: false,
+        ..AlignConfig::default()
+    }
+}
+
+fn parse_config(value: Option<&Json>) -> Result<AlignConfig, RequestError> {
+    let mut c = default_config();
+    let Some(obj) = value else { return Ok(c) };
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(RequestError::invalid("config must be an object"));
+    }
+    let Json::Obj(pairs) = obj else {
+        unreachable!()
+    };
+    for (key, v) in pairs {
+        match key.as_str() {
+            "alpha" => c.alpha = num_f64(v, "config.alpha")?,
+            "beta" => c.beta = num_f64(v, "config.beta")?,
+            "gamma" => c.gamma = num_f64(v, "config.gamma")?,
+            "iterations" => c.iterations = num_usize(v, "config.iterations")?,
+            "batch" => c.batch = num_usize(v, "config.batch")?,
+            "mstep" => c.mstep = num_usize(v, "config.mstep")?,
+            "warm_start" => c.warm_start = boolean(v, "config.warm_start")?,
+            "enriched_rounding" => c.enriched_rounding = boolean(v, "config.enriched_rounding")?,
+            "final_exact_round" => c.final_exact_round = boolean(v, "config.final_exact_round")?,
+            "rounding" => {
+                c.rounding = match v.as_str() {
+                    Some("ld") => Some(RoundingMatcher::Ld),
+                    Some("suitor") => Some(RoundingMatcher::Suitor),
+                    _ => {
+                        return Err(RequestError::invalid(
+                            "config.rounding must be \"ld\" or \"suitor\"",
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(RequestError::invalid(format!(
+                    "unknown config field '{other}'"
+                )))
+            }
+        }
+    }
+    // Mirror AlignConfig::validate (which panics) as typed 422s, plus
+    // service-level resource ceilings.
+    // num_f64 already rejected NaN, so plain comparisons are total here.
+    if c.alpha < 0.0 || c.beta < 0.0 || (c.alpha == 0.0 && c.beta == 0.0) {
+        return Err(RequestError::invalid(
+            "alpha/beta must be non-negative with at least one positive",
+        ));
+    }
+    if c.gamma <= 0.0 || c.gamma > 1.0 {
+        return Err(RequestError::invalid("gamma must be in (0, 1]"));
+    }
+    if c.iterations == 0 || c.iterations > MAX_ITERATIONS {
+        return Err(RequestError::invalid(format!(
+            "iterations must be in 1..={MAX_ITERATIONS}"
+        )));
+    }
+    if c.batch == 0 || c.mstep == 0 {
+        return Err(RequestError::invalid("batch and mstep must be at least 1"));
+    }
+    if c.warm_start && c.rounding.is_none() {
+        return Err(RequestError::invalid("warm_start requires rounding"));
+    }
+    Ok(c)
+}
+
+fn num_f64(v: &Json, what: &str) -> Result<f64, RequestError> {
+    v.as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| RequestError::invalid(format!("{what} must be a finite number")))
+}
+
+fn num_usize(v: &Json, what: &str) -> Result<usize, RequestError> {
+    v.as_u64()
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{what} must be a non-negative integer")))
+}
+
+fn boolean(v: &Json, what: &str) -> Result<bool, RequestError> {
+    v.as_bool()
+        .ok_or_else(|| RequestError::invalid(format!("{what} must be a boolean")))
+}
+
+fn parse_graph(value: Option<&Json>, name: &str) -> Result<Graph, RequestError> {
+    let obj = value.ok_or_else(|| RequestError::invalid(format!("missing graph '{name}'")))?;
+    let n = obj
+        .get("n")
+        .and_then(Json::as_u64)
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{name}.n must be a non-negative integer")))?;
+    if n == 0 || n > MAX_VERTICES {
+        return Err(RequestError::invalid(format!(
+            "{name}.n must be in 1..={MAX_VERTICES}"
+        )));
+    }
+    let edges = obj
+        .get("edges")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| RequestError::invalid(format!("{name}.edges must be an array")))?;
+    let mut list = Vec::with_capacity(edges.len());
+    for (i, e) in edges.iter().enumerate() {
+        let pair = e
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| RequestError::invalid(format!("{name}.edges[{i}] must be [u, v]")))?;
+        let u = pair[0]
+            .as_u64()
+            .filter(|&x| (x as usize) < n)
+            .ok_or_else(|| RequestError::invalid(format!("{name}.edges[{i}][0] out of range")))?;
+        let v = pair[1]
+            .as_u64()
+            .filter(|&x| (x as usize) < n)
+            .ok_or_else(|| RequestError::invalid(format!("{name}.edges[{i}][1] out of range")))?;
+        if u == v {
+            return Err(RequestError::invalid(format!(
+                "{name}.edges[{i}] is a self-loop"
+            )));
+        }
+        list.push((u as u32, v as u32));
+    }
+    Ok(Graph::from_edges(n, list))
+}
+
+fn parse_candidate(
+    value: Option<&Json>,
+    na: usize,
+    nb: usize,
+) -> Result<BipartiteGraph, RequestError> {
+    let obj = value.ok_or_else(|| RequestError::invalid("missing candidate graph 'l'"))?;
+    let entries = obj
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| RequestError::invalid("l.entries must be an array"))?;
+    if entries.is_empty() {
+        return Err(RequestError::invalid("l.entries must be non-empty"));
+    }
+    let mut list = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let triple = e
+            .as_arr()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| RequestError::invalid(format!("l.entries[{i}] must be [a, b, w]")))?;
+        let a = triple[0]
+            .as_u64()
+            .filter(|&x| (x as usize) < na)
+            .ok_or_else(|| RequestError::invalid(format!("l.entries[{i}][0] out of range")))?;
+        let b = triple[1]
+            .as_u64()
+            .filter(|&x| (x as usize) < nb)
+            .ok_or_else(|| RequestError::invalid(format!("l.entries[{i}][1] out of range")))?;
+        let w = triple[2]
+            .as_f64()
+            .filter(|x| x.is_finite())
+            .ok_or_else(|| RequestError::invalid(format!("l.entries[{i}][2] must be finite")))?;
+        list.push((a as u32, b as u32, w));
+    }
+    BipartiteGraph::try_from_entries(na, nb, list)
+        .map_err(|e| RequestError::invalid(format!("invalid candidate graph: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Response building
+// ---------------------------------------------------------------------
+
+/// A typed error reply.
+pub fn error_response(code: u16, message: &str, id: Option<&str>) -> Json {
+    let mut pairs = vec![
+        ("code", Json::U64(code as u64)),
+        ("error", Json::str(message)),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id", Json::str(id)));
+    }
+    Json::obj(pairs)
+}
+
+/// A 200 align reply.
+pub fn align_response(
+    req: &AlignRequest,
+    outcome: &AlignOutcome,
+    warm: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+) -> Json {
+    let r = &outcome.result;
+    let matching: Vec<Json> = r
+        .matching
+        .pairs()
+        .map(|(a, b)| Json::Arr(vec![Json::U64(a as u64), Json::U64(b as u64)]))
+        .collect();
+    let mut pairs = vec![("code", Json::U64(CODE_OK as u64))];
+    if let Some(id) = &req.id {
+        pairs.push(("id", Json::str(id.clone())));
+    }
+    pairs.extend([
+        ("method", Json::str(req.method.name())),
+        (
+            "fingerprint",
+            Json::str(crate::fingerprint::render_fingerprint(req.fingerprint)),
+        ),
+        ("warm", Json::Bool(warm)),
+        ("completion", Json::str(outcome.completion.label())),
+        ("iterations_run", Json::U64(outcome.iterations_run as u64)),
+        ("ladder_rung", Json::U64(outcome.ladder_rung as u64)),
+        ("objective", Json::F64(r.objective)),
+        ("weight", Json::F64(r.weight)),
+        ("overlap", Json::F64(r.overlap)),
+        ("best_iteration", Json::U64(r.best_iteration as u64)),
+        ("upper_bound", r.upper_bound.map_or(Json::Null, Json::F64)),
+        ("cardinality", Json::U64(r.matching.cardinality() as u64)),
+        ("matching", Json::Arr(matching)),
+        (
+            "matcher",
+            Json::obj(vec![
+                ("warm_hits", Json::U64(r.trace.matcher.warm_hits)),
+                (
+                    "reseeded_vertices",
+                    Json::U64(r.trace.matcher.reseeded_vertices),
+                ),
+            ]),
+        ),
+        ("queue_ms", Json::F64(queue_ms)),
+        ("solve_ms", Json::F64(solve_ms)),
+    ]);
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_roundtrip(payload: &[u8], max: u32) -> FrameRead {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        read_frame(&mut buf.as_slice(), max).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        match frame_roundtrip(b"{\"op\":\"ping\"}", 1024) {
+            FrameRead::Frame(p) => assert_eq!(p, b"{\"op\":\"ping\"}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_drained_not_fatal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        write_frame(&mut buf, b"after").unwrap();
+        let mut r = buf.as_slice();
+        match read_frame(&mut r, 10).unwrap() {
+            FrameRead::Oversized(len) => assert_eq!(len, 100),
+            other => panic!("{other:?}"),
+        }
+        // The stream stays frame-aligned: the next frame parses.
+        match read_frame(&mut r, 10).unwrap() {
+            FrameRead::Frame(p) => assert_eq!(p, b"after"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut { empty }, 10).unwrap(),
+            FrameRead::Closed
+        ));
+    }
+
+    fn align_doc() -> String {
+        r#"{"op":"align","method":"bp","id":"t",
+            "config":{"iterations":4},
+            "a":{"n":3,"edges":[[0,1],[1,2]]},
+            "b":{"n":3,"edges":[[0,1],[1,2]]},
+            "l":{"entries":[[0,0,1.0],[1,1,1.0],[2,2,1.0]]}}"#
+            .to_string()
+    }
+
+    #[test]
+    fn align_request_parses_and_fingerprints() {
+        let Request::Align(req) = parse_request(align_doc().as_bytes()).unwrap() else {
+            panic!("expected align")
+        };
+        assert_eq!(req.method, Method::Bp);
+        assert_eq!(req.config.iterations, 4);
+        assert!(req.config.warm_start, "server default");
+        assert_eq!(req.l.num_edges(), 3);
+        assert_ne!(req.fingerprint, 0);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_requests() {
+        // Not JSON at all → 400.
+        let e = parse_request(b"not json").unwrap_err();
+        assert_eq!(e.code, CODE_MALFORMED);
+        // Well-formed, bad semantics → 422.
+        let bad = align_doc().replace("[[0,1],[1,2]]", "[[0,9]]");
+        let e = parse_request(bad.as_bytes()).unwrap_err();
+        assert_eq!(e.code, CODE_INVALID);
+        let bad = align_doc().replace("\"iterations\":4", "\"iterations\":0");
+        let e = parse_request(bad.as_bytes()).unwrap_err();
+        assert_eq!(e.code, CODE_INVALID);
+        let bad = align_doc().replace("\"bp\"", "\"simplex\"");
+        let e = parse_request(bad.as_bytes()).unwrap_err();
+        assert_eq!(e.code, CODE_INVALID);
+    }
+
+    #[test]
+    fn edge_order_does_not_change_the_fingerprint() {
+        let Request::Align(r1) = parse_request(align_doc().as_bytes()).unwrap() else {
+            panic!()
+        };
+        let swapped = align_doc().replace("[[0,1],[1,2]]", "[[1,2],[0,1]]");
+        let Request::Align(r2) = parse_request(swapped.as_bytes()).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        // Any weight change separates the keys.
+        let reweighted = align_doc().replace("[0,0,1.0]", "[0,0,1.5]");
+        let Request::Align(r3) = parse_request(reweighted.as_bytes()).unwrap() else {
+            panic!()
+        };
+        assert_ne!(r1.fingerprint, r3.fingerprint);
+    }
+}

@@ -1,0 +1,524 @@
+//! `netalignd` runtime: blocking accept loop + per-connection framing
+//! threads + ONE solver thread over a bounded admission queue.
+//!
+//! The solver is deliberately single-threaded at the *request* level:
+//! the cooperative-cancellation token that maps a request's SLO onto
+//! the kernels is process-global (see `netalign_trace::cancel`), so
+//! concurrent harness runs in one process would observe each other's
+//! deadlines. Parallelism lives where the paper puts it — inside each
+//! solve, on the persistent worker pool — and at the service edge,
+//! where connection threads parse/validate/reply concurrently.
+//! Concurrent requests therefore queue at admission: a bounded
+//! `sync_channel` whose overflow is a typed 429, never an unbounded
+//! buildup.
+//!
+//! Shutdown drains: the flag stops new admissions (503) and unblocks
+//! the accept loop; the solver keeps answering every job already
+//! admitted, then exits; connection threads notice the flag at their
+//! next read-timeout tick and close.
+
+use crate::cache::EngineCache;
+use crate::fingerprint::Method;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    self, AlignRequest, FrameRead, Request, CODE_INTERNAL, CODE_OK, CODE_OVERLOAD, CODE_OVERSIZED,
+    CODE_SHUTTING_DOWN,
+};
+use netalign_core::config::TimeBudget;
+use netalign_core::harness::{AlignOutcome, Completion, RunHarness};
+use netalign_core::problem::NetAlignProblem;
+use netalign_trace::Json;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Bind address, e.g. `127.0.0.1:7464` (`:0` for ephemeral).
+    pub addr: String,
+    /// Problems kept warm in the engine cache.
+    pub cache_capacity: usize,
+    /// Admission queue bound; overflow is a typed 429.
+    pub queue_capacity: usize,
+    /// Largest accepted request frame in bytes.
+    pub max_frame_bytes: u32,
+    /// Watchdog stall budget applied to every solve (`None` = off).
+    pub watchdog_ms: Option<u64>,
+    /// Worker threads for the solve pool (`None` = the global pool).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 8,
+            queue_capacity: 64,
+            max_frame_bytes: 16 << 20,
+            watchdog_ms: Some(30_000),
+            threads: None,
+        }
+    }
+}
+
+/// One admitted align request en route to the solver.
+struct Job {
+    req: Box<AlignRequest>,
+    admitted: Instant,
+    reply: Sender<Json>,
+}
+
+struct Shared {
+    opts: ServerOptions,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`shutdown`](Self::shutdown) or send the `shutdown` op.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    solver_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bind and start serving. Returns once the listener is live; the
+    /// actual bound address (ephemeral ports resolved) is
+    /// [`addr`](Self::addr).
+    pub fn start(opts: ServerOptions) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            opts,
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.opts.queue_capacity);
+
+        let solver_shared = shared.clone();
+        let solver_thread = std::thread::Builder::new()
+            .name("netalignd-solver".into())
+            .spawn(move || solver_loop(solver_shared, job_rx))
+            .expect("spawn solver thread");
+
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("netalignd-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener, job_tx))
+            .expect("spawn accept thread");
+
+        Ok(ServerHandle {
+            shared,
+            accept_thread: Some(accept_thread),
+            solver_thread: Some(solver_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Trigger a drain-and-stop from inside the process (equivalent to
+    /// the `shutdown` op).
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Block until the server has fully drained and stopped.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.solver_thread.take() {
+            let _ = t.join();
+        }
+        // Give connection threads (detached) a bounded grace period to
+        // flush their final replies before the caller exits.
+        let grace = Instant::now();
+        while self.shared.metrics.connections.load(Ordering::Relaxed) > 0
+            && grace.elapsed() < Duration::from_secs(2)
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(500));
+}
+
+// ---------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, job_tx: SyncSender<Job>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = shared.clone();
+        let conn_tx = job_tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("netalignd-conn".into())
+            .spawn(move || {
+                ServerMetrics::bump(&conn_shared.metrics.connections);
+                let _ = handle_connection(&conn_shared, stream, conn_tx);
+                conn_shared
+                    .metrics
+                    .connections
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+    // Dropping the last sender lets the solver exit as soon as the
+    // queue is drained.
+    drop(job_tx);
+}
+
+/// `read_frame` that tolerates read timeouts: a timeout checks the
+/// shutdown flag and otherwise keeps reading the same frame, so a slow
+/// sender is never desynced.
+fn read_frame_patient(
+    shared: &Shared,
+    stream: &mut TcpStream,
+) -> std::io::Result<Option<FrameRead>> {
+    struct Patient<'a> {
+        shared: &'a Shared,
+        stream: &'a mut TcpStream,
+        started: bool,
+        interrupted: bool,
+    }
+    impl Read for Patient<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                match self.stream.read(buf) {
+                    Ok(n) => {
+                        self.started = true;
+                        return Ok(n);
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        // Between frames a shutdown closes the
+                        // connection; mid-frame we keep waiting so a
+                        // half-read frame still completes.
+                        if self.shared.shutting_down() && !self.started {
+                            self.interrupted = true;
+                            return Ok(0);
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    let mut patient = Patient {
+        shared,
+        stream,
+        started: false,
+        interrupted: false,
+    };
+    let frame = protocol::read_frame(&mut patient, shared.opts.max_frame_bytes);
+    if patient.interrupted {
+        return Ok(None);
+    }
+    frame.map(Some)
+}
+
+fn handle_connection(
+    shared: &Shared,
+    mut stream: TcpStream,
+    job_tx: SyncSender<Job>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    loop {
+        let frame = match read_frame_patient(shared, &mut stream)? {
+            None | Some(FrameRead::Closed) => return Ok(()),
+            Some(FrameRead::Oversized(len)) => {
+                ServerMetrics::bump(&shared.metrics.oversized);
+                let reply = protocol::error_response(
+                    CODE_OVERSIZED,
+                    &format!(
+                        "frame of {len} bytes exceeds the limit of {}",
+                        shared.opts.max_frame_bytes
+                    ),
+                    None,
+                );
+                protocol::write_json(&mut stream, &reply)?;
+                continue;
+            }
+            Some(FrameRead::Frame(payload)) => payload,
+        };
+        let request = match protocol::parse_request(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                ServerMetrics::bump(if e.code == protocol::CODE_MALFORMED {
+                    &shared.metrics.malformed
+                } else {
+                    &shared.metrics.invalid
+                });
+                let reply = protocol::error_response(e.code, &e.message, None);
+                protocol::write_json(&mut stream, &reply)?;
+                continue;
+            }
+        };
+        ServerMetrics::bump(&shared.metrics.requests_total);
+        let reply = match request {
+            Request::Ping => Json::obj(vec![
+                ("code", Json::U64(CODE_OK as u64)),
+                ("op", Json::str("pong")),
+            ]),
+            Request::Metrics => Json::obj(vec![
+                ("code", Json::U64(CODE_OK as u64)),
+                (
+                    "metrics",
+                    shared
+                        .metrics
+                        .to_json(shared.opts.queue_capacity, shared.opts.cache_capacity),
+                ),
+            ]),
+            Request::Shutdown => {
+                begin_shutdown(shared);
+                Json::obj(vec![
+                    ("code", Json::U64(CODE_OK as u64)),
+                    ("draining", Json::Bool(true)),
+                ])
+            }
+            Request::Align(req) => admit_align(shared, &job_tx, req),
+        };
+        protocol::write_json(&mut stream, &reply)?;
+    }
+}
+
+fn admit_align(shared: &Shared, job_tx: &SyncSender<Job>, req: Box<AlignRequest>) -> Json {
+    let id = req.id.clone();
+    if shared.shutting_down() {
+        ServerMetrics::bump(&shared.metrics.shutting_down);
+        return protocol::error_response(
+            CODE_SHUTTING_DOWN,
+            "server is draining; no new work accepted",
+            id.as_deref(),
+        );
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        req,
+        admitted: Instant::now(),
+        reply: reply_tx,
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {
+            ServerMetrics::bump(&shared.metrics.queue_depth);
+        }
+        Err(TrySendError::Full(_)) => {
+            ServerMetrics::bump(&shared.metrics.overload);
+            return protocol::error_response(
+                CODE_OVERLOAD,
+                "admission queue is full; retry later",
+                id.as_deref(),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            ServerMetrics::bump(&shared.metrics.shutting_down);
+            return protocol::error_response(
+                CODE_SHUTTING_DOWN,
+                "solver has stopped",
+                id.as_deref(),
+            );
+        }
+    }
+    // The solver always replies (panics are caught into a 500), so a
+    // recv error means it died hard; surface that as internal.
+    match reply_rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => {
+            ServerMetrics::bump(&shared.metrics.internal);
+            protocol::error_response(CODE_INTERNAL, "solver terminated", id.as_deref())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Solver thread
+// ---------------------------------------------------------------------
+
+fn solver_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
+    let pool = shared.opts.threads.map(|n| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("build solver pool")
+    });
+    let mut cache = EngineCache::new(shared.opts.cache_capacity);
+    loop {
+        let job = match job_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                // The queue is empty right now; if we are draining,
+                // every admitted job has been answered — stop.
+                if shared.shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let reply = match &pool {
+            Some(pool) => pool.install(|| solve_one(&shared, &mut cache, &job)),
+            None => solve_one(&shared, &mut cache, &job),
+        };
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .service_latency
+            .record(job.admitted.elapsed());
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn solve_one(shared: &Shared, cache: &mut EngineCache, job: &Job) -> Json {
+    let req = &job.req;
+    let queue_wait = job.admitted.elapsed();
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        run_aligned(shared, cache, job, queue_wait)
+    }));
+    match solved {
+        Ok(reply) => reply,
+        Err(_) => {
+            ServerMetrics::bump(&shared.metrics.internal);
+            protocol::error_response(
+                CODE_INTERNAL,
+                "solver panicked on this request; the server keeps serving",
+                req.id.as_deref(),
+            )
+        }
+    }
+}
+
+fn run_aligned(shared: &Shared, cache: &mut EngineCache, job: &Job, queue_wait: Duration) -> Json {
+    let req = &job.req;
+    let fp = req.fingerprint;
+    // The solve clock starts before the cache probe so a cold serve's
+    // dominant cost — building the problem, squares matrix included —
+    // shows up in solve_ms and the warm/cold histograms.
+    let solve_start = Instant::now();
+
+    // Cache probe. A miss pays the full problem build (squares matrix
+    // included) and caches it; a hit reuses problem + warm engines.
+    let hit = cache.get_mut(fp).is_some();
+    if hit {
+        ServerMetrics::bump(&shared.metrics.cache_hits);
+    } else {
+        ServerMetrics::bump(&shared.metrics.cache_misses);
+        let problem = NetAlignProblem::new(req.a.clone(), req.b.clone(), req.l.clone());
+        if cache
+            .insert(fp, req.method, problem, req.config, Vec::new())
+            .is_some()
+        {
+            ServerMetrics::bump(&shared.metrics.cache_evictions);
+        }
+    }
+    shared
+        .metrics
+        .cache_entries
+        .store(cache.len() as u64, Ordering::Relaxed);
+
+    let entry = cache.peek_mut(fp).expect("entry just probed/inserted");
+    let warm = hit && !req.cold && !entry.engines.is_empty();
+    let mut engines = std::mem::take(&mut entry.engines);
+    if req.cold {
+        // The gated reset path: a forced-cold serve must replay the
+        // cold solve bit-exactly (pinned by the engine-cache tests).
+        for e in &mut engines {
+            e.reset();
+        }
+    }
+
+    let mut harness = RunHarness::new();
+    if let Some(deadline_ms) = req.deadline_ms {
+        // The SLO covers queue wait too: hand the solver whatever is
+        // left (floor 1ms — the harness then returns best-so-far).
+        let remaining = deadline_ms
+            .saturating_sub(queue_wait.as_millis() as u64)
+            .max(1);
+        harness = harness.with_time_budget(TimeBudget::from_deadline_ms(remaining));
+    }
+    if let Some(watchdog_ms) = shared.opts.watchdog_ms {
+        harness = harness.with_watchdog(Duration::from_millis(watchdog_ms));
+    }
+
+    let run = match req.method {
+        Method::Bp => harness.run_bp_warm(&entry.problem, &entry.config, engines),
+        Method::Mr => harness.run_mr_warm(&entry.problem, &entry.config, engines),
+    };
+    let solve = solve_start.elapsed();
+
+    match run {
+        Ok((outcome, released)) => {
+            entry.engines = released;
+            record_outcome(shared, &outcome, warm, solve);
+            protocol::align_response(
+                req,
+                &outcome,
+                warm,
+                queue_wait.as_secs_f64() * 1e3,
+                solve.as_secs_f64() * 1e3,
+            )
+        }
+        Err(e) => {
+            ServerMetrics::bump(&shared.metrics.internal);
+            protocol::error_response(
+                CODE_INTERNAL,
+                &format!("harness error: {e}"),
+                req.id.as_deref(),
+            )
+        }
+    }
+}
+
+fn record_outcome(shared: &Shared, outcome: &AlignOutcome, warm: bool, solve: Duration) {
+    ServerMetrics::bump(&shared.metrics.align_ok);
+    if warm {
+        shared.metrics.solve_warm.record(solve);
+    } else {
+        shared.metrics.solve_cold.record(solve);
+    }
+    let m = &outcome.result.trace.matcher;
+    shared
+        .metrics
+        .matcher_warm_hits
+        .fetch_add(m.warm_hits, Ordering::Relaxed);
+    shared
+        .metrics
+        .matcher_reseeded
+        .fetch_add(m.reseeded_vertices, Ordering::Relaxed);
+    if outcome.completion == Completion::DeadlineBestSoFar {
+        ServerMetrics::bump(&shared.metrics.deadline_best_so_far);
+    }
+}

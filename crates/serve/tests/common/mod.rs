@@ -1,0 +1,193 @@
+//! Shared helpers for the black-box service tests: spawn a real
+//! `netalignd` child process on an ephemeral port, build wire-level
+//! align documents, and decode replies.
+
+#![allow(dead_code)]
+
+use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use netalign_graph::{BipartiteGraph, Graph};
+use netalign_serve::client::Client;
+use netalign_trace::Json;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// A `netalignd` child on an ephemeral port; killed on drop.
+pub struct Daemon {
+    child: Child,
+    pub addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawn with `--addr 127.0.0.1:0` plus `extra` flags and scrape
+    /// the bound address from the announced `listening on` line.
+    pub fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_netalignd"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn netalignd");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable listening line: {line:?}"));
+        Daemon { child, addr }
+    }
+
+    /// A fresh connection to this daemon.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect to daemon")
+    }
+
+    /// The daemon's process id (for /proc inspection).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Wait up to `timeout` for the child to exit on its own.
+    pub fn wait_for_exit(mut self, timeout: Duration) -> Option<ExitStatus> {
+        let end = Instant::now() + timeout;
+        while Instant::now() < end {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        None
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Serialize a graph the way the wire expects it.
+pub fn graph_json(g: &Graph) -> Json {
+    let edges = g
+        .edges()
+        .map(|(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+        .collect();
+    Json::obj(vec![
+        ("n", Json::U64(g.num_vertices() as u64)),
+        ("edges", Json::Arr(edges)),
+    ])
+}
+
+/// Serialize a candidate graph the way the wire expects it.
+pub fn candidate_json(l: &BipartiteGraph) -> Json {
+    let entries = (0..l.num_edges())
+        .map(|e| {
+            let (a, b) = l.endpoints(e);
+            Json::Arr(vec![
+                Json::U64(a as u64),
+                Json::U64(b as u64),
+                Json::F64(l.weight(e)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("entries", Json::Arr(entries))])
+}
+
+/// One synthetic align request: the paper's recipe, deterministic in
+/// `seed`. Weights are exactly representable so wire round-trips are
+/// bit-exact.
+pub fn align_doc(n: usize, seed: u64, iterations: usize, deadline_ms: Option<u64>) -> Json {
+    let base = power_law_graph(n, 2.5, 12, 0x5eed + seed);
+    let a = add_random_edges(&base, 1.0 / n as f64, 2 * seed + 1);
+    let b = add_random_edges(&base, 1.0 / n as f64, 2 * seed + 2);
+    let l = identity_plus_noise_l(n, n, 4.0 / n as f64, 1.0, 0.5, 3 * seed + 5);
+    let mut pairs = vec![
+        ("op", Json::str("align")),
+        ("method", Json::str("bp")),
+        (
+            "config",
+            Json::obj(vec![("iterations", Json::U64(iterations as u64))]),
+        ),
+        ("a", graph_json(&a)),
+        ("b", graph_json(&b)),
+        ("l", candidate_json(&l)),
+    ];
+    if let Some(d) = deadline_ms {
+        pairs.push(("deadline_ms", Json::U64(d)));
+    }
+    Json::obj(pairs)
+}
+
+/// A deliberately build-heavy align request: dense candidate set and
+/// high-degree graphs so the squares-matrix construction — the cost a
+/// warm serve skips — is a large, stable fraction of a cold serve.
+pub fn heavy_align_doc(n: usize, seed: u64, iterations: usize) -> Json {
+    let base = power_law_graph(n, 2.2, 50, 0x5eed + seed);
+    let a = add_random_edges(&base, 2.0 / n as f64, 2 * seed + 1);
+    let b = add_random_edges(&base, 2.0 / n as f64, 2 * seed + 2);
+    let l = identity_plus_noise_l(n, n, 40.0 / n as f64, 1.0, 0.5, 3 * seed + 5);
+    Json::obj(vec![
+        ("op", Json::str("align")),
+        ("method", Json::str("bp")),
+        (
+            "config",
+            Json::obj(vec![("iterations", Json::U64(iterations as u64))]),
+        ),
+        ("a", graph_json(&a)),
+        ("b", graph_json(&b)),
+        ("l", candidate_json(&l)),
+    ])
+}
+
+/// Decode the matching array of a 200 reply into sorted pairs.
+pub fn reply_matching(reply: &Json) -> Vec<(u64, u64)> {
+    let mut pairs: Vec<(u64, u64)> = reply
+        .get("matching")
+        .and_then(Json::as_arr)
+        .expect("matching array")
+        .iter()
+        .map(|p| {
+            let p = p.as_arr().expect("pair");
+            (p[0].as_u64().unwrap(), p[1].as_u64().unwrap())
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Fetch `field` (a f64) from a reply, panicking with context.
+pub fn reply_f64(reply: &Json, field: &str) -> f64 {
+    reply
+        .get(field)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing f64 field '{field}' in {}", reply.render()))
+}
+
+/// Fetch the server metrics snapshot.
+pub fn fetch_metrics(daemon: &Daemon) -> Json {
+    let mut c = daemon.client();
+    let reply = c
+        .request(&Json::obj(vec![("op", Json::str("metrics"))]))
+        .expect("metrics request");
+    reply.get("metrics").expect("metrics body").clone()
+}
+
+/// Walk a dotted path into nested objects.
+pub fn metric_u64(metrics: &Json, path: &str) -> u64 {
+    let mut cur = metrics;
+    for part in path.split('.') {
+        cur = cur
+            .get(part)
+            .unwrap_or_else(|| panic!("missing metric '{path}'"));
+    }
+    cur.as_u64()
+        .unwrap_or_else(|| panic!("metric '{path}' is not a u64"))
+}

@@ -1,0 +1,167 @@
+//! Property tests of the problem fingerprint — the engine-cache key.
+//!
+//! The cache is only correct if the fingerprint is (a) *order
+//! independent*: two requests describing the same problem with edges
+//! in different orders must collide, and (b) *sensitive*: any change
+//! that alters the solve trajectory — an edge, a weight bit, the
+//! method, a config knob — must separate the keys. Observability
+//! toggles must NOT separate them (a traced rerun should stay warm).
+
+use netalign_core::config::AlignConfig;
+use netalign_graph::bipartite::BipartiteGraph;
+use netalign_graph::undirected::Graph;
+use netalign_serve::fingerprint::{
+    candidate_fingerprint, graph_structure_fingerprint, problem_fingerprint, Method,
+};
+use proptest::prelude::*;
+
+/// A small graph as an explicit edge list (unique, no self-loops),
+/// derived from a bitmask over the upper-triangular pair enumeration
+/// so uniqueness is structural, not filtered.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..9, 0u64..u64::MAX).prop_map(|(n, mask)| {
+        let mut edges = Vec::new();
+        let mut bit = 0;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if mask >> (bit % 64) & 1 == 1 {
+                    edges.push((u, v));
+                }
+                bit += 1;
+            }
+        }
+        // Keep the graph non-empty so `from_edges` always has work.
+        if edges.is_empty() {
+            edges.push((0, 1));
+        }
+        (n, edges)
+    })
+}
+
+/// A candidate graph as (na, nb, unique weighted entries).
+fn arb_candidate() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f64)>)> {
+    (2usize..7, 2usize..7, 0u64..u64::MAX, 0.1f64..8.0).prop_map(|(na, nb, mask, wbase)| {
+        let mut entries = Vec::new();
+        for a in 0..na as u32 {
+            for b in 0..nb as u32 {
+                let bit = (a as usize * nb + b as usize) % 64;
+                if mask >> bit & 1 == 1 {
+                    entries.push((a, b, wbase + a as f64 * 0.25 + b as f64 * 0.0625));
+                }
+            }
+        }
+        if entries.is_empty() {
+            entries.push((0, 0, wbase));
+        }
+        (na, nb, entries)
+    })
+}
+
+/// Deterministic reorder: reverse, then rotate by `r`.
+fn permuted<T: Clone>(items: &[T], r: usize) -> Vec<T> {
+    let mut v: Vec<T> = items.iter().rev().cloned().collect();
+    let len = v.len();
+    if len > 0 {
+        v.rotate_left(r % len);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_fingerprint_ignores_edge_order(
+        (n, edges) in arb_graph(),
+        rot in 0usize..16,
+    ) {
+        let g1 = Graph::from_edges(n, edges.clone());
+        let g2 = Graph::from_edges(n, permuted(&edges, rot));
+        // Listing each edge with its endpoints swapped is the same
+        // undirected graph too.
+        let swapped: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+        let g3 = Graph::from_edges(n, swapped);
+        prop_assert_eq!(
+            graph_structure_fingerprint(&g1),
+            graph_structure_fingerprint(&g2)
+        );
+        prop_assert_eq!(
+            graph_structure_fingerprint(&g1),
+            graph_structure_fingerprint(&g3)
+        );
+    }
+
+    #[test]
+    fn graph_fingerprint_sees_any_structural_change(
+        (n, edges) in arb_graph(),
+    ) {
+        let g = Graph::from_edges(n, edges.clone());
+        // Add one vertex: different structure.
+        let grown = Graph::from_edges(n + 1, edges.clone());
+        prop_assert_ne!(
+            graph_structure_fingerprint(&g),
+            graph_structure_fingerprint(&grown)
+        );
+        // Drop one edge (when that leaves a non-empty graph).
+        if edges.len() > 1 {
+            let fewer = Graph::from_edges(n, edges[1..].to_vec());
+            prop_assert_ne!(
+                graph_structure_fingerprint(&g),
+                graph_structure_fingerprint(&fewer)
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_fingerprint_ignores_order_but_sees_weights(
+        (na, nb, entries) in arb_candidate(),
+        rot in 0usize..16,
+    ) {
+        let l1 = BipartiteGraph::from_entries(na, nb, entries.clone());
+        let l2 = BipartiteGraph::from_entries(na, nb, permuted(&entries, rot));
+        prop_assert_eq!(candidate_fingerprint(&l1), candidate_fingerprint(&l2));
+        // Perturb one weight by one ulp-scale nudge: different key.
+        let mut nudged = entries.clone();
+        nudged[0].2 += 1e-9;
+        let l3 = BipartiteGraph::from_entries(na, nb, nudged);
+        prop_assert_ne!(candidate_fingerprint(&l1), candidate_fingerprint(&l3));
+    }
+
+    #[test]
+    fn problem_fingerprint_separates_trajectory_knobs_only(
+        (n, edges) in arb_graph(),
+        (na, nb, entries) in arb_candidate(),
+    ) {
+        // Shape L to the graphs so the fingerprint inputs are coherent.
+        let _ = (na, nb);
+        let a = Graph::from_edges(n, edges.clone());
+        let b = Graph::from_edges(n, edges);
+        let entries: Vec<(u32, u32, f64)> = entries
+            .into_iter()
+            .map(|(x, y, w)| (x % n as u32, y % n as u32, w))
+            .collect();
+        let l = BipartiteGraph::from_entries(n, n, entries);
+        let base = AlignConfig::default();
+        let fp = |m: Method, c: &AlignConfig| problem_fingerprint(&a, &b, &l, m, c);
+
+        // Method is part of the key.
+        prop_assert_ne!(fp(Method::Bp, &base), fp(Method::Mr, &base));
+
+        // Trajectory-relevant config fields separate keys.
+        let mut c = base;
+        c.alpha += 0.5;
+        prop_assert_ne!(fp(Method::Bp, &base), fp(Method::Bp, &c));
+        let mut c = base;
+        c.iterations += 1;
+        prop_assert_ne!(fp(Method::Bp, &base), fp(Method::Bp, &c));
+        let mut c = base;
+        c.gamma *= 0.5;
+        prop_assert_ne!(fp(Method::Bp, &base), fp(Method::Bp, &c));
+
+        // Observability toggles do not: a traced rerun stays warm.
+        let mut c = base;
+        c.record_history = !c.record_history;
+        c.trace_matcher = !c.trace_matcher;
+        prop_assert_eq!(fp(Method::Bp, &base), fp(Method::Bp, &c));
+    }
+}

@@ -1,0 +1,224 @@
+//! Black-box tests of `netalignd`: every test spawns the real binary
+//! on an ephemeral port and speaks the wire protocol — nothing in here
+//! reaches into server internals.
+
+mod common;
+
+use common::{align_doc, fetch_metrics, metric_u64, reply_f64, reply_matching, Daemon};
+use netalign_core::harness::RunHarness;
+use netalign_core::problem::NetAlignProblem;
+use netalign_serve::client::response_code;
+use netalign_serve::protocol::{parse_request, Request};
+use netalign_trace::Json;
+use std::time::{Duration, Instant};
+
+/// Re-parse a wire document exactly the way the server does and solve
+/// it directly with the run harness — the reference the service must
+/// match bit for bit.
+fn direct_reference(doc: &Json) -> (f64, Vec<(u64, u64)>, u64) {
+    let payload = doc.render();
+    let Request::Align(req) = parse_request(payload.as_bytes()).expect("parse own doc") else {
+        panic!("expected align request");
+    };
+    let problem = NetAlignProblem::new(req.a.clone(), req.b.clone(), req.l.clone());
+    let outcome = RunHarness::new()
+        .run_bp(&problem, &req.config)
+        .expect("direct solve");
+    let mut pairs: Vec<(u64, u64)> = outcome
+        .result
+        .matching
+        .pairs()
+        .map(|(a, b)| (a as u64, b as u64))
+        .collect();
+    pairs.sort_unstable();
+    (
+        outcome.result.objective,
+        pairs,
+        outcome.iterations_run as u64,
+    )
+}
+
+#[test]
+fn served_alignment_is_bit_identical_to_direct_harness() {
+    let daemon = Daemon::spawn(&[]);
+    let doc = align_doc(70, 1, 8, None);
+    let (objective, pairs, iterations) = direct_reference(&doc);
+
+    let mut client = daemon.client();
+    let reply = client.request(&doc).expect("align request");
+    assert_eq!(response_code(&reply), 200, "reply: {}", reply.render());
+    assert_eq!(
+        reply_f64(&reply, "objective").to_bits(),
+        objective.to_bits(),
+        "served objective must be bit-identical to the direct harness"
+    );
+    assert_eq!(reply_matching(&reply), pairs);
+    assert_eq!(
+        reply.get("iterations_run").and_then(Json::as_u64),
+        Some(iterations)
+    );
+    assert_eq!(
+        reply.get("completion").and_then(Json::as_str),
+        Some("completed")
+    );
+}
+
+#[test]
+fn warm_repeat_is_flagged_and_faster_and_still_bit_identical() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    // Build-heavy problem, one iteration: the squares-matrix build the
+    // warm serve skips is ~a third of the cold serve, far above timing
+    // noise.
+    let doc = common::heavy_align_doc(200, 2, 1);
+
+    let cold = client.request(&doc).expect("cold request");
+    assert_eq!(response_code(&cold), 200);
+    assert_eq!(cold.get("warm").and_then(Json::as_bool), Some(false));
+
+    let warm_started = Instant::now();
+    let warm = client.request(&doc).expect("warm request");
+    let warm_wall = warm_started.elapsed();
+    assert_eq!(response_code(&warm), 200);
+    assert_eq!(
+        warm.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "second identical request must be served from the engine cache"
+    );
+
+    // Warm reuse must never change the answer.
+    assert_eq!(
+        reply_f64(&warm, "objective").to_bits(),
+        reply_f64(&cold, "objective").to_bits()
+    );
+    assert_eq!(reply_matching(&warm), reply_matching(&cold));
+
+    // And it must be measurably cheaper: the warm serve skips the
+    // problem build entirely.
+    let cold_solve = reply_f64(&cold, "solve_ms");
+    let warm_solve = reply_f64(&warm, "solve_ms");
+    assert!(
+        warm_solve < cold_solve,
+        "warm solve ({warm_solve:.2}ms) should beat cold ({cold_solve:.2}ms)"
+    );
+    assert!(
+        warm_wall < Duration::from_secs(30),
+        "warm serve took implausibly long"
+    );
+
+    let metrics = fetch_metrics(&daemon);
+    assert!(metric_u64(&metrics, "cache.hits") >= 1);
+    assert_eq!(metric_u64(&metrics, "cache.misses"), 1);
+}
+
+#[test]
+fn tight_deadline_returns_best_so_far_not_an_error() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    // Far more iterations than 20ms allows: the SLO must clip the run.
+    let doc = align_doc(120, 3, 200_000, Some(20));
+    let reply = client.request(&doc).expect("deadline request");
+    assert_eq!(
+        response_code(&reply),
+        200,
+        "a tight deadline is not an error: {}",
+        reply.render()
+    );
+    assert_eq!(
+        reply.get("completion").and_then(Json::as_str),
+        Some("deadline-best-so-far")
+    );
+    let iterations = reply
+        .get("iterations_run")
+        .and_then(Json::as_u64)
+        .expect("iterations_run");
+    assert!(
+        iterations < 200_000,
+        "the run must have been clipped, ran {iterations}"
+    );
+    // Best-so-far still carries a usable (feasible, scored) result.
+    assert!(reply_f64(&reply, "objective").is_finite());
+    let metrics = fetch_metrics(&daemon);
+    assert_eq!(metric_u64(&metrics, "deadline_best_so_far"), 1);
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_typed_errors_and_service_continues() {
+    let daemon = Daemon::spawn(&["--max-frame-bytes", "4096"]);
+    let mut client = daemon.client();
+
+    // Garbage bytes → 400.
+    let reply = client.request_raw(b"this is not json").expect("raw send");
+    assert_eq!(response_code(&reply), 400);
+
+    // Valid JSON, unknown op → 400.
+    let reply = client
+        .request(&Json::obj(vec![("op", Json::str("teleport"))]))
+        .expect("unknown op");
+    assert_eq!(response_code(&reply), 400);
+
+    // Well-formed align with an out-of-range edge → 422.
+    let bad = r#"{"op":"align","a":{"n":2,"edges":[[0,7]]},
+                  "b":{"n":2,"edges":[[0,1]]},"l":{"entries":[[0,0,1.0]]}}"#;
+    let reply = client.request_raw(bad.as_bytes()).expect("invalid align");
+    assert_eq!(response_code(&reply), 422);
+
+    // A frame over the limit → 413, and the connection stays usable.
+    let reply = client.request_raw(&vec![b'x'; 8192]).expect("oversized");
+    assert_eq!(response_code(&reply), 413);
+
+    // Same connection, same server: real work still succeeds.
+    let reply = client
+        .request(&Json::obj(vec![("op", Json::str("ping"))]))
+        .expect("ping after errors");
+    assert_eq!(response_code(&reply), 200);
+    let reply = client.request(&align_doc(40, 4, 4, None)).expect("align");
+    assert_eq!(response_code(&reply), 200);
+
+    let metrics = fetch_metrics(&daemon);
+    assert_eq!(metric_u64(&metrics, "errors.malformed"), 2);
+    assert_eq!(metric_u64(&metrics, "errors.invalid"), 1);
+    assert_eq!(metric_u64(&metrics, "errors.oversized"), 1);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_then_exits_cleanly() {
+    let daemon = Daemon::spawn(&[]);
+
+    // Client A: a solve heavy enough to still be running when the
+    // shutdown lands (no deadline — it must be drained, not clipped).
+    let mut client_a = daemon.client();
+    let in_flight = std::thread::spawn(move || client_a.request(&align_doc(150, 5, 400, None)));
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Client B orders the drain.
+    let mut client_b = daemon.client();
+    let reply = client_b
+        .request(&Json::obj(vec![("op", Json::str("shutdown"))]))
+        .expect("shutdown request");
+    assert_eq!(response_code(&reply), 200);
+
+    // New work is refused (typed 503) or the connection is already
+    // closed — either way, nothing new is admitted.
+    match client_b.request(&align_doc(40, 6, 4, None)) {
+        Ok(reply) => assert_eq!(response_code(&reply), 503, "{}", reply.render()),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+    }
+
+    // The in-flight request is answered in full, not dropped.
+    let reply = in_flight
+        .join()
+        .expect("client thread")
+        .expect("in-flight reply");
+    assert_eq!(response_code(&reply), 200, "{}", reply.render());
+    assert_eq!(
+        reply.get("completion").and_then(Json::as_str),
+        Some("completed")
+    );
+
+    // And the daemon exits 0 on its own.
+    let status = daemon
+        .wait_for_exit(Duration::from_secs(30))
+        .expect("daemon should exit after draining");
+    assert!(status.success(), "exit status: {status:?}");
+}

@@ -1,0 +1,150 @@
+//! Concurrency soak: many clients, more distinct problems than the
+//! cache holds, every response re-validated as a feasible matching,
+//! determinism pinned across warm/cold/evicted serves, and a bounded
+//! memory envelope.
+
+mod common;
+
+use common::{align_doc, fetch_metrics, metric_u64, reply_f64, reply_matching, Daemon};
+use netalign_serve::client::response_code;
+use netalign_serve::protocol::{parse_request, Request};
+use netalign_trace::Json;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 18;
+const PROBLEMS: u64 = 5; // > cache capacity below → constant eviction
+const VERTICES: usize = 60;
+const ITERATIONS: usize = 6;
+
+/// The legal edge set and sides of problem `seed`, derived through the
+/// same parser the server uses.
+struct LegalEdges {
+    edges: HashSet<(u64, u64)>,
+}
+
+fn legal_edges(seed: u64) -> LegalEdges {
+    let doc = align_doc(VERTICES, seed, ITERATIONS, None);
+    let Request::Align(req) = parse_request(doc.render().as_bytes()).expect("parse") else {
+        panic!("expected align");
+    };
+    let edges = (0..req.l.num_edges())
+        .map(|e| {
+            let (a, b) = req.l.endpoints(e);
+            (a as u64, b as u64)
+        })
+        .collect();
+    LegalEdges { edges }
+}
+
+/// A feasible matching: every pair is an edge of `L`, and no endpoint
+/// repeats on either side.
+fn assert_feasible(legal: &LegalEdges, pairs: &[(u64, u64)], context: &str) {
+    let mut left = HashSet::new();
+    let mut right = HashSet::new();
+    for &(a, b) in pairs {
+        assert!(
+            legal.edges.contains(&(a, b)),
+            "{context}: matched pair ({a},{b}) is not an edge of L"
+        );
+        assert!(left.insert(a), "{context}: left vertex {a} matched twice");
+        assert!(right.insert(b), "{context}: right vertex {b} matched twice");
+    }
+}
+
+#[test]
+fn soak_concurrent_clients_with_cache_thrash() {
+    // Capacity 2 with 5 live fingerprints: every client round forces
+    // evictions, so the reset-on-evict and rebuild paths run hot.
+    let daemon = Daemon::spawn(&["--cache-capacity", "2", "--queue-capacity", "64"]);
+
+    let legal: Vec<LegalEdges> = (0..PROBLEMS).map(legal_edges).collect();
+
+    // Deterministic warm phase: an immediate repeat of the same
+    // fingerprint with nothing else running MUST hit the cache. (The
+    // storm below cycles 5 problems through 2 slots — an access
+    // pattern that can legitimately defeat LRU entirely, so it cannot
+    // be relied on for hits.)
+    {
+        let mut warmup = daemon.client();
+        let doc = align_doc(VERTICES, 0, ITERATIONS, None);
+        for _ in 0..2 {
+            let reply = warmup.request(&doc).expect("warmup align");
+            assert_eq!(response_code(&reply), 200);
+        }
+        let metrics = fetch_metrics(&daemon);
+        assert_eq!(metric_u64(&metrics, "cache.hits"), 1);
+    }
+    // objective bits + matching per problem, from whichever response
+    // lands first; all later responses must agree bit-for-bit.
+    type Pinned = HashMap<u64, (u64, Vec<(u64, u64)>)>;
+    let pinned: Mutex<Pinned> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        for client_idx in 0..CLIENTS {
+            let legal = &legal;
+            let pinned = &pinned;
+            let daemon = &daemon;
+            scope.spawn(move || {
+                let mut client = daemon.client();
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Interleaved strides: clients collide on problems
+                    // in different orders, thrashing the LRU.
+                    let seed = ((client_idx + i * 3) as u64) % PROBLEMS;
+                    let doc = align_doc(VERTICES, seed, ITERATIONS, None);
+                    let reply = client.request(&doc).expect("align during soak");
+                    let context = format!("client {client_idx} request {i} problem {seed}");
+                    assert_eq!(response_code(&reply), 200, "{context}: {}", reply.render());
+                    let pairs = reply_matching(&reply);
+                    assert_feasible(&legal[seed as usize], &pairs, &context);
+                    let bits = reply_f64(&reply, "objective").to_bits();
+                    assert!(reply_f64(&reply, "objective").is_finite(), "{context}");
+
+                    let mut pinned = pinned.lock().unwrap();
+                    match pinned.get(&seed) {
+                        None => {
+                            pinned.insert(seed, (bits, pairs));
+                        }
+                        Some((expect_bits, expect_pairs)) => {
+                            assert_eq!(
+                                bits, *expect_bits,
+                                "{context}: objective drifted across serves"
+                            );
+                            assert_eq!(
+                                &pairs, expect_pairs,
+                                "{context}: matching drifted across serves"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let metrics = fetch_metrics(&daemon);
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64 + 2;
+    assert_eq!(metric_u64(&metrics, "align_ok"), total);
+    assert_eq!(metric_u64(&metrics, "errors.internal"), 0);
+    assert_eq!(metric_u64(&metrics, "errors.overload"), 0);
+    // 5 problems in a 2-slot cache: misses and evictions are certain;
+    // repeats across 72 requests still land plenty of hits.
+    assert!(metric_u64(&metrics, "cache.hits") > 0, "no warm serves");
+    assert!(
+        metric_u64(&metrics, "cache.evictions") > 0,
+        "cache never thrashed"
+    );
+    assert!(metric_u64(&metrics, "cache.entries") <= 2);
+
+    // Memory envelope: tiny problems, so anything near a gigabyte
+    // means the cache or the queue is leaking whole problems.
+    let rss_kb = metrics
+        .get("process")
+        .and_then(|p| p.get("vm_rss_kb"))
+        .and_then(Json::as_u64)
+        .expect("vm_rss_kb on Linux");
+    assert!(
+        rss_kb < 1_000_000,
+        "daemon RSS {rss_kb} kB exceeds the 1 GB soak envelope"
+    );
+}

@@ -1,0 +1,196 @@
+//! Service-side metrics primitives: lock-free counters and a
+//! log-bucketed latency histogram, both exportable as [`Json`] for a
+//! `/metrics`-style endpoint.
+//!
+//! The histogram is fixed-size and allocation-free after construction:
+//! bucket `i` counts observations in `[2^i, 2^{i+1})` microseconds
+//! (bucket 0 absorbs sub-microsecond samples), which covers sub-µs to
+//! ~12 days in 40 buckets with ≤ 2× relative quantile error — plenty
+//! for tail-latency gating while staying cheap enough to record on
+//! every request from many threads concurrently.
+
+use crate::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (`2^39` µs ≈ 6.4 days).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A concurrent log₂-bucketed latency histogram.
+///
+/// `record` is wait-free (one fetch-add per counter); `quantile` and
+/// [`to_json`](Self::to_json) read a relaxed snapshot, which is exact
+/// once recording has quiesced and approximate (never panicking) while
+/// it has not.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros < 2 {
+            0
+        } else {
+            ((63 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound (µs) of bucket `i` — the value quantiles report.
+    fn bucket_upper(i: usize) -> u64 {
+        1u64 << (i + 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Quantile estimate in microseconds: the upper bound of the first
+    /// bucket whose cumulative count reaches `q·n` (≤ 2× the true
+    /// value), clamped to the observed maximum. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max_micros.load(Ordering::Relaxed));
+            }
+        }
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero (not atomic across buckets; callers
+    /// quiesce recording first).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+    }
+
+    /// Export: count, mean/max, p50/p95/p99, and the non-empty buckets
+    /// as `[log2_upper_micros, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| Json::Arr(vec![Json::U64((i + 1) as u64), Json::U64(c)]))
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count())),
+            ("mean_us", Json::U64(self.mean_micros())),
+            ("max_us", Json::U64(self.max_micros.load(Ordering::Relaxed))),
+            ("p50_us", Json::U64(self.quantile_micros(0.50))),
+            ("p95_us", Json::U64(self.quantile_micros(0.95))),
+            ("p99_us", Json::U64(self.quantile_micros(0.99))),
+            ("log2_buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            LATENCY_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_bound_true_values_within_a_bucket() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_micros(0.50);
+        assert!((50..=128).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!((1000..=1024).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_micros() >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.99), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record(Duration::from_micros((t * 1000 + i) as u64));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -41,6 +41,7 @@ pub use netalign_core as core;
 pub use netalign_data as data;
 pub use netalign_graph as graph;
 pub use netalign_matching as matching;
+pub use netalign_serve as serve;
 
 pub mod prelude {
     //! One-stop imports for applications.

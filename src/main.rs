@@ -40,7 +40,7 @@ use std::process::exit;
 
 fn help_text() -> String {
     format!(
-        "usage: netalignmc <stats|align|generate> [--flag value]...\n\
+        "usage: netalignmc <stats|align|generate|serve> [--flag value]...\n\
          \n\
          align flags (see the crate docs for the full list):\n\
          \x20 --a A.el --b B.el --l L.smat   input graphs\n\
@@ -51,6 +51,13 @@ fn help_text() -> String {
          \x20 --soft-iter-ms N               per-iteration soft budget (degradation only)\n\
          \x20 --watchdog-ms N                cancel cleanly when no progress for N ms\n\
          \x20 --on-deadline best-so-far|checkpoint|error   (default best-so-far)\n\
+         \n\
+         serve flags (alignment-as-a-service daemon; see netalignd --help):\n\
+         \x20 --addr HOST:PORT               bind address (default 127.0.0.1:7464)\n\
+         \x20 --cache-capacity N             warm problems kept resident (default 8)\n\
+         \x20 --queue-capacity N             admission bound; overflow answers 429\n\
+         \x20 --watchdog-ms N                per-solve stall watchdog (0 disables)\n\
+         \x20 --threads N                    solver worker threads\n\
          \n\
          {}",
         exitcode::HELP_TABLE
@@ -95,6 +102,7 @@ fn main() {
         "stats" => cmd_stats(&flags),
         "align" => cmd_align(&flags),
         "generate" => cmd_generate(&flags),
+        "serve" => cmd_serve(&flags),
         other => {
             eprintln!("unknown subcommand '{other}'");
             usage()
@@ -122,6 +130,55 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
         eprintln!("invalid {what}: '{s}'");
         exit(exitcode::USAGE)
     })
+}
+
+/// `netalignmc serve`: run the alignment daemon in-process (same
+/// runtime as the standalone `netalignd` binary).
+fn cmd_serve(flags: &HashMap<String, String>) {
+    use netalignmc::serve::{ServerHandle, ServerOptions};
+    let defaults = ServerOptions::default();
+    let opts = ServerOptions {
+        addr: get_or(flags, "addr", "127.0.0.1:7464").to_string(),
+        cache_capacity: parse_num(
+            get_or(
+                flags,
+                "cache-capacity",
+                &defaults.cache_capacity.to_string(),
+            ),
+            "--cache-capacity",
+        ),
+        queue_capacity: parse_num(
+            get_or(
+                flags,
+                "queue-capacity",
+                &defaults.queue_capacity.to_string(),
+            ),
+            "--queue-capacity",
+        ),
+        max_frame_bytes: parse_num(
+            get_or(
+                flags,
+                "max-frame-bytes",
+                &defaults.max_frame_bytes.to_string(),
+            ),
+            "--max-frame-bytes",
+        ),
+        watchdog_ms: match parse_num::<u64>(get_or(flags, "watchdog-ms", "30000"), "--watchdog-ms")
+        {
+            0 => None,
+            ms => Some(ms),
+        },
+        threads: flags.get("threads").map(|t| parse_num(t, "--threads")),
+    };
+    let handle = ServerHandle::start(opts).unwrap_or_else(|e| {
+        eprintln!("serve: bind failed: {e}");
+        exit(exitcode::IO)
+    });
+    println!("netalignd listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    handle.wait();
+    exit(exitcode::OK)
 }
 
 fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {

@@ -167,6 +167,10 @@ pub fn outcome_or_exit(name: &str, r: Result<AlignOutcome, HarnessError>) -> Ali
             );
             std::process::exit(exitcode::DEADLINE);
         }
+        Err(HarnessError::Delta(e)) => {
+            eprintln!("error: delta re-alignment failed for '{name}': {e}");
+            std::process::exit(exitcode::INTERNAL);
+        }
         Err(HarnessError::Checkpoint(e)) => {
             eprintln!("error: checkpoint/resume failed for '{name}': {e}");
             std::process::exit(match e {

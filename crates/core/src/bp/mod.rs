@@ -152,6 +152,10 @@ pub struct BpEngine<'a> {
     batch_override: Option<usize>,
     best: Option<(f64, usize)>,
     best_g: Vec<f64>,
+    // Trajectory recorder for incremental re-alignment: when attached,
+    // every post-damping iterate and every rounded stage is captured so
+    // a later structural delta can be replayed sparsely (crate::delta).
+    recorder: Option<crate::delta::TrajectoryRecorder>,
     // Observability.
     trace: RunTrace,
     counters: MatcherCounters,
@@ -204,6 +208,7 @@ impl<'a> BpEngine<'a> {
             batch_override: None,
             best: None,
             best_g: vec![0.0; m],
+            recorder: None,
             trace,
             counters: MatcherCounters::new(config.trace_matcher),
             history: Vec::with_capacity(if config.record_history {
@@ -338,7 +343,13 @@ impl<'a> BpEngine<'a> {
                 self.trace.algo.numeric_recoveries += 1;
                 self.trace.add(Step::Guard, t0.elapsed());
                 // Nothing of this iteration survives: no messages were
-                // produced and no iterate is staged for rounding.
+                // produced and no iterate is staged for rounding. The
+                // trajectory still needs this iteration's (rolled-back)
+                // state so slot `k` stays the post-iteration-`k` state.
+                if let Some(rec) = &mut self.recorder {
+                    rec.note_recovery();
+                    rec.record_iteration(k, &self.y, &self.z, &self.sk);
+                }
                 return;
             }
         }
@@ -357,6 +368,10 @@ impl<'a> BpEngine<'a> {
         buf.copy_from_slice(&self.z);
         self.pending_bufs.push(buf);
         self.pending_iter.push(k);
+
+        if let Some(rec) = &mut self.recorder {
+            rec.record_iteration(k, &self.y, &self.z, &self.sk);
+        }
     }
 
     /// Whether the staged iterates should be rounded now: the batch is
@@ -485,6 +500,7 @@ impl<'a> BpEngine<'a> {
             history,
             best,
             best_g,
+            recorder,
             trace,
             ..
         } = self;
@@ -497,6 +513,9 @@ impl<'a> BpEngine<'a> {
             let engine = &mut rounding[idx % 2];
             let matching = engine.run(&p.l, g, counters);
             let value = evaluate_matching_with_scratch(p, matching, alpha, beta, eval_marks);
+            if let Some(rec) = recorder.as_mut() {
+                rec.record_stage(iter_k, idx % 2, matching, value);
+            }
             if record_history {
                 history.push(IterationRecord {
                     iteration: iter_k,
@@ -520,6 +539,22 @@ impl<'a> BpEngine<'a> {
     /// Close the current iteration's trace row.
     pub fn end_iteration(&mut self) {
         self.trace.end_iteration();
+    }
+
+    /// Attach a trajectory recorder (incremental re-alignment support).
+    /// Requires engine-mode rounding: the legacy `round_batch_traced`
+    /// path does not drive the stage hook.
+    pub fn set_recorder(&mut self, recorder: crate::delta::TrajectoryRecorder) {
+        assert!(
+            !self.rounding.is_empty(),
+            "trajectory recording requires engine-mode rounding (config.rounding)"
+        );
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach and return the recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<crate::delta::TrajectoryRecorder> {
+        self.recorder.take()
     }
 
     /// Snapshot the engine for [`crate::checkpoint`]. Taken at an

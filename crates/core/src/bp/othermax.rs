@@ -16,8 +16,10 @@ use netalign_graph::{BipartiteGraph, VertexId};
 use rayon::prelude::*;
 
 /// Find `(max, second_max, argmax_position)` of an iterator of values.
+/// `pub(crate)` so the delta replay recomputes othermax entries with
+/// bit-identical comparison order.
 #[inline]
-fn max2(vals: impl Iterator<Item = f64>) -> (f64, f64, usize) {
+pub(crate) fn max2(vals: impl Iterator<Item = f64>) -> (f64, f64, usize) {
     let mut max1 = f64::NEG_INFINITY;
     let mut max2 = f64::NEG_INFINITY;
     let mut arg = usize::MAX;

@@ -68,6 +68,7 @@ use crate::checkpoint::{
     write_checkpoint, CheckpointError, CheckpointState, EngineKind,
 };
 use crate::config::{AlignConfig, CheckpointPolicy, TimeBudget};
+use crate::delta::{self, BpTrajectory, DeltaBase, DeltaError, DeltaStats, ProblemDelta};
 use crate::mr::MrEngine;
 use crate::problem::NetAlignProblem;
 use crate::result::AlignmentResult;
@@ -162,11 +163,20 @@ pub enum HarnessError {
         /// Iterations fully completed before expiry.
         iterations_run: usize,
     },
+    /// A delta record/replay failure (malformed delta, unrecordable
+    /// config, or a base whose trajectory cannot be replayed).
+    Delta(DeltaError),
 }
 
 impl From<CheckpointError> for HarnessError {
     fn from(e: CheckpointError) -> Self {
         HarnessError::Checkpoint(e)
+    }
+}
+
+impl From<DeltaError> for HarnessError {
+    fn from(e: DeltaError) -> Self {
+        HarnessError::Delta(e)
     }
 }
 
@@ -178,6 +188,7 @@ impl std::fmt::Display for HarnessError {
                 f,
                 "time budget expired after {iterations_run} iterations (deadline policy: error)"
             ),
+            HarnessError::Delta(e) => write!(f, "{e}"),
         }
     }
 }
@@ -187,6 +198,7 @@ impl std::error::Error for HarnessError {
         match self {
             HarnessError::Checkpoint(e) => Some(e),
             HarnessError::DeadlineExceeded { .. } => None,
+            HarnessError::Delta(e) => Some(e),
         }
     }
 }
@@ -599,6 +611,69 @@ impl RunHarness {
         };
         Ok((outcome, engine.release_rounding()))
     }
+
+    /// Run belief propagation while recording its full per-iteration
+    /// trajectory, enabling later [`run_bp_delta`](Self::run_bp_delta)
+    /// calls. Recording requires a deterministic, uninterrupted run, so
+    /// this path ignores the harness's budget/deadline/checkpoint
+    /// machinery and always completes the full iteration count. `warm`
+    /// matcher engines are adopted exactly as in
+    /// [`run_bp_warm`](Self::run_bp_warm).
+    pub fn run_bp_recorded(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+        warm: Vec<MatcherEngine>,
+    ) -> Result<(AlignOutcome, BpTrajectory, Vec<MatcherEngine>), HarnessError> {
+        let (result, trajectory, engines) = delta::record_bp(p, config, warm)?;
+        Ok((
+            AlignOutcome::completed(result, config.iterations),
+            trajectory,
+            engines,
+        ))
+    }
+
+    /// Re-align an edited instance from a recorded [`DeltaBase`]: patch
+    /// the problem (including the squares matrix) in place of a
+    /// rebuild, replay only the iterations/rows the delta actually
+    /// perturbs, and reuse rounded stages whose inputs are bitwise
+    /// unchanged. The result is bit-identical to a cold re-solve of the
+    /// patched instance; `base` advances so further deltas chain.
+    pub fn run_bp_delta(
+        &self,
+        base: &mut DeltaBase,
+        delta: &ProblemDelta,
+    ) -> Result<(AlignOutcome, DeltaStats), HarnessError> {
+        let (result, stats) = base.apply(delta)?;
+        let iterations = base.config().iterations;
+        Ok((AlignOutcome::completed(result, iterations), stats))
+    }
+
+    /// Re-align an edited instance with the matching relaxation. MR's
+    /// subgradient state has no sparse-replay story (every multiplier
+    /// couples through the global matching), so this patches the
+    /// problem — reusing the squares matrix — and re-solves warm. The
+    /// result is trivially bit-identical to a cold run on the patched
+    /// instance; the returned problem is the patched one, for chaining.
+    pub fn run_mr_delta(
+        &self,
+        p: &NetAlignProblem,
+        config: &AlignConfig,
+        delta: &ProblemDelta,
+        warm: Vec<MatcherEngine>,
+    ) -> Result<
+        (
+            NetAlignProblem,
+            AlignOutcome,
+            Vec<MatcherEngine>,
+            crate::squares::SquaresPatchStats,
+        ),
+        HarnessError,
+    > {
+        let (patched, stats) = delta::patch_problem(p, delta)?;
+        let (outcome, engines) = self.run_mr_warm(&patched, config, warm)?;
+        Ok((patched, outcome, engines, stats))
+    }
 }
 
 /// How an early stop ended, before the outcome is assembled.
@@ -619,13 +694,20 @@ enum Verdict {
     Cancelled,
 }
 
-/// Per-run deadline/ladder state. Owns the global current-token
+/// Per-run deadline/ladder state. Owns the run's scoped token
 /// registration and the watchdog; [`BudgetDriver::finish`] (or drop)
 /// releases both so the final assembly and later runs are unaffected.
+/// Registration is *scoped* — each driver gets its own cancel scope id,
+/// made current on the driving thread and adopted by every parallel
+/// region the run publishes — so concurrent harness runs in one
+/// process never observe each other's deadlines.
 struct BudgetDriver {
     token: CancelToken,
     watchdog: Option<Watchdog>,
-    installed: bool,
+    /// This run's registered cancel scope (0 = not registered).
+    scope: u64,
+    /// The driving thread's previous scope, restored on release.
+    prev_scope: u64,
     /// EWMA of per-iteration wall-clock cost, seconds.
     ewma: Option<f64>,
     /// Highest rung engaged so far (monotone, 0–3).
@@ -654,20 +736,24 @@ impl BudgetDriver {
         };
         // The runtime hook only needs the token when something can
         // actually fire; an unbounded, watchdog-less run skips the
-        // global registration entirely (and pays nothing per chunk).
+        // registration entirely (and pays nothing per chunk).
         let bounded = harness.budget.is_bounded()
             || harness.watchdog_stall.is_some()
             || harness.cancel_token.is_some()
             || injected.is_some();
-        if bounded {
-            cancel::set_current(Some(token.clone()));
-        }
+        let (scope, prev_scope) = if bounded {
+            let scope = cancel::register(token.clone());
+            (scope, rayon::set_cancel_scope(scope))
+        } else {
+            (0, 0)
+        };
         let watchdog = harness
             .watchdog_stall
             .map(|stall| Watchdog::spawn(token.clone(), stall));
         BudgetDriver {
             watchdog,
-            installed: bounded,
+            scope,
+            prev_scope,
             ewma: None,
             rung: 0,
             injected,
@@ -758,7 +844,7 @@ impl BudgetDriver {
         self.token.reason()
     }
 
-    /// Release the watchdog and the global token registration (so the
+    /// Release the watchdog and the scoped token registration (so the
     /// final assembly cannot be cancelled by the expired deadline) and
     /// report the highest rung engaged.
     fn finish(&mut self, stop: &Option<Stop>) -> u8 {
@@ -774,9 +860,10 @@ impl BudgetDriver {
 
     fn release(&mut self) {
         self.watchdog = None;
-        if self.installed {
-            cancel::set_current(None);
-            self.installed = false;
+        if self.scope != 0 {
+            rayon::set_cancel_scope(self.prev_scope);
+            cancel::deregister(self.scope);
+            self.scope = 0;
         }
     }
 }
@@ -1000,10 +1087,60 @@ mod tests {
         assert_eq!(outcome.result.matching, short.matching);
     }
 
-    // Tests that actually *cancel* a globally installed token live in
-    // tests/deadline.rs: a latched token cancels any concurrently
-    // running parallel region in this process, so they must run in a
-    // binary where every test serializes through the fault lock.
+    // Tests that actually *cancel* a registered token live in
+    // tests/deadline.rs, alongside the concurrent-runs test showing a
+    // latched token only stops its own scoped run.
+
+    #[test]
+    fn recorded_and_delta_runs_match_cold_solves() {
+        let _guard = faults::test_lock();
+        let p = tiny_problem();
+        let cfg = AlignConfig {
+            iterations: 10,
+            record_history: true,
+            rounding: Some(netalign_matching::RoundingMatcher::Ld),
+            warm_start: true,
+            ..Default::default()
+        };
+        let harness = RunHarness::new();
+        let (outcome, trajectory, engines) = harness
+            .run_bp_recorded(&p, &cfg, Vec::new())
+            .expect("recorded run");
+        assert_eq!(outcome.completion, Completion::Completed);
+        assert_eq!(trajectory.iterations(), 10);
+
+        // Reweight one candidate and replay.
+        let (a0, b0) = p.l.endpoints(4);
+        let delta = ProblemDelta {
+            l: crate::delta::CandidateDelta {
+                reweight: vec![(a0, b0, 2.5)],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut base = DeltaBase::from_parts(p.clone(), cfg, trajectory, engines);
+        let (replayed, stats) = harness.run_bp_delta(&mut base, &delta).expect("delta run");
+        assert!(stats.delta_reused_iterations >= 1);
+
+        let (patched, _) = delta::patch_problem(&p, &delta).expect("patch");
+        let cold = crate::bp::belief_propagation(&patched, &cfg);
+        assert_eq!(replayed.result.matching, cold.matching);
+        assert_eq!(
+            replayed.result.objective.to_bits(),
+            cold.objective.to_bits()
+        );
+
+        // MR delta: patched problem + warm re-solve ≡ cold on patched.
+        let (mr_p, mr_outcome, _, _) = harness
+            .run_mr_delta(&p, &cfg, &delta, Vec::new())
+            .expect("mr delta");
+        let mr_cold = crate::mr::matching_relaxation(&mr_p, &cfg);
+        assert_eq!(mr_outcome.result.matching, mr_cold.matching);
+        assert_eq!(
+            mr_outcome.result.objective.to_bits(),
+            mr_cold.objective.to_bits()
+        );
+    }
 
     #[test]
     fn expired_budget_with_error_policy_is_an_error() {

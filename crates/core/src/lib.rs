@@ -51,6 +51,7 @@ pub mod baselines;
 pub mod bp;
 pub mod checkpoint;
 pub mod config;
+pub mod delta;
 pub mod exitcode;
 pub mod harness;
 pub mod mr;

@@ -39,6 +39,27 @@ impl NetAlignProblem {
         Self { a, b, l, s }
     }
 
+    /// Assemble a problem from parts with a pre-built (e.g. patched)
+    /// squares matrix, skipping the eager `S` construction.
+    ///
+    /// # Panics
+    /// Panics if `L`'s sides don't match the vertex counts of `A`/`B`
+    /// or `S`'s dimension doesn't match `|E_L|`.
+    pub fn from_parts(a: Graph, b: Graph, l: BipartiteGraph, s: SquaresMatrix) -> Self {
+        assert_eq!(
+            l.num_left(),
+            a.num_vertices(),
+            "L's left side must index V_A"
+        );
+        assert_eq!(
+            l.num_right(),
+            b.num_vertices(),
+            "L's right side must index V_B"
+        );
+        assert_eq!(s.dim(), l.num_edges(), "S must be indexed by E_L");
+        Self { a, b, l, s }
+    }
+
     /// Number of candidate matches `|E_L|`.
     pub fn num_candidates(&self) -> usize {
         self.l.num_edges()

@@ -27,6 +27,19 @@ pub struct SquaresMatrix {
     transpose_perm: Permutation,
 }
 
+/// What [`SquaresMatrix::patch`] did, for delta-solve reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SquaresPatchStats {
+    /// Rows re-enumerated from the patched graphs.
+    pub rows_reenumerated: usize,
+    /// Rows whose old column lists were carried over through the remap.
+    pub rows_reused: usize,
+    /// Entries carried over without re-enumeration.
+    pub entries_reused: usize,
+    /// Total entries in the patched matrix.
+    pub nnz: usize,
+}
+
 impl SquaresMatrix {
     /// Enumerate all squares between `A`, `B`, `L` in parallel and
     /// assemble the CSR pattern.
@@ -78,6 +91,140 @@ impl SquaresMatrix {
             pattern,
             transpose_perm,
         }
+    }
+
+    /// Patch this matrix after a structural delta instead of rebuilding
+    /// it from scratch.
+    ///
+    /// `a2`/`b2`/`l2` are the *patched* graphs. `old_to_new` maps old
+    /// `L` edge ids to new ones (`usize::MAX` = removed), `new_to_old`
+    /// is its inverse (`usize::MAX` = brand-new edge). `core_rows` is
+    /// the sorted set of new row ids whose square set may have changed
+    /// — the caller derives it from the delta (new rows, rows touching
+    /// A/B-delta vertices, partner rows of L-delta edges). Every other
+    /// row's old column list is carried over through the id remap;
+    /// only core rows are re-enumerated with [`SquaresMatrix::build`]'s
+    /// algorithm, so the result is bit-identical to a full rebuild at a
+    /// fraction of the work.
+    ///
+    /// Returns the patched matrix, one `shape_preserved` flag per core
+    /// row (true when its column set is unchanged modulo renumbering —
+    /// per-entry row state like `sk` can then be carried over 1:1), and
+    /// patch statistics.
+    pub fn patch(
+        &self,
+        a2: &Graph,
+        b2: &Graph,
+        l2: &BipartiteGraph,
+        old_to_new: &[usize],
+        new_to_old: &[usize],
+        core_rows: &[EdgeId],
+    ) -> (SquaresMatrix, Vec<bool>, SquaresPatchStats) {
+        assert!(
+            l2.num_edges() < u32::MAX as usize - 1,
+            "edge ids must fit in u32"
+        );
+        let m2 = l2.num_edges();
+        assert_eq!(old_to_new.len(), self.dim());
+        assert_eq!(new_to_old.len(), m2);
+        debug_assert!(core_rows.windows(2).all(|w| w[0] < w[1]));
+
+        // Re-enumerate core rows with build()'s exact per-row algorithm.
+        let core_cols: Vec<Vec<VertexId>> = core_rows
+            .par_iter()
+            .map(|&e| {
+                let (i, ip) = l2.endpoints(e);
+                let mut cols: Vec<VertexId> = Vec::new();
+                for &j in a2.neighbors(i) {
+                    for &jp in b2.neighbors(ip) {
+                        if let Some(f) = l2.edge_id(j, jp) {
+                            debug_assert_ne!(f, e, "squares cannot be diagonal");
+                            cols.push(f as VertexId);
+                        }
+                    }
+                }
+                cols.sort_unstable();
+                cols
+            })
+            .collect();
+
+        // Assemble: core rows take their fresh lists; every other row
+        // remaps its old column list (monotone map keeps it sorted).
+        let mut rowptr = Vec::with_capacity(m2 + 1);
+        rowptr.push(0usize);
+        let mut colidx: Vec<VertexId> = Vec::with_capacity(self.nnz());
+        let mut shape_preserved = vec![false; core_rows.len()];
+        let mut entries_reused = 0usize;
+        let mut core_iter = core_rows.iter().zip(core_cols.iter()).peekable();
+        for e in 0..m2 {
+            match core_iter.peek() {
+                Some(&(&ce, cols)) if ce == e => {
+                    // Shape is preserved when the old row exists and its
+                    // surviving remapped columns equal the fresh list.
+                    let old = new_to_old[e];
+                    if old != usize::MAX {
+                        let old_cols = self.row_cols(old);
+                        shape_preserved[core_rows.binary_search(&e).unwrap()] = old_cols.len()
+                            == cols.len()
+                            && old_cols
+                                .iter()
+                                .zip(cols.iter())
+                                .all(|(&oc, &nc)| old_to_new[oc as usize] == nc as usize);
+                    }
+                    colidx.extend_from_slice(cols);
+                    core_iter.next();
+                }
+                _ => {
+                    let old = new_to_old[e];
+                    debug_assert_ne!(old, usize::MAX, "non-core rows must map to an old row");
+                    for &oc in self.row_cols(old) {
+                        let nc = old_to_new[oc as usize];
+                        debug_assert_ne!(
+                            nc,
+                            usize::MAX,
+                            "a non-core row referenced a removed column — its partner \
+                             rows were not all marked core"
+                        );
+                        colidx.push(nc as VertexId);
+                    }
+                    entries_reused += colidx.len() - rowptr[e];
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        let nnz = colidx.len();
+        let vals = vec![1.0f64; nnz];
+        let pattern = CsrMatrix::from_raw(m2, m2, rowptr, colidx, vals);
+        debug_assert!(pattern.is_structurally_symmetric());
+
+        // Transpose permutation via the same next-slot walk as
+        // `CsrMatrix::transpose_permutation`, but without its O(nnz log)
+        // symmetry assertion on the hot path (debug-checked above).
+        let mut perm = vec![0usize; nnz];
+        let mut next = pattern.rowptr().to_vec();
+        for row in 0..m2 {
+            for e in pattern.row_range(row) {
+                let c = pattern.colidx()[e] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                perm[slot] = e;
+            }
+        }
+        let transpose_perm = Permutation::from_vec(perm);
+        let stats = SquaresPatchStats {
+            rows_reenumerated: core_rows.len(),
+            rows_reused: m2 - core_rows.len(),
+            entries_reused,
+            nnz,
+        };
+        (
+            SquaresMatrix {
+                pattern,
+                transpose_perm,
+            },
+            shape_preserved,
+            stats,
+        )
     }
 
     /// Number of stored entries (each overlapping pair counts twice —
@@ -230,6 +377,52 @@ mod tests {
         let mut back = vec![0.0; s.nnz()];
         s.transpose_vals_into(&t, &mut back);
         assert_eq!(vals, back); // transpose is an involution
+    }
+
+    #[test]
+    fn patch_with_all_core_rows_matches_rebuild() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        // Remove candidate (0,1), add (1,0); drop A edge (2,0).
+        let d = netalign_graph::delta::CandidateDelta {
+            insert: vec![(1, 0, 0.4)],
+            remove: vec![(0, 1)],
+            ..Default::default()
+        };
+        let applied = d.apply(&l).unwrap();
+        let a2 = netalign_graph::delta::GraphDelta {
+            remove: vec![(2, 0)],
+            ..Default::default()
+        }
+        .apply(&a)
+        .unwrap();
+        let core: Vec<EdgeId> = (0..applied.graph.num_edges()).collect();
+        let (patched, _, stats) = s.patch(
+            &a2,
+            &b,
+            &applied.graph,
+            &applied.old_to_new,
+            &applied.new_to_old(),
+            &core,
+        );
+        let rebuilt = SquaresMatrix::build(&a2, &b, &applied.graph);
+        assert_eq!(patched.pattern(), rebuilt.pattern());
+        assert_eq!(patched.transpose_perm(), rebuilt.transpose_perm());
+        assert_eq!(stats.rows_reenumerated, core.len());
+        assert_eq!(stats.rows_reused, 0);
+    }
+
+    #[test]
+    fn patch_with_no_core_rows_keeps_the_pattern() {
+        // A pure reweight never changes S: empty core set, identity map.
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        let ids: Vec<usize> = (0..l.num_edges()).collect();
+        let (patched, flags, stats) = s.patch(&a, &b, &l, &ids, &ids, &[]);
+        assert_eq!(patched.pattern(), s.pattern());
+        assert_eq!(patched.transpose_perm(), s.transpose_perm());
+        assert!(flags.is_empty());
+        assert_eq!(stats.entries_reused, s.nnz());
     }
 
     #[test]

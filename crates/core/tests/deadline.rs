@@ -13,11 +13,12 @@
 //! * completions, cancel reasons and the degradation-ladder rung are
 //!   reported faithfully.
 //!
-//! The current cancel token is process-global (the runtime hook is a
-//! bare `fn` pointer), and several tests here genuinely latch it — so
-//! EVERY test in this binary takes `faults::test_lock()` first; the
-//! really-cancelling cases cannot live in any binary whose other tests
-//! run unserialized parallel regions.
+//! Cancel tokens are registered in a *scoped* registry keyed by the
+//! runtime's per-thread cancel scope, so a latched token only ever
+//! stops its own run — concurrent harness runs are independent (see
+//! `concurrent_harness_runs_cancel_independently`). The fault plan is
+//! still process-global, so EVERY test in this binary takes
+//! `faults::test_lock()` first.
 
 use netalign_core::prelude::*;
 use netalign_core::trace::faults;
@@ -299,4 +300,69 @@ fn soft_iteration_budget_escalates_but_completes() {
         outcome.ladder_rung
     );
     assert!(outcome.result.objective.is_finite());
+}
+
+#[test]
+fn concurrent_harness_runs_cancel_independently() {
+    let _guard = faults::test_lock();
+    let p = problem();
+    let cfg = AlignConfig {
+        iterations: 12,
+        record_history: true,
+        ..Default::default()
+    };
+    let reference = netalign_core::belief_propagation(&p, &cfg);
+
+    // Two harness runs overlap in one process, each with its own
+    // registered token. Cancelling the long run must not disturb the
+    // short one: tokens live in a scoped registry, not a single
+    // process-global slot.
+    let start = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let victim_token = CancelToken::new();
+    let victim = std::thread::spawn({
+        let p = p.clone();
+        let token = victim_token.clone();
+        let start = std::sync::Arc::clone(&start);
+        move || {
+            let long = AlignConfig {
+                iterations: 1_000_000,
+                ..Default::default()
+            };
+            start.wait();
+            RunHarness::new()
+                .with_cancel_token(token)
+                .run_bp(&p, &long)
+                .expect("cancelled run still returns an outcome")
+        }
+    });
+    let bystander = std::thread::spawn({
+        let p = p.clone();
+        let start = std::sync::Arc::clone(&start);
+        move || {
+            start.wait();
+            RunHarness::new()
+                .with_cancel_token(CancelToken::new())
+                .run_bp(&p, &cfg)
+                .expect("bystander run")
+        }
+    });
+    start.wait();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    victim_token.cancel(CancelReason::Manual);
+
+    let victim_outcome = victim.join().expect("victim thread");
+    let bystander_outcome = bystander.join().expect("bystander thread");
+    assert_eq!(victim_outcome.completion, Completion::Cancelled);
+    assert_eq!(victim_outcome.cancel_reason, Some(CancelReason::Manual));
+    assert_eq!(
+        bystander_outcome.completion,
+        Completion::Completed,
+        "a sibling run's cancellation leaked into this run"
+    );
+    assert_eq!(bystander_outcome.iterations_run, 12);
+    assert_bit_identical(
+        &reference,
+        &bystander_outcome.result,
+        "bystander vs undisturbed",
+    );
 }

@@ -1,0 +1,650 @@
+//! Structural deltas against frozen graphs.
+//!
+//! The aligners freeze every structure up front (CSR matrices, the
+//! dual-CSR candidate graph), which is exactly right for one solve but
+//! wrong for an *evolving* problem where a handful of edges arrive or
+//! expire between solves. This module provides the delta layer:
+//!
+//! * [`CsrDelta`] — a set of pending entry edits against a frozen
+//!   [`CsrMatrix`] base, with an explicit [`CsrDelta::compact`] back to
+//!   a plain CSR that is bit-identical to rebuilding the matrix from
+//!   the edited entry list.
+//! * [`GraphDelta`] — edge inserts/removes against an undirected
+//!   [`Graph`] (`A`/`B`), applied by canonical rebuild.
+//! * [`CandidateDelta`] — edge inserts/expires/reweights against the
+//!   candidate graph `L`, applied by canonical rebuild **plus** the
+//!   old→new edge-id map the incremental aligner needs to carry
+//!   per-edge state (messages, squares rows) across the renumbering.
+//!
+//! "Canonical rebuild" means the result is the same object the
+//! constructor (`Graph::from_edges` / `BipartiteGraph::from_entries`)
+//! would build from the edited edge list — so downstream consumers see
+//! no difference between a patched graph and a cold-loaded one, and the
+//! survivor id maps are strictly increasing (both orderings are
+//! row-major).
+
+use crate::bipartite::BipartiteGraph;
+use crate::csr::CsrMatrix;
+use crate::undirected::Graph;
+use crate::{EdgeId, VertexId};
+use std::collections::BTreeMap;
+
+/// Sentinel in old→new edge-id maps for an edge that was removed.
+pub const REMOVED: usize = usize::MAX;
+
+/// Why a delta could not be applied. All variants are *input* errors:
+/// the base graph is never modified, so the caller can report the
+/// problem and keep serving from the unchanged base.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// An endpoint is outside the base graph's vertex range.
+    OutOfRange(String),
+    /// An inserted edge already exists (use a reweight for `L`).
+    AlreadyPresent(String),
+    /// A removed or reweighted edge does not exist.
+    Missing(String),
+    /// The same edge appears in more than one edit list.
+    Conflicting(String),
+    /// A weight is not finite, or the edited graph is invalid
+    /// (e.g. `L` left with no edges).
+    Invalid(String),
+    /// The delta is well-formed but cannot be replayed against the
+    /// recorded base (wrong config, missing trajectory, recoveries).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::OutOfRange(m) => write!(f, "out of range: {m}"),
+            DeltaError::AlreadyPresent(m) => write!(f, "already present: {m}"),
+            DeltaError::Missing(m) => write!(f, "missing: {m}"),
+            DeltaError::Conflicting(m) => write!(f, "conflicting edits: {m}"),
+            DeltaError::Invalid(m) => write!(f, "invalid: {m}"),
+            DeltaError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+// ---------------------------------------------------------------------
+// CsrDelta
+// ---------------------------------------------------------------------
+
+/// Pending entry edits against a frozen CSR base.
+///
+/// Edits accumulate in sorted per-row maps; the base matrix is never
+/// touched. [`CsrDelta::compact`] merges the edits into a fresh
+/// [`CsrMatrix`] that is bit-identical to rebuilding from the edited
+/// entry list. Removes are applied before upserts, so
+/// `remove(r, c)` followed by `insert(r, c, v)` leaves `(r, c, v)`.
+pub struct CsrDelta<'a> {
+    base: &'a CsrMatrix,
+    /// Per (row, col): `Some(v)` = upsert, `None` = remove.
+    edits: BTreeMap<(usize, usize), Option<f64>>,
+}
+
+impl<'a> CsrDelta<'a> {
+    /// A delta with no pending edits.
+    pub fn new(base: &'a CsrMatrix) -> Self {
+        CsrDelta {
+            base,
+            edits: BTreeMap::new(),
+        }
+    }
+
+    /// The frozen base.
+    pub fn base(&self) -> &CsrMatrix {
+        self.base
+    }
+
+    /// Upsert entry `(row, col) = val`: replaces the base value if the
+    /// entry exists, inserts it otherwise. Overwrites any earlier
+    /// pending edit of the same entry.
+    pub fn insert(&mut self, row: usize, col: usize, val: f64) -> Result<(), DeltaError> {
+        self.check_range(row, col)?;
+        if !val.is_finite() {
+            return Err(DeltaError::Invalid(format!(
+                "value at ({row}, {col}) must be finite"
+            )));
+        }
+        self.edits.insert((row, col), Some(val));
+        Ok(())
+    }
+
+    /// Expire entry `(row, col)`. Fails if the entry exists neither in
+    /// the base nor as a pending insert.
+    pub fn remove(&mut self, row: usize, col: usize) -> Result<(), DeltaError> {
+        self.check_range(row, col)?;
+        let in_base = self.base.find_entry(row, col as VertexId).is_some();
+        let pending = matches!(self.edits.get(&(row, col)), Some(Some(_)));
+        if !in_base && !pending {
+            return Err(DeltaError::Missing(format!("entry ({row}, {col})")));
+        }
+        self.edits.insert((row, col), None);
+        Ok(())
+    }
+
+    /// Number of pending edits.
+    pub fn num_pending(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// True when no edits are pending.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Merge the pending edits into a fresh CSR, bit-identical to
+    /// rebuilding the matrix from the edited entry list.
+    pub fn compact(&self) -> CsrMatrix {
+        let nrows = self.base.nrows();
+        let base_rowptr = self.base.rowptr();
+        let base_colidx = self.base.colidx();
+        let base_vals = self.base.vals();
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        let mut colidx = Vec::new();
+        let mut vals = Vec::new();
+        rowptr.push(0usize);
+        let mut edits = self.edits.iter().peekable();
+        for row in 0..nrows {
+            // Merge the sorted base row with the sorted edits of this
+            // row (BTreeMap iterates (row, col) lexicographically).
+            let mut b = base_rowptr[row];
+            let bend = base_rowptr[row + 1];
+            loop {
+                let next_edit = match edits.peek() {
+                    Some(((r, c), v)) if *r == row => Some((*c, **v)),
+                    _ => None,
+                };
+                match (b < bend, next_edit) {
+                    (false, None) => break,
+                    (true, None) => {
+                        colidx.push(base_colidx[b]);
+                        vals.push(base_vals[b]);
+                        b += 1;
+                    }
+                    (false, Some((c, v))) => {
+                        if let Some(v) = v {
+                            colidx.push(c as VertexId);
+                            vals.push(v);
+                        }
+                        edits.next();
+                    }
+                    (true, Some((c, v))) => {
+                        let bc = base_colidx[b] as usize;
+                        if bc < c {
+                            colidx.push(base_colidx[b]);
+                            vals.push(base_vals[b]);
+                            b += 1;
+                        } else {
+                            if let Some(v) = v {
+                                colidx.push(c as VertexId);
+                                vals.push(v);
+                            }
+                            if bc == c {
+                                b += 1; // edited entry shadows the base one
+                            }
+                            edits.next();
+                        }
+                    }
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix::from_raw(nrows, self.base.ncols(), rowptr, colidx, vals)
+    }
+
+    fn check_range(&self, row: usize, col: usize) -> Result<(), DeltaError> {
+        if row >= self.base.nrows() || col >= self.base.ncols() {
+            return Err(DeltaError::OutOfRange(format!(
+                "entry ({row}, {col}) outside {}x{}",
+                self.base.nrows(),
+                self.base.ncols()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// GraphDelta (undirected A / B)
+// ---------------------------------------------------------------------
+
+/// Edge inserts/removes against an undirected graph. Endpoint order is
+/// irrelevant (edges normalize to `u < v`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphDelta {
+    /// Edges to add (must not exist).
+    pub insert: Vec<(VertexId, VertexId)>,
+    /// Edges to expire (must exist).
+    pub remove: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphDelta {
+    /// True when there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty()
+    }
+
+    /// Vertices whose adjacency this delta changes, sorted and deduped.
+    pub fn touched_vertices(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self
+            .insert
+            .iter()
+            .chain(self.remove.iter())
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Apply to `base`, returning the canonically rebuilt graph —
+    /// bit-identical to [`Graph::from_edges`] on the edited edge list.
+    pub fn apply(&self, base: &Graph) -> Result<Graph, DeltaError> {
+        let n = base.num_vertices() as VertexId;
+        let norm = |(u, v): (VertexId, VertexId)| if u <= v { (u, v) } else { (v, u) };
+        let mut removed: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.remove.len());
+        for &e in &self.remove {
+            let (u, v) = norm(e);
+            if u >= n || v >= n {
+                return Err(DeltaError::OutOfRange(format!("edge ({u}, {v})")));
+            }
+            if !base.has_edge(u, v) {
+                return Err(DeltaError::Missing(format!("edge ({u}, {v})")));
+            }
+            removed.push((u, v));
+        }
+        removed.sort_unstable();
+        if removed.windows(2).any(|w| w[0] == w[1]) {
+            return Err(DeltaError::Conflicting("duplicate remove".into()));
+        }
+        let mut inserted: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.insert.len());
+        for &e in &self.insert {
+            let (u, v) = norm(e);
+            if u >= n || v >= n {
+                return Err(DeltaError::OutOfRange(format!("edge ({u}, {v})")));
+            }
+            if u == v {
+                return Err(DeltaError::Invalid(format!("self-loop ({u}, {v})")));
+            }
+            if base.has_edge(u, v) {
+                return Err(DeltaError::AlreadyPresent(format!("edge ({u}, {v})")));
+            }
+            // insert ∩ remove is impossible here: removes must exist in
+            // the base and inserts must not.
+            inserted.push((u, v));
+        }
+        inserted.sort_unstable();
+        if inserted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(DeltaError::Conflicting("duplicate insert".into()));
+        }
+        let edges = base
+            .edges()
+            .filter(|e| removed.binary_search(e).is_err())
+            .chain(inserted.iter().copied());
+        Ok(Graph::from_edges(base.num_vertices(), edges))
+    }
+}
+
+// ---------------------------------------------------------------------
+// CandidateDelta (bipartite L)
+// ---------------------------------------------------------------------
+
+/// Edge inserts/expires/reweights against the candidate graph `L`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CandidateDelta {
+    /// New candidate edges (must not exist; use `reweight` otherwise).
+    pub insert: Vec<(VertexId, VertexId, f64)>,
+    /// Expired candidate edges (must exist).
+    pub remove: Vec<(VertexId, VertexId)>,
+    /// Weight changes on existing edges (must exist).
+    pub reweight: Vec<(VertexId, VertexId, f64)>,
+}
+
+impl CandidateDelta {
+    /// True when there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty() && self.reweight.is_empty()
+    }
+
+    /// True when the delta changes the edge *set* of `L` (and therefore
+    /// renumbers edge ids), as opposed to weights only.
+    pub fn changes_structure(&self) -> bool {
+        !self.insert.is_empty() || !self.remove.is_empty()
+    }
+
+    /// Apply to `base`, returning the canonically rebuilt graph plus
+    /// the id maps incremental consumers need.
+    pub fn apply(&self, base: &BipartiteGraph) -> Result<AppliedCandidateDelta, DeltaError> {
+        let (na, nb) = (base.num_left() as VertexId, base.num_right() as VertexId);
+        let check = |a: VertexId, b: VertexId| {
+            if a >= na || b >= nb {
+                Err(DeltaError::OutOfRange(format!("candidate ({a}, {b})")))
+            } else {
+                Ok(())
+            }
+        };
+        // One sorted edit map — also catches the same pair appearing in
+        // two lists.
+        #[derive(Clone, Copy)]
+        enum Edit {
+            Insert(f64),
+            Remove,
+            Reweight(f64),
+        }
+        let mut edits: BTreeMap<(VertexId, VertexId), Edit> = BTreeMap::new();
+        let mut add = |a: VertexId, b: VertexId, e: Edit| -> Result<(), DeltaError> {
+            if edits.insert((a, b), e).is_some() {
+                return Err(DeltaError::Conflicting(format!(
+                    "candidate ({a}, {b}) edited twice"
+                )));
+            }
+            Ok(())
+        };
+        for &(a, b, w) in &self.insert {
+            check(a, b)?;
+            if !w.is_finite() {
+                return Err(DeltaError::Invalid(format!(
+                    "weight of candidate ({a}, {b}) must be finite"
+                )));
+            }
+            if base.has_edge(a, b) {
+                return Err(DeltaError::AlreadyPresent(format!(
+                    "candidate ({a}, {b}); use reweight"
+                )));
+            }
+            add(a, b, Edit::Insert(w))?;
+        }
+        for &(a, b) in &self.remove {
+            check(a, b)?;
+            if !base.has_edge(a, b) {
+                return Err(DeltaError::Missing(format!("candidate ({a}, {b})")));
+            }
+            add(a, b, Edit::Remove)?;
+        }
+        for &(a, b, w) in &self.reweight {
+            check(a, b)?;
+            if !w.is_finite() {
+                return Err(DeltaError::Invalid(format!(
+                    "weight of candidate ({a}, {b}) must be finite"
+                )));
+            }
+            if !base.has_edge(a, b) {
+                return Err(DeltaError::Missing(format!("candidate ({a}, {b})")));
+            }
+            add(a, b, Edit::Reweight(w))?;
+        }
+
+        let mut entries: Vec<(VertexId, VertexId, f64)> =
+            Vec::with_capacity(base.num_edges() + self.insert.len());
+        for (a, b, e) in base.edge_iter() {
+            match edits.get(&(a, b)) {
+                Some(Edit::Remove) => continue,
+                Some(Edit::Reweight(w)) => entries.push((a, b, *w)),
+                Some(Edit::Insert(_)) => unreachable!("insert of an existing edge was rejected"),
+                None => entries.push((a, b, base.weight(e))),
+            }
+        }
+        for (&(a, b), e) in &edits {
+            if let Edit::Insert(w) = e {
+                entries.push((a, b, *w));
+            }
+        }
+        if entries.is_empty() {
+            return Err(DeltaError::Invalid(
+                "edited candidate graph has no edges".into(),
+            ));
+        }
+        let graph = BipartiteGraph::try_from_entries(na as usize, nb as usize, entries)
+            .map_err(|e| DeltaError::Invalid(format!("edited candidate graph: {e}")))?;
+
+        // Survivor map (strictly increasing: both orderings row-major)
+        // plus the new ids of inserts and reweights.
+        let mut old_to_new = vec![REMOVED; base.num_edges()];
+        for (a, b, e) in base.edge_iter() {
+            if !matches!(edits.get(&(a, b)), Some(Edit::Remove)) {
+                old_to_new[e] = graph
+                    .edge_id(a, b)
+                    .expect("surviving edge is in the rebuilt graph");
+            }
+        }
+        let mut new_edges = Vec::with_capacity(self.insert.len());
+        let mut reweighted = Vec::with_capacity(self.reweight.len());
+        for (&(a, b), e) in &edits {
+            let id = || graph.edge_id(a, b).expect("edited edge is in the graph");
+            match e {
+                Edit::Insert(_) => new_edges.push(id()),
+                Edit::Reweight(_) => reweighted.push(id()),
+                Edit::Remove => {}
+            }
+        }
+        new_edges.sort_unstable();
+        reweighted.sort_unstable();
+        Ok(AppliedCandidateDelta {
+            graph,
+            old_to_new,
+            new_edges,
+            reweighted,
+        })
+    }
+}
+
+/// A [`CandidateDelta`] applied to a base graph.
+pub struct AppliedCandidateDelta {
+    /// The canonically rebuilt candidate graph.
+    pub graph: BipartiteGraph,
+    /// Old edge id → new edge id; [`REMOVED`] for expired edges.
+    /// Strictly increasing over survivors.
+    pub old_to_new: Vec<usize>,
+    /// New ids of the inserted edges, sorted.
+    pub new_edges: Vec<EdgeId>,
+    /// New ids of the reweighted edges, sorted.
+    pub reweighted: Vec<EdgeId>,
+}
+
+impl AppliedCandidateDelta {
+    /// Inverse survivor map: new edge id → old edge id, [`REMOVED`]
+    /// for brand-new edges.
+    pub fn new_to_old(&self) -> Vec<usize> {
+        let mut map = vec![REMOVED; self.graph.num_edges()];
+        for (old, &new) in self.old_to_new.iter().enumerate() {
+            if new != REMOVED {
+                map[new] = old;
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_csr() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+                (2, 3, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn compact_without_edits_is_the_base() {
+        let m = base_csr();
+        let d = CsrDelta::new(&m);
+        assert!(d.is_empty());
+        assert_eq!(d.compact(), m);
+    }
+
+    #[test]
+    fn compact_matches_rebuild() {
+        let m = base_csr();
+        let mut d = CsrDelta::new(&m);
+        d.insert(0, 0, 9.0).unwrap(); // new, before existing cols
+        d.insert(0, 3, 7.0).unwrap(); // upsert
+        d.remove(2, 2).unwrap();
+        d.insert(1, 3, 6.0).unwrap(); // new, after existing cols
+        assert_eq!(d.num_pending(), 4);
+        let rebuilt = CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![
+                (0, 0, 9.0),
+                (0, 1, 1.0),
+                (0, 3, 7.0),
+                (1, 0, 3.0),
+                (1, 3, 6.0),
+                (2, 3, 5.0),
+            ],
+        );
+        assert_eq!(d.compact(), rebuilt);
+    }
+
+    #[test]
+    fn remove_then_insert_reinstates() {
+        let m = base_csr();
+        let mut d = CsrDelta::new(&m);
+        d.remove(0, 1).unwrap();
+        d.insert(0, 1, 8.0).unwrap();
+        assert_eq!(d.compact().get(0, 1), 8.0);
+        // And removing a pending insert works too.
+        let mut d = CsrDelta::new(&m);
+        d.insert(1, 2, 1.5).unwrap();
+        d.remove(1, 2).unwrap();
+        assert_eq!(d.compact(), m);
+    }
+
+    #[test]
+    fn csr_delta_rejects_bad_edits() {
+        let m = base_csr();
+        let mut d = CsrDelta::new(&m);
+        assert!(matches!(
+            d.remove(0, 0),
+            Err(DeltaError::Missing(_)) // not in base
+        ));
+        assert!(matches!(
+            d.insert(3, 0, 1.0),
+            Err(DeltaError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            d.insert(0, 0, f64::NAN),
+            Err(DeltaError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn graph_delta_applies_canonically() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = GraphDelta {
+            insert: vec![(4, 0)], // normalizes to (0, 4)
+            remove: vec![(2, 1)], // normalizes to (1, 2)
+        };
+        let g2 = d.apply(&g).unwrap();
+        let rebuilt = Graph::from_edges(5, vec![(0, 1), (2, 3), (3, 4), (0, 4)]);
+        assert_eq!(g2, rebuilt);
+        assert_eq!(d.touched_vertices(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn graph_delta_rejects_bad_edits() {
+        let g = Graph::from_edges(3, vec![(0, 1)]);
+        let missing = GraphDelta {
+            remove: vec![(1, 2)],
+            ..Default::default()
+        };
+        assert!(matches!(missing.apply(&g), Err(DeltaError::Missing(_))));
+        let dup = GraphDelta {
+            insert: vec![(0, 2), (2, 0)], // same edge twice after normalization
+            ..Default::default()
+        };
+        assert!(matches!(dup.apply(&g), Err(DeltaError::Conflicting(_))));
+        let present = GraphDelta {
+            insert: vec![(1, 0)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            present.apply(&g),
+            Err(DeltaError::AlreadyPresent(_))
+        ));
+    }
+
+    fn base_l() -> BipartiteGraph {
+        BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 0.5), (1, 1, 2.0), (2, 2, 3.0)],
+        )
+    }
+
+    #[test]
+    fn candidate_delta_maps_survivors_monotonically() {
+        let l = base_l();
+        let d = CandidateDelta {
+            insert: vec![(0, 1, 4.0), (2, 0, 1.5)],
+            remove: vec![(0, 2)],
+            reweight: vec![(1, 1, 2.5)],
+        };
+        let applied = d.apply(&l).unwrap();
+        let rebuilt = BipartiteGraph::from_entries(
+            3,
+            3,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 4.0),
+                (1, 1, 2.5),
+                (2, 0, 1.5),
+                (2, 2, 3.0),
+            ],
+        );
+        assert_eq!(applied.graph, rebuilt);
+        // old order: (0,0)=0, (0,2)=1, (1,1)=2, (2,2)=3
+        // new order: (0,0)=0, (0,1)=1, (1,1)=2, (2,0)=3, (2,2)=4
+        assert_eq!(applied.old_to_new, vec![0, REMOVED, 2, 4]);
+        assert_eq!(applied.new_edges, vec![1, 3]);
+        assert_eq!(applied.reweighted, vec![2]);
+        assert_eq!(applied.new_to_old(), vec![0, REMOVED, 2, REMOVED, 4 - 1]);
+        // Survivor map is strictly increasing.
+        let survivors: Vec<usize> = applied
+            .old_to_new
+            .iter()
+            .copied()
+            .filter(|&x| x != REMOVED)
+            .collect();
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn candidate_delta_rejects_bad_edits() {
+        let l = base_l();
+        let d = CandidateDelta {
+            insert: vec![(0, 0, 1.0)],
+            ..Default::default()
+        };
+        assert!(matches!(d.apply(&l), Err(DeltaError::AlreadyPresent(_))));
+        let d = CandidateDelta {
+            reweight: vec![(2, 0, 1.0)],
+            ..Default::default()
+        };
+        assert!(matches!(d.apply(&l), Err(DeltaError::Missing(_))));
+        let d = CandidateDelta {
+            remove: vec![(0, 2)],
+            reweight: vec![(0, 2, 9.0)],
+            ..Default::default()
+        };
+        assert!(matches!(d.apply(&l), Err(DeltaError::Conflicting(_))));
+        let d = CandidateDelta {
+            remove: vec![(0, 0), (0, 2), (1, 1), (2, 2)],
+            ..Default::default()
+        };
+        assert!(matches!(d.apply(&l), Err(DeltaError::Invalid(_))));
+    }
+}

@@ -17,9 +17,13 @@
 //! * [`io`] — SMAT and edge-list readers/writers compatible with the
 //!   formats used by the original `netalign` codes.
 //! * [`permutation`] — permutation vectors and validation helpers.
+//! * [`delta`] — structural deltas (edge insert/expire/reweight) against
+//!   frozen graphs, with canonical-rebuild application and the old→new
+//!   edge-id maps incremental aligners need.
 
 pub mod bipartite;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod permutation;
@@ -30,6 +34,7 @@ pub mod prelude {
     //! Convenient re-exports of the most used types.
     pub use crate::bipartite::{BipartiteGraph, BipartiteGraphBuilder, GraphError};
     pub use crate::csr::CsrMatrix;
+    pub use crate::delta::{CandidateDelta, CsrDelta, DeltaError, GraphDelta};
     pub use crate::permutation::Permutation;
     pub use crate::undirected::{Graph, GraphBuilder};
 }

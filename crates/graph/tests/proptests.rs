@@ -1,5 +1,6 @@
 //! Property-based tests of the graph substrate invariants.
 
+use netalign_graph::delta::CsrDelta;
 use netalign_graph::generators::{graph_from_degree_sequence, power_law_degree_sequence};
 use netalign_graph::{BipartiteGraph, CsrMatrix, Graph};
 use proptest::prelude::*;
@@ -121,5 +122,49 @@ proptest! {
         netalign_graph::io::write_smat(&m, &mut buf).unwrap();
         let back = netalign_graph::io::read_smat(&buf[..]).unwrap();
         prop_assert_eq!(m, back);
+    }
+
+    /// `CsrDelta::compact()` is bit-identical to rebuilding the CSR
+    /// from the edited entry list — the delta overlay is a pure
+    /// optimisation, never a semantic fork.
+    #[test]
+    fn csr_delta_compact_equals_rebuild(
+        (r, c, trips) in arb_triplets(),
+        ops in proptest::collection::vec((0u32..2, 0u32..12, 0u32..12, -5.0f64..5.0), 0..30),
+    ) {
+        // Unique base entries: duplicate triplets accumulate in
+        // implementation-defined order, which would make the f64
+        // comparison about summation order instead of the delta.
+        let mut base_entries = trips;
+        base_entries.sort_by_key(|&(i, j, _)| (i, j));
+        base_entries.dedup_by_key(|&mut (i, j, _)| (i, j));
+        let base = CsrMatrix::from_triplets(r, c, base_entries.clone());
+
+        let mut model: std::collections::BTreeMap<(u32, u32), f64> =
+            base_entries.iter().map(|&(i, j, v)| ((i, j), v)).collect();
+        let base_keys: std::collections::BTreeSet<(u32, u32)> =
+            base_entries.into_iter().map(|(i, j, _)| (i, j)).collect();
+        let mut delta = CsrDelta::new(&base);
+        for (op, row, col, val) in ops {
+            let (row, col) = (row % r as u32, col % c as u32);
+            if op == 0 {
+                delta.insert(row as usize, col as usize, val).unwrap();
+                model.insert((row, col), val);
+            } else if base_keys.contains(&(row, col)) || model.contains_key(&(row, col)) {
+                // Removes of base entries are idempotent (the base is
+                // frozen); removes of never-present entries fail.
+                delta.remove(row as usize, col as usize).unwrap();
+                model.remove(&(row, col));
+            } else {
+                prop_assert!(delta.remove(row as usize, col as usize).is_err());
+            }
+        }
+
+        let rebuilt = CsrMatrix::from_triplets(
+            r,
+            c,
+            model.into_iter().map(|((i, j), v)| (i, j, v)),
+        );
+        prop_assert_eq!(delta.compact(), rebuilt);
     }
 }

@@ -12,26 +12,60 @@ use netalign_graph::{BipartiteGraph, EdgeId};
 /// Greedy maximum-weight matching: ½-approximate in weight and
 /// cardinality.
 pub fn greedy_matching(l: &BipartiteGraph, weights: &[f64]) -> Matching {
-    assert_eq!(weights.len(), l.num_edges());
-    let na = l.num_left();
-    let mut order: Vec<EdgeId> = (0..l.num_edges()).filter(|&e| weights[e] > 0.0).collect();
-    order.sort_unstable_by(|&e1, &e2| {
-        let (a1, b1) = l.endpoints(e1);
-        let (a2, b2) = l.endpoints(e2);
-        let k1 = edge_key(weights[e1], a1, b1, na);
-        let k2 = edge_key(weights[e2], a2, b2, na);
-        // Descending.
-        k2.0.total_cmp(&k1.0)
-            .then_with(|| (k2.1, k2.2).cmp(&(k1.1, k1.2)))
-    });
-    let mut m = Matching::empty(na, l.num_right());
-    for e in order {
-        let (a, b) = l.endpoints(e);
-        if m.left_mates()[a as usize] == UNMATCHED && m.right_mates()[b as usize] == UNMATCHED {
-            m.add_pair(a, b);
+    let mut scratch = GreedyScratch::new(l);
+    scratch.run(l, weights);
+    scratch.out
+}
+
+/// Reusable buffers for repeated [`GreedyScratch::run`] calls over one
+/// graph: the sorted-order vector and the output matching. One sort and
+/// one linear pass per call, no steady-state allocation — the cheap
+/// sequential path for callers that already know the matching is
+/// pool-invariant (greedy ≡ locally-dominant ≡ Suitor on the strict
+/// total order), such as the delta-replay stage rematcher.
+pub struct GreedyScratch {
+    order: Vec<EdgeId>,
+    /// The matching produced by the last [`Self::run`].
+    pub out: Matching,
+}
+
+impl GreedyScratch {
+    /// Preallocate for `l`.
+    pub fn new(l: &BipartiteGraph) -> Self {
+        Self {
+            order: Vec::with_capacity(l.num_edges()),
+            out: Matching::empty(l.num_left(), l.num_right()),
         }
     }
-    m
+
+    /// Compute the greedy matching of `weights` into [`Self::out`] and
+    /// return it.
+    pub fn run(&mut self, l: &BipartiteGraph, weights: &[f64]) -> &Matching {
+        assert_eq!(weights.len(), l.num_edges());
+        let na = l.num_left();
+        self.order.clear();
+        self.order
+            .extend((0..l.num_edges()).filter(|&e| weights[e] > 0.0));
+        self.order.sort_unstable_by(|&e1, &e2| {
+            let (a1, b1) = l.endpoints(e1);
+            let (a2, b2) = l.endpoints(e2);
+            let k1 = edge_key(weights[e1], a1, b1, na);
+            let k2 = edge_key(weights[e2], a2, b2, na);
+            // Descending.
+            k2.0.total_cmp(&k1.0)
+                .then_with(|| (k2.1, k2.2).cmp(&(k1.1, k1.2)))
+        });
+        self.out.clear();
+        for &e in &self.order {
+            let (a, b) = l.endpoints(e);
+            if self.out.left_mates()[a as usize] == UNMATCHED
+                && self.out.right_mates()[b as usize] == UNMATCHED
+            {
+                self.out.add_pair(a, b);
+            }
+        }
+        &self.out
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub mod parallel_ld;
 pub mod path_growing;
 pub mod suitor;
 
-pub use greedy::greedy_matching;
+pub use greedy::{greedy_matching, GreedyScratch};
 pub use local_dominant::serial_local_dominant;
 pub use parallel_ld::{
     parallel_local_dominant, parallel_local_dominant_traced, InitStrategy, ParallelLdOptions,

@@ -34,6 +34,13 @@ impl Matching {
         }
     }
 
+    /// Reset to the empty matching over the same vertex sets, keeping
+    /// the allocations.
+    pub fn clear(&mut self) {
+        self.mate_of_left.fill(UNMATCHED);
+        self.mate_of_right.fill(UNMATCHED);
+    }
+
     /// Build from raw mate arrays.
     ///
     /// # Panics

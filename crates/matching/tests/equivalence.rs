@@ -1,19 +1,21 @@
 //! Cross-implementation equivalence under pool sweeps.
 //!
 //! The locally-dominant matching is unique under the crate's total edge
-//! order, so four independent implementations — serial LD, the paper's
-//! queue-based parallel LD, serial Suitor, and the lock-free parallel
-//! Suitor — must return bit-identical results at every thread count.
-//! Property tests drive random graphs (zero and negative weights
-//! included) through all four, plus the preallocated engine in cold and
-//! warm mode, at pools {1, 2, 4, 8}.
+//! order, so five independent implementations — the sequential greedy,
+//! serial LD, the paper's queue-based parallel LD, serial Suitor, and
+//! the lock-free parallel Suitor — must return bit-identical results at
+//! every thread count. Property tests drive random graphs (zero and
+//! negative weights included) through all five, plus the preallocated
+//! engine in cold and warm mode, at pools {1, 2, 4, 8}.
 
 use netalign_graph::BipartiteGraph;
 use netalign_matching::approx::{
     parallel_local_dominant, parallel_suitor, serial_local_dominant, serial_suitor,
     ParallelLdOptions,
 };
-use netalign_matching::{MatcherCounters, MatcherEngine, Matching, RoundingMatcher};
+use netalign_matching::{
+    greedy_matching, GreedyScratch, MatcherCounters, MatcherEngine, Matching, RoundingMatcher,
+};
 use proptest::prelude::*;
 
 const POOLS: [usize; 4] = [1, 2, 4, 8];
@@ -87,11 +89,16 @@ fn arb_instance_and_sequence() -> impl Strategy<Value = (BipartiteGraph, Vec<Vec
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// serial Suitor ≡ lock-free parallel Suitor ≡ serial LD ≡
-    /// parallel LD, at every pool size.
+    /// sequential greedy ≡ serial Suitor ≡ lock-free parallel Suitor ≡
+    /// serial LD ≡ parallel LD, at every pool size. The greedy leg is
+    /// what licenses the delta replay's cheap stage rematcher: a sort
+    /// plus one linear pass reproduces the pool-invariant matching.
     #[test]
-    fn four_way_equivalence_across_pools(l in arb_instance()) {
+    fn five_way_equivalence_across_pools(l in arb_instance()) {
         let reference = serial_local_dominant(&l, l.weights());
+        prop_assert_eq!(&greedy_matching(&l, l.weights()), &reference);
+        let mut scratch = GreedyScratch::new(&l);
+        prop_assert_eq!(scratch.run(&l, l.weights()), &reference);
         prop_assert_eq!(&serial_suitor(&l, l.weights()), &reference);
         for threads in POOLS {
             let (pld, psu) = pool(threads).install(|| {

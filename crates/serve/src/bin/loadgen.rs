@@ -8,10 +8,20 @@
 //! `--repeat-ratio`. Deadlines are sampled from a small distribution
 //! around `--deadline-ms` to exercise the SLO path.
 //!
+//! A second workload (`--workload delta`) models *evolving* graphs:
+//! each client records one base alignment (`record:true`), then
+//! streams `align_delta` requests — small batches of candidate
+//! reweights, at most 1% of `|E_L|` per request — chaining the
+//! fingerprint the server returns after each patch. A 422 (evicted or
+//! unrecorded base) triggers the documented fallback: a full recorded
+//! re-align of the client's current view, after which the chain
+//! resumes.
+//!
 //! Emits a single JSON report (default `results/BENCH_6.json`) with
-//! throughput, p50/p95/p99 wall latency split warm vs cold, completion
-//! counts, and the server's own metrics snapshot. Exits non-zero if
-//! any request failed.
+//! throughput, p50/p95/p99 wall latency split warm vs cold (plus a
+//! `delta` bucket in delta mode), completion counts, the git revision,
+//! and the server's own metrics snapshot. Exits non-zero if any
+//! request failed.
 
 use netalign_core::exitcode;
 use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
@@ -41,6 +51,9 @@ OPTIONS:
     --method M           bp | mr (default bp)
     --deadline-ms N      SLO base; sampled from {N, 2N, 4N}; 0 = none (default 0)
     --seed N             base RNG seed (default 42)
+    --workload W         mixed | delta (default mixed); delta streams
+                         align_delta requests against a recorded base and
+                         ignores --repeat-ratio/--problems/--deadline-ms
     --out PATH           report path (default results/BENCH_6.json)
     --help               print this help
 ";
@@ -57,6 +70,7 @@ struct Opts {
     method: String,
     deadline_ms: u64,
     seed: u64,
+    workload: String,
     out: String,
 }
 
@@ -73,6 +87,7 @@ impl Default for Opts {
             method: "bp".to_string(),
             deadline_ms: 0,
             seed: 42,
+            workload: "mixed".to_string(),
             out: "results/BENCH_6.json".to_string(),
         }
     }
@@ -103,6 +118,7 @@ fn parse_args() -> Result<Opts, String> {
             "--method" => o.method = value,
             "--deadline-ms" => o.deadline_ms = value.parse().map_err(|e| bad(&e))?,
             "--seed" => o.seed = value.parse().map_err(|e| bad(&e))?,
+            "--workload" => o.workload = value,
             "--out" => o.out = value,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -115,6 +131,12 @@ fn parse_args() -> Result<Opts, String> {
     }
     if o.method != "bp" && o.method != "mr" {
         return Err("--method must be bp or mr".to_string());
+    }
+    if o.workload != "mixed" && o.workload != "delta" {
+        return Err("--workload must be mixed or delta".to_string());
+    }
+    if o.workload == "delta" && o.method != "bp" {
+        return Err("--workload delta requires --method bp".to_string());
     }
     if o.clients == 0 || o.problems == 0 {
         return Err("--clients and --problems must be at least 1".to_string());
@@ -196,18 +218,31 @@ struct Samples {
     /// (wall_ms, solve_ms) per 200 reply, split by the reply's `warm`.
     warm: Vec<(f64, f64)>,
     cold: Vec<(f64, f64)>,
+    /// (wall_ms, solve_ms) per 200 `align_delta` reply.
+    delta: Vec<(f64, f64)>,
     completed: u64,
     best_so_far: u64,
     overload: u64,
     failed: u64,
+    /// 422 delta replies answered with a recorded re-align.
+    delta_fallbacks: u64,
+    /// Sum of `delta.reused_iterations` over all delta replies.
+    delta_reused_iterations: u64,
 }
 
-fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Result<Samples> {
+fn connect(o: &Opts) -> std::io::Result<Client> {
     let addr: SocketAddr = o
         .addr
         .parse()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
-    let mut client = Client::connect(addr)?;
+    Client::connect(addr)
+}
+
+fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Result<Samples> {
+    if o.workload == "delta" {
+        return delta_loop(o, idx);
+    }
+    let mut client = connect(o)?;
     let mut rng = Rng(o.seed ^ (0xc11e0 + idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut samples = Samples::default();
     let end = Instant::now() + o.duration;
@@ -246,6 +281,143 @@ fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Re
         }
     }
     Ok(samples)
+}
+
+/// The delta workload: one evolving problem per client. Records a base
+/// alignment, then streams reweight deltas (at most 1% of `|E_L|` per
+/// request), chaining the fingerprint returned by each patch. A 422 —
+/// the base was evicted, say — falls back to a full recorded re-align
+/// of the client's current view, after which the chain resumes.
+fn delta_loop(o: &Opts, idx: usize) -> std::io::Result<Samples> {
+    let mut client = connect(o)?;
+    let mut rng = Rng(o.seed ^ (0xde17a + idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut samples = Samples::default();
+
+    // This client's evolving problem; weights are tracked locally so a
+    // fallback re-align reproduces the server's patched state (and
+    // therefore its fingerprint chain).
+    let n = o.vertices;
+    let problem_seed = idx as u64;
+    let base = power_law_graph(n, 2.2, 40, 0x5eed + problem_seed);
+    let a = add_random_edges(&base, 2.0 / n as f64, 2 * problem_seed + 1);
+    let b = add_random_edges(&base, 2.0 / n as f64, 2 * problem_seed + 2);
+    let l = identity_plus_noise_l(n, n, 24.0 / n as f64, 1.0, 0.5, 3 * problem_seed + 5);
+    let pairs: Vec<(u32, u32)> = (0..l.num_edges()).map(|e| l.endpoints(e)).collect();
+    let mut weights: Vec<f64> = (0..l.num_edges()).map(|e| l.weight(e)).collect();
+    let k = (pairs.len() / 100).max(1);
+
+    let recorded_doc = |weights: &[f64]| {
+        let entries = pairs
+            .iter()
+            .zip(weights)
+            .map(|(&(x, y), &w)| {
+                Json::Arr(vec![Json::U64(x as u64), Json::U64(y as u64), Json::F64(w)])
+            })
+            .collect();
+        Json::obj(vec![
+            ("op", Json::str("align")),
+            ("method", Json::str("bp")),
+            ("record", Json::Bool(true)),
+            (
+                "config",
+                Json::obj(vec![("iterations", Json::U64(o.iterations as u64))]),
+            ),
+            ("a", graph_json(&a)),
+            ("b", graph_json(&b)),
+            ("l", Json::obj(vec![("entries", Json::Arr(entries))])),
+        ])
+    };
+    let recorded_align = |client: &mut Client,
+                          samples: &mut Samples,
+                          weights: &[f64]|
+     -> std::io::Result<Option<String>> {
+        let sent = Instant::now();
+        let reply = client.request(&recorded_doc(weights))?;
+        let wall_ms = sent.elapsed().as_secs_f64() * 1e3;
+        if response_code(&reply) != 200 {
+            samples.failed += 1;
+            return Ok(None);
+        }
+        let solve_ms = reply.get("solve_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        if reply.get("warm").and_then(Json::as_bool).unwrap_or(false) {
+            samples.warm.push((wall_ms, solve_ms));
+        } else {
+            samples.cold.push((wall_ms, solve_ms));
+        }
+        samples.completed += 1;
+        Ok(reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .map(str::to_string))
+    };
+
+    let Some(mut fp) = recorded_align(&mut client, &mut samples, &weights)? else {
+        return Ok(samples);
+    };
+    let end = Instant::now() + o.duration;
+    while Instant::now() < end {
+        // k distinct reweights on an exactly-representable grid.
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < k.min(pairs.len()) {
+            chosen.insert((rng.next() % pairs.len() as u64) as usize);
+        }
+        let reweight: Vec<Json> = chosen
+            .iter()
+            .map(|&i| {
+                let (x, y) = pairs[i];
+                let w = (16 + (rng.next() % 48)) as f64 / 16.0;
+                weights[i] = w;
+                Json::Arr(vec![Json::U64(x as u64), Json::U64(y as u64), Json::F64(w)])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("op", Json::str("align_delta")),
+            ("base", Json::str(fp.clone())),
+            ("l", Json::obj(vec![("reweight", Json::Arr(reweight))])),
+        ]);
+        let sent = Instant::now();
+        let reply = client.request(&doc)?;
+        let wall_ms = sent.elapsed().as_secs_f64() * 1e3;
+        match response_code(&reply) {
+            200 => {
+                fp = reply
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let solve_ms = reply.get("solve_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                samples.delta.push((wall_ms, solve_ms));
+                samples.completed += 1;
+                samples.delta_reused_iterations += reply
+                    .get("delta")
+                    .and_then(|d| d.get("reused_iterations"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+            }
+            422 => {
+                samples.delta_fallbacks += 1;
+                match recorded_align(&mut client, &mut samples, &weights)? {
+                    Some(new_fp) => fp = new_fp,
+                    None => break,
+                }
+            }
+            429 => samples.overload += 1,
+            _ => samples.failed += 1,
+        }
+    }
+    Ok(samples)
+}
+
+/// Best-effort `git rev-parse HEAD`, `null` outside a work tree.
+fn git_rev() -> Json {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| Json::str(s.trim().to_string()))
+        .unwrap_or(Json::Null)
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -306,10 +478,13 @@ fn main() {
             Ok(s) => {
                 total.warm.extend(s.warm);
                 total.cold.extend(s.cold);
+                total.delta.extend(s.delta);
                 total.completed += s.completed;
                 total.best_so_far += s.best_so_far;
                 total.overload += s.overload;
                 total.failed += s.failed;
+                total.delta_fallbacks += s.delta_fallbacks;
+                total.delta_reused_iterations += s.delta_reused_iterations;
             }
             Err(e) => {
                 eprintln!("loadgen: client error: {e}");
@@ -318,7 +493,7 @@ fn main() {
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let ok = (total.warm.len() + total.cold.len()) as u64;
+    let ok = (total.warm.len() + total.cold.len() + total.delta.len()) as u64;
 
     // Pull the server's own metrics snapshot into the report.
     let metrics = o
@@ -342,11 +517,18 @@ fn main() {
         })
         .unwrap_or(Json::Null);
 
+    let bench = std::path::Path::new(&o.out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .to_string();
     let report = Json::obj(vec![
-        ("bench", Json::str("BENCH_6")),
+        ("bench", Json::str(bench)),
+        ("git_rev", git_rev()),
         (
             "config",
             Json::obj(vec![
+                ("workload", Json::str(o.workload.clone())),
                 ("clients", Json::U64(o.clients as u64)),
                 ("duration_secs", Json::F64(o.duration.as_secs_f64())),
                 ("repeat_ratio", Json::F64(o.repeat_ratio)),
@@ -366,12 +548,18 @@ fn main() {
                 ("overload", Json::U64(total.overload)),
                 ("completed", Json::U64(total.completed)),
                 ("deadline_best_so_far", Json::U64(total.best_so_far)),
+                ("delta_fallbacks", Json::U64(total.delta_fallbacks)),
+                (
+                    "delta_reused_iterations",
+                    Json::U64(total.delta_reused_iterations),
+                ),
                 ("elapsed_secs", Json::F64(elapsed)),
                 ("throughput_rps", Json::F64(ok as f64 / elapsed.max(1e-9))),
             ]),
         ),
         ("warm", bucket_json(&total.warm)),
         ("cold", bucket_json(&total.cold)),
+        ("delta", bucket_json(&total.delta)),
         ("server_metrics", metrics),
     ]);
 

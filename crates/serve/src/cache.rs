@@ -14,6 +14,7 @@
 
 use crate::fingerprint::Method;
 use netalign_core::config::AlignConfig;
+use netalign_core::delta::BpTrajectory;
 use netalign_core::problem::NetAlignProblem;
 use netalign_matching::MatcherEngine;
 
@@ -30,6 +31,9 @@ pub struct CacheEntry {
     /// Rounding engines released by the last run on this problem,
     /// warm memory included. Empty while a run is in flight.
     pub engines: Vec<MatcherEngine>,
+    /// Recorded BP trajectory, present after an `align` with
+    /// `record: true` — the base an `align_delta` replays against.
+    pub trajectory: Option<BpTrajectory>,
     /// Runs served from this entry (including the one that built it).
     pub uses: u64,
     last_used: u64,
@@ -160,10 +164,39 @@ impl EngineCache {
             problem,
             config,
             engines,
+            trajectory: None,
             uses: 1,
             last_used: self.tick,
         });
         evicted
+    }
+
+    /// Re-key an entry after a delta patched its problem in place: the
+    /// entry now answers to the *patched* graphs' fingerprint. Any
+    /// stale entry already cached under the new key is evicted first
+    /// (the re-keyed entry carries the fresher engines/trajectory).
+    /// Returns false when `old` is not cached.
+    pub fn rekey(&mut self, old: u64, new: u64) -> bool {
+        if old == new {
+            return self.entries.iter().any(|e| e.fingerprint == old);
+        }
+        if !self.entries.iter().any(|e| e.fingerprint == old) {
+            return false;
+        }
+        if let Some(idx) = self.entries.iter().position(|e| e.fingerprint == new) {
+            let mut stale = self.entries.swap_remove(idx);
+            for e in &mut stale.engines {
+                e.reset();
+            }
+            self.evictions += 1;
+        }
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == old)
+            .expect("presence checked above");
+        entry.fingerprint = new;
+        true
     }
 }
 
@@ -195,6 +228,24 @@ mod tests {
         assert_eq!(c.len(), 2);
         let (hits, misses, evictions) = c.stats();
         assert_eq!((hits, misses, evictions), (3, 1, 1));
+    }
+
+    #[test]
+    fn rekey_moves_an_entry_and_evicts_a_stale_target() {
+        let mut c = EngineCache::new(4);
+        let cfg = AlignConfig::default();
+        c.insert(1, Method::Bp, tiny_problem(1), cfg, vec![]);
+        c.insert(2, Method::Bp, tiny_problem(2), cfg, vec![]);
+        assert!(c.rekey(1, 9));
+        assert!(c.get_mut(9).is_some());
+        assert!(c.get_mut(1).is_none());
+        // Re-keying onto an occupied key evicts the stale holder.
+        assert!(c.rekey(9, 2));
+        assert_eq!(c.len(), 1);
+        assert!(c.get_mut(2).is_some());
+        let (_, _, evictions) = c.stats();
+        assert_eq!(evictions, 1);
+        assert!(!c.rekey(42, 43));
     }
 
     #[test]

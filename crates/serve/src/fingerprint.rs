@@ -127,3 +127,12 @@ pub fn problem_fingerprint(
 pub fn render_fingerprint(fp: u64) -> String {
     format!("{fp:016x}")
 }
+
+/// Parse a wire fingerprint (16 lowercase hex digits, as produced by
+/// [`render_fingerprint`]; shorter forms and uppercase are tolerated).
+pub fn parse_fingerprint(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}

@@ -46,6 +46,12 @@ pub struct ServerMetrics {
     pub matcher_reseeded: AtomicU64,
     /// Runs that ended `deadline-best-so-far`.
     pub deadline_best_so_far: AtomicU64,
+    /// 200 `align_delta` replies.
+    pub delta_served: AtomicU64,
+    /// 422 `align_delta` replies (unknown/unrecorded base, bad delta).
+    pub delta_rejected: AtomicU64,
+    /// Iterations replayed through the sparse delta path, summed.
+    pub delta_reused_iterations: AtomicU64,
     /// End-to-end service latency (admission to reply built).
     pub service_latency: LatencyHistogram,
     /// Solve latency of cache-hit (warm) requests.
@@ -82,6 +88,9 @@ impl ServerMetrics {
             matcher_warm_hits: AtomicU64::new(0),
             matcher_reseeded: AtomicU64::new(0),
             deadline_best_so_far: AtomicU64::new(0),
+            delta_served: AtomicU64::new(0),
+            delta_rejected: AtomicU64::new(0),
+            delta_reused_iterations: AtomicU64::new(0),
             service_latency: LatencyHistogram::new(),
             solve_warm: LatencyHistogram::new(),
             solve_cold: LatencyHistogram::new(),
@@ -148,6 +157,14 @@ impl ServerMetrics {
                 ]),
             ),
             ("deadline_best_so_far", load(&self.deadline_best_so_far)),
+            (
+                "delta",
+                Json::obj(vec![
+                    ("served", load(&self.delta_served)),
+                    ("rejected", load(&self.delta_rejected)),
+                    ("reused_iterations", load(&self.delta_reused_iterations)),
+                ]),
+            ),
             (
                 "latency",
                 Json::obj(vec![

@@ -16,6 +16,7 @@
 //! {"op":"align", "id":"r-1", "method":"bp"|"mr",
 //!  "deadline_ms":500,              // optional SLO, includes queue wait
 //!  "cold":true,                    // optional: bypass warm engine reuse
+//!  "record":true,                  // optional: record a delta base (bp only)
 //!  "config":{"alpha":1.0,"beta":2.0,"gamma":0.99,"iterations":100,
 //!            "batch":1,"mstep":10,"rounding":"ld"|"suitor",
 //!            "warm_start":true,"enriched_rounding":false,
@@ -23,7 +24,20 @@
 //!  "a":{"n":5,"edges":[[0,1],[1,2]]},
 //!  "b":{"n":5,"edges":[[0,1]]},
 //!  "l":{"entries":[[0,0,1.0],[1,1,0.9]]}}
+//! {"op":"align_delta", "id":"r-2",
+//!  "base":"00f1a2b3c4d5e6f7",      // fingerprint of a recorded base
+//!  "a":{"insert":[[0,3]],"remove":[[1,2]]},   // graph deltas, optional
+//!  "b":{},
+//!  "l":{"insert":[[0,2,0.5]],"remove":[[1,1]],"reweight":[[0,0,1.5]]}}
 //! ```
+//!
+//! `align_delta` re-aligns a *recorded* cached base against an edge
+//! delta instead of shipping (and re-solving) the whole problem. The
+//! server patches the cached problem in place and the entry answers to
+//! the patched graphs' fingerprint afterwards, so clients chain deltas
+//! by tracking the returned `fingerprint`. An unknown or unrecorded
+//! base is a 422 — the client falls back to a full `align` with
+//! `record:true`.
 //!
 //! # Responses
 //!
@@ -43,14 +57,24 @@
 //! An `align` 200 reply carries the outcome: `completion`
 //! (`"completed"`, `"deadline-best-so-far"`, `"cancelled"`), `warm`
 //! (whether the engine cache supplied the problem), `fingerprint`,
-//! objective/weight/overlap, the matching as `[[a,b],...]`, matcher
-//! counters, and queue/solve timings in milliseconds.
+//! `recorded` (whether a delta base was captured), objective/weight/
+//! overlap, the matching as `[[a,b],...]`, matcher counters, and
+//! queue/solve timings in milliseconds.
+//!
+//! An `align_delta` 200 reply carries the same outcome fields plus
+//! `base_fingerprint` (the key the delta was applied to),
+//! `fingerprint` (the patched problem's new key), and a `delta`
+//! object with the replay accounting (`reused_iterations`,
+//! `rows_recomputed`, `row_slots_total`, stage reuse, squares-patch
+//! counters).
 
-use crate::fingerprint::{problem_fingerprint, Method};
+use crate::fingerprint::{parse_fingerprint, problem_fingerprint, Method};
 use crate::json;
 use netalign_core::config::AlignConfig;
+use netalign_core::delta::{DeltaStats, ProblemDelta};
 use netalign_core::harness::AlignOutcome;
 use netalign_graph::bipartite::BipartiteGraph;
+use netalign_graph::delta::{CandidateDelta, GraphDelta};
 use netalign_graph::undirected::Graph;
 use netalign_matching::RoundingMatcher;
 use netalign_trace::Json;
@@ -90,6 +114,8 @@ pub enum Request {
     Shutdown,
     /// Run an alignment.
     Align(Box<AlignRequest>),
+    /// Re-align a recorded cached base against an edge delta.
+    AlignDelta(Box<DeltaRequest>),
 }
 
 /// A validated `align` request, ready for admission.
@@ -107,6 +133,9 @@ pub struct AlignRequest {
     /// Bypass warm engine reuse even on a cache hit (the cached
     /// engines are `reset()` so the solve replays the cold path).
     pub cold: bool,
+    /// Record the BP trajectory so later `align_delta` requests can
+    /// replay against this run. BP only (422 otherwise at parse).
+    pub record: bool,
     /// First input graph.
     pub a: Graph,
     /// Second input graph.
@@ -115,6 +144,20 @@ pub struct AlignRequest {
     pub l: BipartiteGraph,
     /// Cache key (see [`crate::fingerprint`]).
     pub fingerprint: u64,
+}
+
+/// A validated `align_delta` request. Only *shapes* are checked at
+/// parse time; semantic errors (unknown edge, duplicate insert, out of
+/// range endpoint) surface as 422 when the delta is applied to the
+/// cached base.
+#[derive(Debug)]
+pub struct DeltaRequest {
+    /// Client-chosen echo tag.
+    pub id: Option<String>,
+    /// Fingerprint of the recorded base entry to patch.
+    pub base: u64,
+    /// Edge edits to apply to `A`, `B`, `L`.
+    pub delta: ProblemDelta,
 }
 
 /// Why a frame could not become a [`Request`].
@@ -225,6 +268,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
         Some("metrics") => Ok(Request::Metrics),
         Some("shutdown") => Ok(Request::Shutdown),
         Some("align") => parse_align(&doc).map(|r| Request::Align(Box::new(r))),
+        Some("align_delta") => parse_delta(&doc).map(|r| Request::AlignDelta(Box::new(r))),
         Some(other) => Err(RequestError::malformed(format!("unknown op '{other}'"))),
         None => Err(RequestError::malformed("missing string field 'op'")),
     }
@@ -250,6 +294,17 @@ fn parse_align(doc: &Json) -> Result<AlignRequest, RequestError> {
             .as_bool()
             .ok_or_else(|| RequestError::invalid("cold must be a boolean"))?,
     };
+    let record = match doc.get("record") {
+        None | Some(Json::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::invalid("record must be a boolean"))?,
+    };
+    if record && method != Method::Bp {
+        return Err(RequestError::invalid(
+            "record requires method \"bp\" (delta replay is bp-only)",
+        ));
+    }
     let config = parse_config(doc.get("config"))?;
     let a = parse_graph(doc.get("a"), "a")?;
     let b = parse_graph(doc.get("b"), "b")?;
@@ -261,11 +316,134 @@ fn parse_align(doc: &Json) -> Result<AlignRequest, RequestError> {
         config,
         deadline_ms,
         cold,
+        record,
         a,
         b,
         l,
         fingerprint,
     })
+}
+
+fn parse_delta(doc: &Json) -> Result<DeltaRequest, RequestError> {
+    let id = get_str(doc, "id").map(str::to_string);
+    let base = get_str(doc, "base")
+        .ok_or_else(|| RequestError::invalid("missing string field 'base'"))
+        .and_then(|s| {
+            parse_fingerprint(s)
+                .ok_or_else(|| RequestError::invalid("base must be a hex fingerprint"))
+        })?;
+    let delta = ProblemDelta {
+        a: parse_graph_delta(doc.get("a"), "a")?,
+        b: parse_graph_delta(doc.get("b"), "b")?,
+        l: parse_candidate_delta(doc.get("l"))?,
+    };
+    if delta.is_empty() {
+        return Err(RequestError::invalid("delta edits nothing"));
+    }
+    Ok(DeltaRequest { id, base, delta })
+}
+
+fn vertex_pair(v: &Json, what: &str, i: usize) -> Result<(u32, u32), RequestError> {
+    let pair = v
+        .as_arr()
+        .filter(|p| p.len() == 2)
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}] must be [u, v]")))?;
+    let u = pair[0]
+        .as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}][0] must be a vertex id")))?;
+    let v = pair[1]
+        .as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}][1] must be a vertex id")))?;
+    Ok((u, v))
+}
+
+fn weighted_triple(v: &Json, what: &str, i: usize) -> Result<(u32, u32, f64), RequestError> {
+    let triple = v
+        .as_arr()
+        .filter(|t| t.len() == 3)
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}] must be [a, b, w]")))?;
+    let a = triple[0]
+        .as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}][0] must be a vertex id")))?;
+    let b = triple[1]
+        .as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}][1] must be a vertex id")))?;
+    let w = triple[2]
+        .as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| RequestError::invalid(format!("{what}[{i}][2] must be finite")))?;
+    Ok((a, b, w))
+}
+
+fn pair_list(v: &Json, what: &str) -> Result<Vec<(u32, u32)>, RequestError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| RequestError::invalid(format!("{what} must be an array")))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, e)| vertex_pair(e, what, i))
+        .collect()
+}
+
+fn triple_list(v: &Json, what: &str) -> Result<Vec<(u32, u32, f64)>, RequestError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| RequestError::invalid(format!("{what} must be an array")))?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, e)| weighted_triple(e, what, i))
+        .collect()
+}
+
+fn parse_graph_delta(value: Option<&Json>, name: &str) -> Result<GraphDelta, RequestError> {
+    let mut d = GraphDelta::default();
+    let Some(obj) = value else { return Ok(d) };
+    if matches!(obj, Json::Null) {
+        return Ok(d);
+    }
+    let Json::Obj(pairs) = obj else {
+        return Err(RequestError::invalid(format!("{name} must be an object")));
+    };
+    for (key, v) in pairs {
+        match key.as_str() {
+            "insert" => d.insert = pair_list(v, &format!("{name}.insert"))?,
+            "remove" => d.remove = pair_list(v, &format!("{name}.remove"))?,
+            other => {
+                return Err(RequestError::invalid(format!(
+                    "unknown {name} delta field '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(d)
+}
+
+fn parse_candidate_delta(value: Option<&Json>) -> Result<CandidateDelta, RequestError> {
+    let mut d = CandidateDelta::default();
+    let Some(obj) = value else { return Ok(d) };
+    if matches!(obj, Json::Null) {
+        return Ok(d);
+    }
+    let Json::Obj(pairs) = obj else {
+        return Err(RequestError::invalid("l must be an object"));
+    };
+    for (key, v) in pairs {
+        match key.as_str() {
+            "insert" => d.insert = triple_list(v, "l.insert")?,
+            "remove" => d.remove = pair_list(v, "l.remove")?,
+            "reweight" => d.reweight = triple_list(v, "l.reweight")?,
+            other => {
+                return Err(RequestError::invalid(format!(
+                    "unknown l delta field '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(d)
 }
 
 /// Server-side config defaults: engine-mode warm rounding with matcher
@@ -455,31 +633,15 @@ pub fn error_response(code: u16, message: &str, id: Option<&str>) -> Json {
     Json::obj(pairs)
 }
 
-/// A 200 align reply.
-pub fn align_response(
-    req: &AlignRequest,
-    outcome: &AlignOutcome,
-    warm: bool,
-    queue_ms: f64,
-    solve_ms: f64,
-) -> Json {
+/// The outcome fields shared by `align` and `align_delta` replies.
+fn outcome_fields(outcome: &AlignOutcome) -> Vec<(&'static str, Json)> {
     let r = &outcome.result;
     let matching: Vec<Json> = r
         .matching
         .pairs()
         .map(|(a, b)| Json::Arr(vec![Json::U64(a as u64), Json::U64(b as u64)]))
         .collect();
-    let mut pairs = vec![("code", Json::U64(CODE_OK as u64))];
-    if let Some(id) = &req.id {
-        pairs.push(("id", Json::str(id.clone())));
-    }
-    pairs.extend([
-        ("method", Json::str(req.method.name())),
-        (
-            "fingerprint",
-            Json::str(crate::fingerprint::render_fingerprint(req.fingerprint)),
-        ),
-        ("warm", Json::Bool(warm)),
+    vec![
         ("completion", Json::str(outcome.completion.label())),
         ("iterations_run", Json::U64(outcome.iterations_run as u64)),
         ("ladder_rung", Json::U64(outcome.ladder_rung as u64)),
@@ -497,6 +659,101 @@ pub fn align_response(
                 (
                     "reseeded_vertices",
                     Json::U64(r.trace.matcher.reseeded_vertices),
+                ),
+            ]),
+        ),
+    ]
+}
+
+/// A 200 align reply.
+pub fn align_response(
+    req: &AlignRequest,
+    outcome: &AlignOutcome,
+    warm: bool,
+    recorded: bool,
+    queue_ms: f64,
+    solve_ms: f64,
+) -> Json {
+    let mut pairs = vec![("code", Json::U64(CODE_OK as u64))];
+    if let Some(id) = &req.id {
+        pairs.push(("id", Json::str(id.clone())));
+    }
+    pairs.extend([
+        ("method", Json::str(req.method.name())),
+        (
+            "fingerprint",
+            Json::str(crate::fingerprint::render_fingerprint(req.fingerprint)),
+        ),
+        ("warm", Json::Bool(warm)),
+        ("recorded", Json::Bool(recorded)),
+    ]);
+    pairs.extend(outcome_fields(outcome));
+    pairs.extend([
+        ("queue_ms", Json::F64(queue_ms)),
+        ("solve_ms", Json::F64(solve_ms)),
+    ]);
+    Json::obj(pairs)
+}
+
+/// A 200 align_delta reply: the shared outcome fields plus the
+/// patched problem's new fingerprint and the replay accounting.
+pub fn delta_response(
+    req: &DeltaRequest,
+    new_fingerprint: u64,
+    outcome: &AlignOutcome,
+    stats: &DeltaStats,
+    queue_ms: f64,
+    solve_ms: f64,
+) -> Json {
+    let mut pairs = vec![("code", Json::U64(CODE_OK as u64))];
+    if let Some(id) = &req.id {
+        pairs.push(("id", Json::str(id.clone())));
+    }
+    pairs.extend([
+        ("method", Json::str(Method::Bp.name())),
+        (
+            "base_fingerprint",
+            Json::str(crate::fingerprint::render_fingerprint(req.base)),
+        ),
+        (
+            "fingerprint",
+            Json::str(crate::fingerprint::render_fingerprint(new_fingerprint)),
+        ),
+        ("warm", Json::Bool(true)),
+    ]);
+    pairs.extend(outcome_fields(outcome));
+    pairs.extend([
+        (
+            "delta",
+            Json::obj(vec![
+                (
+                    "reused_iterations",
+                    Json::U64(stats.delta_reused_iterations as u64),
+                ),
+                ("iterations_total", Json::U64(stats.iterations_total as u64)),
+                ("rows_recomputed", Json::U64(stats.rows_recomputed as u64)),
+                ("row_slots_total", Json::U64(stats.row_slots_total as u64)),
+                ("seed_rows", Json::U64(stats.seed_rows as u64)),
+                ("stages_reused", Json::U64(stats.stages_reused as u64)),
+                ("stages_rematched", Json::U64(stats.stages_rematched as u64)),
+                (
+                    "escaped_at",
+                    stats.escaped_at.map_or(Json::Null, |k| Json::U64(k as u64)),
+                ),
+                (
+                    "squares",
+                    Json::obj(vec![
+                        (
+                            "rows_reenumerated",
+                            Json::U64(stats.squares.rows_reenumerated as u64),
+                        ),
+                        ("rows_reused", Json::U64(stats.squares.rows_reused as u64)),
+                        (
+                            "entries_reused",
+                            Json::U64(stats.squares.entries_reused as u64),
+                        ),
+                        ("nnz", Json::U64(stats.squares.nnz as u64)),
+                    ]),
                 ),
             ]),
         ),
@@ -586,6 +843,40 @@ mod tests {
         let bad = align_doc().replace("\"bp\"", "\"simplex\"");
         let e = parse_request(bad.as_bytes()).unwrap_err();
         assert_eq!(e.code, CODE_INVALID);
+    }
+
+    #[test]
+    fn align_delta_parses_shapes_only() {
+        let doc = r#"{"op":"align_delta","id":"d-1","base":"00f1a2b3c4d5e6f7",
+            "a":{"insert":[[0,3]],"remove":[[1,2]]},
+            "l":{"reweight":[[0,0,1.5]]}}"#;
+        let Request::AlignDelta(req) = parse_request(doc.as_bytes()).unwrap() else {
+            panic!("expected align_delta")
+        };
+        assert_eq!(req.base, 0x00f1_a2b3_c4d5_e6f7);
+        assert_eq!(req.delta.a.insert, vec![(0, 3)]);
+        assert_eq!(req.delta.a.remove, vec![(1, 2)]);
+        assert!(req.delta.b.is_empty());
+        assert_eq!(req.delta.l.reweight, vec![(0, 0, 1.5)]);
+
+        // Missing base, bad hex, empty delta, record on mr → all 422.
+        for bad in [
+            r#"{"op":"align_delta","l":{"reweight":[[0,0,1.5]]}}"#.to_string(),
+            r#"{"op":"align_delta","base":"zzz","l":{"reweight":[[0,0,1.5]]}}"#.to_string(),
+            r#"{"op":"align_delta","base":"ff"}"#.to_string(),
+            align_doc().replace("\"bp\"", "\"mr\",\"record\":true"),
+        ] {
+            let e = parse_request(bad.as_bytes()).unwrap_err();
+            assert_eq!(e.code, CODE_INVALID, "{bad}");
+        }
+
+        // record on bp parses.
+        let recorded =
+            align_doc().replace("\"method\":\"bp\"", "\"method\":\"bp\",\"record\":true");
+        let Request::Align(r) = parse_request(recorded.as_bytes()).unwrap() else {
+            panic!()
+        };
+        assert!(r.record);
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! `netalignd` runtime: blocking accept loop + per-connection framing
 //! threads + ONE solver thread over a bounded admission queue.
 //!
-//! The solver is deliberately single-threaded at the *request* level:
-//! the cooperative-cancellation token that maps a request's SLO onto
-//! the kernels is process-global (see `netalign_trace::cancel`), so
-//! concurrent harness runs in one process would observe each other's
-//! deadlines. Parallelism lives where the paper puts it — inside each
-//! solve, on the persistent worker pool — and at the service edge,
-//! where connection threads parse/validate/reply concurrently.
-//! Concurrent requests therefore queue at admission: a bounded
-//! `sync_channel` whose overflow is a typed 429, never an unbounded
-//! buildup.
+//! The solver stays single-threaded at the *request* level even though
+//! cancellation no longer forces it to be: `netalign_trace::cancel`
+//! keys its token registry on the runtime's per-thread cancel scope,
+//! so concurrent harness runs in one process no longer observe each
+//! other's deadlines. What still wants a single owner is the engine
+//! cache — `align_delta` patches entries in place and each run
+//! borrows an entry's warm engines exclusively, which one solver
+//! thread gets for free with no locking or entry pinning.
+//! Parallelism lives where the paper puts it — inside each solve, on
+//! the persistent worker pool — and at the service edge, where
+//! connection threads parse/validate/reply concurrently. Concurrent
+//! requests therefore queue at admission: a bounded `sync_channel`
+//! whose overflow is a typed 429, never an unbounded buildup.
 //!
 //! Shutdown drains: the flag stops new admissions (503) and unblocks
 //! the accept loop; the solver keeps answering every job already
@@ -18,13 +21,14 @@
 //! next read-timeout tick and close.
 
 use crate::cache::EngineCache;
-use crate::fingerprint::Method;
+use crate::fingerprint::{problem_fingerprint, Method};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    self, AlignRequest, FrameRead, Request, CODE_INTERNAL, CODE_OK, CODE_OVERLOAD, CODE_OVERSIZED,
-    CODE_SHUTTING_DOWN,
+    self, AlignRequest, DeltaRequest, FrameRead, Request, CODE_INTERNAL, CODE_INVALID, CODE_OK,
+    CODE_OVERLOAD, CODE_OVERSIZED, CODE_SHUTTING_DOWN,
 };
 use netalign_core::config::TimeBudget;
+use netalign_core::delta as core_delta;
 use netalign_core::harness::{AlignOutcome, Completion, RunHarness};
 use netalign_core::problem::NetAlignProblem;
 use netalign_trace::Json;
@@ -67,9 +71,26 @@ impl Default for ServerOptions {
     }
 }
 
-/// One admitted align request en route to the solver.
+/// Work admitted to the solver.
+enum Work {
+    /// Full align (optionally recording a delta base).
+    Align(Box<AlignRequest>),
+    /// Delta re-align of a recorded cached base.
+    Delta(Box<DeltaRequest>),
+}
+
+impl Work {
+    fn id(&self) -> Option<&str> {
+        match self {
+            Work::Align(r) => r.id.as_deref(),
+            Work::Delta(r) => r.id.as_deref(),
+        }
+    }
+}
+
+/// One admitted request en route to the solver.
 struct Job {
-    req: Box<AlignRequest>,
+    work: Work,
     admitted: Instant,
     reply: Sender<Json>,
 }
@@ -310,14 +331,15 @@ fn handle_connection(
                     ("draining", Json::Bool(true)),
                 ])
             }
-            Request::Align(req) => admit_align(shared, &job_tx, req),
+            Request::Align(req) => admit_job(shared, &job_tx, Work::Align(req)),
+            Request::AlignDelta(req) => admit_job(shared, &job_tx, Work::Delta(req)),
         };
         protocol::write_json(&mut stream, &reply)?;
     }
 }
 
-fn admit_align(shared: &Shared, job_tx: &SyncSender<Job>, req: Box<AlignRequest>) -> Json {
-    let id = req.id.clone();
+fn admit_job(shared: &Shared, job_tx: &SyncSender<Job>, work: Work) -> Json {
+    let id = work.id().map(str::to_string);
     if shared.shutting_down() {
         ServerMetrics::bump(&shared.metrics.shutting_down);
         return protocol::error_response(
@@ -328,7 +350,7 @@ fn admit_align(shared: &Shared, job_tx: &SyncSender<Job>, req: Box<AlignRequest>
     }
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
-        req,
+        work,
         admitted: Instant::now(),
         reply: reply_tx,
     };
@@ -403,10 +425,10 @@ fn solver_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
 }
 
 fn solve_one(shared: &Shared, cache: &mut EngineCache, job: &Job) -> Json {
-    let req = &job.req;
     let queue_wait = job.admitted.elapsed();
-    let solved = catch_unwind(AssertUnwindSafe(|| {
-        run_aligned(shared, cache, job, queue_wait)
+    let solved = catch_unwind(AssertUnwindSafe(|| match &job.work {
+        Work::Align(req) => run_aligned(shared, cache, req, queue_wait),
+        Work::Delta(req) => run_delta(shared, cache, req, queue_wait),
     }));
     match solved {
         Ok(reply) => reply,
@@ -415,14 +437,18 @@ fn solve_one(shared: &Shared, cache: &mut EngineCache, job: &Job) -> Json {
             protocol::error_response(
                 CODE_INTERNAL,
                 "solver panicked on this request; the server keeps serving",
-                req.id.as_deref(),
+                job.work.id(),
             )
         }
     }
 }
 
-fn run_aligned(shared: &Shared, cache: &mut EngineCache, job: &Job, queue_wait: Duration) -> Json {
-    let req = &job.req;
+fn run_aligned(
+    shared: &Shared,
+    cache: &mut EngineCache,
+    req: &AlignRequest,
+    queue_wait: Duration,
+) -> Json {
     let fp = req.fingerprint;
     // The solve clock starts before the cache probe so a cold serve's
     // dominant cost — building the problem, squares matrix included —
@@ -473,9 +499,23 @@ fn run_aligned(shared: &Shared, cache: &mut EngineCache, job: &Job, queue_wait: 
         harness = harness.with_watchdog(Duration::from_millis(watchdog_ms));
     }
 
-    let run = match req.method {
-        Method::Bp => harness.run_bp_warm(&entry.problem, &entry.config, engines),
-        Method::Mr => harness.run_mr_warm(&entry.problem, &entry.config, engines),
+    // A recorded run captures the BP trajectory as a delta base; it
+    // runs uninterrupted (the recording must be deterministic), so the
+    // deadline/watchdog budget does not apply to it.
+    let mut recorded = false;
+    let run = match (req.method, req.record) {
+        (Method::Bp, true) => {
+            match harness.run_bp_recorded(&entry.problem, &entry.config, engines) {
+                Ok((outcome, trajectory, released)) => {
+                    entry.trajectory = Some(trajectory);
+                    recorded = true;
+                    Ok((outcome, released))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        (Method::Bp, false) => harness.run_bp_warm(&entry.problem, &entry.config, engines),
+        (Method::Mr, _) => harness.run_mr_warm(&entry.problem, &entry.config, engines),
     };
     let solve = solve_start.elapsed();
 
@@ -487,6 +527,7 @@ fn run_aligned(shared: &Shared, cache: &mut EngineCache, job: &Job, queue_wait: 
                 req,
                 &outcome,
                 warm,
+                recorded,
                 queue_wait.as_secs_f64() * 1e3,
                 solve.as_secs_f64() * 1e3,
             )
@@ -499,6 +540,99 @@ fn run_aligned(shared: &Shared, cache: &mut EngineCache, job: &Job, queue_wait: 
                 req.id.as_deref(),
             )
         }
+    }
+}
+
+/// Serve an `align_delta`: replay the recorded base against the edge
+/// delta, patch the cached entry in place, and re-key it to the
+/// patched problem's fingerprint. Every failure a client can cause —
+/// unknown base, unrecorded base, semantically invalid delta — is a
+/// typed 422 that leaves the cached base intact, so the client can
+/// fall back to a full recorded `align`.
+fn run_delta(
+    shared: &Shared,
+    cache: &mut EngineCache,
+    req: &DeltaRequest,
+    queue_wait: Duration,
+) -> Json {
+    let reject = |shared: &Shared, msg: &str| {
+        ServerMetrics::bump(&shared.metrics.invalid);
+        ServerMetrics::bump(&shared.metrics.delta_rejected);
+        protocol::error_response(CODE_INVALID, msg, req.id.as_deref())
+    };
+    let solve_start = Instant::now();
+    let replayed = {
+        let Some(entry) = cache.get_mut(req.base) else {
+            ServerMetrics::bump(&shared.metrics.cache_misses);
+            return reject(
+                shared,
+                "unknown base fingerprint; re-align with record:true",
+            );
+        };
+        ServerMetrics::bump(&shared.metrics.cache_hits);
+        if entry.method != Method::Bp {
+            return reject(shared, "delta re-alignment requires a bp base");
+        }
+        let Some(mut trajectory) = entry.trajectory.take() else {
+            return reject(
+                shared,
+                "base fingerprint was not recorded; re-align with record:true",
+            );
+        };
+        let engines = std::mem::take(&mut entry.engines);
+        match core_delta::replay_bp(
+            &entry.problem,
+            &entry.config,
+            &mut trajectory,
+            &req.delta,
+            engines,
+        ) {
+            Ok(out) => {
+                entry.problem = out.problem;
+                entry.trajectory = Some(trajectory);
+                entry.engines = out.engines;
+                let new_fp = problem_fingerprint(
+                    &entry.problem.a,
+                    &entry.problem.b,
+                    &entry.problem.l,
+                    Method::Bp,
+                    &entry.config,
+                );
+                let outcome = AlignOutcome::completed(out.result, entry.config.iterations);
+                Ok((new_fp, outcome, out.stats))
+            }
+            Err(e) => {
+                // Replay validates and patches before touching the
+                // trajectory, so the base stays replayable; only the
+                // warm engines are lost (rebuilt cold next run).
+                entry.trajectory = Some(trajectory);
+                Err(e)
+            }
+        }
+    };
+    let solve = solve_start.elapsed();
+    match replayed {
+        Ok((new_fp, outcome, stats)) => {
+            // The entry now holds the patched problem: it answers to
+            // the patched graphs' fingerprint, exactly what a client
+            // cold-aligning those graphs would compute.
+            cache.rekey(req.base, new_fp);
+            ServerMetrics::bump(&shared.metrics.delta_served);
+            shared
+                .metrics
+                .delta_reused_iterations
+                .fetch_add(stats.delta_reused_iterations as u64, Ordering::Relaxed);
+            record_outcome(shared, &outcome, true, solve);
+            protocol::delta_response(
+                req,
+                new_fp,
+                &outcome,
+                &stats,
+                queue_wait.as_secs_f64() * 1e3,
+                solve.as_secs_f64() * 1e3,
+            )
+        }
+        Err(e) => reject(shared, &format!("delta rejected: {e}")),
     }
 }
 

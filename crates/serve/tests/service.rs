@@ -143,6 +143,185 @@ fn tight_deadline_returns_best_so_far_not_an_error() {
 }
 
 #[test]
+fn align_delta_replays_the_recorded_base_and_matches_a_cold_realign() {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+
+    // Recorded base align: same doc as a plain align plus record:true.
+    let mut doc = align_doc(70, 9, 10, None);
+    let Json::Obj(pairs) = &mut doc else { panic!() };
+    pairs.push(("record".to_string(), Json::Bool(true)));
+    let base_reply = client.request(&doc).expect("recorded align");
+    assert_eq!(response_code(&base_reply), 200, "{}", base_reply.render());
+    assert_eq!(
+        base_reply.get("recorded").and_then(Json::as_bool),
+        Some(true)
+    );
+    let base_fp = base_reply
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+
+    // Pick delta edits against our own doc: reweight the first
+    // candidate edge and insert a currently-absent candidate pair.
+    let Request::Align(req) = parse_request(doc.render().as_bytes()).expect("parse own doc") else {
+        panic!("expected align request");
+    };
+    let (r0, r1) = req.l.endpoints(0);
+    let existing: std::collections::HashSet<(u32, u32)> =
+        (0..req.l.num_edges()).map(|e| req.l.endpoints(e)).collect();
+    let (iu, iv) = (0..req.l.num_left() as u32)
+        .flat_map(|u| (0..req.l.num_right() as u32).map(move |v| (u, v)))
+        .find(|p| !existing.contains(p))
+        .expect("a free candidate slot");
+
+    let delta_doc = Json::obj(vec![
+        ("op", Json::str("align_delta")),
+        ("id", Json::str("d-1")),
+        ("base", Json::str(base_fp.clone())),
+        (
+            "l",
+            Json::obj(vec![
+                (
+                    "insert",
+                    Json::Arr(vec![Json::Arr(vec![
+                        Json::U64(iu as u64),
+                        Json::U64(iv as u64),
+                        Json::F64(0.5),
+                    ])]),
+                ),
+                (
+                    "reweight",
+                    Json::Arr(vec![Json::Arr(vec![
+                        Json::U64(r0 as u64),
+                        Json::U64(r1 as u64),
+                        Json::F64(1.25),
+                    ])]),
+                ),
+            ]),
+        ),
+    ]);
+    let delta_reply = client.request(&delta_doc).expect("align_delta");
+    assert_eq!(response_code(&delta_reply), 200, "{}", delta_reply.render());
+    let new_fp = delta_reply
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("new fingerprint")
+        .to_string();
+    assert_ne!(new_fp, base_fp, "the patched problem must be re-keyed");
+    let reused = delta_reply
+        .get("delta")
+        .and_then(|d| d.get("reused_iterations"))
+        .and_then(Json::as_u64)
+        .expect("delta.reused_iterations");
+    assert!(reused >= 1, "replay must reuse recorded iterations");
+
+    // The reference: a cold align of the *patched* graphs, solved
+    // directly. Entry order is immaterial — L is canonicalized on
+    // build — so the client-side rebuild is the same problem.
+    let patched_entries: Vec<Json> = (0..req.l.num_edges())
+        .map(|e| {
+            let (a, b) = req.l.endpoints(e);
+            let w = if (a, b) == (r0, r1) {
+                1.25
+            } else {
+                req.l.weight(e)
+            };
+            Json::Arr(vec![Json::U64(a as u64), Json::U64(b as u64), Json::F64(w)])
+        })
+        .chain(std::iter::once(Json::Arr(vec![
+            Json::U64(iu as u64),
+            Json::U64(iv as u64),
+            Json::F64(0.5),
+        ])))
+        .collect();
+    let patched_doc = Json::obj(vec![
+        ("op", Json::str("align")),
+        ("method", Json::str("bp")),
+        ("config", Json::obj(vec![("iterations", Json::U64(10))])),
+        ("a", common::graph_json(&req.a)),
+        ("b", common::graph_json(&req.b)),
+        (
+            "l",
+            Json::obj(vec![("entries", Json::Arr(patched_entries))]),
+        ),
+    ]);
+    let Request::Align(patched_req) = parse_request(patched_doc.render().as_bytes()).unwrap()
+    else {
+        panic!("expected align request");
+    };
+    assert_eq!(
+        netalign_serve::fingerprint::render_fingerprint(patched_req.fingerprint),
+        new_fp,
+        "the delta reply's fingerprint must equal a cold client's key for the patched graphs"
+    );
+    let (objective, matching, _) = direct_reference(&patched_doc);
+    assert_eq!(
+        reply_f64(&delta_reply, "objective").to_bits(),
+        objective.to_bits(),
+        "delta re-align must be bit-identical to a cold solve of the patched problem"
+    );
+    assert_eq!(reply_matching(&delta_reply), matching);
+
+    // Deltas chain: the re-keyed entry answers to the new fingerprint.
+    let chain_doc = Json::obj(vec![
+        ("op", Json::str("align_delta")),
+        ("base", Json::str(new_fp.clone())),
+        (
+            "l",
+            Json::obj(vec![(
+                "reweight",
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::U64(r0 as u64),
+                    Json::U64(r1 as u64),
+                    Json::F64(0.75),
+                ])]),
+            )]),
+        ),
+    ]);
+    let chain_reply = client.request(&chain_doc).expect("chained delta");
+    assert_eq!(response_code(&chain_reply), 200, "{}", chain_reply.render());
+
+    // The old key is gone (re-keyed away) → typed 422, the fallback
+    // signal a client needs to re-align with record:true.
+    let stale = client.request(&delta_doc).expect("stale-base delta");
+    assert_eq!(response_code(&stale), 422, "{}", stale.render());
+
+    // An align served WITHOUT record cannot be a delta base → 422.
+    let unrecorded = align_doc(40, 4, 4, None);
+    let reply = client.request(&unrecorded).expect("plain align");
+    assert_eq!(response_code(&reply), 200);
+    let plain_fp = reply
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let bad = Json::obj(vec![
+        ("op", Json::str("align_delta")),
+        ("base", Json::str(plain_fp)),
+        (
+            "l",
+            Json::obj(vec![(
+                "reweight",
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::U64(0),
+                    Json::U64(0),
+                    Json::F64(2.0),
+                ])]),
+            )]),
+        ),
+    ]);
+    let reply = client.request(&bad).expect("unrecorded-base delta");
+    assert_eq!(response_code(&reply), 422, "{}", reply.render());
+
+    let metrics = fetch_metrics(&daemon);
+    assert_eq!(metric_u64(&metrics, "delta.served"), 2);
+    assert_eq!(metric_u64(&metrics, "delta.rejected"), 2);
+    assert!(metric_u64(&metrics, "delta.reused_iterations") >= 1);
+}
+
+#[test]
 fn malformed_and_oversized_requests_get_typed_errors_and_service_continues() {
     let daemon = Daemon::spawn(&["--max-frame-bytes", "4096"]);
     let mut client = daemon.client();

@@ -22,13 +22,18 @@
 //! too: a loop that never reaches a probe point cannot be recovered,
 //! only reported.
 //!
-//! Like the fault plan in [`crate::faults`], the *current* token is
-//! process-global (the runtime hook is a bare `fn` pointer and cannot
-//! carry state); concurrent harness runs in one process would observe
-//! each other's deadlines, so tests serialize through
-//! [`crate::faults::test_lock`].
+//! Tokens are installed in a **scoped registry**: [`register`] assigns
+//! a fresh scope id, the harness tells the runtime that id is current
+//! on its thread (`rayon::set_cancel_scope`), and the runtime carries
+//! it into every parallel region published under it — helper workers
+//! adopt the publisher's scope for the duration of a region. The
+//! chunk-claim probe ([`chunk_probe`]) receives that scope and looks up
+//! *its own run's* token, so concurrent harness runs in one process
+//! never observe each other's deadlines or cancellations. (The fault
+//! plan in [`crate::faults`] remains process-global; tests that inject
+//! faults still serialize through [`crate::faults::test_lock`].)
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -200,45 +205,69 @@ impl CancelToken {
 }
 
 // ---------------------------------------------------------------------
-// The process-global current token (runtime hook target).
+// The scoped token registry (runtime hook target).
 // ---------------------------------------------------------------------
 
-/// Fast gate mirroring `CURRENT.is_some()`; the disarmed probe cost is
-/// one relaxed load, same discipline as `faults::ARMED`.
-static ACTIVE: AtomicBool = AtomicBool::new(false);
-static CURRENT: RwLock<Option<CancelToken>> = RwLock::new(None);
+/// Fast gate mirroring "any token registered"; the disarmed probe cost
+/// is one relaxed load, same discipline as `faults::ARMED`.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+/// Registered `(scope, token)` pairs. A linear scan: the registry holds
+/// one entry per *concurrently cancellable run*, which is a handful at
+/// most, and the read lock is uncontended outside register/deregister.
+static SCOPES: RwLock<Vec<(u64, CancelToken)>> = RwLock::new(Vec::new());
+/// Scope ids are never reused within a process; 0 means "no scope".
+static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
 
-/// Install (or with `None` remove) the process-global current token the
-/// runtime's chunk-claim probe observes. The harness installs its run
-/// token for the duration of a run and removes it before assembling the
-/// final best-so-far result (final assembly must not be cancelled
-/// mid-flight by the very deadline it is answering).
-pub fn set_current(token: Option<CancelToken>) {
-    let active = token.is_some();
-    *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = token;
-    ACTIVE.store(active, Ordering::Release);
+/// Register `token` under a fresh scope id. The caller is responsible
+/// for making that id current on its thread for the duration of the
+/// run (`rayon::set_cancel_scope`) and for [`deregister`]ing it before
+/// assembling the final best-so-far result (final assembly must not be
+/// cancelled mid-flight by the very deadline it is answering).
+pub fn register(token: CancelToken) -> u64 {
+    let scope = NEXT_SCOPE.fetch_add(1, Ordering::Relaxed);
+    SCOPES
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((scope, token));
+    ACTIVE.fetch_add(1, Ordering::Release);
+    scope
 }
 
-/// The currently installed token, if any.
-pub fn current() -> Option<CancelToken> {
-    if !ACTIVE.load(Ordering::Acquire) {
+/// Remove the token registered under `scope`. Idempotent.
+pub fn deregister(scope: u64) {
+    let mut guard = SCOPES.write().unwrap_or_else(|e| e.into_inner());
+    if let Some(pos) = guard.iter().position(|(s, _)| *s == scope) {
+        guard.swap_remove(pos);
+        ACTIVE.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The token registered under `scope`, if any.
+pub fn lookup(scope: u64) -> Option<CancelToken> {
+    if scope == 0 || ACTIVE.load(Ordering::Acquire) == 0 {
         return None;
     }
-    CURRENT.read().unwrap_or_else(|e| e.into_inner()).clone()
+    SCOPES
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .find(|(s, _)| *s == scope)
+        .map(|(_, t)| t.clone())
 }
 
 /// Chunk-claim probe for the vendored runtime, installed by
 /// `netalign-core` as a plain `fn` pointer (the trace crate stays
-/// dependency-free). Bumps the current token's heartbeat — every chunk
-/// claim is forward progress the watchdog should see — and returns
-/// whether the region must cancel.
-pub fn chunk_probe() -> bool {
-    if !ACTIVE.load(Ordering::Acquire) {
+/// dependency-free). Receives the claiming thread's cancel scope from
+/// the runtime, bumps that run's heartbeat — every chunk claim is
+/// forward progress the watchdog should see — and returns whether the
+/// region must cancel.
+pub fn chunk_probe(scope: u64) -> bool {
+    if scope == 0 || ACTIVE.load(Ordering::Acquire) == 0 {
         return false;
     }
-    let guard = CURRENT.read().unwrap_or_else(|e| e.into_inner());
-    match guard.as_ref() {
-        Some(token) => {
+    let guard = SCOPES.read().unwrap_or_else(|e| e.into_inner());
+    match guard.iter().find(|(s, _)| *s == scope) {
+        Some((_, token)) => {
             token.tick();
             token.should_stop()
         }
@@ -361,18 +390,38 @@ mod tests {
     }
 
     #[test]
-    fn current_token_probe_ticks_and_reports() {
-        let _guard = crate::faults::test_lock();
-        assert!(!chunk_probe(), "no token installed");
+    fn scoped_probe_ticks_and_reports_its_own_run_only() {
+        assert!(!chunk_probe(0), "scope 0 is never cancellable");
         let t = CancelToken::new();
-        set_current(Some(t.clone()));
-        assert!(!chunk_probe());
+        let scope = register(t.clone());
+        assert!(!chunk_probe(scope));
         assert_eq!(t.heartbeat(), 1, "probe must tick the heartbeat");
+        assert!(
+            !chunk_probe(scope + 1_000_000),
+            "an unregistered scope must not observe this token"
+        );
+        assert_eq!(t.heartbeat(), 1);
         t.cancel(CancelReason::Manual);
-        assert!(chunk_probe());
-        set_current(None);
-        assert!(!chunk_probe());
-        assert!(current().is_none());
+        assert!(chunk_probe(scope));
+        deregister(scope);
+        assert!(!chunk_probe(scope));
+        assert!(lookup(scope).is_none());
+    }
+
+    #[test]
+    fn concurrent_scopes_are_independent() {
+        let t1 = CancelToken::new();
+        let t2 = CancelToken::new();
+        let s1 = register(t1.clone());
+        let s2 = register(t2.clone());
+        t1.cancel(CancelReason::Deadline);
+        assert!(chunk_probe(s1), "cancelled run must stop");
+        assert!(!chunk_probe(s2), "sibling run must keep going");
+        assert_eq!(t2.reason(), None);
+        deregister(s1);
+        deregister(s2);
+        // Deregistering twice is harmless.
+        deregister(s1);
     }
 
     #[test]

@@ -352,6 +352,10 @@ fn cmd_align(flags: &HashMap<String, String>) {
                     _ => exitcode::INTERNAL,
                 })
             }
+            Err(HarnessError::Delta(e)) => {
+                eprintln!("delta replay failed: {e}");
+                exit(exitcode::INTERNAL)
+            }
         }
     };
     let unpack = |o: AlignOutcome| {

@@ -43,7 +43,12 @@
 //! claim gives the embedding application cooperative cancellation: an
 //! armed hook stops a region within one chunk of work per participant
 //! and unwinds it with the distinguished [`RegionCancelled`] payload,
-//! reusing the panic machinery so the pool survives untouched.
+//! reusing the panic machinery so the pool survives untouched. The
+//! probe receives the claiming thread's [cancel *scope*](set_cancel_scope)
+//! — an opaque `u64` the embedder assigns per logical run, captured at
+//! region publish time and adopted by every helping worker — so
+//! concurrent runs in one process each observe only their own
+//! cancellation source.
 //!
 //! `NETALIGN_THREADS` (read once) overrides the default thread count
 //! the way `RAYON_NUM_THREADS` / `OMP_NUM_THREADS` would.
@@ -128,13 +133,15 @@ impl fmt::Display for RegionCancelled {
 /// the region must cancel. The embedding application installs its
 /// cancellation probe here (netalign wires
 /// `netalign_trace::cancel::chunk_probe` in, which also bumps the
-/// watchdog heartbeat per claim). Same representation discipline as
-/// the fault hook: a thin `fn` pointer, null = disarmed, one relaxed
-/// load per chunk when off.
+/// watchdog heartbeat per claim). The probe receives the claiming
+/// thread's [cancel scope](set_cancel_scope), so the embedder can key
+/// a token registry on it. Same representation discipline as the
+/// fault hook: a thin `fn` pointer, null = disarmed, one relaxed load
+/// per chunk when off.
 static CHUNK_CANCEL_HOOK: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
 
 /// Install (or with `None` remove) the global chunk cancellation hook.
-pub fn set_chunk_cancel_hook(hook: Option<fn() -> bool>) {
+pub fn set_chunk_cancel_hook(hook: Option<fn(u64) -> bool>) {
     let raw = hook.map_or(std::ptr::null_mut(), |f| f as *mut ());
     CHUNK_CANCEL_HOOK.store(raw, Ordering::Release);
 }
@@ -145,9 +152,43 @@ fn chunk_cancel_probe() -> bool {
     if raw.is_null() {
         return false;
     }
-    // SAFETY: the only non-null values ever stored are `fn() -> bool`
+    // SAFETY: the only non-null values ever stored are `fn(u64) -> bool`
     // pointers from `set_chunk_cancel_hook`.
-    let f: fn() -> bool = unsafe { std::mem::transmute::<*mut (), fn() -> bool>(raw) };
+    let f: fn(u64) -> bool = unsafe { std::mem::transmute::<*mut (), fn(u64) -> bool>(raw) };
+    f(current_cancel_scope())
+}
+
+// ---------------------------------------------------------------------
+// Cancel-scope propagation.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The cancel scope (an embedder-assigned run id; 0 = none) this
+    /// thread's parallel regions belong to. Captured into the job at
+    /// publish time and adopted by helping workers, so the cancel hook
+    /// sees the *publishing run's* scope on every participant.
+    static CANCEL_SCOPE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The cancel scope in effect on this thread (0 = none).
+pub fn current_cancel_scope() -> u64 {
+    CANCEL_SCOPE.with(|c| c.get())
+}
+
+/// Set this thread's cancel scope, returning the previous one so
+/// callers can restore it (scopes nest like any ambient context).
+pub fn set_cancel_scope(scope: u64) -> u64 {
+    CANCEL_SCOPE.with(|c| c.replace(scope))
+}
+
+fn with_cancel_scope<R>(scope: u64, f: impl FnOnce() -> R) -> R {
+    struct Guard(u64);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CANCEL_SCOPE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Guard(set_cancel_scope(scope));
     f()
 }
 
@@ -282,6 +323,8 @@ struct JobCore {
     max_helpers: usize,
     /// Pool size workers adopt (for `current_num_threads` and nesting).
     pool: usize,
+    /// Cancel scope workers adopt (the publisher's at publish time).
+    scope: u64,
     /// Executes one claimed chunk of the concrete job.
     exec: unsafe fn(*const JobCore, usize),
     /// Guards the caller's wait for `helpers == 0` after unpublish.
@@ -297,6 +340,7 @@ impl JobCore {
             helpers: AtomicUsize::new(0),
             max_helpers: (pool.saturating_sub(1)).min(n_chunks),
             pool,
+            scope: current_cancel_scope(),
             exec,
             done_lock: Mutex::new(()),
             done_cond: Condvar::new(),
@@ -414,12 +458,14 @@ fn worker_loop(reg: &'static Registry) {
         core.helpers.fetch_add(1, Ordering::Relaxed);
         drop(st);
 
-        with_pool_size(core.pool, || loop {
-            let idx = core.cursor.fetch_add(1, Ordering::Relaxed);
-            if idx >= core.n_chunks {
-                break;
-            }
-            unsafe { (core.exec)(jp.0, idx) };
+        with_cancel_scope(core.scope, || {
+            with_pool_size(core.pool, || loop {
+                let idx = core.cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= core.n_chunks {
+                    break;
+                }
+                unsafe { (core.exec)(jp.0, idx) };
+            })
         });
 
         {
@@ -1466,7 +1512,7 @@ mod tests {
         // serializes access to the process-global hook; cancelling here
         // would race the other tests in this binary.)
         static PROBES: AtomicUsize = AtomicUsize::new(0);
-        fn never() -> bool {
+        fn never(_scope: u64) -> bool {
             PROBES.fetch_add(1, Ordering::Relaxed);
             false
         }
@@ -1486,6 +1532,29 @@ mod tests {
             after,
             "cancel hook still firing after uninstall"
         );
+    }
+
+    #[test]
+    fn workers_adopt_the_publishers_cancel_scope() {
+        // Every chunk of a region published under scope S must observe
+        // scope S, whether it runs inline on the caller or on a helper
+        // worker; the worker's ambient scope must be restored after.
+        let prev = crate::set_cancel_scope(4242);
+        let (lo, hi) = pool(4).install(|| {
+            let lo = (0..100_000usize)
+                .into_par_iter()
+                .map(|_| crate::current_cancel_scope())
+                .min();
+            let hi = (0..100_000usize)
+                .into_par_iter()
+                .map(|_| crate::current_cancel_scope())
+                .max();
+            (lo, hi)
+        });
+        crate::set_cancel_scope(prev);
+        assert_eq!(lo, Some(4242), "a participant ran below the scope");
+        assert_eq!(hi, Some(4242), "a participant ran outside the scope");
+        assert_eq!(crate::current_cancel_scope(), prev);
     }
 
     #[test]

@@ -311,6 +311,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a 64-bit hash — the checksum used by every on-disk format in
+/// the workspace (checkpoints, serve-layer spill files, the operations
+/// journal), exported so they all agree on one implementation.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
 /// Fingerprint of every config field that influences the iteration
 /// trajectory. Observability toggles (`record_history`,
 /// `trace_matcher`) and the checkpoint cadence itself are deliberately
@@ -345,39 +352,71 @@ fn problem_shape(p: &NetAlignProblem) -> (u64, u64, u64, u64) {
 // Payload serialization
 // ---------------------------------------------------------------------
 
-struct Writer {
+/// Little-endian payload builder shared by every on-disk format in the
+/// workspace (checkpoint payloads, serve-layer spill files, journal
+/// records). Pure in-memory appends; framing/checksums stay with the
+/// caller.
+pub struct PayloadWriter {
     buf: Vec<u8>,
 }
 
-impl Writer {
-    fn new() -> Self {
-        Writer { buf: Vec::new() }
+impl Default for PayloadWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PayloadWriter {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        PayloadWriter { buf: Vec::new() }
     }
 
-    fn put_u8(&mut self, v: u8) {
+    /// Consume the writer, yielding the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn put_u64(&mut self, v: u64) {
+    /// Append a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn put_usize(&mut self, v: usize) {
+    /// Append a `usize` as `u64`.
+    pub fn put_usize(&mut self, v: usize) {
         self.put_u64(v as u64);
     }
 
-    fn put_f64(&mut self, v: f64) {
+    /// Append an `f64` by bit pattern (exact round-trip, NaN-safe).
+    pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 
-    fn put_f64_slice(&mut self, v: &[f64]) {
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
         self.put_usize(v.len());
         for &x in v {
             self.put_f64(x);
         }
     }
 
-    fn put_usize_slice(&mut self, v: &[usize]) {
+    /// Append a length-prefixed `usize` slice.
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
         self.put_usize(v.len());
         for &x in v {
             self.put_usize(x);
@@ -440,17 +479,19 @@ impl Writer {
 
 /// Bounded cursor over the payload; every read is length-checked and
 /// reports a descriptive corruption detail instead of panicking.
-struct Reader<'a> {
+pub struct PayloadReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+impl<'a> PayloadReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+    /// Borrow the next `n` bytes, or a descriptive truncation error.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
         if self.buf.len() - self.pos < n {
             return Err(format!(
                 "payload truncated reading {what}: need {n} bytes at offset {}, have {}",
@@ -463,30 +504,34 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn get_u8(&mut self, what: &str) -> Result<u8, String> {
+    /// Next byte.
+    pub fn get_u8(&mut self, what: &str) -> Result<u8, String> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn get_u64(&mut self, what: &str) -> Result<u64, String> {
+    /// Next `u64` (little-endian).
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, String> {
         let b = self.take(8, what)?;
         let mut arr = [0u8; 8];
         arr.copy_from_slice(b);
         Ok(u64::from_le_bytes(arr))
     }
 
-    fn get_usize(&mut self, what: &str) -> Result<usize, String> {
+    /// Next `u64`, converted to `usize`.
+    pub fn get_usize(&mut self, what: &str) -> Result<usize, String> {
         let v = self.get_u64(what)?;
         usize::try_from(v).map_err(|_| format!("{what}: value {v} exceeds usize"))
     }
 
-    fn get_f64(&mut self, what: &str) -> Result<f64, String> {
+    /// Next `f64` by bit pattern.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, String> {
         Ok(f64::from_bits(self.get_u64(what)?))
     }
 
     /// Length-prefixed `f64` vector whose length must equal `expect`
     /// (a problem dimension), guarding against shape-coherent headers
     /// with incoherent payloads.
-    fn get_f64_vec(&mut self, expect: usize, what: &str) -> Result<Vec<f64>, String> {
+    pub fn get_f64_vec(&mut self, expect: usize, what: &str) -> Result<Vec<f64>, String> {
         let len = self.get_usize(what)?;
         if len != expect {
             return Err(format!("{what}: length {len}, expected {expect}"));
@@ -502,7 +547,8 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
-    fn get_usize_vec(&mut self, max: usize, what: &str) -> Result<Vec<usize>, String> {
+    /// Length-prefixed `usize` vector, capped at `max` entries.
+    pub fn get_usize_vec(&mut self, max: usize, what: &str) -> Result<Vec<usize>, String> {
         let len = self.get_usize(what)?;
         if len > max {
             return Err(format!("{what}: implausible length {len} (cap {max})"));
@@ -586,7 +632,8 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn finish(&self, what: &str) -> Result<(), String> {
+    /// Assert the cursor consumed the whole buffer.
+    pub fn finish(&self, what: &str) -> Result<(), String> {
         if self.pos != self.buf.len() {
             return Err(format!(
                 "{what}: {} trailing bytes after payload",
@@ -598,7 +645,7 @@ impl<'a> Reader<'a> {
 }
 
 fn serialize_payload(state: &CheckpointState) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut w = PayloadWriter::new();
     match state {
         CheckpointState::Bp(s) => {
             w.put_usize(s.k);
@@ -630,7 +677,7 @@ fn serialize_payload(state: &CheckpointState) -> Vec<u8> {
             w.put_matcher(&s.matcher);
         }
     }
-    w.buf
+    w.into_bytes()
 }
 
 /// Sanity cap for variable-length payload sections, derived from the
@@ -648,7 +695,7 @@ fn parse_payload(
 ) -> Result<CheckpointState, String> {
     let (_, _, m, nnz) = p.shape();
     let cap = plausibility_cap(config);
-    let mut r = Reader::new(payload);
+    let mut r = PayloadReader::new(payload);
     let state = match engine {
         EngineKind::Bp => {
             let k = r.get_usize("bp.k")?;
@@ -759,7 +806,7 @@ pub fn write_checkpoint(
 
 /// Write `bytes` to `path` via a same-directory temp file + `fsync` +
 /// rename, so a crash never leaves a partial file under `path`.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
@@ -809,7 +856,7 @@ pub fn load_checkpoint(
     }
     // Header reads cannot fail on length (checked above); map_err keeps
     // the load path unwrap-free regardless.
-    let mut r = Reader::new(&bytes[4..HEADER_LEN]);
+    let mut r = PayloadReader::new(&bytes[4..HEADER_LEN]);
     let version = {
         let b = r.take(4, "version").map_err(corrupt)?;
         u32::from_le_bytes([b[0], b[1], b[2], b[3]])

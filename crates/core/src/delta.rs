@@ -39,7 +39,7 @@
 
 use crate::bp::othermax::{column_positions, max2};
 use crate::bp::BpEngine;
-use crate::checkpoint::BpState;
+use crate::checkpoint::{BpState, PayloadReader, PayloadWriter};
 use crate::config::AlignConfig;
 use crate::objective::{evaluate_matching_with_scratch, ObjectiveValue};
 use crate::problem::NetAlignProblem;
@@ -141,6 +141,99 @@ impl BpTrajectory {
     /// Approximate heap footprint of the recorded floats.
     pub fn memory_bytes(&self) -> usize {
         (self.y.len() + self.z.len() + self.sk.len()) * 8
+    }
+
+    /// Serialize the full trajectory into `w` (bit-exact floats). The
+    /// shape (`m`, `nnz`) is *not* written — deserialization takes it
+    /// from the surrounding problem, so a spill file whose problem and
+    /// trajectory disagree is rejected instead of half-loaded.
+    pub fn serialize_into(&self, w: &mut PayloadWriter) {
+        w.put_usize(self.iterations);
+        w.put_usize(self.numeric_recoveries);
+        w.put_f64_slice(&self.y);
+        w.put_f64_slice(&self.z);
+        w.put_f64_slice(&self.sk);
+        w.put_usize(self.stages.len());
+        for st in &self.stages {
+            w.put_usize(st.iteration);
+            w.put_usize(st.parity);
+            w.put_f64(st.value.weight);
+            w.put_f64(st.value.overlap);
+            w.put_f64(st.value.total);
+            w.put_usize(st.pairs.len());
+            for &(a, b) in &st.pairs {
+                w.put_u64(a as u64);
+                w.put_u64(b as u64);
+            }
+        }
+    }
+
+    /// Deserialize a trajectory recorded over a problem with `m`
+    /// candidates and `nnz` squares entries; every length is validated
+    /// against that shape before any state is built.
+    pub fn deserialize(r: &mut PayloadReader<'_>, m: usize, nnz: usize) -> Result<Self, String> {
+        let iterations = r.get_usize("trajectory.iterations")?;
+        // One f64 per candidate per iteration: anything claiming more
+        // than a few thousand iterations is damage, not data.
+        if iterations > 1 << 20 {
+            return Err(format!("trajectory.iterations {iterations} implausible"));
+        }
+        let numeric_recoveries = r.get_usize("trajectory.numeric_recoveries")?;
+        let y = r.get_f64_vec(iterations * m, "trajectory.y")?;
+        let z = r.get_f64_vec(iterations * m, "trajectory.z")?;
+        let sk = r.get_f64_vec(iterations * nnz, "trajectory.sk")?;
+        let n_stages = r.get_usize("trajectory.stages length")?;
+        if n_stages != 2 * iterations {
+            return Err(format!(
+                "trajectory.stages length {n_stages}, expected {}",
+                2 * iterations
+            ));
+        }
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let iteration = r.get_usize("stage.iteration")?;
+            let parity = r.get_usize("stage.parity")?;
+            if parity > 1 {
+                return Err(format!("stage.parity: invalid value {parity}"));
+            }
+            let weight = r.get_f64("stage.value.weight")?;
+            let overlap = r.get_f64("stage.value.overlap")?;
+            let total = r.get_f64("stage.value.total")?;
+            let n_pairs = r.get_usize("stage.pairs length")?;
+            if n_pairs > m {
+                return Err(format!(
+                    "stage.pairs length {n_pairs} exceeds candidates {m}"
+                ));
+            }
+            let mut pairs = Vec::with_capacity(n_pairs);
+            for _ in 0..n_pairs {
+                let a = r.get_u64("stage.pair a")?;
+                let b = r.get_u64("stage.pair b")?;
+                let a = VertexId::try_from(a).map_err(|_| "stage.pair a out of range")?;
+                let b = VertexId::try_from(b).map_err(|_| "stage.pair b out of range")?;
+                pairs.push((a, b));
+            }
+            stages.push(RecordedStage {
+                iteration,
+                parity,
+                pairs,
+                value: ObjectiveValue {
+                    weight,
+                    overlap,
+                    total,
+                },
+            });
+        }
+        Ok(BpTrajectory {
+            m,
+            nnz,
+            iterations,
+            y,
+            z,
+            sk,
+            stages,
+            numeric_recoveries,
+        })
     }
 }
 

@@ -1,0 +1,578 @@
+//! `chaos_smoke` — the crash-recovery gate, as a bench bin.
+//!
+//! For each injected fault point it runs the full kill/recover cycle
+//! against a real supervised `netalignd` (spawned from the same build
+//! directory) and checks the chaos contract end to end:
+//!
+//! 1. A control daemon (no faults) records a base and serves one
+//!    `align_delta`; its reply is the reference bits.
+//! 2. A supervised daemon with `NETALIGN_FAULT_KILL=<point>@1` and a
+//!    fresh `--state-dir` takes the same traffic. The armed request
+//!    dies mid-flight (`std::process::abort`, the SIGKILL stand-in);
+//!    the client reconnects-and-retries until a 200 lands on the
+//!    restarted child.
+//! 3. The post-recovery delta must be bit-identical to the control
+//!    (objective/weight/overlap bits, the full matching, the
+//!    fingerprint), with zero hung clients and zero malformed frames.
+//!
+//! The JSON report (default `results/CHAOS_8.json`; CI's
+//! `chaos-matrix` job parses per-point copies) carries per-point
+//! verdicts, recovery walls, client-side error accounting, and the
+//! recovered server's own `durable` metrics. Exits non-zero if any
+//! point misses the contract.
+//!
+//! Flags: `--points` (comma list, default all four), `--threads`,
+//! `--vertices`, `--iterations`, `--seed`, `--out PATH`.
+
+use netalign_core::exitcode;
+use netalign_graph::generators::{add_random_edges, identity_plus_noise_l, power_law_graph};
+use netalign_graph::{BipartiteGraph, Graph};
+use netalign_serve::client::{response_code, Client};
+use netalign_serve::protocol::{parse_request, Request};
+use netalign_trace::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+chaos_smoke — crash/recovery gate for netalignd
+
+USAGE:
+    chaos_smoke [OPTIONS]
+
+OPTIONS:
+    --points LIST    comma-separated fault points to kill at
+                     (default solve,journal-append,spill-rename,reply)
+    --threads N      solver threads for the daemons (default 1)
+    --vertices N     vertices per generated graph (default 48)
+    --iterations N   aligner iterations per request (default 6)
+    --seed N         workload seed (default 7)
+    --out PATH       report path (default results/CHAOS_8.json)
+    --help           print this help
+";
+
+const KNOWN_POINTS: [&str; 4] = ["solve", "journal-append", "spill-rename", "reply"];
+/// Every client op is bounded by this; a hung server surfaces as an
+/// error, never a wedge.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(15);
+/// Outer patience for crash + backoff + restart + recovery.
+const PATIENCE: Duration = Duration::from_secs(60);
+
+struct Opts {
+    points: Vec<String>,
+    threads: usize,
+    vertices: usize,
+    iterations: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        points: KNOWN_POINTS.iter().map(|p| p.to_string()).collect(),
+        threads: 1,
+        vertices: 48,
+        iterations: 6,
+        seed: 7,
+        out: "results/CHAOS_8.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{HELP}");
+            std::process::exit(exitcode::OK);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let bad = |e: &dyn std::fmt::Display| format!("{flag}: {e}");
+        match flag.as_str() {
+            "--points" => {
+                o.points = value.split(',').map(|p| p.trim().to_string()).collect();
+                for p in &o.points {
+                    if !KNOWN_POINTS.contains(&p.as_str()) {
+                        return Err(format!(
+                            "--points: unknown fault point '{p}' (known: {})",
+                            KNOWN_POINTS.join(", ")
+                        ));
+                    }
+                }
+            }
+            "--threads" => o.threads = value.parse().map_err(|e| bad(&e))?,
+            "--vertices" => o.vertices = value.parse().map_err(|e| bad(&e))?,
+            "--iterations" => o.iterations = value.parse().map_err(|e| bad(&e))?,
+            "--seed" => o.seed = value.parse().map_err(|e| bad(&e))?,
+            "--out" => o.out = value,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Opts { ..o })
+}
+
+/// `git rev-parse HEAD`, or `Json::Null` outside a work tree.
+fn git_rev() -> Json {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| Json::str(s.trim()))
+        .unwrap_or(Json::Null)
+}
+
+// ---------------------------------------------------------------------
+// Daemon plumbing (the bench-bin twin of the test-suite helper)
+// ---------------------------------------------------------------------
+
+/// A spawned `netalignd` (or its supervisor); drained-or-killed on
+/// drop so a failed point can't leak a serving child.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str], envs: &[(&str, &str)]) -> Result<Daemon, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("current_exe: {e}"))?
+            .with_file_name("netalignd");
+        let mut cmd = Command::new(&exe);
+        cmd.args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", exe.display()))?;
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read listening line: {e}"))?;
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("unparseable listening line: {line:?}"))?;
+        Ok(Daemon { child, addr })
+    }
+
+    /// Ask for a clean drain and check the exit propagates as 0.
+    fn clean_shutdown(mut self) -> Result<(), String> {
+        if let Ok(mut c) = Client::connect(self.addr) {
+            let _ = c.set_timeout(Some(CLIENT_TIMEOUT));
+            let _ = c.request(&Json::obj(vec![("op", Json::str("shutdown"))]));
+        }
+        let end = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < end {
+            match self.child.try_wait() {
+                Ok(Some(status)) if status.success() => return Ok(()),
+                Ok(Some(status)) => return Err(format!("daemon exited {status}")),
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        Err("daemon did not drain within 20s".to_string())
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Ok(Some(_)) = self.child.try_wait() {
+            return;
+        }
+        if let Ok(mut c) = Client::connect(self.addr) {
+            let _ = c.set_timeout(Some(Duration::from_secs(1)));
+            let _ = c.request(&Json::obj(vec![("op", Json::str("shutdown"))]));
+        }
+        let end = Instant::now() + Duration::from_secs(3);
+        while Instant::now() < end {
+            if let Ok(Some(_)) = self.child.try_wait() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload (the chaos suite's deterministic record + delta pair)
+// ---------------------------------------------------------------------
+
+fn graph_json(g: &Graph) -> Json {
+    let edges = g
+        .edges()
+        .map(|(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+        .collect();
+    Json::obj(vec![
+        ("n", Json::U64(g.num_vertices() as u64)),
+        ("edges", Json::Arr(edges)),
+    ])
+}
+
+fn candidate_json(l: &BipartiteGraph) -> Json {
+    let entries = (0..l.num_edges())
+        .map(|e| {
+            let (a, b) = l.endpoints(e);
+            Json::Arr(vec![
+                Json::U64(a as u64),
+                Json::U64(b as u64),
+                Json::F64(l.weight(e)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("entries", Json::Arr(entries))])
+}
+
+/// The recorded-base request every run shares (deterministic, so all
+/// daemons compute the same fingerprint).
+fn recorded_doc(o: &Opts) -> Json {
+    let n = o.vertices;
+    let seed = o.seed;
+    let base = power_law_graph(n, 2.5, 12, 0x5eed + seed);
+    let a = add_random_edges(&base, 1.0 / n as f64, 2 * seed + 1);
+    let b = add_random_edges(&base, 1.0 / n as f64, 2 * seed + 2);
+    let l = identity_plus_noise_l(n, n, 4.0 / n as f64, 1.0, 0.5, 3 * seed + 5);
+    Json::obj(vec![
+        ("op", Json::str("align")),
+        ("method", Json::str("bp")),
+        (
+            "config",
+            Json::obj(vec![("iterations", Json::U64(o.iterations as u64))]),
+        ),
+        ("a", graph_json(&a)),
+        ("b", graph_json(&b)),
+        ("l", candidate_json(&l)),
+        ("record", Json::Bool(true)),
+    ])
+}
+
+/// A valid delta against `recorded_doc`'s candidate set: reweight its
+/// first candidate edge.
+fn delta_doc(o: &Opts, base_fp: &str) -> Json {
+    let doc = recorded_doc(o);
+    let Ok(Request::Align(req)) = parse_request(doc.render().as_bytes()) else {
+        panic!("own doc must parse as align");
+    };
+    let (r0, r1) = req.l.endpoints(0);
+    Json::obj(vec![
+        ("op", Json::str("align_delta")),
+        ("base", Json::str(base_fp)),
+        (
+            "l",
+            Json::obj(vec![(
+                "reweight",
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::U64(r0 as u64),
+                    Json::U64(r1 as u64),
+                    Json::F64(1.25),
+                ])]),
+            )]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Client-side accounting
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    reconnects: u64,
+    retried_503: u64,
+    malformed_frames: u64,
+}
+
+/// Reconnect-and-retry until a 200 lands. Connection errors mean the
+/// server is mid-crash or mid-restart; a 503 with `retry_after_ms`
+/// means boot recovery is still replaying. A malformed frame is
+/// counted and fatal (the contract forbids it); running out of
+/// patience returns `Err` (a hung client, also fatal).
+fn request_until_ok(addr: SocketAddr, doc: &Json, c: &mut Counters) -> Result<Json, String> {
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        if Instant::now() >= deadline {
+            return Err(format!("no 200 within {PATIENCE:?}"));
+        }
+        let Ok(mut client) = Client::connect(addr) else {
+            c.reconnects += 1;
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        client
+            .set_timeout(Some(CLIENT_TIMEOUT))
+            .map_err(|e| format!("set_timeout: {e}"))?;
+        match client.request(doc) {
+            Ok(reply) => match response_code(&reply) {
+                200 => return Ok(reply),
+                503 if reply.get("retry_after_ms").is_some() => {
+                    c.retried_503 += 1;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => return Err(format!("unexpected reply code {other}: {}", reply.render())),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                c.malformed_frames += 1;
+                return Err(format!("malformed frame: {e}"));
+            }
+            Err(_) => {
+                c.reconnects += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// The bits a delta reply must reproduce exactly.
+#[derive(PartialEq)]
+struct ReplyBits {
+    objective: u64,
+    weight: u64,
+    overlap: u64,
+    matching: Vec<(u64, u64)>,
+    fingerprint: String,
+}
+
+fn reply_bits(reply: &Json) -> Result<ReplyBits, String> {
+    let f = |k: &str| {
+        reply
+            .get(k)
+            .and_then(Json::as_f64)
+            .map(f64::to_bits)
+            .ok_or_else(|| format!("missing {k} in {}", reply.render()))
+    };
+    let mut matching: Vec<(u64, u64)> = reply
+        .get("matching")
+        .and_then(Json::as_arr)
+        .ok_or("missing matching")?
+        .iter()
+        .filter_map(|p| {
+            let p = p.as_arr()?;
+            Some((p[0].as_u64()?, p[1].as_u64()?))
+        })
+        .collect();
+    matching.sort_unstable();
+    Ok(ReplyBits {
+        objective: f("objective")?,
+        weight: f("weight")?,
+        overlap: f("overlap")?,
+        matching,
+        fingerprint: reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("missing fingerprint")?
+            .to_string(),
+    })
+}
+
+fn fetch_durable_metrics(addr: SocketAddr) -> Result<Json, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.set_timeout(Some(CLIENT_TIMEOUT))
+        .map_err(|e| format!("set_timeout: {e}"))?;
+    let reply = c
+        .request(&Json::obj(vec![("op", Json::str("metrics"))]))
+        .map_err(|e| format!("metrics: {e}"))?;
+    reply
+        .get("metrics")
+        .cloned()
+        .ok_or_else(|| "missing metrics body".to_string())
+}
+
+// ---------------------------------------------------------------------
+// The per-point cycle
+// ---------------------------------------------------------------------
+
+/// The uncrashed reference: the recorded base's fingerprint plus the
+/// delta reply bits (whose own fingerprint is the *patched* one).
+struct Control {
+    record_fp: String,
+    delta: ReplyBits,
+}
+
+/// One kill/recover cycle; returns the per-point report entry and
+/// whether the point met the contract.
+fn run_point(o: &Opts, point: &str, control: &Control) -> (Json, bool) {
+    let started = Instant::now();
+    let dir = std::env::temp_dir().join(format!(
+        "netalignd-chaos-smoke-{point}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut counters = Counters::default();
+
+    let verdict = run_point_inner(o, point, control, &dir, &mut counters);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (ok, error, durable) = match verdict {
+        Ok(durable) => (true, Json::Null, durable),
+        Err(msg) => {
+            eprintln!("chaos_smoke: point '{point}' FAILED: {msg}");
+            (false, Json::str(&msg), Json::Null)
+        }
+    };
+    let entry = Json::obj(vec![
+        ("point", Json::str(point)),
+        ("ok", Json::Bool(ok)),
+        ("error", error),
+        ("wall_ms", Json::F64(started.elapsed().as_secs_f64() * 1e3)),
+        ("reconnects", Json::U64(counters.reconnects)),
+        ("retried_503", Json::U64(counters.retried_503)),
+        ("malformed_frames", Json::U64(counters.malformed_frames)),
+        ("durable", durable),
+    ]);
+    (entry, ok)
+}
+
+fn run_point_inner(
+    o: &Opts,
+    point: &str,
+    control: &Control,
+    dir: &Path,
+    counters: &mut Counters,
+) -> Result<Json, String> {
+    let threads = o.threads.to_string();
+    let daemon = Daemon::spawn(
+        &[
+            "--supervise",
+            "--state-dir",
+            dir.to_str().expect("utf-8 dir"),
+            "--threads",
+            &threads,
+        ],
+        &[("NETALIGN_FAULT_KILL", &format!("{point}@1"))],
+    )?;
+
+    // The armed request dies at the fault point; retries land on the
+    // restarted child. At the `reply` point the recovered child serves
+    // the retry warm from the journal-replayed base.
+    let rec = request_until_ok(daemon.addr, &recorded_doc(o), counters)?;
+    let fp = rec
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("record reply lacks fingerprint")?
+        .to_string();
+    if fp != control.record_fp {
+        return Err(format!(
+            "recorded fingerprint {fp} diverges from control {}",
+            control.record_fp
+        ));
+    }
+    let delta = request_until_ok(daemon.addr, &delta_doc(o, &fp), counters)?;
+    if reply_bits(&delta)? != control.delta {
+        return Err(format!(
+            "post-recovery delta is not bit-identical to the control: {}",
+            delta.render()
+        ));
+    }
+
+    let metrics = fetch_durable_metrics(daemon.addr)?;
+    let durable = metrics
+        .get("durable")
+        .cloned()
+        .ok_or("metrics lack a durable section")?;
+    let restarts = durable.get("restarts").and_then(Json::as_u64).unwrap_or(0);
+    if restarts == 0 {
+        return Err("the serving child was never restarted".to_string());
+    }
+    daemon.clean_shutdown()?;
+    Ok(durable)
+}
+
+fn main() {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("chaos_smoke: {msg}\n\n{HELP}");
+            std::process::exit(exitcode::USAGE);
+        }
+    };
+
+    // The uncrashed reference.
+    let mut counters = Counters::default();
+    let threads = o.threads.to_string();
+    let control_daemon = Daemon::spawn(&["--threads", &threads], &[]).unwrap_or_else(|e| {
+        eprintln!("chaos_smoke: control spawn failed: {e}");
+        std::process::exit(exitcode::INTERNAL);
+    });
+    let control = (|| -> Result<Control, String> {
+        let rec = request_until_ok(control_daemon.addr, &recorded_doc(&o), &mut counters)?;
+        let record_fp = rec
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("control record lacks fingerprint")?
+            .to_string();
+        let delta = request_until_ok(
+            control_daemon.addr,
+            &delta_doc(&o, &record_fp),
+            &mut counters,
+        )?;
+        Ok(Control {
+            record_fp,
+            delta: reply_bits(&delta)?,
+        })
+    })()
+    .unwrap_or_else(|e| {
+        eprintln!("chaos_smoke: control run failed: {e}");
+        std::process::exit(exitcode::INTERNAL);
+    });
+    drop(control_daemon);
+
+    let mut entries = Vec::new();
+    let mut all_ok = true;
+    for point in &o.points {
+        eprintln!("chaos_smoke: killing at '{point}' ...");
+        let (entry, ok) = run_point(&o, point, &control);
+        entries.push(entry);
+        all_ok &= ok;
+    }
+
+    let bench = std::path::Path::new(&o.out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("CHAOS")
+        .to_string();
+    let report = Json::obj(vec![
+        ("bench", Json::str(bench)),
+        ("git_rev", git_rev()),
+        (
+            "config",
+            Json::obj(vec![
+                (
+                    "points",
+                    Json::Arr(o.points.iter().map(Json::str).collect()),
+                ),
+                ("threads", Json::U64(o.threads as u64)),
+                ("vertices", Json::U64(o.vertices as u64)),
+                ("iterations", Json::U64(o.iterations as u64)),
+                ("seed", Json::U64(o.seed)),
+            ]),
+        ),
+        (
+            "control",
+            Json::obj(vec![
+                ("record_fingerprint", Json::str(&control.record_fp)),
+                ("delta_fingerprint", Json::str(&control.delta.fingerprint)),
+            ]),
+        ),
+        ("points", Json::Arr(entries)),
+        ("ok", Json::Bool(all_ok)),
+    ]);
+
+    let rendered = report.render();
+    if let Some(dir) = std::path::Path::new(&o.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create report directory");
+        }
+    }
+    std::fs::write(&o.out, &rendered).expect("write report");
+    println!("{rendered}");
+    std::io::stdout().flush().ok();
+    std::process::exit(if all_ok { exitcode::OK } else { 1 });
+}

@@ -228,21 +228,85 @@ struct Samples {
     delta_fallbacks: u64,
     /// Sum of `delta.reused_iterations` over all delta replies.
     delta_reused_iterations: u64,
+    /// Connections re-established after an I/O failure (a crashed or
+    /// restarting server).
+    reconnects: u64,
 }
 
-fn connect(o: &Opts) -> std::io::Result<Client> {
-    let addr: SocketAddr = o
-        .addr
+fn resolve_addr(o: &Opts) -> std::io::Result<SocketAddr> {
+    o.addr
         .parse()
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
-    Client::connect(addr)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))
+}
+
+/// A client that survives server restarts: an I/O error drops the
+/// connection and retries the request on a fresh one with exponential
+/// backoff, and a 503 carrying `retry_after_ms` (boot recovery in
+/// progress) waits the hinted interval and retries. A 503 *without*
+/// the hint — drain shutdown — is returned as-is: retrying a draining
+/// server would spin until the port closes.
+struct ResilientClient {
+    addr: SocketAddr,
+    client: Option<Client>,
+    reconnects: u64,
+}
+
+impl ResilientClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<ResilientClient> {
+        Ok(ResilientClient {
+            addr,
+            client: Some(Client::connect(addr)?),
+            reconnects: 0,
+        })
+    }
+
+    fn request(&mut self, doc: &Json) -> std::io::Result<Json> {
+        let mut backoff = Duration::from_millis(10);
+        let mut last_err = std::io::Error::new(std::io::ErrorKind::TimedOut, "retries exhausted");
+        for _ in 0..24 {
+            if self.client.is_none() {
+                match Client::connect(self.addr) {
+                    Ok(c) => {
+                        self.client = Some(c);
+                        self.reconnects += 1;
+                    }
+                    Err(e) => {
+                        last_err = e;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(1));
+                        continue;
+                    }
+                }
+            }
+            match self.client.as_mut().expect("just connected").request(doc) {
+                Ok(reply) => {
+                    if response_code(&reply) == 503 {
+                        if let Some(ms) = reply.get("retry_after_ms").and_then(Json::as_u64) {
+                            std::thread::sleep(Duration::from_millis(ms.clamp(10, 2_000)));
+                            continue;
+                        }
+                    }
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    // The connection is dead (or no longer
+                    // frame-aligned); rebuild it and retry.
+                    self.client = None;
+                    last_err = e;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                }
+            }
+        }
+        Err(last_err)
+    }
 }
 
 fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Result<Samples> {
     if o.workload == "delta" {
         return delta_loop(o, idx);
     }
-    let mut client = connect(o)?;
+    let mut client = ResilientClient::connect(resolve_addr(o)?)?;
     let mut rng = Rng(o.seed ^ (0xc11e0 + idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut samples = Samples::default();
     let end = Instant::now() + o.duration;
@@ -280,6 +344,7 @@ fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Re
             _ => samples.failed += 1,
         }
     }
+    samples.reconnects = client.reconnects;
     Ok(samples)
 }
 
@@ -289,7 +354,7 @@ fn client_loop(o: &Opts, idx: usize, fresh_seed: &Arc<AtomicU64>) -> std::io::Re
 /// the base was evicted, say — falls back to a full recorded re-align
 /// of the client's current view, after which the chain resumes.
 fn delta_loop(o: &Opts, idx: usize) -> std::io::Result<Samples> {
-    let mut client = connect(o)?;
+    let mut client = ResilientClient::connect(resolve_addr(o)?)?;
     let mut rng = Rng(o.seed ^ (0xde17a + idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut samples = Samples::default();
 
@@ -327,7 +392,7 @@ fn delta_loop(o: &Opts, idx: usize) -> std::io::Result<Samples> {
             ("l", Json::obj(vec![("entries", Json::Arr(entries))])),
         ])
     };
-    let recorded_align = |client: &mut Client,
+    let recorded_align = |client: &mut ResilientClient,
                           samples: &mut Samples,
                           weights: &[f64]|
      -> std::io::Result<Option<String>> {
@@ -405,6 +470,7 @@ fn delta_loop(o: &Opts, idx: usize) -> std::io::Result<Samples> {
             _ => samples.failed += 1,
         }
     }
+    samples.reconnects = client.reconnects;
     Ok(samples)
 }
 
@@ -485,6 +551,7 @@ fn main() {
                 total.failed += s.failed;
                 total.delta_fallbacks += s.delta_fallbacks;
                 total.delta_reused_iterations += s.delta_reused_iterations;
+                total.reconnects += s.reconnects;
             }
             Err(e) => {
                 eprintln!("loadgen: client error: {e}");
@@ -553,6 +620,7 @@ fn main() {
                     "delta_reused_iterations",
                     Json::U64(total.delta_reused_iterations),
                 ),
+                ("reconnects", Json::U64(total.reconnects)),
                 ("elapsed_secs", Json::F64(elapsed)),
                 ("throughput_rps", Json::F64(ok as f64 / elapsed.max(1e-9))),
             ]),

@@ -5,10 +5,19 @@
 //! a `shutdown` op (or SIGKILL) stops it. Exit codes follow the
 //! workspace taxonomy: 0 OK, 2 usage, 3 I/O (bind failure), 5
 //! internal.
+//!
+//! With `--supervise` the process becomes a tiny supervisor instead:
+//! it resolves the bind address once (so the port survives restarts),
+//! then spawns itself as a serving child and restarts it with bounded
+//! exponential backoff whenever it dies uncleanly. Combined with
+//! `--state-dir`, a crashed child comes back with its recorded delta
+//! bases rebuilt from the journal.
 
 use netalign_core::exitcode;
 use netalign_serve::{ServerHandle, ServerOptions};
 use std::io::Write;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
 
 const HELP: &str = "\
 netalignd — network alignment as a service
@@ -23,24 +32,44 @@ OPTIONS:
     --max-frame-bytes N     largest accepted request frame (default 16777216)
     --watchdog-ms N         per-solve stall watchdog; 0 disables (default 30000)
     --threads N             solver worker threads (default: rayon's choice)
+    --state-dir PATH        durable state directory: recorded bases are spilled
+                            and journaled there, and a (re)start replays the
+                            journal so `align_delta` survives crashes
+    --journal-max-bytes N   journal rotation threshold (default 8388608)
+    --conn-timeout-ms N     per-connection frame timeout; a frame that started
+                            but did not finish in N ms answers 408 and closes;
+                            0 disables (default: off)
+    --supervise             run as a supervisor: fork a serving child and
+                            restart it (bounded exponential backoff) when it
+                            crashes; clean exits and usage errors propagate
+    --allow-crash-op        honor the `crash` op (chaos testing; default 422)
     --help                  print this help
 
 EXIT CODES:
     0  clean shutdown (drained)
     2  usage error (unknown flag, malformed value)
     3  I/O error (could not bind ADDR)
-    5  internal error
+    5  internal error (supervised child crash-looping)
 ";
 
-fn parse_args() -> Result<ServerOptions, String> {
+/// Fully parsed command line: the server options plus supervisor-only
+/// switches.
+struct Cli {
+    opts: ServerOptions,
+    supervise: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Cli, String> {
     let mut opts = ServerOptions {
         addr: "127.0.0.1:7464".to_string(),
         ..ServerOptions::default()
     };
-    let mut args = std::env::args().skip(1);
+    let mut supervise = false;
+    let mut args = argv.iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next()
+                .cloned()
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
@@ -77,21 +106,128 @@ fn parse_args() -> Result<ServerOptions, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--state-dir" => opts.state_dir = Some(value("--state-dir")?.into()),
+            "--journal-max-bytes" => {
+                opts.journal_max_bytes = value("--journal-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--journal-max-bytes: {e}"))?
+            }
+            "--conn-timeout-ms" => {
+                let ms: u64 = value("--conn-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--conn-timeout-ms: {e}"))?;
+                opts.conn_timeout_ms = (ms > 0).then_some(ms);
+            }
+            "--supervise" => supervise = true,
+            "--allow-crash-op" => opts.allow_crash_op = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(opts)
+    Ok(Cli { opts, supervise })
+}
+
+/// Run as the supervisor: resolve the port once, then keep a serving
+/// child alive. Never returns.
+fn supervise(argv: &[String], opts: &ServerOptions) -> ! {
+    // Resolve `:0` (and hostnames) to one concrete address so every
+    // restart binds the same port and clients can simply reconnect.
+    let addr = match TcpListener::bind(&opts.addr).and_then(|l| l.local_addr()) {
+        Ok(addr) => addr.to_string(),
+        Err(e) => {
+            eprintln!("netalignd: bind failed: {e}");
+            std::process::exit(exitcode::IO);
+        }
+    };
+    println!("netalignd supervising on {addr}");
+    std::io::stdout().flush().ok();
+
+    // Child argv = ours minus --supervise and --addr (replaced by the
+    // resolved address).
+    let mut child_args: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--supervise" => {}
+            "--addr" => {
+                it.next();
+            }
+            _ => child_args.push(a.clone()),
+        }
+    }
+    child_args.push("--addr".into());
+    child_args.push(addr);
+
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("netalignd: cannot find own executable: {e}");
+        std::process::exit(exitcode::INTERNAL);
+    });
+    let mut restarts: u64 = 0;
+    let mut fast_failures = 0u32;
+    loop {
+        let mut cmd = std::process::Command::new(&exe);
+        // The supervisor already announced the address; the child's
+        // own `listening on` line is redundant, and writing it must
+        // not be able to kill the child (a spawner that closed our
+        // stdout after scraping the line would otherwise crash-loop
+        // every restart on a broken pipe).
+        cmd.args(&child_args)
+            .stdout(std::process::Stdio::null())
+            .env("NETALIGND_RESTARTS", restarts.to_string());
+        if restarts > 0 {
+            // Injected faults fire in the first child only; a restarted
+            // child must come back healthy or chaos tests would loop.
+            cmd.env_remove("NETALIGN_FAULT_KILL");
+        }
+        let born = Instant::now();
+        let status = match cmd.status() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("netalignd: spawn failed: {e}");
+                std::process::exit(exitcode::INTERNAL);
+            }
+        };
+        match status.code() {
+            // Clean drain and configuration errors propagate: a
+            // restart would just repeat them.
+            Some(0) => std::process::exit(exitcode::OK),
+            Some(code @ (2 | 3)) => std::process::exit(code),
+            other => {
+                if born.elapsed() > Duration::from_secs(5) {
+                    fast_failures = 0;
+                } else {
+                    fast_failures += 1;
+                    if fast_failures >= 10 {
+                        eprintln!("netalignd: child crash-looping; giving up");
+                        std::process::exit(exitcode::INTERNAL);
+                    }
+                }
+                let backoff = Duration::from_millis((100u64 << restarts.min(6)).min(5_000));
+                eprintln!(
+                    "netalignd: child died ({}); restart #{} in {:?}",
+                    other.map_or("signal".to_string(), |c| format!("exit {c}")),
+                    restarts + 1,
+                    backoff
+                );
+                std::thread::sleep(backoff);
+                restarts += 1;
+            }
+        }
+    }
 }
 
 fn main() {
-    let opts = match parse_args() {
-        Ok(opts) => opts,
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&argv) {
+        Ok(cli) => cli,
         Err(msg) => {
             eprintln!("netalignd: {msg}\n\n{HELP}");
             std::process::exit(exitcode::USAGE);
         }
     };
-    let handle = match ServerHandle::start(opts) {
+    if cli.supervise {
+        supervise(&argv, &cli.opts);
+    }
+    let handle = match ServerHandle::start(cli.opts) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("netalignd: bind failed: {e}");

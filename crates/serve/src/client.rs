@@ -21,6 +21,14 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Bound every subsequent read/write (`None` = block forever).
+    /// The chaos tests set this so a hung server surfaces as a
+    /// `WouldBlock`/`TimedOut` error instead of wedging the suite.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Send one request document and block for its reply.
     pub fn request(&mut self, doc: &Json) -> io::Result<Json> {
         write_json(&mut self.stream, doc)?;

@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod fingerprint;
 pub mod json;
 pub mod metrics;

@@ -52,6 +52,21 @@ pub struct ServerMetrics {
     pub delta_rejected: AtomicU64,
     /// Iterations replayed through the sparse delta path, summed.
     pub delta_reused_iterations: AtomicU64,
+    /// 408 replies (per-connection frame timeout tripped).
+    pub timeouts: AtomicU64,
+    /// Supervised restarts this process has behind it (seeded from the
+    /// supervisor via `NETALIGND_RESTARTS`).
+    pub restarts: AtomicU64,
+    /// Boot-time journal recoveries that replayed committed state.
+    pub recoveries: AtomicU64,
+    /// Committed journal operations replayed at boot.
+    pub journal_replayed: AtomicU64,
+    /// Torn/corrupt journal tails discarded at boot.
+    pub journal_torn_discarded: AtomicU64,
+    /// Spill files that failed to write (entry served but not durable).
+    pub spill_write_errors: AtomicU64,
+    /// Spill files that failed to load at boot (entry dropped).
+    pub spill_load_errors: AtomicU64,
     /// End-to-end service latency (admission to reply built).
     pub service_latency: LatencyHistogram,
     /// Solve latency of cache-hit (warm) requests.
@@ -91,6 +106,13 @@ impl ServerMetrics {
             delta_served: AtomicU64::new(0),
             delta_rejected: AtomicU64::new(0),
             delta_reused_iterations: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            journal_replayed: AtomicU64::new(0),
+            journal_torn_discarded: AtomicU64::new(0),
+            spill_write_errors: AtomicU64::new(0),
+            spill_load_errors: AtomicU64::new(0),
             service_latency: LatencyHistogram::new(),
             solve_warm: LatencyHistogram::new(),
             solve_cold: LatencyHistogram::new(),
@@ -129,6 +151,7 @@ impl ServerMetrics {
                     ("overload", load(&self.overload)),
                     ("internal", load(&self.internal)),
                     ("shutting_down", load(&self.shutting_down)),
+                    ("timeouts", load(&self.timeouts)),
                 ]),
             ),
             (
@@ -163,6 +186,17 @@ impl ServerMetrics {
                     ("served", load(&self.delta_served)),
                     ("rejected", load(&self.delta_rejected)),
                     ("reused_iterations", load(&self.delta_reused_iterations)),
+                ]),
+            ),
+            (
+                "durable",
+                Json::obj(vec![
+                    ("restarts", load(&self.restarts)),
+                    ("recoveries", load(&self.recoveries)),
+                    ("journal_replayed", load(&self.journal_replayed)),
+                    ("journal_torn_discarded", load(&self.journal_torn_discarded)),
+                    ("spill_write_errors", load(&self.spill_write_errors)),
+                    ("spill_load_errors", load(&self.spill_load_errors)),
                 ]),
             ),
             (

@@ -12,6 +12,8 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"metrics"}
+//! {"op":"health"}                   // ready/degraded + restart counters
+//! {"op":"crash"}                    // abort now (needs --allow-crash-op)
 //! {"op":"shutdown"}
 //! {"op":"align", "id":"r-1", "method":"bp"|"mr",
 //!  "deadline_ms":500,              // optional SLO, includes queue wait
@@ -47,11 +49,13 @@
 //! |------|-----------------------------------------------------|
 //! | 200  | OK (aligned, completed or deadline-best-so-far)     |
 //! | 400  | malformed frame (bad JSON, wrong shape)             |
+//! | 408  | connection frame timeout (`--conn-timeout-ms`)      |
 //! | 413  | frame exceeds `max_frame_bytes`                     |
 //! | 422  | well-formed but invalid (graph/config out of range) |
 //! | 429  | admission queue full — retry later                  |
 //! | 500  | internal error (solver panicked; server survives)   |
-//! | 503  | shutting down — no new work accepted                |
+//! | 503  | shutting down, or boot recovery still in progress — |
+//! |      | the latter carries `retry_after_ms`                 |
 //! | 504  | deadline elapsed with no result assembled           |
 //!
 //! An `align` 200 reply carries the outcome: `completion`
@@ -86,6 +90,8 @@ pub const CODE_OK: u16 = 200;
 pub const CODE_MALFORMED: u16 = 400;
 /// Frame exceeds the server's `max_frame_bytes`.
 pub const CODE_OVERSIZED: u16 = 413;
+/// Per-connection frame timeout tripped mid-frame.
+pub const CODE_TIMEOUT: u16 = 408;
 /// Well-formed but semantically invalid request.
 pub const CODE_INVALID: u16 = 422;
 /// Admission queue full.
@@ -110,6 +116,11 @@ pub enum Request {
     Ping,
     /// Metrics snapshot.
     Metrics,
+    /// Readiness probe: `ready` once boot recovery (if any) finished.
+    Health,
+    /// Abort the process immediately (chaos testing; gated on
+    /// `--allow-crash-op`, 422 otherwise).
+    Crash,
     /// Drain and stop the server.
     Shutdown,
     /// Run an alignment.
@@ -266,6 +277,8 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
     match get_str(&doc, "op") {
         Some("ping") => Ok(Request::Ping),
         Some("metrics") => Ok(Request::Metrics),
+        Some("health") => Ok(Request::Health),
+        Some("crash") => Ok(Request::Crash),
         Some("shutdown") => Ok(Request::Shutdown),
         Some("align") => parse_align(&doc).map(|r| Request::Align(Box::new(r))),
         Some("align_delta") => parse_delta(&doc).map(|r| Request::AlignDelta(Box::new(r))),
@@ -626,6 +639,22 @@ pub fn error_response(code: u16, message: &str, id: Option<&str>) -> Json {
     let mut pairs = vec![
         ("code", Json::U64(code as u64)),
         ("error", Json::str(message)),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id", Json::str(id)));
+    }
+    Json::obj(pairs)
+}
+
+/// A typed error reply that tells the client when to retry. Clients
+/// use the *presence* of `retry_after_ms` to distinguish a transient
+/// condition (boot recovery in progress) from a terminal one (drain
+/// shutdown), so terminal errors must go through [`error_response`].
+pub fn retry_response(code: u16, message: &str, retry_after_ms: u64, id: Option<&str>) -> Json {
+    let mut pairs = vec![
+        ("code", Json::U64(code as u64)),
+        ("error", Json::str(message)),
+        ("retry_after_ms", Json::U64(retry_after_ms)),
     ];
     if let Some(id) = id {
         pairs.push(("id", Json::str(id)));

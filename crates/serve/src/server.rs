@@ -21,25 +21,37 @@
 //! next read-timeout tick and close.
 
 use crate::cache::EngineCache;
+use crate::durable::DurableStore;
 use crate::fingerprint::{problem_fingerprint, Method};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     self, AlignRequest, DeltaRequest, FrameRead, Request, CODE_INTERNAL, CODE_INVALID, CODE_OK,
-    CODE_OVERLOAD, CODE_OVERSIZED, CODE_SHUTTING_DOWN,
+    CODE_OVERLOAD, CODE_OVERSIZED, CODE_SHUTTING_DOWN, CODE_TIMEOUT,
 };
 use netalign_core::config::TimeBudget;
 use netalign_core::delta as core_delta;
 use netalign_core::harness::{AlignOutcome, Completion, RunHarness};
 use netalign_core::problem::NetAlignProblem;
-use netalign_trace::Json;
+use netalign_trace::{faults, Json};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Fault point: abort before the solver touches an admitted job.
+pub const KILL_SOLVE: &str = "solve";
+/// Fault point: abort after the solve, before the reply is sent — the
+/// client-facing half of a crash (work done, answer lost).
+pub const KILL_REPLY: &str = "reply";
+
+/// `retry_after_ms` hinted to clients that arrive while boot recovery
+/// is still rebuilding the cache.
+const RECOVERY_RETRY_MS: u64 = 200;
 
 /// Tunables of one server instance.
 #[derive(Clone, Debug)]
@@ -56,6 +68,19 @@ pub struct ServerOptions {
     pub watchdog_ms: Option<u64>,
     /// Worker threads for the solve pool (`None` = the global pool).
     pub threads: Option<usize>,
+    /// Durable state directory (`None` = purely in-memory serving).
+    /// With it set, recorded bases are spilled + journaled and a boot
+    /// replays the journal back into the cache.
+    pub state_dir: Option<PathBuf>,
+    /// Journal rotation threshold in bytes.
+    pub journal_max_bytes: u64,
+    /// Ceiling on how long one *frame* may take to arrive once its
+    /// first byte has (`None` = patient forever). Tripping it is a
+    /// typed 408 and a close; idle time between frames is never
+    /// limited.
+    pub conn_timeout_ms: Option<u64>,
+    /// Honor the `crash` op (chaos testing) instead of 422-ing it.
+    pub allow_crash_op: bool,
 }
 
 impl Default for ServerOptions {
@@ -67,6 +92,10 @@ impl Default for ServerOptions {
             max_frame_bytes: 16 << 20,
             watchdog_ms: Some(30_000),
             threads: None,
+            state_dir: None,
+            journal_max_bytes: 8 << 20,
+            conn_timeout_ms: None,
+            allow_crash_op: false,
         }
     }
 }
@@ -99,12 +128,20 @@ struct Shared {
     opts: ServerOptions,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    /// `false` until boot recovery (if a state dir is set) has
+    /// rebuilt the cache; align work arriving earlier gets a 503 with
+    /// `retry_after_ms` instead of racing the replay.
+    ready: AtomicBool,
     addr: SocketAddr,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
     }
 }
 
@@ -123,12 +160,24 @@ impl ServerHandle {
     pub fn start(opts: ServerOptions) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
+        // Serving starts not-ready iff there is boot recovery to do;
+        // the solver flips the flag once the cache is rebuilt.
+        let ready = opts.state_dir.is_none();
         let shared = Arc::new(Shared {
             opts,
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
+            ready: AtomicBool::new(ready),
             addr,
         });
+        // A supervised child learns its restart ordinal from the
+        // supervisor so `metrics`/`health` can report it.
+        if let Some(k) = std::env::var("NETALIGND_RESTARTS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            shared.metrics.restarts.store(k, Ordering::Relaxed);
+        }
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.opts.queue_capacity);
 
         let solver_shared = shared.clone();
@@ -218,7 +267,11 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener, job_tx: SyncSender<Jo
 
 /// `read_frame` that tolerates read timeouts: a timeout checks the
 /// shutdown flag and otherwise keeps reading the same frame, so a slow
-/// sender is never desynced.
+/// sender is never desynced. With `conn_timeout_ms` set, a frame that
+/// has *started* but not finished within the budget surfaces as a
+/// `TimedOut` error (progress does not reset the clock — the budget
+/// bounds total frame receipt, so a drip-feeding peer cannot pin the
+/// thread); idle connections between frames are never timed out.
 fn read_frame_patient(
     shared: &Shared,
     stream: &mut TcpStream,
@@ -228,6 +281,8 @@ fn read_frame_patient(
         stream: &'a mut TcpStream,
         started: bool,
         interrupted: bool,
+        frame_started: Option<Instant>,
+        conn_timeout: Option<Duration>,
     }
     impl Read for Patient<'_> {
         fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
@@ -235,6 +290,9 @@ fn read_frame_patient(
                 match self.stream.read(buf) {
                     Ok(n) => {
                         self.started = true;
+                        if n > 0 && self.frame_started.is_none() {
+                            self.frame_started = Some(Instant::now());
+                        }
                         return Ok(n);
                     }
                     Err(e)
@@ -250,6 +308,14 @@ fn read_frame_patient(
                             self.interrupted = true;
                             return Ok(0);
                         }
+                        if let (Some(limit), Some(t0)) = (self.conn_timeout, self.frame_started) {
+                            if t0.elapsed() > limit {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::TimedOut,
+                                    "frame exceeded the connection timeout",
+                                ));
+                            }
+                        }
                     }
                     Err(e) => return Err(e),
                 }
@@ -261,6 +327,8 @@ fn read_frame_patient(
         stream,
         started: false,
         interrupted: false,
+        frame_started: None,
+        conn_timeout: shared.opts.conn_timeout_ms.map(Duration::from_millis),
     };
     let frame = protocol::read_frame(&mut patient, shared.opts.max_frame_bytes);
     if patient.interrupted {
@@ -278,8 +346,29 @@ fn handle_connection(
     stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
+    if let Some(ms) = shared.opts.conn_timeout_ms {
+        stream
+            .set_write_timeout(Some(Duration::from_millis(ms.max(100))))
+            .ok();
+    }
     loop {
-        let frame = match read_frame_patient(shared, &mut stream)? {
+        let frame = match read_frame_patient(shared, &mut stream) {
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                // The frame budget tripped: answer with a typed 408 so
+                // the peer knows why, then close (the stream is no
+                // longer frame-aligned).
+                ServerMetrics::bump(&shared.metrics.timeouts);
+                let reply = protocol::error_response(
+                    CODE_TIMEOUT,
+                    "frame did not complete within the connection timeout",
+                    None,
+                );
+                let _ = protocol::write_json(&mut stream, &reply);
+                return Ok(());
+            }
+            other => other?,
+        };
+        let frame = match frame {
             None | Some(FrameRead::Closed) => return Ok(()),
             Some(FrameRead::Oversized(len)) => {
                 ServerMetrics::bump(&shared.metrics.oversized);
@@ -324,6 +413,34 @@ fn handle_connection(
                         .to_json(shared.opts.queue_capacity, shared.opts.cache_capacity),
                 ),
             ]),
+            Request::Health => {
+                let ready = shared.ready() && !shared.shutting_down();
+                Json::obj(vec![
+                    ("code", Json::U64(CODE_OK as u64)),
+                    (
+                        "status",
+                        Json::str(if ready { "ready" } else { "degraded" }),
+                    ),
+                    ("ready", Json::Bool(ready)),
+                    (
+                        "restarts",
+                        Json::U64(shared.metrics.restarts.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "recoveries",
+                        Json::U64(shared.metrics.recoveries.load(Ordering::Relaxed)),
+                    ),
+                ])
+            }
+            Request::Crash => {
+                if shared.opts.allow_crash_op {
+                    // Chaos hook: die the way a SIGKILL would — no
+                    // unwinding, no flushing, no reply.
+                    std::process::abort();
+                }
+                ServerMetrics::bump(&shared.metrics.invalid);
+                protocol::error_response(CODE_INVALID, "crash op requires --allow-crash-op", None)
+            }
             Request::Shutdown => {
                 begin_shutdown(shared);
                 Json::obj(vec![
@@ -345,6 +462,18 @@ fn admit_job(shared: &Shared, job_tx: &SyncSender<Job>, work: Work) -> Json {
         return protocol::error_response(
             CODE_SHUTTING_DOWN,
             "server is draining; no new work accepted",
+            id.as_deref(),
+        );
+    }
+    if !shared.ready() {
+        // Boot recovery is still replaying the journal. Unlike the
+        // drain 503 above, this one carries `retry_after_ms`: the
+        // condition is transient and the client should come back.
+        ServerMetrics::bump(&shared.metrics.shutting_down);
+        return protocol::retry_response(
+            CODE_SHUTTING_DOWN,
+            "recovering durable state; retry shortly",
+            RECOVERY_RETRY_MS,
             id.as_deref(),
         );
     }
@@ -390,6 +519,48 @@ fn admit_job(shared: &Shared, job_tx: &SyncSender<Job>, work: Work) -> Json {
 // Solver thread
 // ---------------------------------------------------------------------
 
+/// Open the state directory, replay the journal into a fresh cache,
+/// and publish the recovery accounting. Runs on the solver thread
+/// before the first job; align work arriving earlier is parried with
+/// a retryable 503 by `admit_job`.
+fn recover_durable(shared: &Shared, cache: &mut EngineCache) -> Option<DurableStore> {
+    let dir = shared.opts.state_dir.as_deref()?;
+    let (store, report, entries) = match DurableStore::open(dir, shared.opts.journal_max_bytes) {
+        Ok(opened) => opened,
+        Err(e) => {
+            // Serving beats durability: fall back to in-memory mode
+            // rather than refusing to boot.
+            eprintln!("netalignd: state dir {} unusable: {e}", dir.display());
+            ServerMetrics::bump(&shared.metrics.spill_write_errors);
+            return None;
+        }
+    };
+    let m = &shared.metrics;
+    if report.journal_replayed > 0 {
+        ServerMetrics::bump(&m.recoveries);
+    }
+    m.journal_replayed
+        .fetch_add(report.journal_replayed, Ordering::Relaxed);
+    m.journal_torn_discarded
+        .fetch_add(report.journal_torn_discarded, Ordering::Relaxed);
+    m.spill_load_errors
+        .fetch_add(report.spill_load_errors, Ordering::Relaxed);
+    for entry in entries {
+        cache.insert(
+            entry.fingerprint,
+            entry.method,
+            entry.problem,
+            entry.config,
+            Vec::new(),
+        );
+        if let Some(cached) = cache.peek_mut(entry.fingerprint) {
+            cached.trajectory = entry.trajectory;
+        }
+    }
+    m.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+    Some(store)
+}
+
 fn solver_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
     let pool = shared.opts.threads.map(|n| {
         rayon::ThreadPoolBuilder::new()
@@ -398,6 +569,8 @@ fn solver_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
             .expect("build solver pool")
     });
     let mut cache = EngineCache::new(shared.opts.cache_capacity);
+    let mut durable = recover_durable(&shared, &mut cache);
+    shared.ready.store(true, Ordering::Release);
     loop {
         let job = match job_rx.recv_timeout(Duration::from_millis(100)) {
             Ok(job) => job,
@@ -412,23 +585,39 @@ fn solver_loop(shared: Arc<Shared>, job_rx: Receiver<Job>) {
             Err(RecvTimeoutError::Disconnected) => break,
         };
         let reply = match &pool {
-            Some(pool) => pool.install(|| solve_one(&shared, &mut cache, &job)),
-            None => solve_one(&shared, &mut cache, &job),
+            Some(pool) => pool.install(|| solve_one(&shared, &mut cache, &mut durable, &job)),
+            None => solve_one(&shared, &mut cache, &mut durable, &job),
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         shared
             .metrics
             .service_latency
             .record(job.admitted.elapsed());
+        if faults::kill_due(KILL_REPLY) {
+            // Crash with the work fully done but the answer unsent:
+            // the client must see a clean error or reconnect, never a
+            // half frame.
+            std::process::abort();
+        }
         let _ = job.reply.send(reply);
     }
 }
 
-fn solve_one(shared: &Shared, cache: &mut EngineCache, job: &Job) -> Json {
+fn solve_one(
+    shared: &Shared,
+    cache: &mut EngineCache,
+    durable: &mut Option<DurableStore>,
+    job: &Job,
+) -> Json {
+    if faults::kill_due(KILL_SOLVE) {
+        // Crash with the job admitted but untouched: any journaled
+        // `begin` stays uncommitted and recovery must discard it.
+        std::process::abort();
+    }
     let queue_wait = job.admitted.elapsed();
     let solved = catch_unwind(AssertUnwindSafe(|| match &job.work {
-        Work::Align(req) => run_aligned(shared, cache, req, queue_wait),
-        Work::Delta(req) => run_delta(shared, cache, req, queue_wait),
+        Work::Align(req) => run_aligned(shared, cache, durable, req, queue_wait),
+        Work::Delta(req) => run_delta(shared, cache, durable, req, queue_wait),
     }));
     match solved {
         Ok(reply) => reply,
@@ -446,6 +635,7 @@ fn solve_one(shared: &Shared, cache: &mut EngineCache, job: &Job) -> Json {
 fn run_aligned(
     shared: &Shared,
     cache: &mut EngineCache,
+    durable: &mut Option<DurableStore>,
     req: &AlignRequest,
     queue_wait: Duration,
 ) -> Json {
@@ -503,6 +693,17 @@ fn run_aligned(
     // runs uninterrupted (the recording must be deterministic), so the
     // deadline/watchdog budget does not apply to it.
     let mut recorded = false;
+    if req.record {
+        if let Some(store) = durable.as_mut() {
+            // Journal intent before the solve: a crash anywhere past
+            // this point leaves a begin with no commit, which recovery
+            // discards — never a half-recorded base.
+            if let Err(e) = store.begin_record(fp) {
+                ServerMetrics::bump(&shared.metrics.spill_write_errors);
+                eprintln!("netalignd: journal begin for {fp:016x} failed: {e}");
+            }
+        }
+    }
     let run = match (req.method, req.record) {
         (Method::Bp, true) => {
             match harness.run_bp_recorded(&entry.problem, &entry.config, engines) {
@@ -522,6 +723,27 @@ fn run_aligned(
     match run {
         Ok((outcome, released)) => {
             entry.engines = released;
+            if recorded {
+                if let Some(store) = durable.as_mut() {
+                    // Spill first, commit second: a commit in the
+                    // journal is a promise the spill file is durable.
+                    let persisted = store
+                        .spill(
+                            fp,
+                            req.method,
+                            &entry.problem,
+                            &entry.config,
+                            entry.trajectory.as_ref(),
+                        )
+                        .and_then(|()| store.commit_record(fp).map_err(|e| e.to_string()));
+                    if let Err(e) = persisted {
+                        // Served but not durable: the reply still goes
+                        // out, the entry just won't survive a crash.
+                        ServerMetrics::bump(&shared.metrics.spill_write_errors);
+                        eprintln!("netalignd: recorded base {fp:016x} not durable: {e}");
+                    }
+                }
+            }
             record_outcome(shared, &outcome, warm, solve);
             protocol::align_response(
                 req,
@@ -552,6 +774,7 @@ fn run_aligned(
 fn run_delta(
     shared: &Shared,
     cache: &mut EngineCache,
+    durable: &mut Option<DurableStore>,
     req: &DeltaRequest,
     queue_wait: Duration,
 ) -> Json {
@@ -579,6 +802,18 @@ fn run_delta(
                 "base fingerprint was not recorded; re-align with record:true",
             );
         };
+        if let Some(store) = durable.as_mut() {
+            // Same discipline as the record path: intent first, so a
+            // crash mid-replay leaves the committed base untouched on
+            // disk and an uncommitted begin recovery discards.
+            if let Err(e) = store.begin_delta(req.base) {
+                ServerMetrics::bump(&shared.metrics.spill_write_errors);
+                eprintln!(
+                    "netalignd: journal begin for delta {:016x} failed: {e}",
+                    req.base
+                );
+            }
+        }
         let engines = std::mem::take(&mut entry.engines);
         match core_delta::replay_bp(
             &entry.problem,
@@ -617,6 +852,31 @@ fn run_delta(
             // the patched graphs' fingerprint, exactly what a client
             // cold-aligning those graphs would compute.
             cache.rekey(req.base, new_fp);
+            if let Some(store) = durable.as_mut() {
+                let persisted = match cache.peek_mut(new_fp) {
+                    Some(entry) => store
+                        .spill(
+                            new_fp,
+                            Method::Bp,
+                            &entry.problem,
+                            &entry.config,
+                            entry.trajectory.as_ref(),
+                        )
+                        .and_then(|()| {
+                            store
+                                .commit_delta(req.base, new_fp)
+                                .map_err(|e| e.to_string())
+                        }),
+                    None => Err("rekeyed entry vanished".to_string()),
+                };
+                match persisted {
+                    Ok(()) => store.remove_spill(req.base),
+                    Err(e) => {
+                        ServerMetrics::bump(&shared.metrics.spill_write_errors);
+                        eprintln!("netalignd: patched base {new_fp:016x} not durable: {e}");
+                    }
+                }
+            }
             ServerMetrics::bump(&shared.metrics.delta_served);
             shared
                 .metrics

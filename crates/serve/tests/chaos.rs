@@ -1,0 +1,413 @@
+//! Chaos suite: SIGKILL-grade crashes at every fault point, supervised
+//! restart, journal replay — and the recovered server must answer
+//! `align_delta` **bit-identically** to an uncrashed control run.
+//!
+//! Every test follows the same shape:
+//!
+//! 1. A control daemon (no faults) records a base and serves one
+//!    delta; its reply is the reference bits.
+//! 2. A supervised chaos daemon with `NETALIGN_FAULT_KILL=<point>@1`
+//!    and a fresh `--state-dir` takes the same traffic. The first
+//!    recorded align dies at the fault point (`std::process::abort`,
+//!    the SIGKILL equivalent: no unwinding, no flushing).
+//! 3. The supervisor restarts the child (fault env stripped), which
+//!    replays the journal. Clients reconnect-and-retry; none may hang
+//!    (every socket op carries a timeout) and none may see a
+//!    malformed frame (`Client` rejects those as errors).
+//! 4. The post-recovery delta reply must match the control bit for
+//!    bit: objective/weight/overlap `to_bits()`, the full matching,
+//!    and the patched fingerprint.
+
+mod common;
+
+use common::{align_doc, fetch_metrics, metric_u64, Daemon};
+use netalign_serve::client::{response_code, Client};
+use netalign_serve::protocol::{parse_request, Request};
+use netalign_trace::Json;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Every client op is bounded by this; a hung server fails the test
+/// instead of wedging it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(15);
+/// Outer patience for crash + backoff + restart + recovery.
+const PATIENCE: Duration = Duration::from_secs(60);
+
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netalignd-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The recorded-base request all runs share (deterministic, so the
+/// control and chaos daemons compute the same fingerprint).
+fn recorded_doc() -> Json {
+    let mut doc = align_doc(48, 7, 6, None);
+    let Json::Obj(pairs) = &mut doc else { panic!() };
+    pairs.push(("record".to_string(), Json::Bool(true)));
+    doc
+}
+
+/// A valid delta against `recorded_doc`'s candidate set: reweight its
+/// first candidate edge.
+fn delta_doc(base_fp: &str) -> Json {
+    let doc = recorded_doc();
+    let Request::Align(req) = parse_request(doc.render().as_bytes()).expect("parse own doc") else {
+        panic!("expected align request");
+    };
+    let (r0, r1) = req.l.endpoints(0);
+    Json::obj(vec![
+        ("op", Json::str("align_delta")),
+        ("base", Json::str(base_fp)),
+        (
+            "l",
+            Json::obj(vec![(
+                "reweight",
+                Json::Arr(vec![Json::Arr(vec![
+                    Json::U64(r0 as u64),
+                    Json::U64(r1 as u64),
+                    Json::F64(1.25),
+                ])]),
+            )]),
+        ),
+    ])
+}
+
+/// Keep reconnecting-and-retrying `doc` until a 200 lands: connection
+/// errors mean the server is mid-crash or mid-restart, a 503 with
+/// `retry_after_ms` means boot recovery is still replaying. Any other
+/// reply code is a hard failure (the crash must never surface as a
+/// 4xx/5xx to a retrying client).
+fn request_until_ok(addr: SocketAddr, doc: &Json) -> Json {
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no 200 within {PATIENCE:?} for {}",
+            doc.render()
+        );
+        let Ok(mut client) = Client::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+        match client.request(doc) {
+            Ok(reply) => match response_code(&reply) {
+                200 => return reply,
+                503 if reply.get("retry_after_ms").is_some() => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                other => panic!("unexpected reply code {other}: {}", reply.render()),
+            },
+            // Crashed mid-request: reconnect and retry.
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Connect with patience: the supervisor announces the address before
+/// the serving child has bound it, so the first connect can be
+/// refused. Retry until the listener is up.
+fn connect_patient(addr: SocketAddr) -> Client {
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        match Client::connect(addr) {
+            Ok(mut client) => {
+                client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+                return client;
+            }
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "no listener within {PATIENCE:?}: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Poll `health` until the serving child reports ready.
+fn wait_until_ready(addr: SocketAddr) {
+    let doc = Json::obj(vec![("op", Json::str("health"))]);
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        assert!(Instant::now() < deadline, "server never became ready");
+        if let Ok(mut client) = Client::connect(addr) {
+            client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+            if let Ok(reply) = client.request(&doc) {
+                if reply.get("ready").and_then(Json::as_bool) == Some(true) {
+                    return;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The bits a delta reply must reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct ReplyBits {
+    objective: u64,
+    weight: u64,
+    overlap: u64,
+    matching: Vec<(u64, u64)>,
+    fingerprint: String,
+}
+
+fn reply_bits(reply: &Json) -> ReplyBits {
+    let f = |k: &str| {
+        reply
+            .get(k)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing {k} in {}", reply.render()))
+            .to_bits()
+    };
+    ReplyBits {
+        objective: f("objective"),
+        weight: f("weight"),
+        overlap: f("overlap"),
+        matching: common::reply_matching(reply),
+        fingerprint: reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("fingerprint")
+            .to_string(),
+    }
+}
+
+/// The uncrashed reference: record + delta on a plain daemon.
+fn control_bits() -> (String, ReplyBits) {
+    let daemon = Daemon::spawn(&[]);
+    let mut client = daemon.client();
+    client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+    let rec = client.request(&recorded_doc()).expect("control record");
+    assert_eq!(response_code(&rec), 200, "{}", rec.render());
+    let fp = rec
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("control fingerprint")
+        .to_string();
+    let delta = client.request(&delta_doc(&fp)).expect("control delta");
+    assert_eq!(response_code(&delta), 200, "{}", delta.render());
+    (fp, reply_bits(&delta))
+}
+
+/// Spawn the supervised chaos daemon with a kill point armed.
+fn chaos_daemon(dir: &Path, point: &str) -> Daemon {
+    Daemon::spawn_env(
+        &[
+            "--supervise",
+            "--state-dir",
+            dir.to_str().expect("utf-8 dir"),
+            "--allow-crash-op",
+        ],
+        &[("NETALIGN_FAULT_KILL", &format!("{point}@1"))],
+    )
+}
+
+/// Shut the supervised daemon down cleanly and check the clean exit
+/// propagates through the supervisor as status 0.
+fn clean_shutdown(daemon: Daemon) {
+    if let Ok(mut client) = Client::connect(daemon.addr) {
+        client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+        let _ = client.request(&Json::obj(vec![("op", Json::str("shutdown"))]));
+    }
+    let status = daemon
+        .wait_for_exit(Duration::from_secs(20))
+        .expect("supervisor exits after drain");
+    assert!(status.success(), "clean drain must propagate exit 0");
+}
+
+/// The common crash-and-verify flow for fault points that lose the
+/// in-flight record (`solve`, `journal-append`, `spill-rename`): the
+/// retried record must land 200 on the restarted child, and the delta
+/// against it must match the control bit for bit.
+fn crash_then_retry_record(point: &str) -> Json {
+    let (_, control) = control_bits();
+    let dir = state_dir(point);
+    let daemon = chaos_daemon(&dir, point);
+
+    // The first attempt dies at the fault point; retries land on the
+    // restarted child.
+    let rec = request_until_ok(daemon.addr, &recorded_doc());
+    let fp = rec
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+    let delta = request_until_ok(daemon.addr, &delta_doc(&fp));
+    assert_eq!(
+        reply_bits(&delta),
+        control,
+        "post-recovery delta must be bit-identical to the uncrashed control"
+    );
+
+    let metrics = fetch_metrics(&daemon);
+    assert!(
+        metric_u64(&metrics, "durable.restarts") >= 1,
+        "the serving child must have been restarted: {}",
+        metrics.render()
+    );
+    clean_shutdown(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+    metrics
+}
+
+#[test]
+fn kill_mid_solve_restarts_and_serves_bit_identically() {
+    crash_then_retry_record("solve");
+}
+
+#[test]
+fn kill_mid_journal_append_discards_torn_tail_and_recovers() {
+    let metrics = crash_then_retry_record("journal-append");
+    // The half-written commit record is the torn tail the recovery
+    // scan must detect, count, and truncate.
+    assert!(
+        metric_u64(&metrics, "durable.journal_torn_discarded") >= 1,
+        "torn journal tail must be counted: {}",
+        metrics.render()
+    );
+}
+
+#[test]
+fn kill_mid_spill_rename_discards_orphan_and_recovers() {
+    let metrics = crash_then_retry_record("spill-rename");
+    // The begin was journaled but never committed; recovery discards
+    // it rather than loading the orphaned tmp spill.
+    assert_eq!(
+        metric_u64(&metrics, "durable.spill_load_errors"),
+        0,
+        "an uncommitted spill must be invisible, not a load error: {}",
+        metrics.render()
+    );
+}
+
+#[test]
+fn kill_before_reply_replays_committed_base_from_the_journal() {
+    // At the `reply` point the spill + commit are already durable —
+    // only the answer is lost. The restarted child must serve
+    // `align_delta` from the *journal-recovered* base without any
+    // re-align, bit-identically to the control.
+    let (control_fp, control) = control_bits();
+    let dir = state_dir("reply");
+    let daemon = chaos_daemon(&dir, "reply");
+
+    // This request's reply dies with the child; the work it did
+    // survives in the state dir.
+    let mut first = connect_patient(daemon.addr);
+    let died = first.request(&recorded_doc());
+    assert!(died.is_err(), "the armed reply kill must drop the reply");
+
+    wait_until_ready(daemon.addr);
+    let delta = request_until_ok(daemon.addr, &delta_doc(&control_fp));
+    assert_eq!(
+        reply_bits(&delta),
+        control,
+        "journal-recovered base must replay deltas bit-identically"
+    );
+
+    let metrics = fetch_metrics(&daemon);
+    assert!(metric_u64(&metrics, "durable.restarts") >= 1);
+    assert!(
+        metric_u64(&metrics, "durable.recoveries") >= 1,
+        "boot must count a journal recovery: {}",
+        metrics.render()
+    );
+    assert!(metric_u64(&metrics, "durable.journal_replayed") >= 1);
+    clean_shutdown(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_op_is_gated_and_supervised_restart_recovers_from_it() {
+    // The `crash` op (SIGKILL stand-in without env plumbing) must be
+    // refused without the gate...
+    let plain = Daemon::spawn(&[]);
+    let mut client = plain.client();
+    client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+    let refused = client
+        .request(&Json::obj(vec![("op", Json::str("crash"))]))
+        .expect("gated crash reply");
+    assert_eq!(response_code(&refused), 422, "{}", refused.render());
+    drop(plain);
+
+    // ...and with the gate + supervision, a crash after a committed
+    // record is fully recoverable: the restarted child serves the
+    // delta from the journal alone.
+    let (control_fp, control) = control_bits();
+    let dir = state_dir("crash-op");
+    let daemon = Daemon::spawn_env(
+        &[
+            "--supervise",
+            "--state-dir",
+            dir.to_str().expect("utf-8 dir"),
+            "--allow-crash-op",
+        ],
+        &[],
+    );
+    let rec = request_until_ok(daemon.addr, &recorded_doc());
+    assert_eq!(
+        rec.get("fingerprint").and_then(Json::as_str),
+        Some(control_fp.as_str())
+    );
+    let mut killer = connect_patient(daemon.addr);
+    let crashed = killer.request(&Json::obj(vec![("op", Json::str("crash"))]));
+    assert!(crashed.is_err(), "crash op aborts without a reply");
+
+    wait_until_ready(daemon.addr);
+    let delta = request_until_ok(daemon.addr, &delta_doc(&control_fp));
+    assert_eq!(reply_bits(&delta), control);
+    let metrics = fetch_metrics(&daemon);
+    assert!(metric_u64(&metrics, "durable.restarts") >= 1);
+    assert!(metric_u64(&metrics, "durable.journal_replayed") >= 1);
+    clean_shutdown(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conn_timeout_answers_408_and_preserves_other_connections() {
+    let daemon = Daemon::spawn(&["--conn-timeout-ms", "300"]);
+
+    // A drip-feeding client: frame header promises bytes that never
+    // arrive. The server must answer a typed 408 and close — not hang,
+    // not silently drop.
+    let mut slow = std::net::TcpStream::connect(daemon.addr).expect("connect");
+    slow.set_read_timeout(Some(CLIENT_TIMEOUT))
+        .expect("timeout");
+    {
+        use std::io::Write;
+        slow.write_all(&8u32.to_be_bytes()).expect("header");
+        slow.write_all(b"{\"op").expect("partial payload");
+    }
+    let reply = {
+        use std::io::Read;
+        let mut len = [0u8; 4];
+        slow.read_exact(&mut len).expect("408 frame header");
+        let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+        slow.read_exact(&mut payload).expect("408 frame payload");
+        String::from_utf8(payload).expect("utf-8 reply")
+    };
+    assert!(reply.contains("408"), "expected a 408 reply, got {reply}");
+    {
+        // The connection is closed after the 408.
+        use std::io::Read;
+        let mut buf = [0u8; 1];
+        assert_eq!(slow.read(&mut buf).expect("eof"), 0);
+    }
+
+    // An idle connection is never timed out, and a healthy one still
+    // serves.
+    let mut fine = daemon.client();
+    fine.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+    std::thread::sleep(Duration::from_millis(500));
+    let pong = fine
+        .request(&Json::obj(vec![("op", Json::str("ping"))]))
+        .expect("ping after idle");
+    assert_eq!(response_code(&pong), 200);
+
+    let metrics = fetch_metrics(&daemon);
+    assert!(metric_u64(&metrics, "errors.timeouts") >= 1);
+}

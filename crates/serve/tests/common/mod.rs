@@ -23,13 +23,23 @@ impl Daemon {
     /// Spawn with `--addr 127.0.0.1:0` plus `extra` flags and scrape
     /// the bound address from the announced `listening on` line.
     pub fn spawn(extra: &[&str]) -> Daemon {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_netalignd"))
-            .args(["--addr", "127.0.0.1:0"])
+        Self::spawn_env(extra, &[])
+    }
+
+    /// [`spawn`](Self::spawn) with extra environment variables — the
+    /// chaos tests inject `NETALIGN_FAULT_KILL` this way. Works for
+    /// `--supervise` too: the supervisor announces `supervising on
+    /// <addr>` first, which the same scrape parses.
+    pub fn spawn_env(extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_netalignd"));
+        cmd.args(["--addr", "127.0.0.1:0"])
             .args(extra)
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .expect("spawn netalignd");
+            .stderr(Stdio::inherit());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn netalignd");
         let stdout = child.stdout.take().expect("captured stdout");
         let mut line = String::new();
         BufReader::new(stdout)
@@ -69,6 +79,29 @@ impl Daemon {
 
 impl Drop for Daemon {
     fn drop(&mut self) {
+        // Try a clean drain first. Under `--supervise` the listener
+        // lives in a grandchild; killing only the supervisor would
+        // orphan it (and a leaked child keeps the test harness's
+        // output pipes open). The shutdown op reaches the serving
+        // process directly, whichever generation it is.
+        let end = Instant::now() + Duration::from_secs(3);
+        let mut asked = false;
+        while Instant::now() < end {
+            if let Ok(Some(_)) = self.child.try_wait() {
+                return;
+            }
+            if !asked {
+                // The child may be mid-restart (nothing listening
+                // yet); keep trying until the shutdown lands.
+                if let Ok(mut c) = Client::connect(self.addr) {
+                    let _ = c.set_timeout(Some(Duration::from_secs(1)));
+                    asked = c
+                        .request(&Json::obj(vec![("op", Json::str("shutdown"))]))
+                        .is_ok();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
         let _ = self.child.kill();
         let _ = self.child.wait();
     }
@@ -174,6 +207,8 @@ pub fn reply_f64(reply: &Json, field: &str) -> f64 {
 /// Fetch the server metrics snapshot.
 pub fn fetch_metrics(daemon: &Daemon) -> Json {
     let mut c = daemon.client();
+    c.set_timeout(Some(Duration::from_secs(15)))
+        .expect("timeout");
     let reply = c
         .request(&Json::obj(vec![("op", Json::str("metrics"))]))
         .expect("metrics request");

@@ -22,7 +22,13 @@
 //!   - `NETALIGN_FAULT_DEADLINE=<iter>` — treat the end of aligner
 //!     iteration `iter` as an expired time budget (a deterministic
 //!     deadline: the harness stops there exactly as it would on a
-//!     wall-clock expiry, without any real clock in the loop).
+//!     wall-clock expiry, without any real clock in the loop),
+//!   - `NETALIGN_FAULT_KILL=<point>[@<n>]` — hard-abort the process
+//!     (no unwinding, no destructors — a deterministic `SIGKILL`
+//!     stand-in) the `n`-th time the named serving fault point is
+//!     reached (default: the first). `netalignd` probes `solve`,
+//!     `journal-append`, `spill-rename`, and `reply`; the chaos suite
+//!     uses this to crash the daemon at exact protocol moments.
 //!
 //! The module only *decides*; the subsystems under test do the
 //! injecting: the aligner engines query [`nan_due`] / [`panic_point`],
@@ -73,6 +79,21 @@ pub struct CheckpointFault {
     pub nth_write: u64,
 }
 
+/// Hard-abort the process the `nth`-th time the named fault point is
+/// reached (1-based, counted from plan installation). Unlike
+/// [`FaultPlan::panic`] this does not unwind: [`kill_due`] callers
+/// `std::process::abort()`, the closest deterministic stand-in for a
+/// `SIGKILL`/OOM kill that still fires at an exact protocol moment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Fault-point name (e.g. `"solve"`, `"journal-append"`,
+    /// `"spill-rename"`, `"reply"`); the daemon documents which names
+    /// it probes.
+    pub point: String,
+    /// 1-based hit count at which the kill fires.
+    pub nth: u64,
+}
+
 /// A complete fault-injection plan. Every field is independent; `None`
 /// disables that fault class.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -89,6 +110,8 @@ pub struct FaultPlan {
     /// Treat the end of this 1-based aligner iteration as an expired
     /// time budget (deterministic deadline, no wall clock involved).
     pub deadline: Option<u64>,
+    /// Hard-abort the process at the Nth hit of a named fault point.
+    pub kill: Option<KillSpec>,
 }
 
 impl FaultPlan {
@@ -99,6 +122,7 @@ impl FaultPlan {
             && self.chunk_panic.is_none()
             && self.checkpoint.is_none()
             && self.deadline.is_none()
+            && self.kill.is_none()
     }
 }
 
@@ -114,6 +138,8 @@ static PLAN: RwLock<Option<FaultPlan>> = RwLock::new(None);
 static CHUNK_CLAIMS: AtomicU64 = AtomicU64::new(0);
 /// Checkpoint writes observed since the plan was installed.
 static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
+/// Kill-point hits observed since the plan was installed.
+static KILL_HITS: AtomicU64 = AtomicU64::new(0);
 static ENV_LOADED: OnceLock<()> = OnceLock::new();
 static TEST_LOCK: Mutex<()> = Mutex::new(());
 
@@ -131,6 +157,7 @@ pub fn install(plan: FaultPlan) {
     *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
     CHUNK_CLAIMS.store(0, Ordering::Relaxed);
     CKPT_WRITES.store(0, Ordering::Relaxed);
+    KILL_HITS.store(0, Ordering::Relaxed);
     ARMED.store(armed, Ordering::Release);
 }
 
@@ -140,6 +167,7 @@ pub fn clear() {
     *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
     CHUNK_CLAIMS.store(0, Ordering::Relaxed);
     CKPT_WRITES.store(0, Ordering::Relaxed);
+    KILL_HITS.store(0, Ordering::Relaxed);
 }
 
 /// Parse the `NETALIGN_FAULT_*` environment variables once and install
@@ -179,7 +207,23 @@ fn plan_from_lookup(get: &dyn Fn(&str) -> Option<String>) -> FaultPlan {
         chunk_panic: get("NETALIGN_FAULT_CHUNK_PANIC").and_then(|v| v.trim().parse().ok()),
         checkpoint: get("NETALIGN_FAULT_CKPT").and_then(|v| parse_checkpoint_fault(&v)),
         deadline: get("NETALIGN_FAULT_DEADLINE").and_then(|v| v.trim().parse().ok()),
+        kill: get("NETALIGN_FAULT_KILL").and_then(|v| parse_kill_spec(&v)),
     }
+}
+
+fn parse_kill_spec(text: &str) -> Option<KillSpec> {
+    let (point, nth) = match text.split_once('@') {
+        Some((point, nth)) => (point, nth.trim().parse().ok()?),
+        None => (text, 1),
+    };
+    let point = point.trim();
+    if point.is_empty() || nth == 0 {
+        return None;
+    }
+    Some(KillSpec {
+        point: point.to_string(),
+        nth,
+    })
 }
 
 fn parse_step_trigger(text: &str) -> Option<StepTrigger> {
@@ -287,6 +331,28 @@ pub fn deadline_iteration() -> Option<u64> {
         return None;
     }
     with_plan(|p| p.deadline).flatten()
+}
+
+/// Should the caller hard-abort at this named fault point? Counts a
+/// hit whenever the armed plan's kill targets `point`, and returns
+/// `true` exactly on the Nth hit. Callers are expected to
+/// `std::process::abort()` when this returns `true` — the probe only
+/// *decides*, keeping the decision testable without dying.
+#[inline]
+pub fn kill_due(point: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    let nth = with_plan(|p| {
+        p.kill
+            .as_ref()
+            .and_then(|k| (k.point == point).then_some(k.nth))
+    })
+    .flatten();
+    match nth {
+        Some(n) => KILL_HITS.fetch_add(1, Ordering::Relaxed) + 1 == n,
+        None => false,
+    }
 }
 
 /// Apply [`CheckpointDamage`] to a serialized checkpoint buffer.
@@ -427,6 +493,56 @@ mod tests {
         assert_eq!(checkpoint_damage(), Some(CheckpointDamage::Corrupt));
         assert_eq!(checkpoint_damage(), None);
         clear();
+    }
+
+    #[test]
+    fn parses_kill_spec() {
+        assert_eq!(
+            parse_kill_spec("journal-append"),
+            Some(KillSpec {
+                point: "journal-append".to_string(),
+                nth: 1
+            })
+        );
+        assert_eq!(
+            parse_kill_spec("solve@3"),
+            Some(KillSpec {
+                point: "solve".to_string(),
+                nth: 3
+            })
+        );
+        assert_eq!(parse_kill_spec(""), None);
+        assert_eq!(parse_kill_spec("@2"), None);
+        assert_eq!(parse_kill_spec("solve@0"), None);
+        assert_eq!(parse_kill_spec("solve@x"), None);
+        let plan = plan_from_env_pairs(&[("NETALIGN_FAULT_KILL", "spill-rename@2")]);
+        assert_eq!(
+            plan.kill,
+            Some(KillSpec {
+                point: "spill-rename".to_string(),
+                nth: 2
+            })
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn kill_due_counts_hits_on_named_point() {
+        let _guard = test_lock();
+        install(FaultPlan {
+            kill: Some(KillSpec {
+                point: "reply".to_string(),
+                nth: 2,
+            }),
+            ..Default::default()
+        });
+        assert!(!kill_due("solve")); // wrong point: no hit counted
+        assert!(!kill_due("reply")); // hit 1 of 2
+        assert!(!kill_due("solve"));
+        assert!(kill_due("reply")); // hit 2: fire
+        assert!(!kill_due("reply")); // fires exactly once
+        clear();
+        assert!(!kill_due("reply"));
     }
 
     #[test]

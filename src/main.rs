@@ -58,6 +58,9 @@ fn help_text() -> String {
          \x20 --queue-capacity N             admission bound; overflow answers 429\n\
          \x20 --watchdog-ms N                per-solve stall watchdog (0 disables)\n\
          \x20 --threads N                    solver worker threads\n\
+         \x20 --state-dir PATH               durable state dir (journal + spills)\n\
+         \x20 --journal-max-bytes N          journal rotation threshold\n\
+         \x20 --conn-timeout-ms N            per-frame receive timeout (0 = none)\n\
          \n\
          {}",
         exitcode::HELP_TABLE
@@ -169,6 +172,25 @@ fn cmd_serve(flags: &HashMap<String, String>) {
             ms => Some(ms),
         },
         threads: flags.get("threads").map(|t| parse_num(t, "--threads")),
+        state_dir: flags.get("state-dir").map(Into::into),
+        journal_max_bytes: parse_num(
+            get_or(
+                flags,
+                "journal-max-bytes",
+                &defaults.journal_max_bytes.to_string(),
+            ),
+            "--journal-max-bytes",
+        ),
+        conn_timeout_ms: match parse_num::<u64>(
+            get_or(flags, "conn-timeout-ms", "0"),
+            "--conn-timeout-ms",
+        ) {
+            0 => None,
+            ms => Some(ms),
+        },
+        // The `crash` op is a chaos-harness affordance of the
+        // standalone `netalignd`; the in-process daemon always 422s it.
+        allow_crash_op: false,
     };
     let handle = ServerHandle::start(opts).unwrap_or_else(|e| {
         eprintln!("serve: bind failed: {e}");

@@ -12,11 +12,14 @@
 //! matcher counters; schema in EXPERIMENTS.md), `--checkpoint DIR` to
 //! snapshot each run into `DIR/t{n}` (a rerun of the same command
 //! auto-resumes), and `--resume PATH` to resume from an explicit
-//! snapshot tree.
+//! snapshot tree. `--mmap DIR` streams the squares matrix to
+//! `DIR/s.nacs` and runs on the memory-mapped view (bit-identical);
+//! `--max-resident-mb N` bounds the build and exits 6 when infeasible.
 
 use netalign_bench::{
     completion_json, deadline_harness, harness_for_run, outcome_or_exit, rounding_flags,
-    run_with_threads, table::f, thread_sweep, write_json_report_or_exit, Args, Table,
+    run_with_threads, standin_problem_or_exit, table::f, thread_sweep, write_json_report_or_exit,
+    Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::{Json, Step};
@@ -43,10 +46,10 @@ fn main() {
     let checkpoint = args.string("checkpoint", "");
     let resume = args.string("resume", "");
 
-    let inst = StandIn::LcshWiki.generate(scale, seed);
+    let problem = standin_problem_or_exit(&args, StandIn::LcshWiki, scale, seed);
     eprintln!(
         "lcsh-wiki stand-in at scale {scale}: shape {:?}",
-        inst.problem.shape()
+        problem.shape()
     );
 
     println!("Figure 7 — per-step strong scaling of BP(batch={batch}) ({iters} iters)\n");
@@ -63,7 +66,7 @@ fn main() {
             trace_matcher: true,
             ..Default::default()
         };
-        let problem = &inst.problem;
+        let problem = &problem;
         let harness = deadline_harness(
             &args,
             harness_for_run(&checkpoint, &resume, &format!("t{nt}")),
@@ -113,6 +116,7 @@ fn main() {
             ("total_seconds", Json::F64(total)),
             ("matcher", trace.matcher.to_json()),
             ("algo", trace.algo.to_json()),
+            ("peak_rss_kb", Json::U64(trace.peak_rss_kb)),
         ];
         fields.extend(completion_json(&outcome));
         runs.push(Json::obj(fields));

@@ -20,11 +20,14 @@
 //! EXPERIMENTS.md), `--checkpoint DIR` to snapshot each configuration
 //! into its own `DIR/<slug>` subdirectory (a rerun of the same command
 //! auto-resumes), and `--resume PATH` to resume from an explicit
-//! snapshot tree.
+//! snapshot tree. `--mmap DIR` streams the squares matrix to
+//! `DIR/s.nacs` and runs on the memory-mapped view (bit-identical);
+//! `--max-resident-mb N` bounds the build and exits 6 when infeasible.
 
 use netalign_bench::{
     available_threads, completion_json, deadline_harness, harness_for_run, outcome_or_exit,
-    rounding_flags, run_with_threads, table::f, write_json_report_or_exit, Args, Table,
+    rounding_flags, run_with_threads, standin_problem_or_exit, table::f, write_json_report_or_exit,
+    Args, Table,
 };
 use netalign_core::prelude::*;
 use netalign_core::trace::Json;
@@ -43,10 +46,10 @@ fn main() {
     let checkpoint = args.string("checkpoint", "");
     let resume = args.string("resume", "");
 
-    let inst = StandIn::LcshWiki.generate(scale, seed);
+    let problem = standin_problem_or_exit(&args, StandIn::LcshWiki, scale, seed);
     eprintln!(
         "lcsh-wiki stand-in at scale {scale}: shape {:?}",
-        inst.problem.shape()
+        problem.shape()
     );
 
     let runs = [
@@ -90,7 +93,7 @@ fn main() {
             trace_matcher: true,
             ..Default::default()
         };
-        let problem = &inst.problem;
+        let problem = &problem;
         let harness = deadline_harness(&args, harness_for_run(&checkpoint, &resume, slug));
         let (secs, r) = run_with_threads(nt, || {
             let start = Instant::now();

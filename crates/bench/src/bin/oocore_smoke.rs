@@ -1,0 +1,297 @@
+//! Out-of-core alignment smoke: streaming squares build + mapped BP
+//! sweeps under a resident-memory budget, gated on bit-identity with
+//! the in-core engine.
+//!
+//! The workload is an lcsh-style synthetic (`LcshLikeConfig::scaled`)
+//! whose confusion candidates drive `nnz(S) ≫ |E_L|` — the shape that
+//! makes an in-core squares matrix the memory bottleneck. The run:
+//!
+//! 1. generate the instance, stream `S` to `DIR/s.nacs` (spill-bounded
+//!    build), reopen it memory-mapped;
+//! 2. solve with the out-of-core BP sweeps at each `--pools` thread
+//!    count (default `1,4`), requiring every pool to agree bit-for-bit;
+//! 3. sample the process peak RSS (`VmHWM`) **before** anything
+//!    in-core is built — the high-water mark is monotone, so this is
+//!    the out-of-core path's own peak;
+//! 4. optionally (`--compare-in-core true`, the default) build the
+//!    in-core problem and verify the reference solve is bit-identical
+//!    to the out-of-core results.
+//!
+//! Exit codes follow the workspace taxonomy: 6 when the out-of-core
+//! peak RSS exceeds `--budget-mb` (or the budget is infeasible up
+//! front), 5 when any bit-identity check fails. The JSON report (CI's
+//! `oocore-smoke` job parses it; a committed run lives at
+//! `results/BENCH_9.json`) carries the verdicts, the peak-RSS numbers,
+//! and the sweep plan actually used.
+//!
+//! Flags: `--scale`, `--seed`, `--iters`, `--budget-mb` (0 = no
+//! budget), `--pools 1,4`, `--dir PATH` (scratch; default under the
+//! system temp dir, removed afterwards), `--compare-in-core`,
+//! `--json PATH`.
+
+use netalign_bench::{run_with_threads, table::f, write_json_report_or_exit, Args, Table};
+use netalign_core::bp::belief_propagation;
+use netalign_core::config::AlignConfig;
+use netalign_core::exitcode;
+use netalign_core::oocore::{belief_propagation_ooc, plan_for, OocError, OocOptions};
+use netalign_core::problem::NetAlignProblem;
+use netalign_core::result::AlignmentResult;
+use netalign_core::squares::SquaresMatrix;
+use netalign_core::trace::{peak_rss_kb, Json};
+use netalign_graph::generators::{lcsh_like, LcshLikeConfig};
+use netalign_graph::Graph;
+use std::time::Instant;
+
+/// `git rev-parse HEAD`, or `Json::Null` outside a work tree.
+fn git_rev() -> Json {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| Json::str(s.trim()))
+        .unwrap_or(Json::Null)
+}
+
+fn bit_identical(a: &AlignmentResult, b: &AlignmentResult) -> bool {
+    a.objective.to_bits() == b.objective.to_bits()
+        && a.matching == b.matching
+        && a.best_iteration == b.best_iteration
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.f64("scale", 0.02);
+    let seed = args.u64("seed", 9);
+    let iters = args.usize("iters", 8);
+    let budget_mb = args.u64("budget-mb", 0);
+    let pools = args.usize_list("pools", vec![1, 4]);
+    let compare_in_core = args.bool("compare-in-core", true);
+    let json_path = args.string("json", "");
+    let dir = match args.string("dir", "").as_str() {
+        "" => std::env::temp_dir().join(format!("netalign-oocore-smoke-{}", std::process::id())),
+        d => std::path::PathBuf::from(d),
+    };
+    std::fs::create_dir_all(&dir).expect("cannot create scratch dir");
+
+    let gen_cfg = LcshLikeConfig::scaled(scale);
+    let t0 = Instant::now();
+    let inst = lcsh_like(&gen_cfg, seed);
+    let (a, b, l) = (inst.a, inst.b, inst.l);
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let (na, nb, m) = (l.num_left(), l.num_right(), l.num_edges());
+    eprintln!(
+        "lcsh-like at scale {scale}: |V_A| {na}, |V_B| {nb}, |E_A| {}, |E_B| {}, \
+         |E_L| {m} ({gen_secs:.1}s to generate)",
+        a.num_edges(),
+        b.num_edges(),
+    );
+
+    let mut opts = OocOptions::new(&dir);
+    if budget_mb > 0 {
+        opts = opts.with_budget_mb(budget_mb);
+    }
+    let plan = match plan_for(m, na, nb, &opts) {
+        Ok(p) => p,
+        Err(OocError::BudgetTooSmall {
+            budget_bytes,
+            baseline_bytes,
+        }) => {
+            eprintln!(
+                "FAIL: --budget-mb {budget_mb} is below the out-of-core baseline \
+                 ({} MiB needed)",
+                baseline_bytes.div_ceil(1 << 20)
+            );
+            let _ = budget_bytes;
+            std::process::exit(exitcode::BUDGET);
+        }
+        Err(e) => panic!("planning failed: {e}"),
+    };
+    eprintln!(
+        "plan: superblock {} entries, spill buffer {} MiB, baseline {} MiB",
+        plan.superblock_entries,
+        plan.spill_buffer_bytes >> 20,
+        plan.baseline_bytes >> 20,
+    );
+
+    // Streaming squares build: spill-bounded enumeration into the NACS
+    // container, reopened memory-mapped.
+    let t0 = Instant::now();
+    let s =
+        SquaresMatrix::build_streaming(&a, &b, &l, &dir.join("s.nacs"), plan.spill_buffer_bytes)
+            .expect("streaming squares build failed");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let nnz = s.nnz();
+    let nacs_bytes = std::fs::metadata(dir.join("s.nacs"))
+        .map(|md| md.len())
+        .unwrap_or(0);
+    eprintln!(
+        "streamed S: nnz {nnz}, {} MiB on disk, {build_secs:.1}s",
+        nacs_bytes >> 20
+    );
+    let mapped = NetAlignProblem::from_parts(a, b, l, s);
+
+    let align_cfg = AlignConfig {
+        iterations: iters,
+        record_history: true,
+        ..AlignConfig::default()
+    };
+
+    // Out-of-core solves, one per pool. Peak RSS must be sampled while
+    // the in-core squares matrix has never existed in this process.
+    let mut ooc_results: Vec<(usize, AlignmentResult, f64)> = Vec::new();
+    for &threads in &pools {
+        let t0 = Instant::now();
+        let r = run_with_threads(threads, || {
+            belief_propagation_ooc(&mapped, &align_cfg, &opts)
+        })
+        .unwrap_or_else(|e| match e {
+            OocError::BudgetTooSmall { .. } => {
+                eprintln!("FAIL: budget refused at solve time");
+                std::process::exit(exitcode::BUDGET);
+            }
+            other => panic!("out-of-core solve failed: {other}"),
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "ooc pool {threads}: objective {:.4}, matched {}, {secs:.1}s",
+            r.objective,
+            r.matching.cardinality()
+        );
+        ooc_results.push((threads, r, secs));
+    }
+    let ooc_peak_kb = peak_rss_kb();
+
+    let (_, reference, _) = &ooc_results[0];
+    let mut pools_identical = true;
+    for (threads, r, _) in &ooc_results[1..] {
+        if !bit_identical(r, reference) {
+            eprintln!(
+                "FAIL: pool {threads} diverges from pool {}",
+                ooc_results[0].0
+            );
+            pools_identical = false;
+        }
+    }
+
+    // In-core reference (builds the full S in memory — after the RSS
+    // sample above, its footprint no longer pollutes the gate).
+    let mut in_core_identical = true;
+    let mut in_core_peak_kb = 0u64;
+    let mut in_core_secs = 0.0;
+    if compare_in_core {
+        let t0 = Instant::now();
+        let p = NetAlignProblem::new(
+            Graph::clone(&mapped.a),
+            Graph::clone(&mapped.b),
+            mapped.l.clone(),
+        );
+        let r = run_with_threads(pools[0], || belief_propagation(&p, &align_cfg));
+        in_core_secs = t0.elapsed().as_secs_f64();
+        in_core_peak_kb = peak_rss_kb();
+        in_core_identical = bit_identical(&r, reference);
+        eprintln!(
+            "in-core pool {}: objective {:.4}, {in_core_secs:.1}s, process peak now {} MiB",
+            pools[0],
+            r.objective,
+            in_core_peak_kb >> 10
+        );
+        if !in_core_identical {
+            eprintln!("FAIL: in-core reference diverges from the out-of-core solve");
+        }
+    }
+    let bit_ok = pools_identical && in_core_identical;
+
+    let budget_kb = budget_mb * 1024;
+    let over_budget = budget_mb > 0 && ooc_peak_kb > budget_kb;
+
+    let mut table = Table::new(&["path", "peak rss MiB", "wall s"]);
+    table.row(&[
+        "out-of-core".into(),
+        f((ooc_peak_kb >> 10) as f64, 0),
+        f(ooc_results.iter().map(|r| r.2).sum::<f64>(), 1),
+    ]);
+    if compare_in_core {
+        table.row(&[
+            "in-core (process cumulative)".into(),
+            f((in_core_peak_kb >> 10) as f64, 0),
+            f(in_core_secs, 1),
+        ]);
+    }
+    table.print();
+
+    let report = Json::obj(vec![
+        ("bench", Json::str("oocore_smoke")),
+        ("git_rev", git_rev()),
+        (
+            "config",
+            Json::obj(vec![
+                ("scale", Json::F64(scale)),
+                ("seed", Json::U64(seed)),
+                ("iterations", Json::U64(iters as u64)),
+                ("budget_mb", Json::U64(budget_mb)),
+                (
+                    "pools",
+                    Json::Arr(pools.iter().map(|&t| Json::U64(t as u64)).collect()),
+                ),
+                (
+                    "superblock_entries",
+                    Json::U64(plan.superblock_entries as u64),
+                ),
+                (
+                    "spill_buffer_bytes",
+                    Json::U64(plan.spill_buffer_bytes as u64),
+                ),
+            ]),
+        ),
+        (
+            "instance",
+            Json::obj(vec![
+                ("va", Json::U64(na as u64)),
+                ("vb", Json::U64(nb as u64)),
+                ("el", Json::U64(m as u64)),
+                ("nnz_s", Json::U64(nnz as u64)),
+                ("nacs_bytes", Json::U64(nacs_bytes)),
+            ]),
+        ),
+        ("bit_identical", Json::Bool(bit_ok)),
+        ("peak_rss_kb", Json::U64(ooc_peak_kb)),
+        ("budget_kb", Json::U64(budget_kb)),
+        ("in_core_peak_rss_kb", Json::U64(in_core_peak_kb)),
+        ("objective", Json::F64(reference.objective)),
+        (
+            "matched",
+            Json::U64(reference.matching.cardinality() as u64),
+        ),
+        ("build_seconds", Json::F64(build_secs)),
+        (
+            "solve_seconds",
+            Json::Arr(ooc_results.iter().map(|r| Json::F64(r.2)).collect()),
+        ),
+    ]);
+    if !json_path.is_empty() {
+        write_json_report_or_exit(&json_path, &report);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if over_budget {
+        eprintln!(
+            "FAIL: out-of-core peak RSS {} kB exceeds the {budget_kb} kB budget",
+            ooc_peak_kb
+        );
+        std::process::exit(exitcode::BUDGET);
+    }
+    if !bit_ok {
+        std::process::exit(exitcode::INTERNAL);
+    }
+    eprintln!(
+        "OK: bit-identical at pools {pools:?}, peak RSS {} MiB{}",
+        ooc_peak_kb >> 10,
+        if budget_mb > 0 {
+            format!(" (budget {budget_mb} MiB)")
+        } else {
+            String::new()
+        }
+    );
+}

@@ -3,12 +3,14 @@
 
 pub mod cli;
 pub mod model;
+pub mod ooc;
 pub mod pool;
 pub mod report;
 pub mod table;
 
 pub use cli::{rounding_flags, Args, RoundingFlags};
 pub use model::{amdahl_speedup, paper_model_speedup};
+pub use ooc::standin_problem_or_exit;
 pub use pool::{available_threads, bench_pools, bench_scale, run_with_threads, thread_sweep};
 pub use report::{
     completion_json, deadline_harness, harness_for_run, outcome_or_exit, write_json_report_or_exit,

@@ -1,0 +1,89 @@
+//! Shared `--mmap` / `--max-resident-mb` handling for the experiment
+//! binaries.
+//!
+//! With `--mmap DIR`, a figure binary streams the squares matrix to
+//! `DIR/s.nacs` (spill-bounded build) and reopens it memory-mapped
+//! instead of materializing it in core; the engines run unchanged on
+//! the mapped view and stay bit-identical. `--max-resident-mb N`
+//! additionally derives the build's spill buffer from a resident
+//! budget and refuses infeasible budgets up front with exit code 6
+//! (the workspace's memory-budget code). I/O failures exit 3.
+
+use crate::cli::Args;
+use netalign_core::exitcode;
+use netalign_core::oocore::{plan_for, OocError, OocOptions};
+use netalign_core::problem::NetAlignProblem;
+use netalign_core::squares::SquaresMatrix;
+use netalign_data::standins::StandIn;
+use std::path::PathBuf;
+
+/// Build the stand-in problem under the shared out-of-core flags:
+/// in-core without `--mmap`, streamed + memory-mapped with it.
+pub fn standin_problem_or_exit(
+    args: &Args,
+    standin: StandIn,
+    scale: f64,
+    seed: u64,
+) -> NetAlignProblem {
+    let dir = args.string("mmap", "");
+    let budget_mb = args.opt_u64("max-resident-mb");
+    if dir.is_empty() {
+        if budget_mb.is_some() {
+            eprintln!("--max-resident-mb requires --mmap DIR");
+            std::process::exit(exitcode::USAGE);
+        }
+        return standin.generate(scale, seed).problem;
+    }
+    let graphs = standin.generate_graphs(scale, seed);
+    let dir = PathBuf::from(dir);
+    let mut opts = OocOptions::new(&dir);
+    if let Some(mb) = budget_mb {
+        opts = opts.with_budget_mb(mb);
+    }
+    let plan = match plan_for(
+        graphs.l.num_edges(),
+        graphs.l.num_left(),
+        graphs.l.num_right(),
+        &opts,
+    ) {
+        Ok(p) => p,
+        Err(OocError::BudgetTooSmall { baseline_bytes, .. }) => {
+            eprintln!(
+                "--max-resident-mb {} is below the out-of-core baseline ({} MiB needed)",
+                budget_mb.unwrap_or(0),
+                baseline_bytes.div_ceil(1 << 20)
+            );
+            std::process::exit(exitcode::BUDGET);
+        }
+        Err(e) => {
+            eprintln!("out-of-core planning failed: {e}");
+            std::process::exit(exitcode::INTERNAL);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create --mmap dir {}: {e}", dir.display());
+        std::process::exit(exitcode::IO);
+    }
+    eprintln!(
+        "--mmap: streaming S to {} (spill buffer {} MiB)",
+        dir.join("s.nacs").display(),
+        plan.spill_buffer_bytes >> 20
+    );
+    let s = match SquaresMatrix::build_streaming(
+        &graphs.a,
+        &graphs.b,
+        &graphs.l,
+        &dir.join("s.nacs"),
+        plan.spill_buffer_bytes,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "streaming squares build failed under {}: {e}",
+                dir.display()
+            );
+            std::process::exit(exitcode::IO);
+        }
+    };
+    NetAlignProblem::from_parts(graphs.a, graphs.b, graphs.l, s)
+}

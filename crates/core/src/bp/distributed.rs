@@ -122,7 +122,7 @@ pub fn distributed_belief_propagation(
     let m = p.l.num_edges();
     let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
     let rowptr = p.s.rowptr();
-    let perm = p.s.transpose_perm().as_slice();
+    let perm = p.s.transpose_perm_slice();
     let w = p.l.weights();
     let nranks = ranks.min(p.l.num_left().max(1));
 

@@ -38,12 +38,16 @@ pub mod othermax;
 use crate::checkpoint::BpState;
 use crate::config::AlignConfig;
 use crate::objective::{evaluate_matching, evaluate_matching_with_scratch};
+use crate::oocore::{OocError, OocOptions, OocState, Superblock};
 use crate::problem::NetAlignProblem;
 use crate::result::{AlignmentResult, IterationRecord};
 use crate::rounding::{round_batch_traced, round_heuristic};
 use crate::rowspans::RowSpans;
 use crate::squares::SquaresMatrix;
 use crate::trace::{faults, MatcherCounters, RunTrace, Step};
+use netalign_graph::mmap::Advice;
+use netalign_graph::nacs::Section;
+use netalign_graph::VertexId;
 use netalign_matching::{MatcherEngine, MatcherKind, RoundingMatcher};
 use othermax::{column_positions, othermaxcol_into, othermaxrow_into};
 use rayon::par_uneven_chunks_mut;
@@ -156,6 +160,10 @@ pub struct BpEngine<'a> {
     // every post-damping iterate and every rounded stage is captured so
     // a later structural delta can be replayed sparsely (crate::delta).
     recorder: Option<crate::delta::TrajectoryRecorder>,
+    // Out-of-core mode (crate::oocore): the nnz-sized iterate streams
+    // live in spilled scratch files and `sk`/`sk_prev`/`fv`/`safe_sk`
+    // above stay empty. `None` = the ordinary in-core engine.
+    ooc: Option<OocState>,
     // Observability.
     trace: RunTrace,
     counters: MatcherCounters,
@@ -165,10 +173,39 @@ pub struct BpEngine<'a> {
 impl<'a> BpEngine<'a> {
     /// Allocate all run state for `problem` under `config`.
     pub fn new(p: &'a NetAlignProblem, config: &'a AlignConfig) -> Self {
+        Self::new_inner(p, config, true)
+    }
+
+    /// Allocate an out-of-core engine: the `nnz`-sized iterate state
+    /// lives in spilled scratch files under `opts.scratch_dir` and
+    /// every sweep over the pattern of `S` is a sequential superblock
+    /// pass sized from `opts.max_resident_bytes`. Requires a
+    /// memory-mapped squares matrix. Bit-identical to the in-core
+    /// engine at every thread count (see [`crate::oocore`]).
+    pub fn new_ooc(
+        p: &'a NetAlignProblem,
+        config: &'a AlignConfig,
+        opts: &OocOptions,
+    ) -> Result<Self, OocError> {
+        if !p.s.is_mapped() {
+            return Err(OocError::Unsupported(
+                "out-of-core BP requires a memory-mapped squares matrix \
+                 (SquaresMatrix::build_streaming or from_mapped)",
+            ));
+        }
+        let mut engine = Self::new_inner(p, config, false);
+        engine.ooc = Some(OocState::new(p, &engine.spans, opts)?);
+        Ok(engine)
+    }
+
+    /// Shared constructor: `nnz_state` controls whether the in-core
+    /// `nnz`-sized arrays are allocated (false in out-of-core mode,
+    /// where spilled streams replace them).
+    fn new_inner(p: &'a NetAlignProblem, config: &'a AlignConfig, nnz_state: bool) -> Self {
         config.validate();
         install_fault_hook();
         let m = p.l.num_edges();
-        let nnz = p.s.nnz();
+        let nnz = if nnz_state { p.s.nnz() } else { 0 };
         let guards = config.numeric_guards;
         let mut trace = RunTrace::new();
         trace.reserve_iterations(config.iterations);
@@ -209,6 +246,7 @@ impl<'a> BpEngine<'a> {
             best: None,
             best_g: vec![0.0; m],
             recorder: None,
+            ooc: None,
             trace,
             counters: MatcherCounters::new(config.trace_matcher),
             history: Vec::with_capacity(if config.record_history {
@@ -228,6 +266,14 @@ impl<'a> BpEngine<'a> {
     /// `y`/`z` iterates for rounding. Allocation-free after the first
     /// `2·batch` iterations warmed up the staging pool.
     pub fn step(&mut self) {
+        if self.ooc.is_some() {
+            // Take the state out so the sweep can borrow it alongside
+            // the engine's own buffers; reinstalled unconditionally.
+            let mut ooc = self.ooc.take().expect("checked is_some");
+            self.step_ooc(&mut ooc);
+            self.ooc = Some(ooc);
+            return;
+        }
         self.k += 1;
         let k = self.k;
         if faults::active() {
@@ -374,6 +420,165 @@ impl<'a> BpEngine<'a> {
         }
     }
 
+    /// Out-of-core iteration: same Listing 2 steps, but every pass
+    /// over the pattern of `S` is a *sequential* superblock sweep over
+    /// spilled streams (see [`crate::oocore`] for the reformulation
+    /// and the bit-identity argument), releasing pages behind it.
+    fn step_ooc(&mut self, ooc: &mut OocState) {
+        self.k += 1;
+        let k = self.k;
+        if faults::active() {
+            faults::panic_point("bp.step", k as u64);
+        }
+        let p = self.p;
+        let (alpha, beta) = (self.config.alpha, self.config.beta);
+        let gk = self.config.damping.fresh_weight(self.gamma, k);
+        let w = p.l.weights();
+        let rowptr = p.s.rowptr();
+        let colidx = p.s.colidx();
+        let m = p.l.num_edges();
+        let nnz = p.s.nnz();
+
+        // Steps 1+2 fused: d from the transpose companion, read in
+        // storage order. F is recomputed in the update sweep instead
+        // of stored — same bits, one fewer nnz stream resident.
+        let t0 = Instant::now();
+        for sb in &ooc.superblocks {
+            ooc.skt_prev.advise_sequential(sb.entries.clone());
+            ooc_fused_d(
+                rowptr,
+                sb,
+                ooc.skt_prev.as_slice(),
+                w,
+                alpha,
+                beta,
+                &mut self.d[sb.rows.clone()],
+            );
+            ooc.skt_prev.release(sb.entries.clone());
+        }
+        self.trace.add(Step::ComputeF, t0.elapsed());
+
+        // Step 3: identical to the in-core engine — only m-sized state.
+        let t0 = Instant::now();
+        rayon::join(
+            || {
+                othermaxcol_into(
+                    &p.l,
+                    &self.z_prev,
+                    &self.col_pos,
+                    &mut self.omc,
+                    &mut self.col_stats,
+                    CHUNK,
+                )
+            },
+            || {
+                othermaxrow_into(
+                    &p.l,
+                    &self.y_prev,
+                    &mut self.omr,
+                    &mut self.row_stats,
+                    CHUNK,
+                )
+            },
+        );
+        self.y
+            .par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(self.d.par_iter().with_min_len(CHUNK))
+            .zip(self.omc.par_iter().with_min_len(CHUNK))
+            .for_each(|((yi, &di), &oi)| *yi = di - oi);
+        self.z
+            .par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(self.d.par_iter().with_min_len(CHUNK))
+            .zip(self.omr.par_iter().with_min_len(CHUNK))
+            .for_each(|((zi, &di), &oi)| *zi = di - oi);
+        self.trace.add(Step::OtherMax, t0.elapsed());
+
+        // Steps 4+5 (S part), fused with damping: precompute the row
+        // scale from the *undamped* y/z (as in-core step 4 does), then
+        // advance sk and its transpose companion in one sequential
+        // sweep, counting non-finite values inline for the guard.
+        let t0 = Instant::now();
+        ooc.scale
+            .par_iter_mut()
+            .with_min_len(CHUNK)
+            .zip(self.y.par_iter().with_min_len(CHUNK))
+            .zip(self.z.par_iter().with_min_len(CHUNK))
+            .zip(self.d.par_iter().with_min_len(CHUNK))
+            .for_each(|(((s, &yi), &zi), &di)| *s = yi + zi - di);
+        let mut nonfinite = 0u64;
+        for sb in &ooc.superblocks {
+            ooc.sk_prev.advise_sequential(sb.entries.clone());
+            ooc.skt_prev.advise_sequential(sb.entries.clone());
+            nonfinite += ooc_sk_update(
+                rowptr,
+                colidx,
+                sb,
+                ooc.sk_prev.as_slice(),
+                ooc.skt_prev.as_slice(),
+                &ooc.scale,
+                beta,
+                gk,
+                &mut ooc.sk.as_mut_slice()[sb.entries.clone()],
+                &mut ooc.skt.as_mut_slice()[sb.entries.clone()],
+            );
+            ooc.sk.release(sb.entries.clone());
+            ooc.skt.release(sb.entries.clone());
+            ooc.sk_prev.release(sb.entries.clone());
+            ooc.skt_prev.release(sb.entries.clone());
+        }
+        self.trace.add(Step::UpdateS, t0.elapsed());
+
+        // Step 5 (y/z): the sk damping already happened in the sweep.
+        let t0 = Instant::now();
+        damp(&mut self.y, &mut self.y_prev, gk);
+        damp(&mut self.z, &mut self.z_prev, gk);
+        self.trace.add(Step::Damping, t0.elapsed());
+
+        if faults::active() && faults::nan_due("bp.damping", k as u64) {
+            self.y[0] = f64::NAN;
+        }
+
+        // Guard rail: same decision as in-core (the inline count sees
+        // bit-identical sk values). The ping/pong swap replaces the
+        // `safe_sk` copy: the prev streams are only ever overwritten
+        // *after* an iterate verified finite, so on rollback they
+        // already hold the in-core rollback target.
+        if self.config.numeric_guards {
+            let t0 = Instant::now();
+            let finite = all_finite(&self.y) && all_finite(&self.z) && nonfinite == 0;
+            if finite {
+                self.safe_y.copy_from_slice(&self.y);
+                self.safe_z.copy_from_slice(&self.z);
+                ooc.advance();
+                self.trace.add(Step::Guard, t0.elapsed());
+            } else {
+                self.y.copy_from_slice(&self.safe_y);
+                self.y_prev.copy_from_slice(&self.safe_y);
+                self.z.copy_from_slice(&self.safe_z);
+                self.z_prev.copy_from_slice(&self.safe_z);
+                self.gamma *= 0.5;
+                self.trace.algo.numeric_recoveries += 1;
+                self.trace.add(Step::Guard, t0.elapsed());
+                return;
+            }
+        } else {
+            ooc.advance();
+        }
+
+        self.trace.algo.messages_updated += (2 * m + nnz) as u64;
+
+        let mut buf = self.buf_pool.pop().unwrap_or_else(|| vec![0.0; m]);
+        buf.copy_from_slice(&self.y);
+        self.pending_bufs.push(buf);
+        self.pending_iter.push(k);
+        let mut buf = self.buf_pool.pop().unwrap_or_else(|| vec![0.0; m]);
+        buf.copy_from_slice(&self.z);
+        self.pending_bufs.push(buf);
+        self.pending_iter.push(k);
+    }
+
     /// Whether the staged iterates should be rounded now: the batch is
     /// full, or the configured iteration budget is exhausted.
     pub fn rounding_due(&self) -> bool {
@@ -440,6 +645,7 @@ impl<'a> BpEngine<'a> {
         let t0 = Instant::now();
         if !self.rounding.is_empty() {
             self.round_pending_with_engines(t0);
+            self.post_round_release();
             return;
         }
         let rounded = round_batch_traced(
@@ -479,6 +685,20 @@ impl<'a> BpEngine<'a> {
         self.pending_iter.clear();
         self.buf_pool.append(&mut self.pending_bufs);
         self.trace.add(Step::Match, t0.elapsed());
+        self.post_round_release();
+    }
+
+    /// Out-of-core only: the objective evaluations behind a rounding
+    /// walk rows of `S` through the mapped column indices in matched-
+    /// edge order. Drop those pages afterwards so the evaluation's
+    /// random working set does not accumulate on top of the sweeps'
+    /// sequential window.
+    fn post_round_release(&self) {
+        if self.ooc.is_some() {
+            if let Some(view) = self.p.s.mapped_view() {
+                view.advise_section(Section::Indices, Advice::DontNeed);
+            }
+        }
     }
 
     /// Engine-mode tail of [`BpEngine::round_pending`]: route each
@@ -549,6 +769,10 @@ impl<'a> BpEngine<'a> {
             !self.rounding.is_empty(),
             "trajectory recording requires engine-mode rounding (config.rounding)"
         );
+        assert!(
+            self.ooc.is_none(),
+            "trajectory recording is not supported in out-of-core mode"
+        );
         self.recorder = Some(recorder);
     }
 
@@ -561,6 +785,10 @@ impl<'a> BpEngine<'a> {
     /// iteration boundary, the damped previous iterates equal the
     /// current ones, so only the current iterate is captured.
     pub fn checkpoint_state(&self) -> BpState {
+        assert!(
+            self.ooc.is_none(),
+            "checkpointing is not supported in out-of-core mode"
+        );
         BpState {
             k: self.k,
             gamma: self.gamma,
@@ -683,7 +911,7 @@ fn fused_f_d(
     d: &mut [f64],
 ) {
     let rowptr = s.rowptr();
-    let perm = s.transpose_perm().as_slice();
+    let perm = s.transpose_perm_slice();
     let row_bounds = spans.row_bounds();
     let entry_bounds = spans.entry_bounds();
     par_uneven_chunks_mut(fv, entry_bounds)
@@ -731,6 +959,86 @@ fn sk_rowwise_update(
         });
 }
 
+/// Out-of-core steps 1+2 over one superblock: `d[r] = α·w[r] +
+/// Σ bound₀^β(β + skt_prev[idx])`, the transpose read through the
+/// companion stream in storage order — no permutation gather, no
+/// stored `F`. Accumulation order matches [`fused_f_d`] exactly.
+fn ooc_fused_d(
+    rowptr: &[usize],
+    sb: &Superblock,
+    skt_prev: &[f64],
+    w: &[f64],
+    alpha: f64,
+    beta: f64,
+    d: &mut [f64],
+) {
+    let rb = &sb.rel_row_bounds;
+    let row0 = sb.rows.start;
+    par_uneven_chunks_mut(d, rb)
+        .enumerate()
+        .for_each(|(g, d_chunk)| {
+            let rows = (row0 + rb[g])..(row0 + rb[g + 1]);
+            for (de, e) in d_chunk.iter_mut().zip(rows) {
+                let mut acc = 0.0;
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    let f = (beta + skt_prev[idx]).clamp(0.0, beta);
+                    acc += f;
+                }
+                *de = alpha * w[e] + acc;
+            }
+        });
+}
+
+/// Out-of-core steps 4+5 (S part) over one superblock, fused with
+/// damping: both the new `sk` and its transpose companion `skt` are
+/// produced in storage order —
+/// `sk[idx] = γ·(scale[row] − f) + (1−γ)·sk_prev[idx]` and
+/// `skt[idx] = γ·(scale[colidx[idx]] − fᵗ) + (1−γ)·skt_prev[idx]`
+/// with `f`/`fᵗ` the bound of the respective *other* stream (the
+/// involution `perm ∘ perm = id` makes both expressions exact
+/// transposes of each other). Only `scale` (m-sized, resident) is
+/// accessed randomly. Returns the count of non-finite new `sk`
+/// values for the numeric guard.
+#[allow(clippy::too_many_arguments)]
+fn ooc_sk_update(
+    rowptr: &[usize],
+    colidx: &[VertexId],
+    sb: &Superblock,
+    sk_prev: &[f64],
+    skt_prev: &[f64],
+    scale: &[f64],
+    beta: f64,
+    gk: f64,
+    sk: &mut [f64],
+    skt: &mut [f64],
+) -> u64 {
+    let rb = &sb.rel_row_bounds;
+    let eb = &sb.rel_entry_bounds;
+    let row0 = sb.rows.start;
+    let ent0 = sb.entries.start;
+    par_uneven_chunks_mut(sk, eb)
+        .zip(par_uneven_chunks_mut(skt, eb))
+        .enumerate()
+        .map(|(g, (sk_chunk, skt_chunk))| {
+            let base = ent0 + eb[g];
+            let mut bad = 0u64;
+            for e in (row0 + rb[g])..(row0 + rb[g + 1]) {
+                let sc = scale[e];
+                for idx in rowptr[e]..rowptr[e + 1] {
+                    let f = (beta + skt_prev[idx]).clamp(0.0, beta);
+                    let v = gk * (sc - f) + (1.0 - gk) * sk_prev[idx];
+                    sk_chunk[idx - base] = v;
+                    bad += u64::from(!v.is_finite());
+                    let ft = (beta + sk_prev[idx]).clamp(0.0, beta);
+                    skt_chunk[idx - base] =
+                        gk * (scale[colidx[idx] as usize] - ft) + (1.0 - gk) * skt_prev[idx];
+                }
+            }
+            bad
+        })
+        .sum()
+}
+
 /// `cur ← gk·cur + (1−gk)·prev`, then `prev ← cur`.
 fn damp(cur: &mut [f64], prev: &mut [f64], gk: f64) {
     cur.par_iter_mut()
@@ -773,6 +1081,7 @@ pub(crate) fn finalize(
     }
     trace.add(Step::Match, t0.elapsed());
     trace.matcher = matcher_counters.snapshot();
+    trace.stamp_peak_rss();
     let value = evaluate_matching(p, &matching, config.alpha, config.beta);
     AlignmentResult {
         matching,

@@ -821,7 +821,7 @@ fn replay_sparse(
     let (alpha, beta) = (config.alpha, config.beta);
     let w2 = p2.l.weights();
     let rowptr2 = p2.s.rowptr();
-    let perm2 = p2.s.transpose_perm().as_slice();
+    let perm2 = p2.s.transpose_perm_slice();
     let col_pos2 = column_positions(&p2.l);
     let escape_rows = ((m2 as f64) * ESCAPE_FRACTION) as usize;
 

@@ -12,6 +12,7 @@
 //! | 3    | I/O error (unreadable or malformed input graph, unwritable output or checkpoint) |
 //! | 4    | deadline expired without a usable result (`--on-deadline error`) |
 //! | 5    | internal error (engine panic, checkpoint validation failure, invariant breach) |
+//! | 6    | resident-memory budget violation (`--max-resident-mb` below the out-of-core baseline, or a measured peak RSS over budget) |
 //!
 //! Code 1 is deliberately unused: it is what an uncaught panic or a
 //! generic `std::process::exit(1)` yields, so keeping it out of the
@@ -38,9 +39,14 @@ pub const DEADLINE: i32 = 4;
 /// broken invariant.
 pub const INTERNAL: i32 = 5;
 
+/// Resident-memory budget violation: the requested `--max-resident-mb`
+/// is below the out-of-core working-set baseline (refused up front), or
+/// a budget-gated run measured a peak RSS over its budget.
+pub const BUDGET: i32 = 6;
+
 /// One-line table for embedding in `--help` text.
 pub const HELP_TABLE: &str = "exit codes: 0 ok (incl. deadline best-so-far), 2 usage/config, \
-     3 I/O, 4 deadline without result, 5 internal";
+     3 I/O, 4 deadline without result, 5 internal, 6 memory budget";
 
 #[cfg(test)]
 mod tests {
@@ -48,7 +54,7 @@ mod tests {
 
     #[test]
     fn codes_are_distinct_and_skip_one() {
-        let codes = [OK, USAGE, IO, DEADLINE, INTERNAL];
+        let codes = [OK, USAGE, IO, DEADLINE, INTERNAL, BUDGET];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);

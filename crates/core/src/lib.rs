@@ -56,6 +56,7 @@ pub mod exitcode;
 pub mod harness;
 pub mod mr;
 pub mod objective;
+pub mod oocore;
 pub mod pareto;
 pub mod problem;
 pub mod result;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::config::{AlignConfig, CheckpointPolicy, TimeBudget};
     pub use crate::harness::{AlignOutcome, Completion, DeadlinePolicy, HarnessError, RunHarness};
     pub use crate::mr::matching_relaxation;
+    pub use crate::oocore::{align_streaming, belief_propagation_ooc, OocError, OocOptions};
     pub use crate::problem::NetAlignProblem;
     pub use crate::result::AlignmentResult;
     pub use crate::trace::cancel::{CancelReason, CancelToken};

@@ -167,7 +167,7 @@ impl<'a> MrEngine<'a> {
         let gamma = self.gamma;
         let m = p.l.num_edges();
         let nnz = p.s.nnz();
-        let perm = p.s.transpose_perm().as_slice();
+        let perm = p.s.transpose_perm_slice();
 
         // Step 1: row matchings on (β/2)S + U − Uᵀ.
         let t0 = Instant::now();
@@ -538,7 +538,7 @@ pub fn update_multipliers(
 ) {
     let rowptr = p.s.rowptr();
     let colidx = p.s.colidx();
-    let perm = p.s.transpose_perm().as_slice();
+    let perm = p.s.transpose_perm_slice();
     let row_bounds = spans.row_bounds();
     let entry_bounds = spans.entry_bounds();
     par_uneven_chunks_mut(u_vals, entry_bounds)

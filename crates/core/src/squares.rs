@@ -15,16 +15,65 @@
 //! (the paper's §IV.A trick).
 
 use netalign_graph::csr::CsrMatrix;
+use netalign_graph::nacs::{CsrView, NacsError, NacsWriter, Section};
 use netalign_graph::permutation::Permutation;
 use netalign_graph::{BipartiteGraph, EdgeId, Graph, VertexId};
 use rayon::prelude::*;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Physical storage of the squares pattern: fully in-core, or an
+/// mmap-backed [`CsrView`] over a `NACS` file (out-of-core mode).
+#[derive(Clone, Debug)]
+enum Storage {
+    InCore {
+        pattern: CsrMatrix,
+        transpose_perm: Permutation,
+    },
+    Mapped {
+        view: CsrView,
+    },
+}
 
 /// The squares matrix: fixed CSR pattern over `E_L × E_L` with the
 /// transpose permutation precomputed.
+///
+/// The pattern either lives in core (the default) or is memory-mapped
+/// from a `NACS` file built by [`SquaresMatrix::build_streaming`]. Both
+/// forms expose identical `rowptr`/`colidx`/`transpose_perm_slice`
+/// accessors, so the aligner kernels are storage-agnostic.
 #[derive(Clone, Debug)]
 pub struct SquaresMatrix {
-    pattern: CsrMatrix,
-    transpose_perm: Permutation,
+    storage: Storage,
+}
+
+fn write_u32_stream<W: Write>(w: &mut W, vals: &[u32]) -> std::io::Result<()> {
+    #[cfg(target_endian = "little")]
+    {
+        let bytes =
+            unsafe { std::slice::from_raw_parts(vals.as_ptr() as *const u8, vals.len() * 4) };
+        w.write_all(bytes)
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for &v in vals {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Read until `buf` is full or EOF; returns the bytes read.
+fn fill_buf<R: Read>(rd: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = rd.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
 }
 
 /// What [`SquaresMatrix::patch`] did, for delta-solve reporting.
@@ -88,9 +137,213 @@ impl SquaresMatrix {
         debug_assert!(pattern.is_structurally_symmetric());
         let transpose_perm = pattern.transpose_permutation();
         Self {
-            pattern,
-            transpose_perm,
+            storage: Storage::InCore {
+                pattern,
+                transpose_perm,
+            },
         }
+    }
+
+    /// Wrap a memory-mapped `NACS` view as a squares matrix.
+    ///
+    /// The file must be square and carry a transpose-permutation
+    /// section (as written by [`SquaresMatrix::build_streaming`] or
+    /// [`SquaresMatrix::write_nacs`]); values are implicitly 1.0.
+    pub fn from_mapped(view: CsrView) -> Result<Self, NacsError> {
+        if view.nrows() != view.ncols() {
+            return Err(NacsError::Format(format!(
+                "squares matrix must be square, got {}x{}",
+                view.nrows(),
+                view.ncols()
+            )));
+        }
+        if view.perm().is_none() {
+            return Err(NacsError::Format(
+                "squares NACS file lacks the transpose permutation section".into(),
+            ));
+        }
+        Ok(Self {
+            storage: Storage::Mapped { view },
+        })
+    }
+
+    /// True when the pattern is served from a memory-mapped file.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.storage, Storage::Mapped { .. })
+    }
+
+    /// The mapped view, when out-of-core.
+    pub fn mapped_view(&self) -> Option<&CsrView> {
+        match &self.storage {
+            Storage::Mapped { view } => Some(view),
+            Storage::InCore { .. } => None,
+        }
+    }
+
+    /// Write this matrix to a `NACS` file (unit weights + transpose
+    /// permutation), so it can be reopened with
+    /// [`CsrView::open`] + [`SquaresMatrix::from_mapped`].
+    pub fn write_nacs(&self, path: &Path) -> Result<(), NacsError> {
+        match &self.storage {
+            Storage::InCore {
+                pattern,
+                transpose_perm,
+            } => pattern.write_nacs(path, true, Some(transpose_perm.as_slice())),
+            Storage::Mapped { view } => view.to_csr().write_nacs(path, true, view.perm()),
+        }
+    }
+
+    /// Enumerate the squares of `A`, `B`, `L` directly into a `NACS`
+    /// file, holding at most `spill_buffer_bytes` of enumerated column
+    /// indices in memory at a time, then reopen the file mapped.
+    ///
+    /// The per-row enumeration is byte-for-byte the same as
+    /// [`SquaresMatrix::build`]; blocks of rows are enumerated in
+    /// parallel and their (sorted) column lists are appended to a spill
+    /// file whenever the buffer exceeds its budget. A second sequential
+    /// pass over the spill emits the `indices` section, and a third
+    /// emits the transpose permutation without materializing it: for a
+    /// structurally symmetric pattern the transpose permutation is an
+    /// involution, so `perm[k] = next[colidx[k]]++` (with `next`
+    /// initialized from `rowptr`) produces, entry by entry in file
+    /// order, exactly the permutation the in-core next-slot walk
+    /// builds. Only `O(|E_L|)` state (row counts, `next`) stays
+    /// resident.
+    pub fn build_streaming(
+        a: &Graph,
+        b: &Graph,
+        l: &BipartiteGraph,
+        path: &Path,
+        spill_buffer_bytes: usize,
+    ) -> Result<Self, NacsError> {
+        assert!(
+            l.num_edges() < u32::MAX as usize - 1,
+            "edge ids must fit in u32"
+        );
+        let m = l.num_edges();
+        let mut spill_path = path.as_os_str().to_owned();
+        spill_path.push(".spill");
+        let spill_path = std::path::PathBuf::from(spill_path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+
+        // Pass 1: enumerate row blocks in parallel, spill column lists.
+        const ROWS_PER_CHUNK: usize = 2048;
+        let cap_entries = (spill_buffer_bytes / 4).max(1 << 16);
+        let mut rowcount = vec![0u32; m];
+        let mut nnz = 0u64;
+        {
+            let spill = std::fs::File::create(&spill_path)?;
+            let mut spill = BufWriter::with_capacity(1 << 20, spill);
+            let mut buf: Vec<u32> = Vec::with_capacity(cap_entries.min(1 << 24));
+            let mut base = 0usize;
+            while base < m {
+                let end = (base + ROWS_PER_CHUNK).min(m);
+                let chunk_rows: Vec<Vec<VertexId>> = (base..end)
+                    .into_par_iter()
+                    .map(|e| {
+                        let (i, ip) = l.endpoints(e);
+                        let mut cols: Vec<VertexId> = Vec::new();
+                        for &j in a.neighbors(i) {
+                            for &jp in b.neighbors(ip) {
+                                if let Some(f) = l.edge_id(j, jp) {
+                                    debug_assert_ne!(f, e, "squares cannot be diagonal");
+                                    cols.push(f as VertexId);
+                                }
+                            }
+                        }
+                        cols.sort_unstable();
+                        cols
+                    })
+                    .collect();
+                for (off, cols) in chunk_rows.iter().enumerate() {
+                    rowcount[base + off] = cols.len() as u32;
+                    nnz += cols.len() as u64;
+                    buf.extend_from_slice(cols);
+                    if buf.len() >= cap_entries {
+                        write_u32_stream(&mut spill, &buf)?;
+                        buf.clear();
+                    }
+                }
+                base = end;
+            }
+            write_u32_stream(&mut spill, &buf)?;
+            spill.flush()?;
+        }
+
+        // Header + indptr from the row counts.
+        let mut w = NacsWriter::create(path, m, m, nnz as usize, true, true)?;
+        w.begin_section(Section::Indptr)?;
+        {
+            let mut acc = 0u64;
+            let mut out: Vec<u64> = Vec::with_capacity(1 << 16);
+            out.push(0);
+            for &c in &rowcount {
+                acc += c as u64;
+                out.push(acc);
+                if out.len() == 1 << 16 {
+                    w.write_u64s(&out)?;
+                    out.clear();
+                }
+            }
+            w.write_u64s(&out)?;
+        }
+        w.end_section()?;
+
+        // Pass 2: stream the spill through as the indices section.
+        w.begin_section(Section::Indices)?;
+        {
+            let mut rd = BufReader::with_capacity(1 << 20, std::fs::File::open(&spill_path)?);
+            let mut chunk = vec![0u8; 1 << 20];
+            loop {
+                let n = rd.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                w.write(&chunk[..n])?;
+            }
+        }
+        w.end_section()?;
+
+        // Pass 3: stream the spill again, emitting the involution
+        // transpose permutation entry by entry.
+        w.begin_section(Section::Perm)?;
+        {
+            let mut next = vec![0u64; m];
+            let mut acc = 0u64;
+            for (e, &c) in rowcount.iter().enumerate() {
+                next[e] = acc;
+                acc += c as u64;
+            }
+            let mut rd = BufReader::with_capacity(1 << 20, std::fs::File::open(&spill_path)?);
+            let mut chunk = vec![0u8; 1 << 20];
+            let mut out: Vec<u64> = Vec::with_capacity(1 << 18);
+            loop {
+                let n = fill_buf(&mut rd, &mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                debug_assert_eq!(n % 4, 0, "spill size is a multiple of 4");
+                for cb in chunk[..n].chunks_exact(4) {
+                    let c = u32::from_le_bytes(cb.try_into().unwrap()) as usize;
+                    out.push(next[c]);
+                    next[c] += 1;
+                    if out.len() == 1 << 18 {
+                        w.write_u64s(&out)?;
+                        out.clear();
+                    }
+                }
+            }
+            w.write_u64s(&out)?;
+        }
+        w.end_section()?;
+        w.finish()?;
+        let _ = std::fs::remove_file(&spill_path);
+
+        Self::from_mapped(CsrView::open(path)?)
     }
 
     /// Patch this matrix after a structural delta instead of rebuilding
@@ -219,8 +472,10 @@ impl SquaresMatrix {
         };
         (
             SquaresMatrix {
-                pattern,
-                transpose_perm,
+                storage: Storage::InCore {
+                    pattern,
+                    transpose_perm,
+                },
             },
             shape_preserved,
             stats,
@@ -231,50 +486,93 @@ impl SquaresMatrix {
     /// the symmetric storage convention of the paper's Table II).
     #[inline]
     pub fn nnz(&self) -> usize {
-        self.pattern.nnz()
+        match &self.storage {
+            Storage::InCore { pattern, .. } => pattern.nnz(),
+            Storage::Mapped { view } => view.nnz(),
+        }
     }
 
     /// Number of rows/columns (`|E_L|`).
     #[inline]
     pub fn dim(&self) -> usize {
-        self.pattern.nrows()
+        match &self.storage {
+            Storage::InCore { pattern, .. } => pattern.nrows(),
+            Storage::Mapped { view } => view.nrows(),
+        }
     }
 
-    /// The underlying CSR pattern (values all 1.0).
+    /// The underlying in-core CSR pattern (values all 1.0).
+    ///
+    /// # Panics
+    /// Panics for mapped storage — kernels should use the slice
+    /// accessors, which work for both.
     #[inline]
     pub fn pattern(&self) -> &CsrMatrix {
-        &self.pattern
+        match &self.storage {
+            Storage::InCore { pattern, .. } => pattern,
+            Storage::Mapped { .. } => {
+                panic!("pattern() requires in-core storage; use rowptr()/colidx()")
+            }
+        }
     }
 
     /// Row pointer array.
     #[inline]
     pub fn rowptr(&self) -> &[usize] {
-        self.pattern.rowptr()
+        match &self.storage {
+            Storage::InCore { pattern, .. } => pattern.rowptr(),
+            Storage::Mapped { view } => view.rowptr(),
+        }
     }
 
     /// Column indices (edge ids of `L`).
     #[inline]
     pub fn colidx(&self) -> &[VertexId] {
-        self.pattern.colidx()
+        match &self.storage {
+            Storage::InCore { pattern, .. } => pattern.colidx(),
+            Storage::Mapped { view } => view.colidx(),
+        }
     }
 
     /// Entry-index range of row `e`.
     #[inline]
     pub fn row_range(&self, e: EdgeId) -> std::ops::Range<usize> {
-        self.pattern.row_range(e)
+        let p = self.rowptr();
+        p[e]..p[e + 1]
     }
 
     /// Column ids of row `e`.
     #[inline]
     pub fn row_cols(&self, e: EdgeId) -> &[VertexId] {
-        self.pattern.row_cols(e)
+        &self.colidx()[self.row_range(e)]
     }
 
-    /// The transpose value permutation: for a value array `v` over this
-    /// pattern, `transpose(v)[k] = v[perm[k]]`.
+    /// The transpose value permutation as a typed [`Permutation`].
+    ///
+    /// # Panics
+    /// Panics for mapped storage — use
+    /// [`transpose_perm_slice`](SquaresMatrix::transpose_perm_slice).
     #[inline]
     pub fn transpose_perm(&self) -> &Permutation {
-        &self.transpose_perm
+        match &self.storage {
+            Storage::InCore { transpose_perm, .. } => transpose_perm,
+            Storage::Mapped { .. } => {
+                panic!("transpose_perm() requires in-core storage; use transpose_perm_slice()")
+            }
+        }
+    }
+
+    /// The transpose value permutation as a raw slice, for either
+    /// storage: for a value array `v` over this pattern,
+    /// `transpose(v)[k] = v[perm[k]]`.
+    #[inline]
+    pub fn transpose_perm_slice(&self) -> &[usize] {
+        match &self.storage {
+            Storage::InCore { transpose_perm, .. } => transpose_perm.as_slice(),
+            Storage::Mapped { view } => view
+                .perm()
+                .expect("mapped squares matrices always carry a perm section"),
+        }
     }
 
     /// Gather a transposed value array: `out[k] = vals[perm[k]]`
@@ -282,7 +580,7 @@ impl SquaresMatrix {
     pub fn transpose_vals_into(&self, vals: &[f64], out: &mut [f64]) {
         assert_eq!(vals.len(), self.nnz());
         assert_eq!(out.len(), self.nnz());
-        let perm = self.transpose_perm.as_slice();
+        let perm = self.transpose_perm_slice();
         out.par_iter_mut()
             .zip(perm.par_iter())
             .for_each(|(o, &p)| *o = vals[p]);
@@ -423,6 +721,51 @@ mod tests {
         assert_eq!(patched.transpose_perm(), s.transpose_perm());
         assert!(flags.is_empty());
         assert_eq!(stats.entries_reused, s.nnz());
+    }
+
+    #[test]
+    fn streaming_build_matches_in_core() {
+        let (a, b, l) = triangle_problem();
+        let s = SquaresMatrix::build(&a, &b, &l);
+        let dir = std::env::temp_dir().join(format!("netalign-squares-{}", std::process::id()));
+        let path = dir.join("triangle.nacs");
+        // A 64-byte buffer forces multiple spill flushes even here.
+        let sm = SquaresMatrix::build_streaming(&a, &b, &l, &path, 64).unwrap();
+        assert!(sm.is_mapped());
+        assert!(!s.is_mapped());
+        assert_eq!(sm.dim(), s.dim());
+        assert_eq!(sm.nnz(), s.nnz());
+        assert_eq!(sm.rowptr(), s.rowptr());
+        assert_eq!(sm.colidx(), s.colidx());
+        assert_eq!(sm.transpose_perm_slice(), s.transpose_perm().as_slice());
+        for e in 0..s.dim() {
+            assert_eq!(sm.row_cols(e), s.row_cols(e));
+        }
+        let x = [1.0, 0.5, 1.0, 0.0];
+        assert_eq!(
+            sm.quadratic_form(&x).to_bits(),
+            s.quadratic_form(&x).to_bits()
+        );
+        // write_nacs of the in-core matrix reopens identically too.
+        let path2 = dir.join("triangle2.nacs");
+        s.write_nacs(&path2).unwrap();
+        let sm2 = SquaresMatrix::from_mapped(netalign_graph::nacs::CsrView::open(&path2).unwrap())
+            .unwrap();
+        assert_eq!(sm2.colidx(), s.colidx());
+        assert_eq!(sm2.transpose_perm_slice(), s.transpose_perm().as_slice());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-core")]
+    fn mapped_pattern_access_panics() {
+        let (a, b, l) = triangle_problem();
+        let dir = std::env::temp_dir().join(format!("netalign-squares-{}", std::process::id()));
+        let path = dir.join("panic.nacs");
+        let sm = SquaresMatrix::build_streaming(&a, &b, &l, &path, 1 << 20).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let _ = sm.pattern();
     }
 
     #[test]

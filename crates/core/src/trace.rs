@@ -15,7 +15,8 @@
 //!   batch sizes, best-iterate improvements.
 
 pub use netalign_trace::{
-    cancel, faults, AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters, StepTrace,
+    cancel, faults, peak_rss_kb, AlgoCounters, Json, MatcherCounterSnapshot, MatcherCounters,
+    StepTrace,
 };
 
 use std::time::{Duration, Instant};
@@ -121,6 +122,11 @@ pub struct RunTrace {
     pub matcher: MatcherCounterSnapshot,
     /// Aligner-level counters.
     pub algo: AlgoCounters,
+    /// Lifetime peak resident-set size of the process (kB) sampled at
+    /// the end of the run — `VmHWM` on Linux, 0 elsewhere. Monotone
+    /// over the process lifetime, so in-process comparisons must
+    /// sample the out-of-core run first.
+    pub peak_rss_kb: u64,
 }
 
 impl Default for RunTrace {
@@ -136,6 +142,7 @@ impl RunTrace {
             steps: StepTrace::new(&Step::NAMES),
             matcher: MatcherCounterSnapshot::default(),
             algo: AlgoCounters::default(),
+            peak_rss_kb: 0,
         }
     }
 
@@ -146,7 +153,14 @@ impl RunTrace {
             steps: StepTrace::with_options(&Step::NAMES, false),
             matcher: MatcherCounterSnapshot::default(),
             algo: AlgoCounters::default(),
+            peak_rss_kb: 0,
         }
+    }
+
+    /// Record the process's lifetime peak RSS so far (kB) into the
+    /// trace. Keeps the larger of the stored and sampled values.
+    pub fn stamp_peak_rss(&mut self) {
+        self.peak_rss_kb = self.peak_rss_kb.max(netalign_trace::peak_rss_kb());
     }
 
     /// Time a closure, attributing its wall-clock to `step`.
@@ -199,6 +213,8 @@ impl RunTrace {
             .extend_from_slice(&other.algo.rounding_batch_sizes);
         self.algo.best_improvements += other.algo.best_improvements;
         self.algo.numeric_recoveries += other.algo.numeric_recoveries;
+        // RSS is a process-wide high-water mark, not an additive span.
+        self.peak_rss_kb = self.peak_rss_kb.max(other.peak_rss_kb);
     }
 
     /// `(step-name, seconds, share-of-total)` rows for non-zero steps,
@@ -257,6 +273,9 @@ impl RunTrace {
                 self.algo.numeric_recoveries,
             ));
         }
+        if self.peak_rss_kb > 0 {
+            out.push_str(&format!("memory: peak RSS {} kB\n", self.peak_rss_kb));
+        }
         out
     }
 
@@ -267,6 +286,7 @@ impl RunTrace {
             ("steps", self.steps.to_json()),
             ("matcher", self.matcher.to_json()),
             ("algo", self.algo.to_json()),
+            ("peak_rss_kb", Json::U64(self.peak_rss_kb)),
         ])
     }
 }
@@ -334,6 +354,24 @@ mod tests {
             t.steps.iteration(1)[Step::ComputeF.index()],
             Duration::from_millis(2)
         );
+    }
+
+    #[test]
+    fn peak_rss_merges_as_max_and_reports() {
+        let mut t1 = RunTrace::new();
+        t1.peak_rss_kb = 512;
+        let mut t2 = RunTrace::new();
+        t2.peak_rss_kb = 2048;
+        t1.merge(&t2);
+        assert_eq!(t1.peak_rss_kb, 2048);
+        assert!(t1.report_table().contains("peak RSS 2048 kB"));
+        assert!(t1.to_json().render().contains("\"peak_rss_kb\":2048"));
+        #[cfg(target_os = "linux")]
+        {
+            let mut t = RunTrace::new();
+            t.stamp_peak_rss();
+            assert!(t.peak_rss_kb > 0);
+        }
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod standins;
 pub mod synthetic;
 
 pub use metrics::{fraction_correct, reference_objective};
-pub use standins::{StandIn, StandInSpec};
+pub use standins::{StandIn, StandInGraphs, StandInSpec};
 pub use synthetic::{erdos_renyi_alignment, power_law_alignment, PowerLawParams};

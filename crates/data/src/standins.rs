@@ -30,7 +30,7 @@ use netalign_core::NetAlignProblem;
 use netalign_graph::bipartite::BipartiteGraphBuilder;
 use netalign_graph::generators::power_law_degree_sequence;
 use netalign_graph::undirected::GraphBuilder;
-use netalign_graph::{Graph, VertexId};
+use netalign_graph::{BipartiteGraph, Graph, VertexId};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -145,6 +145,29 @@ impl StandIn {
     pub fn generate(&self, scale: f64, seed: u64) -> SyntheticInstance {
         generate_standin(&self.spec(), scale, seed)
     }
+
+    /// Generate only the raw graphs (and planted map) at the given
+    /// scale and seed, without building the squares matrix. This is
+    /// the entry point for out-of-core runs, which stream `S` to disk
+    /// instead of materializing it in memory; the graphs are
+    /// bit-identical to the ones inside [`StandIn::generate`] for the
+    /// same arguments.
+    pub fn generate_graphs(&self, scale: f64, seed: u64) -> StandInGraphs {
+        generate_graphs(&self.spec(), scale, seed)
+    }
+}
+
+/// The raw graphs of a stand-in instance, before any squares matrix is
+/// built — what the streaming/out-of-core paths consume.
+pub struct StandInGraphs {
+    /// First input graph.
+    pub a: Graph,
+    /// Second input graph.
+    pub b: Graph,
+    /// Candidate bipartite graph between them.
+    pub l: BipartiteGraph,
+    /// Hidden planted correspondence (recovery ground truth).
+    pub planted: Vec<Option<VertexId>>,
 }
 
 fn scaled(x: usize, scale: f64) -> usize {
@@ -170,6 +193,12 @@ fn power_law_with_edges(n: usize, m_target: usize, exponent: f64, seed: u64) -> 
 }
 
 fn generate_standin(spec: &StandInSpec, scale: f64, seed: u64) -> SyntheticInstance {
+    let StandInGraphs { a, b, l, planted } = generate_graphs(spec, scale, seed);
+    let problem = NetAlignProblem::new(a, b, l);
+    SyntheticInstance { problem, planted }
+}
+
+fn generate_graphs(spec: &StandInSpec, scale: f64, seed: u64) -> StandInGraphs {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     let va = scaled(spec.va, scale);
     let vb = scaled(spec.vb, scale);
@@ -231,8 +260,7 @@ fn generate_standin(spec: &StandInSpec, scale: f64, seed: u64) -> SyntheticInsta
     }
     let l = lb.build();
 
-    let problem = NetAlignProblem::new(a, b, l);
-    SyntheticInstance { problem, planted }
+    StandInGraphs { a, b, l, planted }
 }
 
 #[cfg(test)]
@@ -309,5 +337,15 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn rejects_bad_scale() {
         let _ = StandIn::DmelaScere.generate(0.0, 1);
+    }
+
+    #[test]
+    fn graphs_only_split_matches_full_generation() {
+        let graphs = StandIn::HomoMusm.generate_graphs(0.03, 9);
+        let full = StandIn::HomoMusm.generate(0.03, 9);
+        assert_eq!(graphs.l, full.problem.l);
+        assert_eq!(graphs.planted, full.planted);
+        assert_eq!(graphs.a.num_edges(), full.problem.a.num_edges());
+        assert_eq!(graphs.b.num_edges(), full.problem.b.num_edges());
     }
 }

@@ -356,6 +356,72 @@ impl CsrMatrix {
     }
 }
 
+/// Common read accessor surface over CSR structure, implemented by both
+/// the in-core [`CsrMatrix`] and the mmap-backed
+/// [`CsrView`](crate::nacs::CsrView), so kernels written against plain
+/// `rowptr`/`colidx` slices run unchanged on either storage.
+pub trait CsrAccess {
+    /// Number of rows.
+    fn nrows(&self) -> usize;
+    /// Number of columns.
+    fn ncols(&self) -> usize;
+    /// Number of stored entries.
+    fn nnz(&self) -> usize;
+    /// Row pointer array (`nrows + 1` entries).
+    fn rowptr(&self) -> &[usize];
+    /// Column index array (`nnz` entries).
+    fn colidx(&self) -> &[VertexId];
+
+    /// Entry range of one row.
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        let p = self.rowptr();
+        p[row]..p[row + 1]
+    }
+
+    /// Column indices of one row.
+    fn row_cols(&self, row: usize) -> &[VertexId] {
+        &self.colidx()[self.row_range(row)]
+    }
+}
+
+impl CsrAccess for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+    fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+    fn colidx(&self) -> &[VertexId] {
+        &self.colidx
+    }
+}
+
+impl CsrAccess for crate::nacs::CsrView {
+    fn nrows(&self) -> usize {
+        CsrView::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        CsrView::ncols(self)
+    }
+    fn nnz(&self) -> usize {
+        CsrView::nnz(self)
+    }
+    fn rowptr(&self) -> &[usize] {
+        CsrView::rowptr(self)
+    }
+    fn colidx(&self) -> &[VertexId] {
+        CsrView::colidx(self)
+    }
+}
+
+use crate::nacs::CsrView;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,9 +10,11 @@
 //! every experiment in the workspace is reproducible bit-for-bit.
 
 mod erdos_renyi;
+mod lcsh_like;
 mod power_law;
 
 pub use erdos_renyi::erdos_renyi;
+pub use lcsh_like::{lcsh_like, LcshLikeConfig, LcshLikeInstance};
 pub use power_law::{graph_from_degree_sequence, power_law_degree_sequence, power_law_graph};
 
 use crate::bipartite::BipartiteGraphBuilder;

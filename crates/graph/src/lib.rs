@@ -16,6 +16,10 @@
 //!   experiments.
 //! * [`io`] — SMAT and edge-list readers/writers compatible with the
 //!   formats used by the original `netalign` codes.
+//! * [`nacs`] / [`mmap`] — the on-disk `NACS` CSR container and the
+//!   memory-mapping layer behind out-of-core alignment; a mapped
+//!   [`nacs::CsrView`] serves the same accessor trait
+//!   ([`csr::CsrAccess`]) as the in-core matrix.
 //! * [`permutation`] — permutation vectors and validation helpers.
 //! * [`delta`] — structural deltas (edge insert/expire/reweight) against
 //!   frozen graphs, with canonical-rebuild application and the old→new
@@ -26,6 +30,8 @@ pub mod csr;
 pub mod delta;
 pub mod generators;
 pub mod io;
+pub mod mmap;
+pub mod nacs;
 pub mod permutation;
 pub mod stats;
 pub mod undirected;
@@ -33,8 +39,9 @@ pub mod undirected;
 pub mod prelude {
     //! Convenient re-exports of the most used types.
     pub use crate::bipartite::{BipartiteGraph, BipartiteGraphBuilder, GraphError};
-    pub use crate::csr::CsrMatrix;
+    pub use crate::csr::{CsrAccess, CsrMatrix};
     pub use crate::delta::{CandidateDelta, CsrDelta, DeltaError, GraphDelta};
+    pub use crate::nacs::{CsrView, NacsError, NacsWriter};
     pub use crate::permutation::Permutation;
     pub use crate::undirected::{Graph, GraphBuilder};
 }

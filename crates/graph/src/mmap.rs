@@ -1,0 +1,574 @@
+//! Minimal memory-mapping layer for out-of-core containers.
+//!
+//! Wraps `mmap`/`munmap`/`madvise`/`msync` through raw `extern "C"`
+//! declarations so no external crate is needed. On non-Unix targets the
+//! types degrade to heap-backed buffers: everything still works, but
+//! residency is no longer bounded by the OS page cache (the out-of-core
+//! paths document this).
+//!
+//! Only 64-bit little-endian targets can reinterpret on-disk `u64`
+//! sections as `usize` slices; [`crate::nacs`] checks this at open time.
+
+use std::fs::File;
+use std::io;
+use std::ops::Range;
+
+/// Page-cache advice understood by [`Mmap::advise`] / [`MmapMut::advise`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// No special treatment (default kernel readahead).
+    Normal,
+    /// Expect sequential access: aggressive readahead, early reclaim.
+    Sequential,
+    /// Expect random access: disable readahead.
+    Random,
+    /// Prefetch the range.
+    WillNeed,
+    /// The range is not needed soon; the kernel may drop the pages.
+    /// File-backed pages are repopulated from the file on next access.
+    DontNeed,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_SHARED: i32 = 1;
+
+    pub const MADV_NORMAL: i32 = 0;
+    pub const MADV_RANDOM: i32 = 1;
+    pub const MADV_SEQUENTIAL: i32 = 2;
+    pub const MADV_WILLNEED: i32 = 3;
+    pub const MADV_DONTNEED: i32 = 4;
+
+    #[cfg(target_os = "macos")]
+    pub const MS_SYNC: i32 = 0x0010;
+    #[cfg(not(target_os = "macos"))]
+    pub const MS_SYNC: i32 = 4;
+
+    #[cfg(target_os = "macos")]
+    pub const SC_PAGESIZE: i32 = 29;
+    #[cfg(not(target_os = "macos"))]
+    pub const SC_PAGESIZE: i32 = 30;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+        pub fn msync(addr: *mut c_void, len: usize, flags: i32) -> i32;
+        pub fn sysconf(name: i32) -> i64;
+    }
+
+    pub fn advice_flag(a: super::Advice) -> i32 {
+        match a {
+            super::Advice::Normal => MADV_NORMAL,
+            super::Advice::Sequential => MADV_SEQUENTIAL,
+            super::Advice::Random => MADV_RANDOM,
+            super::Advice::WillNeed => MADV_WILLNEED,
+            super::Advice::DontNeed => MADV_DONTNEED,
+        }
+    }
+}
+
+/// System page size in bytes (4096 if it cannot be determined).
+pub fn page_size() -> usize {
+    #[cfg(unix)]
+    {
+        let v = unsafe { sys::sysconf(sys::SC_PAGESIZE) };
+        if v > 0 {
+            return v as usize;
+        }
+    }
+    4096
+}
+
+/// Round `range` (in bytes, relative to a page-aligned base) outward to
+/// page boundaries, clamped to `len`.
+fn page_round(range: Range<usize>, len: usize) -> Range<usize> {
+    let ps = page_size();
+    let start = (range.start / ps) * ps;
+    let end = range.end.div_ceil(ps) * ps;
+    start.min(len)..end.min(len)
+}
+
+/// Round `range` *inward* to page boundaries (only whole pages fully
+/// inside the range), clamped to `len`. Used for `DontNeed` on shared
+/// writable maps so pages straddling a boundary are never dropped while
+/// a neighbouring region may still be dirty.
+fn page_round_inward(range: Range<usize>, len: usize) -> Range<usize> {
+    let ps = page_size();
+    let start = range.start.div_ceil(ps) * ps;
+    let end = (range.end / ps) * ps;
+    if start >= end {
+        return 0..0;
+    }
+    start.min(len)..end.min(len)
+}
+
+// ---------------------------------------------------------------------
+// Read-only map
+// ---------------------------------------------------------------------
+
+/// A read-only, shared memory map of an entire file.
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+    len: usize,
+}
+
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the whole file read-only.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len == 0 {
+                return Ok(Mmap {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap { ptr, len })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            use std::io::Seek;
+            f.seek(io::SeekFrom::Start(0))?;
+            f.read_to_end(&mut buf)?;
+            Ok(Mmap { buf, len })
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &self.buf
+        }
+    }
+
+    /// Advise the kernel about the access pattern of a byte range
+    /// (rounded outward to page boundaries). Best-effort: errors are
+    /// ignored, advice is a hint.
+    pub fn advise(&self, range: Range<usize>, advice: Advice) {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return;
+            }
+            let r = page_round(range, self.len);
+            if r.is_empty() {
+                return;
+            }
+            unsafe {
+                sys::madvise(
+                    (self.ptr as *mut u8).add(r.start) as *mut std::ffi::c_void,
+                    r.end - r.start,
+                    sys::advice_flag(advice),
+                );
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (range, advice);
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writable shared map
+// ---------------------------------------------------------------------
+
+/// A shared read-write memory map of an entire file.
+pub struct MmapMut {
+    #[cfg(unix)]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+    len: usize,
+}
+
+#[cfg(unix)]
+unsafe impl Send for MmapMut {}
+#[cfg(unix)]
+unsafe impl Sync for MmapMut {}
+
+impl MmapMut {
+    /// Map the whole file shared read-write.
+    pub fn map(file: &File) -> io::Result<MmapMut> {
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len == 0 {
+                return Ok(MmapMut {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ | sys::PROT_WRITE,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MmapMut { ptr, len })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(MmapMut {
+                buf: vec![0; len],
+                len,
+            })
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &self.buf
+        }
+    }
+
+    /// The mapped bytes, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return &mut [];
+            }
+            unsafe { std::slice::from_raw_parts_mut(self.ptr as *mut u8, self.len) }
+        }
+        #[cfg(not(unix))]
+        {
+            &mut self.buf
+        }
+    }
+
+    /// Synchronously flush a byte range to the backing file
+    /// (rounded outward to page boundaries).
+    pub fn sync(&self, range: Range<usize>) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return Ok(());
+            }
+            let r = page_round(range, self.len);
+            if r.is_empty() {
+                return Ok(());
+            }
+            let rc = unsafe {
+                sys::msync(
+                    (self.ptr as *mut u8).add(r.start) as *mut std::ffi::c_void,
+                    r.end - r.start,
+                    sys::MS_SYNC,
+                )
+            };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = range;
+            Ok(())
+        }
+    }
+
+    /// Advise on a byte range. `DontNeed` is rounded *inward* (whole
+    /// pages only) so neighbouring, possibly-dirty regions survive;
+    /// other advice is rounded outward. Best-effort.
+    pub fn advise(&self, range: Range<usize>, advice: Advice) {
+        #[cfg(unix)]
+        {
+            if self.len == 0 {
+                return;
+            }
+            let r = match advice {
+                Advice::DontNeed => page_round_inward(range, self.len),
+                _ => page_round(range, self.len),
+            };
+            if r.is_empty() {
+                return;
+            }
+            unsafe {
+                sys::madvise(
+                    (self.ptr as *mut u8).add(r.start) as *mut std::ffi::c_void,
+                    r.end - r.start,
+                    sys::advice_flag(advice),
+                );
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (range, advice);
+        }
+    }
+}
+
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapMut").field("len", &self.len).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// File-backed f64 scratch
+// ---------------------------------------------------------------------
+
+/// A file-backed `f64` buffer for out-of-core iterate state.
+///
+/// Created zero-filled over an unlinked scratch file, so the bytes live
+/// in the page cache (reclaimable after [`ScratchF64::release`]) and the
+/// file disappears automatically when the buffer is dropped — even on
+/// crash, since it is unlinked at creation.
+pub struct ScratchF64 {
+    map: MmapMut,
+    len: usize,
+    // Keeps the unlinked file alive on unix; unused on other targets.
+    _file: File,
+}
+
+impl ScratchF64 {
+    /// Create a zero-filled scratch buffer of `len` f64s backed by a
+    /// file named `name` under `dir`. The file is unlinked immediately
+    /// after mapping.
+    pub fn zeroed_in(dir: &std::path::Path, name: &str, len: usize) -> io::Result<ScratchF64> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len((len * 8) as u64)?;
+        let map = MmapMut::map(&file)?;
+        #[cfg(unix)]
+        let _ = std::fs::remove_file(&path);
+        Ok(ScratchF64 {
+            map,
+            len,
+            _file: file,
+        })
+    }
+
+    /// Number of f64 elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as an f64 slice.
+    pub fn as_slice(&self) -> &[f64] {
+        let b = self.map.as_slice();
+        debug_assert_eq!(b.as_ptr() as usize % std::mem::align_of::<f64>(), 0);
+        unsafe { std::slice::from_raw_parts(b.as_ptr() as *const f64, self.len) }
+    }
+
+    /// The buffer as a mutable f64 slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        let b = self.map.as_mut_slice();
+        debug_assert_eq!(b.as_ptr() as usize % std::mem::align_of::<f64>(), 0);
+        unsafe { std::slice::from_raw_parts_mut(b.as_mut_ptr() as *mut f64, self.len) }
+    }
+
+    /// Flush an element range to the backing file and tell the kernel
+    /// the pages are not needed soon (they remain readable; a later
+    /// access refaults from the file). Bounds peak residency during
+    /// superblock sweeps.
+    pub fn release(&self, elems: Range<usize>) {
+        let bytes = elems.start * 8..elems.end * 8;
+        let _ = self.map.sync(bytes.clone());
+        self.map.advise(bytes, Advice::DontNeed);
+    }
+
+    /// Hint sequential access over an element range.
+    pub fn advise_sequential(&self, elems: Range<usize>) {
+        self.map
+            .advise(elems.start * 8..elems.end * 8, Advice::Sequential);
+    }
+}
+
+impl std::fmt::Debug for ScratchF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchF64")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("netalign-mmap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn map_reads_file_contents() {
+        let dir = tmpdir("ro");
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.as_slice(), &payload[..]);
+        map.advise(0..map.len(), Advice::Sequential);
+        map.advise(0..map.len(), Advice::DontNeed);
+        assert_eq!(map.as_slice()[9_999], payload[9_999]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let dir = tmpdir("empty");
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        assert!(map.as_slice().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scratch_round_trips_through_release() {
+        let dir = tmpdir("scratch");
+        let mut s = ScratchF64::zeroed_in(&dir, "buf.f64", 100_000).unwrap();
+        assert!(s.as_slice().iter().all(|&v| v == 0.0));
+        for (i, v) in s.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f64 * 0.5;
+        }
+        s.release(0..100_000);
+        let got = s.as_slice();
+        for i in [0usize, 1, 4095, 4096, 50_000, 99_999] {
+            assert_eq!(got[i], i as f64 * 0.5);
+        }
+    }
+
+    #[test]
+    fn page_rounding_is_sane() {
+        let ps = page_size();
+        assert!(ps >= 1024 && ps.is_power_of_two());
+        assert_eq!(page_round(1..2, 10 * ps), 0..ps);
+        assert!(page_round_inward(1..2 * ps - 1, 10 * ps).is_empty());
+        assert_eq!(page_round_inward(1..3 * ps - 1, 10 * ps), ps..2 * ps);
+        assert_eq!(page_round_inward(0..2 * ps, 10 * ps), 0..2 * ps);
+    }
+}

@@ -12,11 +12,20 @@
 //! 2. a fuzz-style sweep that truncates a valid file at every byte
 //!    offset and substitutes every byte position with a palette of
 //!    hostile bytes, asserting the loaders never panic on any mutant
-//!    (they may accept or reject — mutation can produce valid files).
+//!    (they may accept or reject — mutation can produce valid files);
+//! 3. the same adversarial treatment for the binary NACS container
+//!    ([`CsrView::open`]): the corruption is generated programmatically
+//!    from a freshly written valid file, since a binary corpus would be
+//!    unreviewable. Every mutant must come back as a typed
+//!    [`NacsError`] or be byte-identical to the original — the
+//!    checksummed header and sections leave no silently-accepted
+//!    middle ground.
 
 use netalign_graph::io::{
     read_bipartite_smat, read_edge_list, read_graph_smat, read_smat, IoError,
 };
+use netalign_graph::nacs::{CsrView, NacsError};
+use netalign_graph::CsrMatrix;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
@@ -166,4 +175,107 @@ fn fuzzed_smat_mutants_never_panic() {
 fn fuzzed_edge_list_mutants_never_panic() {
     let base = b"5 4\n0 1\n1 2\n3 4\n0 4\n";
     assert_never_panics("fuzz.edges", base);
+}
+
+// ---------------------------------------------------------------------
+// NACS container (binary, checksummed)
+// ---------------------------------------------------------------------
+
+fn nacs_scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "netalign-corrupt-nacs-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A small matrix with every optional section present (weights + perm),
+/// so the sweeps cover the full section table.
+fn nacs_bytes(dir: &Path) -> Vec<u8> {
+    // Structurally symmetric (the transpose permutation demands it).
+    let m = CsrMatrix::from_triplets(
+        4,
+        4,
+        vec![
+            (0, 1, 1.5),
+            (1, 0, -2.0),
+            (0, 3, 0.25),
+            (3, 0, 4.0),
+            (1, 2, 8.5),
+            (2, 1, 0.125),
+            (2, 2, 7.0),
+            (3, 3, -0.5),
+        ],
+    );
+    let path = dir.join("base.nacs");
+    m.write_nacs(&path, false, Some(m.transpose_permutation().as_slice()))
+        .unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+/// `CsrView::open` on the bytes, panics trapped.
+fn open_mutant(dir: &Path, what: &str, bytes: &[u8]) -> Result<(), NacsError> {
+    let path = dir.join("mutant.nacs");
+    std::fs::write(&path, bytes).unwrap();
+    match catch_unwind(AssertUnwindSafe(|| CsrView::open(&path).map(|_| ()))) {
+        Ok(r) => r,
+        Err(_) => panic!("CsrView::open PANICKED on {what}"),
+    }
+}
+
+/// Every truncation prefix of a valid NACS file is rejected with a
+/// typed error — short reads must never map or panic.
+#[test]
+fn truncated_nacs_is_always_rejected() {
+    let dir = nacs_scratch("trunc");
+    let base = nacs_bytes(&dir);
+    for cut in 0..base.len() {
+        let r = open_mutant(&dir, &format!("truncation at {cut}"), &base[..cut]);
+        assert!(r.is_err(), "accepted a NACS file truncated at byte {cut}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Single-byte substitutions over the whole file: a mutant is either
+/// rejected with a typed error or byte-identical to the original (the
+/// palette can write back the byte it replaces). Checksums over the
+/// header and every section mean no changed byte may be accepted.
+#[test]
+fn corrupted_nacs_bytes_are_always_detected() {
+    let dir = nacs_scratch("subst");
+    let base = nacs_bytes(&dir);
+    for pos in 0..base.len() {
+        for &b in &PALETTE {
+            if base[pos] == b {
+                continue; // identity mutation: legitimately accepted
+            }
+            let mut mutant = base.clone();
+            mutant[pos] = b;
+            let r = open_mutant(&dir, &format!("substitution {b:#04x} at {pos}"), &mutant);
+            assert!(
+                r.is_err(),
+                "accepted a NACS file with byte {pos} changed to {b:#04x}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Surplus trailing bytes contradict the section table and are
+/// rejected, as is an empty file and a file of pure noise.
+#[test]
+fn nacs_shape_violations_are_rejected() {
+    let dir = nacs_scratch("shape");
+    let base = nacs_bytes(&dir);
+    let mut surplus = base.clone();
+    surplus.extend_from_slice(&[0u8; 16]);
+    assert!(open_mutant(&dir, "surplus bytes", &surplus).is_err());
+    assert!(open_mutant(&dir, "empty file", &[]).is_err());
+    let noise: Vec<u8> = (0..512u32)
+        .map(|i| (i.wrapping_mul(97) % 251) as u8)
+        .collect();
+    assert!(open_mutant(&dir, "pure noise", &noise).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
 }

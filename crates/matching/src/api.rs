@@ -3,8 +3,9 @@
 //! experiment).
 
 use crate::approx::{
-    greedy_matching, parallel_local_dominant_traced, parallel_suitor_traced, path_growing_matching,
-    serial_local_dominant, serial_suitor, InitStrategy, ParallelLdOptions,
+    default_run_len, external_suitor_traced, greedy_matching, parallel_local_dominant_traced,
+    parallel_suitor_traced, path_growing_matching, serial_local_dominant, serial_suitor,
+    InitStrategy, ParallelLdOptions,
 };
 use crate::distributed::distributed_local_dominant;
 use crate::exact::{auction_matching, max_weight_matching_ssp, AuctionOptions};
@@ -33,6 +34,10 @@ pub enum MatcherKind {
     Suitor,
     /// Parallel Suitor with per-vertex proposal locks.
     ParallelSuitor,
+    /// External-memory Suitor: proposal chains scheduled run-by-run so
+    /// the scan working set stays chunk-resident (Birn et al.); same
+    /// matching as [`MatcherKind::ParallelSuitor`] at every run length.
+    ExternalSuitor,
     /// Path-growing ½-approximation (Drake–Hougardy).
     PathGrowing,
     /// Simulated distributed-memory locally-dominant matching over the
@@ -60,6 +65,7 @@ impl MatcherKind {
             MatcherKind::ParallelLocalDominantOneSide => "ld-parallel-1side",
             MatcherKind::Suitor => "suitor",
             MatcherKind::ParallelSuitor => "suitor-parallel",
+            MatcherKind::ExternalSuitor => "suitor-external",
             MatcherKind::PathGrowing => "path-growing",
             MatcherKind::Distributed { .. } => "ld-distributed",
             MatcherKind::Auction { .. } => "auction",
@@ -76,6 +82,7 @@ impl MatcherKind {
                 | MatcherKind::ParallelLocalDominantOneSide
                 | MatcherKind::Suitor
                 | MatcherKind::ParallelSuitor
+                | MatcherKind::ExternalSuitor
                 | MatcherKind::PathGrowing
                 | MatcherKind::Distributed { .. }
         )
@@ -137,6 +144,9 @@ pub fn max_weight_matching_traced(
         ),
         MatcherKind::Suitor => serial_suitor(l, weights),
         MatcherKind::ParallelSuitor => parallel_suitor_traced(l, weights, counters),
+        MatcherKind::ExternalSuitor => {
+            external_suitor_traced(l, weights, default_run_len(l), counters)
+        }
         MatcherKind::PathGrowing => path_growing_matching(l, weights),
         MatcherKind::Distributed { ranks } => distributed_local_dominant(l, weights, ranks),
         MatcherKind::Auction { eps_rel } => {
@@ -174,6 +184,7 @@ mod tests {
             MatcherKind::ParallelLocalDominantOneSide,
             MatcherKind::Suitor,
             MatcherKind::ParallelSuitor,
+            MatcherKind::ExternalSuitor,
             MatcherKind::PathGrowing,
             MatcherKind::Distributed { ranks: 3 },
             MatcherKind::Auction { eps_rel: 1e-6 },

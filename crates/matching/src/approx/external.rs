@@ -1,0 +1,166 @@
+//! External-memory Suitor: run-partitioned ½-approximate matching for
+//! candidate graphs larger than RAM (after Birn et al.'s external
+//! semi-matching construction).
+//!
+//! The lock-free Suitor ([`super::suitor`]) starts one proposal chain
+//! per vertex, all concurrently — its scan working set is the whole
+//! adjacency at once. This variant partitions the unified vertex order
+//! into contiguous *runs* and processes them one at a time:
+//!
+//! * **run pass** — chains start (in parallel) only from the run's
+//!   vertices, so the bulk of the scanning touches the run's own
+//!   adjacency segments and weight entries: a chunk-resident working
+//!   set when the edge arrays are paged or mapped;
+//! * **boundary merge** — a chain that displaces a vertex from an
+//!   earlier run continues *through* it immediately (the displaced
+//!   vertex re-proposes on the spot, exactly as in the in-core
+//!   algorithm), so cross-run conflicts are resolved by the same
+//!   displacement dynamics rather than a separate reconciliation
+//!   sweep. Work outside the current run is proportional to the
+//!   conflicts, not to the run size.
+//!
+//! Because the proposal slots are monotone `fetch_max` registers under
+//! one *global* score order (sorted once up front), the algorithm is
+//! just another schedule of the same dynamics, and the slots converge
+//! to the **same unique stable fixed point** as
+//! [`parallel_suitor`](super::parallel_suitor) — the result is
+//! bit-identical for every run length and thread count, which the
+//! tests (and a cross-implementation proptest) pin.
+
+use super::suitor::{extract_mates_into, propose_chain, SuitorWorkspace};
+use super::{degree_grains, UnifiedView};
+use crate::matching::{Matching, UNMATCHED};
+use netalign_graph::{BipartiteGraph, VertexId};
+use netalign_trace::MatcherCounters;
+use rayon::prelude::*;
+
+/// Default run length: large enough that per-run overheads vanish,
+/// small enough that a run's adjacency stays cache/chunk-resident on
+/// the instances the paper aligns.
+pub fn default_run_len(l: &BipartiteGraph) -> usize {
+    ((l.num_left() + l.num_right()) / 8).max(1024)
+}
+
+/// External Suitor with the default run length.
+pub fn external_suitor(l: &BipartiteGraph, weights: &[f64]) -> Matching {
+    external_suitor_traced(l, weights, default_run_len(l), MatcherCounters::disabled())
+}
+
+/// External Suitor over explicit runs, with event counting.
+///
+/// `run_len` is a scheduling knob only: the returned matching is
+/// identical for every value (including `1` and `n`).
+///
+/// # Panics
+/// Panics if `weights.len() != l.num_edges()` or `run_len == 0`.
+pub fn external_suitor_traced(
+    l: &BipartiteGraph,
+    weights: &[f64],
+    run_len: usize,
+    counters: &MatcherCounters,
+) -> Matching {
+    assert_eq!(weights.len(), l.num_edges(), "weights/edge mismatch");
+    assert!(run_len > 0, "run length must be positive");
+    let view = UnifiedView::new(l, weights);
+    let n = view.num_vertices();
+    let mut ws = SuitorWorkspace::new(l);
+    let (vertex_bounds, order_bounds) = degree_grains(l);
+    ws.sort_segments(l, weights, &vertex_bounds, &order_bounds);
+    let slots = &ws.slots;
+    let score_left = &ws.score_left;
+    let score_right = &ws.score_right;
+    let mut run_start = 0usize;
+    while run_start < n {
+        let run_end = (run_start + run_len).min(n);
+        (run_start as VertexId..run_end as VertexId)
+            .into_par_iter()
+            .with_min_len(64)
+            .for_each(|v| propose_chain(l, weights, slots, score_left, score_right, v, counters));
+        run_start = run_end;
+    }
+    let mut mate = vec![UNMATCHED; n];
+    extract_mates_into(&ws.slots, &mut mate);
+    view.to_matching(&mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::suitor::parallel_suitor;
+    use rand::{Rng, SeedableRng};
+
+    fn random_l(seed: u64, na: usize, nb: usize, p: f64, ties: bool) -> BipartiteGraph {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut entries = Vec::new();
+        for a in 0..na {
+            for b in 0..nb {
+                if rng.gen_bool(p) {
+                    let w = if ties {
+                        rng.gen_range(1..4) as f64
+                    } else {
+                        rng.gen_range(0.1..5.0)
+                    };
+                    entries.push((a as u32, b as u32, w));
+                }
+            }
+        }
+        BipartiteGraph::from_entries(na, nb, entries)
+    }
+
+    #[test]
+    fn external_equals_parallel_for_every_run_length() {
+        for seed in 0..15 {
+            let l = random_l(seed, 30, 28, 0.2, false);
+            let reference = parallel_suitor(&l, l.weights());
+            let n = l.num_left() + l.num_right();
+            for run_len in [1, 7, 64, n] {
+                assert_eq!(
+                    external_suitor_traced(&l, l.weights(), run_len, MatcherCounters::disabled()),
+                    reference,
+                    "seed {seed}, run_len {run_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn external_equals_parallel_with_ties() {
+        for seed in 40..55 {
+            let l = random_l(seed, 24, 26, 0.35, true);
+            let reference = parallel_suitor(&l, l.weights());
+            for run_len in [1, 13, 1000] {
+                assert_eq!(
+                    external_suitor_traced(&l, l.weights(), run_len, MatcherCounters::disabled()),
+                    reference,
+                    "seed {seed}, run_len {run_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_run_length_and_wrapper() {
+        let l = random_l(77, 40, 40, 0.15, false);
+        assert_eq!(
+            external_suitor(&l, l.weights()),
+            parallel_suitor(&l, l.weights())
+        );
+        assert!(default_run_len(&l) >= 1024);
+    }
+
+    #[test]
+    fn handles_degenerate_graphs() {
+        let empty = BipartiteGraph::from_entries(3, 3, Vec::<(u32, u32, f64)>::new());
+        assert_eq!(external_suitor(&empty, empty.weights()).cardinality(), 0);
+        let neg = BipartiteGraph::from_entries(1, 1, vec![(0, 0, -1.0)]);
+        assert_eq!(external_suitor(&neg, neg.weights()).cardinality(), 0);
+    }
+
+    #[test]
+    fn counters_record_proposals() {
+        let l = random_l(5, 20, 20, 0.3, false);
+        let counters = MatcherCounters::new(true);
+        let m = external_suitor_traced(&l, l.weights(), 8, &counters);
+        assert!(counters.snapshot().proposals >= m.cardinality() as u64);
+    }
+}

@@ -13,12 +13,14 @@
 //! Each is a ½-approximation in both weight and cardinality because the
 //! result is a maximal matching of locally-dominant edges.
 
+pub mod external;
 pub mod greedy;
 pub mod local_dominant;
 pub mod parallel_ld;
 pub mod path_growing;
 pub mod suitor;
 
+pub use external::{default_run_len, external_suitor, external_suitor_traced};
 pub use greedy::{greedy_matching, GreedyScratch};
 pub use local_dominant::serial_local_dominant;
 pub use parallel_ld::{

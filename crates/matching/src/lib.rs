@@ -35,7 +35,7 @@ pub mod matching;
 pub mod order;
 
 pub use api::{max_weight_matching, max_weight_matching_traced, MatcherKind};
-pub use approx::{greedy_matching, GreedyScratch};
+pub use approx::{external_suitor, external_suitor_traced, greedy_matching, GreedyScratch};
 pub use distributed::{distributed_local_dominant_faulty, ChannelFaults};
 pub use engine::{graph_fingerprint, MatcherEngine, RoundingMatcher};
 pub use matching::Matching;

@@ -14,7 +14,8 @@ use netalign_matching::approx::{
     ParallelLdOptions,
 };
 use netalign_matching::{
-    greedy_matching, GreedyScratch, MatcherCounters, MatcherEngine, Matching, RoundingMatcher,
+    external_suitor_traced, greedy_matching, GreedyScratch, MatcherCounters, MatcherEngine,
+    Matching, RoundingMatcher,
 };
 use proptest::prelude::*;
 
@@ -109,6 +110,34 @@ proptest! {
             });
             prop_assert_eq!(&pld, &reference, "parallel LD at {} threads", threads);
             prop_assert_eq!(&psu, &reference, "parallel Suitor at {} threads", threads);
+        }
+    }
+
+    /// The external (run-partitioned) Suitor reaches the same unique
+    /// fixed point as the in-core matchers at every run length — from
+    /// one vertex per run to one run for the whole graph — and at
+    /// every pool size. This is the contract that lets the out-of-core
+    /// rounding path swap it in without perturbing a single bit.
+    #[test]
+    fn external_suitor_equals_in_core_across_runs_and_pools(
+        l in arb_instance(),
+        run_len_exp in 0u32..8,
+    ) {
+        let reference = serial_suitor(&l, l.weights());
+        let run_len = 1usize << run_len_exp;
+        for threads in POOLS {
+            let got = pool(threads).install(|| {
+                external_suitor_traced(
+                    &l,
+                    l.weights(),
+                    run_len,
+                    MatcherCounters::disabled(),
+                )
+            });
+            prop_assert_eq!(
+                &got, &reference,
+                "external Suitor, run_len {} at {} threads", run_len, threads
+            );
         }
     }
 

@@ -613,6 +613,7 @@ fn put_config(w: &mut PayloadWriter, c: &AlignConfig) {
             w.put_u8(9);
             w.put_f64(eps_rel);
         }
+        MatcherKind::ExternalSuitor => w.put_u8(10),
     }
     w.put_u8(match c.damping {
         DampingKind::Power => 0,
@@ -656,6 +657,7 @@ fn get_config(r: &mut PayloadReader<'_>) -> Result<AlignConfig, String> {
         9 => MatcherKind::Auction {
             eps_rel: r.get_f64("config.matcher.eps_rel")?,
         },
+        10 => MatcherKind::ExternalSuitor,
         t => return Err(format!("config.matcher: invalid tag {t}")),
     };
     let damping = match r.get_u8("config.damping")? {

@@ -705,11 +705,45 @@ impl AlgoCounters {
     }
 }
 
+// ---------------------------------------------------------------------
+// Process memory
+// ---------------------------------------------------------------------
+
+/// Lifetime peak resident-set size of this process in kilobytes.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux; returns 0 on other
+/// platforms or if the file cannot be parsed. The value is monotone over
+/// the process lifetime, so callers comparing phases must sample in the
+/// order they care about.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            if let Some(line) = status.lines().find(|l| l.starts_with("VmHWM:")) {
+                if let Some(v) = line.split_whitespace().nth(1) {
+                    return v.parse().unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const STEPS: &[&str] = &["alpha", "beta"];
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_kb() > 0);
+    }
 
     #[test]
     fn step_trace_accumulates_and_records_iterations() {

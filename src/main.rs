@@ -46,6 +46,8 @@ fn help_text() -> String {
          \x20 --a A.el --b B.el --l L.smat   input graphs\n\
          \x20 --method bp|mr|isorank|nsd|naive\n\
          \x20 --matcher exact|ld|suitor|...  [--warm-start true]\n\
+         \x20 --mmap DIR                     out-of-core BP: stream S to DIR, mmap sweeps\n\
+         \x20 --max-resident-mb N            resident budget for --mmap (exit 6 if infeasible)\n\
          \x20 --checkpoint DIR [--resume PATH]\n\
          \x20 --deadline-ms N                total wall-clock budget (anytime run)\n\
          \x20 --soft-iter-ms N               per-iteration soft budget (degradation only)\n\
@@ -203,7 +205,13 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     exit(exitcode::OK)
 }
 
-fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
+fn load_graphs(
+    flags: &HashMap<String, String>,
+) -> (
+    netalignmc::graph::Graph,
+    netalignmc::graph::Graph,
+    netalignmc::graph::BipartiteGraph,
+) {
     let a = io::read_edge_list_file(get(flags, "a")).unwrap_or_else(|e| {
         eprintln!("failed to read A: {e}");
         exit(exitcode::IO)
@@ -216,6 +224,11 @@ fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
         eprintln!("failed to read L: {e}");
         exit(exitcode::IO)
     });
+    (a, b, l)
+}
+
+fn load_problem(flags: &HashMap<String, String>) -> NetAlignProblem {
+    let (a, b, l) = load_graphs(flags);
     NetAlignProblem::new(a, b, l)
 }
 
@@ -231,6 +244,7 @@ fn parse_matcher(name: &str) -> (MatcherKind, Option<RoundingMatcher>) {
         "ld-parallel-1side" => (MatcherKind::ParallelLocalDominantOneSide, None),
         "suitor-serial" => (MatcherKind::Suitor, None),
         "suitor-parallel" => (MatcherKind::ParallelSuitor, None),
+        "suitor-external" => (MatcherKind::ExternalSuitor, None),
         "path-growing" => (MatcherKind::PathGrowing, None),
         "auction" => (MatcherKind::Auction { eps_rel: 1e-4 }, None),
         "ld" => (
@@ -272,7 +286,6 @@ fn cmd_stats(flags: &HashMap<String, String>) {
 }
 
 fn cmd_align(flags: &HashMap<String, String>) {
-    let p = load_problem(flags);
     let method = get_or(flags, "method", "bp");
     let (matcher, rounding) = parse_matcher(get_or(flags, "matcher", "exact"));
     let warm_start = get_or(flags, "warm-start", "false") == "true";
@@ -322,6 +335,38 @@ fn cmd_align(flags: &HashMap<String, String>) {
     if on_deadline == DeadlinePolicy::Checkpoint && checkpoint.is_none() {
         eprintln!("--on-deadline checkpoint requires --checkpoint DIR");
         exit(exitcode::USAGE)
+    }
+    // --mmap DIR switches `--method bp` to the out-of-core path: the
+    // squares matrix is streamed to DIR/s.nacs, the nnz-sized message
+    // streams live in unlinked scratch files under DIR, and the sweeps
+    // run over mapped superblocks. --max-resident-mb bounds the
+    // resident working set; an infeasible budget is refused up front
+    // with exit code 6.
+    let mmap_dir = flags.get("mmap").map(std::path::PathBuf::from);
+    let max_resident_mb: Option<u64> = flags
+        .get("max-resident-mb")
+        .map(|s| parse_num(s, "max-resident-mb"));
+    if max_resident_mb.is_some() && mmap_dir.is_none() {
+        eprintln!("--max-resident-mb requires --mmap DIR");
+        exit(exitcode::USAGE)
+    }
+    if mmap_dir.is_some() {
+        if method != "bp" {
+            eprintln!("--mmap only applies to --method bp");
+            exit(exitcode::USAGE)
+        }
+        if checkpoint.is_some()
+            || resume.is_some()
+            || deadline_ms.is_some()
+            || soft_iter_ms.is_some()
+            || watchdog_ms.is_some()
+        {
+            eprintln!(
+                "--mmap is incompatible with --checkpoint/--resume/--deadline-ms/\
+                 --soft-iter-ms/--watchdog-ms (out-of-core runs are not checkpointable)"
+            );
+            exit(exitcode::USAGE)
+        }
     }
     let needs_harness = checkpoint.is_some()
         || resume.is_some()
@@ -401,17 +446,59 @@ fn cmd_align(flags: &HashMap<String, String>) {
         )
     };
     let start = std::time::Instant::now();
-    let (r, meta) = match (method, &harness) {
-        ("bp", None) => (belief_propagation(&p, &cfg), None),
-        ("bp", Some(h)) => unpack(run_harnessed(h.run_bp(&p, &cfg))),
-        ("mr", None) => (matching_relaxation(&p, &cfg), None),
-        ("mr", Some(h)) => unpack(run_harnessed(h.run_mr(&p, &cfg))),
-        ("isorank", _) => (isorank(&p, &IsoRankConfig::default(), &cfg), None),
-        ("nsd", _) => (nsd(&p, &NsdConfig::default(), &cfg), None),
-        ("naive", _) => (naive_rounding(&p, &cfg), None),
-        (other, _) => {
-            eprintln!("unknown method '{other}' (bp|mr|isorank|nsd|naive)");
-            exit(exitcode::USAGE)
+    let (r, meta) = if let Some(dir) = &mmap_dir {
+        let (a, b, l) = load_graphs(flags);
+        let mut opts = OocOptions::new(dir);
+        if let Some(mb) = max_resident_mb {
+            opts = opts.with_budget_mb(mb);
+        }
+        match align_streaming(a, b, l, &cfg, &opts) {
+            Ok(r) => (r, None),
+            Err(OocError::BudgetTooSmall {
+                budget_bytes,
+                baseline_bytes,
+            }) => {
+                eprintln!(
+                    "--max-resident-mb {} is below the out-of-core baseline \
+                     ({} MiB needed for the m-sized working set plus a minimal window)",
+                    budget_bytes >> 20,
+                    baseline_bytes.div_ceil(1 << 20),
+                );
+                exit(exitcode::BUDGET)
+            }
+            Err(OocError::Io(e)) => {
+                eprintln!(
+                    "out-of-core scratch I/O failed under {}: {e}",
+                    dir.display()
+                );
+                exit(exitcode::IO)
+            }
+            Err(OocError::Nacs(e)) => {
+                eprintln!(
+                    "streaming squares build failed under {}: {e}",
+                    dir.display()
+                );
+                exit(exitcode::IO)
+            }
+            Err(e) => {
+                eprintln!("out-of-core run failed: {e}");
+                exit(exitcode::INTERNAL)
+            }
+        }
+    } else {
+        let p = load_problem(flags);
+        match (method, &harness) {
+            ("bp", None) => (belief_propagation(&p, &cfg), None),
+            ("bp", Some(h)) => unpack(run_harnessed(h.run_bp(&p, &cfg))),
+            ("mr", None) => (matching_relaxation(&p, &cfg), None),
+            ("mr", Some(h)) => unpack(run_harnessed(h.run_mr(&p, &cfg))),
+            ("isorank", _) => (isorank(&p, &IsoRankConfig::default(), &cfg), None),
+            ("nsd", _) => (nsd(&p, &NsdConfig::default(), &cfg), None),
+            ("naive", _) => (naive_rounding(&p, &cfg), None),
+            (other, _) => {
+                eprintln!("unknown method '{other}' (bp|mr|isorank|nsd|naive)");
+                exit(exitcode::USAGE)
+            }
         }
     };
     let secs = start.elapsed().as_secs_f64();
@@ -436,6 +523,9 @@ fn cmd_align(flags: &HashMap<String, String>) {
         println!("upper     : {ub:.4}");
     }
     println!("time      : {secs:.3}s");
+    if r.trace.peak_rss_kb > 0 {
+        println!("peak rss  : {} kB", r.trace.peak_rss_kb);
+    }
     if let Some((completion, iters, rung, reason, ckpt)) = &meta {
         println!("completion: {}", completion.label());
         if *completion != Completion::Completed {
@@ -470,7 +560,7 @@ fn cmd_align(flags: &HashMap<String, String>) {
             None => ("completed", cfg.iterations, 0, "null".to_string()),
         };
         let json = format!(
-            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {},\n  \"completion\": \"{}\",\n  \"iterations_run\": {},\n  \"ladder_rung\": {},\n  \"cancel_reason\": {}\n}}\n",
+            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {},\n  \"peak_rss_kb\": {},\n  \"completion\": \"{}\",\n  \"iterations_run\": {},\n  \"ladder_rung\": {},\n  \"cancel_reason\": {}\n}}\n",
             method,
             cfg.matcher.name(),
             r.objective,
@@ -478,6 +568,7 @@ fn cmd_align(flags: &HashMap<String, String>) {
             r.overlap,
             r.matching.cardinality(),
             secs,
+            r.trace.peak_rss_kb,
             completion_label,
             iters_run,
             rung,

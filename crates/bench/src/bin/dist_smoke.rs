@@ -1,0 +1,240 @@
+//! Distributed-execution smoke: the multi-process BP engine against
+//! the in-process engine on one seeded power-law instance, clean and
+//! under injected chaos.
+//!
+//! Scenarios (`--faults`, comma-separated):
+//!
+//! * `none`         — no injected fault (pure transport overhead);
+//! * `worker-kill`  — worker 0 aborts inside its 3rd Solve superstep
+//!   (`NETALIGN_FAULT_KILL=dist-solve@3` semantics), forcing a respawn
+//!   and a checkpoint resync;
+//! * `message-drop` — every 5th coordinator request frame is dropped
+//!   on first transmission, forcing retransmissions;
+//! * `torn-frame`   — every 6th request frame is cut mid-byte and the
+//!   connection dropped, forcing reconnect + retransmission.
+//!
+//! Every scenario × worker-count cell must reproduce the in-process
+//! result **bit-for-bit** and show its recovery machinery actually
+//! firing (restarts/retransmissions > 0); any miss exits nonzero. The
+//! JSON report (CI's `dist-chaos-matrix` job gates on it; a committed
+//! run lives at `results/BENCH_10.json`) carries per-cell walls,
+//! recovery counters, and verdicts.
+//!
+//! Flags: `--n`, `--seed`, `--iterations`, `--workers "1,2,4"`,
+//! `--faults "none,worker-kill,message-drop,torn-frame"`,
+//! `--json PATH`.
+
+use netalign_bench::{table::f, write_json_report_or_exit, Args, Table};
+use netalign_core::bp::belief_propagation;
+use netalign_core::config::AlignConfig;
+use netalign_core::dist::{align_distributed, parse_net_fault, DistConfig};
+use netalign_core::result::AlignmentResult;
+use netalign_core::trace::Json;
+use netalign_data::synthetic::{power_law_alignment, PowerLawParams};
+use netalign_matching::MatcherKind;
+use std::time::Instant;
+
+/// `git rev-parse HEAD`, or `Json::Null` outside a work tree.
+fn git_rev() -> Json {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| Json::str(s.trim()))
+        .unwrap_or(Json::Null)
+}
+
+/// One chaos scenario: how to arm the fault and which recovery
+/// counters prove it actually fired.
+struct Scenario {
+    name: &'static str,
+    arm: fn(&mut DistConfig),
+    needs_restart: bool,
+    needs_retransmit: bool,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "none",
+        arm: |_| {},
+        needs_restart: false,
+        needs_retransmit: false,
+    },
+    Scenario {
+        name: "worker-kill",
+        arm: |dc| dc.worker_kill = Some("dist-solve@3".to_string()),
+        needs_restart: true,
+        needs_retransmit: false,
+    },
+    Scenario {
+        name: "message-drop",
+        arm: |dc| dc.net_fault = parse_net_fault("drop@5"),
+        needs_restart: false,
+        needs_retransmit: true,
+    },
+    Scenario {
+        name: "torn-frame",
+        arm: |dc| dc.net_fault = parse_net_fault("torn@6"),
+        needs_restart: false,
+        needs_retransmit: true,
+    },
+];
+
+fn bit_identical(dist: &AlignmentResult, shared: &AlignmentResult) -> bool {
+    dist.objective.to_bits() == shared.objective.to_bits()
+        && dist.matching == shared.matching
+        && dist.best_iteration == shared.best_iteration
+}
+
+fn main() {
+    // This binary doubles as its own worker executable: coordinator
+    // runs respawn it with the worker env set.
+    netalign_core::dist::maybe_run_worker();
+
+    let args = Args::parse();
+    let n = args.usize("n", 200);
+    let seed = args.u64("seed", 7);
+    let iterations = args.usize("iterations", 8);
+    let workers: Vec<usize> = args
+        .string("workers", "1,2,4")
+        .split(',')
+        .map(|w| w.trim().parse().expect("--workers: bad count"))
+        .collect();
+    let faults = args.string("faults", "none,worker-kill,message-drop,torn-frame");
+    let json_path = args.string("json", "results/BENCH_10.json");
+
+    let scenarios: Vec<&Scenario> = faults
+        .split(',')
+        .map(|name| {
+            SCENARIOS
+                .iter()
+                .find(|s| s.name == name.trim())
+                .unwrap_or_else(|| panic!("unknown --faults entry '{name}'"))
+        })
+        .collect();
+
+    let p = power_law_alignment(&PowerLawParams {
+        n,
+        expected_degree: 5.0,
+        seed,
+        ..Default::default()
+    })
+    .problem;
+    let config = AlignConfig {
+        iterations,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..AlignConfig::default()
+    };
+    eprintln!("power-law n={n} seed={seed}: shape {:?}", p.shape());
+
+    let t = Instant::now();
+    let shared = belief_propagation(&p, &config);
+    let shared_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "in-process baseline: objective {:.4} in {shared_ms:.1} ms",
+        shared.objective
+    );
+
+    let mut table = Table::new(&[
+        "fault",
+        "workers",
+        "wall ms",
+        "restarts",
+        "retrans",
+        "identical",
+    ]);
+    let mut runs = Vec::new();
+    let mut failed = false;
+    for sc in &scenarios {
+        for &w in &workers {
+            let mut dc = DistConfig::new(w);
+            // Chaos hits a fixed fraction of transmissions, so the
+            // retransmission delay dominates the wall; tighten it (the
+            // semantics are delay-independent) to keep CI cells short.
+            dc.timeouts.resend_after = std::time::Duration::from_millis(40);
+            dc.timeouts.resend_cap = std::time::Duration::from_millis(300);
+            dc.timeouts.reconnect_window = std::time::Duration::from_millis(400);
+            (sc.arm)(&mut dc);
+            let t = Instant::now();
+            let report = match align_distributed(&p, &config, &dc) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("FAIL: {} x{w}: {e}", sc.name);
+                    failed = true;
+                    continue;
+                }
+            };
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let identical = bit_identical(&report.result, &shared);
+            let fired = (!sc.needs_restart || report.worker_restarts > 0)
+                && (!sc.needs_retransmit || report.retransmissions > 0);
+            if !identical {
+                eprintln!(
+                    "FAIL: {} x{w}: objective {} != {}",
+                    sc.name, report.result.objective, shared.objective
+                );
+                failed = true;
+            }
+            if !fired {
+                eprintln!(
+                    "FAIL: {} x{w}: injected fault left no recovery trace",
+                    sc.name
+                );
+                failed = true;
+            }
+            table.row(&[
+                sc.name.into(),
+                w.to_string(),
+                f(wall_ms, 1),
+                report.worker_restarts.to_string(),
+                report.retransmissions.to_string(),
+                identical.to_string(),
+            ]);
+            runs.push(Json::obj(vec![
+                ("fault", Json::str(sc.name)),
+                ("workers", Json::U64(w as u64)),
+                ("wall_ms", Json::F64(wall_ms)),
+                ("worker_restarts", Json::U64(report.worker_restarts)),
+                ("retransmissions", Json::U64(report.retransmissions)),
+                ("repartitions", Json::U64(report.repartitions)),
+                ("recoveries", Json::U64(report.recoveries)),
+                ("objective", Json::F64(report.result.objective)),
+                ("bit_identical", Json::Bool(identical)),
+                ("fault_fired", Json::Bool(fired)),
+            ]));
+        }
+    }
+    table.print();
+
+    let report = Json::obj(vec![
+        ("bench", Json::str("dist_smoke")),
+        ("git_rev", git_rev()),
+        (
+            "config",
+            Json::obj(vec![
+                ("n", Json::U64(n as u64)),
+                ("seed", Json::U64(seed)),
+                ("iterations", Json::U64(iterations as u64)),
+                ("candidates", Json::U64(p.l.num_edges() as u64)),
+            ]),
+        ),
+        ("in_process_ms", Json::F64(shared_ms)),
+        ("in_process_objective", Json::F64(shared.objective)),
+        ("runs", Json::Arr(runs)),
+        ("all_identical", Json::Bool(!failed)),
+    ]);
+    if !json_path.is_empty() {
+        write_json_report_or_exit(&json_path, &report);
+    }
+
+    if failed {
+        eprintln!("FAIL: at least one cell diverged or its fault left no trace");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: {} cells bit-identical to the in-process engine",
+        scenarios.len() * workers.len()
+    );
+}

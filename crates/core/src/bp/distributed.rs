@@ -45,9 +45,8 @@ struct RankState {
     /// Global edge range `[e_lo, e_hi)`.
     e_lo: usize,
     e_hi: usize,
-    /// Global S-value range `[v_lo, v_hi)` (= rowptr[e_lo]..rowptr[e_hi]).
+    /// Global S-value base (= rowptr[e_lo]).
     v_lo: usize,
-    v_hi: usize,
     y: Vec<f64>,
     z: Vec<f64>,
     y_prev: Vec<f64>,
@@ -59,25 +58,25 @@ struct RankState {
     fv: Vec<f64>,
     omr: Vec<f64>,
     omc: Vec<f64>,
-    /// Halo plan: for each peer rank, the *global* S-value indices of
-    /// `sk_prev` values this rank must receive (in agreed order), and
-    /// the local positions of `skt` they scatter into.
-    recv_plan: Vec<Vec<u32>>,
+    /// Halo plan (from [`RankPart`]): per peer rank, the local `skt`
+    /// positions arriving values scatter into, and the local `sk_prev`
+    /// positions of values to send.
     scatter_plan: Vec<Vec<u32>>,
-    /// For each peer rank, the local positions of values to send.
     send_plan: Vec<Vec<u32>>,
 }
 
-/// Column statistics for the othermaxcol merge.
-#[derive(Clone, Copy, Debug)]
-struct ColStat {
-    max1: f64,
-    max2: f64,
-    arg_eid: u32,
+/// Column statistics for the othermaxcol merge. Shared with the real
+/// multi-process layer ([`crate::dist`]), whose workers ship partials
+/// to the coordinator over the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct ColStat {
+    pub(crate) max1: f64,
+    pub(crate) max2: f64,
+    pub(crate) arg_eid: u32,
 }
 
 impl ColStat {
-    const EMPTY: ColStat = ColStat {
+    pub(crate) const EMPTY: ColStat = ColStat {
         max1: f64::NEG_INFINITY,
         max2: f64::NEG_INFINITY,
         arg_eid: u32::MAX,
@@ -85,7 +84,7 @@ impl ColStat {
 
     /// Fold one value in edge order (strict `>` keeps the earliest
     /// edge on ties — the shared-memory kernel's behaviour).
-    fn push(&mut self, v: f64, eid: u32) {
+    pub(crate) fn push(&mut self, v: f64, eid: u32) {
         if v > self.max1 {
             self.max2 = self.max1;
             self.max1 = v;
@@ -96,7 +95,7 @@ impl ColStat {
     }
 
     /// Merge another partial computed over *later* edges.
-    fn merge(&mut self, other: &ColStat) {
+    pub(crate) fn merge(&mut self, other: &ColStat) {
         if other.max1 > self.max1 {
             self.max2 = self.max1.max(other.max2);
             self.max1 = other.max1;
@@ -105,6 +104,157 @@ impl ColStat {
             self.max2 = self.max2.max(other.max1);
         }
     }
+}
+
+/// One rank's static share of a left-vertex-aligned partition, plus
+/// the halo-exchange plans for the transpose gather. Computed once by
+/// [`Partition::new`] and shared between the simulated driver below
+/// and the real multi-process coordinator ([`crate::dist`]).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RankPart {
+    /// Left-vertex range `[a_lo, a_hi)` whose edge ranges this rank
+    /// owns.
+    pub(crate) a_lo: usize,
+    pub(crate) a_hi: usize,
+    /// Global edge range `[e_lo, e_hi)`.
+    pub(crate) e_lo: usize,
+    pub(crate) e_hi: usize,
+    /// Global S-value range `[v_lo, v_hi)` (= rowptr[e_lo]..rowptr[e_hi]).
+    pub(crate) v_lo: usize,
+    pub(crate) v_hi: usize,
+    /// Halo plan: for each peer rank, the *global* S-value indices of
+    /// `sk_prev` values this rank must receive (in agreed order), and
+    /// the local positions of `skt` they scatter into.
+    pub(crate) recv_plan: Vec<Vec<u32>>,
+    pub(crate) scatter_plan: Vec<Vec<u32>>,
+    /// For each peer rank, the local positions of values to send.
+    pub(crate) send_plan: Vec<Vec<u32>>,
+}
+
+/// A static left-vertex-aligned partition of the problem's edges (and
+/// with them the rows of `S` and the message vectors) into blocks of
+/// roughly balanced edge count, with precomputed halo plans.
+#[derive(Clone, Debug)]
+pub(crate) struct Partition {
+    pub(crate) parts: Vec<RankPart>,
+}
+
+impl Partition {
+    /// Split `problem` across `ranks` workers (capped at the number of
+    /// left vertices, floored at one).
+    pub(crate) fn new(problem: &NetAlignProblem, ranks: usize) -> Partition {
+        let p = problem;
+        let m = p.l.num_edges();
+        let rowptr = p.s.rowptr();
+        let perm = p.s.transpose_perm_slice();
+        let nranks = ranks.min(p.l.num_left().max(1)).max(1);
+
+        let mut boundaries = vec![0usize]; // left-vertex boundaries
+        {
+            let per = m.div_ceil(nranks);
+            let mut acc = 0usize;
+            for a in 0..p.l.num_left() {
+                acc += p.l.left_degree(a as u32);
+                if acc >= per * boundaries.len() && boundaries.len() < nranks {
+                    boundaries.push(a + 1);
+                }
+            }
+            while boundaries.len() < nranks {
+                boundaries.push(p.l.num_left());
+            }
+            boundaries.push(p.l.num_left());
+        }
+        let edge_lo = |r: usize| {
+            if boundaries[r] >= p.l.num_left() {
+                m
+            } else {
+                p.l.left_range(boundaries[r] as u32).start
+            }
+        };
+        let mut parts: Vec<RankPart> = (0..nranks)
+            .map(|r| {
+                let e_lo = edge_lo(r);
+                let e_hi = if r + 1 == nranks { m } else { edge_lo(r + 1) };
+                RankPart {
+                    a_lo: boundaries[r],
+                    a_hi: boundaries[r + 1],
+                    e_lo,
+                    e_hi,
+                    v_lo: rowptr[e_lo],
+                    v_hi: rowptr[e_hi],
+                    recv_plan: vec![Vec::new(); nranks],
+                    scatter_plan: vec![Vec::new(); nranks],
+                    send_plan: vec![Vec::new(); nranks],
+                }
+            })
+            .collect();
+
+        // Static halo plan for the transpose gather.
+        let owner_of_value = |idx: usize, parts: &[RankPart]| -> usize {
+            parts.partition_point(|pt| pt.v_hi <= idx)
+        };
+        for r in 0..nranks {
+            let (v_lo, v_hi) = (parts[r].v_lo, parts[r].v_hi);
+            let mut recv: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+            let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+            for idx in v_lo..v_hi {
+                let src = perm[idx];
+                let owner = owner_of_value(src, &parts);
+                recv[owner].push(src as u32);
+                scatter[owner].push((idx - v_lo) as u32);
+            }
+            parts[r].recv_plan = recv;
+            parts[r].scatter_plan = scatter;
+        }
+        // Mirror into send plans (local positions at the source rank).
+        for r in 0..nranks {
+            for s in 0..nranks {
+                let plan: Vec<u32> = parts[s].recv_plan[r]
+                    .iter()
+                    .map(|&g| (g as usize - parts[r].v_lo) as u32)
+                    .collect();
+                parts[r].send_plan[s] = plan;
+            }
+        }
+        Partition { parts }
+    }
+
+    pub(crate) fn num_ranks(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Merge per-rank `othermaxcol` partials into one global stat list,
+/// exactly as the simulated superstep C does: group by the right
+/// vertex's owner, merge in rank order (= edge order, so ties keep the
+/// lowest edge id), then flatten in owner order. Shared with the real
+/// coordinator so both paths produce bit-identical merged stats.
+pub(crate) fn merge_col_partials(
+    all_partials: &[Vec<(u32, ColStat)>],
+    nb: usize,
+    nranks: usize,
+) -> Vec<(u32, ColStat)> {
+    let bblock = nb.div_ceil(nranks).max(1);
+    let owner_of_b = |b: u32| ((b as usize) / bblock).min(nranks - 1);
+    let mut per_owner: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
+    for partials in all_partials {
+        for &(b, stat) in partials {
+            per_owner[owner_of_b(b)].push((b, stat));
+        }
+    }
+    let mut merged: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
+    for (owner, items) in per_owner.into_iter().enumerate() {
+        let mut map: Vec<(u32, ColStat)> = Vec::new();
+        for (b, stat) in items {
+            if let Some(i) = map.iter().position(|&(mb, _)| mb == b) {
+                map[i].1.merge(&stat);
+            } else {
+                map.push((b, stat));
+            }
+        }
+        merged[owner] = map;
+    }
+    merged.into_iter().flatten().collect()
 }
 
 /// Run belief propagation with the state distributed over `ranks`
@@ -122,50 +272,24 @@ pub fn distributed_belief_propagation(
     let m = p.l.num_edges();
     let (alpha, beta, gamma) = (config.alpha, config.beta, config.gamma);
     let rowptr = p.s.rowptr();
-    let perm = p.s.transpose_perm_slice();
     let w = p.l.weights();
-    let nranks = ranks.min(p.l.num_left().max(1));
 
     // --- Static partition: split left vertices into blocks with
-    // roughly balanced edge counts.
-    let mut boundaries = vec![0usize]; // left-vertex boundaries
-    {
-        let per = m.div_ceil(nranks);
-        let mut acc = 0usize;
-        for a in 0..p.l.num_left() {
-            acc += p.l.left_degree(a as u32);
-            if acc >= per * boundaries.len() && boundaries.len() < nranks {
-                boundaries.push(a + 1);
-            }
-        }
-        while boundaries.len() < nranks {
-            boundaries.push(p.l.num_left());
-        }
-        boundaries.push(p.l.num_left());
-    }
-    let edge_lo = |r: usize| {
-        if boundaries[r] >= p.l.num_left() {
-            m
-        } else {
-            p.l.left_range(boundaries[r] as u32).start
-        }
-    };
-    let owner_of_value =
-        |idx: usize, states: &[RankState]| -> usize { states.partition_point(|st| st.v_hi <= idx) };
+    // roughly balanced edge counts (shared with the real coordinator).
+    let partition = Partition::new(p, ranks);
+    let nranks = partition.num_ranks();
+    let nb = p.l.num_right();
 
-    let mut states: Vec<RankState> = (0..nranks)
-        .map(|r| {
-            let e_lo = edge_lo(r);
-            let e_hi = if r + 1 == nranks { m } else { edge_lo(r + 1) };
-            let v_lo = rowptr[e_lo];
-            let v_hi = rowptr[e_hi];
-            let ne = e_hi - e_lo;
-            let nv = v_hi - v_lo;
+    let mut states: Vec<RankState> = partition
+        .parts
+        .iter()
+        .map(|pt| {
+            let ne = pt.e_hi - pt.e_lo;
+            let nv = pt.v_hi - pt.v_lo;
             RankState {
-                e_lo,
-                e_hi,
-                v_lo,
-                v_hi,
+                e_lo: pt.e_lo,
+                e_hi: pt.e_hi,
+                v_lo: pt.v_lo,
                 y: vec![0.0; ne],
                 z: vec![0.0; ne],
                 y_prev: vec![0.0; ne],
@@ -177,42 +301,11 @@ pub fn distributed_belief_propagation(
                 fv: vec![0.0; nv],
                 omr: vec![0.0; ne],
                 omc: vec![0.0; ne],
-                recv_plan: vec![Vec::new(); nranks],
-                scatter_plan: vec![Vec::new(); nranks],
-                send_plan: vec![Vec::new(); nranks],
+                scatter_plan: pt.scatter_plan.clone(),
+                send_plan: pt.send_plan.clone(),
             }
         })
         .collect();
-
-    // --- Static halo plan for the transpose gather.
-    for r in 0..nranks {
-        let (v_lo, v_hi) = (states[r].v_lo, states[r].v_hi);
-        let mut recv: Vec<Vec<u32>> = vec![Vec::new(); nranks];
-        let mut scatter: Vec<Vec<u32>> = vec![Vec::new(); nranks];
-        for idx in v_lo..v_hi {
-            let src = perm[idx];
-            let owner = owner_of_value(src, &states);
-            recv[owner].push(src as u32);
-            scatter[owner].push((idx - v_lo) as u32);
-        }
-        states[r].recv_plan = recv;
-        states[r].scatter_plan = scatter;
-    }
-    // Mirror into send plans (local positions at the source rank).
-    for r in 0..nranks {
-        for s in 0..nranks {
-            let plan: Vec<u32> = states[s].recv_plan[r]
-                .iter()
-                .map(|&g| (g as usize - states[r].v_lo) as u32)
-                .collect();
-            states[r].send_plan[s] = plan;
-        }
-    }
-
-    // Right-vertex owners for the othermaxcol merge (block partition).
-    let nb = p.l.num_right();
-    let bblock = nb.div_ceil(nranks).max(1);
-    let owner_of_b = |b: u32| ((b as usize) / bblock).min(nranks - 1);
 
     let mut trace = RunTrace::new();
     let mut best: Option<(f64, Vec<f64>, usize)> = None;
@@ -316,29 +409,9 @@ pub fn distributed_belief_propagation(
             }
         });
 
-        // Superstep C: owners merge col stats (rank order = edge order).
-        let mut merged: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
-        {
-            let mut per_owner: Vec<Vec<(u32, ColStat)>> = vec![Vec::new(); nranks];
-            for partials in &all_partials {
-                for &(b, stat) in partials {
-                    per_owner[owner_of_b(b)].push((b, stat));
-                }
-            }
-            for (owner, items) in per_owner.into_iter().enumerate() {
-                let mut map: Vec<(u32, ColStat)> = Vec::new();
-                for (b, stat) in items {
-                    if let Some(i) = map.iter().position(|&(mb, _)| mb == b) {
-                        map[i].1.merge(&stat);
-                    } else {
-                        map.push((b, stat));
-                    }
-                }
-                merged[owner] = map;
-            }
-        }
-        // Broadcast merged stats (flatten; each rank picks what it needs).
-        let global_stats: Vec<(u32, ColStat)> = merged.into_iter().flatten().collect();
+        // Superstep C: owners merge col stats (rank order = edge
+        // order), then broadcast — each rank picks what it needs.
+        let global_stats = merge_col_partials(&all_partials, nb, nranks);
 
         // Superstep D: finish othermax, S update, damping — local.
         std::thread::scope(|scope| {

@@ -13,6 +13,7 @@
 //! | 4    | deadline expired without a usable result (`--on-deadline error`) |
 //! | 5    | internal error (engine panic, checkpoint validation failure, invariant breach) |
 //! | 6    | resident-memory budget violation (`--max-resident-mb` below the out-of-core baseline, or a measured peak RSS over budget) |
+//! | 7    | transport failure (distributed run lost its workers past the respawn budget, or the coordinator socket failed) |
 //!
 //! Code 1 is deliberately unused: it is what an uncaught panic or a
 //! generic `std::process::exit(1)` yields, so keeping it out of the
@@ -44,9 +45,14 @@ pub const INTERNAL: i32 = 5;
 /// a budget-gated run measured a peak RSS over its budget.
 pub const BUDGET: i32 = 6;
 
+/// Transport failure: a distributed run (`--dist-workers`) lost worker
+/// processes past the respawn budget with no survivors to repartition
+/// onto, or the coordinator's listening socket failed outright.
+pub const TRANSPORT: i32 = 7;
+
 /// One-line table for embedding in `--help` text.
 pub const HELP_TABLE: &str = "exit codes: 0 ok (incl. deadline best-so-far), 2 usage/config, \
-     3 I/O, 4 deadline without result, 5 internal, 6 memory budget";
+     3 I/O, 4 deadline without result, 5 internal, 6 memory budget, 7 transport failure";
 
 #[cfg(test)]
 mod tests {
@@ -54,7 +60,7 @@ mod tests {
 
     #[test]
     fn codes_are_distinct_and_skip_one() {
-        let codes = [OK, USAGE, IO, DEADLINE, INTERNAL, BUDGET];
+        let codes = [OK, USAGE, IO, DEADLINE, INTERNAL, BUDGET, TRANSPORT];
         for (i, a) in codes.iter().enumerate() {
             for b in &codes[i + 1..] {
                 assert_ne!(a, b);

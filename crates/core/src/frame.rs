@@ -1,0 +1,296 @@
+//! Length-prefixed frame codec shared by every socket protocol in the
+//! workspace.
+//!
+//! One frame is a 4-byte big-endian payload length followed by the
+//! payload. The codec was born in `netalign-serve`'s wire protocol and
+//! moved here once the distributed execution layer (`crate::dist`)
+//! needed the same framing for coordinator↔worker traffic.
+//!
+//! Robustness contract (property-tested below):
+//!
+//! * **Arbitrary split points.** `read_frame` never assumes a `read()`
+//!   call returns a whole header or payload; it loops over partial
+//!   reads and retries [`std::io::ErrorKind::Interrupted`], so a
+//!   transport delivering one byte at a time parses identically to one
+//!   delivering whole frames.
+//! * **Torn tails are typed.** EOF in the middle of a header or
+//!   payload yields [`FrameError::Torn`] with the exact byte counts —
+//!   never a panic, never an over-read past the declared length.
+//! * **Oversized frames keep the stream aligned.** A frame whose
+//!   declared length exceeds the caller's limit is drained so the next
+//!   frame parses; the caller decides whether to reply or hang up.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Outcome of reading one frame.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer declared `len` bytes, over the limit; the payload was
+    /// drained so the stream stays frame-aligned.
+    Oversized(u32),
+    /// The peer closed the connection cleanly (EOF at a frame
+    /// boundary).
+    Closed,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended mid-frame: the peer died (or tore the
+    /// connection) between split points. `got` of `expected` bytes of
+    /// the `part` ("header" or "payload") arrived.
+    Torn {
+        part: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Underlying transport error (read timeouts surface here with
+    /// their original [`ErrorKind`]).
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// True when the error is a read timeout (`WouldBlock`/`TimedOut`),
+    /// i.e. the stream is still healthy and a retry may succeed.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn {
+                part,
+                expected,
+                got,
+            } => write!(f, "torn frame: {got}/{expected} {part} bytes before EOF"),
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for std::io::Error {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Torn { .. } => std::io::Error::new(ErrorKind::UnexpectedEof, e.to_string()),
+            FrameError::Io(e) => e,
+        }
+    }
+}
+
+/// Fill `buf` from `r`, tolerating arbitrary split points and retrying
+/// `Interrupted`. Returns the number of bytes read before EOF.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(got)
+}
+
+/// Read one length-prefixed frame, enforcing `max_len`.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<FrameRead, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf)? {
+        0 => return Ok(FrameRead::Closed),
+        4 => {}
+        got => {
+            return Err(FrameError::Torn {
+                part: "header",
+                expected: 4,
+                got,
+            })
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > max_len {
+        // Drain the declared payload so the next frame parses; a tear
+        // during the drain is still a torn payload.
+        let mut sink = std::io::sink();
+        let drained =
+            std::io::copy(&mut r.take(len as u64), &mut sink).map_err(FrameError::Io)? as usize;
+        if drained < len as usize {
+            return Err(FrameError::Torn {
+                part: "payload",
+                expected: len as usize,
+                got: drained,
+            });
+        }
+        return Ok(FrameRead::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_full(r, &mut payload)?;
+    if got < payload.len() {
+        return Err(FrameError::Torn {
+            part: "payload",
+            expected: payload.len(),
+            got,
+        });
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A reader that serves `data` in chunks split at `cuts`, then EOF.
+    /// Every boundary in `cuts` forces a short `read()` return, so a
+    /// frame parse must survive any interleaving of partial reads.
+    struct SplitReader {
+        data: Vec<u8>,
+        pos: usize,
+        cuts: Vec<usize>,
+    }
+
+    impl Read for SplitReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let next_cut = self
+                .cuts
+                .iter()
+                .copied()
+                .filter(|&c| c > self.pos)
+                .min()
+                .unwrap_or(self.data.len())
+                .min(self.data.len());
+            let n = (next_cut - self.pos).min(buf.len()).max(1);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let wire = encode(&[]);
+        let mut r = wire.as_slice();
+        match read_frame(&mut r, 16).unwrap() {
+            FrameRead::Frame(p) => assert!(p.is_empty()),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed() {
+        let mut r: &[u8] = &[];
+        assert!(matches!(read_frame(&mut r, 16).unwrap(), FrameRead::Closed));
+    }
+
+    proptest! {
+        /// A frame must decode identically no matter where `read()`
+        /// splits the byte stream — including one-byte-at-a-time.
+        #[test]
+        fn roundtrip_through_every_split_offset(
+            payload in proptest::collection::vec(0u8..255, 0..48),
+            cut in 0usize..64,
+        ) {
+            let wire = encode(&payload);
+            let cut = cut % (wire.len() + 1);
+            let mut r = SplitReader {
+                data: wire.clone(),
+                pos: 0,
+                cuts: vec![cut],
+            };
+            match read_frame(&mut r, 1 << 16).unwrap() {
+                FrameRead::Frame(p) => prop_assert_eq!(p, payload),
+                other => prop_assert!(false, "unexpected: {:?}", other),
+            }
+            // Exhaustively: a cut at *every* offset simultaneously
+            // (one-byte reads).
+            let mut r = SplitReader {
+                cuts: (0..wire.len()).collect(),
+                data: wire,
+                pos: 0,
+            };
+            match read_frame(&mut r, 1 << 16).unwrap() {
+                FrameRead::Frame(p) => prop_assert_eq!(p, payload),
+                other => prop_assert!(false, "unexpected: {:?}", other),
+            }
+        }
+
+        /// Truncating the wire bytes at any interior offset must yield
+        /// a typed torn-frame error (or `Closed` at offset 0) — never a
+        /// panic, never a bogus frame, never an over-read.
+        #[test]
+        fn truncation_at_every_offset_is_typed(
+            payload in proptest::collection::vec(0u8..255, 0..48),
+            keep in 0usize..64,
+        ) {
+            let wire = encode(&payload);
+            let keep = keep % (wire.len() + 1);
+            let truncated = wire[..keep].to_vec();
+            let mut r = SplitReader { data: truncated, pos: 0, cuts: vec![] };
+            match read_frame(&mut r, 1 << 16) {
+                Ok(FrameRead::Closed) => prop_assert_eq!(keep, 0),
+                Ok(FrameRead::Frame(p)) => {
+                    prop_assert_eq!(keep, wire.len());
+                    prop_assert_eq!(p, payload);
+                }
+                Ok(FrameRead::Oversized(_)) => prop_assert!(false, "no limit set"),
+                Err(FrameError::Torn { expected, got, .. }) => {
+                    prop_assert!(keep > 0 && keep < wire.len());
+                    prop_assert!(got < expected);
+                }
+                Err(FrameError::Io(e)) => prop_assert!(false, "io error: {}", e),
+            }
+        }
+
+        /// Oversized frames drain exactly the declared payload, so a
+        /// following frame still parses.
+        #[test]
+        fn oversized_keeps_stream_aligned(
+            big in proptest::collection::vec(0u8..255, 9..40),
+            next in proptest::collection::vec(0u8..255, 0..8),
+        ) {
+            let mut wire = encode(&big);
+            wire.extend_from_slice(&encode(&next));
+            let mut r = SplitReader { cuts: (0..wire.len()).collect(), data: wire, pos: 0 };
+            match read_frame(&mut r, 8).unwrap() {
+                FrameRead::Oversized(len) => prop_assert_eq!(len as usize, big.len()),
+                other => prop_assert!(false, "unexpected: {:?}", other),
+            }
+            match read_frame(&mut r, 8).unwrap() {
+                FrameRead::Frame(p) => prop_assert_eq!(p, next),
+                other => prop_assert!(false, "unexpected: {:?}", other),
+            }
+        }
+    }
+}

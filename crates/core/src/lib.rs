@@ -52,7 +52,9 @@ pub mod bp;
 pub mod checkpoint;
 pub mod config;
 pub mod delta;
+pub mod dist;
 pub mod exitcode;
+pub mod frame;
 pub mod harness;
 pub mod mr;
 pub mod objective;

@@ -58,9 +58,11 @@ use netalign_graph::{BipartiteGraph, VertexId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 
-/// Messages between ranks.
-#[derive(Clone, Copy, Debug)]
-enum Msg {
+/// Messages between ranks. Public so transports can encode them: the
+/// simulated driver ships them over in-process channels, the real
+/// distributed layer (`netalign_core::dist`) over framed sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistMsg {
     /// `from` has chosen `to` as its candidate.
     Propose { from: VertexId, to: VertexId },
     /// `v` got matched to `mate` (broadcast to all ranks).
@@ -96,13 +98,13 @@ impl ChannelFaults {
 /// Per-rank faulty channel endpoint: applies [`ChannelFaults`] to each
 /// send with a deterministic per-rank message counter.
 struct FaultyLink {
-    senders: Vec<std::sync::mpsc::Sender<Msg>>,
+    senders: Vec<std::sync::mpsc::Sender<DistMsg>>,
     faults: ChannelFaults,
     sent: usize,
 }
 
 impl FaultyLink {
-    fn send(&mut self, rank: usize, msg: Msg) {
+    fn send(&mut self, rank: usize, msg: DistMsg) {
         self.sent += 1;
         let nth = |every: usize| every > 0 && self.sent.is_multiple_of(every);
         if nth(self.faults.drop_every) {
@@ -160,25 +162,21 @@ pub fn distributed_local_dominant_faulty(
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = std::sync::mpsc::channel::<Msg>();
+        let (tx, rx) = std::sync::mpsc::channel::<DistMsg>();
         senders.push(tx);
         receivers.push(rx);
     }
     let barrier = Barrier::new(p);
     let active = [AtomicBool::new(false), AtomicBool::new(false)];
 
-    let block = n.div_ceil(p);
     let results: Vec<Vec<(VertexId, VertexId)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, rx) in receivers.into_iter().enumerate() {
             let senders = senders.clone();
             let barrier = &barrier;
             let active = &active;
-            let view = &view;
             handles.push(scope.spawn(move || {
-                rank_main(
-                    rank, p, n, block, view, senders, rx, barrier, active, faults,
-                )
+                rank_main(rank, p, n, l, weights, senders, rx, barrier, active, faults)
             }));
         }
         handles
@@ -212,178 +210,265 @@ fn find_mate_local(view: &UnifiedView<'_>, s: VertexId, known_matched: &[bool]) 
     best
 }
 
-#[allow(clippy::too_many_arguments)]
-fn rank_main(
-    rank: usize,
-    p: usize,
+/// One rank's share of the distributed locally-dominant protocol,
+/// factored out of the simulated driver so any transport can run it:
+/// the simulator below drives it over in-process channels, the real
+/// distributed layer (`netalign_core::dist`) over framed sockets. The
+/// struct holds everything a rank owns — mate/candidate state for its
+/// vertex block, pending proposals, the retransmission schedule — and
+/// the three phase methods emit outgoing messages through a
+/// `(dest_rank, msg)` callback, so the protocol logic (answer
+/// timeouts, bounded exponential backoff, symmetric announcements)
+/// lives here exactly once.
+///
+/// The driver contract, per round:
+/// 1. [`phase_propose`](Self::phase_propose) — deliver its messages to
+///    each destination's next `phase_match`;
+/// 2. [`phase_match`](Self::phase_match) with the proposals that
+///    arrived — deliver its announcements to each destination's next
+///    `phase_invalidate`;
+/// 3. [`phase_invalidate`](Self::phase_invalidate) with the arrived
+///    announcements — returns this rank's activity flag; the driver
+///    ORs the flags across ranks and feeds the result to a shared
+///    [`Quiescence`] to decide termination.
+///
+/// The core does not borrow the graph: the phase methods take
+/// `(l, weights)` per call, so a worker process can hold the core and
+/// the deserialized graph side by side.
+pub struct RankCore {
+    /// Total unified vertices.
     n: usize,
-    block: usize,
-    view: &UnifiedView<'_>,
-    senders: Vec<std::sync::mpsc::Sender<Msg>>,
-    rx: std::sync::mpsc::Receiver<Msg>,
-    barrier: &Barrier,
-    active: &[AtomicBool; 2],
-    faults: ChannelFaults,
-) -> Vec<(VertexId, VertexId)> {
-    let lo = rank * block;
-    let hi = ((rank + 1) * block).min(n);
-    let owns = |v: VertexId| (lo..hi).contains(&(v as usize));
-    let faulty = faults.active();
-    let mut link = FaultyLink {
-        senders,
-        faults,
-        sent: 0,
-    };
-    // Hard safety net for faulty runs: the grace-window quiescence test
-    // below terminates every practical run long before this.
-    let round_cap = 8 * n + 64;
-    // Faulty runs only quit after this many consecutive quiet rounds,
-    // giving dropped retransmissions time to get through.
-    const GRACE: usize = 3;
-
-    // Owned state, indexed by (v - lo).
-    let mut mate = vec![UNMATCHED; hi - lo];
-    let mut candidate = vec![UNMATCHED; hi - lo];
-    // Pending proposals per owned vertex.
-    let mut proposals: Vec<Vec<VertexId>> = vec![Vec::new(); hi - lo];
-    // Global view of matched vertices (built from broadcasts).
-    let mut known_matched = vec![false; n];
-    let mut dirty: Vec<VertexId> = (lo as VertexId..hi as VertexId).collect();
-    let mut matched_now: Vec<(VertexId, VertexId)> = Vec::new();
+    /// Effective rank count (`min(num_ranks, n)`).
+    p: usize,
+    /// Owned vertex block `[lo, hi)` (empty when `rank >= p`).
+    lo: usize,
+    hi: usize,
+    /// Hardened mode: retransmission + grace-window termination.
+    faulty: bool,
+    mate: Vec<VertexId>,
+    candidate: Vec<VertexId>,
+    proposals: Vec<Vec<VertexId>>,
+    known_matched: Vec<bool>,
+    dirty: Vec<VertexId>,
+    matched_now: Vec<(VertexId, VertexId)>,
     // Announcements drained early: a fast rank may broadcast `Matched`
     // while this rank is still draining phase-2 proposals, so phase 2
     // defers them here for phase 3 instead of asserting them away.
-    let mut deferred: Vec<Msg> = Vec::new();
+    deferred: Vec<DistMsg>,
     // Faulty-mode retransmission schedule, indexed by (v - lo): a
-    // proposal whose sender is still unmatched at round `resend_at` has
-    // timed out and is re-sent, after which the window doubles up to
-    // [`RESEND_BACKOFF_CAP`]. Fresh information (a dirty vertex) resets
-    // the schedule so reactions stay immediate.
-    let sched = if faulty { hi - lo } else { 0 };
-    let mut resend_at: Vec<usize> = vec![0; sched];
-    let mut backoff: Vec<usize> = vec![1; sched];
+    // proposal whose sender is still unmatched at round `resend_at`
+    // has timed out and is re-sent, after which the window doubles up
+    // to [`RESEND_BACKOFF_CAP`]. Fresh information (a dirty vertex)
+    // resets the schedule so reactions stay immediate.
+    resend_at: Vec<usize>,
+    backoff: Vec<usize>,
+}
 
-    let mut round = 0usize;
-    let mut quiet = 0usize;
-    loop {
-        // Phase 1: propose. Fault-free runs propose only for dirty
-        // vertices. Under faults a dropped proposal must eventually be
-        // retransmitted, but re-sending every proposal every round
-        // floods the links — instead each unanswered proposal times out
-        // on its vertex's bounded exponential-backoff schedule.
-        if faulty {
-            for &v in &dirty {
+impl RankCore {
+    /// State for `rank` of `num_ranks` over the unified vertex set of
+    /// `l`. Ranks at or past the effective rank count own an empty
+    /// block and simply relay protocol rounds.
+    ///
+    /// # Panics
+    /// Panics if `num_ranks == 0`.
+    pub fn new(l: &BipartiteGraph, rank: usize, num_ranks: usize, faulty: bool) -> Self {
+        assert!(num_ranks >= 1, "need at least one rank");
+        let n = l.num_left() + l.num_right();
+        let p = num_ranks.min(n).max(1);
+        let block = n.div_ceil(p).max(1);
+        // Both bounds clamp to `n`: when `block` rounds up, the last
+        // ranks' nominal blocks can start past the vertex set (e.g.
+        // n=160, p=64 → block=3, rank 54 starts at 162) and they own
+        // an empty range like the `rank >= p` relays.
+        let (lo, hi) = if rank >= p {
+            (n, n)
+        } else {
+            ((rank * block).min(n), ((rank + 1) * block).min(n))
+        };
+        let sched = if faulty { hi - lo } else { 0 };
+        RankCore {
+            n,
+            p,
+            lo,
+            hi,
+            faulty,
+            mate: vec![UNMATCHED; hi - lo],
+            candidate: vec![UNMATCHED; hi - lo],
+            proposals: vec![Vec::new(); hi - lo],
+            known_matched: vec![false; n],
+            dirty: (lo as VertexId..hi as VertexId).collect(),
+            matched_now: Vec::new(),
+            deferred: Vec::new(),
+            resend_at: vec![0; sched],
+            backoff: vec![1; sched],
+        }
+    }
+
+    /// Effective rank count: every owner returned by the phase
+    /// callbacks is `< effective_ranks()`.
+    pub fn effective_ranks(&self) -> usize {
+        self.p
+    }
+
+    #[inline]
+    fn owns(&self, v: VertexId) -> bool {
+        (self.lo..self.hi).contains(&(v as usize))
+    }
+
+    /// Phase 1: propose. Fault-free runs propose only for dirty
+    /// vertices. Under faults a dropped proposal must eventually be
+    /// retransmitted, but re-sending every proposal every round floods
+    /// the links — instead each unanswered proposal times out on its
+    /// vertex's bounded exponential-backoff schedule.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != l.num_edges()`.
+    pub fn phase_propose(
+        &mut self,
+        l: &BipartiteGraph,
+        weights: &[f64],
+        round: usize,
+        mut send: impl FnMut(usize, DistMsg),
+    ) {
+        let view = UnifiedView::new(l, weights);
+        let (lo, hi) = (self.lo, self.hi);
+        if self.faulty {
+            for &v in &self.dirty {
                 let li = v as usize - lo;
-                backoff[li] = 1;
-                resend_at[li] = round;
+                self.backoff[li] = 1;
+                self.resend_at[li] = round;
             }
-            dirty.clear();
+            self.dirty.clear();
             for li in 0..(hi - lo) {
-                if mate[li] == UNMATCHED && round >= resend_at[li] {
-                    dirty.push((lo + li) as VertexId);
+                if self.mate[li] == UNMATCHED && round >= self.resend_at[li] {
+                    self.dirty.push((lo + li) as VertexId);
                 }
             }
         }
-        for &v in &dirty {
+        for i in 0..self.dirty.len() {
+            let v = self.dirty[i];
             let li = v as usize - lo;
-            if mate[li] != UNMATCHED {
+            if self.mate[li] != UNMATCHED {
                 continue;
             }
-            let c = find_mate_local(view, v, &known_matched);
-            candidate[li] = c;
+            let c = find_mate_local(&view, v, &self.known_matched);
+            self.candidate[li] = c;
             if c != UNMATCHED {
-                link.send(owner(c, n, p), Msg::Propose { from: v, to: c });
-                if faulty {
-                    resend_at[li] = round + backoff[li];
-                    backoff[li] = (backoff[li] * 2).min(RESEND_BACKOFF_CAP);
+                send(
+                    owner(c, self.n, self.p),
+                    DistMsg::Propose { from: v, to: c },
+                );
+                if self.faulty {
+                    self.resend_at[li] = round + self.backoff[li];
+                    self.backoff[li] = (self.backoff[li] * 2).min(RESEND_BACKOFF_CAP);
                 }
             }
         }
-        dirty.clear();
-        barrier.wait();
+        self.dirty.clear();
+    }
 
-        // Phase 2: drain proposals, match locally-dominant pairs.
-        // (`Matched` broadcasts from ranks already past their own
-        // matching loop are deferred to phase 3.)
-        while let Ok(msg) = rx.try_recv() {
-            if let Msg::Propose { from, to } = msg {
-                debug_assert!(owns(to));
+    /// Phase 2: drain arrived proposals, match locally-dominant pairs,
+    /// broadcast symmetric announcements. (`Matched` broadcasts from
+    /// ranks already past their own matching loop are deferred to
+    /// phase 3.)
+    pub fn phase_match(&mut self, inbox: &[DistMsg], mut send: impl FnMut(usize, DistMsg)) {
+        let (lo, hi) = (self.lo, self.hi);
+        for &msg in inbox {
+            if let DistMsg::Propose { from, to } = msg {
+                debug_assert!(self.owns(to));
                 let li = to as usize - lo;
-                if mate[li] != UNMATCHED {
+                if self.mate[li] != UNMATCHED {
                     // `to` already matched. Under faults the proposer
                     // may have missed the announcement — retransmit the
                     // pair to its owner so it stops proposing here.
-                    if faulty {
-                        link.send(
-                            owner(from, n, p),
-                            Msg::Matched {
+                    if self.faulty {
+                        send(
+                            owner(from, self.n, self.p),
+                            DistMsg::Matched {
                                 v: to,
-                                mate: mate[li],
+                                mate: self.mate[li],
                             },
                         );
                     }
-                } else if !proposals[li].contains(&from) {
-                    proposals[li].push(from);
+                } else if !self.proposals[li].contains(&from) {
+                    self.proposals[li].push(from);
                 }
             } else {
-                deferred.push(msg);
+                self.deferred.push(msg);
             }
         }
-        matched_now.clear();
+        self.matched_now.clear();
         for li in 0..(hi - lo) {
-            if mate[li] != UNMATCHED {
+            if self.mate[li] != UNMATCHED {
                 continue;
             }
-            let c = candidate[li];
+            let c = self.candidate[li];
             if c == UNMATCHED {
                 continue;
             }
             // A proposal from exactly our candidate makes the pair
             // locally dominant. (A stored proposal stays valid while we
             // are unmatched; see module docs.)
-            if proposals[li].contains(&c) && !known_matched[c as usize] {
+            if self.proposals[li].contains(&c) && !self.known_matched[c as usize] {
                 let v = (lo + li) as VertexId;
-                mate[li] = c;
-                matched_now.push((v, c));
+                self.mate[li] = c;
+                self.matched_now.push((v, c));
             }
         }
-        for i in 0..matched_now.len() {
-            let (v, c) = matched_now[i];
-            for r in 0..p {
-                link.send(r, Msg::Matched { v, mate: c });
-                link.send(r, Msg::Matched { v: c, mate: v });
+        for i in 0..self.matched_now.len() {
+            let (v, c) = self.matched_now[i];
+            for r in 0..self.p {
+                send(r, DistMsg::Matched { v, mate: c });
+                send(r, DistMsg::Matched { v: c, mate: v });
             }
         }
-        barrier.wait();
+    }
 
-        // Phase 3: drain announcements (deferred ones first),
-        // invalidate neighbors. Every announcement names the full pair,
-        // so it teaches us about BOTH endpoints — that way losing one
-        // of the two twin broadcasts loses no information.
+    /// Phase 3: drain announcements (deferred ones first), invalidate
+    /// neighbors. Every announcement names the full pair, so it
+    /// teaches us about BOTH endpoints — that way losing one of the
+    /// two twin broadcasts loses no information. Returns this rank's
+    /// activity flag for the round (see [`Quiescence`]).
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != l.num_edges()`.
+    pub fn phase_invalidate(
+        &mut self,
+        l: &BipartiteGraph,
+        weights: &[f64],
+        inbox: &[DistMsg],
+    ) -> bool {
+        let view = UnifiedView::new(l, weights);
+        let lo = self.lo;
         let mut learned = false;
-        let drained: Vec<Msg> = deferred
+        let drained: Vec<DistMsg> = self
+            .deferred
             .drain(..)
-            .chain(std::iter::from_fn(|| rx.try_recv().ok()))
+            .chain(inbox.iter().copied())
             .collect();
         for msg in drained {
-            if let Msg::Matched { v, mate: m } = msg {
+            if let DistMsg::Matched { v, mate: m } = msg {
                 for (x, y) in [(v, m), (m, v)] {
-                    if known_matched[x as usize] {
+                    if self.known_matched[x as usize] {
                         continue; // duplicate announcement
                     }
                     learned = true;
-                    known_matched[x as usize] = true;
-                    if owns(x) {
-                        mate[x as usize - lo] = y;
-                        proposals[x as usize - lo].clear();
+                    self.known_matched[x as usize] = true;
+                    if self.owns(x) {
+                        self.mate[x as usize - lo] = y;
+                        self.proposals[x as usize - lo].clear();
                     }
                     // Neighbors of x that we own and that pointed at x
                     // must recompute — the mirror of the paper's queue
                     // phase.
+                    let dirty = &mut self.dirty;
+                    let mate = &self.mate;
+                    let candidate = &self.candidate;
+                    let (blo, bhi) = (self.lo, self.hi);
                     view.for_each_neighbor(x, |u, _| {
-                        if owns(u)
-                            && mate[u as usize - lo] == UNMATCHED
-                            && candidate[u as usize - lo] == x
+                        if (blo..bhi).contains(&(u as usize))
+                            && mate[u as usize - blo] == UNMATCHED
+                            && candidate[u as usize - blo] == x
                         {
                             dirty.push(u);
                         }
@@ -393,45 +478,149 @@ fn rank_main(
                 unreachable!("Propose messages cannot cross the phase-3 barriers");
             }
         }
-        dirty.sort_unstable();
-        dirty.dedup();
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
 
-        // Termination: double-buffered global activity flag. Fault-free
-        // runs stop at the first globally quiet round; faulty runs
-        // treat new matches/knowledge as activity, count a proposal
-        // still waiting out its backoff window as activity too (so
-        // quiescence cannot fire while a retransmission is owed), and
-        // wait out a grace window so in-flight messages can land.
-        let progress = if faulty {
-            let pending_resend = (0..(hi - lo)).any(|li| {
-                mate[li] == UNMATCHED
-                    && candidate[li] != UNMATCHED
-                    && !known_matched[candidate[li] as usize]
+        // Fault-free runs stop at the first globally quiet round;
+        // faulty runs treat new matches/knowledge as activity, count a
+        // proposal still waiting out its backoff window as activity
+        // too (so quiescence cannot fire while a retransmission is
+        // owed), and wait out a grace window so in-flight messages can
+        // land.
+        if self.faulty {
+            let pending_resend = (0..(self.hi - lo)).any(|li| {
+                self.mate[li] == UNMATCHED
+                    && self.candidate[li] != UNMATCHED
+                    && !self.known_matched[self.candidate[li] as usize]
             });
-            !matched_now.is_empty() || learned || !dirty.is_empty() || pending_resend
+            !self.matched_now.is_empty() || learned || !self.dirty.is_empty() || pending_resend
         } else {
-            !dirty.is_empty()
+            !self.dirty.is_empty()
+        }
+    }
+
+    /// The matched pairs this rank owns.
+    pub fn pairs(&self) -> Vec<(VertexId, VertexId)> {
+        (self.lo..self.hi)
+            .filter(|&v| self.mate[v - self.lo] != UNMATCHED)
+            .map(|v| (v as VertexId, self.mate[v - self.lo]))
+            .collect()
+    }
+}
+
+/// The protocol's global termination rule, shared by every driver: a
+/// fault-free run stops at the first globally quiet round; a faulty
+/// run waits out [`Self::GRACE`] consecutive quiet rounds (so
+/// in-flight retransmissions can land) under a hard round cap.
+#[derive(Clone, Copy, Debug)]
+pub struct Quiescence {
+    faulty: bool,
+    round: usize,
+    quiet: usize,
+    round_cap: usize,
+}
+
+impl Quiescence {
+    /// Faulty runs only quit after this many consecutive quiet rounds,
+    /// giving dropped retransmissions time to get through.
+    pub const GRACE: usize = 3;
+
+    /// Rule for an `n`-vertex instance. The cap is a hard safety net
+    /// for faulty runs; the grace-window quiescence test terminates
+    /// every practical run long before it.
+    pub fn new(faulty: bool, n: usize) -> Self {
+        Quiescence {
+            faulty,
+            round: 0,
+            quiet: 0,
+            round_cap: 8 * n + 64,
+        }
+    }
+
+    /// Current 0-based round.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Record the round's global activity flag (the OR over every
+    /// rank's [`RankCore::phase_invalidate`] result). Returns `true`
+    /// when the protocol is done; otherwise advances to the next
+    /// round.
+    pub fn step(&mut self, keep_going: bool) -> bool {
+        self.quiet = if keep_going { 0 } else { self.quiet + 1 };
+        let done = if self.faulty {
+            self.quiet >= Self::GRACE
+        } else {
+            self.quiet >= 1
         };
-        let cur = round % 2;
+        if done || (self.faulty && self.round + 1 >= self.round_cap) {
+            return true;
+        }
+        self.round += 1;
+        false
+    }
+}
+
+/// Assemble the per-rank pair lists produced by [`RankCore::pairs`]
+/// into a [`Matching`] over `l`.
+pub fn pairs_to_matching(
+    l: &BipartiteGraph,
+    pairs: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> Matching {
+    let view = UnifiedView::new(l, l.weights());
+    let mut mate = vec![UNMATCHED; view.num_vertices()];
+    for (v, m) in pairs {
+        mate[v as usize] = m;
+    }
+    view.to_matching(&mate)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    rank: usize,
+    p: usize,
+    n: usize,
+    l: &BipartiteGraph,
+    weights: &[f64],
+    senders: Vec<std::sync::mpsc::Sender<DistMsg>>,
+    rx: std::sync::mpsc::Receiver<DistMsg>,
+    barrier: &Barrier,
+    active: &[AtomicBool; 2],
+    faults: ChannelFaults,
+) -> Vec<(VertexId, VertexId)> {
+    let mut core = RankCore::new(l, rank, p, faults.active());
+    let mut link = FaultyLink {
+        senders,
+        faults,
+        sent: 0,
+    };
+    let mut q = Quiescence::new(faults.active(), n);
+    loop {
+        core.phase_propose(l, weights, q.round(), |dest, msg| link.send(dest, msg));
+        barrier.wait();
+
+        let inbox: Vec<DistMsg> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+        core.phase_match(&inbox, |dest, msg| link.send(dest, msg));
+        barrier.wait();
+
+        let inbox: Vec<DistMsg> = std::iter::from_fn(|| rx.try_recv().ok()).collect();
+        let progress = core.phase_invalidate(l, weights, &inbox);
+
+        // Termination: double-buffered global activity flag feeding
+        // the shared [`Quiescence`] rule.
+        let cur = q.round() % 2;
         if progress {
             active[cur].store(true, Ordering::SeqCst);
         }
         barrier.wait();
         let keep_going = active[cur].load(Ordering::SeqCst);
-        active[(round + 1) % 2].store(false, Ordering::SeqCst);
+        active[(q.round() + 1) % 2].store(false, Ordering::SeqCst);
         barrier.wait();
-        quiet = if keep_going { 0 } else { quiet + 1 };
-        let done = if faulty { quiet >= GRACE } else { quiet >= 1 };
-        if done || (faulty && round + 1 >= round_cap) {
+        if q.step(keep_going) {
             break;
         }
-        round += 1;
     }
-
-    (lo..hi)
-        .filter(|&v| mate[v - lo] != UNMATCHED)
-        .map(|v| (v as VertexId, mate[v - lo]))
-        .collect()
+    core.pairs()
 }
 
 #[cfg(test)]
@@ -485,6 +674,20 @@ mod tests {
         let l = random_l(1, 3, 3, 0.8);
         let serial = serial_local_dominant(&l, l.weights());
         assert_eq!(distributed_local_dominant(&l, l.weights(), 64), serial);
+    }
+
+    #[test]
+    fn rank_blocks_that_round_past_the_vertex_set_are_empty() {
+        // n = 160, p = 64 → block = 3 and rank 54's nominal range
+        // starts at 162 > n. Those trailing ranks must degrade to
+        // empty relays (regression: `hi - lo` underflowed).
+        let l = random_l(21, 80, 80, 0.1);
+        let serial = serial_local_dominant(&l, l.weights());
+        assert_eq!(distributed_local_dominant(&l, l.weights(), 64), serial);
+        for rank in [53, 54, 63] {
+            let core = RankCore::new(&l, rank, 64, false);
+            assert!(core.pairs().is_empty());
+        }
     }
 
     #[test]

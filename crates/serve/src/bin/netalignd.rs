@@ -216,6 +216,9 @@ fn supervise(argv: &[String], opts: &ServerOptions) -> ! {
 }
 
 fn main() {
+    // Distributed worker re-entry: if a coordinator spawned this
+    // binary as a BP worker, run the worker loop instead of serving.
+    netalign_core::dist::maybe_run_worker();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&argv) {
         Ok(cli) => cli,

@@ -199,6 +199,11 @@ impl ServerMetrics {
                     ("spill_load_errors", load(&self.spill_load_errors)),
                 ]),
             ),
+            // Distributed-run counters are process-global (the
+            // coordinator in `netalign_core::dist` bumps them); the
+            // daemon surfaces them so a fleet scraping `metrics` sees
+            // recovery activity without reading coordinator logs.
+            ("dist", netalign_trace::dist::global().snapshot().to_json()),
             (
                 "latency",
                 Json::obj(vec![

@@ -200,57 +200,16 @@ impl RequestError {
 // Framing
 // ---------------------------------------------------------------------
 
-/// Outcome of reading one frame.
-#[derive(Debug)]
-pub enum FrameRead {
-    /// A complete frame payload.
-    Frame(Vec<u8>),
-    /// The peer declared `len` bytes, over the limit; the payload was
-    /// drained so the stream stays frame-aligned.
-    Oversized(u32),
-    /// The peer closed the connection cleanly (EOF at a frame
-    /// boundary).
-    Closed,
-}
+// The codec itself lives in `netalign_core::frame` (shared with the
+// distributed execution transport); this module keeps `io::Result`
+// wrappers so existing call sites — which classify errors by
+// `ErrorKind` — stay unchanged. Torn tails surface as
+// `UnexpectedEof` with the typed counts in the message.
+pub use netalign_core::frame::{write_frame, FrameRead};
 
 /// Read one length-prefixed frame, enforcing `max_len`.
 pub fn read_frame(r: &mut impl Read, max_len: u32) -> std::io::Result<FrameRead> {
-    let mut len_buf = [0u8; 4];
-    let mut got = 0;
-    while got < 4 {
-        match r.read(&mut len_buf[got..]) {
-            Ok(0) => {
-                return if got == 0 {
-                    Ok(FrameRead::Closed)
-                } else {
-                    Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "truncated frame header",
-                    ))
-                };
-            }
-            Ok(n) => got += n,
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_be_bytes(len_buf);
-    if len > max_len {
-        // Drain the declared payload so the next frame parses.
-        std::io::copy(&mut r.take(len as u64), &mut std::io::sink())?;
-        return Ok(FrameRead::Oversized(len));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(FrameRead::Frame(payload))
-}
-
-/// Write one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    netalign_core::frame::read_frame(r, max_len).map_err(Into::into)
 }
 
 /// Render and send a [`Json`] document as one frame.

@@ -430,6 +430,7 @@ fn handle_connection(
                         "recoveries",
                         Json::U64(shared.metrics.recoveries.load(Ordering::Relaxed)),
                     ),
+                    ("dist", netalign_trace::dist::global().snapshot().to_json()),
                 ])
             }
             Request::Crash => {

@@ -361,6 +361,36 @@ fn malformed_and_oversized_requests_get_typed_errors_and_service_continues() {
 }
 
 #[test]
+fn metrics_and_health_expose_distributed_run_counters() {
+    let daemon = Daemon::spawn(&[]);
+
+    // The counters must be present (and zero) even in a daemon that
+    // has never coordinated a distributed run — dashboards scrape them
+    // unconditionally, and `metric_u64` panics on a missing key.
+    let metrics = fetch_metrics(&daemon);
+    for key in [
+        "dist.solves",
+        "dist.worker_restarts",
+        "dist.retransmissions",
+        "dist.repartitions",
+        "dist.recoveries",
+    ] {
+        assert_eq!(metric_u64(&metrics, key), 0, "{key}");
+    }
+
+    // `health` carries the same counters so a supervisor can spot
+    // recovery churn without the full metrics document.
+    let mut client = daemon.client();
+    let reply = client
+        .request(&Json::obj(vec![("op", Json::str("health"))]))
+        .expect("health request");
+    assert_eq!(response_code(&reply), 200, "{}", reply.render());
+    let dist = reply.get("dist").expect("health reply must carry dist");
+    assert_eq!(dist.get("solves").and_then(Json::as_u64), Some(0));
+    assert_eq!(dist.get("recoveries").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
 fn shutdown_drains_in_flight_work_then_exits_cleanly() {
     let daemon = Daemon::spawn(&[]);
 

@@ -1,0 +1,123 @@
+//! Process-global counters for distributed execution (`netalign_core::dist`).
+//!
+//! The coordinator bumps these as it supervises worker processes; any
+//! embedder — `netalignmc align --dist-workers`, `netalignd`'s
+//! `metrics`/`health` ops, the chaos harness — reads one consistent
+//! snapshot without plumbing a handle through every layer. Counters
+//! are monotone over the process lifetime (like [`crate::metrics`]'s
+//! primitives); per-run accounting belongs to the run's own report.
+
+use crate::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters describing every distributed run this process
+/// has coordinated.
+#[derive(Debug, Default)]
+pub struct DistStats {
+    /// Distributed solves started.
+    pub solves: AtomicU64,
+    /// Worker processes respawned after a crash or a failed heartbeat.
+    pub worker_restarts: AtomicU64,
+    /// Reliable-RPC frames retransmitted after a timeout or a torn
+    /// connection.
+    pub retransmissions: AtomicU64,
+    /// Times a dead worker's rows were re-partitioned onto survivors
+    /// (respawn budget exhausted).
+    pub repartitions: AtomicU64,
+    /// Recovery rounds executed (respawn or repartition followed by a
+    /// checkpoint-based resync of every worker).
+    pub recoveries: AtomicU64,
+}
+
+/// One relaxed snapshot of [`DistStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistSnapshot {
+    pub solves: u64,
+    pub worker_restarts: u64,
+    pub retransmissions: u64,
+    pub repartitions: u64,
+    pub recoveries: u64,
+}
+
+impl DistStats {
+    /// Relaxed snapshot (exact once coordination has quiesced).
+    pub fn snapshot(&self) -> DistSnapshot {
+        DistSnapshot {
+            solves: self.solves.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            repartitions: self.repartitions.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter (tests only; production counters are
+    /// monotone).
+    pub fn reset(&self) {
+        self.solves.store(0, Ordering::Relaxed);
+        self.worker_restarts.store(0, Ordering::Relaxed);
+        self.retransmissions.store(0, Ordering::Relaxed);
+        self.repartitions.store(0, Ordering::Relaxed);
+        self.recoveries.store(0, Ordering::Relaxed);
+    }
+}
+
+impl DistSnapshot {
+    /// Export for a metrics/health endpoint.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("solves", Json::U64(self.solves)),
+            ("worker_restarts", Json::U64(self.worker_restarts)),
+            ("retransmissions", Json::U64(self.retransmissions)),
+            ("repartitions", Json::U64(self.repartitions)),
+            ("recoveries", Json::U64(self.recoveries)),
+        ])
+    }
+}
+
+/// The process-global instance.
+pub fn global() -> &'static DistStats {
+    static STATS: DistStats = DistStats {
+        solves: AtomicU64::new(0),
+        worker_restarts: AtomicU64::new(0),
+        retransmissions: AtomicU64::new(0),
+        repartitions: AtomicU64::new(0),
+        recoveries: AtomicU64::new(0),
+    };
+    &STATS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_and_reset() {
+        let stats = DistStats::default();
+        stats.solves.fetch_add(2, Ordering::Relaxed);
+        stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.solves, 2);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.retransmissions, 0);
+        stats.reset();
+        assert_eq!(stats.snapshot(), DistSnapshot::default());
+    }
+
+    #[test]
+    fn json_export_names_every_counter() {
+        let stats = DistStats::default();
+        stats.repartitions.fetch_add(3, Ordering::Relaxed);
+        let json = stats.snapshot().to_json();
+        assert_eq!(json.get("repartitions").and_then(Json::as_u64), Some(3));
+        for key in [
+            "solves",
+            "worker_restarts",
+            "retransmissions",
+            "repartitions",
+            "recoveries",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+    }
+}

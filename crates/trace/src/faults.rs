@@ -27,8 +27,16 @@
 //!     (no unwinding, no destructors — a deterministic `SIGKILL`
 //!     stand-in) the `n`-th time the named serving fault point is
 //!     reached (default: the first). `netalignd` probes `solve`,
-//!     `journal-append`, `spill-rename`, and `reply`; the chaos suite
-//!     uses this to crash the daemon at exact protocol moments.
+//!     `journal-append`, `spill-rename`, and `reply`; distributed
+//!     workers probe `dist-solve`, `dist-send`, and `dist-recv`; the
+//!     chaos suites use this to crash a process at exact protocol
+//!     moments,
+//!   - `NETALIGN_FAULT_NET=<drop|dup|delay|torn>[@<n>]` — damage every
+//!     `n`-th frame the armed process sends on a distributed-transport
+//!     endpoint (default: every frame): `drop` discards it, `dup`
+//!     sends it twice, `delay` stalls it, `torn` writes only a prefix
+//!     and severs the connection. Counted process-wide, so a given
+//!     run always tears the same frames.
 //!
 //! The module only *decides*; the subsystems under test do the
 //! injecting: the aligner engines query [`nan_due`] / [`panic_point`],
@@ -94,6 +102,32 @@ pub struct KillSpec {
     pub nth: u64,
 }
 
+/// What to do to a transport frame on its way out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Discard the frame (the reliability layer must retransmit).
+    Drop,
+    /// Send the frame twice (the receiver must deduplicate).
+    Dup,
+    /// Stall the frame long enough to trip the sender's answer
+    /// timeout (the retransmission path must tolerate the late copy).
+    Delay,
+    /// Write only a prefix of the frame and sever the connection (the
+    /// peer sees a typed torn-frame error and must reconnect).
+    Torn,
+}
+
+/// Damage every `every`-th frame sent on a fault-armed transport
+/// endpoint (1 = every frame). Counted process-wide from plan
+/// installation, so a run's fault pattern is reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFault {
+    /// The kind of damage.
+    pub kind: NetFaultKind,
+    /// Apply to every `every`-th frame (1-based counter, ≥ 1).
+    pub every: u64,
+}
+
 /// A complete fault-injection plan. Every field is independent; `None`
 /// disables that fault class.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -112,6 +146,8 @@ pub struct FaultPlan {
     pub deadline: Option<u64>,
     /// Hard-abort the process at the Nth hit of a named fault point.
     pub kill: Option<KillSpec>,
+    /// Damage every Nth outgoing transport frame.
+    pub net: Option<NetFault>,
 }
 
 impl FaultPlan {
@@ -123,6 +159,7 @@ impl FaultPlan {
             && self.checkpoint.is_none()
             && self.deadline.is_none()
             && self.kill.is_none()
+            && self.net.is_none()
     }
 }
 
@@ -140,6 +177,8 @@ static CHUNK_CLAIMS: AtomicU64 = AtomicU64::new(0);
 static CKPT_WRITES: AtomicU64 = AtomicU64::new(0);
 /// Kill-point hits observed since the plan was installed.
 static KILL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Transport frames sent since the plan was installed.
+static NET_SENDS: AtomicU64 = AtomicU64::new(0);
 static ENV_LOADED: OnceLock<()> = OnceLock::new();
 static TEST_LOCK: Mutex<()> = Mutex::new(());
 
@@ -158,6 +197,7 @@ pub fn install(plan: FaultPlan) {
     CHUNK_CLAIMS.store(0, Ordering::Relaxed);
     CKPT_WRITES.store(0, Ordering::Relaxed);
     KILL_HITS.store(0, Ordering::Relaxed);
+    NET_SENDS.store(0, Ordering::Relaxed);
     ARMED.store(armed, Ordering::Release);
 }
 
@@ -168,6 +208,7 @@ pub fn clear() {
     CHUNK_CLAIMS.store(0, Ordering::Relaxed);
     CKPT_WRITES.store(0, Ordering::Relaxed);
     KILL_HITS.store(0, Ordering::Relaxed);
+    NET_SENDS.store(0, Ordering::Relaxed);
 }
 
 /// Parse the `NETALIGN_FAULT_*` environment variables once and install
@@ -208,7 +249,29 @@ fn plan_from_lookup(get: &dyn Fn(&str) -> Option<String>) -> FaultPlan {
         checkpoint: get("NETALIGN_FAULT_CKPT").and_then(|v| parse_checkpoint_fault(&v)),
         deadline: get("NETALIGN_FAULT_DEADLINE").and_then(|v| v.trim().parse().ok()),
         kill: get("NETALIGN_FAULT_KILL").and_then(|v| parse_kill_spec(&v)),
+        net: get("NETALIGN_FAULT_NET").and_then(|v| parse_net_fault(&v)),
     }
+}
+
+/// Parse the `NETALIGN_FAULT_NET` grammar (`drop|dup|delay|torn[@n]`).
+/// Public so transport layers can interpret the variable themselves
+/// without installing a process-global plan.
+pub fn parse_net_fault(text: &str) -> Option<NetFault> {
+    let (kind, every) = match text.split_once('@') {
+        Some((kind, n)) => (kind, n.trim().parse().ok()?),
+        None => (text, 1),
+    };
+    let kind = match kind.trim() {
+        "drop" => NetFaultKind::Drop,
+        "dup" => NetFaultKind::Dup,
+        "delay" => NetFaultKind::Delay,
+        "torn" => NetFaultKind::Torn,
+        _ => return None,
+    };
+    if every == 0 {
+        return None;
+    }
+    Some(NetFault { kind, every })
 }
 
 fn parse_kill_spec(text: &str) -> Option<KillSpec> {
@@ -353,6 +416,19 @@ pub fn kill_due(point: &str) -> bool {
         Some(n) => KILL_HITS.fetch_add(1, Ordering::Relaxed) + 1 == n,
         None => false,
     }
+}
+
+/// Counts one outgoing transport frame; returns the damage to apply
+/// to it, if the armed plan's net fault targets this send (every
+/// `every`-th frame since installation).
+#[inline]
+pub fn net_fault_tick() -> Option<NetFaultKind> {
+    if !active() {
+        return None;
+    }
+    let fault = with_plan(|p| p.net).flatten()?;
+    let sent = NET_SENDS.fetch_add(1, Ordering::Relaxed) + 1;
+    sent.is_multiple_of(fault.every).then_some(fault.kind)
 }
 
 /// Apply [`CheckpointDamage`] to a serialized checkpoint buffer.
@@ -543,6 +619,63 @@ mod tests {
         assert!(!kill_due("reply")); // fires exactly once
         clear();
         assert!(!kill_due("reply"));
+    }
+
+    #[test]
+    fn parses_net_fault_grammar() {
+        assert_eq!(
+            parse_net_fault("drop@3"),
+            Some(NetFault {
+                kind: NetFaultKind::Drop,
+                every: 3
+            })
+        );
+        assert_eq!(
+            parse_net_fault("torn"),
+            Some(NetFault {
+                kind: NetFaultKind::Torn,
+                every: 1
+            })
+        );
+        assert_eq!(
+            parse_net_fault("delay@10"),
+            Some(NetFault {
+                kind: NetFaultKind::Delay,
+                every: 10
+            })
+        );
+        assert_eq!(parse_net_fault("shred@2"), None);
+        assert_eq!(parse_net_fault("drop@0"), None);
+        assert_eq!(parse_net_fault("drop@x"), None);
+        let plan = plan_from_env_pairs(&[("NETALIGN_FAULT_NET", "dup@4")]);
+        assert_eq!(
+            plan.net,
+            Some(NetFault {
+                kind: NetFaultKind::Dup,
+                every: 4
+            })
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn net_fault_tick_fires_on_every_nth_send() {
+        let _guard = test_lock();
+        install(FaultPlan {
+            net: Some(NetFault {
+                kind: NetFaultKind::Drop,
+                every: 3,
+            }),
+            ..Default::default()
+        });
+        assert_eq!(net_fault_tick(), None);
+        assert_eq!(net_fault_tick(), None);
+        assert_eq!(net_fault_tick(), Some(NetFaultKind::Drop));
+        assert_eq!(net_fault_tick(), None);
+        assert_eq!(net_fault_tick(), None);
+        assert_eq!(net_fault_tick(), Some(NetFaultKind::Drop));
+        clear();
+        assert_eq!(net_fault_tick(), None);
     }
 
     #[test]

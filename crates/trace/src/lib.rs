@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 pub mod cancel;
+pub mod dist;
 pub mod faults;
 pub mod metrics;
 

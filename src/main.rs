@@ -19,6 +19,13 @@
 //!                     --out-dir data/
 //! ```
 //!
+//! `--dist-workers N` executes the BP run across `N` worker processes
+//! over localhost TCP (`--dist-base-port P` pins the coordinator port).
+//! Workers that crash are respawned and resumed from per-iteration
+//! checkpoints; past the respawn budget their rows are re-partitioned
+//! onto survivors. The result is bit-identical to the in-process
+//! engine. Unrecoverable transport failure exits with code 7.
+//!
 //! A `--deadline-ms` turns an `align` run into a deadline-aware anytime
 //! run: at expiry the best-so-far matching is returned (completion
 //! `deadline-best-so-far`), with `--on-deadline` selecting best-so-far
@@ -48,6 +55,8 @@ fn help_text() -> String {
          \x20 --matcher exact|ld|suitor|...  [--warm-start true]\n\
          \x20 --mmap DIR                     out-of-core BP: stream S to DIR, mmap sweeps\n\
          \x20 --max-resident-mb N            resident budget for --mmap (exit 6 if infeasible)\n\
+         \x20 --dist-workers N               run BP across N worker processes over localhost TCP\n\
+         \x20 --dist-base-port P             coordinator listen port for --dist-workers (0 = ephemeral)\n\
          \x20 --checkpoint DIR [--resume PATH]\n\
          \x20 --deadline-ms N                total wall-clock budget (anytime run)\n\
          \x20 --soft-iter-ms N               per-iteration soft budget (degradation only)\n\
@@ -75,6 +84,9 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Distributed worker re-entry: when spawned by a coordinator this
+    // process runs the worker loop and exits before any CLI parsing.
+    netalignmc::core::dist::maybe_run_worker();
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
@@ -368,6 +380,45 @@ fn cmd_align(flags: &HashMap<String, String>) {
             exit(exitcode::USAGE)
         }
     }
+    // --dist-workers N runs the BP engine across N worker *processes*
+    // over localhost TCP (crash recovery included); the result is
+    // bit-identical to the in-process engine. A transport failure that
+    // recovery cannot mask (all workers past their respawn budgets, or
+    // the coordinator socket failing) exits with code 7.
+    let dist_workers: Option<usize> = flags
+        .get("dist-workers")
+        .map(|s| parse_num(s, "dist-workers"));
+    let dist_base_port: u16 = parse_num(get_or(flags, "dist-base-port", "0"), "dist-base-port");
+    if dist_workers.is_none() && flags.contains_key("dist-base-port") {
+        eprintln!("--dist-base-port requires --dist-workers N");
+        exit(exitcode::USAGE)
+    }
+    if let Some(w) = dist_workers {
+        if w == 0 {
+            eprintln!("--dist-workers must be at least 1");
+            exit(exitcode::USAGE)
+        }
+        if method != "bp" {
+            eprintln!("--dist-workers only applies to --method bp");
+            exit(exitcode::USAGE)
+        }
+        if mmap_dir.is_some() {
+            eprintln!("--dist-workers is incompatible with --mmap (pick one execution mode)");
+            exit(exitcode::USAGE)
+        }
+        if checkpoint.is_some()
+            || resume.is_some()
+            || deadline_ms.is_some()
+            || soft_iter_ms.is_some()
+            || watchdog_ms.is_some()
+        {
+            eprintln!(
+                "--dist-workers is incompatible with --checkpoint/--resume/--deadline-ms/\
+                 --soft-iter-ms/--watchdog-ms (distributed runs checkpoint internally)"
+            );
+            exit(exitcode::USAGE)
+        }
+    }
     let needs_harness = checkpoint.is_some()
         || resume.is_some()
         || deadline_ms.is_some()
@@ -446,7 +497,38 @@ fn cmd_align(flags: &HashMap<String, String>) {
         )
     };
     let start = std::time::Instant::now();
-    let (r, meta) = if let Some(dir) = &mmap_dir {
+    // Recovery counters from a distributed run, for the report and
+    // `--json-out` (the chaos CI matrix gates on these).
+    let mut dist: Option<(usize, u64, u64, u64, u64)> = None;
+    let (r, meta) = if let Some(workers) = dist_workers {
+        use netalignmc::core::dist::{align_distributed, DistConfig, DistReport};
+        let p = load_problem(flags);
+        let mut dc = DistConfig::from_env(workers);
+        dc.base_port = dist_base_port;
+        match align_distributed(&p, &cfg, &dc) {
+            Ok(DistReport {
+                result,
+                workers,
+                worker_restarts,
+                retransmissions,
+                repartitions,
+                recoveries,
+            }) => {
+                dist = Some((
+                    workers,
+                    worker_restarts,
+                    retransmissions,
+                    repartitions,
+                    recoveries,
+                ));
+                (result, None)
+            }
+            Err(e) => {
+                eprintln!("distributed run failed: {e}");
+                exit(exitcode::TRANSPORT)
+            }
+        }
+    } else if let Some(dir) = &mmap_dir {
         let (a, b, l) = load_graphs(flags);
         let mut opts = OocOptions::new(dir);
         if let Some(mb) = max_resident_mb {
@@ -523,6 +605,12 @@ fn cmd_align(flags: &HashMap<String, String>) {
         println!("upper     : {ub:.4}");
     }
     println!("time      : {secs:.3}s");
+    if let Some((w, restarts, retrans, reparts, recov)) = &dist {
+        println!(
+            "dist      : {w} workers (restarts {restarts}, retransmissions {retrans}, \
+             repartitions {reparts}, recoveries {recov})"
+        );
+    }
     if r.trace.peak_rss_kb > 0 {
         println!("peak rss  : {} kB", r.trace.peak_rss_kb);
     }
@@ -559,8 +647,16 @@ fn cmd_align(flags: &HashMap<String, String>) {
             ),
             None => ("completed", cfg.iterations, 0, "null".to_string()),
         };
+        let dist_json = match &dist {
+            Some((w, restarts, retrans, reparts, recov)) => format!(
+                "{{\"workers\": {w}, \"worker_restarts\": {restarts}, \
+                 \"retransmissions\": {retrans}, \"repartitions\": {reparts}, \
+                 \"recoveries\": {recov}}}"
+            ),
+            None => "null".to_string(),
+        };
         let json = format!(
-            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {},\n  \"peak_rss_kb\": {},\n  \"completion\": \"{}\",\n  \"iterations_run\": {},\n  \"ladder_rung\": {},\n  \"cancel_reason\": {}\n}}\n",
+            "{{\n  \"method\": \"{}\",\n  \"matcher\": \"{}\",\n  \"objective\": {},\n  \"weight\": {},\n  \"overlap\": {},\n  \"matched\": {},\n  \"seconds\": {},\n  \"peak_rss_kb\": {},\n  \"completion\": \"{}\",\n  \"iterations_run\": {},\n  \"ladder_rung\": {},\n  \"cancel_reason\": {},\n  \"dist\": {}\n}}\n",
             method,
             cfg.matcher.name(),
             r.objective,
@@ -572,7 +668,8 @@ fn cmd_align(flags: &HashMap<String, String>) {
             completion_label,
             iters_run,
             rung,
-            reason_json
+            reason_json,
+            dist_json
         );
         write_output_file(out, &json, "--json-out");
         println!("summary written to {out}");

@@ -1,0 +1,233 @@
+//! Transport chaos suite for the multi-process distributed engine:
+//! every injected fault — worker crashes at protocol-critical moments,
+//! dropped / duplicated / delayed / torn frames — must leave the
+//! distributed result **bit-identical** to the single-process engine,
+//! with the recovery machinery (respawn, checkpoint resync,
+//! repartition) visibly doing the work (counters > 0).
+//!
+//! Faults are injected deterministically: `NetFault` acts on the
+//! coordinator's outgoing first transmissions, kill specs are
+//! forwarded to worker slot 0's first spawn as `NETALIGN_FAULT_KILL`
+//! (respawned replacements never inherit them).
+
+use netalignmc::core::dist::{align_distributed, parse_net_fault, DistConfig, DistError};
+use netalignmc::core::{AlignmentResult, NetAlignProblem};
+use netalignmc::data::synthetic::{power_law_alignment, PowerLawParams};
+use netalignmc::prelude::*;
+use std::path::PathBuf;
+
+fn instance(seed: u64) -> NetAlignProblem {
+    power_law_alignment(&PowerLawParams {
+        n: 80,
+        expected_degree: 5.0,
+        seed,
+        ..Default::default()
+    })
+    .problem
+}
+
+fn cfg() -> AlignConfig {
+    AlignConfig {
+        iterations: 8,
+        matcher: MatcherKind::ParallelLocalDominant,
+        ..Default::default()
+    }
+}
+
+fn dist_config(workers: usize) -> DistConfig {
+    let mut dc = DistConfig::new(workers);
+    dc.worker_bin = Some(PathBuf::from(env!("CARGO_BIN_EXE_netalignmc")));
+    // Production timeouts favor patience; the chaos matrix injects
+    // faults on almost every exchange, so tighten the schedule to keep
+    // the suite's wall clock sane without changing any semantics.
+    dc.timeouts.resend_after = std::time::Duration::from_millis(40);
+    dc.timeouts.resend_cap = std::time::Duration::from_millis(300);
+    dc.timeouts.reconnect_window = std::time::Duration::from_millis(400);
+    dc
+}
+
+fn assert_identical(dist: &AlignmentResult, shared: &AlignmentResult, what: &str) {
+    assert_eq!(
+        dist.objective.to_bits(),
+        shared.objective.to_bits(),
+        "{what}: objective"
+    );
+    assert_eq!(dist.matching, shared.matching, "{what}: matching");
+    assert_eq!(
+        dist.best_iteration, shared.best_iteration,
+        "{what}: best iteration"
+    );
+}
+
+/// Worker kills at each protocol-critical moment: right after a frame
+/// is decoded, inside the Solve superstep, and just before a reply is
+/// written (after the dedup cache was updated — the resume must not
+/// double-execute). Each crash forces a respawn + checkpoint resync,
+/// and the final answer must not move by one bit.
+#[test]
+fn worker_kill_at_every_point_recovers_bit_identical() {
+    let p = instance(23);
+    let config = cfg();
+    let shared = belief_propagation(&p, &config);
+    for kill in ["dist-recv@4", "dist-solve@3", "dist-send@2"] {
+        for workers in [2, 4] {
+            let mut dc = dist_config(workers);
+            dc.worker_kill = Some(kill.to_string());
+            let report = align_distributed(&p, &config, &dc).expect("run failed");
+            assert_identical(&report.result, &shared, &format!("{kill} x{workers}"));
+            assert!(
+                report.worker_restarts > 0,
+                "{kill} x{workers}: kill never fired"
+            );
+            assert!(report.recoveries > 0, "{kill} x{workers}: no recovery");
+        }
+    }
+}
+
+/// Deterministic frame faults on the coordinator's outgoing requests.
+/// Losses force retransmission; duplicates and delayed late copies
+/// must be absorbed by the workers' sequence dedup.
+#[test]
+fn transport_faults_recover_bit_identical() {
+    let p = instance(29);
+    let config = cfg();
+    let shared = belief_propagation(&p, &config);
+    for fault in ["drop@5", "dup@3", "delay@4", "torn@6"] {
+        for workers in [1, 2, 4] {
+            let mut dc = dist_config(workers);
+            dc.net_fault = Some(parse_net_fault(fault).expect("fault spec"));
+            let report = align_distributed(&p, &config, &dc).expect("run failed");
+            assert_identical(&report.result, &shared, &format!("{fault} x{workers}"));
+            // Dup needs no retransmission (the original still lands);
+            // drop, delay, and torn all must exercise the resend path.
+            if !fault.starts_with("dup") {
+                assert!(
+                    report.retransmissions > 0,
+                    "{fault} x{workers}: resend path never exercised"
+                );
+            }
+        }
+    }
+}
+
+/// A crash with a zero respawn budget retires the slot: its rows are
+/// re-partitioned onto the survivors, which re-seed from checkpoints
+/// and still land on the exact single-process answer.
+#[test]
+fn repartition_onto_survivors_after_budget_exhausted() {
+    let p = instance(31);
+    let config = cfg();
+    let shared = belief_propagation(&p, &config);
+    let mut dc = dist_config(3);
+    dc.worker_kill = Some("dist-solve@5".to_string());
+    dc.respawn_budget = 0;
+    let report = align_distributed(&p, &config, &dc).expect("run failed");
+    assert_identical(&report.result, &shared, "repartition x3");
+    assert_eq!(report.worker_restarts, 0, "budget 0 must never respawn");
+    assert!(report.repartitions > 0, "slot was never retired");
+    assert!(report.recoveries > 0);
+}
+
+/// With a single worker and no respawn budget, a crash leaves nobody
+/// to repartition onto: the run must fail with the typed error (the
+/// CLI maps it to exit code 7), not hang or panic.
+#[test]
+fn no_survivors_is_a_typed_error() {
+    let p = instance(37);
+    let config = cfg();
+    let mut dc = dist_config(1);
+    dc.worker_kill = Some("dist-solve@1".to_string());
+    dc.respawn_budget = 0;
+    match align_distributed(&p, &config, &dc) {
+        Err(DistError::NoSurvivors) => {}
+        other => panic!("expected NoSurvivors, got {other:?}"),
+    }
+}
+
+/// Faults composed: a worker crash *and* frame loss in the same run.
+#[test]
+fn kill_composed_with_frame_loss_recovers_bit_identical() {
+    let p = instance(41);
+    let config = cfg();
+    let shared = belief_propagation(&p, &config);
+    let mut dc = dist_config(2);
+    dc.worker_kill = Some("dist-solve@2".to_string());
+    dc.net_fault = Some(parse_net_fault("drop@7").expect("fault spec"));
+    let report = align_distributed(&p, &config, &dc).expect("run failed");
+    assert_identical(&report.result, &shared, "kill+drop x2");
+    assert!(report.worker_restarts > 0);
+    assert!(report.retransmissions > 0);
+}
+
+mod cli {
+    //! The `--dist-workers` surface: exit code 7 on transport failure
+    //! and recovery counters in `--json-out` (what the CI chaos matrix
+    //! gates on).
+
+    use std::process::Command;
+
+    fn bin() -> &'static str {
+        env!("CARGO_BIN_EXE_netalignmc")
+    }
+
+    fn write_instance(dir: &std::path::Path) {
+        let st = Command::new(bin())
+            .args(["generate", "--dataset", "powerlaw", "--seed", "7"])
+            .arg("--out-dir")
+            .arg(dir)
+            .status()
+            .expect("generate");
+        assert!(st.success());
+    }
+
+    #[test]
+    fn occupied_port_exits_with_transport_code() {
+        let dir = std::env::temp_dir().join(format!("na-dist-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_instance(&dir);
+        // Squat on a port; the coordinator's bind must fail fast.
+        let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = blocker.local_addr().unwrap().port();
+        let out = Command::new(bin())
+            .current_dir(&dir)
+            .args(["align", "--a", "a.el", "--b", "b.el", "--l", "l.smat"])
+            .args(["--method", "bp", "--iters", "2"])
+            .args(["--dist-workers", "2", "--dist-base-port", &port.to_string()])
+            .output()
+            .expect("align");
+        assert_eq!(
+            out.status.code(),
+            Some(7),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        drop(blocker);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_out_reports_recovery_counters() {
+        let dir = std::env::temp_dir().join(format!("na-dist-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_instance(&dir);
+        let out = Command::new(bin())
+            .current_dir(&dir)
+            .env("NETALIGN_FAULT_KILL", "dist-solve@2")
+            .args(["align", "--a", "a.el", "--b", "b.el", "--l", "l.smat"])
+            .args(["--method", "bp", "--matcher", "ld-parallel", "--iters", "4"])
+            .args(["--dist-workers", "2", "--json-out", "out.json"])
+            .output()
+            .expect("align");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(dir.join("out.json")).unwrap();
+        assert!(json.contains("\"dist\": {"), "json: {json}");
+        assert!(json.contains("\"workers\": 2"), "json: {json}");
+        assert!(json.contains("\"worker_restarts\": 1"), "json: {json}");
+        assert!(json.contains("\"recoveries\": 1"), "json: {json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
